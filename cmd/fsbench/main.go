@@ -1,0 +1,153 @@
+// Command fsbench regenerates the distributed-file-service study of §5:
+//
+//	-fig 2     Figure 2: per-operation client latency, Hybrid-1 (HY) vs
+//	           pure data transfer (DX)
+//	-fig 3     Figure 3: per-operation server CPU breakdown
+//	-headline  the abstract's ≈50% server-load reduction, weighted by the
+//	           Table 1a operation mix
+//	-scale N   the scalability extension: 1..N clients replaying the mix,
+//	           server utilization and throughput under both structures
+//
+// With no flags it runs figures 2 and 3 plus the headline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netmem/internal/dfs"
+	"netmem/internal/stats"
+	"netmem/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate only this figure (2 or 3)")
+	headline := flag.Bool("headline", false, "only the server-load headline")
+	scale := flag.Int("scale", 0, "run the scalability sweep up to this many clients")
+	flag.Parse()
+
+	if *scale > 0 {
+		runScale(*scale)
+		return
+	}
+
+	res, err := dfs.RunFigure2And3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+
+	all := *fig == 0 && !*headline
+	if all || *fig == 2 {
+		printFigure2(res)
+	}
+	if all || *fig == 3 {
+		printFigure3(res)
+	}
+	if all || *headline {
+		printHeadline(res)
+	}
+}
+
+func printFigure2(res [][2]dfs.OpResult) {
+	fmt.Println("Figure 2: Request Processing Latency Seen by Client")
+	fmt.Println("(HY = Hybrid-1: data+control transfer; DX = pure data transfer)")
+	fmt.Println()
+	var max time.Duration
+	for _, pair := range res {
+		if pair[0].Latency > max {
+			max = pair[0].Latency
+		}
+	}
+	for _, pair := range res {
+		hy, dx := pair[0], pair[1]
+		fmt.Println(stats.Bar(hy.Label+" HY", float64(hy.Latency), float64(max), 48, stats.Ms(hy.Latency)))
+		fmt.Println(stats.Bar(hy.Label+" DX", float64(dx.Latency), float64(max), 48, stats.Ms(dx.Latency)))
+	}
+	fmt.Println()
+}
+
+func printFigure3(res [][2]dfs.OpResult) {
+	fmt.Println("Figure 3: Breakdown of Server Activity (server CPU per operation)")
+	fmt.Println("segments: ▒ data reception  ▓ control transfer  █ procedure  ░ data reply")
+	fmt.Println()
+	glyphs := []rune{'▒', '▓', '█', '░'}
+	var max time.Duration
+	for _, pair := range res {
+		if t := pair[0].ServerTotal(); t > max {
+			max = t
+		}
+	}
+	for _, pair := range res {
+		for _, r := range pair {
+			segs := []float64{
+				float64(r.ServerRx), float64(r.ServerControl),
+				float64(r.ServerProc), float64(r.ServerReply),
+			}
+			label := r.Label + " " + r.Mode.String()
+			fmt.Println(stats.StackedBar(label, segs, glyphs, float64(max), 48, stats.Ms(r.ServerTotal())))
+		}
+	}
+	fmt.Println()
+}
+
+func printHeadline(res [][2]dfs.OpResult) {
+	weights := map[string]float64{
+		"GetAttribute":       0.31,
+		"LookupName":         0.31,
+		"ReadLink":           0.06,
+		"Readfile(8K)":       0.16 / 3,
+		"Readfile(4K)":       0.16 / 3,
+		"Readfile(1K)":       0.16 / 3,
+		"ReadDirectory(4K)":  0.03 / 3,
+		"ReadDirectory(1K)":  0.03 / 3,
+		"ReadDirectory(512)": 0.03 / 3,
+		"WriteFile(8K)":      0.004 / 3,
+		"Writefile(4K)":      0.004 / 3,
+		"Writefile(1K)":      0.004 / 3,
+	}
+	var hyLoad, dxLoad float64
+	for _, pair := range res {
+		w := weights[pair[0].Label]
+		hyLoad += w * float64(pair[0].ServerTotal())
+		dxLoad += w * float64(pair[1].ServerTotal())
+	}
+	var hyAvg, dxAvg float64
+	for _, pair := range res {
+		hyAvg += float64(pair[0].ServerTotal())
+		dxAvg += float64(pair[1].ServerTotal())
+	}
+	fmt.Println("Headline: server load, HY → DX")
+	fmt.Println()
+	t := stats.NewTable("Structure", "Mix-weighted CPU/op", "Per-op average CPU")
+	t.Add("Hybrid-1 (data+control)", stats.Us(time.Duration(hyLoad)), stats.Us(time.Duration(hyAvg/float64(len(res)))))
+	t.Add("Pure data transfer", stats.Us(time.Duration(dxLoad)), stats.Us(time.Duration(dxAvg/float64(len(res)))))
+	fmt.Println(t)
+	fmt.Printf("Reduction: %.0f%% on the Table 1a call mix; %.0f%% on the per-op average\n",
+		(1-dxLoad/hyLoad)*100, (1-dxAvg/hyAvg)*100)
+	fmt.Printf("(paper: ≈50%%, \"less than half the server load\").\n\n")
+}
+
+func runScale(maxClients int) {
+	fmt.Println("Scalability: closed-loop clients replaying the Table 1a mix")
+	fmt.Println()
+	t := stats.NewTable("Clients", "Mode", "Ops/s", "Server util", "Mean latency")
+	for n := 1; n <= maxClients; n++ {
+		for _, mode := range []dfs.Mode{dfs.HY, dfs.DX} {
+			pt, err := workload.RunScale(workload.ScaleConfig{
+				Clients: n, Mode: mode,
+				Window: time.Second, ThinkTime: 2 * time.Millisecond,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fsbench:", err)
+				os.Exit(1)
+			}
+			t.Add(n, mode, fmt.Sprintf("%.0f", pt.OpsPerSec),
+				fmt.Sprintf("%.2f", pt.ServerUtil),
+				fmt.Sprintf("%.2fms", pt.MeanLatMs))
+		}
+	}
+	fmt.Println(t)
+}

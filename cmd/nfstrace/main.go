@@ -1,0 +1,60 @@
+// Command nfstrace regenerates Tables 1a and 1b of the paper: the NFS
+// operation mix at the departmental file server and the breakdown of its
+// network traffic into data and RPC-imposed control bytes. With -verify it
+// additionally draws a synthetic trace from the mix and shows the sampled
+// frequencies converging on the published ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"netmem/internal/stats"
+	"netmem/internal/workload"
+)
+
+func main() {
+	verify := flag.Int("verify", 0, "also sample a synthetic trace of this many ops and compare frequencies")
+	seed := flag.Int64("seed", 1994, "trace generator seed")
+	flag.Parse()
+
+	fmt.Println("Table 1a: Summary of NFS RPC Activity")
+	fmt.Println()
+	rows, total := workload.Table1a()
+	t := stats.NewTable("Activity", "Number of calls", "%")
+	for _, r := range rows {
+		t.Add(r.Activity, r.Calls, fmt.Sprintf("%.1f", r.Percent))
+	}
+	t.AddRule()
+	t.Add("Total", total, "100")
+	fmt.Println(t)
+
+	fmt.Println("Table 1b: Breakdown of NFS RPC Traffic (network traffic, MB)")
+	fmt.Println()
+	trows, ttotal := workload.Table1b(&workload.DefaultTraffic, workload.Table1aCounts)
+	tb := stats.NewTable("Activity", "Control", "Data", "Control/Data")
+	for _, r := range trows {
+		tb.Add(r.Activity, stats.MB(r.ControlMB), stats.MB(r.DataMB), fmt.Sprintf("%.2f", r.Ratio))
+	}
+	tb.AddRule()
+	tb.Add("Overall Total", stats.MB(ttotal.ControlMB), stats.MB(ttotal.DataMB), fmt.Sprintf("%.2f", ttotal.Ratio))
+	fmt.Println(tb)
+	share := ttotal.ControlMB / (ttotal.ControlMB + ttotal.DataMB)
+	fmt.Printf("Control traffic due to the RPC model is %.0f%% of the total (paper: \"about 12%%\").\n",
+		share*100)
+
+	if *verify > 0 {
+		fmt.Printf("\nSynthetic trace check: %d sampled operations (seed %d)\n\n", *verify, *seed)
+		g := workload.NewGenerator(*seed, 1000, 100)
+		counts := workload.CountByActivity(g.Trace(*verify))
+		mix := workload.Mix()
+		vt := stats.NewTable("Activity", "Sampled %", "Published %")
+		for a := 0; a < workload.NumActivities; a++ {
+			act := workload.Activity(a)
+			vt.Add(act,
+				fmt.Sprintf("%.2f", 100*float64(counts[a])/float64(*verify)),
+				fmt.Sprintf("%.2f", 100*mix[a]))
+		}
+		fmt.Println(vt)
+	}
+}

@@ -1,0 +1,70 @@
+// Failure detection without RPC machinery (§3.7), plus secure segments
+// (§3.5).
+//
+// "A service that required fault tolerance could implement a periodic
+// remote read request of a known (or monotonically increasing) value.
+// Failure to read the value within a timeout period can be used to raise
+// an exception."
+//
+// Node 1 runs a "service" that publishes a heartbeat counter and holds an
+// encrypted state segment. Node 0 monitors the heartbeat with a watchdog
+// built from plain remote reads, exchanges secrets over the encrypted
+// channel, and reacts when node 1 is crashed mid-run.
+//
+// Run:  go run ./examples/faultmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netmem"
+)
+
+func main() {
+	sys := netmem.New(2)
+	key := netmem.SecureKey{0xA5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 0x5A}
+
+	sys.Spawn("demo", func(p *netmem.Proc) {
+		// --- Service side (node 1): heartbeat + encrypted state --------
+		hb := sys.Mem[1].Export(p, 64)
+		hb.SetDefaultRights(netmem.RightRead)
+		netmem.StartHeartbeat(sys.Mem[1], hb, 0, 5*time.Millisecond)
+
+		state := sys.Mem[1].Export(p, 1024)
+		state.SetDefaultRights(netmem.RightsAll)
+		vault := netmem.NewSecureVault(sys.Cluster.Nodes[1], state, key, netmem.HardwareCrypto)
+		vault.WritePlain(p, 0, []byte("service state v1"))
+
+		// --- Monitor side (node 0) -------------------------------------
+		hbImp := sys.Mem[0].Import(p, 1, hb.ID(), hb.Gen(), hb.Size())
+		stImp := sys.Mem[0].Import(p, 1, state.ID(), state.Gen(), state.Size())
+		ch := netmem.NewSecureChannel(stImp, key, netmem.HardwareCrypto)
+
+		netmem.NewWatchdog(sys.Mem[0], hbImp, 0, 20*time.Millisecond, 10*time.Millisecond,
+			func(fp *netmem.Proc, err error) {
+				fmt.Printf("[%8v] WATCHDOG: %v\n", fp.Now(), err)
+				fmt.Println("          (detection is a data-only protocol: periodic 4-byte reads)")
+			})
+
+		// Read the encrypted state through the channel…
+		scratch := sys.Mem[0].Export(p, 1024)
+		if err := ch.Read(p, 0, 16, scratch, 0, time.Second); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] monitor decrypted service state: %q\n", p.Now(), scratch.Bytes()[:16])
+		// …and confirm the wire/segment held only ciphertext.
+		raw := state.Bytes()[:16]
+		fmt.Printf("[%8v] raw segment bytes (what a snooper sees): %x\n", p.Now(), raw)
+
+		// Let the watchdog observe a healthy service for a while.
+		p.Sleep(150 * time.Millisecond)
+		fmt.Printf("[%8v] service healthy; crashing node 1 now\n", p.Now())
+		sys.Cluster.Nodes[1].Fail()
+	})
+
+	if err := sys.RunFor(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+}

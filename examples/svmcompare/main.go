@@ -1,0 +1,91 @@
+// Remote memory vs shared virtual memory (§6).
+//
+// The paper's related-work section argues that page-based SVM (Ivy) is
+// the wrong substrate for its clerks: pages are big (false sharing) and
+// every fault runs handlers on several machines (control transfer). This
+// example makes that concrete: two nodes repeatedly update *different*
+// variables that happen to share a 4 KB page. Under SVM the page
+// ping-pongs through the manager with invalidations; with remote memory
+// each update is a single one-way word write.
+//
+// Run:  go run ./examples/svmcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netmem"
+)
+
+const updates = 12
+
+func main() {
+	svmPer := runSVM()
+	rmemPer := runRmem()
+
+	fmt.Println("two writers, two variables, one shared page — per-update cost:")
+	fmt.Printf("  Ivy-style SVM:        %9v   (page faults, invalidations, 4K page moves)\n", svmPer)
+	fmt.Printf("  remote memory WRITE:  %9v   (one one-way word write, no control transfer)\n", rmemPer)
+	fmt.Printf("\nratio: %.0f× — §6's false-sharing hazard, quantified.\n",
+		float64(svmPer)/float64(rmemPer))
+}
+
+func runSVM() time.Duration {
+	sys := netmem.New(3)
+	agents := make([]*netmem.SVMAgent, 3)
+	for i, node := range sys.Cluster.Nodes {
+		agents[i] = netmem.NewSVMAgent(node, 0, 1)
+	}
+	var per time.Duration
+	sys.Spawn("svm", func(p *netmem.Proc) {
+		start := p.Now()
+		for i := 0; i < updates; i++ {
+			if err := agents[1].Write(p, 0, []byte{byte(i)}); err != nil {
+				log.Fatal(err)
+			}
+			if err := agents[2].Write(p, 512, []byte{byte(i)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		per = time.Duration(p.Now().Sub(start)) / (2 * updates)
+	})
+	if err := sys.RunFor(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SVM: %d read faults, %d write faults, %d invalidations, %d pages moved\n",
+		agents[1].ReadFaults+agents[2].ReadFaults,
+		agents[1].WriteFaults+agents[2].WriteFaults,
+		agents[1].Invalidations+agents[2].Invalidations,
+		agents[1].PagesMoved+agents[2].PagesMoved)
+	return per
+}
+
+func runRmem() time.Duration {
+	sys := netmem.New(3)
+	var per time.Duration
+	sys.Spawn("rmem", func(p *netmem.Proc) {
+		seg := sys.Mem[0].Export(p, 4096)
+		seg.SetDefaultRights(netmem.RightsAll)
+		i1 := sys.Mem[1].Import(p, 0, seg.ID(), seg.Gen(), seg.Size())
+		i2 := sys.Mem[2].Import(p, 0, seg.ID(), seg.Gen(), seg.Size())
+		start := p.Now()
+		for i := 0; i < updates; i++ {
+			if err := i1.Write(p, 0, []byte{byte(i)}, false); err != nil {
+				log.Fatal(err)
+			}
+			if err := i2.Write(p, 512, []byte{byte(i)}, false); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for seg.RemoteWrites < 2*updates {
+			p.Sleep(10 * time.Microsecond)
+		}
+		per = time.Duration(p.Now().Sub(start)) / (2 * updates)
+	})
+	if err := sys.RunFor(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	return per
+}

@@ -1,0 +1,3 @@
+module netmem
+
+go 1.22

@@ -1,0 +1,140 @@
+package atm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netmem/internal/des"
+	"netmem/internal/model"
+)
+
+// Interface is a host-network interface (the TCA-100 stand-in): two bounded
+// cell FIFOs, one per direction, accessed a word at a time by the host CPU.
+// The interface itself has no DMA and no processing; all intelligence is in
+// host software, exactly as on the paper's hardware.
+type Interface struct {
+	Node int // owning node id (also this interface's receive VCI)
+	TX   *des.FIFO[Cell]
+	RX   *des.FIFO[Cell]
+
+	// CellsSent / CellsReceived count cells through this interface, for
+	// traffic accounting.
+	CellsSent     int64
+	CellsReceived int64
+}
+
+// NewInterface creates an interface with the model's FIFO depths.
+func NewInterface(env *des.Env, p *model.Params, node int) *Interface {
+	return &Interface{
+		Node: node,
+		TX:   des.NewFIFO[Cell](env, fmt.Sprintf("nic%d.tx", node), p.TxFIFOCells),
+		RX:   des.NewFIFO[Cell](env, fmt.Sprintf("nic%d.rx", node), p.RxFIFOCells),
+	}
+}
+
+// Fault configures loss injection on a link. Zero value = lossless.
+type Fault struct {
+	LossRate float64 // probability a cell is dropped in flight
+	Rand     *rand.Rand
+}
+
+func (f *Fault) drop() bool {
+	return f != nil && f.Rand != nil && f.LossRate > 0 && f.Rand.Float64() < f.LossRate
+}
+
+// Link is one unidirectional cell pipe from a TX FIFO to an RX FIFO with
+// serialization (bandwidth) and propagation delay. DirectLink wires two
+// interfaces back-to-back, the paper's switchless testbed topology.
+type Link struct {
+	env   *des.Env
+	p     *model.Params
+	fault *Fault
+
+	// CellsCarried counts cells delivered, for utilisation accounting.
+	CellsCarried int64
+	// CellsDropped counts fault-injected losses.
+	CellsDropped int64
+}
+
+// pump moves cells from src to deliver() forever: each cell holds the wire
+// for its serialization time (bandwidth limit), then arrives after the
+// propagation delay. Delivery blocks if the destination FIFO is full,
+// modelling link-level flow control ("newer LAN technologies include
+// hardware flow-control … that can guarantee that data packets are
+// delivered reliably").
+func (l *Link) pump(name string, src *des.FIFO[Cell], dst *des.FIFO[Cell], extra des.Duration) {
+	l.env.SpawnDaemon(name, func(pr *des.Proc) {
+		for {
+			c := src.Get(pr)
+			pr.Sleep(l.p.CellWireTime() + extra)
+			if l.fault.drop() {
+				l.CellsDropped++
+				continue
+			}
+			dst.Put(pr, c)
+			l.CellsCarried++
+		}
+	})
+}
+
+// DirectLink connects interfaces a and b with a full-duplex lossless link
+// (pass fault = nil) or a fault-injected one. It returns the two
+// unidirectional halves (a→b, b→a).
+func DirectLink(env *des.Env, p *model.Params, a, b *Interface, fault *Fault) (ab, ba *Link) {
+	ab = &Link{env: env, p: p, fault: fault}
+	ba = &Link{env: env, p: p, fault: fault}
+	ab.pump(fmt.Sprintf("link%d->%d", a.Node, b.Node), a.TX, b.RX, p.PropagationDelay)
+	ba.pump(fmt.Sprintf("link%d->%d", b.Node, a.Node), b.TX, a.RX, p.PropagationDelay)
+	return ab, ba
+}
+
+// Switch is an output-queued cell switch. Each attached interface gets an
+// input pump that routes on VCI (VCI = destination node) to the output
+// queue of the destination port; an output pump serializes cells onto the
+// destination interface. Cut-through latency is the model's SwitchLatency.
+type Switch struct {
+	env   *des.Env
+	p     *model.Params
+	ports map[int]*swPort
+}
+
+type swPort struct {
+	nic *Interface
+	out *des.FIFO[Cell]
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(env *des.Env, p *model.Params) *Switch {
+	return &Switch{env: env, p: p, ports: make(map[int]*swPort)}
+}
+
+// Attach connects an interface to the switch. All attachments must happen
+// before the simulation delivers traffic to the new port.
+func (s *Switch) Attach(nic *Interface) {
+	port := &swPort{
+		nic: nic,
+		out: des.NewFIFO[Cell](s.env, fmt.Sprintf("sw.out%d", nic.Node), s.p.RxFIFOCells),
+	}
+	s.ports[nic.Node] = port
+
+	// Input side: host→switch link (serialization) plus VCI routing.
+	s.env.SpawnDaemon(fmt.Sprintf("sw.in%d", nic.Node), func(pr *des.Proc) {
+		for {
+			c := nic.TX.Get(pr)
+			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay + s.p.SwitchLatency)
+			dst, ok := s.ports[c.VCI.Dst()]
+			if !ok {
+				continue // no such port: cell dies in the fabric
+			}
+			dst.out.Put(pr, c)
+		}
+	})
+	// Output side: switch→host link.
+	s.env.SpawnDaemon(fmt.Sprintf("sw.tx%d", nic.Node), func(pr *des.Proc) {
+		for {
+			c := port.out.Get(pr)
+			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay)
+			nic.RX.Put(pr, c)
+		}
+	})
+}

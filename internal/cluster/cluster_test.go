@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/model"
+)
+
+const protoTest = 0x7f
+
+func TestFrameDelivery(t *testing.T) {
+	env := des.NewEnv()
+	c := New(env, &model.Default, 2)
+	var got []byte
+	var from int
+	c.Nodes[1].RegisterProto(protoTest, func(p *des.Proc, src int, frame []byte) {
+		got = append([]byte(nil), frame...)
+		from = src
+	})
+	payload := []byte("a frame across the cluster")
+	env.Spawn("sender", func(p *des.Proc) {
+		c.Nodes[0].SendFrame(p, 1, protoTest, CatClient, payload)
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q, want %q", got, payload)
+	}
+	if from != 0 {
+		t.Fatalf("src = %d, want 0", from)
+	}
+	if c.Nodes[0].FramesSent != 1 || c.Nodes[1].FramesReceived != 1 {
+		t.Fatal("frame counters wrong")
+	}
+}
+
+func TestSwitchedClusterAllPairs(t *testing.T) {
+	env := des.NewEnv()
+	c := New(env, &model.Default, 4)
+	type rx struct{ src, dst int }
+	var seen []rx
+	for _, n := range c.Nodes {
+		dst := n.ID
+		n.RegisterProto(protoTest, func(p *des.Proc, src int, frame []byte) {
+			seen = append(seen, rx{src, dst})
+		})
+	}
+	env.Spawn("senders", func(p *des.Proc) {
+		for s := 0; s < 4; s++ {
+			for d := 0; d < 4; d++ {
+				if s == d {
+					continue
+				}
+				c.Nodes[s].SendFrame(p, d, protoTest, CatClient, []byte{byte(s), byte(d)})
+			}
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 12 {
+		t.Fatalf("delivered %d frames, want 12", len(seen))
+	}
+}
+
+func TestInterleavedSourcesToOneDestination(t *testing.T) {
+	// Two sources fire multi-cell frames at node 0 simultaneously; the
+	// per-(src,dst) VCI scheme must keep reassembly separate.
+	env := des.NewEnv()
+	c := New(env, &model.Default, 3)
+	big1 := bytes.Repeat([]byte{0xAA}, 500)
+	big2 := bytes.Repeat([]byte{0xBB}, 500)
+	var got [][]byte
+	c.Nodes[0].RegisterProto(protoTest, func(p *des.Proc, src int, frame []byte) {
+		got = append(got, append([]byte(nil), frame...))
+	})
+	env.Spawn("s1", func(p *des.Proc) { c.Nodes[1].SendFrame(p, 0, protoTest, CatClient, big1) })
+	env.Spawn("s2", func(p *des.Proc) { c.Nodes[2].SendFrame(p, 0, protoTest, CatClient, big2) })
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d frames, want 2", len(got))
+	}
+	ok := func(f []byte) bool {
+		return bytes.Equal(f, big1) || bytes.Equal(f, big2)
+	}
+	if !ok(got[0]) || !ok(got[1]) || bytes.Equal(got[0], got[1]) {
+		t.Fatal("interleaved frames corrupted")
+	}
+}
+
+func TestSendChargesCPU(t *testing.T) {
+	env := des.NewEnv()
+	c := New(env, &model.Default, 2)
+	c.Nodes[1].RegisterProto(protoTest, func(p *des.Proc, src int, frame []byte) {})
+	payload := make([]byte, 4096)
+	env.Spawn("sender", func(p *des.Proc) {
+		c.Nodes[0].SendFrame(p, 1, protoTest, CatClient, payload)
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// 4096+1 byte frame + trailer = 86 cells; sender CPU ≈ 86×CellPushTx.
+	busy := c.Nodes[0].CPU.BusyTime()
+	want := 86 * model.Default.CellPushTx
+	if busy < want || busy > want+5*time.Microsecond {
+		t.Fatalf("sender CPU busy %v, want ≈%v", busy, want)
+	}
+	// Receiver drains the same cells.
+	rbusy := c.Nodes[1].CPU.BusyTime()
+	rwant := 86 * model.Default.CellDrainRx
+	if rbusy < rwant || rbusy > rwant+5*time.Microsecond {
+		t.Fatalf("receiver CPU busy %v, want ≈%v", rbusy, rwant)
+	}
+}
+
+func TestUnknownProtocolRecordsFault(t *testing.T) {
+	env := des.NewEnv()
+	c := New(env, &model.Default, 2)
+	env.Spawn("sender", func(p *des.Proc) {
+		c.Nodes[0].SendFrame(p, 1, 0x55, CatClient, []byte("nobody home"))
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes[1].Faults) != 1 {
+		t.Fatalf("faults = %v, want exactly one", c.Nodes[1].Faults)
+	}
+}
+
+func TestDuplicateProtocolPanics(t *testing.T) {
+	env := des.NewEnv()
+	c := New(env, &model.Default, 2)
+	c.Nodes[0].RegisterProto(1, func(*des.Proc, int, []byte) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for duplicate protocol registration")
+		}
+	}()
+	c.Nodes[0].RegisterProto(1, func(*des.Proc, int, []byte) {})
+}

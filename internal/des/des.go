@@ -1,0 +1,259 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel provides virtual time, an event queue, goroutine-backed
+// simulated processes, and FIFO resources (used to model CPUs and other
+// serially shared hardware). Exactly one goroutine — either the scheduler
+// or a single simulated process — runs at any instant, so simulated code
+// needs no locking and every run is reproducible: events that share a
+// timestamp fire in the order they were scheduled.
+//
+// A simulated process is an ordinary function executing on its own
+// goroutine. It advances virtual time only through the blocking primitives
+// on *Proc (Sleep, Acquire, FIFO.Get, …); pure computation between those
+// calls is instantaneous in virtual time. This lets functional behaviour
+// (moving real bytes, probing real hash tables) be written as straight-line
+// Go while the timing model stays explicit.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual timestamp measured from the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for callers that want a single import.
+type Duration = time.Duration
+
+// String formats the timestamp as a duration since the epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback. Cancelled events stay in the heap but are
+// skipped when popped; this makes timer cancellation O(1).
+type event struct {
+	at        Time
+	seq       uint64 // tie-breaker: schedule order
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: the event queue, the clock, and the
+// bookkeeping that hands control between the scheduler and at most one
+// simulated process at a time. Create one with NewEnv; an Env must not be
+// shared across real OS threads while Run is in progress.
+type Env struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	yield  chan struct{} // a proc (or its completion) hands control back here
+	inProc bool          // true while a simulated process is executing
+	nprocs int           // live (spawned, not finished) processes
+	halted bool
+}
+
+// NewEnv returns an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule arranges for fn to run in scheduler context at time at (clamped
+// to now if in the past). It returns a cancel function; cancelling after
+// the event has fired is a no-op. fn must not block — it runs on the
+// scheduler goroutine. To start blocking work, Spawn a process instead.
+func (e *Env) Schedule(at Time, fn func()) (cancel func()) {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return func() { ev.cancelled = true }
+}
+
+// After schedules fn to run d from now. See Schedule.
+func (e *Env) After(d Duration, fn func()) (cancel func()) {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Proc is a simulated process. All blocking primitives must be called from
+// the process's own goroutine (the function passed to Spawn); calling them
+// from anywhere else corrupts the simulation and panics where detectable.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan struct{}
+	woken    bool // set by the waker for wait-queue hand-offs
+	finished bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process that runs fn, beginning at the current virtual
+// time (after already-scheduled events at this time). It may be called from
+// scheduler context or from another process.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon is Spawn for perpetual service loops (link pumps, kernel
+// drain loops). Daemons blocked with no pending events are normal — they
+// are waiting for future work — so they are excluded from Run's deadlock
+// check.
+func (e *Env) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	if !daemon {
+		e.nprocs++
+	}
+	go func() {
+		// The deferred hand-back runs even if fn exits via runtime.Goexit
+		// (e.g. t.Fatal inside simulated test code), so one dying process
+		// cannot wedge the scheduler.
+		defer func() {
+			p.finished = true
+			if !daemon {
+				e.nprocs--
+			}
+			e.yield <- struct{}{} // final hand-back; goroutine exits
+		}()
+		<-p.resume // first activation
+		fn(p)
+	}()
+	e.Schedule(e.now, func() { e.activate(p) })
+	return p
+}
+
+// activate transfers control to p and waits until p blocks or finishes.
+// Runs in scheduler context.
+func (e *Env) activate(p *Proc) {
+	if e.inProc {
+		panic("des: activate from process context")
+	}
+	if p.finished {
+		// Stray wakeup for a process that exited abnormally (Goexit while
+		// it still had a pending event); nothing to run.
+		return
+	}
+	e.inProc = true
+	p.resume <- struct{}{}
+	<-e.yield
+	e.inProc = false
+}
+
+// yieldAndWait is the process side of a block: hand control to the
+// scheduler and sleep until someone activates us again.
+func (p *Proc) yieldAndWait() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's virtual time by d (d <= 0 yields to other
+// work scheduled at the current instant).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.Schedule(p.env.now.Add(d), func() { p.env.activate(p) })
+	p.yieldAndWait()
+}
+
+// Run executes events until the queue is empty or Halt is called. Processes
+// blocked on never-signalled conditions are reported as a deadlock error if
+// any remain when the queue drains.
+func (e *Env) Run() error {
+	return e.run(func() bool { return false })
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving the rest of
+// the simulation intact so it can be resumed with another Run call. The
+// clock is left at min(deadline, time of last executed event) — it does not
+// jump to the deadline if the queue drains first.
+func (e *Env) RunUntil(deadline Time) error {
+	return e.run(func() bool {
+		return len(e.queue) > 0 && e.queue[0].at > deadline
+	})
+}
+
+// Halt stops the simulation after the current event completes. Safe to call
+// from simulated code.
+func (e *Env) Halt() { e.halted = true }
+
+func (e *Env) run(stop func() bool) error {
+	if e.inProc {
+		panic("des: Run from process context")
+	}
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		if stop() {
+			return nil
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("des: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.halted {
+		return nil
+	}
+	if e.nprocs > 0 {
+		return fmt.Errorf("des: deadlock: %d process(es) blocked with no pending events", e.nprocs)
+	}
+	return nil
+}

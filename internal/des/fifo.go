@@ -1,0 +1,87 @@
+package des
+
+// FIFO is a bounded first-in-first-out queue of items with blocking Put and
+// Get, modelling hardware queues (ATM controller TX/RX FIFOs) and kernel
+// message queues. Capacity <= 0 means unbounded.
+//
+// Put blocks while the queue is full; Get blocks while it is empty. Both
+// are served in FIFO order per side. TryPut/TryGet never block, for
+// hardware that drops on overflow instead of exerting backpressure.
+type FIFO[T any] struct {
+	env      *Env
+	name     string
+	capacity int
+	items    []T
+	getters  *WaitQueue
+	putters  *WaitQueue
+
+	// Drops counts TryPut failures, for fault-injection experiments.
+	Drops int
+}
+
+// NewFIFO creates a queue with the given capacity (<= 0 for unbounded).
+func NewFIFO[T any](env *Env, name string, capacity int) *FIFO[T] {
+	return &FIFO[T]{
+		env:      env,
+		name:     name,
+		capacity: capacity,
+		getters:  NewWaitQueue(env),
+		putters:  NewWaitQueue(env),
+	}
+}
+
+// Len reports the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.items) }
+
+// Cap reports the capacity (<= 0 for unbounded).
+func (f *FIFO[T]) Cap() int { return f.capacity }
+
+func (f *FIFO[T]) full() bool { return f.capacity > 0 && len(f.items) >= f.capacity }
+
+// Put appends item, blocking while the queue is full.
+func (f *FIFO[T]) Put(p *Proc, item T) {
+	for f.full() {
+		f.putters.Wait(p)
+	}
+	f.items = append(f.items, item)
+	f.getters.WakeOne()
+}
+
+// TryPut appends item if there is room and reports whether it did; on a
+// full queue the item is counted as dropped.
+func (f *FIFO[T]) TryPut(item T) bool {
+	if f.full() {
+		f.Drops++
+		return false
+	}
+	f.items = append(f.items, item)
+	f.getters.WakeOne()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty.
+func (f *FIFO[T]) Get(p *Proc) T {
+	for len(f.items) == 0 {
+		f.getters.Wait(p)
+	}
+	item := f.items[0]
+	var zero T
+	f.items[0] = zero
+	f.items = f.items[1:]
+	f.putters.WakeOne()
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (f *FIFO[T]) TryGet() (T, bool) {
+	var zero T
+	if len(f.items) == 0 {
+		return zero, false
+	}
+	item := f.items[0]
+	f.items[0] = zero
+	f.items = f.items[1:]
+	f.putters.WakeOne()
+	return item, true
+}

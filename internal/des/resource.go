@@ -1,0 +1,140 @@
+package des
+
+// Resource models a serially shared piece of hardware — a CPU, a bus, a
+// controller — with a fixed number of service slots and a FIFO queue of
+// waiting processes. It also keeps a busy-time integral so experiments can
+// report utilisation (Figure 3 reports server CPU occupancy this way).
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	busy       Duration // accumulated slot-busy time (capacity slots ⇒ up to capacity× wall time)
+	lastChange Time
+}
+
+// NewResource creates a resource with the given number of service slots.
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("des: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity, lastChange: env.now}
+}
+
+// Name returns the diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busy += Duration(now.Sub(r.lastChange).Nanoseconds() * int64(r.inUse))
+	r.lastChange = now
+}
+
+// Acquire blocks until a slot is free and claims it. Waiters are served in
+// FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.woken = false
+	for !p.woken {
+		p.yieldAndWait()
+	}
+}
+
+// Release frees a slot, handing it to the longest-waiting process if any.
+func (r *Resource) Release() {
+	r.account()
+	r.inUse--
+	if r.inUse < 0 {
+		panic("des: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++ // slot passes directly to next
+		next.woken = true
+		r.env.Schedule(r.env.now, func() { r.env.activate(next) })
+	}
+}
+
+// Use acquires a slot, holds it for d of virtual time, and releases it.
+// This is the common "charge this work to this CPU" idiom.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// BusyTime returns the accumulated slot-busy time up to the current instant.
+func (r *Resource) BusyTime() Duration {
+	r.account()
+	return r.busy
+}
+
+// ResetBusyTime zeroes the busy-time integral (used between experiment
+// phases, e.g. after warmup).
+func (r *Resource) ResetBusyTime() {
+	r.account()
+	r.busy = 0
+}
+
+// Utilization returns busy time divided by elapsed time since the given
+// start, as a fraction of total capacity.
+func (r *Resource) Utilization(since Time) float64 {
+	elapsed := r.env.now.Sub(since)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(elapsed) / float64(r.capacity)
+}
+
+// WaitQueue is a condition-variable-like rendezvous: processes Wait on it,
+// and other code (process or scheduler context) Wakes them in FIFO order.
+// A wake with no waiter is NOT remembered (unlike a semaphore); use FIFO
+// for buffered hand-off.
+type WaitQueue struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewWaitQueue creates an empty wait queue.
+func NewWaitQueue(env *Env) *WaitQueue { return &WaitQueue{env: env} }
+
+// Len reports the number of blocked waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait blocks the calling process until a Wake is directed at it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.woken = false
+	for !p.woken {
+		p.yieldAndWait()
+	}
+}
+
+// WakeOne unblocks the longest-waiting process, if any, reporting whether
+// one was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	next := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	next.woken = true
+	q.env.Schedule(q.env.now, func() { q.env.activate(next) })
+	return true
+}
+
+// WakeAll unblocks every waiter in FIFO order and returns how many.
+func (q *WaitQueue) WakeAll() int {
+	n := len(q.waiters)
+	for q.WakeOne() {
+	}
+	return n
+}

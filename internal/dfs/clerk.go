@@ -1,0 +1,652 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+	"netmem/internal/hybrid"
+	"netmem/internal/rmem"
+)
+
+// Mode selects the clerk↔server structure under comparison (§5.2).
+type Mode int
+
+const (
+	// DX is the paper's proposed structure: pure data transfer. The clerk
+	// probes the server's cache areas with remote reads and pushes file
+	// writes with remote writes; the server process runs only on a cache
+	// miss or a metadata mutation.
+	DX Mode = iota
+	// HY is Hybrid-1: every operation is a write-with-notification
+	// request answered by return writes — an RPC in remote-memory
+	// clothing, costing a server control transfer per call.
+	HY
+)
+
+func (m Mode) String() string {
+	if m == DX {
+		return "DX"
+	}
+	return "HY"
+}
+
+// Clerk is the per-client-machine agent of the file service. Clients talk
+// to it with local RPC (whose cost Figure 2 neglects — "we also neglect
+// the communication cost between client and clerk"); the clerk talks to
+// the server with pure data transfer (DX) or Hybrid-1 (HY). Clerk and
+// server trust each other; both are parts of the one file service.
+type Clerk struct {
+	m      *rmem.Manager
+	Mode   Mode
+	server int
+	geo    Geometry
+
+	attr, name, link, data, dir, token *rmem.Import
+	scratch                            *rmem.Segment // deposit target for probes
+	push                               *rmem.Segment // eager-update board (§3.2), nil unless enabled
+	hcli                               *hybrid.Client
+
+	// Local (client-side) caches: the clerk caches what it has fetched so
+	// repeated client requests are satisfied on the client machine.
+	lAttr map[fstore.Handle]fstore.Attr
+	lName map[string]lookupHit
+	lLink map[fstore.Handle]string
+	lData map[blockKey][]byte
+	lDir  map[blockKey][]byte
+	// owned records which server buckets are known to hold which block,
+	// making subsequent writes a single remote write.
+	owned map[blockKey]bool
+
+	// CallTimeout bounds one request-channel exchange (default 10s).
+	CallTimeout time.Duration
+
+	// Read-ahead state (EnableReadAhead).
+	readAhead bool
+	lastRead  map[fstore.Handle]int64
+	pf        *prefetchState
+	pfBuf     *rmem.Segment
+
+	// Stats.
+	LocalHits    int64
+	RemoteReads  int64
+	RemoteWrites int64
+	Misses       int64 // control transfers to the server procedure
+	PushHits     int64 // attributes found on the eager-update board
+	PrefetchHits int64 // blocks served from a completed read-ahead
+}
+
+type lookupHit struct {
+	h fstore.Handle
+	a fstore.Attr
+}
+
+type blockKey struct {
+	h     fstore.Handle
+	block int64
+}
+
+func dirNameKey(dir fstore.Handle, name string) string {
+	return fmt.Sprintf("%d.%d/%s", dir.Ino, dir.Gen, name)
+}
+
+// NewClerk wires a clerk on m's node to the server. The clerk imports the
+// server's cache areas and opens a Hybrid-1 channel for misses (DX) or
+// for everything (HY).
+func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode) *Clerk {
+	c := &Clerk{
+		m:           m,
+		Mode:        mode,
+		server:      srv.Node().ID,
+		geo:         srv.Geo,
+		CallTimeout: 10 * time.Second,
+	}
+	areas := srv.Areas()
+	imp := func(a [3]int) *rmem.Import {
+		return m.Import(p, c.server, uint16(a[0]), uint16(a[1]), a[2])
+	}
+	c.attr, c.name, c.link = imp(areas[0]), imp(areas[1]), imp(areas[2])
+	c.data, c.dir, c.token = imp(areas[3]), imp(areas[4]), imp(areas[5])
+	c.scratch = m.Export(p, dataStride+recHdr)
+	id, gen, size := srv.ReqChannel()
+	c.hcli = hybrid.NewClient(p, m, c.server, id, gen, size, reqSlotCap, fstore.BlockSize+256)
+	cid, cgen, csize := c.hcli.RepSeg()
+	srv.AttachClerk(p, m.Node.ID, cid, cgen, csize)
+	c.FlushLocal()
+	return c
+}
+
+// FlushLocal drops the clerk's client-side caches (between experiment
+// iterations, so each measured operation exercises the clerk↔server path).
+func (c *Clerk) FlushLocal() {
+	c.lAttr = make(map[fstore.Handle]fstore.Attr)
+	c.lName = make(map[string]lookupHit)
+	c.lLink = make(map[fstore.Handle]string)
+	c.lData = make(map[blockKey][]byte)
+	c.lDir = make(map[blockKey][]byte)
+	c.owned = make(map[blockKey]bool)
+	c.lastRead = make(map[fstore.Handle]int64)
+}
+
+// call routes a request over the Hybrid-1 channel (every HY operation;
+// DX misses and mutations).
+func (c *Clerk) call(p *des.Proc, req *request) ([]byte, error) {
+	c.Misses++
+	rep, err := c.hcli.Call(p, req.encode(), c.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return parseReply(rep)
+}
+
+// probe performs one remote read of n bytes at off within area, deposited
+// into the clerk's scratch segment, and returns the bytes.
+func (c *Clerk) probe(p *des.Proc, area *rmem.Import, off, n int) ([]byte, error) {
+	c.RemoteReads++
+	if err := area.Read(p, off, n, c.scratch, 0, c.CallTimeout); err != nil {
+		return nil, err
+	}
+	return c.scratch.Bytes()[:n], nil
+}
+
+// ---------------------------------------------------------------------------
+// Operations. Each has the same client-visible semantics in both modes.
+
+// Null is the NFS null ping.
+func (c *Clerk) Null(p *des.Proc) error {
+	_, err := c.call(p, &request{Op: OpNull})
+	return err
+}
+
+// GetAttr returns a file's attributes.
+func (c *Clerk) GetAttr(p *des.Proc, h fstore.Handle) (fstore.Attr, error) {
+	if a, ok := c.lAttr[h]; ok {
+		c.LocalHits++
+		return a, nil
+	}
+	if a, ok := c.checkPushBoard(p, h); ok {
+		c.lAttr[h] = a
+		return a, nil
+	}
+	if c.Mode == DX {
+		buf, err := c.probe(p, c.attr, c.geo.attrOff(h), attrRec)
+		if err == nil {
+			if flag, key, _, _ := getHdr(buf); flag != flagEmpty && key == h {
+				a := unpackAttr(buf[recHdr:])
+				c.lAttr[h] = a
+				return a, nil
+			}
+		}
+		// Fall through to the miss channel.
+	}
+	rep, err := c.call(p, &request{Op: OpGetAttr, Handle: h})
+	if err != nil {
+		return fstore.Attr{}, err
+	}
+	if len(rep) < attrLen {
+		return fstore.Attr{}, ErrBadReply
+	}
+	a := unpackAttr(rep)
+	c.lAttr[h] = a
+	return a, nil
+}
+
+// SetAttr updates attributes (always a server procedure: it mutates).
+func (c *Clerk) SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (fstore.Attr, error) {
+	rep, err := c.call(p, &request{Op: OpSetAttr, Handle: h, Mode: mode, Size: size})
+	if err != nil {
+		return fstore.Attr{}, err
+	}
+	if len(rep) < attrLen {
+		return fstore.Attr{}, ErrBadReply
+	}
+	a := unpackAttr(rep)
+	c.lAttr[h] = a
+	// Truncation/extension invalidates every cached block of the file.
+	for bk := range c.lData {
+		if bk.h == h {
+			delete(c.lData, bk)
+		}
+	}
+	return a, nil
+}
+
+// Lookup resolves name in dir, returning the child handle and attributes.
+func (c *Clerk) Lookup(p *des.Proc, dir fstore.Handle, name string) (fstore.Handle, fstore.Attr, error) {
+	k := dirNameKey(dir, name)
+	if hit, ok := c.lName[k]; ok {
+		c.LocalHits++
+		return hit.h, hit.a, nil
+	}
+	if c.Mode == DX && len(name) <= 20 {
+		buf, err := c.probe(p, c.name, c.geo.nameOff(dir, name), nameRec)
+		if err == nil {
+			flag, key, sub, _ := getHdr(buf)
+			if flag != flagEmpty && key == dir && sub == nameKeyHash(name) {
+				nb := buf[recHdr:]
+				stored := nb[:20]
+				match := true
+				for i := 0; i < 20; i++ {
+					want := byte(0)
+					if i < len(name) {
+						want = name[i]
+					}
+					if stored[i] != want {
+						match = false
+						break
+					}
+				}
+				if match {
+					child := fstore.HandleFromU64(binary.BigEndian.Uint64(nb[20:]))
+					a := unpackAttr(nb[28:])
+					c.lName[k] = lookupHit{child, a}
+					c.lAttr[child] = a
+					return child, a, nil
+				}
+			}
+		}
+	}
+	rep, err := c.call(p, &request{Op: OpLookup, Dir: dir, Name: name})
+	if err != nil {
+		return fstore.Handle{}, fstore.Attr{}, err
+	}
+	if len(rep) < 8+attrLen {
+		return fstore.Handle{}, fstore.Attr{}, ErrBadReply
+	}
+	child := fstore.HandleFromU64(binary.BigEndian.Uint64(rep))
+	a := unpackAttr(rep[8:])
+	c.lName[k] = lookupHit{child, a}
+	c.lAttr[child] = a
+	return child, a, nil
+}
+
+// ReadLink returns a symlink's target.
+func (c *Clerk) ReadLink(p *des.Proc, h fstore.Handle) (string, error) {
+	if t, ok := c.lLink[h]; ok {
+		c.LocalHits++
+		return t, nil
+	}
+	if c.Mode == DX {
+		buf, err := c.probe(p, c.link, c.geo.linkOff(h), linkRec)
+		if err == nil {
+			if flag, key, _, n := getHdr(buf); flag != flagEmpty && key == h && n <= 64 {
+				t := string(buf[recHdr : recHdr+n])
+				c.lLink[h] = t
+				return t, nil
+			}
+		}
+	}
+	rep, err := c.call(p, &request{Op: OpReadLink, Handle: h})
+	if err != nil {
+		return "", err
+	}
+	t := string(rep)
+	c.lLink[h] = t
+	return t, nil
+}
+
+// readBlock fetches one cached file block (DX: remote read of the data
+// area; miss or HY: server procedure). Returns the block's valid bytes.
+func (c *Clerk) readBlock(p *des.Proc, h fstore.Handle, block int64, need int) ([]byte, error) {
+	bk := blockKey{h, block}
+	if b, ok := c.lData[bk]; ok {
+		c.LocalHits++
+		return b, nil
+	}
+	if blk, ok := c.takePrefetch(p, bk); ok {
+		c.lData[bk] = blk
+		c.owned[bk] = true
+		c.noteSequential(p, h, block)
+		return blk, nil
+	}
+	if c.Mode == DX {
+		// One contiguous remote read: header plus the needed prefix of
+		// the block (§5.2's "one (or more) remote reads to fetch a block
+		// of data or metadata" with flag-word validity check).
+		n := recHdr + need
+		if n > dataRec {
+			n = dataRec
+		}
+		buf, err := c.probe(p, c.data, c.geo.dataOff(h, block), n)
+		if err == nil {
+			flag, key, sub, vlen := getHdr(buf)
+			if flag != flagEmpty && key == h && int64(sub) == block {
+				avail := vlen
+				if avail > n-recHdr {
+					avail = n - recHdr
+				}
+				blk := append([]byte(nil), buf[recHdr:recHdr+avail]...)
+				c.owned[bk] = true
+				if avail == vlen {
+					c.lData[bk] = blk
+				}
+				c.noteSequential(p, h, block)
+				return blk, nil
+			}
+		}
+	}
+	// Request exactly what the client asked for (NFS transfers are sized
+	// by the caller); only a full-block fetch is cacheable as the block.
+	count := need
+	if count > fstore.BlockSize {
+		count = fstore.BlockSize
+	}
+	rep, err := c.call(p, &request{Op: OpRead, Handle: h,
+		Offset: block * fstore.BlockSize, Count: int32(count)})
+	if err != nil {
+		return nil, err
+	}
+	blk := append([]byte(nil), rep...)
+	if count == fstore.BlockSize || len(blk) < count {
+		// Full block (or EOF-short): safe to cache.
+		c.lData[bk] = blk
+	}
+	c.owned[bk] = true
+	return blk, nil
+}
+
+// Read returns up to count bytes at offset.
+func (c *Clerk) Read(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
+	if offset < 0 || count < 0 {
+		return nil, fstore.ErrBadOffset
+	}
+	var out []byte
+	for count > 0 {
+		block := offset / fstore.BlockSize
+		in := int(offset % fstore.BlockSize)
+		want := count
+		if in+want > fstore.BlockSize {
+			want = fstore.BlockSize - in
+		}
+		blk, err := c.readBlock(p, h, block, in+want)
+		if err != nil {
+			return out, err
+		}
+		if in >= len(blk) {
+			break // EOF
+		}
+		hi := in + want
+		if hi > len(blk) {
+			hi = len(blk)
+		}
+		out = append(out, blk[in:hi]...)
+		if hi < in+want {
+			break // short block = EOF
+		}
+		offset += int64(want)
+		count -= want
+	}
+	return out, nil
+}
+
+// Write stores data at offset. In DX mode the clerk pushes the block
+// straight into the server's data cache with a remote write (no server
+// process involvement); the server applies dirty blocks on Sync. In HY
+// mode it is a request/response like everything else.
+func (c *Clerk) Write(p *des.Proc, h fstore.Handle, offset int64, data []byte) error {
+	if c.Mode == HY {
+		// NFS-style 8K maximum transfer per request. The clerk's own
+		// cached copies of the touched blocks (and the file's attributes)
+		// go stale and are dropped.
+		for len(data) > 0 {
+			n := len(data)
+			if n > fstore.BlockSize {
+				n = fstore.BlockSize
+			}
+			rep, err := c.call(p, &request{Op: OpWrite, Handle: h, Offset: offset, Data: data[:n]})
+			if err != nil {
+				return err
+			}
+			for b := offset / fstore.BlockSize; b*fstore.BlockSize < offset+int64(n); b++ {
+				delete(c.lData, blockKey{h, b})
+			}
+			if len(rep) >= attrLen {
+				c.lAttr[h] = unpackAttr(rep)
+			} else {
+				delete(c.lAttr, h)
+			}
+			offset += int64(n)
+			data = data[n:]
+		}
+		return nil
+	}
+	for len(data) > 0 {
+		block := offset / fstore.BlockSize
+		in := int(offset % fstore.BlockSize)
+		n := len(data)
+		if in+n > fstore.BlockSize {
+			n = fstore.BlockSize - in
+		}
+		if err := c.writeBlock(p, h, block, in, data[:n]); err != nil {
+			return err
+		}
+		offset += int64(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+func (c *Clerk) writeBlock(p *des.Proc, h fstore.Handle, block int64, in int, data []byte) error {
+	bk := blockKey{h, block}
+	// The clerk must know the server bucket currently holds this block
+	// before writing into it (ownership; in a shared deployment this is
+	// where the CAS write token is taken — see AcquireToken). A fetch
+	// establishes both ownership and the local copy for merging.
+	old, ok := c.lData[bk]
+	if !ok || !c.owned[bk] {
+		var err error
+		old, err = c.readBlock(p, h, block, fstore.BlockSize)
+		if err != nil {
+			return err
+		}
+	}
+	merged := old
+	if in+len(data) > len(merged) {
+		merged = append(append([]byte(nil), old...), make([]byte, in+len(data)-len(old))...)
+	} else if in > 0 || len(data) < len(merged) {
+		merged = append([]byte(nil), old...)
+	}
+	copy(merged[in:], data)
+
+	// One remote write carries header (dirty) + the minimal contiguous
+	// span from the record start through the last modified byte; the
+	// record's tail keeps its previous (identical) contents.
+	span := in + len(data)
+	buf := make([]byte, recHdr+span)
+	putHdr(buf, flagDirty, h, uint32(block), len(merged))
+	copy(buf[recHdr:], merged[:span])
+	c.RemoteWrites++
+	if err := c.data.WriteBlock(p, c.geo.dataOff(h, block), buf, false); err != nil {
+		return err
+	}
+	c.lData[bk] = merged
+	if a, ok := c.lAttr[h]; ok {
+		if end := block*fstore.BlockSize + int64(len(merged)); end > a.Size {
+			a.Size = end
+			c.lAttr[h] = a
+		}
+	}
+	return nil
+}
+
+// ReadDir returns up to count bytes of the serialized directory stream
+// starting at offset (parse with ParseDir).
+func (c *Clerk) ReadDir(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
+	if c.Mode == DX {
+		var out []byte
+		remaining := count
+		off := offset
+		for remaining > 0 {
+			chunk := off / fstore.BlockSize
+			in := int(off % fstore.BlockSize)
+			want := remaining
+			if in+want > fstore.BlockSize {
+				want = fstore.BlockSize - in
+			}
+			bk := blockKey{h, chunk}
+			blk, ok := c.lDir[bk]
+			if !ok {
+				n := recHdr + in + want
+				buf, err := c.probe(p, c.dir, c.geo.dirOff(h, chunk), n)
+				if err != nil {
+					return nil, err
+				}
+				flag, key, sub, vlen := getHdr(buf)
+				if flag == flagEmpty || key != h || int64(sub) != chunk {
+					goto miss
+				}
+				avail := vlen
+				if avail > n-recHdr {
+					avail = n - recHdr
+				}
+				blk = append([]byte(nil), buf[recHdr:recHdr+avail]...)
+				if avail == vlen {
+					c.lDir[bk] = blk
+				}
+			} else {
+				c.LocalHits++
+			}
+			if in >= len(blk) {
+				break
+			}
+			hi := in + want
+			if hi > len(blk) {
+				hi = len(blk)
+			}
+			out = append(out, blk[in:hi]...)
+			if hi < in+want {
+				break
+			}
+			off += int64(want)
+			remaining -= want
+		}
+		return out, nil
+	}
+miss:
+	rep, err := c.call(p, &request{Op: OpReadDir, Handle: h, Offset: offset, Count: int32(count)})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Create, Mkdir, Symlink, Remove, Rename, StatFS are metadata mutations
+// (or whole-store queries); both modes route them through the server
+// procedure, invalidating affected local cache entries.
+
+func (c *Clerk) Create(p *des.Proc, dir fstore.Handle, name string, mode uint16) (fstore.Handle, fstore.Attr, error) {
+	return c.mknod(p, &request{Op: OpCreate, Dir: dir, Name: name, Mode: mode})
+}
+
+func (c *Clerk) Mkdir(p *des.Proc, dir fstore.Handle, name string, mode uint16) (fstore.Handle, fstore.Attr, error) {
+	return c.mknod(p, &request{Op: OpMkdir, Dir: dir, Name: name, Mode: mode})
+}
+
+func (c *Clerk) Symlink(p *des.Proc, dir fstore.Handle, name, target string) (fstore.Handle, fstore.Attr, error) {
+	return c.mknod(p, &request{Op: OpSymlink, Dir: dir, Name: name, Target: target})
+}
+
+func (c *Clerk) mknod(p *des.Proc, req *request) (fstore.Handle, fstore.Attr, error) {
+	rep, err := c.call(p, req)
+	if err != nil {
+		return fstore.Handle{}, fstore.Attr{}, err
+	}
+	if len(rep) < 8+attrLen {
+		return fstore.Handle{}, fstore.Attr{}, ErrBadReply
+	}
+	child := fstore.HandleFromU64(binary.BigEndian.Uint64(rep))
+	a := unpackAttr(rep[8:])
+	c.invalidateDir(req.Dir)
+	c.lName[dirNameKey(req.Dir, req.Name)] = lookupHit{child, a}
+	c.lAttr[child] = a
+	return child, a, nil
+}
+
+func (c *Clerk) Remove(p *des.Proc, dir fstore.Handle, name string) error {
+	k := dirNameKey(dir, name)
+	if hit, ok := c.lName[k]; ok {
+		delete(c.lAttr, hit.h)
+		delete(c.lLink, hit.h)
+	}
+	delete(c.lName, k)
+	c.invalidateDir(dir)
+	_, err := c.call(p, &request{Op: OpRemove, Dir: dir, Name: name})
+	return err
+}
+
+func (c *Clerk) Rename(p *des.Proc, fromDir fstore.Handle, fromName string, toDir fstore.Handle, toName string) error {
+	delete(c.lName, dirNameKey(fromDir, fromName))
+	c.invalidateDir(fromDir)
+	c.invalidateDir(toDir)
+	_, err := c.call(p, &request{Op: OpRename, Dir: fromDir, Name: fromName, Handle: toDir, Target: toName})
+	return err
+}
+
+func (c *Clerk) invalidateDir(dir fstore.Handle) {
+	for bk := range c.lDir {
+		if bk.h == dir {
+			delete(c.lDir, bk)
+		}
+	}
+	delete(c.lAttr, dir)
+}
+
+// StatFS returns store-wide statistics.
+func (c *Clerk) StatFS(p *des.Proc) (fstore.FSStat, error) {
+	rep, err := c.call(p, &request{Op: OpStatFS})
+	if err != nil {
+		return fstore.FSStat{}, err
+	}
+	if len(rep) < 20 {
+		return fstore.FSStat{}, ErrBadReply
+	}
+	return fstore.FSStat{
+		Files:       int(binary.BigEndian.Uint32(rep)),
+		BytesUsed:   int64(binary.BigEndian.Uint64(rep[4:])),
+		BytesStored: int64(binary.BigEndian.Uint64(rep[12:])),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Write tokens (§5.1): in deployments where several clerks write-share
+// files, a clerk takes a per-bucket token with the CAS primitive before
+// pushing data — "token acquire and release can be implemented using
+// compare-and-swap operations". The experiments' single-writer workloads
+// do not need them, but the primitive is available and tested.
+
+// AcquireToken spins until this clerk owns the write token for the data
+// bucket of (h, block). Returns an error only on communication failure.
+func (c *Clerk) AcquireToken(p *des.Proc, h fstore.Handle, block int64) error {
+	off := c.geo.dataBucket(h, block) * tokenStride
+	me := uint32(c.m.Node.ID + 1)
+	for {
+		ok, err := c.token.CAS(p, off, 0, me, c.scratch, 0, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		p.Sleep(50 * time.Microsecond)
+	}
+}
+
+// ReleaseToken gives the token back.
+func (c *Clerk) ReleaseToken(p *des.Proc, h fstore.Handle, block int64) error {
+	off := c.geo.dataBucket(h, block) * tokenStride
+	me := uint32(c.m.Node.ID + 1)
+	ok, err := c.token.CAS(p, off, me, 0, c.scratch, 0, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("dfs: released a token we did not hold")
+	}
+	return nil
+}
+
+// Node returns the clerk's node, for accounting.
+func (c *Clerk) Node() *cluster.Node { return c.m.Node }

@@ -1,0 +1,514 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// rig is a one-server, n-clerk test cluster.
+type rig struct {
+	env    *des.Env
+	cl     *cluster.Cluster
+	server *Server
+	clerks []*Clerk
+}
+
+func newRig(t *testing.T, nClerks int, mode Mode) *rig {
+	t.Helper()
+	env := des.NewEnv()
+	cl := cluster.New(env, &model.Default, nClerks+1)
+	r := &rig{env: env, cl: cl}
+	ms := rmem.NewManager(cl.Nodes[0])
+	env.Spawn("setup", func(p *des.Proc) {
+		r.server = NewServer(p, ms, nClerks+1, Geometry{})
+		for i := 1; i <= nClerks; i++ {
+			mc := rmem.NewManager(cl.Nodes[i])
+			r.clerks = append(r.clerks, NewClerk(p, mc, r.server, mode))
+		}
+	})
+	if err := env.RunUntil(des.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *rig) run(t *testing.T, fn func(p *des.Proc)) {
+	t.Helper()
+	r.env.Spawn("test", fn)
+	if err := r.env.RunUntil(des.Time(5 * 60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.cl.Nodes {
+		if len(n.Faults) > 0 {
+			t.Fatalf("node %d faults: %v", n.ID, n.Faults)
+		}
+	}
+}
+
+func bothModes(t *testing.T, fn func(t *testing.T, mode Mode)) {
+	for _, mode := range []Mode{DX, HY} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) { fn(t, mode) })
+	}
+}
+
+func TestReadThroughClerk(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		r := newRig(t, 1, mode)
+		content := make([]byte, 10000)
+		for i := range content {
+			content[i] = byte(i * 7)
+		}
+		h, err := r.server.Store.WriteFile("/data/big", content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.server.WarmFile(h); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t, func(p *des.Proc) {
+			got, err := r.clerks[0].Read(p, h, 0, len(content))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, content) {
+				t.Fatal("content corrupted through clerk")
+			}
+			// Cross-block partial read.
+			got, err = r.clerks[0].Read(p, h, 8000, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, content[8000:8500]) {
+				t.Fatal("offset read corrupted")
+			}
+			// Read past EOF.
+			got, err = r.clerks[0].Read(p, h, int64(len(content)), 100)
+			if err != nil || len(got) != 0 {
+				t.Fatalf("EOF read: %d bytes, %v", len(got), err)
+			}
+		})
+	})
+}
+
+func TestGetAttrLookupReadLink(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		r := newRig(t, 1, mode)
+		st := r.server.Store
+		h, err := st.WriteFile("/exports/fonts.db", make([]byte, 1234))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir, _, err := st.ResolvePath("/exports")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lh, _, err := st.Symlink(dir, "latest", "/exports/fonts.db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.server.WarmDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.server.WarmFile(lh); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t, func(p *des.Proc) {
+			c := r.clerks[0]
+			a, err := c.GetAttr(p, h)
+			if err != nil || a.Size != 1234 || a.Type != fstore.TypeFile {
+				t.Fatalf("getattr = %+v, %v", a, err)
+			}
+			ch, ca, err := c.Lookup(p, dir, "fonts.db")
+			if err != nil || ch != h || ca.Size != 1234 {
+				t.Fatalf("lookup = %v %+v %v", ch, ca, err)
+			}
+			target, err := c.ReadLink(p, lh)
+			if err != nil || target != "/exports/fonts.db" {
+				t.Fatalf("readlink = %q %v", target, err)
+			}
+		})
+	})
+}
+
+func TestReadDirThroughClerk(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		r := newRig(t, 1, mode)
+		st := r.server.Store
+		for i := 0; i < 40; i++ {
+			if _, err := st.WriteFile(fmt.Sprintf("/pub/file-%02d", i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dir, _, err := st.ResolvePath("/pub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.server.WarmDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t, func(p *des.Proc) {
+			stream, err := r.clerks[0].ReadDir(p, dir, 0, fstore.BlockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ents := ParseDir(stream)
+			if len(ents) != 40 {
+				t.Fatalf("parsed %d entries, want 40", len(ents))
+			}
+			if ents[0].Name != "file-00" || ents[39].Name != "file-39" {
+				t.Fatalf("order wrong: %s .. %s", ents[0].Name, ents[39].Name)
+			}
+		})
+	})
+}
+
+func TestWriteThroughClerk(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		r := newRig(t, 1, mode)
+		h, err := r.server.Store.WriteFile("/scratch/out", make([]byte, 16384))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.server.WarmFile(h); err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 12000)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		r.run(t, func(p *des.Proc) {
+			c := r.clerks[0]
+			if err := c.Write(p, h, 100, payload); err != nil {
+				t.Fatal(err)
+			}
+			if mode == DX {
+				// DX writes are write-behind: let the cells land (12 KB
+				// ≈ 3 ms at 35 Mb/s), then apply them.
+				p.Sleep(10 * time.Millisecond)
+				n, err := r.server.Sync(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					t.Fatal("no dirty blocks to sync")
+				}
+			}
+			got, err := r.server.Store.Read(h, 100, len(payload))
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("store contents wrong after clerk write (err %v)", err)
+			}
+			// And the clerk can read its own write back.
+			rgot, err := c.Read(p, h, 100, len(payload))
+			if err != nil || !bytes.Equal(rgot, payload) {
+				t.Fatal("read-own-write failed")
+			}
+		})
+	})
+}
+
+func TestColdServerCacheTakesMissPath(t *testing.T) {
+	r := newRig(t, 1, DX)
+	h, err := r.server.Store.WriteFile("/cold/file", []byte("never warmed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *des.Proc) {
+		c := r.clerks[0]
+		got, err := c.Read(p, h, 0, 100)
+		if err != nil || string(got) != "never warmed" {
+			t.Fatalf("cold read = %q %v", got, err)
+		}
+		if c.Misses == 0 {
+			t.Fatal("cold read did not transfer control")
+		}
+		misses := c.Misses
+		c.FlushLocal()
+		// The miss installed the block in the server cache: now pure DX.
+		got, err = c.Read(p, h, 0, 100)
+		if err != nil || string(got) != "never warmed" {
+			t.Fatal("second read failed")
+		}
+		if c.Misses != misses {
+			t.Fatal("second read should hit the server cache without control transfer")
+		}
+	})
+}
+
+func TestMutationsAndInvalidation(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		r := newRig(t, 1, mode)
+		root := r.server.Store.Root()
+		r.run(t, func(p *des.Proc) {
+			c := r.clerks[0]
+			dir, _, err := c.Mkdir(p, root, "projects", 0o755)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fh, _, err := c.Create(p, dir, "paper.tex", 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Write(p, fh, 0, []byte("\\begin{document}")); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := c.Symlink(p, dir, "current", "paper.tex"); err != nil {
+				t.Fatal(err)
+			}
+			// Lookup through the clerk sees the new file.
+			lh, la, err := c.Lookup(p, dir, "paper.tex")
+			if err != nil || lh != fh {
+				t.Fatalf("lookup after create: %v %v", lh, err)
+			}
+			_ = la
+			// Rename and confirm old name is gone, new resolves.
+			if err := c.Rename(p, dir, "paper.tex", dir, "paper-v2.tex"); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := c.Lookup(p, dir, "paper.tex"); err == nil {
+				t.Fatal("old name still resolves after rename")
+			}
+			if _, _, err := c.Lookup(p, dir, "paper-v2.tex"); err != nil {
+				t.Fatal(err)
+			}
+			// Remove.
+			if err := c.Remove(p, dir, "current"); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := c.Lookup(p, dir, "current"); err == nil {
+				t.Fatal("removed name still resolves")
+			}
+			// SetAttr truncation.
+			a, err := c.SetAttr(p, fh, 0o600, 5)
+			if err != nil || a.Size != 5 {
+				t.Fatalf("setattr: %+v %v", a, err)
+			}
+			// StatFS sees a sane world.
+			st, err := c.StatFS(p)
+			if err != nil || st.Files < 3 {
+				t.Fatalf("statfs: %+v %v", st, err)
+			}
+		})
+	})
+}
+
+func TestLocalClerkCacheHits(t *testing.T) {
+	r := newRig(t, 1, DX)
+	h, err := r.server.Store.WriteFile("/hot/file", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.server.WarmFile(h); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *des.Proc) {
+		c := r.clerks[0]
+		if _, err := c.GetAttr(p, h); err != nil {
+			t.Fatal(err)
+		}
+		reads := c.RemoteReads
+		for i := 0; i < 5; i++ {
+			if _, err := c.GetAttr(p, h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.RemoteReads != reads {
+			t.Fatal("repeat GetAttr went remote despite the clerk's cache")
+		}
+		if c.LocalHits < 5 {
+			t.Fatalf("local hits = %d", c.LocalHits)
+		}
+	})
+}
+
+func TestTwoClerksShareServerCache(t *testing.T) {
+	r := newRig(t, 2, DX)
+	h, err := r.server.Store.WriteFile("/shared/file", []byte("cluster-wide bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.server.WarmFile(h); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *des.Proc) {
+		for _, c := range r.clerks {
+			got, err := c.Read(p, h, 0, 100)
+			if err != nil || string(got) != "cluster-wide bytes" {
+				t.Fatalf("clerk on node %d: %q %v", c.Node().ID, got, err)
+			}
+			if c.Misses != 0 {
+				t.Fatalf("clerk on node %d transferred control on a warm cache", c.Node().ID)
+			}
+		}
+	})
+}
+
+func TestWriteTokensExcludeWriters(t *testing.T) {
+	r := newRig(t, 2, DX)
+	h, err := r.server.Store.WriteFile("/locked/file", make([]byte, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.server.WarmFile(h); err != nil {
+		t.Fatal(err)
+	}
+	var holders, maxHolders int
+	for i, c := range r.clerks {
+		c := c
+		delay := time.Duration(i) * 20 * time.Microsecond
+		r.env.Spawn("writer", func(p *des.Proc) {
+			p.Sleep(delay)
+			for k := 0; k < 3; k++ {
+				if err := c.AcquireToken(p, h, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				holders++
+				if holders > maxHolders {
+					maxHolders = holders
+				}
+				if err := c.Write(p, h, 0, []byte{byte(c.Node().ID)}); err != nil {
+					t.Error(err)
+				}
+				p.Sleep(200 * time.Microsecond)
+				holders--
+				if err := c.ReleaseToken(p, h, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+	}
+	if err := r.env.RunUntil(des.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if maxHolders != 1 {
+		t.Fatalf("token held by %d writers at once", maxHolders)
+	}
+}
+
+func TestRequestCodecProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		req := &request{
+			Op:     Op(rng.Intn(int(OpNull)) + 1),
+			Handle: fstore.Handle{Ino: rng.Uint32(), Gen: rng.Uint32()},
+			Dir:    fstore.Handle{Ino: rng.Uint32(), Gen: rng.Uint32()},
+			Offset: rng.Int63(),
+			Count:  rng.Int31(),
+			Mode:   uint16(rng.Intn(1 << 16)),
+			Size:   rng.Int63(),
+			Name:   fmt.Sprintf("n%d", rng.Intn(1000000)),
+			Target: fmt.Sprintf("t%d", rng.Intn(1000000)),
+			Data:   make([]byte, rng.Intn(100)),
+		}
+		rng.Read(req.Data)
+		got, err := decodeRequest(req.encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != req.Op || got.Handle != req.Handle || got.Dir != req.Dir ||
+			got.Offset != req.Offset || got.Count != req.Count || got.Mode != req.Mode ||
+			got.Size != req.Size || got.Name != req.Name || got.Target != req.Target ||
+			!bytes.Equal(got.Data, req.Data) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", req, got)
+		}
+	}
+}
+
+func TestAttrCodecProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := fstore.Attr{
+			Type:  fstore.FileType(rng.Intn(3) + 1),
+			Mode:  uint16(rng.Intn(1 << 16)),
+			Nlink: rng.Uint32(),
+			UID:   rng.Uint32(),
+			GID:   rng.Uint32(),
+			Size:  rng.Int63(),
+			Used:  rng.Int63(),
+			Atime: int64(int32(rng.Uint32())),
+			Mtime: int64(int32(rng.Uint32())),
+			Ctime: int64(int32(rng.Uint32())),
+		}
+		var buf [attrLen]byte
+		packAttr(buf[:], a)
+		if got := unpackAttr(buf[:]); got != a {
+			t.Fatalf("attr round trip:\n%+v\n%+v", a, got)
+		}
+	}
+}
+
+func TestServiceTimeShape(t *testing.T) {
+	if ServiceTime(OpRead, 8192) <= ServiceTime(OpRead, 1024) {
+		t.Fatal("read service time must grow with size")
+	}
+	if ServiceTime(OpWrite, 4096) <= ServiceTime(OpRead, 4096) {
+		t.Fatal("writes should cost more than reads")
+	}
+	if ServiceTime(OpGetAttr, 0) >= ServiceTime(OpLookup, 0) {
+		t.Fatal("lookup should cost more than getattr")
+	}
+	if ServiceTime(OpNull, 0) <= 0 {
+		t.Fatal("null must still cost something")
+	}
+}
+
+func TestLayoutOffsetsInBounds(t *testing.T) {
+	// Property: for arbitrary handles/blocks, every cache-area offset is
+	// stride-aligned and the full record fits inside its segment.
+	g := DefaultGeometry
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		h := fstore.Handle{Ino: rng.Uint32(), Gen: rng.Uint32()}
+		block := rng.Int63()
+		name := fmt.Sprintf("n%d", rng.Intn(1<<20))
+
+		if off := g.attrOff(h); off%attrStride != 0 || off+attrRec > g.AttrBuckets*attrStride {
+			t.Fatalf("attrOff(%v) = %d out of bounds", h, off)
+		}
+		if off := g.nameOff(h, name); off%nameStride != 0 || off+nameRec > g.NameBuckets*nameStride {
+			t.Fatalf("nameOff = %d out of bounds", off)
+		}
+		if off := g.linkOff(h); off%linkStride != 0 || off+linkRec > g.LinkBuckets*linkStride {
+			t.Fatalf("linkOff = %d out of bounds", off)
+		}
+		if off := g.dataOff(h, block); off%dataStride != 0 || off+dataRec > g.DataBuckets*dataStride {
+			t.Fatalf("dataOff = %d out of bounds", off)
+		}
+		if off := g.dirOff(h, block); off%dirStride != 0 || off+dirRec > g.DirBuckets*dirStride {
+			t.Fatalf("dirOff = %d out of bounds", off)
+		}
+	}
+}
+
+func TestDirSerializationRoundTrip(t *testing.T) {
+	ents := []fstore.DirEntry{
+		{Name: "a", Handle: fstore.Handle{Ino: 1, Gen: 1}},
+		{Name: "somewhat-longer-name", Handle: fstore.Handle{Ino: 77, Gen: 3}},
+		{Name: "z", Handle: fstore.Handle{Ino: 1 << 30, Gen: 1 << 20}},
+	}
+	got := ParseDir(serializeDir(ents))
+	if len(got) != len(ents) {
+		t.Fatalf("parsed %d entries", len(got))
+	}
+	for i := range ents {
+		if got[i] != ents[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got[i], ents[i])
+		}
+	}
+	// A truncated stream drops only the torn tail entry.
+	stream := serializeDir(ents)
+	if n := len(ParseDir(stream[:len(stream)-3])); n != 2 {
+		t.Fatalf("truncated parse = %d entries, want 2", n)
+	}
+}

@@ -1,0 +1,114 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+)
+
+func TestEagerAttrPushAfterSync(t *testing.T) {
+	// Clerk 2 subscribes to eager updates. Clerk 1 writes a file (DX,
+	// write-behind); after the server syncs, clerk 2 must see the new size
+	// from its own board with zero network traffic.
+	r := newRig(t, 2, DX)
+	h, err := r.server.Store.WriteFile("/shared/grow", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.server.WarmFile(h); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *des.Proc) {
+		writer, watcher := r.clerks[0], r.clerks[1]
+		watcher.EnableEagerAttrs(p, r.server)
+
+		// Both parties know the file; the watcher's local cache is then
+		// flushed so only the push board can satisfy it locally.
+		if _, err := watcher.GetAttr(p, h); err != nil {
+			t.Fatal(err)
+		}
+		if err := writer.Write(p, h, 0, make([]byte, 5000)); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(5 * time.Millisecond) // cells land
+		if _, err := r.server.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(5 * time.Millisecond) // push lands
+		if r.server.EagerPushes == 0 {
+			t.Fatal("server pushed nothing")
+		}
+
+		watcher.FlushLocal()
+		reads, misses := watcher.RemoteReads, watcher.Misses
+		a, err := watcher.GetAttr(p, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Size != 5000 {
+			t.Fatalf("watcher sees size %d, want 5000", a.Size)
+		}
+		if watcher.RemoteReads != reads || watcher.Misses != misses {
+			t.Fatal("watcher went remote despite the eager-update board")
+		}
+		if watcher.PushHits != 1 {
+			t.Fatalf("push hits = %d", watcher.PushHits)
+		}
+	})
+}
+
+func TestEagerPushOnServedWrite(t *testing.T) {
+	// In HY mode every write runs the server procedure, which pushes
+	// immediately — no Sync needed.
+	r := newRig(t, 2, HY)
+	h, err := r.server.Store.WriteFile("/shared/hy", make([]byte, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.server.WarmFile(h); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *des.Proc) {
+		writer, watcher := r.clerks[0], r.clerks[1]
+		watcher.EnableEagerAttrs(p, r.server)
+		if err := writer.Write(p, h, 0, make([]byte, 3000)); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(5 * time.Millisecond)
+		watcher.FlushLocal()
+		misses := watcher.Misses
+		a, err := watcher.GetAttr(p, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Size != 3000 {
+			t.Fatalf("size = %d", a.Size)
+		}
+		if watcher.Misses != misses {
+			t.Fatal("GetAttr transferred control despite the push")
+		}
+	})
+}
+
+func TestUnsubscribedClerkUnaffected(t *testing.T) {
+	r := newRig(t, 1, DX)
+	h, err := r.server.Store.WriteFile("/plain", make([]byte, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.server.WarmFile(h); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(p *des.Proc) {
+		if _, err := r.clerks[0].GetAttr(p, h); err != nil {
+			t.Fatal(err)
+		}
+		if r.clerks[0].PushHits != 0 {
+			t.Fatal("push hits without a subscription")
+		}
+		if r.server.EagerPushes != 0 {
+			t.Fatal("server pushed with no subscribers")
+		}
+	})
+}

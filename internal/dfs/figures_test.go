@@ -1,0 +1,227 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+)
+
+// Figures 2 and 3 (§5.2). The paper does not publish exact numbers — the
+// results are bar charts — so these tests assert the published *shape*:
+//
+//   - Figure 2: "in all cases, the pure data transfer scheme does
+//     significantly better than the RPC-like scheme. As the amount of data
+//     transferred increases, the benefits of separating control and data
+//     decrease a little."
+//   - Figure 3: "on the average, we see that the pure data transfer scheme
+//     imposes less than half the server load imposed by control and data
+//     transfer schemes"; HY shows four components (reception, control
+//     transfer, procedure, reply); DX shows only reception/reply
+//     emulation; "as the amount of data transferred increases, the
+//     overhead of control transfer can be amortized more effectively."
+
+func runFigures(t *testing.T) [][2]OpResult {
+	t.Helper()
+	res, err := RunFigure2And3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFigure2DXBeatsHYEverywhere(t *testing.T) {
+	for _, pair := range runFigures(t) {
+		hy, dx := pair[0], pair[1]
+		if dx.Latency >= hy.Latency {
+			t.Errorf("%s: DX latency %v not better than HY %v", hy.Label, dx.Latency, hy.Latency)
+		}
+	}
+}
+
+func TestFigure2GapNarrowsWithTransferSize(t *testing.T) {
+	res := runFigures(t)
+	ratio := func(label string) float64 {
+		for _, pair := range res {
+			if pair[0].Label == label {
+				return float64(pair[0].Latency) / float64(pair[1].Latency)
+			}
+		}
+		t.Fatalf("no op %q", label)
+		return 0
+	}
+	small := ratio("GetAttribute")
+	big := ratio("Readfile(8K)")
+	if big >= small {
+		t.Errorf("HY/DX ratio should shrink with size: GetAttr %.2f, Read8K %.2f", small, big)
+	}
+	if ratio("Readfile(1K)") <= ratio("Readfile(8K)") {
+		t.Errorf("within reads, smaller transfers should favor DX more")
+	}
+}
+
+func TestFigure2AbsoluteScale(t *testing.T) {
+	// The published x-axis runs 0–2.4 ms with Readfile(8K)/HY the longest
+	// bar and metadata DX ops well under 0.1 ms.
+	res := runFigures(t)
+	for _, pair := range res {
+		hy, dx := pair[0], pair[1]
+		if hy.Latency > 2600*time.Microsecond {
+			t.Errorf("%s: HY latency %v exceeds the figure's scale", hy.Label, hy.Latency)
+		}
+		if dx.Latency <= 0 {
+			t.Errorf("%s: DX latency %v", dx.Label, dx.Latency)
+		}
+	}
+	get := res[0]
+	if get[1].Latency > 100*time.Microsecond {
+		t.Errorf("GetAttribute/DX = %v, want well under 0.1ms", get[1].Latency)
+	}
+	if get[0].Latency < 300*time.Microsecond || get[0].Latency > 600*time.Microsecond {
+		t.Errorf("GetAttribute/HY = %v, want ≈0.4ms", get[0].Latency)
+	}
+	read8k := res[3]
+	if read8k[0].Latency < 2000*time.Microsecond {
+		t.Errorf("Readfile(8K)/HY = %v, want ≳2ms", read8k[0].Latency)
+	}
+	if read8k[1].Latency < 1500*time.Microsecond || read8k[1].Latency > 2100*time.Microsecond {
+		t.Errorf("Readfile(8K)/DX = %v, want ≈1.9ms", read8k[1].Latency)
+	}
+}
+
+func TestFigure3DXHasNoControlOrProcedureComponent(t *testing.T) {
+	for _, pair := range runFigures(t) {
+		dx := pair[1]
+		if dx.ServerControl != 0 {
+			t.Errorf("%s/DX: server control-transfer CPU = %v, want 0", dx.Label, dx.ServerControl)
+		}
+		if dx.ServerProc != 0 {
+			t.Errorf("%s/DX: server procedure CPU = %v, want 0", dx.Label, dx.ServerProc)
+		}
+		if dx.ServerRx+dx.ServerReply == 0 {
+			t.Errorf("%s/DX: no server emulation CPU recorded", dx.Label)
+		}
+	}
+}
+
+func TestFigure3HYHasAllFourComponents(t *testing.T) {
+	for _, pair := range runFigures(t) {
+		hy := pair[0]
+		if hy.ServerRx == 0 || hy.ServerControl == 0 || hy.ServerProc == 0 || hy.ServerReply == 0 {
+			t.Errorf("%s/HY: components rx=%v control=%v proc=%v reply=%v; all must be present",
+				hy.Label, hy.ServerRx, hy.ServerControl, hy.ServerProc, hy.ServerReply)
+		}
+		if hy.ServerControl != 260*time.Microsecond {
+			t.Errorf("%s/HY: control transfer = %v, want exactly the 260µs notification path",
+				hy.Label, hy.ServerControl)
+		}
+	}
+}
+
+func TestFigure3DXLoadUnderHalfOfHYPerMetadataOp(t *testing.T) {
+	res := runFigures(t)
+	for _, pair := range res[:3] { // GetAttr, Lookup, ReadLink
+		hy, dx := pair[0], pair[1]
+		if 2*dx.ServerTotal() >= hy.ServerTotal() {
+			t.Errorf("%s: DX server CPU %v not under half of HY %v",
+				hy.Label, dx.ServerTotal(), hy.ServerTotal())
+		}
+	}
+}
+
+func TestFigure3DXNeverExceedsHYServerLoad(t *testing.T) {
+	// The published Figure 3 has the DX bar at or below the HY bar for
+	// every operation.
+	for _, pair := range runFigures(t) {
+		hy, dx := pair[0], pair[1]
+		if dx.ServerTotal() >= hy.ServerTotal() {
+			t.Errorf("%s: DX server CPU %v not below HY %v", hy.Label, dx.ServerTotal(), hy.ServerTotal())
+		}
+	}
+}
+
+func TestFigure3ControlAmortizesWithSize(t *testing.T) {
+	res := runFigures(t)
+	frac := func(label string) float64 {
+		for _, pair := range res {
+			if pair[0].Label == label {
+				return float64(pair[0].ServerControl) / float64(pair[0].ServerTotal())
+			}
+		}
+		t.Fatalf("no op %q", label)
+		return 0
+	}
+	if frac("Readfile(8K)") >= frac("Readfile(1K)") {
+		t.Error("control-transfer share of HY server load should shrink as transfers grow")
+	}
+}
+
+// TestHeadline50PercentServerLoadReduction reproduces the abstract's
+// claim: "for a small set of file server operations, our analysis shows a
+// 50% decrease in server load when we switched from a communications
+// mechanism requiring both control transfer and data transfer, to an
+// alternative structure based on pure data transfer."
+//
+// Server load is the Figure 3 per-op CPU cost weighted by the Table 1a
+// operation mix restricted to the twelve measured operations (reads and
+// writes spread uniformly across the three sizes, as the figure does).
+func TestHeadline50PercentServerLoadReduction(t *testing.T) {
+	res := runFigures(t)
+	// Table 1a weights for the measured op classes (fractions of calls):
+	// GetAttr .31, Lookup .31, ReadLink .06, Read .16, ReadDir .03,
+	// Write .004 — renormalized over these classes.
+	weights := map[string]float64{
+		"GetAttribute":       0.31,
+		"LookupName":         0.31,
+		"ReadLink":           0.06,
+		"Readfile(8K)":       0.16 / 3,
+		"Readfile(4K)":       0.16 / 3,
+		"Readfile(1K)":       0.16 / 3,
+		"ReadDirectory(4K)":  0.03 / 3,
+		"ReadDirectory(1K)":  0.03 / 3,
+		"ReadDirectory(512)": 0.03 / 3,
+		"WriteFile(8K)":      0.004 / 3,
+		"Writefile(4K)":      0.004 / 3,
+		"Writefile(1K)":      0.004 / 3,
+	}
+	var hyLoad, dxLoad float64
+	for _, pair := range res {
+		w := weights[pair[0].Label]
+		hyLoad += w * float64(pair[0].ServerTotal())
+		dxLoad += w * float64(pair[1].ServerTotal())
+	}
+	reduction := 1 - dxLoad/hyLoad
+	// The paper's own sentence is about the per-operation average: "On the
+	// average, we see that the pure data transfer scheme imposes less than
+	// half the server load imposed by control and data transfer schemes."
+	var hyAvg, dxAvg float64
+	for _, pair := range res {
+		hyAvg += float64(pair[0].ServerTotal())
+		dxAvg += float64(pair[1].ServerTotal())
+	}
+	avgReduction := 1 - dxAvg/hyAvg
+	t.Logf("server load: mix-weighted HY %.0fµs → DX %.0fµs (−%.0f%%); per-op average −%.0f%%",
+		hyLoad/1000, dxLoad/1000, reduction*100, avgReduction*100)
+	if reduction < 0.50 {
+		t.Errorf("mix-weighted server-load reduction = %.0f%%, paper reports ≈50%%", reduction*100)
+	}
+	if reduction > 0.95 {
+		t.Errorf("server-load reduction = %.0f%% is implausibly large", reduction*100)
+	}
+	if avgReduction < 0.35 || avgReduction > 0.75 {
+		t.Errorf("per-op average reduction = %.0f%%, paper: DX ≈ half of HY", avgReduction*100)
+	}
+}
+
+func TestExperimentsAreDeterministic(t *testing.T) {
+	// Two independent runs of the full Figure 2/3 experiment must produce
+	// identical numbers to the nanosecond — the simulation is
+	// deterministic end to end.
+	a := runFigures(t)
+	b := runFigures(t)
+	for i := range a {
+		for j := 0; j < 2; j++ {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("run differs at op %d mode %d:\n%+v\n%+v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dfs
+
+import (
+	"encoding/binary"
+
+	"netmem/internal/fstore"
+)
+
+// Shared cache-area arithmetic. The clerk computes exactly the same bucket
+// offsets as the server because "the server and server-clerk understand
+// the organization of each other's data structures" (§3.3).
+
+func (g *Geometry) attrOff(h fstore.Handle) int {
+	return int(fnv1a(h.U64())%uint64(g.AttrBuckets)) * attrStride
+}
+
+func (g *Geometry) nameOff(dir fstore.Handle, name string) int {
+	return int(fnv1aString(fnv1a(dir.U64()), name)%uint64(g.NameBuckets)) * nameStride
+}
+
+func (g *Geometry) linkOff(h fstore.Handle) int {
+	return int(fnv1a(h.U64())%uint64(g.LinkBuckets)) * linkStride
+}
+
+func (g *Geometry) dataBucket(h fstore.Handle, block int64) int {
+	return int(fnv1a(h.U64(), uint64(block)) % uint64(g.DataBuckets))
+}
+
+func (g *Geometry) dataOff(h fstore.Handle, block int64) int {
+	return g.dataBucket(h, block) * dataStride
+}
+
+func (g *Geometry) dirOff(h fstore.Handle, chunk int64) int {
+	return int(fnv1a(h.U64(), uint64(chunk))%uint64(g.DirBuckets)) * dirStride
+}
+
+// record header accessors.
+
+func putHdr(b []byte, flag uint32, key fstore.Handle, sub uint32, n int) {
+	binary.BigEndian.PutUint32(b[0:], flag)
+	binary.BigEndian.PutUint64(b[4:], key.U64())
+	binary.BigEndian.PutUint32(b[12:], sub)
+	binary.BigEndian.PutUint32(b[16:], uint32(n))
+}
+
+func getHdr(b []byte) (flag uint32, key fstore.Handle, sub uint32, n int) {
+	flag = binary.BigEndian.Uint32(b[0:])
+	key = fstore.HandleFromU64(binary.BigEndian.Uint64(b[4:]))
+	sub = binary.BigEndian.Uint32(b[12:])
+	n = int(binary.BigEndian.Uint32(b[16:]))
+	return
+}
+
+// nameKeyHash compresses a lookup name into the header's sub-key field so
+// a record check does not need the full string when names collide.
+func nameKeyHash(name string) uint32 { return uint32(fnv1aString(14695981039346656037, name)) }
+
+// serializeDir flattens directory entries into the byte stream stored in
+// the directory cache: entry = handle(8) nameLen(1) name.
+func serializeDir(ents []fstore.DirEntry) []byte {
+	var out []byte
+	for _, e := range ents {
+		out = binary.BigEndian.AppendUint64(out, e.Handle.U64())
+		out = append(out, byte(len(e.Name)))
+		out = append(out, e.Name...)
+	}
+	return out
+}
+
+// ParseDir reverses serializeDir; exported for examples and tests that
+// inspect ReadDir payloads. Truncated trailing entries (from a bounded
+// read) are dropped.
+func ParseDir(b []byte) []fstore.DirEntry {
+	var out []fstore.DirEntry
+	for len(b) >= 9 {
+		h := fstore.HandleFromU64(binary.BigEndian.Uint64(b))
+		n := int(b[8])
+		if len(b) < 9+n {
+			break
+		}
+		out = append(out, fstore.DirEntry{Name: string(b[9 : 9+n]), Handle: h})
+		b = b[9+n:]
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+)
+
+// TestOracleRandomOps drives the distributed file service with a random
+// operation stream and cross-checks every result against a plain local
+// fstore applied the same way — the clerk/server/cache/coherence machinery
+// must be semantically invisible. Runs in both structures; DX syncs dirty
+// blocks before each read-like comparison.
+func TestOracleRandomOps(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		for _, seed := range []int64{7, 1994} {
+			seed := seed
+			t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+				runOracle(t, mode, seed, 120)
+			})
+		}
+	})
+}
+
+func runOracle(t *testing.T, mode Mode, seed int64, nops int) {
+	r := newRig(t, 1, mode)
+	oracle := fstore.New(nil)
+
+	// Mirrored file populations: real[i] on the service, shadow[i] local.
+	type filePair struct {
+		real, shadow fstore.Handle
+	}
+	var files []filePair
+	realRoot := r.server.Store.Root()
+	shadowRoot := oracle.Root()
+
+	seedFiles := 4
+	for i := 0; i < seedFiles; i++ {
+		name := fmt.Sprintf("seed%d", i)
+		data := make([]byte, 3000*(i+1))
+		rh, err := r.server.Store.WriteFile("/"+name, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := oracle.WriteFile("/"+name, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.server.WarmFile(rh); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, filePair{rh, sh})
+	}
+	if err := r.server.WarmDir(realRoot); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	r.run(t, func(p *des.Proc) {
+		c := r.clerks[0]
+		created := 0
+		for op := 0; op < nops; op++ {
+			f := files[rng.Intn(len(files))]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // read
+				off := int64(rng.Intn(9000))
+				n := rng.Intn(9000)
+				if mode == DX {
+					p.Sleep(5 * time.Millisecond)
+					if _, err := r.server.Sync(p); err != nil {
+						t.Fatal(err)
+					}
+					c.FlushLocal() // force the clerk through the server cache
+				}
+				got, err := c.Read(p, f.real, off, n)
+				if err != nil {
+					t.Fatalf("op %d read: %v", op, err)
+				}
+				want, err := oracle.Read(f.shadow, off, n)
+				if err != nil {
+					t.Fatalf("op %d oracle read: %v", op, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("op %d: read diverged at off=%d n=%d (got %d bytes, want %d)",
+						op, off, n, len(got), len(want))
+				}
+			case 4, 5, 6: // write
+				off := int64(rng.Intn(8000))
+				data := make([]byte, rng.Intn(4000)+1)
+				rng.Read(data)
+				if err := c.Write(p, f.real, off, data); err != nil {
+					t.Fatalf("op %d write: %v", op, err)
+				}
+				if _, err := oracle.Write(f.shadow, off, data); err != nil {
+					t.Fatalf("op %d oracle write: %v", op, err)
+				}
+			case 7: // getattr (after settling writes in DX)
+				if mode == DX {
+					p.Sleep(5 * time.Millisecond)
+					if _, err := r.server.Sync(p); err != nil {
+						t.Fatal(err)
+					}
+					c.FlushLocal()
+				}
+				got, err := c.GetAttr(p, f.real)
+				if err != nil {
+					t.Fatalf("op %d getattr: %v", op, err)
+				}
+				want, err := oracle.GetAttr(f.shadow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Size != want.Size || got.Type != want.Type {
+					t.Fatalf("op %d: attr diverged: size %d vs %d", op, got.Size, want.Size)
+				}
+			case 8: // create a new mirrored file
+				name := fmt.Sprintf("new%d", created)
+				created++
+				rh, _, err := c.Create(p, realRoot, name, 0o644)
+				if err != nil {
+					t.Fatalf("op %d create: %v", op, err)
+				}
+				sh, _, err := oracle.Create(shadowRoot, name, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files = append(files, filePair{rh, sh})
+			case 9: // truncate/extend
+				size := int64(rng.Intn(12000))
+				if _, err := c.SetAttr(p, f.real, 0o644, size); err != nil {
+					t.Fatalf("op %d setattr: %v", op, err)
+				}
+				if _, err := oracle.SetAttr(f.shadow, 0o644, 0, 0, size); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		// Final settle + full-content comparison.
+		p.Sleep(20 * time.Millisecond)
+		if mode == DX {
+			if _, err := r.server.Sync(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, f := range files {
+			want, err := oracle.Read(f.shadow, 0, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.server.Store.Read(f.real, 0, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("file %d: final contents diverged (%d vs %d bytes)", i, len(got), len(want))
+			}
+		}
+	})
+}

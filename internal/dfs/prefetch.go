@@ -1,0 +1,82 @@
+package dfs
+
+import (
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+	"netmem/internal/rmem"
+)
+
+// Read-ahead (§3.2): the clerk can "eagerly … pull data from the server".
+// When a client reads file blocks sequentially, the clerk issues the next
+// block's remote read *asynchronously* (the non-blocking READ the model is
+// built around) so the transfer overlaps the client's processing of the
+// current block. No server process is involved — the prefetch is a plain
+// remote read of the data cache area.
+
+type prefetchState struct {
+	bk  blockKey
+	op  *rmem.ReadOp
+	buf *rmem.Segment
+}
+
+// EnableReadAhead turns sequential read-ahead on (DX mode only; HY requests
+// are already whole server procedures).
+func (c *Clerk) EnableReadAhead(p *des.Proc) {
+	c.readAhead = true
+	if c.pfBuf == nil {
+		c.pfBuf = c.m.Export(p, dataRec)
+	}
+}
+
+// startPrefetch kicks off an asynchronous fetch of (h, block) if none is
+// outstanding.
+func (c *Clerk) startPrefetch(p *des.Proc, h fstore.Handle, block int64) {
+	if c.pf != nil {
+		return // one in flight at a time
+	}
+	op, err := c.data.ReadAsync(p, c.geo.dataOff(h, block), dataRec, c.pfBuf, 0, false)
+	if err != nil {
+		return // prefetch is best-effort
+	}
+	c.RemoteReads++
+	c.pf = &prefetchState{bk: blockKey{h, block}, op: op, buf: c.pfBuf}
+}
+
+// takePrefetch consumes an outstanding prefetch for bk, returning the
+// block if it matches and validates.
+func (c *Clerk) takePrefetch(p *des.Proc, bk blockKey) ([]byte, bool) {
+	pf := c.pf
+	if pf == nil || pf.bk != bk {
+		return nil, false
+	}
+	c.pf = nil
+	if err := pf.op.Wait(p, 10*time.Second); err != nil {
+		return nil, false
+	}
+	buf := pf.buf.Bytes()
+	flag, key, sub, vlen := getHdr(buf)
+	if flag == flagEmpty || key != bk.h || int64(sub) != bk.block || vlen > fstore.BlockSize {
+		return nil, false // bucket held something else; discard
+	}
+	blk := append([]byte(nil), buf[recHdr:recHdr+vlen]...)
+	c.PrefetchHits++
+	return blk, true
+}
+
+// noteSequential records the access pattern and, on a sequential run,
+// launches the next block's prefetch.
+func (c *Clerk) noteSequential(p *des.Proc, h fstore.Handle, block int64) {
+	prev, ok := c.lastRead[h]
+	c.lastRead[h] = block
+	if !c.readAhead || c.Mode != DX {
+		return
+	}
+	if ok && prev+1 == block || block == 0 {
+		next := block + 1
+		if _, cached := c.lData[blockKey{h, next}]; !cached {
+			c.startPrefetch(p, h, next)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package dfs implements the paper's §5 case study: an NFS-like
+// distributed file service structured two ways over the same substrate —
+//
+//   - HY (Hybrid-1): every clerk↔server interaction is an RPC-like
+//     exchange built from a remote write with notification plus return
+//     writes; the server executes a procedure per request.
+//   - DX (pure data transfer): the server's caches are exported remote
+//     memory segments organized as hash tables; the clerk on each client
+//     machine satisfies requests by reading (and writing) the server's
+//     cache memory directly, with no server process involvement at all.
+//     Only a server-cache miss transfers control.
+//
+// The server cache is split into the §5.1 areas: file data, name lookup
+// data, file attributes, and directory entries (plus symbolic links),
+// each an exported segment whose layout both sides understand (§3.3: the
+// distributed parts are parts of the same application).
+package dfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+)
+
+// Op codes for the miss channel and the HY request channel.
+type Op uint8
+
+const (
+	OpGetAttr Op = iota + 1
+	OpSetAttr
+	OpLookup
+	OpReadLink
+	OpRead
+	OpWrite
+	OpReadDir
+	OpCreate
+	OpRemove
+	OpMkdir
+	OpSymlink
+	OpRename
+	OpStatFS
+	OpNull // the NFS "null ping"
+)
+
+var opNames = map[Op]string{
+	OpGetAttr: "getattr", OpSetAttr: "setattr", OpLookup: "lookup",
+	OpReadLink: "readlink", OpRead: "read", OpWrite: "write",
+	OpReadDir: "readdir", OpCreate: "create", OpRemove: "remove",
+	OpMkdir: "mkdir", OpSymlink: "symlink", OpRename: "rename",
+	OpStatFS: "statfs", OpNull: "null",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Errors.
+var (
+	ErrRemote   = errors.New("dfs: remote error")
+	ErrBadReply = errors.New("dfs: malformed reply")
+)
+
+// request is the encoded form of a file-service call.
+type request struct {
+	Op     Op
+	Handle fstore.Handle
+	Dir    fstore.Handle // lookup/create/remove/…
+	Name   string
+	Target string // symlink / rename destination name
+	Offset int64
+	Count  int32
+	Mode   uint16
+	Size   int64 // setattr
+	Data   []byte
+
+	// proc is the serving process, set by the server before execute so
+	// side paths (eager pushes) can issue timed remote writes.
+	proc *des.Proc
+}
+
+func (r *request) encode() []byte {
+	b := []byte{byte(r.Op)}
+	b = binary.BigEndian.AppendUint64(b, r.Handle.U64())
+	b = binary.BigEndian.AppendUint64(b, r.Dir.U64())
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Offset))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Count))
+	b = binary.BigEndian.AppendUint16(b, r.Mode)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Size))
+	b = append(b, byte(len(r.Name)))
+	b = append(b, r.Name...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Target)))
+	b = append(b, r.Target...)
+	b = append(b, r.Data...)
+	return b
+}
+
+func decodeRequest(b []byte) (*request, error) {
+	if len(b) < 40 {
+		return nil, fmt.Errorf("dfs: short request (%d bytes)", len(b))
+	}
+	r := &request{Op: Op(b[0])}
+	r.Handle = fstore.HandleFromU64(binary.BigEndian.Uint64(b[1:]))
+	r.Dir = fstore.HandleFromU64(binary.BigEndian.Uint64(b[9:]))
+	r.Offset = int64(binary.BigEndian.Uint64(b[17:]))
+	r.Count = int32(binary.BigEndian.Uint32(b[25:]))
+	r.Mode = binary.BigEndian.Uint16(b[29:])
+	r.Size = int64(binary.BigEndian.Uint64(b[31:]))
+	nameLen := int(b[39])
+	rest := b[40:]
+	if len(rest) < nameLen+2 {
+		return nil, fmt.Errorf("dfs: truncated request name")
+	}
+	r.Name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	targetLen := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) < targetLen {
+		return nil, fmt.Errorf("dfs: truncated request target")
+	}
+	r.Target = string(rest[:targetLen])
+	r.Data = rest[targetLen:]
+	return r, nil
+}
+
+// reply framing: status byte (0 OK, 1 error-with-message) + body.
+func okReply(body []byte) []byte { return append([]byte{0}, body...) }
+
+func errReply(err error) []byte { return append([]byte{1}, err.Error()...) }
+
+func parseReply(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, ErrBadReply
+	}
+	if b[0] != 0 {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, b[1:])
+	}
+	return b[1:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Attribute packing (48 bytes), shared by the attr cache records, the name
+// cache records, and HY replies.
+
+const attrLen = 48
+
+func packAttr(b []byte, a fstore.Attr) {
+	_ = b[attrLen-1]
+	b[0] = byte(a.Type)
+	binary.BigEndian.PutUint16(b[2:], a.Mode)
+	binary.BigEndian.PutUint32(b[4:], a.Nlink)
+	binary.BigEndian.PutUint32(b[8:], a.UID)
+	binary.BigEndian.PutUint32(b[12:], a.GID)
+	binary.BigEndian.PutUint64(b[16:], uint64(a.Size))
+	binary.BigEndian.PutUint64(b[24:], uint64(a.Used))
+	binary.BigEndian.PutUint32(b[32:], uint32(a.Atime))
+	binary.BigEndian.PutUint32(b[36:], uint32(a.Mtime))
+	binary.BigEndian.PutUint32(b[40:], uint32(a.Ctime))
+}
+
+func unpackAttr(b []byte) fstore.Attr {
+	return fstore.Attr{
+		Type:  fstore.FileType(b[0]),
+		Mode:  binary.BigEndian.Uint16(b[2:]),
+		Nlink: binary.BigEndian.Uint32(b[4:]),
+		UID:   binary.BigEndian.Uint32(b[8:]),
+		GID:   binary.BigEndian.Uint32(b[12:]),
+		Size:  int64(binary.BigEndian.Uint64(b[16:])),
+		Used:  int64(binary.BigEndian.Uint64(b[24:])),
+		Atime: int64(int32(binary.BigEndian.Uint32(b[32:]))),
+		Mtime: int64(int32(binary.BigEndian.Uint32(b[36:]))),
+		Ctime: int64(int32(binary.BigEndian.Uint32(b[40:]))),
+	}
+}
+
+// fnv1a over a key buffer; identical on clerk and server, like the name
+// service's shared hash.
+func fnv1a(parts ...uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, part := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= part & 0xff
+			h *= prime64
+			part >>= 8
+		}
+	}
+	return h
+}
+
+func fnv1aString(seed uint64, s string) uint64 {
+	const prime64 = 1099511628211
+	h := seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

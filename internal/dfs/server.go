@@ -1,0 +1,516 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+	"netmem/internal/hybrid"
+	"netmem/internal/rmem"
+)
+
+// Server is the file-service machine: the file store plus its cache areas
+// exported as remote memory segments, and the Hybrid-1 request channel
+// that serves HY-mode calls, DX-mode cache misses, and metadata mutations.
+type Server struct {
+	m     *rmem.Manager
+	Store *fstore.Store
+	Geo   Geometry
+
+	attr, name, link, data, dir, token *rmem.Segment
+
+	hsrv  *hybrid.Server
+	eager []*rmem.Import // subscribed eager-update boards (§3.2)
+
+	// Stats.
+	MissCalls   int64        // requests that reached the server procedure
+	OpCounts    map[Op]int64 // per-op server procedure executions
+	Synced      int64        // dirty blocks applied by Sync
+	EagerPushes int64        // attribute records pushed to subscribers
+}
+
+// segRights grants clerks direct read/write/CAS access to a cache area.
+const segRights = rmem.RightRead | rmem.RightWrite | rmem.RightCAS
+
+// reqSlotCap bounds one request (an 8K write plus headers).
+const reqSlotCap = fstore.BlockSize + 256
+
+// NewServer builds the file service on m's node. nodes bounds the client
+// population (slot allocation on the request channel).
+func NewServer(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry) *Server {
+	return NewServerWithStore(p, m, nodes, geo,
+		fstore.New(func() int64 { return int64(m.Node.Env.Now()) }))
+}
+
+// NewServerWithStore builds the file service over an existing store — the
+// §3.7 recovery path: after a crash, a new server incarnation re-exports
+// fresh cache segments (new descriptor ids and generations) over the
+// surviving file system. Clerks holding old descriptors fail with stale/
+// revoked errors and re-wire.
+func NewServerWithStore(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry, store *fstore.Store) *Server {
+	geo.fill()
+	s := &Server{
+		m:        m,
+		Store:    store,
+		Geo:      geo,
+		OpCounts: make(map[Op]int64),
+	}
+	export := func(size int) *rmem.Segment {
+		seg := m.Export(p, size)
+		seg.SetDefaultRights(segRights)
+		return seg
+	}
+	s.attr = export(geo.AttrBuckets * attrStride)
+	s.name = export(geo.NameBuckets * nameStride)
+	s.link = export(geo.LinkBuckets * linkStride)
+	s.data = export(geo.DataBuckets * dataStride)
+	s.dir = export(geo.DirBuckets * dirStride)
+	s.token = export(geo.DataBuckets * tokenStride)
+	s.hsrv = hybrid.NewServer(p, m, nodes, reqSlotCap, s.serve)
+	return s
+}
+
+// Areas returns the cache-area coordinates a clerk needs to import them:
+// attr, name, link, data, dir, token — as (id, gen, size) triples.
+func (s *Server) Areas() [6][3]int {
+	pack := func(seg *rmem.Segment) [3]int {
+		return [3]int{int(seg.ID()), int(seg.Gen()), seg.Size()}
+	}
+	return [6][3]int{
+		pack(s.attr), pack(s.name), pack(s.link), pack(s.data), pack(s.dir), pack(s.token),
+	}
+}
+
+// ReqChannel exposes the Hybrid-1 request segment coordinates.
+func (s *Server) ReqChannel() (id, gen uint16, size int) { return s.hsrv.ReqSeg() }
+
+// AttachClerk registers a clerk's reply segment on the request channel.
+func (s *Server) AttachClerk(p *des.Proc, node int, segID, gen uint16, size int) {
+	s.hsrv.AttachClient(p, node, segID, gen, size)
+}
+
+// Node returns the server's node (for CPU accounting in experiments).
+func (s *Server) Node() *cluster.Node { return s.m.Node }
+
+// ---------------------------------------------------------------------------
+// Cache installation. The server fills its exported areas; clerks read
+// them remotely. Install happens at warm-up and on every server procedure
+// execution, so a served miss also populates the cache.
+
+func (s *Server) installAttr(h fstore.Handle, a fstore.Attr) {
+	off := s.Geo.attrOff(h)
+	buf := s.attr.Bytes()[off:]
+	putHdr(buf, flagValid, h, 0, attrLen)
+	packAttr(buf[recHdr:], a)
+}
+
+func (s *Server) dropAttr(h fstore.Handle) {
+	off := s.Geo.attrOff(h)
+	buf := s.attr.Bytes()[off:]
+	if _, key, _, _ := getHdr(buf); key == h {
+		binary.BigEndian.PutUint32(buf, flagEmpty)
+	}
+}
+
+func (s *Server) installName(dir fstore.Handle, name string, child fstore.Handle, a fstore.Attr) {
+	if len(name) > 20 {
+		return // longer names always take the miss path
+	}
+	off := s.Geo.nameOff(dir, name)
+	buf := s.name.Bytes()[off:]
+	putHdr(buf, flagValid, dir, nameKeyHash(name), 20+8+attrLen)
+	nb := buf[recHdr:]
+	for i := 0; i < 20; i++ {
+		if i < len(name) {
+			nb[i] = name[i]
+		} else {
+			nb[i] = 0
+		}
+	}
+	binary.BigEndian.PutUint64(nb[20:], child.U64())
+	packAttr(nb[28:], a)
+}
+
+func (s *Server) dropName(dir fstore.Handle, name string) {
+	if len(name) > 20 {
+		return
+	}
+	off := s.Geo.nameOff(dir, name)
+	buf := s.name.Bytes()[off:]
+	if _, key, sub, _ := getHdr(buf); key == dir && sub == nameKeyHash(name) {
+		binary.BigEndian.PutUint32(buf, flagEmpty)
+	}
+}
+
+func (s *Server) installLink(h fstore.Handle, target string) {
+	if len(target) > 64 {
+		return
+	}
+	off := s.Geo.linkOff(h)
+	buf := s.link.Bytes()[off:]
+	putHdr(buf, flagValid, h, 0, len(target))
+	copy(buf[recHdr:recHdr+64], make([]byte, 64))
+	copy(buf[recHdr:], target)
+}
+
+func (s *Server) installData(h fstore.Handle, block int64, data []byte) {
+	off := s.Geo.dataOff(h, block)
+	buf := s.data.Bytes()[off:]
+	putHdr(buf, flagValid, h, uint32(block), len(data))
+	copy(buf[recHdr:recHdr+fstore.BlockSize], make([]byte, fstore.BlockSize))
+	copy(buf[recHdr:], data)
+}
+
+func (s *Server) installDir(h fstore.Handle, chunk int64, data []byte) {
+	off := s.Geo.dirOff(h, chunk)
+	buf := s.dir.Bytes()[off:]
+	putHdr(buf, flagValid, h, uint32(chunk), len(data))
+	copy(buf[recHdr:recHdr+fstore.BlockSize], make([]byte, fstore.BlockSize))
+	copy(buf[recHdr:], data)
+}
+
+func (s *Server) dropDir(h fstore.Handle) {
+	// Directory contents changed: invalidate every chunk of this handle.
+	for b := 0; b < s.Geo.DirBuckets; b++ {
+		buf := s.dir.Bytes()[b*dirStride:]
+		if flag, key, _, _ := getHdr(buf); flag != flagEmpty && key == h {
+			binary.BigEndian.PutUint32(buf, flagEmpty)
+		}
+	}
+}
+
+// loadBlock installs the file block containing offset into the data cache
+// and returns its contents.
+func (s *Server) loadBlock(h fstore.Handle, block int64) ([]byte, error) {
+	data, err := s.Store.Read(h, block*fstore.BlockSize, fstore.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	s.installData(h, block, data)
+	return data, nil
+}
+
+// WarmFile loads a file's attributes, every data block, and (for
+// symlinks) the target into the cache areas. WarmDir does the same for a
+// directory's entries. The Figure 2/3 experiments run with 100 % server
+// cache hit rates, exactly as the paper assumes.
+func (s *Server) WarmFile(h fstore.Handle) error {
+	a, err := s.Store.GetAttr(h)
+	if err != nil {
+		return err
+	}
+	s.installAttr(h, a)
+	switch a.Type {
+	case fstore.TypeFile:
+		for b := int64(0); b*fstore.BlockSize < a.Size; b++ {
+			if _, err := s.loadBlock(h, b); err != nil {
+				return err
+			}
+		}
+	case fstore.TypeSymlink:
+		target, err := s.Store.ReadLink(h)
+		if err != nil {
+			return err
+		}
+		s.installLink(h, target)
+	case fstore.TypeDir:
+		return s.WarmDir(h)
+	}
+	return nil
+}
+
+// WarmDir loads a directory's serialized contents and per-entry lookup
+// records into the cache areas.
+func (s *Server) WarmDir(h fstore.Handle) error {
+	ents, err := s.Store.ReadDir(h)
+	if err != nil {
+		return err
+	}
+	stream := serializeDir(ents)
+	for c := int64(0); c*fstore.BlockSize < int64(len(stream)) || c == 0; c++ {
+		lo := c * fstore.BlockSize
+		hi := lo + fstore.BlockSize
+		if hi > int64(len(stream)) {
+			hi = int64(len(stream))
+		}
+		s.installDir(h, c, stream[lo:hi])
+	}
+	a, err := s.Store.GetAttr(h)
+	if err != nil {
+		return err
+	}
+	s.installAttr(h, a)
+	for _, e := range ents {
+		ea, err := s.Store.GetAttr(e.Handle)
+		if err != nil {
+			continue
+		}
+		s.installName(h, e.Name, e.Handle, ea)
+	}
+	return nil
+}
+
+// syncHandle applies dirty cached blocks belonging to one file.
+func (s *Server) syncHandle(p *des.Proc, h fstore.Handle) error {
+	for b := 0; b < s.Geo.DataBuckets; b++ {
+		buf := s.data.Bytes()[b*dataStride:]
+		flag, key, block, n := getHdr(buf)
+		if flag != flagDirty || key != h {
+			continue
+		}
+		s.m.Node.UseCPU(p, cluster.CatProc, ServiceTime(OpWrite, n))
+		if _, err := s.Store.Write(key, int64(block)*fstore.BlockSize, buf[recHdr:recHdr+n]); err != nil {
+			return fmt.Errorf("dfs: sync %v block %d: %w", key, block, err)
+		}
+		binary.BigEndian.PutUint32(buf, flagValid)
+		s.Synced++
+	}
+	return nil
+}
+
+// refreshCachedBlocks reloads every cached data block of h from the store
+// (after a resize changed the file's extent).
+func (s *Server) refreshCachedBlocks(h fstore.Handle) {
+	for b := 0; b < s.Geo.DataBuckets; b++ {
+		buf := s.data.Bytes()[b*dataStride:]
+		if flag, key, block, _ := getHdr(buf); flag != flagEmpty && key == h {
+			if _, err := s.loadBlock(h, int64(block)); err != nil {
+				binary.BigEndian.PutUint32(buf, flagEmpty)
+			}
+		}
+	}
+}
+
+// Sync applies dirty data blocks (written directly into the cache by
+// clerks) to the file store and clears their dirty flags — the write-
+// behind step that needs no per-write control transfer. Returns the
+// number of blocks applied.
+func (s *Server) Sync(p *des.Proc) (int, error) {
+	applied := 0
+	for b := 0; b < s.Geo.DataBuckets; b++ {
+		buf := s.data.Bytes()[b*dataStride:]
+		flag, key, block, n := getHdr(buf)
+		if flag != flagDirty {
+			continue
+		}
+		// Applying a block is ordinary local file system work.
+		s.m.Node.UseCPU(p, cluster.CatProc, ServiceTime(OpWrite, n))
+		if _, err := s.Store.Write(key, int64(block)*fstore.BlockSize, buf[recHdr:recHdr+n]); err != nil {
+			return applied, fmt.Errorf("dfs: sync %v block %d: %w", key, block, err)
+		}
+		binary.BigEndian.PutUint32(buf, flagValid)
+		a, err := s.Store.GetAttr(key)
+		if err == nil {
+			s.installAttr(key, a)
+			s.pushAttr(p, key, a)
+		}
+		applied++
+		s.Synced++
+	}
+	return applied, nil
+}
+
+// ---------------------------------------------------------------------------
+// The server procedure: executes one request (HY call or DX miss),
+// charging the measured warm-cache service time, installing results into
+// the cache areas so subsequent DX accesses hit.
+
+func (s *Server) serve(p *des.Proc, src int, reqBytes []byte) []byte {
+	req, err := decodeRequest(reqBytes)
+	if err != nil {
+		return errReply(err)
+	}
+	s.MissCalls++
+	s.OpCounts[req.Op]++
+
+	size := 0
+	switch req.Op {
+	case OpRead, OpReadDir:
+		size = int(req.Count)
+	case OpWrite:
+		size = len(req.Data)
+	}
+	s.m.Node.UseCPU(p, cluster.CatProc, ServiceTime(req.Op, size))
+
+	req.proc = p
+	body, err := s.execute(req)
+	if err != nil {
+		return errReply(err)
+	}
+	return okReply(body)
+}
+
+func (s *Server) execute(req *request) ([]byte, error) {
+	st := s.Store
+	switch req.Op {
+	case OpNull:
+		return nil, nil
+
+	case OpGetAttr:
+		a, err := st.GetAttr(req.Handle)
+		if err != nil {
+			return nil, err
+		}
+		s.installAttr(req.Handle, a)
+		out := make([]byte, attrLen)
+		packAttr(out, a)
+		return out, nil
+
+	case OpSetAttr:
+		if req.Size >= 0 {
+			// A resize must serialize against write-behind data: apply
+			// this file's dirty cached blocks first, then refresh the
+			// cache to the post-truncate contents.
+			if err := s.syncHandle(req.proc, req.Handle); err != nil {
+				return nil, err
+			}
+		}
+		a, err := st.SetAttr(req.Handle, req.Mode, 0, 0, req.Size)
+		if err != nil {
+			return nil, err
+		}
+		if req.Size >= 0 {
+			s.refreshCachedBlocks(req.Handle)
+		}
+		s.installAttr(req.Handle, a)
+		s.pushAttr(req.proc, req.Handle, a)
+		out := make([]byte, attrLen)
+		packAttr(out, a)
+		return out, nil
+
+	case OpLookup:
+		child, a, err := st.Lookup(req.Dir, req.Name)
+		if err != nil {
+			return nil, err
+		}
+		s.installName(req.Dir, req.Name, child, a)
+		s.installAttr(child, a)
+		out := binary.BigEndian.AppendUint64(nil, child.U64())
+		out = append(out, make([]byte, attrLen)...)
+		packAttr(out[8:], a)
+		return out, nil
+
+	case OpReadLink:
+		target, err := st.ReadLink(req.Handle)
+		if err != nil {
+			return nil, err
+		}
+		s.installLink(req.Handle, target)
+		return []byte(target), nil
+
+	case OpRead:
+		data, err := st.Read(req.Handle, req.Offset, int(req.Count))
+		if err != nil {
+			return nil, err
+		}
+		// Install the covered blocks so the clerk's next access hits.
+		for b := req.Offset / fstore.BlockSize; b*fstore.BlockSize < req.Offset+int64(req.Count); b++ {
+			if _, err := s.loadBlock(req.Handle, b); err != nil {
+				break
+			}
+		}
+		return data, nil
+
+	case OpWrite:
+		a, err := st.Write(req.Handle, req.Offset, req.Data)
+		if err != nil {
+			return nil, err
+		}
+		for b := req.Offset / fstore.BlockSize; b*fstore.BlockSize < req.Offset+int64(len(req.Data)); b++ {
+			if _, err := s.loadBlock(req.Handle, b); err != nil {
+				break
+			}
+		}
+		s.installAttr(req.Handle, a)
+		s.pushAttr(req.proc, req.Handle, a)
+		out := make([]byte, attrLen)
+		packAttr(out, a)
+		return out, nil
+
+	case OpReadDir:
+		ents, err := st.ReadDir(req.Handle)
+		if err != nil {
+			return nil, err
+		}
+		stream := serializeDir(ents)
+		for c := int64(0); c*fstore.BlockSize < int64(len(stream)) || c == 0; c++ {
+			lo := c * fstore.BlockSize
+			hi := lo + fstore.BlockSize
+			if hi > int64(len(stream)) {
+				hi = int64(len(stream))
+			}
+			s.installDir(req.Handle, c, stream[lo:hi])
+		}
+		lo := req.Offset
+		if lo > int64(len(stream)) {
+			lo = int64(len(stream))
+		}
+		hi := lo + int64(req.Count)
+		if hi > int64(len(stream)) {
+			hi = int64(len(stream))
+		}
+		return stream[lo:hi], nil
+
+	case OpCreate, OpMkdir, OpSymlink:
+		var child fstore.Handle
+		var a fstore.Attr
+		var err error
+		switch req.Op {
+		case OpCreate:
+			child, a, err = st.Create(req.Dir, req.Name, req.Mode)
+		case OpMkdir:
+			child, a, err = st.Mkdir(req.Dir, req.Name, req.Mode)
+		case OpSymlink:
+			child, a, err = st.Symlink(req.Dir, req.Name, req.Target)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.installName(req.Dir, req.Name, child, a)
+		s.installAttr(child, a)
+		if req.Op == OpSymlink {
+			s.installLink(child, req.Target)
+		}
+		s.dropDir(req.Dir)
+		if da, err := st.GetAttr(req.Dir); err == nil {
+			s.installAttr(req.Dir, da)
+		}
+		out := binary.BigEndian.AppendUint64(nil, child.U64())
+		out = append(out, make([]byte, attrLen)...)
+		packAttr(out[8:], a)
+		return out, nil
+
+	case OpRemove:
+		if h, _, err := st.Lookup(req.Dir, req.Name); err == nil {
+			s.dropAttr(h)
+		}
+		if err := st.Remove(req.Dir, req.Name); err != nil {
+			return nil, err
+		}
+		s.dropName(req.Dir, req.Name)
+		s.dropDir(req.Dir)
+		return nil, nil
+
+	case OpRename:
+		if err := st.Rename(req.Dir, req.Name, req.Handle, req.Target); err != nil {
+			return nil, err
+		}
+		s.dropName(req.Dir, req.Name)
+		s.dropDir(req.Dir)
+		s.dropDir(req.Handle)
+		if child, a, err := st.Lookup(req.Handle, req.Target); err == nil {
+			s.installName(req.Handle, req.Target, child, a)
+		}
+		return nil, nil
+
+	case OpStatFS:
+		fs := st.StatFS()
+		out := binary.BigEndian.AppendUint32(nil, uint32(fs.Files))
+		out = binary.BigEndian.AppendUint64(out, uint64(fs.BytesUsed))
+		out = binary.BigEndian.AppendUint64(out, uint64(fs.BytesStored))
+		return out, nil
+	}
+	return nil, fmt.Errorf("dfs: unknown op %d", req.Op)
+}

@@ -1,0 +1,536 @@
+// Package fstore is the local file system substrate behind the
+// distributed file service: an in-memory inode store with files,
+// directories, and symbolic links, addressed by NFS-style opaque file
+// handles. It corresponds to the disk/UFS layer under the paper's file
+// server — the experiments assume warm caches, so the store is
+// deliberately memory-resident ("if there is a miss in the server cache,
+// overall performance will be dependent on the disk transfer time rather
+// than differences in the structure of the service", §5.2).
+//
+// The store is purely functional with respect to simulated time: service
+// costs are charged by the dfs layer, not here.
+package fstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BlockSize is the file system block size (NFS-era 8 KB).
+const BlockSize = 8192
+
+// MaxSymlink bounds symbolic-link target length.
+const MaxSymlink = 1024
+
+// FileType enumerates inode types.
+type FileType uint8
+
+const (
+	TypeFile FileType = iota + 1
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	}
+	return fmt.Sprintf("FileType(%d)", uint8(t))
+}
+
+// Handle is an opaque NFS-style file handle: inode number plus a
+// generation that invalidates handles to removed files.
+type Handle struct {
+	Ino uint32
+	Gen uint32
+}
+
+// U64 packs the handle for hashing and wire encoding.
+func (h Handle) U64() uint64 { return uint64(h.Ino)<<32 | uint64(h.Gen) }
+
+// HandleFromU64 unpacks a packed handle.
+func HandleFromU64(v uint64) Handle {
+	return Handle{Ino: uint32(v >> 32), Gen: uint32(v)}
+}
+
+// Attr is the file attribute block (what NFS GETATTR returns).
+type Attr struct {
+	Type  FileType
+	Mode  uint16
+	Nlink uint32
+	UID   uint32
+	GID   uint32
+	Size  int64
+	Used  int64 // bytes of allocated blocks
+	Atime int64 // simulated-time stamps, opaque to the store
+	Mtime int64
+	Ctime int64
+}
+
+// DirEntry is one directory entry.
+type DirEntry struct {
+	Name   string
+	Handle Handle
+}
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("fstore: no such file or directory")
+	ErrExist     = errors.New("fstore: file exists")
+	ErrNotDir    = errors.New("fstore: not a directory")
+	ErrIsDir     = errors.New("fstore: is a directory")
+	ErrNotEmpty  = errors.New("fstore: directory not empty")
+	ErrStale     = errors.New("fstore: stale file handle")
+	ErrNotLink   = errors.New("fstore: not a symbolic link")
+	ErrBadName   = errors.New("fstore: invalid name")
+	ErrBadOffset = errors.New("fstore: negative offset or count")
+)
+
+type inode struct {
+	handle Handle
+	attr   Attr
+
+	data    []byte            // TypeFile
+	entries map[string]Handle // TypeDir
+	target  string            // TypeSymlink
+}
+
+// Store is an in-memory file system.
+type Store struct {
+	inodes  map[uint32]*inode
+	nextIno uint32
+	root    Handle
+	clock   func() int64 // timestamp source
+
+	// Stats.
+	Ops map[string]int64
+}
+
+// New creates a store with an empty root directory. clock supplies
+// timestamps (pass the simulation clock, or nil for zeros).
+func New(clock func() int64) *Store {
+	s := &Store{
+		inodes: make(map[uint32]*inode),
+		clock:  clock,
+		Ops:    make(map[string]int64),
+	}
+	root := s.alloc(TypeDir, 0o755)
+	root.attr.Nlink = 2
+	s.root = root.handle
+	return s
+}
+
+func (s *Store) now() int64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock()
+}
+
+func (s *Store) alloc(t FileType, mode uint16) *inode {
+	s.nextIno++
+	ino := &inode{
+		handle: Handle{Ino: s.nextIno, Gen: 1},
+		attr: Attr{
+			Type: t, Mode: mode, Nlink: 1,
+			Atime: s.now(), Mtime: s.now(), Ctime: s.now(),
+		},
+	}
+	if t == TypeDir {
+		ino.entries = make(map[string]Handle)
+		ino.attr.Nlink = 2
+	}
+	s.inodes[ino.handle.Ino] = ino
+	return ino
+}
+
+func (s *Store) get(h Handle) (*inode, error) {
+	ino, ok := s.inodes[h.Ino]
+	if !ok || ino.handle.Gen != h.Gen {
+		return nil, ErrStale
+	}
+	return ino, nil
+}
+
+func (s *Store) getDir(h Handle) (*inode, error) {
+	ino, err := s.get(h)
+	if err != nil {
+		return nil, err
+	}
+	if ino.attr.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	return ino, nil
+}
+
+func validName(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, "/\x00") {
+		return ErrBadName
+	}
+	return nil
+}
+
+// Root returns the root directory handle.
+func (s *Store) Root() Handle { return s.root }
+
+// GetAttr returns the attributes for h.
+func (s *Store) GetAttr(h Handle) (Attr, error) {
+	s.Ops["getattr"]++
+	ino, err := s.get(h)
+	if err != nil {
+		return Attr{}, err
+	}
+	return ino.attr, nil
+}
+
+// SetAttr updates mode/uid/gid and (if size >= 0) truncates or extends.
+func (s *Store) SetAttr(h Handle, mode uint16, uid, gid uint32, size int64) (Attr, error) {
+	s.Ops["setattr"]++
+	ino, err := s.get(h)
+	if err != nil {
+		return Attr{}, err
+	}
+	ino.attr.Mode = mode
+	ino.attr.UID = uid
+	ino.attr.GID = gid
+	if size >= 0 {
+		if ino.attr.Type != TypeFile {
+			return Attr{}, ErrIsDir
+		}
+		if int64(len(ino.data)) > size {
+			ino.data = ino.data[:size]
+		} else {
+			ino.data = append(ino.data, make([]byte, size-int64(len(ino.data)))...)
+		}
+		ino.attr.Size = size
+		ino.attr.Used = (size + BlockSize - 1) / BlockSize * BlockSize
+	}
+	ino.attr.Ctime = s.now()
+	return ino.attr, nil
+}
+
+// Lookup resolves name within directory dir.
+func (s *Store) Lookup(dir Handle, name string) (Handle, Attr, error) {
+	s.Ops["lookup"]++
+	d, err := s.getDir(dir)
+	if err != nil {
+		return Handle{}, Attr{}, err
+	}
+	h, ok := d.entries[name]
+	if !ok {
+		return Handle{}, Attr{}, ErrNotFound
+	}
+	ino, err := s.get(h)
+	if err != nil {
+		return Handle{}, Attr{}, err
+	}
+	return h, ino.attr, nil
+}
+
+// Create makes a regular file in dir.
+func (s *Store) Create(dir Handle, name string, mode uint16) (Handle, Attr, error) {
+	s.Ops["create"]++
+	return s.mknod(dir, name, TypeFile, mode, "")
+}
+
+// Mkdir makes a directory in dir.
+func (s *Store) Mkdir(dir Handle, name string, mode uint16) (Handle, Attr, error) {
+	s.Ops["mkdir"]++
+	return s.mknod(dir, name, TypeDir, mode, "")
+}
+
+// Symlink makes a symbolic link to target in dir.
+func (s *Store) Symlink(dir Handle, name, target string) (Handle, Attr, error) {
+	s.Ops["symlink"]++
+	if len(target) > MaxSymlink {
+		return Handle{}, Attr{}, ErrBadName
+	}
+	return s.mknod(dir, name, TypeSymlink, 0o777, target)
+}
+
+func (s *Store) mknod(dir Handle, name string, t FileType, mode uint16, target string) (Handle, Attr, error) {
+	if err := validName(name); err != nil {
+		return Handle{}, Attr{}, err
+	}
+	d, err := s.getDir(dir)
+	if err != nil {
+		return Handle{}, Attr{}, err
+	}
+	if _, exists := d.entries[name]; exists {
+		return Handle{}, Attr{}, ErrExist
+	}
+	ino := s.alloc(t, mode)
+	ino.target = target
+	if t == TypeSymlink {
+		ino.attr.Size = int64(len(target))
+	}
+	d.entries[name] = ino.handle
+	d.attr.Mtime = s.now()
+	if t == TypeDir {
+		d.attr.Nlink++
+	}
+	return ino.handle, ino.attr, nil
+}
+
+// Remove unlinks a file or symlink (or an empty directory) from dir.
+func (s *Store) Remove(dir Handle, name string) error {
+	s.Ops["remove"]++
+	d, err := s.getDir(dir)
+	if err != nil {
+		return err
+	}
+	h, ok := d.entries[name]
+	if !ok {
+		return ErrNotFound
+	}
+	ino, err := s.get(h)
+	if err != nil {
+		return err
+	}
+	if ino.attr.Type == TypeDir {
+		if len(ino.entries) != 0 {
+			return ErrNotEmpty
+		}
+		d.attr.Nlink--
+	}
+	delete(d.entries, name)
+	ino.attr.Nlink--
+	if ino.attr.Nlink == 0 || ino.attr.Type == TypeDir {
+		// Bump generation so outstanding handles go stale.
+		delete(s.inodes, h.Ino)
+	}
+	d.attr.Mtime = s.now()
+	return nil
+}
+
+// Rename moves an entry between directories.
+func (s *Store) Rename(fromDir Handle, fromName string, toDir Handle, toName string) error {
+	s.Ops["rename"]++
+	if err := validName(toName); err != nil {
+		return err
+	}
+	fd, err := s.getDir(fromDir)
+	if err != nil {
+		return err
+	}
+	td, err := s.getDir(toDir)
+	if err != nil {
+		return err
+	}
+	h, ok := fd.entries[fromName]
+	if !ok {
+		return ErrNotFound
+	}
+	if _, exists := td.entries[toName]; exists {
+		return ErrExist
+	}
+	delete(fd.entries, fromName)
+	td.entries[toName] = h
+	fd.attr.Mtime = s.now()
+	td.attr.Mtime = s.now()
+	return nil
+}
+
+// ReadLink returns a symlink's target.
+func (s *Store) ReadLink(h Handle) (string, error) {
+	s.Ops["readlink"]++
+	ino, err := s.get(h)
+	if err != nil {
+		return "", err
+	}
+	if ino.attr.Type != TypeSymlink {
+		return "", ErrNotLink
+	}
+	return ino.target, nil
+}
+
+// Read copies up to count bytes at offset from a file. Short reads at EOF
+// return the available bytes; reading at or past EOF returns 0 bytes.
+func (s *Store) Read(h Handle, offset int64, count int) ([]byte, error) {
+	s.Ops["read"]++
+	if offset < 0 || count < 0 {
+		return nil, ErrBadOffset
+	}
+	ino, err := s.get(h)
+	if err != nil {
+		return nil, err
+	}
+	if ino.attr.Type == TypeDir {
+		return nil, ErrIsDir
+	}
+	if ino.attr.Type != TypeFile {
+		return nil, ErrNotLink
+	}
+	ino.attr.Atime = s.now()
+	if offset >= int64(len(ino.data)) {
+		return nil, nil
+	}
+	end := offset + int64(count)
+	if end > int64(len(ino.data)) {
+		end = int64(len(ino.data))
+	}
+	out := make([]byte, end-offset)
+	copy(out, ino.data[offset:end])
+	return out, nil
+}
+
+// Write stores data at offset, extending the file as needed, and returns
+// the new attributes.
+func (s *Store) Write(h Handle, offset int64, data []byte) (Attr, error) {
+	s.Ops["write"]++
+	if offset < 0 {
+		return Attr{}, ErrBadOffset
+	}
+	ino, err := s.get(h)
+	if err != nil {
+		return Attr{}, err
+	}
+	if ino.attr.Type != TypeFile {
+		return Attr{}, ErrIsDir
+	}
+	end := offset + int64(len(data))
+	if end > int64(len(ino.data)) {
+		ino.data = append(ino.data, make([]byte, end-int64(len(ino.data)))...)
+	}
+	copy(ino.data[offset:], data)
+	if end > ino.attr.Size {
+		ino.attr.Size = end
+	}
+	ino.attr.Used = (ino.attr.Size + BlockSize - 1) / BlockSize * BlockSize
+	ino.attr.Mtime = s.now()
+	return ino.attr, nil
+}
+
+// ReadDir lists a directory in deterministic (sorted) order.
+func (s *Store) ReadDir(h Handle) ([]DirEntry, error) {
+	s.Ops["readdir"]++
+	d, err := s.getDir(h)
+	if err != nil {
+		return nil, err
+	}
+	d.attr.Atime = s.now()
+	out := make([]DirEntry, 0, len(d.entries))
+	for name, eh := range d.entries {
+		out = append(out, DirEntry{Name: name, Handle: eh})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// StatFS summarizes the store (the NFS STATFS call).
+type FSStat struct {
+	Files       int
+	BytesUsed   int64
+	BytesStored int64
+}
+
+// StatFS returns aggregate statistics.
+func (s *Store) StatFS() FSStat {
+	s.Ops["statfs"]++
+	var st FSStat
+	for _, ino := range s.inodes {
+		st.Files++
+		st.BytesStored += ino.attr.Size
+		st.BytesUsed += ino.attr.Used
+	}
+	return st
+}
+
+// ResolvePath walks an absolute slash-separated path from the root,
+// following symlinks up to a fixed depth. Convenience for tests, examples,
+// and workload setup.
+func (s *Store) ResolvePath(path string) (Handle, Attr, error) {
+	return s.resolve(path, 0)
+}
+
+func (s *Store) resolve(path string, depth int) (Handle, Attr, error) {
+	if depth > 8 {
+		return Handle{}, Attr{}, fmt.Errorf("fstore: %s: too many levels of symbolic links", path)
+	}
+	h := s.root
+	attr, err := s.GetAttr(h)
+	if err != nil {
+		return Handle{}, Attr{}, err
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for i := 0; i < len(parts); i++ {
+		name := parts[i]
+		if name == "" {
+			continue
+		}
+		var err error
+		h, attr, err = s.Lookup(h, name)
+		if err != nil {
+			return Handle{}, Attr{}, fmt.Errorf("%s: %w", name, err)
+		}
+		if attr.Type == TypeSymlink {
+			target, err := s.ReadLink(h)
+			if err != nil {
+				return Handle{}, Attr{}, err
+			}
+			rest := strings.Join(parts[i+1:], "/")
+			return s.resolve(strings.TrimSuffix(target, "/")+"/"+rest, depth+1)
+		}
+	}
+	return h, attr, nil
+}
+
+// MkdirAll creates every directory on an absolute path, tolerating
+// existing ones, and returns the final handle.
+func (s *Store) MkdirAll(path string) (Handle, error) {
+	h := s.root
+	for _, name := range strings.Split(strings.Trim(path, "/"), "/") {
+		if name == "" {
+			continue
+		}
+		nh, _, err := s.Lookup(h, name)
+		switch {
+		case err == nil:
+			h = nh
+		case errors.Is(err, ErrNotFound):
+			nh, _, err = s.Mkdir(h, name, 0o755)
+			if err != nil {
+				return Handle{}, err
+			}
+			h = nh
+		default:
+			return Handle{}, err
+		}
+	}
+	return h, nil
+}
+
+// WriteFile creates (or truncates) the file at an absolute path with the
+// given contents, creating parent directories. Setup convenience.
+func (s *Store) WriteFile(path string, data []byte) (Handle, error) {
+	dir := "/"
+	name := strings.Trim(path, "/")
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		dir, name = name[:i], name[i+1:]
+	}
+	dh, err := s.MkdirAll(dir)
+	if err != nil {
+		return Handle{}, err
+	}
+	h, _, err := s.Lookup(dh, name)
+	if errors.Is(err, ErrNotFound) {
+		h, _, err = s.Create(dh, name, 0o644)
+	}
+	if err != nil {
+		return Handle{}, err
+	}
+	if _, err := s.SetAttr(h, 0o644, 0, 0, 0); err != nil {
+		return Handle{}, err
+	}
+	if _, err := s.Write(h, 0, data); err != nil {
+		return Handle{}, err
+	}
+	return h, nil
+}

@@ -1,0 +1,303 @@
+package fstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateLookupReadWrite(t *testing.T) {
+	s := New(nil)
+	dir, _, err := s.Mkdir(s.Root(), "home", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := s.Create(dir, "notes.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(f, 0, []byte("hello fs")); err != nil {
+		t.Fatal(err)
+	}
+	h, attr, err := s.Lookup(dir, "notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != f || attr.Size != 8 || attr.Type != TypeFile {
+		t.Fatalf("lookup = %+v size %d", h, attr.Size)
+	}
+	data, err := s.Read(f, 0, 100)
+	if err != nil || string(data) != "hello fs" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+}
+
+func TestSparseWriteAndEOF(t *testing.T) {
+	s := New(nil)
+	f, _ := s.WriteFile("/a", nil)
+	if _, err := s.Write(f, 100, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	attr, _ := s.GetAttr(f)
+	if attr.Size != 101 {
+		t.Fatalf("size = %d", attr.Size)
+	}
+	hole, err := s.Read(f, 10, 10)
+	if err != nil || !bytes.Equal(hole, make([]byte, 10)) {
+		t.Fatalf("hole read = %v %v", hole, err)
+	}
+	if data, err := s.Read(f, 101, 10); err != nil || len(data) != 0 {
+		t.Fatalf("EOF read = %v %v", data, err)
+	}
+	if data, err := s.Read(f, 99, 10); err != nil || len(data) != 2 {
+		t.Fatalf("short read = %v %v", data, err)
+	}
+}
+
+func TestReadWriteErrors(t *testing.T) {
+	s := New(nil)
+	if _, err := s.Read(s.Root(), 0, 1); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir: %v", err)
+	}
+	f, _ := s.WriteFile("/f", []byte("x"))
+	if _, err := s.Read(f, -1, 1); !errors.Is(err, ErrBadOffset) {
+		t.Errorf("negative offset: %v", err)
+	}
+	if _, err := s.Write(s.Root(), 0, []byte("x")); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write dir: %v", err)
+	}
+	if _, _, err := s.Lookup(f, "x"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("lookup in file: %v", err)
+	}
+}
+
+func TestSymlinkAndResolve(t *testing.T) {
+	s := New(nil)
+	if _, err := s.WriteFile("/usr/bin/emacs", []byte("#!bin")); err != nil {
+		t.Fatal(err)
+	}
+	usr, _, err := s.ResolvePath("/usr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Symlink(usr, "local", "/usr/bin"); err != nil {
+		t.Fatal(err)
+	}
+	h, attr, err := s.ResolvePath("/usr/local/emacs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Type != TypeFile {
+		t.Fatalf("resolved type %v", attr.Type)
+	}
+	data, _ := s.Read(h, 0, 10)
+	if string(data) != "#!bin" {
+		t.Fatalf("through-link read = %q", data)
+	}
+	// ReadLink on the link itself.
+	lh, lattr, err := s.Lookup(usr, "local")
+	if err != nil || lattr.Type != TypeSymlink {
+		t.Fatal(err)
+	}
+	target, err := s.ReadLink(lh)
+	if err != nil || target != "/usr/bin" {
+		t.Fatalf("readlink = %q %v", target, err)
+	}
+	if _, err := s.ReadLink(h); !errors.Is(err, ErrNotLink) {
+		t.Errorf("readlink on file: %v", err)
+	}
+}
+
+func TestSymlinkLoopDetected(t *testing.T) {
+	s := New(nil)
+	if _, _, err := s.Symlink(s.Root(), "a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Symlink(s.Root(), "b", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ResolvePath("/a"); err == nil {
+		t.Fatal("symlink loop resolved successfully")
+	}
+}
+
+func TestRemoveMakesHandleStale(t *testing.T) {
+	s := New(nil)
+	f, _ := s.WriteFile("/doomed", []byte("bye"))
+	if err := s.Remove(s.Root(), "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetAttr(f); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale handle: %v", err)
+	}
+	if err := s.Remove(s.Root(), "doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestRemoveNonEmptyDir(t *testing.T) {
+	s := New(nil)
+	if _, err := s.WriteFile("/d/inner", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(s.Root(), "d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	d, _, _ := s.ResolvePath("/d")
+	if err := s.Remove(d, "inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(s.Root(), "d"); err != nil {
+		t.Fatalf("empty dir remove: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := New(nil)
+	f, _ := s.WriteFile("/src/file", []byte("payload"))
+	src, _, _ := s.ResolvePath("/src")
+	dst, _ := s.MkdirAll("/dst")
+	if err := s.Rename(src, "file", dst, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := s.ResolvePath("/dst/renamed")
+	if err != nil || h != f {
+		t.Fatalf("post-rename resolve: %v %v", h, err)
+	}
+	if _, _, err := s.ResolvePath("/src/file"); err == nil {
+		t.Fatal("old name still resolves")
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	s := New(nil)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := s.WriteFile("/"+n, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := s.ReadDir(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order = %v", names)
+		}
+	}
+}
+
+func TestSetAttrTruncateExtend(t *testing.T) {
+	s := New(nil)
+	f, _ := s.WriteFile("/f", []byte("0123456789"))
+	attr, err := s.SetAttr(f, 0o600, 1, 2, 4)
+	if err != nil || attr.Size != 4 {
+		t.Fatal(err)
+	}
+	data, _ := s.Read(f, 0, 100)
+	if string(data) != "0123" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if _, err := s.SetAttr(f, 0o600, 1, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = s.Read(f, 0, 100)
+	if !bytes.Equal(data, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Fatalf("after extend: %v", data)
+	}
+}
+
+func TestStatFS(t *testing.T) {
+	s := New(nil)
+	s.WriteFile("/a", make([]byte, 100))
+	s.WriteFile("/b/c", make([]byte, BlockSize+1))
+	st := s.StatFS()
+	// root + a + b + c
+	if st.Files != 4 {
+		t.Fatalf("files = %d", st.Files)
+	}
+	if st.BytesStored != 100+BlockSize+1 {
+		t.Fatalf("stored = %d", st.BytesStored)
+	}
+	if st.BytesUsed != BlockSize+2*BlockSize {
+		t.Fatalf("used = %d", st.BytesUsed)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	s := New(nil)
+	for _, name := range []string{"", ".", "..", "a/b", "nul\x00"} {
+		if _, _, err := s.Create(s.Root(), name, 0o644); !errors.Is(err, ErrBadName) {
+			t.Errorf("Create(%q) = %v", name, err)
+		}
+	}
+}
+
+func TestHandlePackProperty(t *testing.T) {
+	prop := func(ino, gen uint32) bool {
+		h := Handle{Ino: ino, Gen: gen}
+		return HandleFromU64(h.U64()) == h
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWriteReadProperty(t *testing.T) {
+	// Property: any sequence of random writes produces a file equal to
+	// the same writes applied to a plain byte slice.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(nil)
+		f, err := s.WriteFile("/f", nil)
+		if err != nil {
+			return false
+		}
+		var shadow []byte
+		for i := 0; i < 20; i++ {
+			off := rng.Intn(5000)
+			n := rng.Intn(2000)
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := s.Write(f, int64(off), data); err != nil {
+				return false
+			}
+			if off+n > len(shadow) {
+				shadow = append(shadow, make([]byte, off+n-len(shadow))...)
+			}
+			copy(shadow[off:], data)
+		}
+		got, err := s.Read(f, 0, len(shadow)+10)
+		return err == nil && bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyFilesStress(t *testing.T) {
+	s := New(nil)
+	for i := 0; i < 500; i++ {
+		if _, err := s.WriteFile(fmt.Sprintf("/tree/d%d/f%d", i%10, i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		h, _, err := s.ResolvePath(fmt.Sprintf("/tree/d%d/f%d", i%10, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := s.Read(h, 0, 1)
+		if data[0] != byte(i) {
+			t.Fatalf("file %d corrupted", i)
+		}
+	}
+}

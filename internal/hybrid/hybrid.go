@@ -1,0 +1,192 @@
+// Package hybrid implements Hybrid-1 (§5.1), the paper's RPC-like
+// comparator built on the remote-memory primitives: "a single write
+// request with notification, followed by one or more return write
+// requests". The client writes its request into a per-client slot of the
+// server's request segment with the notify bit set; the server's signal
+// handler runs the service procedure and remote-writes the result straight
+// into the client's reply segment; the client spin waits at user level for
+// the completion flag.
+//
+// Hybrid-1 pays for one control transfer per call (the 260 µs notification
+// path) plus the server's procedure execution — the costs Figure 2 and
+// Figure 3 show the pure data-transfer structure avoiding.
+package hybrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// Handler is the server-side service procedure: it receives the request
+// bytes and returns the reply bytes. It runs in the server's signal-handler
+// process; service CPU time is charged by the handler itself (the file
+// service charges its per-operation processing cost here).
+type Handler func(p *des.Proc, src int, req []byte) []byte
+
+// slot layout (server request segment, one slot per client node):
+//
+//	word 0: request sequence number (changes ⇒ new request)
+//	word 1: request length
+//	bytes 8..: request body
+//
+// reply layout (client reply segment):
+//
+//	word 0: completion flag / sequence echo
+//	word 1: reply length
+//	bytes 8..: reply body
+const slotHeader = 8
+
+// Server is the service end of a Hybrid-1 channel.
+type Server struct {
+	m       *rmem.Manager
+	handler Handler
+	reqSeg  *rmem.Segment
+	slotCap int
+	clients map[int]*rmem.Import // client node → imported reply segment
+
+	// Calls counts served requests.
+	Calls int64
+}
+
+// NewServer exports a request segment with one slot per possible client
+// node and arms its notification handler. slotCap bounds a request body;
+// replies are bounded by the client's reply segment size.
+func NewServer(p *des.Proc, m *rmem.Manager, nodes int, slotCap int, h Handler) *Server {
+	s := &Server{
+		m:       m,
+		handler: h,
+		slotCap: slotCap,
+		clients: make(map[int]*rmem.Import),
+	}
+	s.reqSeg = m.Export(p, nodes*(slotHeader+slotCap))
+	s.reqSeg.SetDefaultRights(rmem.RightWrite)
+	s.reqSeg.OnNotify(s.serve)
+	return s
+}
+
+// ReqSeg exposes the request segment's coordinates for client setup.
+func (s *Server) ReqSeg() (id, gen uint16, size int) {
+	return s.reqSeg.ID(), s.reqSeg.Gen(), s.reqSeg.Size()
+}
+
+// AttachClient installs the reply-segment descriptor for a client node.
+// In a full system this handshake would go through the name service; the
+// experiments wire it directly, as both ends are parts of one application
+// (§3.3).
+func (s *Server) AttachClient(p *des.Proc, node int, segID, gen uint16, size int) {
+	imp := s.m.Import(p, node, segID, gen, size)
+	// Pushing replies is the server's "data reply" work in Figure 3's
+	// breakdown, not client work.
+	imp.SetAccountCategory(cluster.CatReply)
+	s.clients[node] = imp
+}
+
+func (s *Server) slotOff(node int) int { return node * (slotHeader + s.slotCap) }
+
+// serve is the notification (signal) handler: parse the client's slot,
+// run the procedure, push the reply back with data transfer only.
+func (s *Server) serve(p *des.Proc, note rmem.Notification) {
+	src := note.Src
+	rep, ok := s.clients[src]
+	if !ok {
+		return // unattached client; nothing we can do
+	}
+	off := s.slotOff(src)
+	buf := s.reqSeg.Bytes()
+	seq := binary.BigEndian.Uint32(buf[off:])
+	n := int(binary.BigEndian.Uint32(buf[off+4:]))
+	if n < 0 || n > s.slotCap {
+		return
+	}
+	req := append([]byte(nil), buf[off+slotHeader:off+slotHeader+n]...)
+	s.Calls++
+	result := s.handler(p, src, req)
+
+	out := make([]byte, slotHeader+len(result))
+	binary.BigEndian.PutUint32(out, seq) // completion flag = request seq
+	binary.BigEndian.PutUint32(out[4:], uint32(len(result)))
+	copy(out[slotHeader:], result)
+	if err := rep.WriteBlock(p, 0, out, false); err != nil {
+		s.m.WriteFaults = append(s.m.WriteFaults, fmt.Errorf("hybrid: reply to node %d: %w", src, err))
+	}
+}
+
+// Client is the requesting end of a Hybrid-1 channel.
+type Client struct {
+	m       *rmem.Manager
+	server  int
+	req     *rmem.Import
+	repSeg  *rmem.Segment
+	slotCap int
+	seq     uint32
+}
+
+// ErrReplyTooBig reports a reply that exceeded the client's reply segment.
+var ErrReplyTooBig = errors.New("hybrid: reply exceeds reply segment")
+
+// NewClient creates the client end: it exports a reply segment (granting
+// the server write access) and imports the server's request segment.
+func NewClient(p *des.Proc, m *rmem.Manager, server int, reqID, reqGen uint16, reqSize, slotCap, maxReply int) *Client {
+	c := &Client{m: m, server: server, slotCap: slotCap}
+	c.repSeg = m.Export(p, slotHeader+maxReply)
+	c.repSeg.SetRights(server, rmem.RightWrite)
+	c.req = m.Import(p, server, reqID, reqGen, reqSize)
+	return c
+}
+
+// RepSeg exposes the reply segment's coordinates for server attachment.
+func (c *Client) RepSeg() (id, gen uint16, size int) {
+	return c.repSeg.ID(), c.repSeg.Gen(), c.repSeg.Size()
+}
+
+// Call performs one Hybrid-1 exchange: write-with-notify the request into
+// our slot on the server, spin wait for the reply write to land, return
+// the reply body.
+func (c *Client) Call(p *des.Proc, req []byte, timeout des.Duration) ([]byte, error) {
+	if len(req) > c.slotCap {
+		return nil, rmem.ErrTooBig
+	}
+	n := c.m.Node
+	c.seq++
+	flagArea := c.repSeg.Bytes()
+	binary.BigEndian.PutUint32(flagArea, 0) // clear completion flag
+
+	msg := make([]byte, slotHeader+len(req))
+	binary.BigEndian.PutUint32(msg, c.seq)
+	binary.BigEndian.PutUint32(msg[4:], uint32(len(req)))
+	copy(msg[slotHeader:], req)
+	off := c.m.Node.ID * (slotHeader + c.slotCap)
+	if err := c.req.WriteBlock(p, off, msg, true); err != nil {
+		return nil, err
+	}
+
+	deadline := p.Now().Add(timeout)
+	// User-level spin wait on the completion word (§4.3), backing off so
+	// a long reply transfer is not slowed by poll cycles stealing the CPU
+	// from the kernel's deposit path.
+	interval := 3 * time.Microsecond
+	for {
+		n.UseCPU(p, cluster.CatClient, n.P.SpinPoll)
+		if binary.BigEndian.Uint32(flagArea) == c.seq {
+			break
+		}
+		if timeout > 0 && p.Now() > deadline {
+			return nil, rmem.ErrTimeout
+		}
+		p.Sleep(interval)
+		if interval < 48*time.Microsecond {
+			interval += interval / 2
+		}
+	}
+	rn := int(binary.BigEndian.Uint32(flagArea[4:]))
+	if rn < 0 || slotHeader+rn > c.repSeg.Size() {
+		return nil, ErrReplyTooBig
+	}
+	return append([]byte(nil), flagArea[slotHeader:slotHeader+rn]...), nil
+}

@@ -1,0 +1,135 @@
+// Package integration holds cross-subsystem tests: several protocol
+// families (remote memory, conventional RPC, SVM, the file service)
+// sharing one cluster and one network must coexist without interference.
+package integration
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+	"netmem/internal/rpc"
+	"netmem/internal/svm"
+)
+
+// TestAllProtocolsCoexist runs remote-memory traffic, RPC traffic, SVM
+// page faults, and file-service operations concurrently across one
+// four-node switched cluster. Everything must complete and the per-node
+// fault logs must stay empty — the protocol multiplexing, VC reassembly,
+// and TX serialization all hold up under mixed load.
+func TestAllProtocolsCoexist(t *testing.T) {
+	env := des.NewEnv()
+	cl := cluster.New(env, &model.Default, 4)
+
+	// Remote memory on all nodes.
+	ms := make([]*rmem.Manager, 4)
+	for i := range ms {
+		ms[i] = rmem.NewManager(cl.Nodes[i])
+	}
+	// RPC endpoints on nodes 2, 3.
+	rpcSrv := rpc.NewEndpoint(cl.Nodes[2])
+	rpcSrv.Serve().Register(9, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		return append([]byte("pong:"), args...), nil
+	})
+	rpcCli := rpc.NewEndpoint(cl.Nodes[3])
+	// SVM across all nodes, manager on node 3.
+	agents := make([]*svm.Agent, 4)
+	for i := range agents {
+		agents[i] = svm.New(cl.Nodes[i], 3, 2)
+	}
+
+	done := make(map[string]bool)
+
+	// Workload 1: file service between nodes 0 (server) and 1 (clerk).
+	env.Spawn("dfs", func(p *des.Proc) {
+		srv := dfs.NewServer(p, ms[0], 4, dfs.Geometry{})
+		h, err := srv.Store.WriteFile("/mixed/file", bytes.Repeat([]byte{0xEE}, 12000))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := srv.WarmFile(h); err != nil {
+			t.Error(err)
+			return
+		}
+		clerk := dfs.NewClerk(p, ms[1], srv, dfs.DX)
+		for k := 0; k < 10; k++ {
+			clerk.FlushLocal()
+			got, err := clerk.Read(p, h, 0, 12000)
+			if err != nil || len(got) != 12000 {
+				t.Errorf("dfs read %d: %d bytes, %v", k, len(got), err)
+				return
+			}
+			p.Sleep(500 * time.Microsecond)
+		}
+		done["dfs"] = true
+	})
+
+	// Workload 2: raw remote-memory writes node 1 → node 2.
+	env.Spawn("rmem", func(p *des.Proc) {
+		seg := ms[2].Export(p, 8192)
+		seg.SetDefaultRights(rmem.RightsAll)
+		imp := ms[1].Import(p, 2, seg.ID(), seg.Gen(), seg.Size())
+		payload := bytes.Repeat([]byte{0x42}, 4096)
+		for k := 0; k < 10; k++ {
+			if err := imp.WriteBlock(p, 0, payload, false); err != nil {
+				t.Errorf("rmem write %d: %v", k, err)
+				return
+			}
+			p.Sleep(300 * time.Microsecond)
+		}
+		p.Sleep(10 * time.Millisecond)
+		if !bytes.Equal(seg.Bytes()[:4096], payload) {
+			t.Error("rmem payload corrupted under mixed load")
+		}
+		done["rmem"] = true
+	})
+
+	// Workload 3: RPC pings node 3 → node 2.
+	env.Spawn("rpc", func(p *des.Proc) {
+		for k := 0; k < 10; k++ {
+			r, err := rpcCli.Call(p, 2, 9, 1, []byte{byte(k)})
+			if err != nil || len(r) != 6 || r[5] != byte(k) {
+				t.Errorf("rpc call %d: %q %v", k, r, err)
+				return
+			}
+			p.Sleep(700 * time.Microsecond)
+		}
+		done["rpc"] = true
+	})
+
+	// Workload 4: SVM page ping-pong between nodes 0 and 2.
+	env.Spawn("svm", func(p *des.Proc) {
+		for k := 0; k < 6; k++ {
+			if err := agents[0].Write(p, 100, []byte{byte(k)}); err != nil {
+				t.Errorf("svm write %d: %v", k, err)
+				return
+			}
+			got, err := agents[2].Read(p, 100, 1)
+			if err != nil || got[0] != byte(k) {
+				t.Errorf("svm read %d: %v %v", k, got, err)
+				return
+			}
+		}
+		done["svm"] = true
+	})
+
+	if err := env.RunUntil(des.Time(5 * 60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"dfs", "rmem", "rpc", "svm"} {
+		if !done[w] {
+			t.Errorf("workload %s did not complete", w)
+		}
+	}
+	for _, n := range cl.Nodes {
+		if len(n.Faults) != 0 {
+			t.Errorf("node %d faults under mixed load: %v", n.ID, n.Faults)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package lrpc models same-machine cross-address-space RPC between a
+// client process and a server clerk. In the paper's structure (§3.2,
+// Figure 1) all client↔service control transfers happen through this local
+// path — "intra-node cross-domain calls, which have been shown to be
+// amenable to high-performance implementation" (LRPC, L3/L4 IPC) — while
+// cross-machine interactions use pure data transfer.
+//
+// The simulation models the LRPC hand-off the way LRPC itself works: the
+// client thread donates its execution context to the server domain, so the
+// handler runs synchronously in the caller's simulated process with a
+// fixed round-trip transport charge on the node's CPU.
+package lrpc
+
+import (
+	"fmt"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+)
+
+// Handler is a procedure exported by a local server. It runs on the
+// caller's simulated process (context donation); any CPU it consumes is
+// charged by the handler itself.
+type Handler func(p *des.Proc, args any) (any, error)
+
+// Server is a local-RPC dispatch table for one service on one node.
+type Server struct {
+	node  *cluster.Node
+	name  string
+	procs map[string]Handler
+
+	// Calls counts invocations per procedure.
+	Calls map[string]int64
+}
+
+// NewServer creates an empty local-RPC server for a service.
+func NewServer(node *cluster.Node, name string) *Server {
+	return &Server{
+		node:  node,
+		name:  name,
+		procs: make(map[string]Handler),
+		Calls: make(map[string]int64),
+	}
+}
+
+// Node returns the node the server lives on.
+func (s *Server) Node() *cluster.Node { return s.node }
+
+// Register installs a procedure. Registering a duplicate name panics —
+// it is a programming error in service construction.
+func (s *Server) Register(proc string, h Handler) {
+	if _, dup := s.procs[proc]; dup {
+		panic(fmt.Sprintf("lrpc: %s: duplicate procedure %q", s.name, proc))
+	}
+	s.procs[proc] = h
+}
+
+// Call performs a synchronous local RPC: the full protection-domain
+// crossing (trap, argument copy, domain switch, return) is charged as the
+// model's LocalRPC cost, then the handler runs in the caller's process.
+// The caller is blocked for the duration, exactly as in Figure 1.
+func (s *Server) Call(p *des.Proc, proc string, args any) (any, error) {
+	h, ok := s.procs[proc]
+	if !ok {
+		return nil, fmt.Errorf("lrpc: %s: no procedure %q", s.name, proc)
+	}
+	s.node.UseCPU(p, cluster.CatClient, s.node.P.LocalRPC)
+	s.Calls[proc]++
+	return h(p, args)
+}

@@ -1,0 +1,104 @@
+package lrpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+)
+
+func testNode(t *testing.T) (*des.Env, *cluster.Node) {
+	t.Helper()
+	env := des.NewEnv()
+	c := cluster.New(env, &model.Default, 2)
+	return env, c.Nodes[0]
+}
+
+func TestCallInvokesHandler(t *testing.T) {
+	env, node := testNode(t)
+	s := NewServer(node, "svc")
+	s.Register("double", func(p *des.Proc, args any) (any, error) {
+		return args.(int) * 2, nil
+	})
+	var got int
+	env.Spawn("client", func(p *des.Proc) {
+		v, err := s.Call(p, "double", 21)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = v.(int)
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+	if s.Calls["double"] != 1 {
+		t.Fatalf("call count = %d", s.Calls["double"])
+	}
+}
+
+func TestCallChargesLocalRPCCost(t *testing.T) {
+	env, node := testNode(t)
+	s := NewServer(node, "svc")
+	s.Register("nop", func(p *des.Proc, args any) (any, error) { return nil, nil })
+	var elapsed time.Duration
+	env.Spawn("client", func(p *des.Proc) {
+		start := p.Now()
+		if _, err := s.Call(p, "nop", nil); err != nil {
+			t.Error(err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != model.Default.LocalRPC {
+		t.Fatalf("null local RPC = %v, want %v", elapsed, model.Default.LocalRPC)
+	}
+}
+
+func TestUnknownProcedure(t *testing.T) {
+	env, node := testNode(t)
+	s := NewServer(node, "svc")
+	env.Spawn("client", func(p *des.Proc) {
+		if _, err := s.Call(p, "missing", nil); err == nil {
+			t.Error("no error for unknown procedure")
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	env, node := testNode(t)
+	s := NewServer(node, "svc")
+	boom := errors.New("boom")
+	s.Register("fail", func(p *des.Proc, args any) (any, error) { return nil, boom })
+	env.Spawn("client", func(p *des.Proc) {
+		if _, err := s.Call(p, "fail", nil); !errors.Is(err, boom) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	_, node := testNode(t)
+	s := NewServer(node, "svc")
+	s.Register("p", func(*des.Proc, any) (any, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Register("p", func(*des.Proc, any) (any, error) { return nil, nil })
+}

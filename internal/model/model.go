@@ -1,0 +1,338 @@
+// Package model holds every calibrated timing constant in the simulation,
+// in one place, each documented with the published measurement that pins it
+// down. The hardware being modelled is the paper's testbed: DECstation
+// 5000/200 workstations (MIPS R3000, ~25 MHz) running Ultrix, connected by
+// 140 Mb/s FORE TCA-100 ATM interfaces on the TURBOchannel, with
+// programmed I/O (no DMA) into per-interface TX/RX cell FIFOs.
+//
+// Calibration targets (Thekkath, Levy & Lazowska, ASPLOS '94):
+//
+//	Table 2:  remote READ 45 µs, WRITE 30 µs, CAS 38 µs,
+//	          4 KB block-write throughput 35.4 Mb/s,
+//	          notification overhead 260 µs,
+//	          local 40-byte write 15× faster than remote (≈2 µs).
+//	Table 3:  name-server export 665 µs, import 196 µs cached /
+//	          264 µs uncached, revoke 307 µs, lookup+notify 524 µs.
+//	Figure 2: per-op client latency, Hybrid-1 vs pure data transfer.
+//	Figure 3: per-op server CPU breakdown; DX < ½ HY on the Table 1a mix.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+const us = time.Microsecond
+
+// Params is the full cost model. A zero Params is invalid; use Default (the
+// calibrated DECstation/ATM model) and override fields for ablations.
+type Params struct {
+	// ---- ATM cell transport --------------------------------------------
+
+	// CellSize and CellPayload are the classic ATM framing: 53-byte cells
+	// carrying 48 payload bytes.
+	CellSize    int
+	CellPayload int
+
+	// LinkBandwidthBits is the raw link rate in bits/second (FORE ATM:
+	// 140 Mb/s). A cell's wire time is CellSize*8/LinkBandwidthBits.
+	LinkBandwidthBits int64
+
+	// PropagationDelay is the one-way signal latency of a link. The paper
+	// measures two hosts "connected directly without a switch"; within a
+	// machine room this is effectively zero at µs granularity.
+	PropagationDelay time.Duration
+
+	// SwitchLatency is the added per-cell latency of a cell switch, for
+	// topologies that use one ("we expect next-generation switches to
+	// introduce only small additional latency").
+	SwitchLatency time.Duration
+
+	// CellPushTx is sender CPU time to feed one cell into the TX FIFO by
+	// programmed I/O (word-at-a-time stores across the TURBOchannel).
+	CellPushTx time.Duration
+
+	// CellDrainRx is receiver CPU time to pull one cell out of the RX FIFO.
+	CellDrainRx time.Duration
+
+	// DepositPerCell is receiver CPU time to validate the descriptor window
+	// for a cell's span, walk the target process's translation table, and
+	// copy 48 bytes into its address space. Calibrated (together with
+	// CellDrainRx) so the 4 KB block-write pipeline bottlenecks at the
+	// receiver for a memory-to-memory throughput of 35.4 Mb/s: 48 B per
+	// 10.85 µs ⇒ 35.4 Mb/s, i.e. 70 % of the raw controller rate, matching
+	// the paper's §3.1.2.
+	DepositPerCell time.Duration
+
+	// TxFIFOCells / RxFIFOCells are the controller queue depths in cells.
+	TxFIFOCells int
+	RxFIFOCells int
+
+	// ---- Meta-instruction emulation (the rapid kernel trap) -------------
+
+	// MetaTrap is the cost of the unused-opcode trap into the tuned
+	// assembly emulation routine and back (user → kernel → user).
+	MetaTrap time.Duration
+
+	// PermCheck is the in-kernel validation of a remote access against the
+	// segment descriptor (rights, bounds, generation number).
+	PermCheck time.Duration
+
+	// RegisterFormat is the sender-side cost to gather the shared message
+	// registers into a cell for the small-WRITE variant.
+	RegisterFormat time.Duration
+
+	// CASFormat is the (smaller) sender-side cost to format a CAS request:
+	// two words, no message-register gather.
+	CASFormat time.Duration
+
+	// ReadFetch is the remote-side cost to locate the segment offset, read
+	// the data through the in-kernel translation table, and format the
+	// reply cell for a single-cell READ.
+	ReadFetch time.Duration
+
+	// ReadFetchPerCell is the remote-side per-cell cost to fetch
+	// subsequent cells of a block READ reply. After the first cell the
+	// descriptor validation and translation are cached, so this is a
+	// bare memory fetch — far below ReadFetch. Calibrated so serving a
+	// block READ costs the server slightly more than pushing the same
+	// block with a remote WRITE, but well below the Hybrid-1 path with
+	// its control transfer and procedure execution (Figure 3).
+	ReadFetchPerCell time.Duration
+
+	// CASExec is the remote-side compare-and-swap execution: one locked
+	// read-modify-write plus reply formatting ("fewer memory accesses on
+	// the sending and receiving sides" — hence CAS < READ).
+	CASExec time.Duration
+
+	// DepositResult is the requester-side cost to deposit a one-word CAS
+	// result (success/failure) into the local result segment.
+	DepositResult time.Duration
+
+	// LocalWordAccess is an ordinary local memory access for the 40-byte
+	// single-cell unit; the paper reports a local write of that size is
+	// 15× faster than the 30 µs remote write ⇒ 2 µs.
+	LocalWordAccess time.Duration
+
+	// ByteSwapPerCell is the added per-cell cost of byte-order conversion
+	// during programmed I/O (§3.6: "since we use programmed I/O to move
+	// data between the controller FIFO and memory, byte swapping can be
+	// readily performed" — cheap, but not free on a 25 MHz host).
+	ByteSwapPerCell time.Duration
+
+	// ---- Control transfer (notification) --------------------------------
+
+	// The 260 µs notification overhead decomposes into the Ultrix
+	// file-descriptor readiness path: marking the segment's descriptor
+	// ready and posting the signal (NotifyPost), a context switch to the
+	// notified process (ContextSwitch), and dispatching its signal handler
+	// (HandlerDispatch). All three are receiver-CPU time.
+	NotifyPost      time.Duration
+	ContextSwitch   time.Duration
+	HandlerDispatch time.Duration
+
+	// ---- Kernel call and local RPC --------------------------------------
+
+	// KernelCall is a standard Ultrix system-call entry/exit (heavier than
+	// the tuned MetaTrap path).
+	KernelCall time.Duration
+
+	// LocalRPC is a same-machine cross-address-space call and return
+	// between a client and a server clerk (an LRPC-style path; §3.2 cites
+	// Bershad's LRPC and Liedtke's IPC work as making this fast).
+	LocalRPC time.Duration
+
+	// ---- Name service (Table 3 components) ------------------------------
+
+	// SegmentCreate is kernel work to register an exported segment: create
+	// the descriptor, assign a generation number, pin pages, and install
+	// translation-table entries. Pinned down by export = KernelCall +
+	// LocalRPC + HashInsert + SegmentCreate = 665 µs.
+	SegmentCreate time.Duration
+
+	// SegmentTeardown is the kernel work to revoke a segment (invalidate
+	// descriptor, unpin, purge translations): revoke = KernelCall +
+	// LocalRPC + HashDelete + SegmentTeardown = 307 µs.
+	SegmentTeardown time.Duration
+
+	// HashInsert/HashLookup/HashDelete are clerk-registry operations on the
+	// open-addressed table (per probe for lookup).
+	HashInsert time.Duration
+	HashLookup time.Duration
+	HashDelete time.Duration
+
+	// ImportInstall is kernel work to install an imported descriptor into
+	// the importer's tables and mint the user handle; import(cached) =
+	// KernelCall + LocalRPC + HashLookup + ImportInstall = 196 µs.
+	ImportInstall time.Duration
+
+	// MissDetect is the clerk-side cost on an uncached import: checking
+	// the returned record's flag word, comparing names, and updating the
+	// local cache — import(uncached) − import(cached) − READ ≈ 23 µs.
+	MissDetect time.Duration
+
+	// SpinPoll is one user-level poll of a completion word while spin
+	// waiting for a remote write to land (§4.3's lookup-with-notification
+	// has the importer spin waiting).
+	SpinPoll time.Duration
+
+	// ---- RPC baseline (§2's six steps) -----------------------------------
+
+	// MarshalFixed/MarshalPerByte: stub cost to marshal or unmarshal a
+	// call's arguments into a packet.
+	MarshalFixed   time.Duration
+	MarshalPerByte time.Duration
+
+	// PacketProcess is operating-system packet handling on receive (step 2
+	// and step 5 of §2's control-transfer inventory).
+	PacketProcess time.Duration
+
+	// ThreadBlock is blocking the caller thread and rescheduling its
+	// processor (steps 1 and 4); ThreadDispatch is scheduling and
+	// dispatching the server (or resumed client) thread (steps 3 and 6).
+	ThreadBlock    time.Duration
+	ThreadDispatch time.Duration
+
+	// ProcInvoke is the server-side procedure invocation overhead once the
+	// server thread runs (stub entry, dispatch table, return).
+	ProcInvoke time.Duration
+}
+
+// Default is the calibrated DECstation 5000/200 + FORE TCA-100 model.
+// Derivations (see package comment for the targets):
+//
+//	wire time/cell    = 53 B × 8 / 140 Mb/s                      ≈ 3.03 µs
+//	WRITE (1 cell)    = MetaTrap + PermCheck + RegisterFormat +
+//	                    CellPushTx + wire + CellDrainRx +
+//	                    DepositPerCell
+//	                  = 7 + 2 + 3 + 4.2 + 3.03 + 4.5 + 6.35      ≈ 30 µs
+//	READ  (1+1 cell)  = MetaTrap + PermCheck + CellPushTx + wire +
+//	                    CellDrainRx + ReadFetch + CellPushTx + wire +
+//	                    CellDrainRx + DepositPerCell
+//	                  = 7+2+4.2 + 3.03 + 4.5+6.2+4.2 + 3.03 +
+//	                    4.5+6.35                                 ≈ 45 µs
+//	CAS   (1+1 cell)  = MetaTrap + PermCheck + CASFormat + CellPushTx +
+//	                    wire + CellDrainRx + CASExec + CellPushTx +
+//	                    wire + CellDrainRx + DepositResult
+//	                  = 7+2+2+4.2 + 3.03 + 4.5+2.5+4.2 + 3.03 +
+//	                    4.5+1.0                                  ≈ 38 µs
+//	block throughput  : receiver stage = CellDrainRx + DepositPerCell
+//	                  = 10.85 µs per 48 B payload                ≈ 35.4 Mb/s
+//	notification      = NotifyPost + ContextSwitch + HandlerDispatch
+//	                  = 90 + 100 + 70                            = 260 µs
+//	export            = KernelCall + LocalRPC + HashInsert + SegmentCreate
+//	                  = 45 + 140 + 60 + 420                      = 665 µs
+//	import (cached)   = KernelCall + LocalRPC + HashLookup + ImportInstall
+//	                  = 45 + 140 + 6 + 5                         = 196 µs
+//	import (uncached) = cached + READ + MissDetect
+//	                  = 196 + 45 + 23                            = 264 µs
+//	revoke            = KernelCall + LocalRPC + HashDelete + SegmentTeardown
+//	                  = 45 + 140 + 30 + 92                       = 307 µs
+var Default = Params{
+	CellSize:          53,
+	CellPayload:       48,
+	LinkBandwidthBits: 140_000_000,
+	PropagationDelay:  0,
+	SwitchLatency:     1 * us,
+	CellPushTx:        4200 * time.Nanosecond,
+	CellDrainRx:       4500 * time.Nanosecond,
+	DepositPerCell:    6350 * time.Nanosecond,
+	TxFIFOCells:       292, // TCA-100 has ~2 KB-class FIFOs per direction
+	RxFIFOCells:       292,
+
+	MetaTrap:         7 * us,
+	PermCheck:        2 * us,
+	RegisterFormat:   3 * us,
+	CASFormat:        2 * us,
+	ReadFetch:        6200 * time.Nanosecond,
+	ReadFetchPerCell: 800 * time.Nanosecond,
+	CASExec:          2500 * time.Nanosecond,
+	DepositResult:    1 * us,
+	LocalWordAccess:  2 * us,
+	ByteSwapPerCell:  300 * time.Nanosecond,
+
+	NotifyPost:      90 * us,
+	ContextSwitch:   100 * us,
+	HandlerDispatch: 70 * us,
+
+	KernelCall: 45 * us,
+	LocalRPC:   140 * us,
+
+	SegmentCreate:   420 * us,
+	SegmentTeardown: 92 * us,
+	HashInsert:      60 * us,
+	HashLookup:      6 * us,
+	HashDelete:      30 * us,
+	ImportInstall:   5 * us,
+	MissDetect:      23 * us,
+	SpinPoll:        2 * us,
+
+	MarshalFixed:   30 * us,
+	MarshalPerByte: 25 * time.Nanosecond,
+	PacketProcess:  60 * us,
+	ThreadBlock:    40 * us,
+	ThreadDispatch: 55 * us,
+	ProcInvoke:     25 * us,
+}
+
+// CellWireTime returns the serialization delay of one cell on the link.
+func (p *Params) CellWireTime() time.Duration {
+	return time.Duration(int64(p.CellSize) * 8 * int64(time.Second) / p.LinkBandwidthBits)
+}
+
+// CellsFor returns the number of cells needed to carry n payload bytes
+// (minimum 1: a zero-byte transfer still sends a request cell).
+func (p *Params) CellsFor(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + p.CellPayload - 1) / p.CellPayload
+}
+
+// NotifyOverhead is the full receiver-side control-transfer cost charged
+// when a request carries notification (Table 2's 260 µs).
+func (p *Params) NotifyOverhead() time.Duration {
+	return p.NotifyPost + p.ContextSwitch + p.HandlerDispatch
+}
+
+// RxPerCell is the receiver-side per-cell service time, the bottleneck
+// stage that sets block throughput.
+func (p *Params) RxPerCell() time.Duration {
+	return p.CellDrainRx + p.DepositPerCell
+}
+
+// BlockThroughputBits predicts steady-state memory-to-memory block-transfer
+// throughput in bits/second from the pipeline bottleneck stage.
+func (p *Params) BlockThroughputBits() float64 {
+	bottleneck := p.RxPerCell()
+	if t := p.CellPushTx; t > bottleneck {
+		bottleneck = t
+	}
+	if t := p.CellWireTime(); t > bottleneck {
+		bottleneck = t
+	}
+	return float64(p.CellPayload*8) / bottleneck.Seconds()
+}
+
+// Validate checks a (possibly ablated) parameter set for basic sanity:
+// positive sizes and costs where zero would wedge the simulation, and the
+// structural property the calibration relies on (the receiver's per-cell
+// work, not the wire, bounds block throughput is NOT required — ablations
+// may flip it — but the wire must be able to carry a cell at all).
+func (p *Params) Validate() error {
+	switch {
+	case p.CellSize <= 0 || p.CellPayload <= 0 || p.CellPayload >= p.CellSize:
+		return fmt.Errorf("model: cell geometry %d/%d invalid", p.CellPayload, p.CellSize)
+	case p.LinkBandwidthBits <= 0:
+		return fmt.Errorf("model: link bandwidth must be positive")
+	case p.TxFIFOCells <= 0 || p.RxFIFOCells <= 0:
+		return fmt.Errorf("model: FIFO depths must be positive")
+	case p.CellPushTx <= 0 || p.CellDrainRx <= 0:
+		return fmt.Errorf("model: per-cell PIO costs must be positive")
+	case p.MetaTrap < 0 || p.PermCheck < 0 || p.DepositPerCell < 0:
+		return fmt.Errorf("model: emulation costs must be non-negative")
+	case p.NotifyPost < 0 || p.ContextSwitch < 0 || p.HandlerDispatch < 0:
+		return fmt.Errorf("model: notification costs must be non-negative")
+	}
+	return nil
+}

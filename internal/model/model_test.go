@@ -1,0 +1,112 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+// within asserts got is within tol (fractional) of want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero target", name)
+	}
+	rel := (got - want) / want
+	if rel < -tol || rel > tol {
+		t.Errorf("%s = %v, want %v (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestCellWireTime(t *testing.T) {
+	// 53 bytes at 140 Mb/s ≈ 3.03 µs.
+	got := Default.CellWireTime()
+	within(t, "cell wire time", got.Seconds(), 3.03e-6, 0.01)
+}
+
+func TestCellsFor(t *testing.T) {
+	cases := []struct{ bytes, cells int }{
+		{0, 1}, {1, 1}, {40, 1}, {48, 1}, {49, 2}, {96, 2}, {512, 11},
+		{1024, 22}, {4096, 86}, {8192, 171},
+	}
+	for _, c := range cases {
+		if got := Default.CellsFor(c.bytes); got != c.cells {
+			t.Errorf("CellsFor(%d) = %d, want %d", c.bytes, got, c.cells)
+		}
+	}
+}
+
+func TestBlockThroughputMatchesTable2(t *testing.T) {
+	// Table 2: 35.4 Mb/s memory-to-memory block throughput.
+	within(t, "block throughput", Default.BlockThroughputBits(), 35.4e6, 0.02)
+}
+
+func TestThroughputIs70PercentOfRawController(t *testing.T) {
+	// §3.1.2: "Our implementation achieves 70% of the performance that the
+	// raw controller hardware is capable of." Raw controller payload rate
+	// = 48/53 × 140 Mb/s ≈ 126.8 Mb/s; 35.4/126.8 ≈ 28%... the paper's
+	// "raw controller" baseline is the achievable PIO rate of the TCA-100
+	// on a DECstation, not the link rate. What we check here is the claim
+	// we *can* preserve: our modelled throughput is well below the link
+	// rate, i.e. the host, not the wire, is the bottleneck.
+	if Default.BlockThroughputBits() >= float64(Default.LinkBandwidthBits) {
+		t.Fatal("modelled throughput exceeds link rate; host should be the bottleneck")
+	}
+}
+
+func TestNotifyOverheadMatchesTable2(t *testing.T) {
+	// Table 2: 260 µs notification overhead.
+	if got := Default.NotifyOverhead(); got != 260*time.Microsecond {
+		t.Fatalf("notify overhead = %v, want 260µs", got)
+	}
+}
+
+func TestTable3ComponentSums(t *testing.T) {
+	p := &Default
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+	export := p.KernelCall + p.LocalRPC + p.HashInsert + p.SegmentCreate
+	within(t, "export component sum", us(export), 665, 0.02)
+
+	importCached := p.KernelCall + p.LocalRPC + p.HashLookup + p.ImportInstall
+	within(t, "import(cached) component sum", us(importCached), 196, 0.02)
+
+	revoke := p.KernelCall + p.LocalRPC + p.HashDelete + p.SegmentTeardown
+	within(t, "revoke component sum", us(revoke), 307, 0.02)
+}
+
+func TestLocalAccessIs15xFasterThanRemoteWrite(t *testing.T) {
+	// §3.1.2: a processor-local write of one ATM cell's worth of data is
+	// "only 15 times faster" than the 30 µs remote write.
+	ratio := 30.0 / (float64(Default.LocalWordAccess) / float64(time.Microsecond))
+	within(t, "local/remote write ratio", ratio, 15, 0.05)
+}
+
+func TestRxPerCellIsBottleneck(t *testing.T) {
+	p := &Default
+	if p.RxPerCell() <= p.CellPushTx || p.RxPerCell() <= p.CellWireTime() {
+		t.Fatal("receiver stage should be the pipeline bottleneck in the calibrated model")
+	}
+}
+
+func TestValidateDefault(t *testing.T) {
+	if err := Default.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesNonsense(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.CellPayload = p.CellSize + 1 },
+		func(p *Params) { p.LinkBandwidthBits = 0 },
+		func(p *Params) { p.TxFIFOCells = 0 },
+		func(p *Params) { p.CellPushTx = 0 },
+		func(p *Params) { p.NotifyPost = -1 },
+	}
+	for i, mutate := range cases {
+		p := Default
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: nonsense params validated", i)
+		}
+	}
+}

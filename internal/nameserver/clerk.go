@@ -1,0 +1,360 @@
+package nameserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// ---------------------------------------------------------------------------
+// User-facing operations. Each follows the paper's path: the user makes a
+// kernel call, which the kernel turns into a local RPC to the clerk.
+
+// Export creates and pins a new segment of the given size, grants rights,
+// and registers it under name with the local clerk (the ADDNAME RPC).
+// Table 3's 665 µs export is the sum of this path: kernel call + segment
+// creation + local RPC + registry insert.
+func (c *Clerk) Export(p *des.Proc, name string, size int, rights rmem.Rights) (*rmem.Segment, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	c.m.Node.KernelCall(p)
+	seg := c.m.Export(p, size)
+	seg.SetDefaultRights(rights)
+	if _, err := c.srv.Call(p, "ADDNAME", addArgs{name: name, seg: seg}); err != nil {
+		c.m.Revoke(p, seg)
+		return nil, err
+	}
+	return seg, nil
+}
+
+// Import resolves name to a remote segment and installs a kernel
+// descriptor for it. If the clerk's cache cannot satisfy the lookup, the
+// user-supplied hint names the machine whose clerk should be probed
+// (§4.2: "it uses a user-supplied hint, specifying a remote machine");
+// hint < 0 means no hint. force skips the cache, the explicit remote
+// lookup the paper gives users to cope with staleness.
+func (c *Clerk) Import(p *des.Proc, name string, hint int, force bool) (*rmem.Import, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	c.m.Node.KernelCall(p)
+	v, err := c.srv.Call(p, "LOOKUPNAME", lookupArgs{p: p, name: name, hint: hint, force: force})
+	if err != nil {
+		return nil, err
+	}
+	rec := v.(Record)
+	imp := c.m.Import(p, rec.Node, rec.Seg, rec.Gen, rec.Size)
+	c.kernelImports[name] = append(c.kernelImports[name], imp)
+	return imp, nil
+}
+
+// Lookup resolves a name to its record without installing a descriptor.
+func (c *Clerk) Lookup(p *des.Proc, name string, hint int, force bool) (Record, error) {
+	if err := validName(name); err != nil {
+		return Record{}, err
+	}
+	c.m.Node.KernelCall(p)
+	v, err := c.srv.Call(p, "LOOKUPNAME", lookupArgs{p: p, name: name, hint: hint, force: force})
+	if err != nil {
+		return Record{}, err
+	}
+	return v.(Record), nil
+}
+
+// Revoke unregisters a locally exported name and tears the segment down
+// (the DELETENAME RPC). Remote clerks discover the deletion lazily: their
+// cached generation numbers stop matching, and their next refresh purges
+// the entry.
+func (c *Clerk) Revoke(p *des.Proc, name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	c.m.Node.KernelCall(p)
+	_, err := c.srv.Call(p, "DELETENAME", name)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Clerk procedures (behind local RPC).
+
+type addArgs struct {
+	name string
+	seg  *rmem.Segment
+}
+
+type lookupArgs struct {
+	p     *des.Proc
+	name  string
+	hint  int
+	force bool
+}
+
+func (c *Clerk) addName(p *des.Proc, args any) (any, error) {
+	a := args.(addArgs)
+	n := c.m.Node
+	n.UseCPU(p, cluster.CatClient, n.P.HashInsert)
+	rec := Record{Name: a.name, Node: n.ID, Seg: a.seg.ID(), Gen: a.seg.Gen(), Size: a.seg.Size()}
+	reg := c.registry.Bytes()
+	b := c.hash(a.name)
+	for probe := 0; probe < c.cfg.Buckets; probe++ {
+		off := ((b + probe) % c.cfg.Buckets) * recStride
+		flag, old := parseRecord(reg[off:])
+		switch {
+		case flag == flagValid && old.Name == a.name:
+			return nil, ErrExists
+		case flag == flagValid:
+			continue // collision: linear probe
+		default:
+			// Single-writer update protocol: invalidate, fill, validate.
+			// The final flag store is a single-word write, atomic with
+			// respect to remote reads (§3.4).
+			binary.BigEndian.PutUint32(reg[off:], flagEmpty)
+			packRecord(reg[off:], rec, flagEmpty)
+			binary.BigEndian.PutUint32(reg[off:], flagValid)
+			return nil, nil
+		}
+	}
+	return nil, ErrTableFull
+}
+
+func (c *Clerk) deleteName(p *des.Proc, args any) (any, error) {
+	name := args.(string)
+	n := c.m.Node
+	n.UseCPU(p, cluster.CatClient, n.P.HashDelete)
+	reg := c.registry.Bytes()
+	b := c.hash(name)
+	for probe := 0; probe < c.cfg.Buckets; probe++ {
+		off := ((b + probe) % c.cfg.Buckets) * recStride
+		flag, old := parseRecord(reg[off:])
+		if flag == flagEmpty {
+			return nil, ErrNotFound
+		}
+		if flag == flagValid && old.Name == name {
+			// Tombstone the bucket and tear down the segment. Generation
+			// numbers let remote holders fail safely on stale access.
+			binary.BigEndian.PutUint32(reg[off:], flagTombstone)
+			if seg, ok := c.m.Lookup(old.Seg); ok {
+				c.m.Revoke(p, seg)
+			}
+			return nil, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (c *Clerk) lookupName(p *des.Proc, args any) (any, error) {
+	a := args.(lookupArgs)
+	n := c.m.Node
+	n.UseCPU(p, cluster.CatClient, n.P.HashLookup)
+
+	if !a.force {
+		// Local exports first.
+		if rec, ok := c.localLookup(a.name); ok {
+			c.CacheHits++
+			return rec, nil
+		}
+		// Then the cache of previously imported names.
+		if rec, ok := c.cache[a.name]; ok {
+			c.CacheHits++
+			return rec, nil
+		}
+	}
+	c.CacheMisses++
+	if a.hint < 0 {
+		return nil, ErrNoHint
+	}
+	rec, err := c.remoteLookup(a.p, a.name, a.hint)
+	if err != nil {
+		return nil, err
+	}
+	// MissDetect: validate the returned record's flag word, compare the
+	// name, and install it in the cache.
+	n.UseCPU(p, cluster.CatClient, n.P.MissDetect)
+	c.cache[a.name] = rec
+	return rec, nil
+}
+
+// localLookup scans the clerk's own registry segment (no simulated cost —
+// the caller charged HashLookup already).
+func (c *Clerk) localLookup(name string) (Record, bool) {
+	reg := c.registry.Bytes()
+	b := c.hash(name)
+	for probe := 0; probe < c.cfg.Buckets; probe++ {
+		off := ((b + probe) % c.cfg.Buckets) * recStride
+		flag, rec := parseRecord(reg[off:])
+		if flag == flagEmpty {
+			return Record{}, false
+		}
+		if flag == flagValid && rec.Name == name {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Remote lookup: the §4.2 policies.
+
+// scratch returns a private area of the reply segment used as the deposit
+// target for probe reads (one slot per peer keeps concurrent lookups from
+// different nodes apart; a single clerk performs one lookup at a time).
+func (c *Clerk) scratch(peer int) int { return peer * repSlotSize }
+
+func (c *Clerk) remoteLookup(p *des.Proc, name string, hint int) (Record, error) {
+	reg, ok := c.peerReg[hint]
+	if !ok {
+		return Record{}, fmt.Errorf("nameserver: no clerk known on node %d", hint)
+	}
+	probeBudget := c.cfg.Buckets
+	switch c.cfg.Policy {
+	case ControlTransfer:
+		probeBudget = 0
+	case ProbeThenTransfer:
+		probeBudget = c.cfg.ProbeLimit
+	}
+
+	b := c.hash(name)
+	dst := c.reply
+	doff := c.scratch(hint) + 4 // keep word 0 free as a spin flag
+	for probe := 0; probe < probeBudget; probe++ {
+		off := ((b + probe) % c.cfg.Buckets) * recStride
+		c.RemoteProbes++
+		if err := reg.Read(p, off, recRead, dst, doff, time.Second); err != nil {
+			return Record{}, err
+		}
+		flag, rec := parseRecord(dst.Bytes()[doff:])
+		if flag == flagEmpty {
+			return Record{}, ErrNotFound
+		}
+		if flag == flagValid && rec.Name == name {
+			return rec, nil
+		}
+		// Collision or tombstone on the remote side: probe the next
+		// bucket (identical hash functions make this rare).
+	}
+	if c.cfg.Policy == ProbeForever {
+		return Record{}, ErrNotFound
+	}
+	return c.controlLookup(p, name, hint)
+}
+
+// controlLookup is option (2)/(3): a remote write with control transfer
+// asking the other side's clerk to check its own table and write the
+// answer back; the importer spin waits at user level (§4.3).
+func (c *Clerk) controlLookup(p *des.Proc, name string, hint int) (Record, error) {
+	c.ControlTransfers++
+	n := c.m.Node
+	req := c.peerReq[hint]
+	myID := n.ID
+
+	// Clear the spin flag, then send the request with notification.
+	flagOff := c.scratch(hint)
+	binary.BigEndian.PutUint32(c.reply.Bytes()[flagOff:], 0)
+	var nameBuf [reqSlotSize]byte
+	copy(nameBuf[:MaxName], name)
+	if err := req.Write(p, myID*reqSlotSize, nameBuf[:], true); err != nil {
+		return Record{}, err
+	}
+	// Spin wait for the answering clerk's remote write to land.
+	deadline := p.Now().Add(time.Second)
+	for {
+		n.UseCPU(p, cluster.CatClient, n.P.SpinPoll)
+		if binary.BigEndian.Uint32(c.reply.Bytes()[flagOff:]) != 0 {
+			break
+		}
+		if p.Now() > deadline {
+			return Record{}, rmem.ErrTimeout
+		}
+		p.Sleep(3 * time.Microsecond)
+	}
+	flag, rec := parseRecord(c.reply.Bytes()[flagOff+4:])
+	if flag != flagValid || rec.Name != name {
+		return Record{}, ErrNotFound
+	}
+	return rec, nil
+}
+
+// serveControlLookup is the exporting clerk's signal handler: on a
+// notified write into the request segment, look the name up locally and
+// write the answer (record + completion flag) straight into the
+// requester's reply segment with a remote write — data transfer only, no
+// further control transfer.
+func (c *Clerk) serveControlLookup(p *des.Proc, note rmem.Notification) {
+	n := c.m.Node
+	slot := note.Src * reqSlotSize
+	raw := c.request.Bytes()[slot : slot+MaxName]
+	name := raw
+	for i, ch := range name {
+		if ch == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	n.UseCPU(p, cluster.CatProc, n.P.HashLookup)
+	var buf [repSlotSize]byte
+	if rec, ok := c.localLookup(string(name)); ok {
+		packRecord(buf[4:], rec, flagValid)
+	} else {
+		packRecord(buf[4:], Record{}, flagTombstone)
+	}
+	binary.BigEndian.PutUint32(buf[0:], 1) // completion flag
+	rep, ok := c.peerRep[note.Src]
+	if !ok {
+		return // requester unknown; nothing to answer
+	}
+	// One remote write delivers flag+record; the flag word leads the
+	// record in memory order, and the deposit is frame-atomic.
+	if err := rep.WriteBlock(p, c.scratch(n.ID), buf[:], false); err != nil {
+		c.m.WriteFaults = append(c.m.WriteFaults, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cache refresh (§4.1): periodically re-validate imported entries; purge
+// the ones that no longer check out and poison the kernel descriptors that
+// were handed out for them.
+
+// RefreshNow re-reads the source record for every cached import and purges
+// entries that are gone or re-exported under a new generation.
+func (c *Clerk) RefreshNow(p *des.Proc) {
+	for name, rec := range c.cache {
+		reg, ok := c.peerReg[rec.Node]
+		if !ok {
+			continue
+		}
+		doff := c.scratch(rec.Node) + 4
+		b := c.hash(name)
+		stillValid := false
+		for probe := 0; probe < c.cfg.Buckets; probe++ {
+			off := ((b + probe) % c.cfg.Buckets) * recStride
+			c.RemoteProbes++
+			if err := reg.Read(p, off, recRead, c.reply, doff, time.Second); err != nil {
+				break
+			}
+			flag, cur := parseRecord(c.reply.Bytes()[doff:])
+			if flag == flagEmpty {
+				break
+			}
+			if cur.Name == name {
+				stillValid = flag == flagValid && cur.Gen == rec.Gen
+				break
+			}
+		}
+		if !stillValid {
+			delete(c.cache, name)
+			for _, imp := range c.kernelImports[name] {
+				imp.MarkStale()
+			}
+			delete(c.kernelImports, name)
+			c.Purged++
+		}
+	}
+}
+
+// CachedNames reports how many imported names are currently cached.
+func (c *Clerk) CachedNames() int { return len(c.cache) }

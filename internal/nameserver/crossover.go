@@ -1,0 +1,95 @@
+package nameserver
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// §4.2's cost argument, made measurable: "The choice of which option to
+// use is application dependent and is related to the cost of doing
+// lookups, the number of expected lookups, and the cost of transferring
+// control. Given the relative costs of remote data transfer in our
+// implementation, we use the first option [probe with remote reads],
+// because that gives us the best performance. Control transfer is a
+// viable option in our case only if we expect seven or more collisions to
+// occur in the hash table."
+
+// collidingNames returns k+1 names that all hash to the same bucket of a
+// cfg-sized table (the first will sit in the home bucket; the rest probe
+// down the chain).
+func collidingNames(cfg Config, k int) []string {
+	cfg.fill()
+	probe := &Clerk{cfg: cfg}
+	target := -1
+	var names []string
+	for i := 0; len(names) <= k; i++ {
+		name := fmt.Sprintf("c%05d", i)
+		h := probe.hash(name)
+		if target < 0 {
+			target = h
+		}
+		if h == target {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// MeasureCollisionLookup measures one uncached import of a name that sits
+// k probes deep in the exporter's registry, under the given policy.
+func MeasureCollisionLookup(params *model.Params, k int, policy LookupPolicy) (time.Duration, error) {
+	cfg := Config{Buckets: 61, Policy: policy}
+	names := collidingNames(cfg, k)
+	env := des.NewEnv()
+	cl := cluster.New(env, params, 2)
+	clerks := []*Clerk{
+		New(rmem.NewManager(cl.Nodes[0]), []int{0, 1}, cfg),
+		New(rmem.NewManager(cl.Nodes[1]), []int{0, 1}, cfg),
+	}
+	var elapsed time.Duration
+	var err error
+	env.Spawn("measure", func(p *des.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		for _, n := range names {
+			if _, e := clerks[1].Export(p, n, 64, rmem.RightsAll); e != nil {
+				err = e
+				return
+			}
+		}
+		start := p.Now()
+		if _, e := clerks[0].Import(p, names[k], 1, false); e != nil {
+			err = e
+			return
+		}
+		elapsed = time.Duration(p.Now().Sub(start))
+	})
+	if runErr := env.RunUntil(des.Time(time.Minute)); runErr != nil {
+		return 0, runErr
+	}
+	return elapsed, err
+}
+
+// ProbeTransferCrossover finds the smallest collision depth at which
+// resolving a lookup by control transfer becomes cheaper than probing
+// with remote reads (the paper measures this at about seven).
+func ProbeTransferCrossover(params *model.Params, maxK int) (int, error) {
+	for k := 1; k <= maxK; k++ {
+		probe, err := MeasureCollisionLookup(params, k, ProbeForever)
+		if err != nil {
+			return 0, fmt.Errorf("probe at depth %d: %w", k, err)
+		}
+		ct, err := MeasureCollisionLookup(params, k, ControlTransfer)
+		if err != nil {
+			return 0, fmt.Errorf("control transfer at depth %d: %w", k, err)
+		}
+		if ct < probe {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("no crossover up to depth %d", maxK)
+}

@@ -1,0 +1,68 @@
+package nameserver
+
+import (
+	"testing"
+
+	"netmem/internal/model"
+)
+
+func TestCollidingNamesActuallyCollide(t *testing.T) {
+	cfg := Config{Buckets: 61}
+	names := collidingNames(cfg, 8)
+	if len(names) != 9 {
+		t.Fatalf("got %d names", len(names))
+	}
+	probe := &Clerk{cfg: cfg}
+	probe.cfg.fill()
+	h0 := probe.hash(names[0])
+	for _, n := range names[1:] {
+		if probe.hash(n) != h0 {
+			t.Fatalf("%q does not collide with %q", n, names[0])
+		}
+	}
+}
+
+func TestProbeCostGrowsLinearly(t *testing.T) {
+	p1, err := MeasureCollisionLookup(&model.Default, 1, ProbeForever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := MeasureCollisionLookup(&model.Default, 5, ProbeForever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four extra probes ≈ four extra remote reads (~47µs each).
+	extra := (p5 - p1).Microseconds()
+	if extra < 4*40 || extra > 4*60 {
+		t.Fatalf("4 extra probes cost %dµs, want ≈4×47µs", extra)
+	}
+}
+
+func TestControlTransferCostIsFlat(t *testing.T) {
+	c1, err := MeasureCollisionLookup(&model.Default, 1, ControlTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := MeasureCollisionLookup(&model.Default, 8, ControlTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The answering clerk scans its local table; depth adds only local
+	// probes, which are far cheaper than remote ones.
+	if diff := (c8 - c1).Microseconds(); diff < -20 || diff > 60 {
+		t.Fatalf("control-transfer cost moved %dµs between depth 1 and 8; should be nearly flat", diff)
+	}
+}
+
+func TestCrossoverAtAboutSevenCollisions(t *testing.T) {
+	// §4.2: "Control transfer is a viable option in our case only if we
+	// expect seven or more collisions to occur in the hash table."
+	k, err := ProbeTransferCrossover(&model.Default, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("control transfer overtakes probing at %d collisions (paper: ≈7)", k)
+	if k < 5 || k > 10 {
+		t.Fatalf("crossover at %d collisions, paper says about seven", k)
+	}
+}

@@ -1,0 +1,120 @@
+package nameserver
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// Table3 holds the reproduced measurements of the paper's Table 3 ("Name
+// Server Performance") — elapsed time seen by the user, kernel-mediated.
+type Table3 struct {
+	Export         time.Duration // paper: 665 µs
+	ImportCached   time.Duration // paper: 196 µs
+	ImportUncached time.Duration // paper: 264 µs
+	Revoke         time.Duration // paper: 307 µs
+	LookupNotify   time.Duration // paper: 524 µs
+}
+
+// MeasureTable3 runs the five Table 3 operations, each on a fresh
+// two-clerk cluster under the given cost model.
+func MeasureTable3(params *model.Params) (Table3, error) {
+	var out Table3
+
+	run := func(cfg Config, fn func(p *des.Proc, clerks []*Clerk) (time.Duration, error)) (time.Duration, error) {
+		env := des.NewEnv()
+		cl := cluster.New(env, params, 2)
+		clerks := []*Clerk{
+			New(rmem.NewManager(cl.Nodes[0]), []int{0, 1}, cfg),
+			New(rmem.NewManager(cl.Nodes[1]), []int{0, 1}, cfg),
+		}
+		var result time.Duration
+		var err error
+		env.Spawn("measure", func(p *des.Proc) {
+			p.Sleep(10 * time.Millisecond) // clerks boot
+			result, err = fn(p, clerks)
+		})
+		if runErr := env.RunUntil(des.Time(time.Minute)); runErr != nil {
+			return 0, runErr
+		}
+		return result, err
+	}
+
+	timed := func(p *des.Proc, fn func() error) (time.Duration, error) {
+		start := p.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		return time.Duration(p.Now().Sub(start)), nil
+	}
+
+	var err error
+	out.Export, err = run(Config{}, func(p *des.Proc, clerks []*Clerk) (time.Duration, error) {
+		return timed(p, func() error {
+			_, e := clerks[0].Export(p, "bench", 4096, rmem.RightsAll)
+			return e
+		})
+	})
+	if err != nil {
+		return out, fmt.Errorf("export: %w", err)
+	}
+
+	out.ImportUncached, err = run(Config{}, func(p *des.Proc, clerks []*Clerk) (time.Duration, error) {
+		if _, e := clerks[1].Export(p, "bench", 64, rmem.RightsAll); e != nil {
+			return 0, e
+		}
+		return timed(p, func() error {
+			_, e := clerks[0].Import(p, "bench", 1, false)
+			return e
+		})
+	})
+	if err != nil {
+		return out, fmt.Errorf("import uncached: %w", err)
+	}
+
+	out.ImportCached, err = run(Config{}, func(p *des.Proc, clerks []*Clerk) (time.Duration, error) {
+		if _, e := clerks[1].Export(p, "bench", 64, rmem.RightsAll); e != nil {
+			return 0, e
+		}
+		if _, e := clerks[0].Import(p, "bench", 1, false); e != nil {
+			return 0, e
+		}
+		return timed(p, func() error {
+			_, e := clerks[0].Import(p, "bench", 1, false)
+			return e
+		})
+	})
+	if err != nil {
+		return out, fmt.Errorf("import cached: %w", err)
+	}
+
+	out.Revoke, err = run(Config{}, func(p *des.Proc, clerks []*Clerk) (time.Duration, error) {
+		if _, e := clerks[0].Export(p, "bench", 64, rmem.RightsAll); e != nil {
+			return 0, e
+		}
+		return timed(p, func() error { return clerks[0].Revoke(p, "bench") })
+	})
+	if err != nil {
+		return out, fmt.Errorf("revoke: %w", err)
+	}
+
+	out.LookupNotify, err = run(Config{Policy: ControlTransfer},
+		func(p *des.Proc, clerks []*Clerk) (time.Duration, error) {
+			if _, e := clerks[1].Export(p, "bench", 64, rmem.RightsAll); e != nil {
+				return 0, e
+			}
+			return timed(p, func() error {
+				_, e := clerks[0].Import(p, "bench", 1, false)
+				return e
+			})
+		})
+	if err != nil {
+		return out, fmt.Errorf("lookup with notification: %w", err)
+	}
+
+	return out, nil
+}

@@ -1,0 +1,458 @@
+package nameserver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// testCluster builds n nodes, each with an rmem manager and a name clerk.
+func testCluster(t *testing.T, n int, cfg Config) (*des.Env, []*rmem.Manager, []*Clerk) {
+	t.Helper()
+	env := des.NewEnv()
+	cl := cluster.New(env, &model.Default, n)
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	var ms []*rmem.Manager
+	var clerks []*Clerk
+	for i := 0; i < n; i++ {
+		m := rmem.NewManager(cl.Nodes[i])
+		ms = append(ms, m)
+		clerks = append(clerks, New(m, peers, cfg))
+	}
+	return env, ms, clerks
+}
+
+// runAfterBoot runs fn once clerks have finished booting.
+func runAfterBoot(t *testing.T, env *des.Env, fn func(p *des.Proc)) {
+	t.Helper()
+	env.Spawn("test", func(p *des.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		fn(p)
+	})
+	if err := env.RunUntil(des.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportThenLocalImport(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		seg, err := clerks[0].Export(p, "frame-buffer", 4096, rmem.RightsAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, err := clerks[0].Import(p, "frame-buffer", -1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imp.Node() != 0 || imp.SegID() != seg.ID() || imp.Gen() != seg.Gen() || imp.Size() != 4096 {
+			t.Fatalf("imported %+v, exported id=%d gen=%d", imp, seg.ID(), seg.Gen())
+		}
+	})
+}
+
+func TestCrossNodeImportAndUse(t *testing.T) {
+	env, ms, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		seg, err := clerks[1].Export(p, "shared", 256, rmem.RightsAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, err := clerks[0].Import(p, "shared", 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := imp.Write(p, 0, []byte("through the registry"), false); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+		if string(seg.Bytes()[:20]) != "through the registry" {
+			t.Fatalf("segment = %q", seg.Bytes()[:20])
+		}
+		_ = ms
+	})
+}
+
+func TestSecondImportHitsCache(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "svc", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Import(p, "svc", 1, false); err != nil {
+			t.Fatal(err)
+		}
+		probesAfterFirst := clerks[0].RemoteProbes
+		if probesAfterFirst == 0 {
+			t.Fatal("first import should probe remotely")
+		}
+		if _, err := clerks[0].Import(p, "svc", 1, false); err != nil {
+			t.Fatal(err)
+		}
+		if clerks[0].RemoteProbes != probesAfterFirst {
+			t.Fatal("second import probed remotely despite cache")
+		}
+		if clerks[0].CacheHits == 0 {
+			t.Fatal("no cache hit recorded")
+		}
+	})
+}
+
+func TestImportUnknownName(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[0].Import(p, "no-such", 1, false); err != ErrNotFound {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+		if _, err := clerks[0].Import(p, "no-such", -1, false); err != ErrNoHint {
+			t.Fatalf("err = %v, want ErrNoHint", err)
+		}
+	})
+}
+
+func TestDuplicateExport(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[0].Export(p, "dup", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Export(p, "dup", 64, rmem.RightsAll); err != ErrExists {
+			t.Fatalf("err = %v, want ErrExists", err)
+		}
+	})
+}
+
+func TestBadNames(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		for _, name := range []string{"", "this-name-is-way-too-long-to-register", "nul\x00byte"} {
+			if _, err := clerks[0].Export(p, name, 64, rmem.RightsAll); err != ErrBadName {
+				t.Errorf("Export(%q) err = %v, want ErrBadName", name, err)
+			}
+		}
+	})
+}
+
+func TestRevokeThenStaleAccessAndRefresh(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "volatile", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		imp, err := clerks[0].Import(p, "volatile", 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clerks[1].Revoke(p, "volatile"); err != nil {
+			t.Fatal(err)
+		}
+		// Before any refresh, the importer's descriptor still looks fine
+		// locally, but the remote side NACKs it.
+		if err := imp.Write(p, 0, []byte("x"), false); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+
+		// Refresh purges the cache entry and poisons the descriptor, so
+		// the next use "fails locally at the source" (§4.1).
+		clerks[0].RefreshNow(p)
+		if clerks[0].CachedNames() != 0 {
+			t.Fatal("refresh did not purge the dead entry")
+		}
+		if clerks[0].Purged != 1 {
+			t.Fatalf("purged = %d", clerks[0].Purged)
+		}
+		if err := imp.Write(p, 0, []byte("x"), false); err != rmem.ErrStale {
+			t.Fatalf("post-refresh write err = %v, want local ErrStale", err)
+		}
+		// And a fresh import discovers the truth.
+		if _, err := clerks[0].Import(p, "volatile", 1, false); err != ErrNotFound {
+			t.Fatalf("re-import err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestRefreshKeepsLiveEntries(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "stable", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Import(p, "stable", 1, false); err != nil {
+			t.Fatal(err)
+		}
+		clerks[0].RefreshNow(p)
+		if clerks[0].CachedNames() != 1 || clerks[0].Purged != 0 {
+			t.Fatalf("live entry purged: cached=%d purged=%d", clerks[0].CachedNames(), clerks[0].Purged)
+		}
+	})
+}
+
+func TestReexportBumpsGeneration(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "gen", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		imp1, err := clerks[0].Import(p, "gen", 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clerks[1].Revoke(p, "gen"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[1].Export(p, "gen", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		// Old cache is stale; a forced lookup sees the new generation.
+		rec, err := clerks[0].Lookup(p, "gen", 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Gen == imp1.Gen() {
+			t.Fatal("forced lookup returned the stale generation")
+		}
+	})
+}
+
+func TestControlTransferPolicy(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{Policy: ControlTransfer})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "via-ct", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		imp, err := clerks[0].Import(p, "via-ct", 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clerks[0].ControlTransfers != 1 {
+			t.Fatalf("control transfers = %d, want 1", clerks[0].ControlTransfers)
+		}
+		if clerks[0].RemoteProbes != 0 {
+			t.Fatalf("remote probes = %d, want 0 under ControlTransfer", clerks[0].RemoteProbes)
+		}
+		if imp.Size() != 64 {
+			t.Fatalf("imported size = %d", imp.Size())
+		}
+	})
+}
+
+func TestControlTransferNotFound(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{Policy: ControlTransfer})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[0].Import(p, "ghost", 1, false); err != ErrNotFound {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestProbeThenTransferFallsBack(t *testing.T) {
+	// A tiny table with many names forces long probe chains; with a probe
+	// limit of 1 most lookups must fall back to control transfer.
+	env, _, clerks := testCluster(t, 2, Config{Buckets: 17, Policy: ProbeThenTransfer, ProbeLimit: 1})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		for i := 0; i < 12; i++ {
+			if _, err := clerks[1].Export(p, fmt.Sprintf("svc-%d", i), 64, rmem.RightsAll); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 12; i++ {
+			if _, err := clerks[0].Import(p, fmt.Sprintf("svc-%d", i), 1, false); err != nil {
+				t.Fatalf("svc-%d: %v", i, err)
+			}
+		}
+		if clerks[0].ControlTransfers == 0 {
+			t.Fatal("probe limit of 1 on a crowded table never fell back to control transfer")
+		}
+	})
+}
+
+func TestLinearProbingSurvivesCollisions(t *testing.T) {
+	// Small prime table, enough names to guarantee collisions; every name
+	// must remain findable both locally and remotely.
+	env, _, clerks := testCluster(t, 2, Config{Buckets: 13})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		const n = 10
+		for i := 0; i < n; i++ {
+			if _, err := clerks[1].Export(p, fmt.Sprintf("c%d", i), 32+i, rmem.RightsAll); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			rec, err := clerks[0].Lookup(p, fmt.Sprintf("c%d", i), 1, false)
+			if err != nil {
+				t.Fatalf("c%d: %v", i, err)
+			}
+			if rec.Size != 32+i {
+				t.Fatalf("c%d: size %d, want %d", i, rec.Size, 32+i)
+			}
+		}
+	})
+}
+
+func TestRegistryFull(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{Buckets: 3})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		var lastErr error
+		for i := 0; i < 4; i++ {
+			_, lastErr = clerks[0].Export(p, fmt.Sprintf("f%d", i), 16, rmem.RightsAll)
+		}
+		if lastErr != ErrTableFull {
+			t.Fatalf("err = %v, want ErrTableFull", lastErr)
+		}
+	})
+}
+
+func TestDeleteReusesTombstone(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{Buckets: 3})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		for i := 0; i < 3; i++ {
+			if _, err := clerks[0].Export(p, fmt.Sprintf("t%d", i), 16, rmem.RightsAll); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := clerks[0].Revoke(p, "t1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Export(p, "fresh", 16, rmem.RightsAll); err != nil {
+			t.Fatalf("tombstone not reused: %v", err)
+		}
+		if _, err := clerks[0].Lookup(p, "fresh", -1, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRecordPackParseProperty(t *testing.T) {
+	prop := func(nameRaw []byte, node uint8, seg, gen uint16, size uint16, flagRaw uint8) bool {
+		name := ""
+		for _, b := range nameRaw {
+			if b == 0 || len(name) >= MaxName {
+				break
+			}
+			name += string(rune(b%26 + 'a'))
+		}
+		flag := uint32(flagRaw % 3)
+		rec := Record{Name: name, Node: int(node), Seg: seg, Gen: gen, Size: int(size)}
+		var buf [recStride]byte
+		packRecord(buf[:], rec, flag)
+		gotFlag, got := parseRecord(buf[:])
+		return gotFlag == flag && got == rec
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIdenticalAcrossClerks(t *testing.T) {
+	_, _, clerks := testCluster(t, 3, Config{})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("name-%d-%d", i, rng.Int())
+		if len(name) > MaxName {
+			name = name[:MaxName]
+		}
+		h0 := clerks[0].hash(name)
+		for _, c := range clerks[1:] {
+			if c.hash(name) != h0 {
+				t.Fatalf("hash(%q) differs across clerks", name)
+			}
+		}
+		if h0 < 0 || h0 >= clerks[0].cfg.Buckets {
+			t.Fatalf("hash(%q) = %d out of range", name, h0)
+		}
+	}
+}
+
+func TestThreeNodeRegistryIndependence(t *testing.T) {
+	env, _, clerks := testCluster(t, 3, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "on-one", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[2].Export(p, "on-two", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		// Node 0 finds each name only with the right hint.
+		if _, err := clerks[0].Lookup(p, "on-one", 1, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Lookup(p, "on-two", 2, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Lookup(p, "on-one", 2, true); err != ErrNotFound {
+			t.Fatalf("wrong-hint forced lookup err = %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestPeriodicRefreshDaemon(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{RefreshEvery: 50 * time.Millisecond})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		if _, err := clerks[1].Export(p, "temp", 64, rmem.RightsAll); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clerks[0].Import(p, "temp", 1, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := clerks[1].Revoke(p, "temp"); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(120 * time.Millisecond) // ≥ one refresh period
+		if clerks[0].CachedNames() != 0 {
+			t.Fatal("periodic refresh did not purge the revoked name")
+		}
+	})
+}
+
+func TestManyNamesAcrossCluster(t *testing.T) {
+	// Stress: three machines export 40 names each; every machine imports
+	// every foreign name. All resolutions succeed, descriptors work.
+	env, ms, clerks := testCluster(t, 3, Config{})
+	runAfterBoot(t, env, func(p *des.Proc) {
+		for node, c := range clerks {
+			for i := 0; i < 40; i++ {
+				name := fmt.Sprintf("n%d-%02d", node, i)
+				if _, err := c.Export(p, name, 64+i, rmem.RightsAll); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+		}
+		for node, c := range clerks {
+			for peer := range clerks {
+				if peer == node {
+					continue
+				}
+				for i := 0; i < 40; i += 7 {
+					name := fmt.Sprintf("n%d-%02d", peer, i)
+					imp, err := c.Import(p, name, peer, false)
+					if err != nil {
+						t.Fatalf("node %d importing %s: %v", node, name, err)
+					}
+					if imp.Size() != 64+i {
+						t.Fatalf("%s: size %d, want %d", name, imp.Size(), 64+i)
+					}
+					if err := imp.Write(p, 0, []byte{1}, false); err != nil {
+						t.Fatalf("%s write: %v", name, err)
+					}
+				}
+			}
+		}
+		p.Sleep(5 * time.Millisecond)
+	})
+	for _, m := range ms {
+		if len(m.WriteFaults) != 0 {
+			t.Fatalf("write faults: %v", m.WriteFaults)
+		}
+	}
+}

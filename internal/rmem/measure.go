@@ -1,0 +1,147 @@
+package rmem
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+)
+
+// Table2 holds the reproduced measurements of the paper's Table 2
+// ("Performance Summary of Remote Memory Operations").
+type Table2 struct {
+	ReadLatency    time.Duration // paper: 45 µs
+	WriteLatency   time.Duration // paper: 30 µs
+	CASLatency     time.Duration // paper: 38 µs
+	ThroughputBits float64       // paper: 35.4 Mb/s (4 KB block writes)
+	NotifyOverhead time.Duration // paper: 260 µs
+}
+
+// MeasureTable2 runs the Table 2 micro-benchmarks on a fresh two-node
+// directly-connected cluster (the paper's testbed) under the given cost
+// model and returns the measured numbers.
+func MeasureTable2(params *model.Params) (Table2, error) {
+	var out Table2
+
+	// WRITE latency: issue a single-cell write; observe the deposit.
+	write, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+		seg := m1.Export(p, 256)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		start := p.Now()
+		if err := imp.Write(p, 0, make([]byte, MsgRegisterCap), false); err != nil {
+			return 0, err
+		}
+		for seg.RemoteWrites == 0 {
+			p.Sleep(time.Microsecond)
+		}
+		return time.Duration(p.Now().Sub(start)), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("write latency: %w", err)
+	}
+	out.WriteLatency = write
+
+	// READ latency: single-cell read, blocking until the deposit.
+	read, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+		src := m1.Export(p, 256)
+		src.SetDefaultRights(RightRead)
+		dst := m0.Export(p, 256)
+		imp := m0.Import(p, 1, src.ID(), src.Gen(), src.Size())
+		start := p.Now()
+		if err := imp.Read(p, 0, MsgRegisterCap, dst, 0, time.Second); err != nil {
+			return 0, err
+		}
+		return time.Duration(p.Now().Sub(start)), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("read latency: %w", err)
+	}
+	out.ReadLatency = read
+
+	// CAS latency.
+	cas, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+		seg := m1.Export(p, 64)
+		seg.SetDefaultRights(RightsAll)
+		res := m0.Export(p, 64)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		start := p.Now()
+		if _, err := imp.CAS(p, 0, 0, 1, res, 0, time.Second); err != nil {
+			return 0, err
+		}
+		return time.Duration(p.Now().Sub(start)), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("CAS latency: %w", err)
+	}
+	out.CASLatency = cas
+
+	// Block-write throughput: 30 back-to-back 4 KB blocks.
+	const blockSize, blocks = 4096, 30
+	total, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+		seg := m1.Export(p, blockSize)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		data := make([]byte, blockSize)
+		start := p.Now()
+		for k := 0; k < blocks; k++ {
+			if err := imp.WriteBlock(p, 0, data, false); err != nil {
+				return 0, err
+			}
+		}
+		for int(seg.RemoteWrites) < blocks {
+			p.Sleep(10 * time.Microsecond)
+		}
+		return time.Duration(p.Now().Sub(start)), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("block throughput: %w", err)
+	}
+	out.ThroughputBits = float64(blockSize*blocks*8) / total.Seconds()
+
+	// Notification overhead: write-with-notify handled minus plain write.
+	notified, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+		seg := m1.Export(p, 256)
+		seg.SetDefaultRights(RightsAll)
+		var handled des.Time
+		done := false
+		m1.Node.Env.Spawn("server", func(sp *des.Proc) {
+			seg.AwaitNotification(sp)
+			handled = sp.Now()
+			done = true
+		})
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		start := p.Now()
+		if err := imp.Write(p, 0, make([]byte, MsgRegisterCap), true); err != nil {
+			return 0, err
+		}
+		for !done {
+			p.Sleep(time.Microsecond)
+		}
+		return time.Duration(handled.Sub(start)), nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("notification: %w", err)
+	}
+	out.NotifyOverhead = notified - out.WriteLatency
+
+	return out, nil
+}
+
+// measure runs one timed scenario on a fresh pair of nodes.
+func measure(params *model.Params, fn func(p *des.Proc, m0, m1 *Manager) (time.Duration, error)) (time.Duration, error) {
+	env := des.NewEnv()
+	cl := cluster.New(env, params, 2)
+	m0, m1 := NewManager(cl.Nodes[0]), NewManager(cl.Nodes[1])
+	var result time.Duration
+	var err error
+	env.Spawn("measure", func(p *des.Proc) {
+		result, err = fn(p, m0, m1)
+	})
+	if runErr := env.RunUntil(des.Time(10 * time.Second)); runErr != nil {
+		return 0, runErr
+	}
+	return result, err
+}

@@ -1,0 +1,364 @@
+package rmem
+
+import (
+	"fmt"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+)
+
+// checkLocal performs the sender-side descriptor validation every
+// meta-instruction begins with: trap into the emulation, verify rights
+// against the local descriptor, verify bounds.
+func (i *Import) checkLocal(p *des.Proc, need Rights, off, count int) error {
+	n := i.m.Node
+	n.UseCPU(p, i.cat, n.P.MetaTrap+n.P.PermCheck)
+	if i.stale {
+		return ErrStale
+	}
+	if off < 0 || count < 0 || off+count > i.size {
+		return ErrBounds
+	}
+	_ = need // the sender trusts its imported rights; the owner re-checks
+	return nil
+}
+
+// Write is the message-register variant of the WRITE meta-instruction: up
+// to MsgRegisterCap bytes gathered from the shared registers into a single
+// cell. Non-blocking and unacknowledged: on return the data has been
+// accepted by the network, not delivered. notify asks the destination
+// kernel to run the segment's control-transfer machinery on arrival
+// (subject to the segment's notification mode).
+func (i *Import) Write(p *des.Proc, off int, data []byte, notify bool) error {
+	if len(data) > MsgRegisterCap {
+		return ErrTooBig
+	}
+	if err := i.checkLocal(p, RightWrite, off, len(data)); err != nil {
+		return err
+	}
+	n := i.m.Node
+	n.UseCPU(p, i.cat, n.P.RegisterFormat)
+	msg := &wireMsg{kind: kindWrite, notify: notify, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off), data: data}
+	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	return nil
+}
+
+// WriteBlock is the block variant of WRITE: data moves directly from
+// source memory to the remote segment with no message-register gather.
+// Transfers larger than the framing limit are split into several frames
+// (back-to-back on the wire; the destination deposits each on arrival).
+func (i *Import) WriteBlock(p *des.Proc, off int, data []byte, notify bool) error {
+	if len(data) > MaxBlock {
+		return ErrTooBig
+	}
+	if err := i.checkLocal(p, RightWrite, off, len(data)); err != nil {
+		return err
+	}
+	n := i.m.Node
+	const chunk = 32 * 1024 // < atm.MaxFrame with headers
+	for done := 0; ; {
+		end := done + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		// Only the final chunk carries the notify flag: one control
+		// transfer per logical operation.
+		last := end == len(data)
+		msg := &wireMsg{kind: kindWrite, notify: notify && last, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off + done), data: data[done:end]}
+		n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+		if last {
+			return nil
+		}
+		done = end
+	}
+}
+
+// ReadOp is an outstanding non-blocking READ. The issuing process may
+// proceed and later Wait for the deposit, or poll the destination memory
+// itself (the paper's "repeatedly checking the destination memory
+// location").
+type ReadOp struct {
+	m   *Manager
+	req uint32
+	po  *pendingOp
+}
+
+// Done reports whether the reply has been deposited.
+func (r *ReadOp) Done() bool { return r.po.done }
+
+// Err returns the final status (nil before completion).
+func (r *ReadOp) Err() error { return r.po.err }
+
+// Wait blocks until the deposit completes or timeout elapses (timeout <= 0
+// waits forever). On timeout the pending entry is abandoned: a late reply
+// is discarded by the kernel. Each successful wake charges one user-level
+// poll of the completion word.
+func (r *ReadOp) Wait(p *des.Proc, timeout des.Duration) error {
+	env := r.m.Node.Env
+	deadline := env.Now().Add(timeout)
+	var timedOut bool
+	var cancel func()
+	if timeout > 0 {
+		cancel = env.Schedule(deadline, func() {
+			timedOut = true
+			r.po.q.WakeAll()
+		})
+	}
+	for !r.po.done && !timedOut {
+		r.po.q.Wait(p)
+	}
+	if cancel != nil {
+		cancel()
+	}
+	r.m.Node.UseCPU(p, cluster.CatClient, r.m.Node.P.SpinPoll)
+	if !r.po.done {
+		delete(r.m.pending, r.req) // abandon; late reply is dropped
+		return ErrTimeout
+	}
+	return r.po.err
+}
+
+// ReadAsync issues the READ meta-instruction: ask the remote kernel for
+// count bytes at soff of the imported segment, to be deposited into the
+// local segment dst at doff. Returns immediately with the outstanding
+// operation.
+func (i *Import) ReadAsync(p *des.Proc, soff, count int, dst *Segment, doff int, notify bool) (*ReadOp, error) {
+	if count > MaxBlock {
+		return nil, ErrTooBig
+	}
+	if err := i.checkLocal(p, RightRead, soff, count); err != nil {
+		return nil, err
+	}
+	if doff < 0 || doff+count > dst.Size() {
+		return nil, ErrBounds
+	}
+	m := i.m
+	n := m.Node
+	m.nextReq++
+	req := m.nextReq
+	po := &pendingOp{op: OpRead, dst: dst, doff: doff, swap: i.swap, q: des.NewWaitQueue(n.Env)}
+	m.pending[req] = po
+	msg := &wireMsg{kind: kindRead, notify: notify, seg: i.segID, gen: i.gen,
+		off: uint32(soff), count: uint32(count), req: req}
+	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	return &ReadOp{m: m, req: req, po: po}, nil
+}
+
+// Read is the blocking convenience around ReadAsync: issue, then spin-wait
+// for the deposit. timeout <= 0 waits forever.
+func (i *Import) Read(p *des.Proc, soff, count int, dst *Segment, doff int, timeout des.Duration) error {
+	op, err := i.ReadAsync(p, soff, count, dst, doff, false)
+	if err != nil {
+		return err
+	}
+	return op.Wait(p, timeout)
+}
+
+// CAS issues the compare-and-swap meta-instruction on the 4-byte word at
+// off: if the remote word equals old it is atomically replaced by new.
+// The success/failure result is deposited into local memory at
+// (result, roff) — 1 for success, 0 for failure — and also returned.
+func (i *Import) CAS(p *des.Proc, off int, old, new uint32, result *Segment, roff int, timeout des.Duration) (bool, error) {
+	if err := i.checkLocal(p, RightCAS, off, 4); err != nil {
+		return false, err
+	}
+	if off%4 != 0 {
+		return false, ErrUnaligned
+	}
+	if roff < 0 || roff+4 > result.Size() {
+		return false, ErrBounds
+	}
+	m := i.m
+	n := m.Node
+	n.UseCPU(p, i.cat, n.P.CASFormat)
+	m.nextReq++
+	req := m.nextReq
+	po := &pendingOp{op: OpCAS, dst: result, doff: roff, q: des.NewWaitQueue(n.Env)}
+	m.pending[req] = po
+	msg := &wireMsg{kind: kindCAS, seg: i.segID, gen: i.gen, off: uint32(off), oldW: old, newW: new, req: req}
+	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	ro := &ReadOp{m: m, req: req, po: po}
+	if err := ro.Wait(p, timeout); err != nil {
+		return false, err
+	}
+	return po.success, nil
+}
+
+// ---------------------------------------------------------------------------
+// Receive side: the kernel's co-processor emulation. Runs in the node's RX
+// drain context; data-only requests complete entirely here, with no action
+// by the destination process.
+
+func (m *Manager) handle(p *des.Proc, src int, frame []byte) {
+	n := m.Node
+	msg, err := decode(frame)
+	if err != nil {
+		n.Faults = append(n.Faults, fmt.Errorf("rmem: node %d: %w", n.ID, err))
+		return
+	}
+	switch msg.kind {
+	case kindWrite:
+		m.handleWrite(p, src, msg)
+	case kindRead:
+		m.handleRead(p, src, msg)
+	case kindCAS:
+		m.handleCAS(p, src, msg)
+	case kindReadReply:
+		m.handleReadReply(p, msg)
+	case kindCASReply:
+		m.handleCASReply(p, msg)
+	case kindNack:
+		m.WriteFaults = append(m.WriteFaults, fmt.Errorf("rmem: write to node %d seg %d+%d: %w", src, msg.seg, msg.off, nackErr(msg.code)))
+	}
+}
+
+// validate checks an incoming request against the descriptor tables.
+func (m *Manager) validate(src int, msg *wireMsg, need Rights, count int) (*Segment, error) {
+	s, ok := m.exports[msg.seg]
+	if !ok {
+		return nil, ErrRevoked
+	}
+	if s.gen != msg.gen {
+		return nil, ErrStale
+	}
+	if s.rightsFor(src)&need == 0 {
+		return nil, ErrNoRights
+	}
+	if int(msg.off)+count > len(s.buf) {
+		return nil, ErrBounds
+	}
+	if need&(RightWrite|RightCAS) != 0 && s.inhibited {
+		return nil, ErrInhibited
+	}
+	return s, nil
+}
+
+func (m *Manager) nack(p *des.Proc, dst int, msg *wireMsg, err error) {
+	rep := &wireMsg{kind: kindNack, seg: msg.seg, gen: msg.gen, off: msg.off, code: errNack(err)}
+	m.Node.SendFrame(p, dst, Proto, cluster.CatReply, rep.encode())
+}
+
+func (m *Manager) handleWrite(p *des.Proc, src int, msg *wireMsg) {
+	s, err := m.validate(src, msg, RightWrite, len(msg.data))
+	if err != nil {
+		m.nack(p, src, msg, err)
+		return
+	}
+	// The per-cell deposit cost (translation walk + copy) was charged in
+	// the drain loop as each cell arrived; here the completed frame's data
+	// becomes visible in the destination address space. The swap bit asks
+	// for byte-order conversion in flight (§3.6).
+	if msg.swap {
+		m.Node.UseCPU(p, cluster.CatRx, des.Duration(m.Node.P.CellsFor(len(msg.data)))*m.Node.P.ByteSwapPerCell)
+		swapWords(s.buf[msg.off:int(msg.off)+len(msg.data)], msg.data)
+	} else {
+		copy(s.buf[msg.off:], msg.data)
+	}
+	s.RemoteWrites++
+	m.maybeNotify(p, s, src, OpWrite, int(msg.off), len(msg.data), msg.notify)
+}
+
+func (m *Manager) handleRead(p *des.Proc, src int, msg *wireMsg) {
+	n := m.Node
+	s, err := m.validate(src, msg, RightRead, int(msg.count))
+	if err != nil {
+		rep := &wireMsg{kind: kindReadReply, req: msg.req, status: errNack(err)}
+		n.SendFrame(p, src, Proto, cluster.CatReply, rep.encode())
+		return
+	}
+	// Fetch through the translation tables and format the reply. The
+	// descriptor lookup happens once up front; the per-cell fetch cost is
+	// interleaved with the cell pushes so a block read streams rather than
+	// fetching everything before the first cell hits the wire.
+	n.UseCPU(p, cluster.CatReply, n.P.ReadFetch-n.P.ReadFetchPerCell)
+	data := s.buf[msg.off : int(msg.off)+int(msg.count)]
+	s.RemoteReads++
+	rep := &wireMsg{kind: kindReadReply, req: msg.req, data: data}
+	n.SendFrameEx(p, src, Proto, cluster.CatReply, rep.encode(), n.P.ReadFetchPerCell)
+	m.maybeNotify(p, s, src, OpRead, int(msg.off), int(msg.count), msg.notify)
+}
+
+func (m *Manager) handleCAS(p *des.Proc, src int, msg *wireMsg) {
+	n := m.Node
+	s, err := m.validate(src, msg, RightCAS, 4)
+	if err != nil {
+		rep := &wireMsg{kind: kindCASReply, req: msg.req, status: errNack(err)}
+		n.SendFrame(p, src, Proto, cluster.CatReply, rep.encode())
+		return
+	}
+	n.UseCPU(p, cluster.CatReply, n.P.CASExec)
+	cur := be32(s.buf[msg.off:])
+	success := cur == msg.oldW
+	if success {
+		putbe32(s.buf[msg.off:], msg.newW)
+	}
+	s.RemoteCAS++
+	rep := &wireMsg{kind: kindCASReply, req: msg.req, success: success}
+	n.SendFrame(p, src, Proto, cluster.CatReply, rep.encode())
+	m.maybeNotify(p, s, src, OpCAS, int(msg.off), 4, msg.notify)
+}
+
+func (m *Manager) handleReadReply(p *des.Proc, msg *wireMsg) {
+	n := m.Node
+	po, ok := m.pending[msg.req]
+	if !ok {
+		return // abandoned (timed out); drop
+	}
+	delete(m.pending, msg.req)
+	po.at = n.Env.Now()
+	if msg.status != 0 {
+		po.err = nackErr(msg.status)
+	} else {
+		// Per-cell deposit was charged in the drain loop on arrival.
+		if po.swap {
+			n.UseCPU(p, cluster.CatRx, des.Duration(n.P.CellsFor(len(msg.data)))*n.P.ByteSwapPerCell)
+			swapWords(po.dst.buf[po.doff:po.doff+len(msg.data)], msg.data)
+		} else {
+			copy(po.dst.buf[po.doff:], msg.data)
+		}
+	}
+	po.done = true
+	po.q.WakeAll()
+}
+
+func (m *Manager) handleCASReply(p *des.Proc, msg *wireMsg) {
+	n := m.Node
+	po, ok := m.pending[msg.req]
+	if !ok {
+		return
+	}
+	delete(m.pending, msg.req)
+	po.at = n.Env.Now()
+	if msg.status != 0 {
+		po.err = nackErr(msg.status)
+	} else {
+		n.UseCPU(p, cluster.CatRx, n.P.DepositResult)
+		po.success = msg.success
+		var w uint32
+		if msg.success {
+			w = 1
+		}
+		putbe32(po.dst.buf[po.doff:], w)
+	}
+	po.done = true
+	po.q.WakeAll()
+}
+
+// swapWords copies src into dst reversing the byte order of each 4-byte
+// word; a trailing partial word is copied unchanged. This is the §3.6
+// byte-order conversion performed during the PIO copy.
+func swapWords(dst, src []byte) {
+	n := len(src) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = src[i+3], src[i+2], src[i+1], src[i]
+	}
+	copy(dst[n:], src[n:])
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putbe32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}

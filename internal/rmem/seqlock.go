@@ -1,0 +1,70 @@
+package rmem
+
+import (
+	"errors"
+
+	"netmem/internal/des"
+)
+
+// §3.4's second synchronization option, packaged as a reusable primitive:
+// "one can exploit certain atomicity properties of the communication model
+// for achieving synchronization. For example … single-word local memory
+// accesses are atomic with respect to remote memory accesses. This
+// property can be used to ensure, for example, that a flag word in a
+// record is atomically updated. This allows a sufficient level of
+// synchronization in cases where there is a single writer and multiple
+// readers."
+//
+// A Record is a fixed-size region fronted by a sequence word. The local
+// owner publishes with a seqlock protocol: bump the word to odd (update in
+// progress), write the body, bump to even. A remote reader fetches word +
+// body + word in one remote read; a torn snapshot shows either an odd
+// sequence or mismatched words and is retried. The trailing word is a
+// second copy of the sequence at the record's end, so one contiguous READ
+// covers the whole protocol.
+
+// ErrTornRead reports that a consistent snapshot could not be obtained
+// within the retry budget.
+var ErrTornRead = errors.New("rmem: torn record read (writer too busy)")
+
+// RecordSize returns the segment footprint of a record with a body of n
+// bytes: leading sequence word + body + trailing sequence word.
+func RecordSize(n int) int { return 4 + n + 4 }
+
+// PublishRecord writes body into the record at off within the owner's own
+// segment using the single-writer protocol. Only the segment owner may
+// call it, and only one writer may exist per record.
+func PublishRecord(p *des.Proc, seg *Segment, off int, body []byte) {
+	seq := seg.ReadWord(p, off)
+	seg.WriteWord(p, off, seq+1) // odd: update in progress
+	seg.WriteLocal(p, off+4, body)
+	seg.WriteWord(p, off+4+len(body), seq+2)
+	seg.WriteWord(p, off, seq+2) // even: stable
+}
+
+// snapshot checks one fetched image for consistency.
+func recordConsistent(buf []byte, n int) bool {
+	head := be32(buf)
+	tail := be32(buf[4+n:])
+	return head%2 == 0 && head == tail
+}
+
+// ReadRecord fetches a consistent snapshot of the n-byte record at off in
+// the imported segment, retrying torn reads up to retries times. The body
+// is deposited at (dst, doff) — including the sequence words — and the
+// clean body is returned.
+func ReadRecord(p *des.Proc, imp *Import, off, n int, dst *Segment, doff int, retries int, timeout des.Duration) ([]byte, error) {
+	total := RecordSize(n)
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := imp.Read(p, off, total, dst, doff, timeout); err != nil {
+			return nil, err
+		}
+		buf := dst.Bytes()[doff : doff+total]
+		if recordConsistent(buf, n) {
+			out := make([]byte, n)
+			copy(out, buf[4:4+n])
+			return out, nil
+		}
+	}
+	return nil, ErrTornRead
+}

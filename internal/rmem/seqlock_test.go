@@ -1,0 +1,87 @@
+package rmem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+)
+
+func TestPublishReadRecord(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		const n = 24
+		seg := m1.Export(p, RecordSize(n))
+		seg.SetDefaultRights(RightRead)
+		PublishRecord(p, seg, 0, []byte("load=0.42 jobs=7 up=3d___")[:n])
+
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		dst := m0.Export(p, RecordSize(n))
+		got, err := ReadRecord(p, imp, 0, n, dst, 0, 3, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[:9]) != "load=0.42" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestRecordNeverTornUnderConcurrentPublish(t *testing.T) {
+	// The writer republishes alternating all-A / all-B bodies while a
+	// remote reader snapshots continuously. Every successful snapshot must
+	// be entirely one or the other.
+	env, _, m0, m1 := testPair(t)
+	const n = 64
+	bodyA := bytes.Repeat([]byte{'A'}, n)
+	bodyB := bytes.Repeat([]byte{'B'}, n)
+	var snapshots, torn int
+	env.Spawn("writer", func(p *des.Proc) {
+		seg := m1.Export(p, RecordSize(n))
+		seg.SetDefaultRights(RightRead)
+		PublishRecord(p, seg, 0, bodyA)
+
+		env.Spawn("reader", func(rp *des.Proc) {
+			imp := m0.Import(rp, 1, seg.ID(), seg.Gen(), seg.Size())
+			dst := m0.Export(rp, RecordSize(n))
+			for k := 0; k < 40; k++ {
+				got, err := ReadRecord(rp, imp, 0, n, dst, 0, 5, time.Second)
+				if err == ErrTornRead {
+					torn++
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, bodyA) && !bytes.Equal(got, bodyB) {
+					t.Errorf("snapshot %d mixed A and B: %q", k, got)
+					return
+				}
+				snapshots++
+				rp.Sleep(7 * time.Microsecond)
+			}
+		})
+		for k := 0; k < 200; k++ {
+			if k%2 == 0 {
+				PublishRecord(p, seg, 0, bodyB)
+			} else {
+				PublishRecord(p, seg, 0, bodyA)
+			}
+			p.Sleep(11 * time.Microsecond)
+		}
+	})
+	if err := env.RunUntil(des.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if snapshots < 30 {
+		t.Fatalf("only %d clean snapshots (torn %d)", snapshots, torn)
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	if RecordSize(0) != 8 || RecordSize(40) != 48 {
+		t.Fatalf("RecordSize wrong: %d %d", RecordSize(0), RecordSize(40))
+	}
+}

@@ -1,0 +1,234 @@
+package rmem
+
+import (
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+)
+
+// Table 2 of the paper, measured on two DECstations connected directly
+// without a switch:
+//
+//	READ latency            45 µs
+//	WRITE latency           30 µs
+//	CAS latency             38 µs
+//	Block-write throughput  35.4 Mb/s (4 KB blocks)
+//	Notification overhead   260 µs
+//
+// These tests drive the full simulated stack (meta-instruction trap, cell
+// FIFOs, link, remote emulation, deposit) and assert the measured numbers
+// land within 10 % of the paper's.
+
+func tolerance(t *testing.T, name string, got, want time.Duration, tol float64) {
+	t.Helper()
+	lo := time.Duration(float64(want) * (1 - tol))
+	hi := time.Duration(float64(want) * (1 + tol))
+	if got < lo || got > hi {
+		t.Errorf("%s = %v, want %v ±%.0f%%", name, got, want, tol*100)
+	}
+}
+
+// MeasureWriteLatency returns the elapsed time from issuing a single-cell
+// WRITE to the deposit completing at the destination.
+func MeasureWriteLatency(t *testing.T) time.Duration {
+	env, _, m0, m1 := testPair(t)
+	var issued, deposited des.Time
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 256)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		data := make([]byte, MsgRegisterCap)
+		issued = p.Now()
+		if err := imp.Write(p, 0, data, false); err != nil {
+			t.Fatal(err)
+		}
+		// Observe the deposit from the destination side.
+		for seg.RemoteWrites == 0 {
+			p.Sleep(time.Microsecond)
+		}
+		deposited = p.Now()
+	})
+	return deposited.Sub(issued)
+}
+
+func TestTable2WriteLatency(t *testing.T) {
+	// The polling observer quantizes by ≤1 µs; that is inside the 10 %.
+	tolerance(t, "WRITE latency", MeasureWriteLatency(t), 30*time.Microsecond, 0.10)
+}
+
+func TestTable2ReadLatency(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	var elapsed time.Duration
+	run(t, env, func(p *des.Proc) {
+		src := m1.Export(p, 256)
+		src.SetDefaultRights(RightRead)
+		dst := m0.Export(p, 256)
+		imp := m0.Import(p, 1, src.ID(), src.Gen(), src.Size())
+		start := p.Now()
+		if err := imp.Read(p, 0, MsgRegisterCap, dst, 0, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	tolerance(t, "READ latency", elapsed, 45*time.Microsecond, 0.10)
+}
+
+func TestTable2CASLatency(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	var elapsed time.Duration
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 64)
+		seg.SetDefaultRights(RightsAll)
+		res := m0.Export(p, 64)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		start := p.Now()
+		if _, err := imp.CAS(p, 0, 0, 1, res, 0, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	tolerance(t, "CAS latency", elapsed, 38*time.Microsecond, 0.10)
+}
+
+// MeasureBlockThroughput streams blocks of the given size and returns the
+// steady-state memory-to-memory throughput in bits/second.
+func MeasureBlockThroughput(t *testing.T, blockSize, blocks int) float64 {
+	env, _, m0, m1 := testPair(t)
+	var start, end des.Time
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, blockSize)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		data := make([]byte, blockSize)
+		start = p.Now()
+		for k := 0; k < blocks; k++ {
+			if err := imp.WriteBlock(p, 0, data, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for int(seg.RemoteWrites) < blocks {
+			p.Sleep(10 * time.Microsecond)
+		}
+		end = p.Now()
+	})
+	bits := float64(blockSize*blocks) * 8
+	return bits / end.Sub(start).Seconds()
+}
+
+func TestTable2BlockWriteThroughput(t *testing.T) {
+	got := MeasureBlockThroughput(t, 4096, 30)
+	want := 35.4e6
+	if got < want*0.95 || got > want*1.05 {
+		t.Errorf("4KB block-write throughput = %.1f Mb/s, want 35.4 ±5%%", got/1e6)
+	}
+}
+
+func TestTable2BlockReadThroughputMatchesWrite(t *testing.T) {
+	// §3.1.2: "the block read yields essentially identical performance".
+	env, _, m0, m1 := testPair(t)
+	const blockSize, blocks = 4096, 30
+	var elapsed time.Duration
+	run(t, env, func(p *des.Proc) {
+		src := m1.Export(p, blockSize)
+		src.SetDefaultRights(RightRead)
+		dst := m0.Export(p, blockSize)
+		imp := m0.Import(p, 1, src.ID(), src.Gen(), src.Size())
+		start := p.Now()
+		for k := 0; k < blocks; k++ {
+			if err := imp.Read(p, 0, blockSize, dst, 0, time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	got := float64(blockSize*blocks*8) / elapsed.Seconds()
+	want := 35.4e6
+	// Reads are serial request/response here (no pipelining of the next
+	// request behind the previous reply), so allow a wider band but hold
+	// the "essentially identical" claim to within 15 %.
+	if got < want*0.85 || got > want*1.10 {
+		t.Errorf("4KB block-read throughput = %.1f Mb/s, want ≈35.4 ±15%%", got/1e6)
+	}
+}
+
+func TestTable2NotificationOverhead(t *testing.T) {
+	// Overhead = (write-with-notify handled) − (plain write deposited).
+	plain := MeasureWriteLatency(t)
+
+	env, _, m0, m1 := testPair(t)
+	var issued, handled des.Time
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 256)
+		seg.SetDefaultRights(RightsAll)
+		done := false
+		m1.Node.Env.Spawn("server", func(sp *des.Proc) {
+			seg.AwaitNotification(sp)
+			handled = sp.Now()
+			done = true
+		})
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		data := make([]byte, MsgRegisterCap)
+		issued = p.Now()
+		if err := imp.Write(p, 0, data, true); err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	overhead := handled.Sub(issued) - plain
+	tolerance(t, "notification overhead", overhead, 260*time.Microsecond, 0.10)
+
+	// The whole 260 µs is control-transfer time on the destination CPU.
+	m1Acct := m1.Node.CPUAcct[cluster.CatControl]
+	if m1Acct != 260*time.Microsecond {
+		t.Errorf("destination control-transfer CPU = %v, want exactly 260µs", m1Acct)
+	}
+}
+
+func TestTable2LocalVsRemoteWriteRatio(t *testing.T) {
+	// §3.1.2: a processor-local write of one cell's worth of data is 15×
+	// faster than the remote write on the same hardware.
+	remote := MeasureWriteLatency(t)
+
+	env, _, _, m1 := testPair(t)
+	var local time.Duration
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 256)
+		start := p.Now()
+		seg.WriteLocal(p, 0, make([]byte, MsgRegisterCap))
+		local = p.Now().Sub(start)
+	})
+	ratio := float64(remote) / float64(local)
+	if ratio < 13 || ratio > 17 {
+		t.Errorf("remote/local write ratio = %.1f, want ≈15", ratio)
+	}
+}
+
+// TestDataOnlyTransferNeedsNoDestinationProcess is the architectural core
+// of the paper: a remote write completes with zero CPU consumed by any
+// destination *process* — only the kernel emulation (rx category) runs.
+func TestDataOnlyTransferNeedsNoDestinationProcess(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 256)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		if err := imp.Write(p, 0, []byte("data only"), false); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(time.Millisecond)
+	})
+	acct := m1.Node.CPUAcct
+	if acct[cluster.CatControl] != 0 {
+		t.Errorf("control-transfer CPU = %v on a data-only write", acct[cluster.CatControl])
+	}
+	if acct[cluster.CatProc] != 0 {
+		t.Errorf("procedure CPU = %v on a data-only write", acct[cluster.CatProc])
+	}
+	if acct[cluster.CatRx] == 0 {
+		t.Error("no rx CPU recorded; the kernel emulation should have run")
+	}
+}

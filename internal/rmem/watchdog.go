@@ -1,0 +1,94 @@
+package rmem
+
+import (
+	"errors"
+	"fmt"
+
+	"netmem/internal/des"
+)
+
+// Failure detection (§3.7). The read/write primitives carry no built-in
+// fault tolerance — unlike RPC, which fuses timeout machinery with every
+// call — but they compose into one where it is wanted: "a service that
+// required fault tolerance could implement a periodic remote read request
+// of a known (or monotonically increasing) value. Failure to read the
+// value within a timeout period can be used to raise an exception."
+
+// ErrPeerFailed is delivered to the watchdog callback when the monitored
+// machine stops responding or its counter stops advancing.
+var ErrPeerFailed = errors.New("rmem: peer failure detected")
+
+// Heartbeat publishes a monotonically increasing counter into a local
+// segment word for remote watchdogs to read. Call Start once; the counter
+// advances every interval until the node fails.
+type Heartbeat struct {
+	seg *Segment
+	off int
+}
+
+// StartHeartbeat exports the beating word at (seg, off) and spawns the
+// publisher daemon. The segment must already grant read rights to the
+// watchers.
+func StartHeartbeat(m *Manager, seg *Segment, off int, interval des.Duration) *Heartbeat {
+	hb := &Heartbeat{seg: seg, off: off}
+	m.Node.Env.SpawnDaemon(fmt.Sprintf("heartbeat%d", m.Node.ID), func(p *des.Proc) {
+		var count uint32
+		for {
+			p.Sleep(interval)
+			if m.Node.Failed() {
+				return // a dead machine stops beating
+			}
+			count++
+			seg.WriteWord(p, off, count)
+		}
+	})
+	return hb
+}
+
+// Watchdog monitors a remote heartbeat word with periodic remote reads.
+type Watchdog struct {
+	m       *Manager
+	imp     *Import
+	off     int
+	scratch *Segment
+
+	// Fired is set once the failure callback has run.
+	Fired bool
+	// Checks counts completed probe reads.
+	Checks int64
+}
+
+// NewWatchdog starts monitoring the heartbeat word at off within imp.
+// Every interval it issues a remote read with the given timeout; if the
+// read times out, errors, or the value has not advanced since the last
+// check, onFail runs once (in a simulated process on the watching node)
+// and the watchdog stops.
+func NewWatchdog(m *Manager, imp *Import, off int, interval, timeout des.Duration,
+	onFail func(p *des.Proc, err error)) *Watchdog {
+	w := &Watchdog{m: m, imp: imp, off: off}
+	env := m.Node.Env
+	env.SpawnDaemon(fmt.Sprintf("watchdog%d", m.Node.ID), func(p *des.Proc) {
+		w.scratch = m.Export(p, 8)
+		var last uint32
+		haveLast := false
+		for {
+			p.Sleep(interval)
+			err := imp.Read(p, off, 4, w.scratch, 0, timeout)
+			if err == nil {
+				w.Checks++
+				cur := w.scratch.ReadWord(p, 0)
+				if !haveLast || cur != last {
+					last, haveLast = cur, true
+					continue
+				}
+				err = fmt.Errorf("%w: counter stuck at %d", ErrPeerFailed, cur)
+			} else {
+				err = fmt.Errorf("%w: %v", ErrPeerFailed, err)
+			}
+			w.Fired = true
+			onFail(p, err)
+			return
+		}
+	})
+	return w
+}

@@ -1,0 +1,116 @@
+package rmem
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+)
+
+func TestWatchdogStaysQuietWhilePeerBeats(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	var seg *Segment
+	var dog *Watchdog
+	env.Spawn("setup", func(p *des.Proc) {
+		seg = m1.Export(p, 64)
+		seg.SetDefaultRights(RightRead)
+		StartHeartbeat(m1, seg, 0, 5*time.Millisecond)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		dog = NewWatchdog(m0, imp, 0, 20*time.Millisecond, 10*time.Millisecond,
+			func(p *des.Proc, err error) {
+				t.Errorf("watchdog fired on a healthy peer: %v", err)
+			})
+	})
+	if err := env.RunUntil(des.Time(500 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if dog.Fired {
+		t.Fatal("fired")
+	}
+	if dog.Checks < 10 {
+		t.Fatalf("only %d probe reads in 500ms", dog.Checks)
+	}
+}
+
+func TestWatchdogDetectsCrash(t *testing.T) {
+	env, cl, m0, m1 := testPair(t)
+	var firedAt des.Time
+	var gotErr error
+	var crashAt des.Time
+	env.Spawn("setup", func(p *des.Proc) {
+		seg := m1.Export(p, 64)
+		seg.SetDefaultRights(RightRead)
+		StartHeartbeat(m1, seg, 0, 5*time.Millisecond)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		NewWatchdog(m0, imp, 0, 20*time.Millisecond, 10*time.Millisecond,
+			func(fp *des.Proc, err error) {
+				firedAt, gotErr = fp.Now(), err
+			})
+		p.Sleep(100 * time.Millisecond)
+		crashAt = p.Now()
+		cl.Nodes[1].Fail()
+	})
+	if err := env.RunUntil(des.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr == nil {
+		t.Fatal("watchdog never fired after the crash")
+	}
+	if !errors.Is(gotErr, ErrPeerFailed) {
+		t.Fatalf("err = %v, want ErrPeerFailed", gotErr)
+	}
+	if firedAt < crashAt {
+		t.Fatal("fired before the crash")
+	}
+	// Detection within a couple of probe periods of the crash.
+	if lag := firedAt.Sub(crashAt); lag > 100*time.Millisecond {
+		t.Fatalf("detection lag %v too long", lag)
+	}
+}
+
+func TestWatchdogDetectsStuckCounter(t *testing.T) {
+	// The peer machine is up (reads succeed) but the monitored value stops
+	// advancing — the monotonic-value form of the §3.7 recipe.
+	env, _, m0, m1 := testPair(t)
+	var fired bool
+	env.Spawn("setup", func(p *des.Proc) {
+		seg := m1.Export(p, 64)
+		seg.SetDefaultRights(RightRead)
+		// No heartbeat daemon: the counter never moves.
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		NewWatchdog(m0, imp, 0, 10*time.Millisecond, 10*time.Millisecond,
+			func(fp *des.Proc, err error) { fired = true })
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("watchdog never fired on a stuck counter")
+	}
+}
+
+func TestCrashedNodeMakesOpsTimeOut(t *testing.T) {
+	env, cl, m0, m1 := testPair(t)
+	env.Spawn("test", func(p *des.Proc) {
+		seg := m1.Export(p, 64)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		dst := m0.Export(p, 64)
+		if err := imp.Read(p, 0, 4, dst, 0, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		cl.Nodes[1].Fail()
+		if err := imp.Read(p, 0, 4, dst, 0, 5*time.Millisecond); err != ErrTimeout {
+			t.Fatalf("read from crashed node: %v, want ErrTimeout", err)
+		}
+		// Recovery restores service.
+		cl.Nodes[1].Recover()
+		if err := imp.Read(p, 0, 4, dst, 0, time.Second); err != nil {
+			t.Fatalf("read after recovery: %v", err)
+		}
+	})
+	if err := env.RunUntil(des.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package rmem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format. Every message begins with a kind/flags byte. Requests carry
+// (segment id, generation) so the destination kernel can validate against
+// its tables; replies carry only a request id because the requester's
+// pending-op table remembers where results go — this keeps a small READ's
+// reply inside a single cell, as on the paper's hardware.
+//
+//	WRITE   k|f  seg(2) gen(2) off(4) notifyCount? data…
+//	READ    k|f  sseg(2) sgen(2) soff(4) count(4) req(4)
+//	RDREPLY k    req(4) status(1) data…
+//	CAS     k|f  seg(2) gen(2) off(4) old(4) new(4) req(4)
+//	CASREP  k    req(4) status(1) success(1)
+//	NACK    k    seg(2) gen(2) off(4) code(1)        (for WRITEs)
+const (
+	kindWrite byte = iota + 1
+	kindRead
+	kindReadReply
+	kindCAS
+	kindCASReply
+	kindNack
+)
+
+const flagNotify byte = 0x80
+
+// flagSwap asks the receiving kernel to byte-swap 4-byte words while
+// depositing — §3.6's heterogeneity bit ("this scheme requires a bit in
+// each incoming request to decide whether to swap or not").
+const flagSwap byte = 0x40
+
+const kindMask byte = 0x0f
+
+type wireMsg struct {
+	kind   byte
+	notify bool
+	swap   bool
+
+	seg, gen uint16
+	off      uint32
+	count    uint32 // READ only
+	req      uint32
+	status   byte // replies; 0 = OK, else nack code
+	success  bool // CAS reply
+	oldW     uint32
+	newW     uint32
+	code     byte // NACK
+	data     []byte
+}
+
+func put16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func put32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+func (m *wireMsg) encode() []byte {
+	k := m.kind
+	if m.notify {
+		k |= flagNotify
+	}
+	if m.swap {
+		k |= flagSwap
+	}
+	b := []byte{k}
+	switch m.kind {
+	case kindWrite:
+		b = put16(b, m.seg)
+		b = put16(b, m.gen)
+		b = put32(b, m.off)
+		b = append(b, m.data...)
+	case kindRead:
+		b = put16(b, m.seg)
+		b = put16(b, m.gen)
+		b = put32(b, m.off)
+		b = put32(b, m.count)
+		b = put32(b, m.req)
+	case kindReadReply:
+		b = put32(b, m.req)
+		b = append(b, m.status)
+		b = append(b, m.data...)
+	case kindCAS:
+		b = put16(b, m.seg)
+		b = put16(b, m.gen)
+		b = put32(b, m.off)
+		b = put32(b, m.oldW)
+		b = put32(b, m.newW)
+		b = put32(b, m.req)
+	case kindCASReply:
+		b = put32(b, m.req)
+		b = append(b, m.status)
+		if m.success {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case kindNack:
+		b = put16(b, m.seg)
+		b = put16(b, m.gen)
+		b = put32(b, m.off)
+		b = append(b, m.code)
+	default:
+		panic("rmem: encode of unknown message kind")
+	}
+	return b
+}
+
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.err = fmt.Errorf("rmem: short message")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.err = fmt.Errorf("rmem: short message")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *wireReader) u8() byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.err = fmt.Errorf("rmem: short message")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func decode(frame []byte) (*wireMsg, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("rmem: empty message")
+	}
+	m := &wireMsg{kind: frame[0] & kindMask, notify: frame[0]&flagNotify != 0, swap: frame[0]&flagSwap != 0}
+	r := &wireReader{b: frame[1:]}
+	switch m.kind {
+	case kindWrite:
+		m.seg, m.gen, m.off = r.u16(), r.u16(), r.u32()
+		m.data = r.b
+	case kindRead:
+		m.seg, m.gen, m.off = r.u16(), r.u16(), r.u32()
+		m.count, m.req = r.u32(), r.u32()
+	case kindReadReply:
+		m.req, m.status = r.u32(), r.u8()
+		m.data = r.b
+	case kindCAS:
+		m.seg, m.gen, m.off = r.u16(), r.u16(), r.u32()
+		m.oldW, m.newW, m.req = r.u32(), r.u32(), r.u32()
+	case kindCASReply:
+		m.req, m.status = r.u32(), r.u8()
+		m.success = r.u8() != 0
+	case kindNack:
+		m.seg, m.gen, m.off = r.u16(), r.u16(), r.u32()
+		m.code = r.u8()
+	default:
+		return nil, fmt.Errorf("rmem: unknown message kind %d", m.kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

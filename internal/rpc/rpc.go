@@ -1,0 +1,241 @@
+// Package rpc implements the traditional baseline the paper argues
+// against: request/response remote procedure call over the ATM network,
+// with stub marshaling and the full §2 control-transfer inventory:
+//
+//  1. block the client's thread and reschedule the client's processor,
+//  2. process the RPC message packet in the destination operating system,
+//  3. schedule, dispatch, and execute the server thread,
+//  4. reschedule the server's processor on return by the server thread,
+//  5. process the reply packet on the client's operating system,
+//  6. schedule and resume the original client thread.
+//
+// Every call transfers both data and control, whether or not the control
+// transfer is useful — that coupling is exactly what the remote-memory
+// structure removes. The package also accounts wire bytes split into
+// payload and RPC overhead (headers, identifiers, marshaling), feeding the
+// Table 1b control-vs-data traffic breakdown.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+)
+
+// Proto is the cluster protocol id for RPC traffic.
+const Proto byte = 0x02
+
+// header: type(1) svc(2) proc(2) req(4) status(1) = 10 bytes, plus the
+// cluster proto byte. On top of that every call carries marshaled
+// communication identifiers (the Table 1b "control traffic": file handles,
+// credentials, XIDs); HeaderOverhead is the fixed per-message total.
+const headerLen = 10
+
+// HeaderOverhead is the per-message RPC overhead in wire bytes: the
+// header plus marshaled identifiers/credentials, matching NFS/SunRPC-era
+// envelopes. Used by the traffic accounting.
+const HeaderOverhead = headerLen + 54
+
+const (
+	kindCall byte = 1
+	kindRet  byte = 2
+)
+
+// ErrNoService is returned for calls to unregistered services/procedures.
+var ErrNoService = errors.New("rpc: no such service or procedure")
+
+// errRemote is the wire status for a handler error.
+const statusErr = 1
+
+// Handler implements one remote procedure on the server: it runs on a
+// freshly dispatched server thread and returns the marshaled result.
+type Handler func(p *des.Proc, src int, args []byte) ([]byte, error)
+
+// Server dispatches incoming calls to registered procedures.
+type Server struct {
+	node  *cluster.Node
+	procs map[uint32]Handler
+
+	// Calls counts served requests.
+	Calls int64
+}
+
+type endpoint struct {
+	node *cluster.Node
+
+	pending map[uint32]*call
+	nextReq uint32
+
+	server *Server
+
+	// Traffic accounting (both directions, this node's sends).
+	PayloadBytes  int64
+	OverheadBytes int64
+}
+
+type call struct {
+	done   bool
+	err    error
+	result []byte
+	q      *des.WaitQueue
+}
+
+// Endpoint is the per-node RPC runtime: client-side pending calls plus the
+// optional server dispatch table.
+type Endpoint struct{ e *endpoint }
+
+// NewEndpoint installs the RPC runtime on a node.
+func NewEndpoint(node *cluster.Node) *Endpoint {
+	e := &endpoint{node: node, pending: make(map[uint32]*call)}
+	node.RegisterProto(Proto, e.handle)
+	return &Endpoint{e}
+}
+
+// Serve attaches a server dispatch table to the endpoint.
+func (ep *Endpoint) Serve() *Server {
+	if ep.e.server == nil {
+		ep.e.server = &Server{node: ep.e.node, procs: make(map[uint32]Handler)}
+	}
+	return ep.e.server
+}
+
+// PayloadBytes reports payload bytes this endpoint has sent.
+func (ep *Endpoint) PayloadBytes() int64 { return ep.e.PayloadBytes }
+
+// OverheadBytes reports RPC-overhead bytes this endpoint has sent.
+func (ep *Endpoint) OverheadBytes() int64 { return ep.e.OverheadBytes }
+
+func key(svc, proc uint16) uint32 { return uint32(svc)<<16 | uint32(proc) }
+
+// Register installs a procedure under (svc, proc).
+func (s *Server) Register(svc, proc uint16, h Handler) {
+	k := key(svc, proc)
+	if _, dup := s.procs[k]; dup {
+		panic(fmt.Sprintf("rpc: duplicate procedure %d:%d", svc, proc))
+	}
+	s.procs[k] = h
+}
+
+// Call performs a synchronous RPC to (svc, proc) on node dst: marshal,
+// send, block the calling thread, and return the unmarshaled result. All
+// six §2 control-transfer steps are charged to the appropriate CPUs.
+func (ep *Endpoint) Call(p *des.Proc, dst int, svc, proc uint16, args []byte) ([]byte, error) {
+	e := ep.e
+	n := e.node
+
+	// Marshal arguments (stub) and block the client thread (steps 1).
+	n.UseCPU(p, cluster.CatClient, n.P.MarshalFixed+des.Duration(len(args))*n.P.MarshalPerByte)
+	n.UseCPU(p, cluster.CatControl, n.P.ThreadBlock)
+
+	e.nextReq++
+	req := e.nextReq
+	c := &call{q: des.NewWaitQueue(n.Env)}
+	e.pending[req] = c
+
+	msg := make([]byte, headerLen, headerLen+len(args))
+	msg[0] = kindCall
+	binary.BigEndian.PutUint16(msg[1:], svc)
+	binary.BigEndian.PutUint16(msg[3:], proc)
+	binary.BigEndian.PutUint32(msg[5:], req)
+	msg = append(msg, args...)
+	// The identifier/credential envelope rides along as padding bytes.
+	msg = append(msg, make([]byte, HeaderOverhead-headerLen)...)
+	e.PayloadBytes += int64(len(args))
+	e.OverheadBytes += HeaderOverhead
+	n.SendFrame(p, dst, Proto, cluster.CatClient, msg)
+
+	for !c.done {
+		c.q.Wait(p)
+	}
+	// Step 6: schedule and resume the original client thread.
+	n.UseCPU(p, cluster.CatControl, n.P.ThreadDispatch)
+	// Unmarshal results.
+	n.UseCPU(p, cluster.CatClient, n.P.MarshalFixed+des.Duration(len(c.result))*n.P.MarshalPerByte)
+	return c.result, c.err
+}
+
+func (e *endpoint) handle(p *des.Proc, src int, frame []byte) {
+	if len(frame) < headerLen {
+		e.node.Faults = append(e.node.Faults, fmt.Errorf("rpc: short frame"))
+		return
+	}
+	kind := frame[0]
+	svc := binary.BigEndian.Uint16(frame[1:])
+	proc := binary.BigEndian.Uint16(frame[3:])
+	req := binary.BigEndian.Uint32(frame[5:])
+	status := frame[9]
+	body := frame[headerLen:]
+	if len(body) >= HeaderOverhead-headerLen {
+		body = body[:len(body)-(HeaderOverhead-headerLen)] // strip envelope
+	}
+
+	switch kind {
+	case kindCall:
+		// Step 2: packet processing in the destination OS.
+		e.node.UseCPU(p, cluster.CatRx, e.node.P.PacketProcess)
+		args := append([]byte(nil), body...)
+		// Step 3: schedule, dispatch, and execute the server thread.
+		e.node.Env.Spawn(fmt.Sprintf("rpc.server%d.req%d", e.node.ID, req), func(sp *des.Proc) {
+			e.serve(sp, src, svc, proc, req, args)
+		})
+	case kindRet:
+		// Step 5: reply packet processing on the client's OS.
+		e.node.UseCPU(p, cluster.CatRx, e.node.P.PacketProcess)
+		c, ok := e.pending[req]
+		if !ok {
+			return
+		}
+		delete(e.pending, req)
+		if status == statusErr {
+			c.err = fmt.Errorf("rpc: remote error: %s", body)
+			if string(body) == ErrNoService.Error() {
+				c.err = ErrNoService
+			}
+		} else {
+			c.result = append([]byte(nil), body...)
+		}
+		c.done = true
+		c.q.WakeAll()
+	}
+}
+
+func (e *endpoint) serve(sp *des.Proc, src int, svc, proc uint16, req uint32, args []byte) {
+	n := e.node
+	n.UseCPU(sp, cluster.CatControl, n.P.ThreadDispatch)
+
+	var result []byte
+	var err error
+	if e.server == nil {
+		err = ErrNoService
+	} else if h, ok := e.server.procs[key(svc, proc)]; !ok {
+		err = ErrNoService
+	} else {
+		// Unmarshal + procedure invocation + the handler itself.
+		n.UseCPU(sp, cluster.CatRx, n.P.MarshalFixed+des.Duration(len(args))*n.P.MarshalPerByte)
+		n.UseCPU(sp, cluster.CatProc, n.P.ProcInvoke)
+		e.server.Calls++
+		result, err = h(sp, src, args)
+	}
+
+	// Marshal the reply and send (then step 4: reschedule on return).
+	rep := make([]byte, headerLen, headerLen+len(result))
+	rep[0] = kindRet
+	binary.BigEndian.PutUint16(rep[1:], svc)
+	binary.BigEndian.PutUint16(rep[3:], proc)
+	binary.BigEndian.PutUint32(rep[5:], req)
+	if err != nil {
+		rep[9] = statusErr
+		rep = append(rep, err.Error()...)
+	} else {
+		rep = append(rep, result...)
+	}
+	rep = append(rep, make([]byte, HeaderOverhead-headerLen)...)
+	n.UseCPU(sp, cluster.CatReply, n.P.MarshalFixed+des.Duration(len(result))*n.P.MarshalPerByte)
+	e.PayloadBytes += int64(len(result))
+	e.OverheadBytes += HeaderOverhead
+	n.SendFrame(sp, src, Proto, cluster.CatReply, rep)
+	n.UseCPU(sp, cluster.CatControl, n.P.ThreadBlock)
+}

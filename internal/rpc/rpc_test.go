@@ -1,0 +1,227 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+)
+
+func pair(t *testing.T) (*des.Env, *cluster.Cluster, *Endpoint, *Endpoint) {
+	t.Helper()
+	env := des.NewEnv()
+	c := cluster.New(env, &model.Default, 2)
+	return env, c, NewEndpoint(c.Nodes[0]), NewEndpoint(c.Nodes[1])
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	env, _, cl, sv := pair(t)
+	sv.Serve().Register(1, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		return append([]byte("echo:"), args...), nil
+	})
+	var got []byte
+	env.Spawn("client", func(p *des.Proc) {
+		r, err := cl.Call(p, 1, 1, 1, []byte("hello"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = r
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("echo:hello")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCallUnknownProcedure(t *testing.T) {
+	env, _, cl, sv := pair(t)
+	sv.Serve() // server exists but has no procedures
+	env.Spawn("client", func(p *des.Proc) {
+		if _, err := cl.Call(p, 1, 9, 9, nil); err != ErrNoService {
+			t.Errorf("err = %v, want ErrNoService", err)
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullRPCControlTransferShare(t *testing.T) {
+	// §2 cites Firefly RPC: control transfer is a substantial share of a
+	// null call. Check our baseline spends a meaningful fraction of a
+	// no-argument, no-result call in pure control transfer (threads,
+	// scheduling) on both machines combined.
+	env, c, cl, sv := pair(t)
+	sv.Serve().Register(1, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		return nil, nil
+	})
+	var elapsed time.Duration
+	env.Spawn("client", func(p *des.Proc) {
+		start := p.Now()
+		if _, err := cl.Call(p, 1, 1, 1, nil); err != nil {
+			t.Error(err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	control := c.Nodes[0].CPUAcct[cluster.CatControl] + c.Nodes[1].CPUAcct[cluster.CatControl]
+	share := float64(control) / float64(elapsed)
+	if share < 0.15 || share > 0.60 {
+		t.Fatalf("control-transfer share of null RPC = %.2f (%v of %v); want a substantial fraction", share, control, elapsed)
+	}
+}
+
+func TestServerThreadsServeConcurrently(t *testing.T) {
+	// Three clients on a switched cluster call a slow procedure; the
+	// server must dispatch a thread per request, serializing only on the
+	// CPU, and all calls must complete.
+	env := des.NewEnv()
+	c := cluster.New(env, &model.Default, 4)
+	sv := NewEndpoint(c.Nodes[0])
+	sv.Serve().Register(1, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		p.Env() // no-op; procedure is pure dispatch cost
+		return []byte{byte(src)}, nil
+	})
+	done := 0
+	for i := 1; i < 4; i++ {
+		i := i
+		ep := NewEndpoint(c.Nodes[i])
+		env.Spawn("client", func(p *des.Proc) {
+			r, err := ep.Call(p, 0, 1, 1, nil)
+			if err != nil || int(r[0]) != i {
+				t.Errorf("client %d: %v %v", i, r, err)
+				return
+			}
+			done++
+		})
+	}
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if sv.Serve().Calls != 3 {
+		t.Fatalf("server calls = %d", sv.Serve().Calls)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	env, _, cl, sv := pair(t)
+	sv.Serve().Register(1, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		return make([]byte, 1024), nil
+	})
+	env.Spawn("client", func(p *des.Proc) {
+		if _, err := cl.Call(p, 1, 1, 1, make([]byte, 16)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PayloadBytes() != 16 || cl.OverheadBytes() != HeaderOverhead {
+		t.Fatalf("client: payload=%d overhead=%d", cl.PayloadBytes(), cl.OverheadBytes())
+	}
+	if sv.PayloadBytes() != 1024 || sv.OverheadBytes() != HeaderOverhead {
+		t.Fatalf("server: payload=%d overhead=%d", sv.PayloadBytes(), sv.OverheadBytes())
+	}
+}
+
+func TestBigPayloadRoundTrip(t *testing.T) {
+	env, _, cl, sv := pair(t)
+	blob := make([]byte, 8192)
+	for i := range blob {
+		blob[i] = byte(i * 13)
+	}
+	sv.Serve().Register(2, 7, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		return args, nil
+	})
+	env.Spawn("client", func(p *des.Proc) {
+		r, err := cl.Call(p, 1, 2, 7, blob)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(r, blob) {
+			t.Error("8K payload corrupted through RPC")
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlTransferShareShrinksWithResultSize(t *testing.T) {
+	// §2 cites Firefly RPC: control transfer is 17% of a null call but
+	// only 7% of a call returning 1440 bytes — the fixed control cost
+	// amortizes over the transfer. Our baseline must show the same
+	// qualitative drop (roughly half the share, give or take).
+	measure := func(resultSize int) (share float64) {
+		env := des.NewEnv()
+		c := cluster.New(env, &model.Default, 2)
+		cl, sv := NewEndpoint(c.Nodes[0]), NewEndpoint(c.Nodes[1])
+		sv.Serve().Register(1, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+			return make([]byte, resultSize), nil
+		})
+		var elapsed time.Duration
+		env.Spawn("client", func(p *des.Proc) {
+			start := p.Now()
+			if _, err := cl.Call(p, 1, 1, 1, nil); err != nil {
+				t.Error(err)
+			}
+			elapsed = time.Duration(p.Now().Sub(start))
+		})
+		if err := env.RunUntil(des.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		control := c.Nodes[0].CPUAcct[cluster.CatControl] + c.Nodes[1].CPUAcct[cluster.CatControl]
+		return float64(control) / float64(elapsed)
+	}
+	nullShare := measure(0)
+	bigShare := measure(1440)
+	t.Logf("control-transfer share: null %.0f%%, 1440B result %.0f%% (Firefly: 17%% / 7%%)",
+		nullShare*100, bigShare*100)
+	if bigShare >= nullShare {
+		t.Fatal("share did not shrink with result size")
+	}
+	if ratio := bigShare / nullShare; ratio < 0.25 || ratio > 0.75 {
+		t.Fatalf("share ratio %.2f; Firefly's 7/17 ≈ 0.41", ratio)
+	}
+}
+
+func TestConcurrentCallsFromOneClient(t *testing.T) {
+	// Two processes on the same machine call concurrently; the endpoint's
+	// request matching must keep the replies straight.
+	env, _, cl, sv := pair(t)
+	sv.Serve().Register(1, 1, func(p *des.Proc, src int, args []byte) ([]byte, error) {
+		return append([]byte("r:"), args...), nil
+	})
+	results := map[string]string{}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		name := name
+		env.Spawn("caller", func(p *des.Proc) {
+			r, err := cl.Call(p, 1, 1, 1, []byte(name))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[name] = string(r)
+		})
+	}
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		if results[name] != "r:"+name {
+			t.Fatalf("%s got %q", name, results[name])
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package secure implements §3.5's security story for environments where
+// machines do not trust each other: every remote read and write is
+// encrypted and decrypted, keyed per communicating pair. The paper notes
+// that software emulation "will not provide adequate performance in this
+// case" but that controller-level hardware (the AN1's per-link crypto
+// engines) makes it feasible; both cost models are provided so the
+// trade-off is measurable.
+//
+// Mechanically, a Channel wraps an imported segment with a symmetric key.
+// Segment memory holds ciphertext; the exporting owner uses a Vault (the
+// same key) for its local accesses. The cipher is AES-CTR with the
+// keystream positioned by absolute segment offset, which keeps remote
+// access random-access — any byte range can be enciphered independently.
+// A deployment would rotate keys per epoch as the AN1 does; key management
+// is out of scope here as it is in the paper.
+package secure
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// KeySize is the AES-128 key size used by channels.
+const KeySize = 16
+
+// Key is a shared segment key.
+type Key [KeySize]byte
+
+// CryptoCost selects who pays for the cipher and how much.
+type CryptoCost struct {
+	// HardwarePerCell is the added per-cell cost when the network
+	// controller enciphers in-line (the AN1 design): effectively pipeline
+	// depth, almost free.
+	HardwarePerCell time.Duration
+	// SoftwarePerByte is the per-byte CPU cost of running the cipher on
+	// the host — the configuration the paper dismisses as inadequate.
+	SoftwarePerByte time.Duration
+	// Software selects the host-CPU path.
+	Software bool
+}
+
+// DefaultHardware models an AN1-class in-line crypto engine.
+var DefaultHardware = CryptoCost{HardwarePerCell: 600 * time.Nanosecond}
+
+// DefaultSoftware models a host-software DES/AES on a DECstation-class
+// CPU (~2 MB/s).
+var DefaultSoftware = CryptoCost{SoftwarePerByte: 500 * time.Nanosecond, Software: true}
+
+// charge bills the cipher work for n bytes to the node.
+func (c *CryptoCost) charge(p *des.Proc, node *cluster.Node, n int) {
+	if c.Software {
+		node.UseCPU(p, cluster.CatClient, time.Duration(n)*c.SoftwarePerByte)
+		return
+	}
+	node.UseCPU(p, cluster.CatClient, time.Duration(node.P.CellsFor(n))*c.HardwarePerCell)
+}
+
+// xorKeystream enciphers/deciphers buf in place as the bytes at absolute
+// segment offset off (CTR mode is an XOR stream, so the two directions are
+// the same operation).
+func xorKeystream(key Key, off int, buf []byte) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err) // KeySize is always valid
+	}
+	bs := block.BlockSize()
+	var ctr, ks [aes.BlockSize]byte
+	blockNo := off / bs
+	skip := off % bs
+	for i := 0; i < len(buf); {
+		binary.BigEndian.PutUint64(ctr[8:], uint64(blockNo))
+		block.Encrypt(ks[:], ctr[:])
+		for j := skip; j < bs && i < len(buf); j++ {
+			buf[i] ^= ks[j]
+			i++
+		}
+		skip = 0
+		blockNo++
+	}
+}
+
+// Channel is the importer's encrypted view of a remote segment.
+type Channel struct {
+	imp  *rmem.Import
+	key  Key
+	cost CryptoCost
+}
+
+// NewChannel wraps an imported segment with a shared key.
+func NewChannel(imp *rmem.Import, key Key, cost CryptoCost) *Channel {
+	return &Channel{imp: imp, key: key, cost: cost}
+}
+
+// Write enciphers data for segment offset off and writes the ciphertext
+// remotely (small or block variant by size).
+func (c *Channel) Write(p *des.Proc, off int, data []byte, notify bool) error {
+	ct := append([]byte(nil), data...)
+	xorKeystream(c.key, off, ct)
+	c.cost.charge(p, c.imp.ManagerNode(), len(ct))
+	if len(ct) <= rmem.MsgRegisterCap {
+		return c.imp.Write(p, off, ct, notify)
+	}
+	return c.imp.WriteBlock(p, off, ct, notify)
+}
+
+// Read fetches count ciphertext bytes from soff, deposits them at
+// (dst, doff), and deciphers them in place so the caller sees plaintext.
+func (c *Channel) Read(p *des.Proc, soff, count int, dst *rmem.Segment, doff int, timeout des.Duration) error {
+	if err := c.imp.Read(p, soff, count, dst, doff, timeout); err != nil {
+		return err
+	}
+	c.cost.charge(p, c.imp.ManagerNode(), count)
+	xorKeystream(c.key, soff, dst.Bytes()[doff:doff+count])
+	return nil
+}
+
+// Vault is the exporting owner's view of its own encrypted segment: the
+// memory holds ciphertext, so local reads and writes also run the cipher
+// (on the owner's engine or CPU).
+type Vault struct {
+	seg  *rmem.Segment
+	key  Key
+	cost CryptoCost
+	node *cluster.Node
+}
+
+// NewVault wraps an exported segment whose contents are enciphered under
+// key.
+func NewVault(node *cluster.Node, seg *rmem.Segment, key Key, cost CryptoCost) *Vault {
+	return &Vault{seg: seg, key: key, cost: cost, node: node}
+}
+
+// Segment exposes the wrapped segment (for granting rights etc.).
+func (v *Vault) Segment() *rmem.Segment { return v.seg }
+
+// ReadPlain returns plaintext for [off, off+n).
+func (v *Vault) ReadPlain(p *des.Proc, off, n int) []byte {
+	out := v.seg.ReadLocal(p, off, n)
+	v.cost.charge(p, v.node, n)
+	xorKeystream(v.key, off, out)
+	return out
+}
+
+// WritePlain stores plaintext (enciphering it) at off.
+func (v *Vault) WritePlain(p *des.Proc, off int, data []byte) {
+	ct := append([]byte(nil), data...)
+	xorKeystream(v.key, off, ct)
+	v.cost.charge(p, v.node, len(ct))
+	v.seg.WriteLocal(p, off, ct)
+}
+
+// Verify is a helper for tests and examples: true if the raw segment
+// bytes at [off, off+n) differ from the given plaintext (i.e. an
+// eavesdropper with segment access does not see the data).
+func Verify(seg *rmem.Segment, off int, plaintext []byte) error {
+	raw := seg.Bytes()[off : off+len(plaintext)]
+	same := true
+	for i := range plaintext {
+		if raw[i] != plaintext[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(plaintext) > 0 {
+		return fmt.Errorf("secure: segment holds plaintext")
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package stats provides the small rendering and summary helpers the
+// benchmark tools share: fixed-width text tables, horizontal bar charts
+// (for the Figure 2/3 reproductions), and duration/byte formatting.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Add appends a row; cells are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRule appends a horizontal rule.
+func (t *Table) AddRule() {
+	t.rows = append(t.rows, nil)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	rule := strings.Repeat("-", total-2)
+	b.WriteString(rule)
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		if row == nil {
+			b.WriteString(rule)
+			b.WriteByte('\n')
+			continue
+		}
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a labelled horizontal bar scaled to width columns at max.
+func Bar(label string, value, max float64, width int, suffix string) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return fmt.Sprintf("%-22s %-*s %s", label, width, strings.Repeat("█", n), suffix)
+}
+
+// StackedBar renders a bar whose segments use distinct glyphs, for the
+// Figure 3 component breakdown.
+func StackedBar(label string, segments []float64, glyphs []rune, max float64, width int, suffix string) string {
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	used := 0
+	for i, seg := range segments {
+		n := int(seg / max * float64(width))
+		if used+n > width {
+			n = width - used
+		}
+		if n > 0 {
+			b.WriteString(strings.Repeat(string(glyphs[i%len(glyphs)]), n))
+			used += n
+		}
+	}
+	return fmt.Sprintf("%-22s %-*s %s", label, width, b.String(), suffix)
+}
+
+// Ms formats a duration in milliseconds with two decimals.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", d.Seconds()*1000)
+}
+
+// Us formats a duration in microseconds with one decimal.
+func Us(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", d.Seconds()*1e6)
+}
+
+// MB formats megabytes with no decimals.
+func MB(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Mbps formats a bit rate in megabits/second.
+func Mbps(bitsPerSec float64) string {
+	return fmt.Sprintf("%.1f Mb/s", bitsPerSec/1e6)
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Op", "Latency")
+	tb.Add("GetAttr", "0.06ms")
+	tb.Add("Readfile(8K)", "1.88ms")
+	tb.AddRule()
+	tb.Add("Total", "1.94ms")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Op") || !strings.Contains(lines[0], "Latency") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	// Latency column aligned: same start index in data rows.
+	i2 := strings.Index(lines[2], "0.06ms")
+	i3 := strings.Index(lines[3], "1.88ms")
+	if i2 != i3 {
+		t.Fatalf("columns unaligned:\n%s", out)
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	full := Bar("x", 10, 10, 20, "")
+	half := Bar("x", 5, 10, 20, "")
+	if strings.Count(full, "█") != 20 {
+		t.Fatalf("full bar: %q", full)
+	}
+	if strings.Count(half, "█") != 10 {
+		t.Fatalf("half bar: %q", half)
+	}
+	if strings.Count(Bar("x", 30, 10, 20, ""), "█") != 20 {
+		t.Fatal("bar must clamp at width")
+	}
+	if strings.Count(Bar("x", -5, 10, 20, ""), "█") != 0 {
+		t.Fatal("negative value must render empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out := StackedBar("op", []float64{5, 5}, []rune{'#', '+'}, 10, 20, "tail")
+	if strings.Count(out, "#") != 10 || strings.Count(out, "+") != 10 {
+		t.Fatalf("stacked segments wrong: %q", out)
+	}
+	if !strings.HasSuffix(out, "tail") {
+		t.Fatalf("suffix missing: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(1500*time.Microsecond) != "1.50ms" {
+		t.Fatal(Ms(1500 * time.Microsecond))
+	}
+	if Us(45*time.Microsecond) != "45.0µs" {
+		t.Fatal(Us(45 * time.Microsecond))
+	}
+	if Mbps(35.4e6) != "35.4 Mb/s" {
+		t.Fatal(Mbps(35.4e6))
+	}
+	if MB(766.4) != "766" {
+		t.Fatal(MB(766.4))
+	}
+}

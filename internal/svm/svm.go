@@ -1,0 +1,414 @@
+// Package svm implements an Ivy-style shared virtual memory system (Li &
+// Hudak), the §6 comparison point: page-granularity sharing with a
+// write-invalidate, single-writer/multiple-reader protocol coordinated by
+// a central manager. It exists to make the paper's contrast measurable:
+//
+//   - "with SVM systems, the unit of sharing and data transfer is usually
+//     a page … this large size might lead to false sharing between clerks
+//     resulting in suboptimal performance", and
+//   - "most SVM implementations require non-trivial processing and
+//     control transfer at the machine that faults the page in, which is
+//     contrary to our approach".
+//
+// Every fault here costs control transfers — a fault handler dispatch at
+// the manager, at the owner, and for invalidations at every copy holder —
+// plus a whole-page transfer, whereas the remote-memory model moves just
+// the bytes asked for and dispatches nobody.
+package svm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+)
+
+// Proto is the cluster protocol id for SVM traffic.
+const Proto byte = 0x03
+
+// PageSize is the sharing granule ("in modern processors can be upwards
+// of 4K bytes").
+const PageSize = 4096
+
+// Access is a page permission.
+type Access uint8
+
+const (
+	Invalid Access = iota
+	ReadOnly
+	Writable
+)
+
+// message kinds.
+const (
+	mReadReq byte = iota + 1 // requester → manager
+	mWriteReq
+	mFetchReq   // manager → owner: send page to requester (grant in arg)
+	mPageData   // owner → requester
+	mInvalidate // manager → copy holder
+	mInvAck     // copy holder → manager
+)
+
+// ErrBounds reports an out-of-range address.
+var ErrBounds = errors.New("svm: address out of range")
+
+type page struct {
+	perm Access
+	data []byte
+}
+
+// Agent is the per-node SVM runtime. One node (the manager) additionally
+// coordinates ownership.
+type Agent struct {
+	node    *cluster.Node
+	manager int
+	npages  int
+	pages   map[int]*page
+	waiters map[int]*des.WaitQueue // faulting processes per page
+
+	// Manager state (manager node only).
+	owner   map[int]int
+	copyset map[int]map[int]bool
+	busy    map[int]bool
+	pending map[int][]pendingReq
+	xfers   map[int]*xfer
+
+	// Stats.
+	ReadFaults, WriteFaults int64
+	Invalidations           int64
+	PagesMoved              int64
+	BytesMoved              int64
+}
+
+type pendingReq struct {
+	from  int
+	write bool
+}
+
+// New creates the agent for a node. All agents must agree on the manager
+// node and the address-space size. The manager initially owns every page
+// writable and zero-filled.
+func New(node *cluster.Node, manager, npages int) *Agent {
+	a := &Agent{
+		node:    node,
+		manager: manager,
+		npages:  npages,
+		pages:   make(map[int]*page),
+		waiters: make(map[int]*des.WaitQueue),
+	}
+	if node.ID == manager {
+		a.owner = make(map[int]int)
+		a.copyset = make(map[int]map[int]bool)
+		a.busy = make(map[int]bool)
+		a.pending = make(map[int][]pendingReq)
+		a.xfers = make(map[int]*xfer)
+		for pg := 0; pg < npages; pg++ {
+			a.owner[pg] = manager
+			a.copyset[pg] = map[int]bool{manager: true}
+			a.pages[pg] = &page{perm: Writable, data: make([]byte, PageSize)}
+		}
+	}
+	node.RegisterProto(Proto, a.handle)
+	return a
+}
+
+// faultCost is the control-transfer price of dispatching a fault/protocol
+// handler on a node: the same post + context switch + dispatch path the
+// remote-memory model charges only when notification is requested.
+func (a *Agent) faultCost(p *des.Proc) {
+	P := a.node.P
+	a.node.UseCPU(p, cluster.CatControl, P.NotifyPost+P.ContextSwitch+P.HandlerDispatch)
+}
+
+func (a *Agent) wq(pg int) *des.WaitQueue {
+	q, ok := a.waiters[pg]
+	if !ok {
+		q = des.NewWaitQueue(a.node.Env)
+		a.waiters[pg] = q
+	}
+	return q
+}
+
+// Read copies n bytes at addr out of the shared address space, faulting
+// the page in (read access) if needed.
+func (a *Agent) Read(p *des.Proc, addr, n int) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+n > a.npages*PageSize {
+		return nil, ErrBounds
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		pg := addr / PageSize
+		off := addr % PageSize
+		take := n
+		if off+take > PageSize {
+			take = PageSize - off
+		}
+		if err := a.ensure(p, pg, ReadOnly); err != nil {
+			return nil, err
+		}
+		out = append(out, a.pages[pg].data[off:off+take]...)
+		addr += take
+		n -= take
+	}
+	return out, nil
+}
+
+// Write stores data at addr, faulting pages to writable (invalidating all
+// other copies) as needed.
+func (a *Agent) Write(p *des.Proc, addr int, data []byte) error {
+	if addr < 0 || addr+len(data) > a.npages*PageSize {
+		return ErrBounds
+	}
+	for len(data) > 0 {
+		pg := addr / PageSize
+		off := addr % PageSize
+		take := len(data)
+		if off+take > PageSize {
+			take = PageSize - off
+		}
+		if err := a.ensure(p, pg, Writable); err != nil {
+			return err
+		}
+		copy(a.pages[pg].data[off:], data[:take])
+		addr += take
+		data = data[take:]
+	}
+	return nil
+}
+
+// Perm reports the local permission on a page (for tests).
+func (a *Agent) Perm(pg int) Access {
+	if pl, ok := a.pages[pg]; ok {
+		return pl.perm
+	}
+	return Invalid
+}
+
+// ensure faults the page to at least the wanted access.
+func (a *Agent) ensure(p *des.Proc, pg int, want Access) error {
+	for {
+		if pl, ok := a.pages[pg]; ok && pl.perm >= want {
+			return nil
+		}
+		// Page fault: trap + handler dispatch on the faulting machine.
+		if want == Writable {
+			a.WriteFaults++
+		} else {
+			a.ReadFaults++
+		}
+		a.faultCost(p)
+		kind := mReadReq
+		if want == Writable {
+			kind = mWriteReq
+		}
+		if a.node.ID == a.manager {
+			// Local fault on the manager: enter the protocol directly.
+			a.managerRequest(p, a.node.ID, kind == mWriteReq, pg)
+		} else {
+			a.send(p, a.manager, kind, pg, nil, 0)
+		}
+		// Wait for the page to arrive (or, for a manager-local
+		// resolution, for the protocol to complete).
+		for {
+			if pl, ok := a.pages[pg]; ok && pl.perm >= want {
+				return nil
+			}
+			a.wq(pg).Wait(p)
+		}
+	}
+}
+
+// wire: kind(1) page(4) arg(4) data…
+func (a *Agent) send(p *des.Proc, dst int, kind byte, pg int, data []byte, arg int) {
+	msg := make([]byte, 9, 9+len(data))
+	msg[0] = kind
+	binary.BigEndian.PutUint32(msg[1:], uint32(pg))
+	binary.BigEndian.PutUint32(msg[5:], uint32(arg))
+	msg = append(msg, data...)
+	a.node.SendFrame(p, dst, Proto, cluster.CatControl, msg)
+}
+
+func (a *Agent) handle(p *des.Proc, src int, frame []byte) {
+	if len(frame) < 9 {
+		a.node.Faults = append(a.node.Faults, fmt.Errorf("svm: short frame"))
+		return
+	}
+	kind := frame[0]
+	pg := int(binary.BigEndian.Uint32(frame[1:]))
+	arg := int(binary.BigEndian.Uint32(frame[5:]))
+	data := frame[9:]
+
+	// Every protocol message dispatches a handler — control transfer.
+	a.faultCost(p)
+
+	switch kind {
+	case mReadReq:
+		a.managerRequest(p, src, false, pg)
+	case mWriteReq:
+		a.managerRequest(p, src, true, pg)
+	case mFetchReq:
+		a.ownerFetch(p, pg, arg&0xffff, arg>>16 == 1)
+	case mPageData:
+		perm := Access(arg)
+		a.pages[pg] = &page{perm: perm, data: append([]byte(nil), data...)}
+		a.PagesMoved++
+		a.BytesMoved += int64(len(data))
+		a.wq(pg).WakeAll()
+		if a.node.ID == a.manager {
+			a.finishPage(p, pg)
+		} else {
+			a.send(p, a.manager, mInvAck, pg, nil, doneMarker)
+		}
+	case mInvalidate:
+		delete(a.pages, pg)
+		a.Invalidations++
+		a.send(p, a.manager, mInvAck, pg, nil, 0)
+	case mInvAck:
+		a.managerAck(p, pg, src, arg == doneMarker)
+	}
+}
+
+// doneMarker distinguishes a transfer-complete ack from an invalidate ack.
+const doneMarker = 0x7fff
+
+// ---------------------------------------------------------------------------
+// Manager protocol. Requests for a busy page queue; each request runs:
+// invalidate copyset (write faults), fetch from owner, wait for the
+// requester's completion ack, then serve the next queued request.
+
+type xfer struct {
+	requester int
+	write     bool
+	waitAcks  int
+	fetched   bool
+}
+
+func (a *Agent) managerRequest(p *des.Proc, from int, write bool, pg int) {
+	if a.busy[pg] {
+		a.pending[pg] = append(a.pending[pg], pendingReq{from: from, write: write})
+		return
+	}
+	a.busy[pg] = true
+	a.startTransfer(p, pg, from, write)
+}
+
+func (a *Agent) startTransfer(p *des.Proc, pg, requester int, write bool) {
+	x := &xfer{requester: requester, write: write}
+	a.xfers[pg] = x
+
+	if write {
+		// Invalidate every copy except the owner's and the requester's.
+		own := a.owner[pg]
+		for c := range a.copyset[pg] {
+			if c == own || c == requester {
+				continue
+			}
+			x.waitAcks++
+			if c == a.node.ID {
+				delete(a.pages, pg)
+				a.Invalidations++
+				x.waitAcks--
+				continue
+			}
+			a.send(p, c, mInvalidate, pg, nil, 0)
+		}
+	}
+	if x.waitAcks == 0 {
+		a.fetchFromOwner(p, pg, x)
+	}
+}
+
+func (a *Agent) fetchFromOwner(p *des.Proc, pg int, x *xfer) {
+	x.fetched = true
+	own := a.owner[pg]
+	grant := 0
+	if x.write {
+		grant = 1
+	}
+	if own == a.node.ID {
+		a.ownerFetch(p, pg, x.requester, x.write)
+		return
+	}
+	a.send(p, own, mFetchReq, pg, nil, grant<<16|x.requester)
+}
+
+// ownerFetch runs at the page's owner: ship the page, adjusting our own
+// permission (downgrade for a read, invalidate for a write grant).
+func (a *Agent) ownerFetch(p *des.Proc, pg, requester int, write bool) {
+	pl, ok := a.pages[pg]
+	if !ok {
+		// We no longer hold it (already invalidated); the manager's state
+		// machine should prevent this.
+		a.node.Faults = append(a.node.Faults, fmt.Errorf("svm: fetch for page %d we do not hold", pg))
+		return
+	}
+	perm := ReadOnly
+	if write {
+		perm = Writable
+		delete(a.pages, pg)
+		a.Invalidations++
+	} else {
+		pl.perm = ReadOnly
+	}
+	if requester == a.node.ID {
+		// The owner is the requester (a permission upgrade, or the
+		// manager fetching for itself): no page moves.
+		a.pages[pg] = &page{perm: perm, data: append([]byte(nil), pl.data...)}
+		a.wq(pg).WakeAll()
+		if a.node.ID == a.manager {
+			a.finishPage(p, pg)
+		} else {
+			a.send(p, a.manager, mInvAck, pg, nil, doneMarker)
+		}
+		return
+	}
+	a.send(p, requester, mPageData, pg, pl.data, int(perm))
+	if a.node.ID != a.manager {
+		// Nothing more for the owner to do; the requester acks the
+		// manager directly.
+		return
+	}
+	a.finishPage(p, pg)
+}
+
+// managerAck accounts an invalidation or completion ack.
+func (a *Agent) managerAck(p *des.Proc, pg, from int, done bool) {
+	x := a.xfers[pg]
+	if x == nil {
+		return
+	}
+	if done {
+		a.finishPage(p, pg)
+		return
+	}
+	delete(a.copyset[pg], from)
+	x.waitAcks--
+	if x.waitAcks == 0 && !x.fetched {
+		a.fetchFromOwner(p, pg, x)
+	}
+}
+
+// finishPage commits the transfer's directory update and serves the next
+// queued request.
+func (a *Agent) finishPage(p *des.Proc, pg int) {
+	x := a.xfers[pg]
+	if x == nil {
+		return
+	}
+	delete(a.xfers, pg)
+	if x.write {
+		a.owner[pg] = x.requester
+		a.copyset[pg] = map[int]bool{x.requester: true}
+	} else {
+		a.copyset[pg][x.requester] = true
+	}
+	a.busy[pg] = false
+	if q := a.pending[pg]; len(q) > 0 {
+		next := q[0]
+		a.pending[pg] = q[1:]
+		a.busy[pg] = true
+		a.startTransfer(p, pg, next.from, next.write)
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/fstore"
+)
+
+// Tree is the synthetic departmental file server content the trace runs
+// against: exported font directories, source trees, and binaries, echoing
+// §2's description of the measured server ("X-terminal fonts, source trees
+// … and the /usr partition containing executable binaries").
+type Tree struct {
+	Files []fstore.Handle // regular files, read/write targets
+	Dirs  []fstore.Handle // directories, lookup/readdir targets
+	Links []fstore.Handle // symlinks, readlink targets
+	Names [][]string      // per-directory entry names (for lookups)
+}
+
+// BuildTree populates the store with nDirs directories of nPerDir files
+// each (8–16 KB), one symlink per directory, and warms every server cache
+// area.
+func BuildTree(srv *dfs.Server, nDirs, nPerDir int) (*Tree, error) {
+	st := srv.Store
+	t := &Tree{}
+	for d := 0; d < nDirs; d++ {
+		dirPath := fmt.Sprintf("/export/vol%d", d)
+		var names []string
+		for f := 0; f < nPerDir; f++ {
+			name := fmt.Sprintf("obj%03d", f)
+			size := 8192 + (f%2)*8192
+			h, err := st.WriteFile(dirPath+"/"+name, make([]byte, size))
+			if err != nil {
+				return nil, err
+			}
+			t.Files = append(t.Files, h)
+			names = append(names, name)
+		}
+		dh, _, err := st.ResolvePath(dirPath)
+		if err != nil {
+			return nil, err
+		}
+		lh, _, err := st.Symlink(dh, "latest", dirPath+"/obj000")
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, "latest")
+		t.Dirs = append(t.Dirs, dh)
+		t.Links = append(t.Links, lh)
+		t.Names = append(t.Names, names)
+		if err := srv.WarmDir(dh); err != nil {
+			return nil, err
+		}
+		if err := srv.WarmFile(lh); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range t.Files {
+		if err := srv.WarmFile(h); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Replayer applies trace operations to a clerk.
+type Replayer struct {
+	Clerk *dfs.Clerk
+	Tree  *Tree
+
+	// LocalCaching keeps the clerk's client-side cache between operations.
+	// Off (the default) every operation exercises the clerk↔server path,
+	// which is what the server-load experiments measure.
+	LocalCaching bool
+
+	// Ops counts applied operations per activity.
+	Ops [numActivities]int64
+}
+
+// Apply executes one trace operation, mapping the Table 1a activity onto
+// the file service API.
+func (r *Replayer) Apply(p *des.Proc, op TraceOp) error {
+	if !r.LocalCaching {
+		r.Clerk.FlushLocal()
+	}
+	r.Ops[op.Activity]++
+	t := r.Tree
+	file := t.Files[op.File%len(t.Files)]
+	dirIdx := op.Dir % len(t.Dirs)
+	dir := t.Dirs[dirIdx]
+	switch op.Activity {
+	case ActGetAttr:
+		_, err := r.Clerk.GetAttr(p, file)
+		return err
+	case ActLookup:
+		names := t.Names[dirIdx]
+		_, _, err := r.Clerk.Lookup(p, dir, names[op.File%len(names)])
+		return err
+	case ActRead:
+		_, err := r.Clerk.Read(p, file, 0, op.Size)
+		return err
+	case ActNullPing:
+		return r.Clerk.Null(p)
+	case ActReadLink:
+		_, err := r.Clerk.ReadLink(p, t.Links[dirIdx])
+		return err
+	case ActReadDir:
+		_, err := r.Clerk.ReadDir(p, dir, 0, op.Size)
+		return err
+	case ActStatFS:
+		_, err := r.Clerk.StatFS(p)
+		return err
+	case ActWrite:
+		return r.Clerk.Write(p, file, 0, make([]byte, op.Size))
+	case ActOther:
+		// The "other" bucket (setattr/create/remove/…): a setattr is the
+		// most common member.
+		a, err := r.Clerk.GetAttr(p, file)
+		if err != nil {
+			return err
+		}
+		_, err = r.Clerk.SetAttr(p, file, a.Mode, a.Size)
+		return err
+	}
+	return fmt.Errorf("workload: unknown activity %v", op.Activity)
+}

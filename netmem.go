@@ -1,0 +1,278 @@
+// Package netmem is the public API of the remote-network-memory toolkit: a
+// faithful reproduction of Thekkath, Levy & Lazowska, "Separating Data and
+// Control Transfer in Distributed Operating Systems" (ASPLOS 1994).
+//
+// The package simulates a cluster of DECstation-class workstations on a
+// 140 Mb/s ATM network and provides the paper's communication model —
+// exported memory segments accessed remotely with non-blocking WRITE, READ
+// and compare-and-swap meta-instructions, with control transfer
+// (notification) fully decoupled from data transfer — plus the systems
+// built on it: a distributed segment name service, the Hybrid-1 RPC-like
+// comparator, a conventional RPC baseline, and an NFS-like distributed
+// file service structured both ways.
+//
+// Everything runs on a deterministic discrete-event simulation calibrated
+// to the paper's measurements (Table 2: 30 µs remote write, 45 µs read,
+// 38 µs CAS, 35.4 Mb/s block throughput, 260 µs notification). Simulated
+// code runs in processes (Proc); all blocking and timing flows through
+// them. A minimal session:
+//
+//	sys := netmem.New(2)
+//	sys.Spawn("demo", func(p *netmem.Proc) {
+//		seg := sys.Mem[1].Export(p, 4096)
+//		seg.SetDefaultRights(netmem.RightsAll)
+//		imp := sys.Mem[0].Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+//		imp.Write(p, 0, []byte("hello"), false)
+//	})
+//	sys.Run()
+package netmem
+
+import (
+	"time"
+
+	"netmem/internal/atm"
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/hybrid"
+	"netmem/internal/lrpc"
+	"netmem/internal/model"
+	"netmem/internal/nameserver"
+	"netmem/internal/rmem"
+	"netmem/internal/rpc"
+	"netmem/internal/secure"
+	"netmem/internal/svm"
+	"netmem/internal/tokens"
+	"netmem/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Env is the discrete-event simulation environment.
+	Env = des.Env
+	// Proc is a simulated process; all blocking APIs take one.
+	Proc = des.Proc
+	// Time is absolute virtual time.
+	Time = des.Time
+	// Resource is a serially shared resource with a FIFO queue (a CPU).
+	Resource = des.Resource
+
+	// Cluster is a set of workstations on an ATM network.
+	Cluster = cluster.Cluster
+	// Node is one simulated workstation.
+	Node = cluster.Node
+	// Params is the calibrated hardware/software cost model.
+	Params = model.Params
+	// Fault configures cell-loss injection.
+	Fault = atm.Fault
+)
+
+// Remote memory model (the paper's contribution).
+type (
+	// Manager is the per-node kernel side of the remote memory model.
+	Manager = rmem.Manager
+	// Segment is an exported region of a process's memory.
+	Segment = rmem.Segment
+	// Import is an installed descriptor for a remote segment.
+	Import = rmem.Import
+	// Notification is one control-transfer event.
+	Notification = rmem.Notification
+	// Rights is a segment access mask.
+	Rights = rmem.Rights
+	// NotifyMode is the per-descriptor notification control flag.
+	NotifyMode = rmem.NotifyMode
+	// ReadOp is an outstanding non-blocking READ.
+	ReadOp = rmem.ReadOp
+)
+
+// Name service, local RPC, transports.
+type (
+	// NameClerk is the per-machine distributed name-service agent.
+	NameClerk = nameserver.Clerk
+	// NameConfig tunes a name clerk.
+	NameConfig = nameserver.Config
+	// NameRecord is a name-registry entry.
+	NameRecord = nameserver.Record
+	// LocalServer is a same-machine cross-address-space RPC server.
+	LocalServer = lrpc.Server
+	// RPCEndpoint is the conventional RPC baseline runtime.
+	RPCEndpoint = rpc.Endpoint
+	// HybridServer / HybridClient are the Hybrid-1 channel ends.
+	HybridServer = hybrid.Server
+	HybridClient = hybrid.Client
+)
+
+// File service.
+type (
+	// FileServer is the file-service machine with exported cache areas.
+	FileServer = dfs.Server
+	// FileClerk is the per-client agent of the file service.
+	FileClerk = dfs.Clerk
+	// FileMode selects DX (pure data transfer) or HY (Hybrid-1).
+	FileMode = dfs.Mode
+	// FileGeometry sizes the server cache areas.
+	FileGeometry = dfs.Geometry
+)
+
+// Security (§3.5), fault tolerance (§3.7), and the SVM comparison (§6).
+type (
+	// SecureChannel is an importer's encrypted view of a remote segment.
+	SecureChannel = secure.Channel
+	// SecureVault is the owner's view of its encrypted segment.
+	SecureVault = secure.Vault
+	// SecureKey is a shared AES-128 segment key.
+	SecureKey = secure.Key
+	// CryptoCost selects hardware vs software cipher costing.
+	CryptoCost = secure.CryptoCost
+	// Heartbeat publishes a monotonic liveness counter.
+	Heartbeat = rmem.Heartbeat
+	// Watchdog detects peer failure by periodic remote reads (§3.7).
+	Watchdog = rmem.Watchdog
+	// SVMAgent is the Ivy-style shared-virtual-memory comparison system.
+	SVMAgent = svm.Agent
+	// TokenTable / TokenClient are the §5.1 distributed token manager.
+	TokenTable  = tokens.Table
+	TokenClient = tokens.Client
+)
+
+// ErrPeerFailed is delivered by a Watchdog when its peer stops responding.
+var ErrPeerFailed = rmem.ErrPeerFailed
+
+// NewSecureChannel, NewSecureVault, StartHeartbeat, and NewWatchdog
+// re-export the constructors for facade users.
+var (
+	NewSecureChannel = secure.NewChannel
+	NewSecureVault   = secure.NewVault
+	StartHeartbeat   = rmem.StartHeartbeat
+	NewWatchdog      = rmem.NewWatchdog
+	NewSVMAgent      = svm.New
+	NewTokenTable    = tokens.NewTable
+	NewTokenClient   = tokens.NewClient
+)
+
+// HardwareCrypto and SoftwareCrypto are the two §3.5 cipher cost models.
+var (
+	HardwareCrypto = secure.DefaultHardware
+	SoftwareCrypto = secure.DefaultSoftware
+)
+
+// Workload / experiments.
+type (
+	// TraceGenerator draws operations from the paper's Table 1a mix.
+	TraceGenerator = workload.Generator
+	// TraceReplayer applies trace operations to a file clerk.
+	TraceReplayer = workload.Replayer
+	// TraceOp is one operation of a synthetic trace.
+	TraceOp = workload.TraceOp
+)
+
+// Re-exported constants.
+const (
+	RightRead  = rmem.RightRead
+	RightWrite = rmem.RightWrite
+	RightCAS   = rmem.RightCAS
+	RightsAll  = rmem.RightsAll
+	RightsNone = rmem.RightsNone
+
+	NotifyConditional = rmem.NotifyConditional
+	NotifyAlways      = rmem.NotifyAlways
+	NotifyNever       = rmem.NotifyNever
+
+	// DX and HY are the two file-service structures of §5.
+	DX = dfs.DX
+	HY = dfs.HY
+)
+
+// DefaultParams returns a copy of the calibrated DECstation/FORE-ATM cost
+// model; mutate the copy for ablations and pass it via WithParams.
+func DefaultParams() Params { return model.Default }
+
+// System bundles an environment, a cluster, and the per-node remote-memory
+// managers — the substrate everything else builds on.
+type System struct {
+	Env     *Env
+	Cluster *Cluster
+	// Mem holds one remote-memory manager per node, indexed by node id.
+	Mem []*Manager
+	// Names holds the name-service clerks when WithNameService is given.
+	Names []*NameClerk
+}
+
+// Option configures New.
+type Option func(*sysOptions)
+
+type sysOptions struct {
+	params      *Params
+	clusterOpts []cluster.Option
+	nameCfg     *NameConfig
+}
+
+// WithParams overrides the cost model.
+func WithParams(p Params) Option {
+	return func(o *sysOptions) { o.params = &p }
+}
+
+// WithSwitch forces a switched topology even for two nodes.
+func WithSwitch() Option {
+	return func(o *sysOptions) { o.clusterOpts = append(o.clusterOpts, cluster.WithSwitch()) }
+}
+
+// WithFault injects cell loss on direct links.
+func WithFault(f *Fault) Option {
+	return func(o *sysOptions) { o.clusterOpts = append(o.clusterOpts, cluster.WithFault(f)) }
+}
+
+// WithNameService boots a name clerk on every node.
+func WithNameService(cfg NameConfig) Option {
+	return func(o *sysOptions) { o.nameCfg = &cfg }
+}
+
+// New builds an n-node system: two nodes are wired back-to-back (the
+// paper's testbed), larger clusters go through a cell switch.
+func New(n int, opts ...Option) *System {
+	var o sysOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	params := &model.Default
+	if o.params != nil {
+		params = o.params
+	}
+	env := des.NewEnv()
+	cl := cluster.New(env, params, n, o.clusterOpts...)
+	sys := &System{Env: env, Cluster: cl}
+	for _, node := range cl.Nodes {
+		sys.Mem = append(sys.Mem, rmem.NewManager(node))
+	}
+	if o.nameCfg != nil {
+		peers := make([]int, n)
+		for i := range peers {
+			peers[i] = i
+		}
+		for _, m := range sys.Mem {
+			sys.Names = append(sys.Names, nameserver.New(m, peers, *o.nameCfg))
+		}
+	}
+	return sys
+}
+
+// Spawn starts a simulated process.
+func (s *System) Spawn(name string, fn func(*Proc)) { s.Env.Spawn(name, fn) }
+
+// Run drains the simulation (returns an error on deadlock).
+func (s *System) Run() error { return s.Env.Run() }
+
+// RunFor advances the simulation by d of virtual time.
+func (s *System) RunFor(d time.Duration) error {
+	return s.Env.RunUntil(s.Env.Now().Add(d))
+}
+
+// NewFileServer builds the file service on node; call from a Proc.
+func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry) *FileServer {
+	return dfs.NewServer(p, s.Mem[node], len(s.Cluster.Nodes), geo)
+}
+
+// NewFileClerk wires a clerk on node to srv; call from a Proc.
+func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode) *FileClerk {
+	return dfs.NewClerk(p, s.Mem[node], srv, mode)
+}

@@ -1,0 +1,106 @@
+package netmem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := New(2)
+	var got []byte
+	sys.Spawn("demo", func(p *Proc) {
+		seg := sys.Mem[1].Export(p, 4096)
+		seg.SetDefaultRights(RightsAll)
+		imp := sys.Mem[0].Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		if err := imp.Write(p, 0, []byte("hello"), false); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(time.Millisecond)
+		got = append(got, seg.Bytes()[:5]...)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFacadeNameService(t *testing.T) {
+	sys := New(3, WithNameService(NameConfig{}))
+	sys.Spawn("demo", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond) // clerks boot
+		if _, err := sys.Names[2].Export(p, "svc", 128, RightsAll); err != nil {
+			t.Error(err)
+			return
+		}
+		imp, err := sys.Names[0].Import(p, "svc", 2, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if imp.Size() != 128 {
+			t.Errorf("size = %d", imp.Size())
+		}
+	})
+	if err := sys.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeFileService(t *testing.T) {
+	sys := New(2)
+	var content string
+	sys.Spawn("demo", func(p *Proc) {
+		srv := sys.NewFileServer(p, 0, FileGeometry{})
+		clerk := sys.NewFileClerk(p, 1, srv, DX)
+		h, err := srv.Store.WriteFile("/greeting", []byte("via the facade"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := srv.WarmFile(h); err != nil {
+			t.Error(err)
+			return
+		}
+		data, err := clerk.Read(p, h, 0, 100)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		content = string(data)
+	})
+	if err := sys.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if content != "via the facade" {
+		t.Fatalf("content = %q", content)
+	}
+}
+
+func TestFacadeParamsOverride(t *testing.T) {
+	p := DefaultParams()
+	p.PropagationDelay = 10 * time.Microsecond
+	sys := New(2, WithParams(p))
+	var elapsed time.Duration
+	sys.Spawn("demo", func(pr *Proc) {
+		seg := sys.Mem[1].Export(pr, 64)
+		seg.SetDefaultRights(RightsAll)
+		dst := sys.Mem[0].Export(pr, 64)
+		imp := sys.Mem[0].Import(pr, 1, seg.ID(), seg.Gen(), seg.Size())
+		start := pr.Now()
+		if err := imp.Read(pr, 0, 8, dst, 0, time.Second); err != nil {
+			t.Error(err)
+			return
+		}
+		elapsed = time.Duration(pr.Now().Sub(start))
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two extra 10µs propagation hops ⇒ read ≈ 45+20 µs.
+	if elapsed < 60*time.Microsecond || elapsed > 75*time.Microsecond {
+		t.Fatalf("read with 10µs propagation = %v, want ≈67µs", elapsed)
+	}
+}
