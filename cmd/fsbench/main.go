@@ -9,6 +9,12 @@
 //	           server utilization and throughput under both structures
 //
 // With no flags it runs figures 2 and 3 plus the headline.
+//
+// With -trace FILE or -metrics it instead traces a single operation
+// (selected by -op and -mode) through the whole stack: -metrics prints the
+// per-layer counters and latency histograms, -trace FILE writes the event
+// timeline as Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"netmem/internal/dfs"
+	"netmem/internal/obs"
 	"netmem/internal/stats"
 	"netmem/internal/workload"
 )
@@ -26,7 +33,16 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate only this figure (2 or 3)")
 	headline := flag.Bool("headline", false, "only the server-load headline")
 	scale := flag.Int("scale", 0, "run the scalability sweep up to this many clients")
+	metrics := flag.Bool("metrics", false, "trace one operation and print its observability metrics")
+	traceFile := flag.String("trace", "", "trace one operation and write Chrome trace_event JSON to this file")
+	opLabel := flag.String("op", "Readfile(8K)", "Figure 2 operation to trace (with -trace/-metrics)")
+	modeName := flag.String("mode", "DX", "file service structure to trace, HY or DX (with -trace/-metrics)")
 	flag.Parse()
+
+	if *metrics || *traceFile != "" {
+		runTraced(*opLabel, *modeName, *metrics, *traceFile)
+		return
+	}
 
 	if *scale > 0 {
 		runScale(*scale)
@@ -128,6 +144,67 @@ func printHeadline(res [][2]dfs.OpResult) {
 	fmt.Printf("Reduction: %.0f%% on the Table 1a call mix; %.0f%% on the per-op average\n",
 		(1-dxLoad/hyLoad)*100, (1-dxAvg/hyAvg)*100)
 	fmt.Printf("(paper: ≈50%%, \"less than half the server load\").\n\n")
+}
+
+// runTraced measures one Figure 2 operation with the observability layer
+// attached and emits the requested sinks.
+func runTraced(opLabel, modeName string, metrics bool, traceFile string) {
+	var spec dfs.OpSpec
+	found := false
+	for _, s := range dfs.Figure2Ops {
+		if s.Label == opLabel {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "fsbench: unknown -op %q; one of:\n", opLabel)
+		for _, s := range dfs.Figure2Ops {
+			fmt.Fprintln(os.Stderr, " ", s.Label)
+		}
+		os.Exit(1)
+	}
+	var mode dfs.Mode
+	switch modeName {
+	case "HY", "hy":
+		mode = dfs.HY
+	case "DX", "dx":
+		mode = dfs.DX
+	default:
+		fmt.Fprintf(os.Stderr, "fsbench: unknown -mode %q (want HY or DX)\n", modeName)
+		os.Exit(1)
+	}
+
+	res, tr, err := dfs.TraceOp(spec, mode, obs.Config{Events: traceFile != ""})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s %s: client latency %s, server CPU %s (rx %s, control %s, proc %s, reply %s)\n",
+		res.Label, res.Mode, stats.Ms(res.Latency), stats.Us(res.ServerTotal()),
+		stats.Us(res.ServerRx), stats.Us(res.ServerControl),
+		stats.Us(res.ServerProc), stats.Us(res.ServerReply))
+	if metrics {
+		fmt.Println()
+		fmt.Print(tr.Snapshot().String())
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (%d events)\n", traceFile, len(tr.Events()))
+	}
 }
 
 func runScale(maxClients int) {

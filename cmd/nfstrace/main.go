@@ -3,12 +3,22 @@
 // network traffic into data and RPC-imposed control bytes. With -verify it
 // additionally draws a synthetic trace from the mix and shows the sampled
 // frequencies converging on the published ones.
+//
+// With -replay N it instead replays N operations sampled from the mix
+// through the simulated file service (structure chosen by -mode) and
+// reports what the observability layer saw: -metrics prints the per-layer
+// counters and latency histograms, -trace FILE writes the event timeline
+// as Chrome trace_event JSON (open in Perfetto or chrome://tracing).
+// -trace/-metrics without -replay imply a 200-operation replay.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
+	"netmem"
 	"netmem/internal/stats"
 	"netmem/internal/workload"
 )
@@ -16,7 +26,19 @@ import (
 func main() {
 	verify := flag.Int("verify", 0, "also sample a synthetic trace of this many ops and compare frequencies")
 	seed := flag.Int64("seed", 1994, "trace generator seed")
+	replay := flag.Int("replay", 0, "replay this many sampled ops through the simulated file service")
+	modeName := flag.String("mode", "DX", "file service structure for -replay, HY or DX")
+	metrics := flag.Bool("metrics", false, "print the observability metrics summary of the replay")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the replay to this file")
 	flag.Parse()
+
+	if *replay == 0 && (*metrics || *traceFile != "") {
+		*replay = 200
+	}
+	if *replay > 0 {
+		runReplay(*replay, *seed, *modeName, *metrics, *traceFile)
+		return
+	}
 
 	fmt.Println("Table 1a: Summary of NFS RPC Activity")
 	fmt.Println()
@@ -56,5 +78,79 @@ func main() {
 				fmt.Sprintf("%.2f", 100*mix[a]))
 		}
 		fmt.Println(vt)
+	}
+}
+
+// runReplay drives a sampled slice of the Table 1a mix through the real
+// simulated file service with the observability layer attached.
+func runReplay(n int, seed int64, modeName string, metrics bool, traceFile string) {
+	var mode netmem.FileMode
+	switch modeName {
+	case "HY", "hy":
+		mode = netmem.HY
+	case "DX", "dx":
+		mode = netmem.DX
+	default:
+		fmt.Fprintf(os.Stderr, "nfstrace: unknown -mode %q (want HY or DX)\n", modeName)
+		os.Exit(1)
+	}
+
+	sys := netmem.New(2, netmem.WithTrace(netmem.TraceConfig{Events: traceFile != ""}))
+	opsDone := 0
+	var replayErr error
+	sys.Spawn("replay", func(p *netmem.Proc) {
+		srv := sys.NewFileServer(p, 0, netmem.FileGeometry{})
+		tree, err := workload.BuildTree(srv, 4, 8)
+		if err != nil {
+			replayErr = err
+			return
+		}
+		clerk := sys.NewFileClerk(p, 1, srv, mode)
+		gen := workload.NewGenerator(seed, len(tree.Files), len(tree.Dirs))
+		rep := &workload.Replayer{Clerk: clerk, Tree: tree}
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			if err := rep.Apply(p, op); err != nil {
+				replayErr = fmt.Errorf("op %d (%v): %w", i, op.Activity, err)
+				return
+			}
+			opsDone++
+		}
+	})
+	if err := sys.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nfstrace:", err)
+		os.Exit(1)
+	}
+	if replayErr != nil {
+		fmt.Fprintln(os.Stderr, "nfstrace:", replayErr)
+		os.Exit(1)
+	}
+
+	snap := sys.Obs().Snapshot()
+	fmt.Printf("replayed %d sampled NFS ops against the %s structure in %v of virtual time\n",
+		opsDone, mode, time.Duration(sys.Env.Now()).Round(time.Microsecond))
+	fmt.Printf("server handled %d calls; clients issued %d remote reads, %d remote writes\n",
+		snap.Counter("dfs.server.calls"),
+		snap.Counter("rmem.read.issued"), snap.Counter("rmem.write.issued"))
+	if metrics {
+		fmt.Println()
+		fmt.Print(snap.String())
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfstrace:", err)
+			os.Exit(1)
+		}
+		if err := sys.Obs().WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "nfstrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nfstrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (%d events)\n", traceFile, len(sys.Obs().Events()))
 	}
 }

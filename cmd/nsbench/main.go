@@ -2,19 +2,34 @@
 // performance of the distributed segment name service (export, cached and
 // uncached import, revoke, and lookup with control transfer), next to the
 // published figures.
+//
+// With -metrics it also prints the observability counters and latency
+// histograms gathered across the scenarios; -trace FILE writes the full
+// event timeline as Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"netmem/internal/model"
 	"netmem/internal/nameserver"
+	"netmem/internal/obs"
 	"netmem/internal/stats"
 )
 
 func main() {
-	got, err := nameserver.MeasureTable3(&model.Default)
+	metrics := flag.Bool("metrics", false, "print the observability metrics summary after the run")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	flag.Parse()
+
+	var tr *obs.Tracer
+	if *metrics || *traceFile != "" {
+		tr = obs.New(obs.Config{Events: *traceFile != ""})
+	}
+	got, err := nameserver.MeasureTable3Obs(&model.Default, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nsbench:", err)
 		os.Exit(1)
@@ -33,4 +48,28 @@ func main() {
 	diff := got.ImportUncached - got.ImportCached
 	fmt.Printf("Uncached − cached = %v, comparable to one remote read (45µs):\n", stats.Us(diff))
 	fmt.Println(`"cross-machine communication cost is basically the cost of simple data transfer" (§4.3).`)
+
+	if *metrics {
+		fmt.Println()
+		fmt.Print(tr.Snapshot().String())
+	}
+	if *traceFile != "" {
+		if err := writeTrace(tr, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "nsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (%d events)\n", *traceFile, len(tr.Events()))
+	}
+}
+
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

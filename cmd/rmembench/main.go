@@ -2,6 +2,11 @@
 // the remote memory operations (READ/WRITE/CAS latency, 4 KB block-write
 // throughput, and the notification overhead) on the simulated two-node
 // DECstation/FORE-ATM testbed, side by side with the published figures.
+//
+// With -metrics it also prints the observability counters and latency
+// histograms gathered across the micro-benchmarks; -trace FILE writes the
+// full event timeline as Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing).
 package main
 
 import (
@@ -11,18 +16,25 @@ import (
 	"time"
 
 	"netmem/internal/model"
+	"netmem/internal/obs"
 	"netmem/internal/rmem"
 	"netmem/internal/stats"
 )
 
 func main() {
 	bw := flag.Int64("linkmbps", 140, "link bandwidth in Mb/s (ablation)")
+	metrics := flag.Bool("metrics", false, "print the observability metrics summary after the run")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	flag.Parse()
 
 	params := model.Default
 	params.LinkBandwidthBits = *bw * 1_000_000
 
-	got, err := rmem.MeasureTable2(&params)
+	var tr *obs.Tracer
+	if *metrics || *traceFile != "" {
+		tr = obs.New(obs.Config{Events: *traceFile != ""})
+	}
+	got, err := rmem.MeasureTable2Obs(&params, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmembench:", err)
 		os.Exit(1)
@@ -43,4 +55,28 @@ func main() {
 	fmt.Printf("the remote write is only %.0f× slower (paper: 15×).\n",
 		float64(got.WriteLatency)/float64(local))
 	_ = time.Microsecond
+
+	if *metrics {
+		fmt.Println()
+		fmt.Print(tr.Snapshot().String())
+	}
+	if *traceFile != "" {
+		if err := writeTrace(tr, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "rmembench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (%d events)\n", *traceFile, len(tr.Events()))
+	}
+}
+
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,32 @@
+package netmem_test
+
+import (
+	"fmt"
+	"log"
+
+	"netmem"
+)
+
+// Example is the package documentation's minimal session, runnable: export
+// a segment on node 1, import it on node 0, write into it remotely, and
+// read the observability metrics back.
+func Example() {
+	sys := netmem.New(2, netmem.WithTrace(netmem.TraceConfig{}))
+	var seg *netmem.Segment
+	sys.Spawn("demo", func(p *netmem.Proc) {
+		seg = sys.Mem[1].Export(p, 4096)
+		seg.SetDefaultRights(netmem.RightsAll)
+		imp := sys.Mem[0].Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		if err := imp.Write(p, 0, []byte("hello"), false); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segment: %q\n", seg.Bytes()[:5])
+	fmt.Println("remote writes issued:", sys.Obs().CounterValue("rmem.write.issued"))
+	// Output:
+	// segment: "hello"
+	// remote writes issued: 1
+}

@@ -35,8 +35,8 @@ func main() {
 func runSVM() time.Duration {
 	sys := netmem.New(3)
 	agents := make([]*netmem.SVMAgent, 3)
-	for i, node := range sys.Cluster.Nodes {
-		agents[i] = netmem.NewSVMAgent(node, 0, 1)
+	for i := range sys.Cluster.Nodes {
+		agents[i] = sys.NewSVMAgent(i, 0, 1)
 	}
 	var per time.Duration
 	sys.Spawn("svm", func(p *netmem.Proc) {

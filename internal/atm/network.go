@@ -3,6 +3,7 @@ package atm
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"netmem/internal/des"
 	"netmem/internal/model"
@@ -54,6 +55,9 @@ type Link struct {
 	CellsCarried int64
 	// CellsDropped counts fault-injected losses.
 	CellsDropped int64
+
+	// Observability counter keys, fixed at construction.
+	keyCells, keyDropped string
 }
 
 // pump moves cells from src to deliver() forever: each cell holds the wire
@@ -63,16 +67,25 @@ type Link struct {
 // hardware flow-control … that can guarantee that data packets are
 // delivered reliably").
 func (l *Link) pump(name string, src *des.FIFO[Cell], dst *des.FIFO[Cell], extra des.Duration) {
+	l.keyCells = "atm." + name + ".cells"
+	l.keyDropped = "atm." + name + ".dropped"
 	l.env.SpawnDaemon(name, func(pr *des.Proc) {
 		for {
 			c := src.Get(pr)
 			pr.Sleep(l.p.CellWireTime() + extra)
 			if l.fault.drop() {
 				l.CellsDropped++
+				if tr := l.env.Tracer(); tr != nil {
+					tr.Count(l.keyDropped, 1)
+				}
 				continue
 			}
 			dst.Put(pr, c)
 			l.CellsCarried++
+			if tr := l.env.Tracer(); tr != nil {
+				tr.Count(l.keyCells, 1)
+				tr.Counter(l.keyCells, time.Duration(l.env.Now()), float64(l.CellsCarried))
+			}
 		}
 	})
 }

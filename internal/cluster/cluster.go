@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"netmem/internal/atm"
 	"netmem/internal/des"
@@ -66,6 +67,22 @@ type Node struct {
 
 	// failed marks a crashed machine: its interface drops everything.
 	failed bool
+
+	// Cached observability keys (avoid fmt.Sprintf on hot paths).
+	cpuTrack string            // span track for CPU work, e.g. "node0.cpu"
+	cpuKeys  map[string]string // category → counter name "cpu.node0.<cat>"
+	nicTxKey string
+	nicRxKey string
+}
+
+// cpuKey returns the obs counter name for a CPU accounting category.
+func (n *Node) cpuKey(cat string) string {
+	k, ok := n.cpuKeys[cat]
+	if !ok {
+		k = fmt.Sprintf("cpu.node%d.%s", n.ID, cat)
+		n.cpuKeys[cat] = k
+	}
+	return k
 }
 
 // Fail crashes the node: from now on arriving cells are discarded and the
@@ -81,9 +98,24 @@ func (n *Node) Recover() { n.failed = false }
 // Failed reports whether the node has crashed.
 func (n *Node) Failed() bool { return n.failed }
 
-// UseCPU charges d of CPU time to the given accounting category.
+// UseCPU charges d of CPU time to the given accounting category. With a
+// tracer attached, the busy interval is also recorded as a span on the
+// node's CPU track, a per-category counter metric (Figure 3's server
+// occupancy breakdown reads these), and the CPU-utilization timeline.
 func (n *Node) UseCPU(p *des.Proc, cat string, d des.Duration) {
-	n.CPU.Use(p, d)
+	tr := n.Env.Tracer()
+	if tr == nil {
+		n.CPU.Use(p, d)
+		n.CPUAcct[cat] += d
+		return
+	}
+	n.CPU.Acquire(p)
+	start := time.Duration(n.Env.Now())
+	p.Sleep(d)
+	n.CPU.Release()
+	tr.Span(n.cpuTrack, "cpu", cat, start, d)
+	tr.Count(n.cpuKey(cat), int64(d))
+	tr.Usage(n.cpuTrack, start, d)
 	n.CPUAcct[cat] += d
 }
 
@@ -147,6 +179,10 @@ func (n *Node) SendFrameEx(p *des.Proc, dst int, proto byte, cat string, frame [
 	}
 	n.BytesSent += int64(len(frame))
 	n.FramesSent++
+	if tr := n.Env.Tracer(); tr != nil {
+		tr.Count(n.nicTxKey, int64(len(cells)))
+		tr.Count("cluster.frames.sent", 1)
+	}
 }
 
 // drain is the per-node RX daemon: pull cells, charge drain cost,
@@ -158,6 +194,9 @@ func (n *Node) drain(p *des.Proc) {
 			continue // a dead machine absorbs cells silently
 		}
 		n.NIC.CellsReceived++
+		if tr := n.Env.Tracer(); tr != nil {
+			tr.Count(n.nicRxKey, 1)
+		}
 		sur, known := n.surch[c.VCI]
 		if !known {
 			// First cell of a frame: its body starts with the protocol
@@ -248,6 +287,10 @@ func New(env *des.Env, p *model.Params, n int, opts ...Option) *Cluster {
 			surch:    make(map[atm.VCI]des.Duration),
 			txLock:   des.NewResource(env, fmt.Sprintf("node%d.tx", i), 1),
 			CPUAcct:  make(map[string]des.Duration),
+			cpuTrack: fmt.Sprintf("node%d.cpu", i),
+			cpuKeys:  make(map[string]string),
+			nicTxKey: fmt.Sprintf("nic.node%d.tx.cells", i),
+			nicRxKey: fmt.Sprintf("nic.node%d.rx.cells", i),
 		}
 		env.SpawnDaemon(fmt.Sprintf("node%d.rxdrain", i), node.drain)
 		c.Nodes = append(c.Nodes, node)

@@ -19,6 +19,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"netmem/internal/obs"
 )
 
 // Time is an absolute virtual timestamp measured from the start of the
@@ -88,7 +90,18 @@ type Env struct {
 	inProc bool          // true while a simulated process is executing
 	nprocs int           // live (spawned, not finished) processes
 	halted bool
+
+	obs *obs.Tracer // nil = observability disabled
 }
+
+// SetTracer attaches an observability tracer; nil detaches it. The DES
+// kernel and every layer above emit events and metrics through it.
+func (e *Env) SetTracer(t *obs.Tracer) { e.obs = t }
+
+// Tracer returns the attached tracer (nil when observability is off). All
+// tracer methods are nil-safe, but hot paths should test for nil before
+// building event arguments.
+func (e *Env) Tracer() *obs.Tracer { return e.obs }
 
 // NewEnv returns an empty simulation environment at time zero.
 func NewEnv() *Env {
@@ -157,6 +170,10 @@ func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 	if !daemon {
 		e.nprocs++
 	}
+	if e.obs != nil {
+		e.obs.Count("des.proc.spawned", 1)
+		e.obs.Instant("sched", "des", "spawn "+name, time.Duration(e.now))
+	}
 	go func() {
 		// The deferred hand-back runs even if fn exits via runtime.Goexit
 		// (e.g. t.Fatal inside simulated test code), so one dying process
@@ -165,6 +182,9 @@ func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 			p.finished = true
 			if !daemon {
 				e.nprocs--
+			}
+			if e.obs != nil {
+				e.obs.Instant("sched", "des", "exit "+name, time.Duration(e.now))
 			}
 			e.yield <- struct{}{} // final hand-back; goroutine exits
 		}()

@@ -1,5 +1,7 @@
 package des
 
+import "time"
+
 // Resource models a serially shared piece of hardware — a CPU, a bus, a
 // controller — with a fixed number of service slots and a FIFO queue of
 // waiting processes. It also keeps a busy-time integral so experiments can
@@ -32,18 +34,37 @@ func (r *Resource) account() {
 	r.lastChange = now
 }
 
+// sample emits the resource's occupancy and queue depth as trace counter
+// tracks (no-op unless event tracing is on).
+func (r *Resource) sample() {
+	if tr := r.env.obs; tr.EventsEnabled() {
+		at := time.Duration(r.env.now)
+		tr.Counter(r.name+".busy", at, float64(r.inUse))
+		tr.Counter(r.name+".queue", at, float64(len(r.waiters)))
+	}
+}
+
 // Acquire blocks until a slot is free and claims it. Waiters are served in
 // FIFO order.
 func (r *Resource) Acquire(p *Proc) {
 	if r.inUse < r.capacity && len(r.waiters) == 0 {
 		r.account()
 		r.inUse++
+		r.sample()
 		return
 	}
 	r.waiters = append(r.waiters, p)
+	if tr := r.env.obs; tr != nil {
+		tr.Count("des.resource.contended", 1)
+		tr.Instant(r.name, "des", "block "+p.name, time.Duration(r.env.now))
+		r.sample()
+	}
 	p.woken = false
 	for !p.woken {
 		p.yieldAndWait()
+	}
+	if tr := r.env.obs; tr != nil {
+		tr.Instant(r.name, "des", "grant "+p.name, time.Duration(r.env.now))
 	}
 }
 
@@ -61,6 +82,7 @@ func (r *Resource) Release() {
 		next.woken = true
 		r.env.Schedule(r.env.now, func() { r.env.activate(next) })
 	}
+	r.sample()
 }
 
 // Use acquires a slot, holds it for d of virtual time, and releases it.
@@ -112,9 +134,15 @@ func (q *WaitQueue) Len() int { return len(q.waiters) }
 // Wait blocks the calling process until a Wake is directed at it.
 func (q *WaitQueue) Wait(p *Proc) {
 	q.waiters = append(q.waiters, p)
+	if tr := q.env.obs; tr.EventsEnabled() {
+		tr.Instant("proc:"+p.name, "des", "block", time.Duration(q.env.now))
+	}
 	p.woken = false
 	for !p.woken {
 		p.yieldAndWait()
+	}
+	if tr := q.env.obs; tr.EventsEnabled() {
+		tr.Instant("proc:"+p.name, "des", "wake", time.Duration(q.env.now))
 	}
 }
 

@@ -3,6 +3,7 @@ package dfs
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"time"
 
 	"netmem/internal/cluster"
@@ -64,6 +65,11 @@ type Clerk struct {
 	// CallTimeout bounds one request-channel exchange (default 10s).
 	CallTimeout time.Duration
 
+	// Observability: trace track and metric-name prefix, fixed at
+	// construction ("node1.clerk", "dfs.dx.").
+	obsTrack  string
+	obsPrefix string
+
 	// Read-ahead state (EnableReadAhead).
 	readAhead bool
 	lastRead  map[fstore.Handle]int64
@@ -96,13 +102,19 @@ func dirNameKey(dir fstore.Handle, name string) string {
 // NewClerk wires a clerk on m's node to the server. The clerk imports the
 // server's cache areas and opens a Hybrid-1 channel for misses (DX) or
 // for everything (HY).
-func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode) *Clerk {
+func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode, opts ...ClerkOption) *Clerk {
+	var o clerkOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	c := &Clerk{
 		m:           m,
 		Mode:        mode,
 		server:      srv.Node().ID,
 		geo:         srv.Geo,
 		CallTimeout: 10 * time.Second,
+		obsTrack:    fmt.Sprintf("node%d.clerk", m.Node.ID),
+		obsPrefix:   "dfs." + strings.ToLower(mode.String()) + ".",
 	}
 	areas := srv.Areas()
 	imp := func(a [3]int) *rmem.Import {
@@ -116,6 +128,15 @@ func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode) *Clerk {
 	cid, cgen, csize := c.hcli.RepSeg()
 	srv.AttachClerk(p, m.Node.ID, cid, cgen, csize)
 	c.FlushLocal()
+	if o.callTimeout > 0 {
+		c.CallTimeout = o.callTimeout
+	}
+	if o.readAhead {
+		c.EnableReadAhead(p)
+	}
+	if o.eagerAttrs {
+		c.EnableEagerAttrs(p, srv)
+	}
 	return c
 }
 
@@ -152,17 +173,41 @@ func (c *Clerk) probe(p *des.Proc, area *rmem.Import, off, n int) ([]byte, error
 	return c.scratch.Bytes()[:n], nil
 }
 
+// obsOp starts one clerk-operation measurement. The returned func (run via
+// defer) records the operation's latency into the mode-qualified histogram
+// (e.g. "dfs.dx.read") and bumps its call counter; with event tracing on it
+// also emits a span on the clerk's track.
+func (c *Clerk) obsOp(op Op) func() {
+	env := c.m.Node.Env
+	tr := env.Tracer()
+	if tr == nil {
+		return func() {}
+	}
+	start := env.Now()
+	return func() {
+		name := c.obsPrefix + op.String()
+		d := env.Now().Sub(start)
+		tr.Count(name+".count", 1)
+		tr.Observe(name, d)
+		if tr.EventsEnabled() {
+			tr.Span(c.obsTrack, "dfs", op.String(), time.Duration(start), d)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Operations. Each has the same client-visible semantics in both modes.
 
 // Null is the NFS null ping.
 func (c *Clerk) Null(p *des.Proc) error {
+	defer c.obsOp(OpNull)()
 	_, err := c.call(p, &request{Op: OpNull})
 	return err
 }
 
 // GetAttr returns a file's attributes.
 func (c *Clerk) GetAttr(p *des.Proc, h fstore.Handle) (fstore.Attr, error) {
+	defer c.obsOp(OpGetAttr)()
 	if a, ok := c.lAttr[h]; ok {
 		c.LocalHits++
 		return a, nil
@@ -196,6 +241,7 @@ func (c *Clerk) GetAttr(p *des.Proc, h fstore.Handle) (fstore.Attr, error) {
 
 // SetAttr updates attributes (always a server procedure: it mutates).
 func (c *Clerk) SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (fstore.Attr, error) {
+	defer c.obsOp(OpSetAttr)()
 	rep, err := c.call(p, &request{Op: OpSetAttr, Handle: h, Mode: mode, Size: size})
 	if err != nil {
 		return fstore.Attr{}, err
@@ -216,6 +262,7 @@ func (c *Clerk) SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (
 
 // Lookup resolves name in dir, returning the child handle and attributes.
 func (c *Clerk) Lookup(p *des.Proc, dir fstore.Handle, name string) (fstore.Handle, fstore.Attr, error) {
+	defer c.obsOp(OpLookup)()
 	k := dirNameKey(dir, name)
 	if hit, ok := c.lName[k]; ok {
 		c.LocalHits++
@@ -265,6 +312,7 @@ func (c *Clerk) Lookup(p *des.Proc, dir fstore.Handle, name string) (fstore.Hand
 
 // ReadLink returns a symlink's target.
 func (c *Clerk) ReadLink(p *des.Proc, h fstore.Handle) (string, error) {
+	defer c.obsOp(OpReadLink)()
 	if t, ok := c.lLink[h]; ok {
 		c.LocalHits++
 		return t, nil
@@ -350,6 +398,7 @@ func (c *Clerk) readBlock(p *des.Proc, h fstore.Handle, block int64, need int) (
 
 // Read returns up to count bytes at offset.
 func (c *Clerk) Read(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
+	defer c.obsOp(OpRead)()
 	if offset < 0 || count < 0 {
 		return nil, fstore.ErrBadOffset
 	}
@@ -387,6 +436,7 @@ func (c *Clerk) Read(p *des.Proc, h fstore.Handle, offset int64, count int) ([]b
 // process involvement); the server applies dirty blocks on Sync. In HY
 // mode it is a request/response like everything else.
 func (c *Clerk) Write(p *des.Proc, h fstore.Handle, offset int64, data []byte) error {
+	defer c.obsOp(OpWrite)()
 	if c.Mode == HY {
 		// NFS-style 8K maximum transfer per request. The clerk's own
 		// cached copies of the touched blocks (and the file's attributes)
@@ -475,6 +525,7 @@ func (c *Clerk) writeBlock(p *des.Proc, h fstore.Handle, block int64, in int, da
 // ReadDir returns up to count bytes of the serialized directory stream
 // starting at offset (parse with ParseDir).
 func (c *Clerk) ReadDir(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
+	defer c.obsOp(OpReadDir)()
 	if c.Mode == DX {
 		var out []byte
 		remaining := count
@@ -550,6 +601,7 @@ func (c *Clerk) Symlink(p *des.Proc, dir fstore.Handle, name, target string) (fs
 }
 
 func (c *Clerk) mknod(p *des.Proc, req *request) (fstore.Handle, fstore.Attr, error) {
+	defer c.obsOp(req.Op)()
 	rep, err := c.call(p, req)
 	if err != nil {
 		return fstore.Handle{}, fstore.Attr{}, err
@@ -566,6 +618,7 @@ func (c *Clerk) mknod(p *des.Proc, req *request) (fstore.Handle, fstore.Attr, er
 }
 
 func (c *Clerk) Remove(p *des.Proc, dir fstore.Handle, name string) error {
+	defer c.obsOp(OpRemove)()
 	k := dirNameKey(dir, name)
 	if hit, ok := c.lName[k]; ok {
 		delete(c.lAttr, hit.h)
@@ -578,6 +631,7 @@ func (c *Clerk) Remove(p *des.Proc, dir fstore.Handle, name string) error {
 }
 
 func (c *Clerk) Rename(p *des.Proc, fromDir fstore.Handle, fromName string, toDir fstore.Handle, toName string) error {
+	defer c.obsOp(OpRename)()
 	delete(c.lName, dirNameKey(fromDir, fromName))
 	c.invalidateDir(fromDir)
 	c.invalidateDir(toDir)
@@ -596,6 +650,7 @@ func (c *Clerk) invalidateDir(dir fstore.Handle) {
 
 // StatFS returns store-wide statistics.
 func (c *Clerk) StatFS(p *des.Proc) (fstore.FSStat, error) {
+	defer c.obsOp(OpStatFS)()
 	rep, err := c.call(p, &request{Op: OpStatFS})
 	if err != nil {
 		return fstore.FSStat{}, err

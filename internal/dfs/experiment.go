@@ -8,6 +8,7 @@ import (
 	"netmem/internal/des"
 	"netmem/internal/fstore"
 	"netmem/internal/model"
+	"netmem/internal/obs"
 	"netmem/internal/rmem"
 )
 
@@ -78,7 +79,14 @@ func newExperimentRig(mode Mode) (*experimentRig, error) {
 }
 
 func newExperimentRigP(mode Mode, params *model.Params) (*experimentRig, error) {
+	return newExperimentRigObs(mode, params, nil)
+}
+
+// newExperimentRigObs is newExperimentRigP with an observability tracer
+// attached to the environment before any simulated activity (nil = off).
+func newExperimentRigObs(mode Mode, params *model.Params, tr *obs.Tracer) (*experimentRig, error) {
 	env := des.NewEnv()
+	env.SetTracer(tr)
 	cl := cluster.New(env, params, 2)
 	r := &experimentRig{env: env, cl: cl}
 	ms := rmem.NewManager(cl.Nodes[0])
@@ -217,9 +225,30 @@ func MeasureOp(spec OpSpec, mode Mode) (OpResult, error) {
 // MeasureOpP is MeasureOp under an alternative cost model, for ablations
 // (free control transfer, faster links, cheaper hosts, …).
 func MeasureOpP(spec OpSpec, mode Mode, params *model.Params) (OpResult, error) {
-	r, err := newExperimentRigP(mode, params)
+	res, _, err := measureOpObs(spec, mode, params, obs.New(obs.Config{}))
+	return res, err
+}
+
+// TraceOp is MeasureOp with the given observability configuration: it runs
+// the operation on a fresh rig with a tracer attached and returns the
+// tracer alongside the result, reset just before the measured op — so its
+// events and metrics cover exactly one clerk operation (warm-up excluded),
+// ready for Snapshot() or WriteChromeTrace.
+func TraceOp(spec OpSpec, mode Mode, cfg obs.Config) (OpResult, *obs.Tracer, error) {
+	return measureOpObs(spec, mode, &model.Default, obs.New(cfg))
+}
+
+// serverCPU reads one Figure 3 occupancy component from the obs metrics:
+// the per-category CPU-demand counter the cluster layer maintains for the
+// server's node (nanoseconds of charged CPU time).
+func serverCPU(snap obs.Snapshot, node int, cat string) time.Duration {
+	return time.Duration(snap.Counter(fmt.Sprintf("cpu.node%d.%s", node, cat)))
+}
+
+func measureOpObs(spec OpSpec, mode Mode, params *model.Params, tr *obs.Tracer) (OpResult, *obs.Tracer, error) {
+	r, err := newExperimentRigObs(mode, params, tr)
 	if err != nil {
-		return OpResult{}, err
+		return OpResult{}, nil, err
 	}
 	res := OpResult{Label: spec.Label, Mode: mode}
 	var runErr error
@@ -242,25 +271,31 @@ func MeasureOpP(spec OpSpec, mode Mode, params *model.Params) (OpResult, error) 
 			r.clerk.FlushLocal()
 		}
 		r.srv.Node().ResetCPUAcct()
+		tr.Reset()
 		lat, err := r.runOp(p, spec)
 		if err != nil {
 			runErr = err
 			return
 		}
 		res.Latency = lat
-		acct := r.srv.Node().CPUAcct
-		res.ServerRx = acct[cluster.CatRx]
-		res.ServerControl = acct[cluster.CatControl]
-		res.ServerProc = acct[cluster.CatProc]
-		res.ServerReply = acct[cluster.CatReply]
+		// Figure 3's components come from the observability counters the
+		// cluster layer maintains per CPU charge, not from ad-hoc
+		// accumulators: each UseCPU with a tracer attached adds its
+		// duration to "cpu.node<i>.<cat>".
+		snap := tr.Snapshot()
+		sn := r.srv.Node().ID
+		res.ServerRx = serverCPU(snap, sn, cluster.CatRx)
+		res.ServerControl = serverCPU(snap, sn, cluster.CatControl)
+		res.ServerProc = serverCPU(snap, sn, cluster.CatProc)
+		res.ServerReply = serverCPU(snap, sn, cluster.CatReply)
 	})
 	if err := r.env.RunUntil(des.Time(60 * time.Second)); err != nil {
-		return OpResult{}, err
+		return OpResult{}, nil, err
 	}
 	if runErr != nil {
-		return OpResult{}, runErr
+		return OpResult{}, nil, runErr
 	}
-	return res, nil
+	return res, tr, nil
 }
 
 // RunFigure2And3 measures all twelve operations in both modes, returning

@@ -3,6 +3,9 @@ package dfs
 import (
 	"testing"
 	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/obs"
 )
 
 // Figures 2 and 3 (§5.2). The paper does not publish exact numbers — the
@@ -208,6 +211,50 @@ func TestHeadline50PercentServerLoadReduction(t *testing.T) {
 	}
 	if avgReduction < 0.35 || avgReduction > 0.75 {
 		t.Errorf("per-op average reduction = %.0f%%, paper: DX ≈ half of HY", avgReduction*100)
+	}
+}
+
+// TestFigure3OccupancyFromObsMetrics re-derives the server occupancy bars
+// directly from the observability counters (cpu.node0.<cat>, nanoseconds of
+// charged CPU demand per category) rather than the OpResult fields, and
+// checks both that the two agree exactly and that the paper's headline
+// server-load gap — DX around half of HY on average — holds on the
+// obs-derived numbers too.
+func TestFigure3OccupancyFromObsMetrics(t *testing.T) {
+	var hyTotal, dxTotal time.Duration
+	for _, spec := range Figure2Ops {
+		for _, mode := range []Mode{HY, DX} {
+			res, tr, err := TraceOp(spec, mode, obs.Config{})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", spec.Label, mode, err)
+			}
+			snap := tr.Snapshot()
+			sn := 0 // the experiment rig's server is node 0
+			occ := serverCPU(snap, sn, cluster.CatRx) +
+				serverCPU(snap, sn, cluster.CatControl) +
+				serverCPU(snap, sn, cluster.CatProc) +
+				serverCPU(snap, sn, cluster.CatReply)
+			if occ != res.ServerTotal() {
+				t.Errorf("%s/%v: obs occupancy %v != OpResult total %v",
+					spec.Label, mode, occ, res.ServerTotal())
+			}
+			if mode == HY {
+				hyTotal += occ
+			} else {
+				dxTotal += occ
+			}
+			if mode == HY {
+				if got := serverCPU(snap, sn, cluster.CatControl); got != 260*time.Microsecond {
+					t.Errorf("%s/HY: obs control-transfer CPU = %v, want 260µs", spec.Label, got)
+				}
+			}
+		}
+	}
+	reduction := 1 - float64(dxTotal)/float64(hyTotal)
+	t.Logf("obs-derived per-op average server load: HY %v → DX %v (−%.0f%%)",
+		hyTotal, dxTotal, reduction*100)
+	if reduction < 0.35 || reduction > 0.75 {
+		t.Errorf("obs-derived reduction = %.0f%%, paper: DX ≈ half of HY", reduction*100)
 	}
 }
 

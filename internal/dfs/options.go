@@ -1,0 +1,47 @@
+package dfs
+
+import (
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+)
+
+// ServerOption configures NewServer, in the same variadic style as the
+// facade's netmem.New.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	store *fstore.Store
+}
+
+// WithStore builds the service over an existing file store — the §3.7
+// recovery path: a new server incarnation re-exports fresh cache segments
+// over the surviving file system.
+func WithStore(st *fstore.Store) ServerOption {
+	return func(o *serverOptions) { o.store = st }
+}
+
+// ClerkOption configures NewClerk.
+type ClerkOption func(*clerkOptions)
+
+type clerkOptions struct {
+	readAhead   bool
+	eagerAttrs  bool
+	callTimeout des.Duration
+}
+
+// WithReadAhead turns on sequential read-ahead: the clerk prefetches the
+// next file block while the client consumes the current one.
+func WithReadAhead() ClerkOption {
+	return func(o *clerkOptions) { o.readAhead = true }
+}
+
+// WithEagerAttrs subscribes the clerk to the server's eager attribute
+// pushes (§3.2's update-board pattern).
+func WithEagerAttrs() ClerkOption {
+	return func(o *clerkOptions) { o.eagerAttrs = true }
+}
+
+// WithCallTimeout bounds one request-channel exchange (default 10s).
+func WithCallTimeout(d des.Duration) ClerkOption {
+	return func(o *clerkOptions) { o.callTimeout = d }
+}

@@ -39,17 +39,29 @@ const reqSlotCap = fstore.BlockSize + 256
 
 // NewServer builds the file service on m's node. nodes bounds the client
 // population (slot allocation on the request channel).
-func NewServer(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry) *Server {
-	return NewServerWithStore(p, m, nodes, geo,
-		fstore.New(func() int64 { return int64(m.Node.Env.Now()) }))
+func NewServer(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry, opts ...ServerOption) *Server {
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	store := o.store
+	if store == nil {
+		store = fstore.New(func() int64 { return int64(m.Node.Env.Now()) })
+	}
+	return newServer(p, m, nodes, geo, store)
 }
 
-// NewServerWithStore builds the file service over an existing store — the
-// §3.7 recovery path: after a crash, a new server incarnation re-exports
-// fresh cache segments (new descriptor ids and generations) over the
-// surviving file system. Clerks holding old descriptors fail with stale/
-// revoked errors and re-wire.
+// NewServerWithStore is NewServer with the WithStore option — after a
+// crash, a new server incarnation re-exports fresh cache segments (new
+// descriptor ids and generations) over the surviving file system. Clerks
+// holding old descriptors fail with stale/revoked errors and re-wire.
+//
+// Deprecated: use NewServer with WithStore.
 func NewServerWithStore(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry, store *fstore.Store) *Server {
+	return newServer(p, m, nodes, geo, store)
+}
+
+func newServer(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry, store *fstore.Store) *Server {
 	geo.fill()
 	s := &Server{
 		m:        m,
@@ -324,6 +336,10 @@ func (s *Server) serve(p *des.Proc, src int, reqBytes []byte) []byte {
 	}
 	s.MissCalls++
 	s.OpCounts[req.Op]++
+	if tr := s.m.Node.Env.Tracer(); tr != nil {
+		tr.Count("dfs.server.calls", 1)
+		tr.Count("dfs.server.op."+req.Op.String(), 1)
+	}
 
 	size := 0
 	switch req.Op {

@@ -1,0 +1,110 @@
+package dfs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"netmem/internal/obs"
+)
+
+// The acceptance checks for the observability layer, exercised on the
+// paper's own workload: a 2-node DX file-service run of Readfile(8K).
+
+func traceReadfile(t *testing.T) (*obs.Tracer, string) {
+	t.Helper()
+	_, tr, err := TraceOp(Figure2Ops[3], DX, obs.Config{Events: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.String()
+}
+
+func TestDXReadfileChromeTraceValid(t *testing.T) {
+	tr, raw := traceReadfile(t)
+	if tr.Dropped() != 0 {
+		t.Fatalf("%d events dropped", tr.Dropped())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace has no events")
+	}
+	var spans, counters int
+	last := -1.0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue // metadata carries no timestamp ordering
+		case "X":
+			spans++
+		case "C":
+			counters++
+		}
+		if ev.Ts < last {
+			t.Fatalf("trace not ordered by virtual time: ts %v after %v (%s)", ev.Ts, last, ev.Name)
+		}
+		last = ev.Ts
+	}
+	if spans == 0 {
+		t.Error("no CPU/op spans in a Readfile trace")
+	}
+	if counters == 0 {
+		t.Error("no counter samples in a Readfile trace")
+	}
+}
+
+func TestDXReadfileTraceDeterministic(t *testing.T) {
+	tr1, raw1 := traceReadfile(t)
+	tr2, raw2 := traceReadfile(t)
+	s1, s2 := tr1.Snapshot(), tr2.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("snapshots differ between identical runs:\n%s\n---\n%s", s1, s2)
+	}
+	if s1.String() != s2.String() {
+		t.Error("snapshot text renderings differ between identical runs")
+	}
+	if raw1 != raw2 {
+		t.Error("Chrome trace JSON differs between identical runs")
+	}
+}
+
+func TestDXReadfileMetricsCoverEveryLayer(t *testing.T) {
+	_, tr, err := TraceOp(Figure2Ops[3], DX, obs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	// One 8K DX read = one clerk op, several rmem READs, cells on the NIC.
+	if got := snap.Counter("dfs.dx.read.count"); got != 1 {
+		t.Errorf("dfs.dx.read.count = %d, want 1", got)
+	}
+	if snap.Counter("rmem.read.completed") == 0 {
+		t.Error("no completed rmem READs recorded")
+	}
+	if snap.Counter("nic.node1.tx.cells") == 0 || snap.Counter("nic.node0.rx.cells") == 0 {
+		t.Error("no NIC cell counters recorded")
+	}
+	if snap.CounterSum("cpu.node0.") == 0 {
+		t.Error("no server CPU demand recorded")
+	}
+	if h, ok := snap.Hist("rmem.read.latency"); !ok || h.Count == 0 || h.P50 <= 0 {
+		t.Errorf("rmem.read.latency histogram missing or empty: %+v", h)
+	}
+	if h, ok := snap.Hist("dfs.dx.read"); !ok || h.Count != 1 {
+		t.Errorf("dfs.dx.read histogram missing: %+v", h)
+	}
+}

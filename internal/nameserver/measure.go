@@ -7,6 +7,7 @@ import (
 	"netmem/internal/cluster"
 	"netmem/internal/des"
 	"netmem/internal/model"
+	"netmem/internal/obs"
 	"netmem/internal/rmem"
 )
 
@@ -23,10 +24,21 @@ type Table3 struct {
 // MeasureTable3 runs the five Table 3 operations, each on a fresh
 // two-clerk cluster under the given cost model.
 func MeasureTable3(params *model.Params) (Table3, error) {
+	return MeasureTable3Obs(params, nil)
+}
+
+// MeasureTable3Obs is MeasureTable3 with an observability tracer attached
+// to every scenario's environment (nil disables tracing). The scenarios
+// each run on a fresh cluster but share the tracer, so its metrics
+// accumulate across the whole table.
+func MeasureTable3Obs(params *model.Params, tr *obs.Tracer) (Table3, error) {
 	var out Table3
 
 	run := func(cfg Config, fn func(p *des.Proc, clerks []*Clerk) (time.Duration, error)) (time.Duration, error) {
 		env := des.NewEnv()
+		if tr != nil {
+			env.SetTracer(tr)
+		}
 		cl := cluster.New(env, params, 2)
 		clerks := []*Clerk{
 			New(rmem.NewManager(cl.Nodes[0]), []int{0, 1}, cfg),

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export. The format is the JSON Array/Object form
+// understood by chrome://tracing and Perfetto: a top-level object with a
+// traceEvents array whose entries carry a phase (ph), microsecond
+// timestamp (ts), process/thread ids, and a name. We map the whole
+// simulation to pid 0 and each Track to its own named tid, so one DX
+// Readfile renders as parallel per-CPU and per-agent timelines.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the collected events as Chrome trace_event JSON,
+// sorted by virtual time (stable: events at the same instant keep emission
+// order). Counter events become counter tracks; spans and instants land on
+// named threads. The output is deterministic: two identical runs produce
+// identical bytes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	// Collect tracks in first-appearance order so tids are deterministic.
+	tids := make(map[string]int)
+	var tracks []string
+	tid := func(track string) int {
+		id, ok := tids[track]
+		if !ok {
+			id = len(tracks) + 1
+			tids[track] = id
+			tracks = append(tracks, track)
+		}
+		return id
+	}
+
+	// Stable sort by virtual time; emission order breaks ties.
+	ordered := make([]int, len(events))
+	for i := range ordered {
+		ordered[i] = i
+	}
+	sort.SliceStable(ordered, func(a, b int) bool {
+		return events[ordered[a]].At < events[ordered[b]].At
+	})
+
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "netmem simulation (virtual time)"},
+	})
+	body := make([]chromeEvent, 0, len(events))
+	for _, i := range ordered {
+		ev := events[i]
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ts:   float64(ev.At) / 1e3, // ns → µs
+			Pid:  0,
+			Tid:  tid(ev.Track),
+		}
+		switch ev.Phase {
+		case PhaseSpan:
+			ce.Ph = "X"
+			d := float64(ev.Dur) / 1e3
+			ce.Dur = &d
+		case PhaseInstant:
+			ce.Ph = "i"
+			ce.Args = map[string]any{"s": "t"} // thread-scoped instant
+		case PhaseCounter:
+			ce.Ph = "C"
+			ce.Args = map[string]any{"value": ev.Value}
+		default:
+			continue
+		}
+		body = append(body, ce)
+	}
+	for _, track := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, body...)
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: trace export: %w", err)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"netmem/internal/cluster"
 	"netmem/internal/des"
 	"netmem/internal/model"
+	"netmem/internal/obs"
 )
 
 // Table2 holds the reproduced measurements of the paper's Table 2
@@ -23,10 +24,20 @@ type Table2 struct {
 // directly-connected cluster (the paper's testbed) under the given cost
 // model and returns the measured numbers.
 func MeasureTable2(params *model.Params) (Table2, error) {
+	return MeasureTable2Obs(params, nil)
+}
+
+// MeasureTable2Obs is MeasureTable2 with an observability tracer attached
+// to every scenario's environment (nil disables tracing). The five
+// micro-benchmarks each run on a fresh cluster but share the tracer, so
+// its metrics accumulate across the whole table; in the event timeline
+// (Config.Events) the scenarios overlay, since each fresh environment
+// restarts virtual time at zero.
+func MeasureTable2Obs(params *model.Params, tr *obs.Tracer) (Table2, error) {
 	var out Table2
 
 	// WRITE latency: issue a single-cell write; observe the deposit.
-	write, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+	write, err := measureObs(params, tr, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
 		seg := m1.Export(p, 256)
 		seg.SetDefaultRights(RightsAll)
 		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
@@ -45,7 +56,7 @@ func MeasureTable2(params *model.Params) (Table2, error) {
 	out.WriteLatency = write
 
 	// READ latency: single-cell read, blocking until the deposit.
-	read, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+	read, err := measureObs(params, tr, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
 		src := m1.Export(p, 256)
 		src.SetDefaultRights(RightRead)
 		dst := m0.Export(p, 256)
@@ -62,7 +73,7 @@ func MeasureTable2(params *model.Params) (Table2, error) {
 	out.ReadLatency = read
 
 	// CAS latency.
-	cas, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+	cas, err := measureObs(params, tr, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
 		seg := m1.Export(p, 64)
 		seg.SetDefaultRights(RightsAll)
 		res := m0.Export(p, 64)
@@ -80,7 +91,7 @@ func MeasureTable2(params *model.Params) (Table2, error) {
 
 	// Block-write throughput: 30 back-to-back 4 KB blocks.
 	const blockSize, blocks = 4096, 30
-	total, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+	total, err := measureObs(params, tr, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
 		seg := m1.Export(p, blockSize)
 		seg.SetDefaultRights(RightsAll)
 		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
@@ -102,7 +113,7 @@ func MeasureTable2(params *model.Params) (Table2, error) {
 	out.ThroughputBits = float64(blockSize*blocks*8) / total.Seconds()
 
 	// Notification overhead: write-with-notify handled minus plain write.
-	notified, err := measure(params, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
+	notified, err := measureObs(params, tr, func(p *des.Proc, m0, m1 *Manager) (time.Duration, error) {
 		seg := m1.Export(p, 256)
 		seg.SetDefaultRights(RightsAll)
 		var handled des.Time
@@ -130,9 +141,14 @@ func MeasureTable2(params *model.Params) (Table2, error) {
 	return out, nil
 }
 
-// measure runs one timed scenario on a fresh pair of nodes.
-func measure(params *model.Params, fn func(p *des.Proc, m0, m1 *Manager) (time.Duration, error)) (time.Duration, error) {
+// measureObs runs one timed scenario on a fresh pair of nodes, with an
+// optional tracer attached before the cluster is built so every layer
+// picks it up.
+func measureObs(params *model.Params, tr *obs.Tracer, fn func(p *des.Proc, m0, m1 *Manager) (time.Duration, error)) (time.Duration, error) {
 	env := des.NewEnv()
+	if tr != nil {
+		env.SetTracer(tr)
+	}
 	cl := cluster.New(env, params, 2)
 	m0, m1 := NewManager(cl.Nodes[0]), NewManager(cl.Nodes[1])
 	var result time.Duration

@@ -2,6 +2,7 @@ package rmem
 
 import (
 	"fmt"
+	"time"
 
 	"netmem/internal/cluster"
 	"netmem/internal/des"
@@ -33,6 +34,12 @@ func (m *Manager) maybeNotify(p *des.Proc, s *Segment, src int, op Op, off, coun
 	}
 	m.Node.UseCPU(p, cluster.CatControl, m.Node.P.NotifyPost)
 	s.Notifies++
+	if tr := m.Node.Env.Tracer(); tr != nil {
+		tr.Count("rmem.notify.posted", 1)
+		if tr.EventsEnabled() {
+			tr.Instant(m.track, "rmem", "notify "+op.String(), time.Duration(m.Node.Env.Now()))
+		}
+	}
 	s.notes.TryPut(Notification{Src: src, Op: op, Offset: off, Count: count, At: m.Node.Env.Now()})
 }
 
@@ -44,7 +51,17 @@ func (m *Manager) maybeNotify(p *des.Proc, s *Segment, src int, op Op, off, coun
 func (s *Segment) AwaitNotification(p *des.Proc) Notification {
 	note := s.notes.Get(p)
 	s.m.Node.UseCPU(p, cluster.CatControl, s.m.Node.P.ContextSwitch+s.m.Node.P.HandlerDispatch)
+	s.m.notifyDelivered(note)
 	return note
+}
+
+// notifyDelivered records the control-transfer delivery latency: post at
+// the destination kernel to pickup by the destination process.
+func (m *Manager) notifyDelivered(note Notification) {
+	if tr := m.Node.Env.Tracer(); tr != nil {
+		tr.Count("rmem.notify.delivered", 1)
+		tr.Observe("rmem.notify.latency", m.Node.Env.Now().Sub(note.At))
+	}
 }
 
 // PollNotification is the non-blocking variant (fcntl-style O_NDELAY read
@@ -55,6 +72,7 @@ func (s *Segment) PollNotification(p *des.Proc) (Notification, bool) {
 	note, ok := s.notes.TryGet()
 	if ok {
 		s.m.Node.UseCPU(p, cluster.CatControl, s.m.Node.P.ContextSwitch+s.m.Node.P.HandlerDispatch)
+		s.m.notifyDelivered(note)
 	}
 	return note, ok
 }

@@ -2,10 +2,47 @@ package rmem
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"netmem/internal/cluster"
 	"netmem/internal/des"
 )
+
+// opIssued records metrics for a locally-completed meta-instruction issue
+// (trap through network acceptance — the paper's WRITE "local completion").
+func (m *Manager) opIssued(op Op, start des.Time) {
+	tr := m.Node.Env.Tracer()
+	if tr == nil {
+		return
+	}
+	kind := strings.ToLower(op.String())
+	d := m.Node.Env.Now().Sub(start)
+	tr.Count("rmem."+kind+".issued", 1)
+	tr.Observe("rmem."+kind+".issue", d)
+	if tr.EventsEnabled() {
+		tr.Span(m.track, "rmem", op.String()+" issue", time.Duration(start), d)
+	}
+}
+
+// opCompleted records round-trip metrics when a READ/CAS reply deposits.
+func (m *Manager) opCompleted(po *pendingOp) {
+	tr := m.Node.Env.Tracer()
+	if tr == nil {
+		return
+	}
+	kind := strings.ToLower(po.op.String())
+	if po.err != nil {
+		tr.Count("rmem."+kind+".nacked", 1)
+		return
+	}
+	d := po.at.Sub(po.start)
+	tr.Count("rmem."+kind+".completed", 1)
+	tr.Observe("rmem."+kind+".latency", d)
+	if tr.EventsEnabled() {
+		tr.Span(m.track, "rmem", po.op.String(), time.Duration(po.start), d)
+	}
+}
 
 // checkLocal performs the sender-side descriptor validation every
 // meta-instruction begins with: trap into the emulation, verify rights
@@ -30,16 +67,18 @@ func (i *Import) checkLocal(p *des.Proc, need Rights, off, count int) error {
 // kernel to run the segment's control-transfer machinery on arrival
 // (subject to the segment's notification mode).
 func (i *Import) Write(p *des.Proc, off int, data []byte, notify bool) error {
+	n := i.m.Node
+	start := n.Env.Now()
 	if len(data) > MsgRegisterCap {
 		return ErrTooBig
 	}
 	if err := i.checkLocal(p, RightWrite, off, len(data)); err != nil {
 		return err
 	}
-	n := i.m.Node
 	n.UseCPU(p, i.cat, n.P.RegisterFormat)
 	msg := &wireMsg{kind: kindWrite, notify: notify, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off), data: data}
 	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	i.m.opIssued(OpWrite, start)
 	return nil
 }
 
@@ -48,13 +87,14 @@ func (i *Import) Write(p *des.Proc, off int, data []byte, notify bool) error {
 // Transfers larger than the framing limit are split into several frames
 // (back-to-back on the wire; the destination deposits each on arrival).
 func (i *Import) WriteBlock(p *des.Proc, off int, data []byte, notify bool) error {
+	n := i.m.Node
+	start := n.Env.Now()
 	if len(data) > MaxBlock {
 		return ErrTooBig
 	}
 	if err := i.checkLocal(p, RightWrite, off, len(data)); err != nil {
 		return err
 	}
-	n := i.m.Node
 	const chunk = 32 * 1024 // < atm.MaxFrame with headers
 	for done := 0; ; {
 		end := done + chunk
@@ -67,6 +107,7 @@ func (i *Import) WriteBlock(p *des.Proc, off int, data []byte, notify bool) erro
 		msg := &wireMsg{kind: kindWrite, notify: notify && last, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off + done), data: data[done:end]}
 		n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
 		if last {
+			i.m.opIssued(OpWrite, start)
 			return nil
 		}
 		done = end
@@ -136,11 +177,12 @@ func (i *Import) ReadAsync(p *des.Proc, soff, count int, dst *Segment, doff int,
 	n := m.Node
 	m.nextReq++
 	req := m.nextReq
-	po := &pendingOp{op: OpRead, dst: dst, doff: doff, swap: i.swap, q: des.NewWaitQueue(n.Env)}
+	po := &pendingOp{op: OpRead, dst: dst, doff: doff, swap: i.swap, start: n.Env.Now(), q: des.NewWaitQueue(n.Env)}
 	m.pending[req] = po
 	msg := &wireMsg{kind: kindRead, notify: notify, seg: i.segID, gen: i.gen,
 		off: uint32(soff), count: uint32(count), req: req}
 	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	m.opIssued(OpRead, po.start)
 	return &ReadOp{m: m, req: req, po: po}, nil
 }
 
@@ -173,10 +215,11 @@ func (i *Import) CAS(p *des.Proc, off int, old, new uint32, result *Segment, rof
 	n.UseCPU(p, i.cat, n.P.CASFormat)
 	m.nextReq++
 	req := m.nextReq
-	po := &pendingOp{op: OpCAS, dst: result, doff: roff, q: des.NewWaitQueue(n.Env)}
+	po := &pendingOp{op: OpCAS, dst: result, doff: roff, start: n.Env.Now(), q: des.NewWaitQueue(n.Env)}
 	m.pending[req] = po
 	msg := &wireMsg{kind: kindCAS, seg: i.segID, gen: i.gen, off: uint32(off), oldW: old, newW: new, req: req}
 	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	m.opIssued(OpCAS, po.start)
 	ro := &ReadOp{m: m, req: req, po: po}
 	if err := ro.Wait(p, timeout); err != nil {
 		return false, err
@@ -318,6 +361,7 @@ func (m *Manager) handleReadReply(p *des.Proc, msg *wireMsg) {
 		}
 	}
 	po.done = true
+	m.opCompleted(po)
 	po.q.WakeAll()
 }
 
@@ -341,6 +385,7 @@ func (m *Manager) handleCASReply(p *des.Proc, msg *wireMsg) {
 		putbe32(po.dst.buf[po.doff:], w)
 	}
 	po.done = true
+	m.opCompleted(po)
 	po.q.WakeAll()
 }
 

@@ -240,6 +240,9 @@ type Manager struct {
 	// WriteFaults records NACKs received for fire-and-forget WRITEs, which
 	// have no requester to deliver the error to.
 	WriteFaults []error
+
+	// track is this node's trace track for meta-instruction spans.
+	track string
 }
 
 // NewManager creates the kernel component on a node and registers its
@@ -250,6 +253,7 @@ func NewManager(node *cluster.Node) *Manager {
 		exports: make(map[uint16]*Segment),
 		nextSeg: 1,
 		pending: make(map[uint32]*pendingOp),
+		track:   fmt.Sprintf("node%d.rmem", node.ID),
 	}
 	node.RegisterProtoEx(Proto, m.handle, func(first []byte) des.Duration {
 		if len(first) == 0 {
@@ -398,6 +402,7 @@ type pendingOp struct {
 	done    bool
 	err     error
 	success bool // CAS result
+	start   des.Time // issue time at the requester (latency metrics)
 	at      des.Time
 	q       *des.WaitQueue
 }

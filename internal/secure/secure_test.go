@@ -28,18 +28,12 @@ func TestKeystreamRoundTripProperty(t *testing.T) {
 		}
 		buf := append([]byte(nil), data...)
 		xorKeystream(testKey, int(off), buf)
-		if len(data) > 0 && bytes.Equal(buf, data) {
-			// XOR with a pseudorandom stream virtually never fixes all
-			// bytes; a match means the cipher did nothing.
-			allZero := true
-			for _, b := range buf {
-				if b != 0 {
-					allZero = false
-				}
-			}
-			if !allZero {
-				return false
-			}
+		if len(data) >= 8 && bytes.Equal(buf, data) {
+			// buf == data means the keystream was all zero over the
+			// range. A single zero keystream byte is a legitimate 1/256
+			// event, so only flag runs long enough (≥8 bytes) that an
+			// all-zero stream means the cipher did nothing.
+			return false
 		}
 		xorKeystream(testKey, int(off), buf)
 		return bytes.Equal(buf, data)

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram accumulates a distribution of float64 samples and answers
+// quantile queries. Samples are stored exactly (simulation runs are short
+// and determinism matters more than memory), so quantiles are exact
+// nearest-rank values, not estimates — two runs that observe the same
+// samples in the same order report byte-identical summaries.
+type Histogram struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Quantile returns the nearest-rank q-quantile (0 <= q <= 1): the smallest
+// sample such that at least q·n samples are <= it. Quantile(0) is the
+// minimum, Quantile(1) the maximum. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sort()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// P50, P95 and P99 are the conventional latency quantiles.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Timeline integrates busy time into fixed-width buckets of virtual time,
+// for CPU-utilization-over-time summaries: each Add spreads a busy
+// interval across the buckets it covers, and Utilization reports the busy
+// fraction per bucket.
+type Timeline struct {
+	// Bucket is the bucket width; the zero value gets DefaultTimelineBucket
+	// on first Add.
+	Bucket  time.Duration
+	buckets []time.Duration
+}
+
+// DefaultTimelineBucket is the bucket width a zero-valued Timeline uses.
+const DefaultTimelineBucket = time.Millisecond
+
+// Add records a busy interval [start, start+dur) on the timeline.
+func (t *Timeline) Add(start, dur time.Duration) {
+	if t.Bucket <= 0 {
+		t.Bucket = DefaultTimelineBucket
+	}
+	if dur <= 0 || start < 0 {
+		return
+	}
+	end := start + dur
+	for b := start / t.Bucket; b*t.Bucket < end; b++ {
+		lo, hi := b*t.Bucket, (b+1)*t.Bucket
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		for int(b) >= len(t.buckets) {
+			t.buckets = append(t.buckets, 0)
+		}
+		t.buckets[b] += hi - lo
+	}
+}
+
+// Buckets returns the per-bucket busy time (the slice is live; do not
+// mutate).
+func (t *Timeline) Buckets() []time.Duration { return t.buckets }
+
+// Utilization returns the busy fraction of bucket i.
+func (t *Timeline) Utilization(i int) float64 {
+	if i < 0 || i >= len(t.buckets) || t.Bucket <= 0 {
+		return 0
+	}
+	return float64(t.buckets[i]) / float64(t.Bucket)
+}
+
+// Render draws one bar per bucket, scaled so a fully busy bucket spans
+// width columns.
+func (t *Timeline) Render(width int) string {
+	out := ""
+	for i := range t.buckets {
+		u := t.Utilization(i)
+		label := fmt.Sprintf("%8v", time.Duration(i)*t.Bucket)
+		out += Bar(label, u, 1, width, fmt.Sprintf("%3.0f%%", u*100)) + "\n"
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..100 in scrambled order: quantiles must not depend on insert order.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64((i*37)%100 + 1))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.P50() != 50 || h.P95() != 95 || h.P99() != 99 {
+		t.Errorf("P50/P95/P99 = %v/%v/%v", h.P50(), h.P95(), h.P99())
+	}
+	if h.Min() != 1 || h.Max() != 100 || h.Count() != 100 {
+		t.Errorf("min/max/count = %v/%v/%v", h.Min(), h.Max(), h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean = %v, want 50.5", h.Mean())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(42 * time.Microsecond)
+	want := float64(42 * time.Microsecond)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if h.P50() != 10 {
+		t.Fatal("p50 of one sample")
+	}
+	h.Observe(1) // must re-sort lazily
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("min/max after late observe = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	tl := Timeline{Bucket: time.Millisecond}
+	// 0.5ms busy in bucket 0, then a 2ms span covering buckets 2,3.
+	tl.Add(0, 500*time.Microsecond)
+	tl.Add(2*time.Millisecond, 2*time.Millisecond)
+	if got := tl.Utilization(0); got != 0.5 {
+		t.Errorf("bucket 0 util = %v, want 0.5", got)
+	}
+	if got := tl.Utilization(1); got != 0 {
+		t.Errorf("bucket 1 util = %v, want 0", got)
+	}
+	if tl.Utilization(2) != 1 || tl.Utilization(3) != 1 {
+		t.Errorf("buckets 2,3 = %v,%v, want 1,1", tl.Utilization(2), tl.Utilization(3))
+	}
+	// A span straddling a boundary splits.
+	tl2 := Timeline{Bucket: time.Millisecond}
+	tl2.Add(750*time.Microsecond, 500*time.Microsecond)
+	if tl2.Utilization(0) != 0.25 || tl2.Utilization(1) != 0.25 {
+		t.Errorf("straddle = %v,%v, want 0.25,0.25", tl2.Utilization(0), tl2.Utilization(1))
+	}
+	if out := tl.Render(10); out == "" {
+		t.Error("render empty")
+	}
+}

@@ -15,16 +15,24 @@
 // to the paper's measurements (Table 2: 30 µs remote write, 45 µs read,
 // 38 µs CAS, 35.4 Mb/s block throughput, 260 µs notification). Simulated
 // code runs in processes (Proc); all blocking and timing flows through
-// them. A minimal session:
+// them. A minimal session (the package's runnable Example):
 //
-//	sys := netmem.New(2)
+//	sys := netmem.New(2, netmem.WithTrace(netmem.TraceConfig{}))
 //	sys.Spawn("demo", func(p *netmem.Proc) {
 //		seg := sys.Mem[1].Export(p, 4096)
 //		seg.SetDefaultRights(netmem.RightsAll)
 //		imp := sys.Mem[0].Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
-//		imp.Write(p, 0, []byte("hello"), false)
+//		if err := imp.Write(p, 0, []byte("hello"), false); err != nil {
+//			log.Fatal(err)
+//		}
 //	})
 //	sys.Run()
+//
+// WithTrace attaches the observability layer: after the run,
+// sys.Obs().Snapshot() holds per-layer counters and latency histograms,
+// and with TraceConfig.Events set the full event timeline can be exported
+// as Chrome trace_event JSON (Tracer.WriteChromeTrace) for
+// chrome://tracing or Perfetto.
 package netmem
 
 import (
@@ -38,6 +46,7 @@ import (
 	"netmem/internal/lrpc"
 	"netmem/internal/model"
 	"netmem/internal/nameserver"
+	"netmem/internal/obs"
 	"netmem/internal/rmem"
 	"netmem/internal/rpc"
 	"netmem/internal/secure"
@@ -138,16 +147,36 @@ type (
 // ErrPeerFailed is delivered by a Watchdog when its peer stops responding.
 var ErrPeerFailed = rmem.ErrPeerFailed
 
-// NewSecureChannel, NewSecureVault, StartHeartbeat, and NewWatchdog
-// re-export the constructors for facade users.
+// Observability (the obs subsystem, reached through WithTrace / System.Obs).
+type (
+	// Tracer collects trace events and metrics for one simulation.
+	Tracer = obs.Tracer
+	// TraceConfig selects what a Tracer collects.
+	TraceConfig = obs.Config
+	// TraceSnapshot is a deterministic copy of a tracer's metrics.
+	TraceSnapshot = obs.Snapshot
+	// TraceEvent is one collected trace event.
+	TraceEvent = obs.Event
+)
+
+// Deprecated package-level constructors, kept so existing callers compile.
+// New code should use the System-anchored methods, which resolve nodes and
+// managers from the system instead of asking the caller to thread them.
 var (
+	// Deprecated: use (*System).NewSecureChannel.
 	NewSecureChannel = secure.NewChannel
-	NewSecureVault   = secure.NewVault
-	StartHeartbeat   = rmem.StartHeartbeat
-	NewWatchdog      = rmem.NewWatchdog
-	NewSVMAgent      = svm.New
-	NewTokenTable    = tokens.NewTable
-	NewTokenClient   = tokens.NewClient
+	// Deprecated: use (*System).NewSecureVault.
+	NewSecureVault = secure.NewVault
+	// Deprecated: use (*System).StartHeartbeat.
+	StartHeartbeat = rmem.StartHeartbeat
+	// Deprecated: use (*System).NewWatchdog.
+	NewWatchdog = rmem.NewWatchdog
+	// Deprecated: use (*System).NewSVMAgent.
+	NewSVMAgent = svm.New
+	// Deprecated: use (*System).NewTokenTable.
+	NewTokenTable = tokens.NewTable
+	// Deprecated: use (*System).NewTokenClient.
+	NewTokenClient = tokens.NewClient
 )
 
 // HardwareCrypto and SoftwareCrypto are the two §3.5 cipher cost models.
@@ -205,6 +234,7 @@ type sysOptions struct {
 	params      *Params
 	clusterOpts []cluster.Option
 	nameCfg     *NameConfig
+	trace       *TraceConfig
 }
 
 // WithParams overrides the cost model.
@@ -227,6 +257,14 @@ func WithNameService(cfg NameConfig) Option {
 	return func(o *sysOptions) { o.nameCfg = &cfg }
 }
 
+// WithTrace attaches an observability tracer to the system before any
+// simulated activity: every layer (scheduler, network, remote memory, file
+// service) then records metrics — and, with cfg.Events set, a trace
+// exportable as Chrome trace_event JSON. Read it back with Obs.
+func WithTrace(cfg TraceConfig) Option {
+	return func(o *sysOptions) { o.trace = &cfg }
+}
+
 // New builds an n-node system: two nodes are wired back-to-back (the
 // paper's testbed), larger clusters go through a cell switch.
 func New(n int, opts ...Option) *System {
@@ -239,6 +277,9 @@ func New(n int, opts ...Option) *System {
 		params = o.params
 	}
 	env := des.NewEnv()
+	if o.trace != nil {
+		env.SetTracer(obs.New(*o.trace))
+	}
 	cl := cluster.New(env, params, n, o.clusterOpts...)
 	sys := &System{Env: env, Cluster: cl}
 	for _, node := range cl.Nodes {
@@ -267,12 +308,84 @@ func (s *System) RunFor(d time.Duration) error {
 	return s.Env.RunUntil(s.Env.Now().Add(d))
 }
 
+// Obs returns the system's observability tracer, or nil when the system
+// was built without WithTrace. All Tracer methods are nil-safe.
+func (s *System) Obs() *Tracer { return s.Env.Tracer() }
+
+// File-service construction options, re-exported for facade users.
+type (
+	// FileServerOption configures NewFileServer (e.g. WithStore).
+	FileServerOption = dfs.ServerOption
+	// FileClerkOption configures NewFileClerk (e.g. WithReadAhead).
+	FileClerkOption = dfs.ClerkOption
+)
+
+var (
+	// WithStore builds the file service over an existing store (§3.7).
+	WithStore = dfs.WithStore
+	// WithReadAhead turns on clerk sequential read-ahead.
+	WithReadAhead = dfs.WithReadAhead
+	// WithEagerAttrs subscribes the clerk to eager attribute pushes (§3.2).
+	WithEagerAttrs = dfs.WithEagerAttrs
+	// WithCallTimeout bounds one clerk request-channel exchange.
+	WithCallTimeout = dfs.WithCallTimeout
+)
+
 // NewFileServer builds the file service on node; call from a Proc.
-func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry) *FileServer {
-	return dfs.NewServer(p, s.Mem[node], len(s.Cluster.Nodes), geo)
+func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry, opts ...FileServerOption) *FileServer {
+	return dfs.NewServer(p, s.Mem[node], len(s.Cluster.Nodes), geo, opts...)
 }
 
 // NewFileClerk wires a clerk on node to srv; call from a Proc.
-func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode) *FileClerk {
-	return dfs.NewClerk(p, s.Mem[node], srv, mode)
+func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode, opts ...FileClerkOption) *FileClerk {
+	return dfs.NewClerk(p, s.Mem[node], srv, mode, opts...)
+}
+
+// ---------------------------------------------------------------------------
+// System-anchored constructors for the satellite subsystems. Each resolves
+// the node's manager from the system, so callers name nodes by index
+// instead of threading managers around.
+
+// StartHeartbeat publishes a liveness counter at (seg, off) from node; the
+// segment must already grant read rights to the watchers (§3.7).
+func (s *System) StartHeartbeat(node int, seg *Segment, off int, interval time.Duration) *Heartbeat {
+	return rmem.StartHeartbeat(s.Mem[node], seg, off, interval)
+}
+
+// NewWatchdog starts monitoring the heartbeat word at off within imp from
+// node; onFail runs once if the peer stops advancing it (§3.7).
+func (s *System) NewWatchdog(node int, imp *Import, off int, interval, timeout time.Duration,
+	onFail func(p *Proc, err error)) *Watchdog {
+	return rmem.NewWatchdog(s.Mem[node], imp, off, interval, timeout, onFail)
+}
+
+// NewSVMAgent creates the Ivy-style shared-virtual-memory agent on node;
+// manager names the owning node, npages the shared address-space size (§6).
+func (s *System) NewSVMAgent(node, manager, npages int) *SVMAgent {
+	return svm.New(s.Cluster.Nodes[node], manager, npages)
+}
+
+// NewTokenTable creates the §5.1 write-token table on node, sized for n
+// tokens; call from a Proc.
+func (s *System) NewTokenTable(p *Proc, node, n int) *TokenTable {
+	return tokens.NewTable(p, s.Mem[node], n)
+}
+
+// NewTokenClient wires a token client on node to the table at home
+// (coordinates from TokenTable.Coordinates or the name service); call from
+// a Proc.
+func (s *System) NewTokenClient(p *Proc, node, home int, tabID, tabGen uint16, tabSize, slotNodes int) *TokenClient {
+	return tokens.NewClient(p, s.Mem[node], home, tabID, tabGen, tabSize, slotNodes)
+}
+
+// NewSecureVault wraps seg (exported from node) as an encrypted segment
+// under key (§3.5).
+func (s *System) NewSecureVault(node int, seg *Segment, key SecureKey, cost CryptoCost) *SecureVault {
+	return secure.NewVault(s.Cluster.Nodes[node], seg, key, cost)
+}
+
+// NewSecureChannel is the importer's end of an encrypted segment (§3.5).
+// The import already names its node, so no index is needed.
+func (s *System) NewSecureChannel(imp *Import, key SecureKey, cost CryptoCost) *SecureChannel {
+	return secure.NewChannel(imp, key, cost)
 }
