@@ -15,6 +15,13 @@
 // per-layer counters and latency histograms, -trace FILE writes the event
 // timeline as Chrome trace_event JSON (open in Perfetto or
 // chrome://tracing).
+//
+// With -chaos NAME it runs the Figure 2 mix under a named fault campaign
+// with the reliability layer on, printing per-operation goodput and
+// latency degradation against a fault-free baseline. -chaos list shows
+// the campaigns, -chaos all runs every one; -seed fixes the campaign's
+// random streams (identical seeds replay identically), and -metrics adds
+// the run's deterministic metric snapshot.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"netmem/internal/dfs"
+	"netmem/internal/faults"
 	"netmem/internal/obs"
 	"netmem/internal/stats"
 	"netmem/internal/workload"
@@ -37,7 +45,14 @@ func main() {
 	traceFile := flag.String("trace", "", "trace one operation and write Chrome trace_event JSON to this file")
 	opLabel := flag.String("op", "Readfile(8K)", "Figure 2 operation to trace (with -trace/-metrics)")
 	modeName := flag.String("mode", "DX", "file service structure to trace, HY or DX (with -trace/-metrics)")
+	chaos := flag.String("chaos", "", `run the Figure 2 mix under a fault campaign ("list", "all", or a name)`)
+	seed := flag.Int64("seed", 0, "campaign seed for -chaos (0 = default)")
 	flag.Parse()
+
+	if *chaos != "" {
+		runChaos(*chaos, *seed, *metrics)
+		return
+	}
 
 	if *metrics || *traceFile != "" {
 		runTraced(*opLabel, *modeName, *metrics, *traceFile)
@@ -204,6 +219,81 @@ func runTraced(opLabel, modeName string, metrics bool, traceFile string) {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote Chrome trace to %s (%d events)\n", traceFile, len(tr.Events()))
+	}
+}
+
+// runChaos runs the Figure 2 mix under one or every named fault campaign
+// and prints goodput and latency degradation per operation.
+func runChaos(name string, seed int64, metrics bool) {
+	if name == "list" {
+		fmt.Println("chaos campaigns:")
+		for _, n := range faults.CampaignNames() {
+			camp, _ := faults.Named(n)
+			fmt.Printf("  %-10s %s\n", n, describeCampaign(camp))
+		}
+		return
+	}
+	names := []string{name}
+	if name == "all" {
+		names = faults.CampaignNames()
+	}
+	for _, n := range names {
+		camp, ok := faults.Named(n)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fsbench: unknown campaign %q (try -chaos list)\n", n)
+			os.Exit(1)
+		}
+		res, err := dfs.RunChaos(dfs.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		printChaos(res, metrics)
+	}
+}
+
+func describeCampaign(c faults.Campaign) string {
+	d := c.Default
+	s := fmt.Sprintf("loss %.1f%%, corrupt %.1f%%, dup %.1f%%, reorder %.1f%%",
+		d.Loss*100, d.Corrupt*100, d.Duplicate*100, d.Reorder*100)
+	if len(d.Flaps) > 0 {
+		s += fmt.Sprintf(", %d flap(s)", len(d.Flaps))
+	}
+	if len(c.Crashes) > 0 {
+		s += fmt.Sprintf(", %d crash(es)", len(c.Crashes))
+	}
+	return s
+}
+
+func printChaos(res *dfs.ChaosResult, metrics bool) {
+	fmt.Printf("Chaos campaign %q (seed %d, %s, reliability on)\n\n", res.Campaign, res.Seed, res.Mode)
+	t := stats.NewTable("Operation", "Fault-free", "Under campaign", "Slowdown", "Result")
+	for _, op := range res.Ops {
+		status := "ok"
+		if !op.OK {
+			status = "FAILED: " + op.Err
+		}
+		chaosLat := stats.Ms(op.Chaos)
+		slow := fmt.Sprintf("%.2fx", op.Degradation())
+		if !op.OK {
+			chaosLat, slow = "-", "-"
+		}
+		t.Add(op.Label, stats.Ms(op.Baseline), chaosLat, slow, status)
+	}
+	fmt.Println(t)
+	fmt.Printf("goodput %d/%d ops byte-correct (%.0f%%); retries %d, giveups %d\n",
+		res.Completed, len(res.Ops), res.Goodput()*100, res.Retries, res.Giveups)
+	if len(res.Injected) > 0 {
+		fmt.Print("injected:")
+		for _, kv := range res.Injected {
+			fmt.Print(" ", kv)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if metrics {
+		fmt.Print(res.Metrics.String())
+		fmt.Println()
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netmem/internal/des"
+	"netmem/internal/faults"
 	"netmem/internal/model"
 )
 
@@ -34,13 +35,59 @@ func NewInterface(env *des.Env, p *model.Params, node int) *Interface {
 }
 
 // Fault configures loss injection on a link. Zero value = lossless.
+//
+// Deprecated: Fault is the pre-campaign loss knob and supports only uniform
+// cell loss; use a faults.Campaign (cluster.WithFaultEngine /
+// netmem.WithFaults) for anything richer. It remains supported so existing
+// callers keep working.
 type Fault struct {
 	LossRate float64 // probability a cell is dropped in flight
-	Rand     *rand.Rand
+
+	// Rand supplies the loss draws.
+	//
+	// Deprecated: leave nil. A caller-supplied generator is shared with
+	// non-simulated code and breaks run-for-run determinism; when nil the
+	// draws come from the environment-owned seeded stream (des.Env.Rand).
+	Rand *rand.Rand
 }
 
-func (f *Fault) drop() bool {
-	return f != nil && f.Rand != nil && f.LossRate > 0 && f.Rand.Float64() < f.LossRate
+func (f *Fault) drop(env *des.Env) bool {
+	if f == nil || f.LossRate <= 0 {
+		return false
+	}
+	r := f.Rand
+	if r == nil {
+		r = env.Rand()
+	}
+	return r.Float64() < f.LossRate
+}
+
+// applyVerdict runs one surviving-or-not cell through the engine's verdict
+// for the named link, calling deliver for every copy that should arrive
+// now. held carries reorder state between calls: a held-back cell is
+// released right after the next cell on the link. Returns the updated held
+// state and whether the cell was dropped.
+func applyVerdict(eng *faults.Engine, link string, held *Cell, c Cell, deliver func(Cell)) (*Cell, bool) {
+	v := eng.Judge(link)
+	if v.Drop {
+		return held, true
+	}
+	if v.CorruptByte >= 0 && v.CorruptByte < PayloadSize {
+		c.Payload[v.CorruptByte] ^= 0x80 // cells are values; the sender's copy is untouched
+	}
+	if v.HoldOne && held == nil {
+		cc := c
+		return &cc, false
+	}
+	deliver(c)
+	if v.Duplicate {
+		deliver(c)
+	}
+	if held != nil {
+		deliver(*held)
+		held = nil
+	}
+	return held, false
 }
 
 // Link is one unidirectional cell pipe from a TX FIFO to an RX FIFO with
@@ -50,10 +97,13 @@ type Link struct {
 	env   *des.Env
 	p     *model.Params
 	fault *Fault
+	eng   *faults.Engine // nil = no campaign on this link
+	held  *Cell          // reorder state: one cell held back by the engine
 
 	// CellsCarried counts cells delivered, for utilisation accounting.
 	CellsCarried int64
-	// CellsDropped counts fault-injected losses.
+	// CellsDropped counts fault-injected losses (including flap and
+	// overflow drops).
 	CellsDropped int64
 
 	// Observability counter keys, fixed at construction.
@@ -70,32 +120,60 @@ func (l *Link) pump(name string, src *des.FIFO[Cell], dst *des.FIFO[Cell], extra
 	l.keyCells = "atm." + name + ".cells"
 	l.keyDropped = "atm." + name + ".dropped"
 	l.env.SpawnDaemon(name, func(pr *des.Proc) {
-		for {
-			c := src.Get(pr)
-			pr.Sleep(l.p.CellWireTime() + extra)
-			if l.fault.drop() {
-				l.CellsDropped++
-				if tr := l.env.Tracer(); tr != nil {
-					tr.Count(l.keyDropped, 1)
+		deliver := func(c Cell) {
+			if l.eng.DropOnOverflow() {
+				if !dst.TryPut(c) {
+					l.eng.Count(faults.KindOverflow)
+					l.dropped()
+					return
 				}
-				continue
+			} else {
+				dst.Put(pr, c)
 			}
-			dst.Put(pr, c)
 			l.CellsCarried++
 			if tr := l.env.Tracer(); tr != nil {
 				tr.Count(l.keyCells, 1)
 				tr.Counter(l.keyCells, time.Duration(l.env.Now()), float64(l.CellsCarried))
 			}
 		}
+		for {
+			c := src.Get(pr)
+			pr.Sleep(l.p.CellWireTime() + extra)
+			if l.fault.drop(l.env) {
+				l.dropped()
+				continue
+			}
+			var dropped bool
+			l.held, dropped = applyVerdict(l.eng, name, l.held, c, deliver)
+			if dropped {
+				l.dropped()
+			}
+		}
 	})
+}
+
+// dropped accounts one lost cell on this link.
+func (l *Link) dropped() {
+	l.CellsDropped++
+	if tr := l.env.Tracer(); tr != nil {
+		tr.Count(l.keyDropped, 1)
+	}
 }
 
 // DirectLink connects interfaces a and b with a full-duplex lossless link
 // (pass fault = nil) or a fault-injected one. It returns the two
 // unidirectional halves (a→b, b→a).
 func DirectLink(env *des.Env, p *model.Params, a, b *Interface, fault *Fault) (ab, ba *Link) {
-	ab = &Link{env: env, p: p, fault: fault}
-	ba = &Link{env: env, p: p, fault: fault}
+	return DirectLinkEngine(env, p, a, b, fault, nil)
+}
+
+// DirectLinkEngine is DirectLink with a fault-campaign engine attached to
+// both halves. Each half judges cells under its own link name
+// ("link<a>-><b>" and "link<b>-><a>"), so a campaign can fault one
+// direction only.
+func DirectLinkEngine(env *des.Env, p *model.Params, a, b *Interface, fault *Fault, eng *faults.Engine) (ab, ba *Link) {
+	ab = &Link{env: env, p: p, fault: fault, eng: eng}
+	ba = &Link{env: env, p: p, fault: fault, eng: eng}
 	ab.pump(fmt.Sprintf("link%d->%d", a.Node, b.Node), a.TX, b.RX, p.PropagationDelay)
 	ba.pump(fmt.Sprintf("link%d->%d", b.Node, a.Node), b.TX, a.RX, p.PropagationDelay)
 	return ab, ba
@@ -109,6 +187,14 @@ type Switch struct {
 	env   *des.Env
 	p     *model.Params
 	ports map[int]*swPort
+	eng   *faults.Engine
+
+	// CellsUnroutable counts cells that arrived for a VCI with no attached
+	// port. The fabric still discards them (there is nowhere to send them),
+	// but invisibly losing traffic made misconfigured VCIs look like
+	// network faults; the counter (and the "atm.sw.unroutable" obs key)
+	// makes them diagnosable.
+	CellsUnroutable int64
 }
 
 type swPort struct {
@@ -121,6 +207,11 @@ func NewSwitch(env *des.Env, p *model.Params) *Switch {
 	return &Switch{env: env, p: p, ports: make(map[int]*swPort)}
 }
 
+// SetEngine attaches a fault-campaign engine. Call before Attach; the
+// switch's hop pumps judge cells under the "sw.in<N>" and "sw.tx<N>" link
+// names.
+func (s *Switch) SetEngine(eng *faults.Engine) { s.eng = eng }
+
 // Attach connects an interface to the switch. All attachments must happen
 // before the simulation delivers traffic to the new port.
 func (s *Switch) Attach(nic *Interface) {
@@ -131,23 +222,49 @@ func (s *Switch) Attach(nic *Interface) {
 	s.ports[nic.Node] = port
 
 	// Input side: host→switch link (serialization) plus VCI routing.
-	s.env.SpawnDaemon(fmt.Sprintf("sw.in%d", nic.Node), func(pr *des.Proc) {
-		for {
-			c := nic.TX.Get(pr)
-			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay + s.p.SwitchLatency)
+	inName := fmt.Sprintf("sw.in%d", nic.Node)
+	var inHeld *Cell
+	s.env.SpawnDaemon(inName, func(pr *des.Proc) {
+		route := func(c Cell) {
 			dst, ok := s.ports[c.VCI.Dst()]
 			if !ok {
-				continue // no such port: cell dies in the fabric
+				s.CellsUnroutable++
+				if tr := s.env.Tracer(); tr != nil {
+					tr.Count("atm.sw.unroutable", 1)
+				}
+				return
+			}
+			if s.eng.DropOnOverflow() {
+				if !dst.out.TryPut(c) {
+					s.eng.Count(faults.KindOverflow)
+				}
+				return
 			}
 			dst.out.Put(pr, c)
 		}
+		for {
+			c := nic.TX.Get(pr)
+			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay + s.p.SwitchLatency)
+			inHeld, _ = applyVerdict(s.eng, inName, inHeld, c, route)
+		}
 	})
 	// Output side: switch→host link.
-	s.env.SpawnDaemon(fmt.Sprintf("sw.tx%d", nic.Node), func(pr *des.Proc) {
+	txName := fmt.Sprintf("sw.tx%d", nic.Node)
+	var txHeld *Cell
+	s.env.SpawnDaemon(txName, func(pr *des.Proc) {
+		deliver := func(c Cell) {
+			if s.eng.DropOnOverflow() {
+				if !nic.RX.TryPut(c) {
+					s.eng.Count(faults.KindOverflow)
+				}
+				return
+			}
+			nic.RX.Put(pr, c)
+		}
 		for {
 			c := port.out.Get(pr)
 			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay)
-			nic.RX.Put(pr, c)
+			txHeld, _ = applyVerdict(s.eng, txName, txHeld, c, deliver)
 		}
 	})
 }

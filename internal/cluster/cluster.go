@@ -12,6 +12,7 @@ import (
 
 	"netmem/internal/atm"
 	"netmem/internal/des"
+	"netmem/internal/faults"
 	"netmem/internal/model"
 )
 
@@ -252,6 +253,7 @@ type Option func(*options)
 type options struct {
 	forceSwitch bool
 	fault       *atm.Fault
+	eng         *faults.Engine
 }
 
 // WithSwitch forces a switched topology even for two nodes (the paper's
@@ -259,7 +261,17 @@ type options struct {
 func WithSwitch() Option { return func(o *options) { o.forceSwitch = true } }
 
 // WithFault injects cell loss on (direct) links, for failure experiments.
+//
+// Deprecated: use WithFaultEngine with a faults.Campaign, which is seeded,
+// richer (corruption, duplication, reordering, flaps, crashes), and works
+// on switched topologies too. WithFault remains for uniform loss on direct
+// links.
 func WithFault(f *atm.Fault) Option { return func(o *options) { o.fault = f } }
+
+// WithFaultEngine runs the cluster under a fault campaign: every link and
+// switch hop consults the engine per cell, and the campaign's crash
+// schedule is bound to the nodes' Fail/Recover.
+func WithFaultEngine(eng *faults.Engine) Option { return func(o *options) { o.eng = eng } }
 
 // New builds an n-node cluster. Two nodes are connected back-to-back (the
 // paper's "pair of DECstations connected to a switchless ATM network")
@@ -297,12 +309,17 @@ func New(env *des.Env, p *model.Params, n int, opts ...Option) *Cluster {
 	}
 	switch {
 	case n == 2 && !o.forceSwitch:
-		atm.DirectLink(env, p, c.Nodes[0].NIC, c.Nodes[1].NIC, o.fault)
+		atm.DirectLinkEngine(env, p, c.Nodes[0].NIC, c.Nodes[1].NIC, o.fault, o.eng)
 	default:
 		c.Switch = atm.NewSwitch(env, p)
+		c.Switch.SetEngine(o.eng)
 		for _, node := range c.Nodes {
 			c.Switch.Attach(node.NIC)
 		}
+	}
+	for _, node := range c.Nodes {
+		node := node
+		o.eng.BindNode(node.ID, node.Fail, node.Recover)
 	}
 	return c
 }

@@ -7,6 +7,7 @@ import (
 
 	"netmem/internal/des"
 	"netmem/internal/model"
+	"netmem/internal/obs"
 )
 
 const protoTest = 0x7f
@@ -143,4 +144,30 @@ func TestDuplicateProtocolPanics(t *testing.T) {
 		}
 	}()
 	c.Nodes[0].RegisterProto(1, func(*des.Proc, int, []byte) {})
+}
+
+func TestUnroutableCellsCounted(t *testing.T) {
+	env := des.NewEnv()
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	c := New(env, &model.Default, 3)
+	env.Spawn("sender", func(p *des.Proc) {
+		// Destination 7 is a valid address with nothing attached: the
+		// switch must count the cells, not stall or misroute them.
+		c.Nodes[0].SendFrame(p, 7, protoTest, CatClient, []byte("to nowhere"))
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Switch.CellsUnroutable == 0 {
+		t.Fatal("switch counted no unroutable cells")
+	}
+	if got := tr.Snapshot().Counter("atm.sw.unroutable"); got != c.Switch.CellsUnroutable {
+		t.Fatalf("obs counter %d != switch counter %d", got, c.Switch.CellsUnroutable)
+	}
+	for _, n := range c.Nodes {
+		if len(n.Faults) != 0 {
+			t.Fatalf("node %d faults: %v", n.ID, n.Faults)
+		}
+	}
 }

@@ -18,6 +18,7 @@ package des
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"netmem/internal/obs"
@@ -92,6 +93,42 @@ type Env struct {
 	halted bool
 
 	obs *obs.Tracer // nil = observability disabled
+
+	seed int64
+	rng  *rand.Rand // lazily created; all simulation randomness draws here
+}
+
+// DefaultSeed seeds an environment's random stream when Seed is never
+// called, so unseeded runs are still reproducible.
+const DefaultSeed int64 = 1
+
+// Seed fixes the environment's random stream. Call before any simulated
+// activity draws randomness; reseeding mid-run restarts the stream. Because
+// exactly one goroutine runs at a time and events fire in deterministic
+// order, every consumer of Rand sees the same draw sequence on identical
+// runs — this is what makes fault campaigns replayable.
+func (e *Env) Seed(seed int64) {
+	e.seed = seed
+	e.rng = rand.New(rand.NewSource(seed))
+}
+
+// SeedValue returns the seed the environment's random stream started from.
+func (e *Env) SeedValue() int64 {
+	if e.rng == nil {
+		return DefaultSeed
+	}
+	return e.seed
+}
+
+// Rand returns the environment-owned random stream, creating it with
+// DefaultSeed on first use. Simulation code must draw randomness only from
+// here (or from generators derived from SeedValue): a caller-supplied
+// rand.Rand shared with non-simulated code would break determinism.
+func (e *Env) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.Seed(DefaultSeed)
+	}
+	return e.rng
 }
 
 // SetTracer attaches an observability tracer; nil detaches it. The DES

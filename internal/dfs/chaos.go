@@ -1,0 +1,323 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/faults"
+	"netmem/internal/fstore"
+	"netmem/internal/model"
+	"netmem/internal/obs"
+	"netmem/internal/rmem"
+)
+
+// Chaos harness: the Figure 2 operation mix run under a fault campaign
+// with the reliability layer on, verifying every operation end to end —
+// not just that it returned the right number of bytes, but that the bytes
+// are correct. The paper measures the fault-free fast path; this measures
+// what the same structure costs when the network misbehaves (§3.7).
+
+// ChaosConfig selects one chaos run.
+type ChaosConfig struct {
+	// Campaign is the fault schedule (its Seed field, when zero, defers to
+	// Seed below).
+	Campaign faults.Campaign
+	// Seed seeds the simulation environment; 0 means des.DefaultSeed.
+	Seed int64
+	// Mode is the file-service structure; chaos runs default to DX, the
+	// paper's proposed structure.
+	Mode Mode
+}
+
+// ChaosOpResult is one operation of the mix under chaos.
+type ChaosOpResult struct {
+	Label    string
+	Baseline time.Duration // fault-free latency, reliability on
+	Chaos    time.Duration // latency under the campaign
+	OK       bool          // completed with byte-correct results
+	Err      string        // failure detail when !OK
+}
+
+// Degradation is the latency multiplier the campaign imposed.
+func (r ChaosOpResult) Degradation() float64 {
+	if r.Baseline <= 0 {
+		return 0
+	}
+	return float64(r.Chaos) / float64(r.Baseline)
+}
+
+// ChaosResult is one full chaos run over the Figure 2 mix.
+type ChaosResult struct {
+	Campaign  string
+	Seed      int64
+	Mode      Mode
+	Ops       []ChaosOpResult
+	Completed int      // ops that finished byte-correct
+	Retries   int64    // reliable-layer retransmissions
+	Giveups   int64    // operations that exhausted their retry budget
+	Injected  []string // the engine's per-kind fault tally ("loss=412", …)
+	// Metrics is the deterministic metric snapshot of the chaos run —
+	// identical seeds produce byte-identical snapshots.
+	Metrics obs.Snapshot
+}
+
+// Goodput is the fraction of the mix that completed byte-correct.
+func (r *ChaosResult) Goodput() float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(len(r.Ops))
+}
+
+// RunChaos measures the Figure 2 mix twice — once fault-free for the
+// baseline, once under the campaign — both with the reliability layer on,
+// and returns the per-op latencies, verification results, and fault/retry
+// tallies.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	base, _, _, err := runChaosMix(nil, cfg.Seed, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: chaos baseline: %w", err)
+	}
+	ops, tr, eng, err := runChaosMix(&cfg.Campaign, cfg.Seed, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: chaos run: %w", err)
+	}
+	res := &ChaosResult{
+		Campaign: cfg.Campaign.Name,
+		Seed:     eng.Seed(),
+		Mode:     cfg.Mode,
+		Injected: eng.Counts(),
+		Metrics:  tr.Snapshot(),
+	}
+	res.Retries = res.Metrics.Counter("reliable.retries")
+	res.Giveups = res.Metrics.Counter("reliable.giveup")
+	for i, op := range ops {
+		op.Baseline = base[i].Chaos
+		res.Ops = append(res.Ops, op)
+		if op.OK {
+			res.Completed++
+		}
+	}
+	return res, nil
+}
+
+// runChaosMix runs the twelve operations sequentially on one rig. camp ==
+// nil means fault-free (the baseline leg). Latencies land in the Chaos
+// field; RunChaos rewires the baseline leg's into Baseline.
+func runChaosMix(camp *faults.Campaign, seed int64, mode Mode) ([]ChaosOpResult, *obs.Tracer, *faults.Engine, error) {
+	env := des.NewEnv()
+	if seed != 0 {
+		env.Seed(seed)
+	}
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	var eng *faults.Engine
+	var clusterOpts []cluster.Option
+	if camp != nil {
+		eng = faults.NewEngine(env, *camp)
+		clusterOpts = append(clusterOpts, cluster.WithFaultEngine(eng))
+	}
+	cl := cluster.New(env, &model.Default, 2, clusterOpts...)
+	ms := rmem.NewManager(cl.Nodes[0])
+	mc := rmem.NewManager(cl.Nodes[1])
+
+	rig := &experimentRig{env: env, cl: cl}
+	var setupErr error
+	env.Spawn("chaos.setup", func(p *des.Proc) {
+		rig.srv = NewServer(p, ms, 2, Geometry{}, WithReliableReplies())
+		rig.clerk = NewClerk(p, mc, rig.srv, mode, WithReliable())
+		setupErr = warmRig(rig)
+	})
+	if err := env.RunUntil(des.Time(200 * time.Millisecond)); err != nil {
+		return nil, nil, nil, err
+	}
+	if setupErr != nil {
+		return nil, nil, nil, setupErr
+	}
+
+	ops := make([]ChaosOpResult, len(Figure2Ops))
+	env.Spawn("chaos.mix", func(p *des.Proc) {
+		// Campaign flap and crash schedules are keyed to virtual time;
+		// anchor the mix at t = 200ms so those windows land inside the
+		// measured run no matter how quickly warm-up drained the queue.
+		if at := des.Time(200 * time.Millisecond); p.Now() < at {
+			p.Sleep(time.Duration(at.Sub(p.Now())))
+		}
+		for i, spec := range Figure2Ops {
+			ops[i] = rig.runVerifiedOp(p, spec)
+		}
+	})
+	if err := env.RunUntil(des.Time(120 * time.Second)); err != nil {
+		return nil, nil, nil, err
+	}
+	return ops, tr, eng, nil
+}
+
+// warmRig populates the store and warms the server cache exactly as the
+// Figure 2/3 rig does (shared with newExperimentRigObs would tangle the
+// tracer reset discipline; the content is identical).
+func warmRig(r *experimentRig) error {
+	st := r.srv.Store
+	h, err := st.WriteFile("/export/data.bin", patterned(16384))
+	if err != nil {
+		return err
+	}
+	r.file = h
+	for i := 0; i < 260; i++ {
+		if _, err := st.WriteFile(fmt.Sprintf("/export/pub/entry%03d", i), nil); err != nil {
+			return err
+		}
+	}
+	dir, _, err := st.ResolvePath("/export/pub")
+	if err != nil {
+		return err
+	}
+	r.dir = dir
+	exp, _, err := st.ResolvePath("/export")
+	if err != nil {
+		return err
+	}
+	lh, _, err := st.Symlink(exp, "current", "/export/data.bin")
+	if err != nil {
+		return err
+	}
+	r.link = lh
+	for _, wh := range []fstore.Handle{r.file, r.link} {
+		if err := r.srv.WarmFile(wh); err != nil {
+			return err
+		}
+	}
+	if err := r.srv.WarmDir(exp); err != nil {
+		return err
+	}
+	return r.srv.WarmDir(dir)
+}
+
+// runVerifiedOp executes one mix operation and verifies its result bytes
+// against the store's ground truth.
+func (r *experimentRig) runVerifiedOp(p *des.Proc, spec OpSpec) ChaosOpResult {
+	res := ChaosOpResult{Label: spec.Label}
+	c := r.clerk
+	st := r.srv.Store
+
+	fail := func(err error) ChaosOpResult {
+		res.Err = err.Error()
+		res.Chaos = 0
+		return res
+	}
+
+	// Writes establish DX block ownership with an untimed read, as a real
+	// clerk would have; reads measure the network path, so flush first.
+	if spec.Op == OpWrite && c.Mode == DX {
+		blocks := (spec.Size + fstore.BlockSize - 1) / fstore.BlockSize
+		if _, err := c.Read(p, r.file, 0, blocks*fstore.BlockSize); err != nil {
+			return fail(fmt.Errorf("ownership read: %w", err))
+		}
+	} else {
+		c.FlushLocal()
+	}
+
+	start := p.Now()
+	switch spec.Op {
+	case OpGetAttr:
+		a, err := c.GetAttr(p, r.file)
+		if err != nil {
+			return fail(err)
+		}
+		want, err := st.GetAttr(r.file)
+		if err != nil {
+			return fail(err)
+		}
+		if a.Size != want.Size || a.Type != want.Type {
+			return fail(fmt.Errorf("attr mismatch: got size %d, want %d", a.Size, want.Size))
+		}
+	case OpLookup:
+		h, _, err := c.Lookup(p, r.dir, "entry007")
+		if err != nil {
+			return fail(err)
+		}
+		want, _, err := st.Lookup(r.dir, "entry007")
+		if err != nil {
+			return fail(err)
+		}
+		if h != want {
+			return fail(fmt.Errorf("lookup handle mismatch"))
+		}
+	case OpReadLink:
+		target, err := c.ReadLink(p, r.link)
+		if err != nil {
+			return fail(err)
+		}
+		if target != "/export/data.bin" {
+			return fail(fmt.Errorf("readlink returned %q", target))
+		}
+	case OpRead:
+		data, err := c.Read(p, r.file, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		want, err := st.Read(r.file, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		if !bytes.Equal(data, want) {
+			return fail(fmt.Errorf("read returned wrong bytes"))
+		}
+	case OpReadDir:
+		data, err := c.ReadDir(p, r.dir, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		ents, err := st.ReadDir(r.dir)
+		if err != nil {
+			return fail(err)
+		}
+		want := serializeDir(ents)[:spec.Size]
+		if !bytes.Equal(data, want) {
+			return fail(fmt.Errorf("readdir returned wrong bytes"))
+		}
+	case OpWrite:
+		payload := chaosPattern(spec.Size)
+		before := r.srv.data.RemoteWrites
+		if err := c.Write(p, r.file, 0, payload); err != nil {
+			return fail(err)
+		}
+		if c.Mode == DX {
+			for r.srv.data.RemoteWrites == before {
+				p.Sleep(2 * time.Microsecond)
+			}
+		}
+		res.Chaos = time.Duration(p.Now().Sub(start))
+		// Verification (untimed): apply the write-behind cache and read the
+		// store back — the full §3.1 deposit path, end to end.
+		if _, err := r.srv.Sync(p); err != nil {
+			return fail(err)
+		}
+		got, err := st.Read(r.file, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		if !bytes.Equal(got, payload) {
+			return fail(fmt.Errorf("written bytes did not reach the store intact"))
+		}
+		res.OK = true
+		return res
+	}
+	res.Chaos = time.Duration(p.Now().Sub(start))
+	res.OK = true
+	return res
+}
+
+// chaosPattern is a write payload distinguishable from the warm file's
+// patterned() content, so a lost or misdeposited write cannot be masked by
+// pre-existing bytes.
+func chaosPattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 129)
+	}
+	return b
+}

@@ -125,6 +125,12 @@ func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode, opts ...Cler
 	c.scratch = m.Export(p, dataStride+recHdr)
 	id, gen, size := srv.ReqChannel()
 	c.hcli = hybrid.NewClient(p, m, c.server, id, gen, size, reqSlotCap, fstore.BlockSize+256)
+	if o.reliable {
+		for _, area := range []*rmem.Import{c.attr, c.name, c.link, c.data, c.dir, c.token} {
+			area.SetReliable(true)
+		}
+		c.hcli.SetReliable(true)
+	}
 	cid, cgen, csize := c.hcli.RepSeg()
 	srv.AttachClerk(p, m.Node.ID, cid, cgen, csize)
 	c.FlushLocal()

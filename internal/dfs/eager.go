@@ -48,6 +48,7 @@ func (c *Clerk) checkPushBoard(p *des.Proc, h fstore.Handle) (fstore.Attr, bool)
 func (s *Server) SubscribeEager(p *des.Proc, node int, segID, gen uint16, size int) {
 	imp := s.m.Import(p, node, segID, gen, size)
 	imp.SetAccountCategory(cluster.CatReply)
+	imp.SetReliable(s.reliable)
 	s.eager = append(s.eager, imp)
 }
 

@@ -10,7 +10,8 @@ import (
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
-	store *fstore.Store
+	store    *fstore.Store
+	reliable bool
 }
 
 // WithStore builds the service over an existing file store — the §3.7
@@ -20,12 +21,21 @@ func WithStore(st *fstore.Store) ServerOption {
 	return func(o *serverOptions) { o.store = st }
 }
 
+// WithReliableReplies routes the server's outbound writes — Hybrid-1
+// replies and eager attribute pushes — through the reliability layer, for
+// deployments whose links lose cells (§3.7). Pair with the clerks'
+// WithReliable for a fully retransmitting service.
+func WithReliableReplies() ServerOption {
+	return func(o *serverOptions) { o.reliable = true }
+}
+
 // ClerkOption configures NewClerk.
 type ClerkOption func(*clerkOptions)
 
 type clerkOptions struct {
 	readAhead   bool
 	eagerAttrs  bool
+	reliable    bool
 	callTimeout des.Duration
 }
 
@@ -39,6 +49,14 @@ func WithReadAhead() ClerkOption {
 // pushes (§3.2's update-board pattern).
 func WithEagerAttrs() ClerkOption {
 	return func(o *clerkOptions) { o.eagerAttrs = true }
+}
+
+// WithReliable routes every clerk→server transfer — cache-area probes,
+// block pushes, and Hybrid-1 requests — through the reliability layer
+// (at-most-once retransmission, §3.7), so the clerk keeps working over
+// links that lose cells. Costs one extra cell on small writes.
+func WithReliable() ClerkOption {
+	return func(o *clerkOptions) { o.reliable = true }
 }
 
 // WithCallTimeout bounds one request-channel exchange (default 10s).

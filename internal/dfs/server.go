@@ -21,8 +21,9 @@ type Server struct {
 
 	attr, name, link, data, dir, token *rmem.Segment
 
-	hsrv  *hybrid.Server
-	eager []*rmem.Import // subscribed eager-update boards (§3.2)
+	hsrv     *hybrid.Server
+	eager    []*rmem.Import // subscribed eager-update boards (§3.2)
+	reliable bool           // WithReliableReplies: retransmitting outbound writes
 
 	// Stats.
 	MissCalls   int64        // requests that reached the server procedure
@@ -48,7 +49,12 @@ func NewServer(p *des.Proc, m *rmem.Manager, nodes int, geo Geometry, opts ...Se
 	if store == nil {
 		store = fstore.New(func() int64 { return int64(m.Node.Env.Now()) })
 	}
-	return newServer(p, m, nodes, geo, store)
+	s := newServer(p, m, nodes, geo, store)
+	if o.reliable {
+		s.reliable = true
+		s.hsrv.SetReliable(true)
+	}
+	return s
 }
 
 // NewServerWithStore is NewServer with the WithStore option — after a

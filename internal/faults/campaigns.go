@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"sort"
+	"time"
+)
+
+// named is the registry of built-in campaigns used by `fsbench -chaos`.
+// Each is a complete schedule; the seed is left zero so it resolves to the
+// environment's seed (settable with -seed).
+var named = map[string]func() Campaign{
+	"loss1": func() Campaign {
+		return Campaign{Name: "loss1", Default: LinkFault{Loss: 0.01}}
+	},
+	"loss5": func() Campaign {
+		return Campaign{Name: "loss5", Default: LinkFault{Loss: 0.05}}
+	},
+	"corrupt1": func() Campaign {
+		return Campaign{Name: "corrupt1", Default: LinkFault{Corrupt: 0.01}}
+	},
+	"dup1": func() Campaign {
+		return Campaign{Name: "dup1", Default: LinkFault{Duplicate: 0.01}}
+	},
+	"reorder2": func() Campaign {
+		return Campaign{Name: "reorder2", Default: LinkFault{Reorder: 0.02}}
+	},
+	"mixed": func() Campaign {
+		return Campaign{Name: "mixed", Default: LinkFault{
+			Loss:      0.005,
+			Corrupt:   0.003,
+			Duplicate: 0.003,
+			Reorder:   0.005,
+		}}
+	},
+	"flap": func() Campaign {
+		// Repeated 200µs outages on every link, every 2ms across the
+		// measured window (workloads start after the 200ms warm-up): each
+		// is long enough to kill whatever is in flight, short enough that
+		// retries ride it out.
+		var flaps []Flap
+		for t := 201 * time.Millisecond; t < 300*time.Millisecond; t += 2 * time.Millisecond {
+			flaps = append(flaps, Flap{Down: t, Up: t + 200*time.Microsecond})
+		}
+		return Campaign{Name: "flap", Default: LinkFault{Flaps: flaps}}
+	},
+}
+
+// Named returns a built-in campaign by name.
+func Named(name string) (Campaign, bool) {
+	f, ok := named[name]
+	if !ok {
+		return Campaign{}, false
+	}
+	return f(), true
+}
+
+// CampaignNames lists the built-in campaigns, sorted.
+func CampaignNames() []string {
+	out := make([]string, 0, len(named))
+	for k := range named {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

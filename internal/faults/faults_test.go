@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+)
+
+func chattyCampaign(name string) Campaign {
+	return Campaign{Name: name, Default: LinkFault{
+		Loss:      0.05,
+		Corrupt:   0.05,
+		Duplicate: 0.05,
+		Reorder:   0.05,
+	}}
+}
+
+// verdictTrace renders n Judge calls on one link as a comparable string.
+func verdictTrace(e *Engine, link string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		v := e.Judge(link)
+		out += fmt.Sprintf("%v,%d,%v,%v;", v.Drop, v.CorruptByte, v.Duplicate, v.HoldOne)
+	}
+	return out
+}
+
+// TestSameSeedSameVerdicts: two engines built from the same seed must
+// render identical verdict sequences — the property that makes campaign
+// runs replayable.
+func TestSameSeedSameVerdicts(t *testing.T) {
+	mk := func() *Engine {
+		env := des.NewEnv()
+		env.Seed(1234)
+		return NewEngine(env, chattyCampaign("det"))
+	}
+	a := verdictTrace(mk(), "link1->0", 500)
+	b := verdictTrace(mk(), "link1->0", 500)
+	if a != b {
+		t.Error("identical seeds rendered different verdict sequences")
+	}
+	env := des.NewEnv()
+	env.Seed(9876)
+	if c := verdictTrace(NewEngine(env, chattyCampaign("det")), "link1->0", 500); c == a {
+		t.Error("different seeds rendered the same verdict sequence")
+	}
+}
+
+// TestPerLinkStreamsIndependent: each link draws from its own stream, so
+// judging one link must not perturb another's sequence. Without this,
+// adding a node to a topology would silently reshuffle every campaign.
+func TestPerLinkStreamsIndependent(t *testing.T) {
+	mk := func() *Engine {
+		env := des.NewEnv()
+		env.Seed(55)
+		return NewEngine(env, chattyCampaign("ind"))
+	}
+	solo := verdictTrace(mk(), "link0->1", 300)
+	e := mk()
+	interleaved := ""
+	for i := 0; i < 300; i++ {
+		e.Judge("link2->1") // traffic on another link
+		v := e.Judge("link0->1")
+		interleaved += fmt.Sprintf("%v,%d,%v,%v;", v.Drop, v.CorruptByte, v.Duplicate, v.HoldOne)
+	}
+	if solo != interleaved {
+		t.Error("judging link2->1 perturbed link0->1's verdict stream")
+	}
+}
+
+// TestFlapWindowDropsEverything: inside a flap's [Down, Up) window every
+// cell on the link is dropped; outside it the link behaves normally.
+func TestFlapWindowDropsEverything(t *testing.T) {
+	env := des.NewEnv()
+	env.Seed(1)
+	camp := Campaign{Name: "flap", Default: LinkFault{
+		Flaps: []Flap{{Down: 100 * time.Microsecond, Up: 200 * time.Microsecond}},
+	}}
+	e := NewEngine(env, camp)
+	probe := func(at time.Duration) bool {
+		dropped := false
+		env.Spawn("probe", func(p *des.Proc) {
+			p.Sleep(time.Duration(des.Time(at).Sub(p.Now())))
+			dropped = e.Judge("linkA").Drop
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return dropped
+	}
+	if probe(50 * time.Microsecond) {
+		t.Error("cell dropped before the flap window")
+	}
+	if !probe(150 * time.Microsecond) {
+		t.Error("cell survived inside the flap window")
+	}
+	if probe(250 * time.Microsecond) {
+		t.Error("cell dropped after the link came back up")
+	}
+	if e.Injected(KindFlap) != 1 {
+		t.Errorf("flap tally = %d, want 1", e.Injected(KindFlap))
+	}
+}

@@ -44,11 +44,12 @@ const slotHeader = 8
 
 // Server is the service end of a Hybrid-1 channel.
 type Server struct {
-	m       *rmem.Manager
-	handler Handler
-	reqSeg  *rmem.Segment
-	slotCap int
-	clients map[int]*rmem.Import // client node → imported reply segment
+	m        *rmem.Manager
+	handler  Handler
+	reqSeg   *rmem.Segment
+	slotCap  int
+	clients  map[int]*rmem.Import // client node → imported reply segment
+	reliable bool
 
 	// Calls counts served requests.
 	Calls int64
@@ -84,7 +85,19 @@ func (s *Server) AttachClient(p *des.Proc, node int, segID, gen uint16, size int
 	// Pushing replies is the server's "data reply" work in Figure 3's
 	// breakdown, not client work.
 	imp.SetAccountCategory(cluster.CatReply)
+	imp.SetReliable(s.reliable)
 	s.clients[node] = imp
+}
+
+// SetReliable routes the server's reply writes through the reliability
+// layer (sequencing, retransmission, receiver dedup) — for channels
+// running over lossy links. Applies to already-attached clients and to
+// future AttachClient calls.
+func (s *Server) SetReliable(v bool) {
+	s.reliable = v
+	for _, imp := range s.clients {
+		imp.SetReliable(v)
+	}
 }
 
 func (s *Server) slotOff(node int) int { return node * (slotHeader + s.slotCap) }
@@ -112,9 +125,26 @@ func (s *Server) serve(p *des.Proc, note rmem.Notification) {
 	binary.BigEndian.PutUint32(out, seq) // completion flag = request seq
 	binary.BigEndian.PutUint32(out[4:], uint32(len(result)))
 	copy(out[slotHeader:], result)
-	if err := rep.WriteBlock(p, 0, out, false); err != nil {
+	if err := s.pushReply(p, rep, out); err != nil {
 		s.m.WriteFaults = append(s.m.WriteFaults, fmt.Errorf("hybrid: reply to node %d: %w", src, err))
 	}
+}
+
+// pushReply deposits one reply block into the client's reply segment. A
+// reliable import moves large blocks in independently-acked chunks, and
+// the completion word lives at the front of the block — so a one-shot
+// WriteBlock could land the flag while the body's tail is still being
+// retransmitted, and the client's spin wait would read a torn reply.
+// Write the body first (each chunk acked in order) and the single-cell
+// header last, so the flag can never pass the data it announces.
+func (s *Server) pushReply(p *des.Proc, rep *rmem.Import, out []byte) error {
+	if s.reliable && len(out) > slotHeader {
+		if err := rep.WriteBlock(p, slotHeader, out[slotHeader:], false); err != nil {
+			return err
+		}
+		return rep.Write(p, 0, out[:slotHeader], false)
+	}
+	return rep.WriteBlock(p, 0, out, false)
 }
 
 // Client is the requesting end of a Hybrid-1 channel.
@@ -144,6 +174,11 @@ func NewClient(p *des.Proc, m *rmem.Manager, server int, reqID, reqGen uint16, r
 func (c *Client) RepSeg() (id, gen uint16, size int) {
 	return c.repSeg.ID(), c.repSeg.Gen(), c.repSeg.Size()
 }
+
+// SetReliable routes the client's request writes through the reliability
+// layer, so a lost request cell is retransmitted instead of stalling the
+// spin wait until the call timeout.
+func (c *Client) SetReliable(v bool) { c.req.SetReliable(v) }
 
 // Call performs one Hybrid-1 exchange: write-with-notify the request into
 // our slot on the server, spin wait for the reply write to land, return

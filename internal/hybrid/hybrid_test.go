@@ -196,3 +196,41 @@ func TestCallTimesOutWhenUnattached(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReliableReplyNotTorn: with reliable replies a multi-chunk reply
+// block moves as independently-acked pieces, and the completion word the
+// client spins on lives at the front of the block. The server must not
+// let that flag land before the body's tail, or the client reads a torn
+// reply. Every byte of a >1-chunk reply must come back intact.
+func TestReliableReplyNotTorn(t *testing.T) {
+	big := make([]byte, 6000)
+	for i := range big {
+		big[i] = byte(i*11 + 5)
+	}
+	env, _, srv, cli := wire(t, func(p *des.Proc, src int, req []byte) []byte {
+		return big
+	})
+	srv.SetReliable(true)
+	cli.SetReliable(true)
+	calls := 0
+	env.Spawn("client", func(p *des.Proc) {
+		for k := 0; k < 5; k++ {
+			r, err := cli.Call(p, []byte{byte(k)}, time.Second)
+			if err != nil {
+				t.Errorf("call %d: %v", k, err)
+				return
+			}
+			if !bytes.Equal(r, big) {
+				t.Errorf("call %d: torn reply (%d bytes)", k, len(r))
+				return
+			}
+			calls++
+		}
+	})
+	if err := env.RunUntil(des.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("completed %d/5 calls", calls)
+	}
+}

@@ -196,6 +196,40 @@ type Params struct {
 	// ProcInvoke is the server-side procedure invocation overhead once the
 	// server thread runs (stub entry, dispatch table, return).
 	ProcInvoke time.Duration
+
+	// ---- Reliable delivery (internal/reliable, §3.7) ---------------------
+	//
+	// These govern the opt-in retransmission layer under the
+	// meta-instructions. They are policy constants, not calibrated hardware
+	// costs: the paper's cluster treats loss as catastrophic, so there is
+	// no published number to match.
+
+	// RetryTimeout is the base per-attempt reply/ack timeout for a
+	// single-cell operation. Larger transfers scale it by their expected
+	// wire+drain time (an 8 KB block takes ~1.9 ms to move; a fixed 45 µs
+	// budget would declare every block lost). ~4× a small-op round trip
+	// keeps spurious retransmissions out of fault-free runs.
+	RetryTimeout time.Duration
+
+	// RetryBackoffMax caps the exponential growth of the per-attempt
+	// timeout (timeout, 2×, 4×, … ≤ cap), bounding how long a retry burst
+	// can stretch while still backing off a congested or flapping link.
+	RetryBackoffMax time.Duration
+
+	// RetryLimit is the number of retransmissions after the first attempt
+	// before an operation gives up with ErrTimeout. Reliable block
+	// transfers move in ReliableChunk pieces, so one attempt of a chunk
+	// spans ~43 cells: at 5 % cell loss a chunk still survives an attempt
+	// with probability ~0.25, and 16 retries push end-to-end failure below
+	// 1e-9.
+	RetryLimit int
+
+	// ReliableChunk is the frame-payload ceiling for reliable block
+	// transfers. Loss recovery retransmits whole frames (AAL5 discards a
+	// frame on any missing cell), so a full 32 KB frame (~683 cells) would
+	// almost never survive even 1 % cell loss; 2 KB (~43 cells) survives
+	// with probability 0.65 per attempt.
+	ReliableChunk int
 }
 
 // Default is the calibrated DECstation 5000/200 + FORE TCA-100 model.
@@ -273,6 +307,11 @@ var Default = Params{
 	ThreadBlock:    40 * us,
 	ThreadDispatch: 55 * us,
 	ProcInvoke:     25 * us,
+
+	RetryTimeout:    200 * us,
+	RetryBackoffMax: 10 * time.Millisecond,
+	RetryLimit:      16,
+	ReliableChunk:   2048,
 }
 
 // CellWireTime returns the serialization delay of one cell on the link.

@@ -7,6 +7,7 @@ import (
 
 	"netmem/internal/cluster"
 	"netmem/internal/des"
+	"netmem/internal/reliable"
 )
 
 // opIssued records metrics for a locally-completed meta-instruction issue
@@ -44,6 +45,72 @@ func (m *Manager) opCompleted(po *pendingOp) {
 	}
 }
 
+// relCount bumps a reliability-layer counter metric.
+func (m *Manager) relCount(key string) {
+	if tr := m.Node.Env.Tracer(); tr != nil {
+		tr.Count(key, 1)
+	}
+}
+
+// relRecovered records a successful operation that needed retransmission:
+// the recovery latency (first transmission → completion) feeds the
+// "reliable.recovery" histogram.
+func (m *Manager) relRecovered(first des.Time) {
+	if tr := m.Node.Env.Tracer(); tr != nil {
+		tr.Observe("reliable.recovery", m.Node.Env.Now().Sub(first))
+	}
+}
+
+// attemptBase returns the size-scaled per-attempt timeout base for a
+// reliable operation whose round trip moves rtCells cells: the model's
+// fixed RetryTimeout, plus the notification budget (an ack follows the
+// destination's control transfer when one was requested), plus twice the
+// pipeline time of the cells in flight — so an 8 KB block is never
+// declared lost while still streaming.
+func (m *Manager) attemptBase(rtCells int) des.Duration {
+	p := m.Node.P
+	return p.RetryTimeout + p.NotifyOverhead() +
+		2*des.Duration(rtCells)*(p.CellWireTime()+p.RxPerCell())
+}
+
+// awaitAck sends frame to dst and blocks until its WRACK (or NACK)
+// arrives, retransmitting on timeout with capped exponential backoff.
+// Runs the full at-most-once client side for reliable WRITEs.
+func (m *Manager) awaitAck(p *des.Proc, dst int, cat string, seq uint32, frame []byte, rtCells int) error {
+	n := m.Node
+	env := n.Env
+	aw := &ackWait{q: des.NewWaitQueue(env)}
+	m.pendingAcks[seq] = aw
+	base := m.attemptBase(rtCells)
+	first := env.Now()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			m.relCount("reliable.retries")
+		}
+		n.SendFrame(p, dst, Proto, cat, frame)
+		timedOut := false
+		cancel := env.After(m.relCfg.AttemptTimeout(base, attempt), func() {
+			timedOut = true
+			aw.q.WakeAll()
+		})
+		for !aw.done && !timedOut {
+			aw.q.Wait(p)
+		}
+		cancel()
+		if aw.done {
+			if attempt > 0 {
+				m.relRecovered(first)
+			}
+			return aw.err
+		}
+		if attempt >= m.relCfg.MaxRetries {
+			delete(m.pendingAcks, seq)
+			m.relCount("reliable.giveup")
+			return ErrTimeout
+		}
+	}
+}
+
 // checkLocal performs the sender-side descriptor validation every
 // meta-instruction begins with: trap into the emulation, verify rights
 // against the local descriptor, verify bounds.
@@ -77,6 +144,14 @@ func (i *Import) Write(p *des.Proc, off int, data []byte, notify bool) error {
 	}
 	n.UseCPU(p, i.cat, n.P.RegisterFormat)
 	msg := &wireMsg{kind: kindWrite, notify: notify, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off), data: data}
+	if i.rel {
+		msg.rel = true
+		msg.rgen, msg.rseq = i.m.relSend.Next()
+		frame := msg.encode()
+		err := i.m.awaitAck(p, i.node, i.cat, msg.rseq, frame, 1+n.P.CellsFor(len(frame)))
+		i.m.opIssued(OpWrite, start)
+		return err
+	}
 	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
 	i.m.opIssued(OpWrite, start)
 	return nil
@@ -95,7 +170,13 @@ func (i *Import) WriteBlock(p *des.Proc, off int, data []byte, notify bool) erro
 	if err := i.checkLocal(p, RightWrite, off, len(data)); err != nil {
 		return err
 	}
-	const chunk = 32 * 1024 // < atm.MaxFrame with headers
+	chunk := 32 * 1024 // < atm.MaxFrame with headers
+	if i.rel {
+		// Loss recovery retransmits whole frames (a frame missing any cell
+		// is discarded at reassembly), so reliable blocks move in chunks
+		// small enough that a retransmission is likely to get through.
+		chunk = n.P.ReliableChunk
+	}
 	for done := 0; ; {
 		end := done + chunk
 		if end > len(data) {
@@ -105,7 +186,16 @@ func (i *Import) WriteBlock(p *des.Proc, off int, data []byte, notify bool) erro
 		// transfer per logical operation.
 		last := end == len(data)
 		msg := &wireMsg{kind: kindWrite, notify: notify && last, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off + done), data: data[done:end]}
-		n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+		if i.rel {
+			msg.rel = true
+			msg.rgen, msg.rseq = i.m.relSend.Next()
+			frame := msg.encode()
+			if err := i.m.awaitAck(p, i.node, i.cat, msg.rseq, frame, 1+n.P.CellsFor(len(frame))); err != nil {
+				return err
+			}
+		} else {
+			n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+		}
 		if last {
 			i.m.opIssued(OpWrite, start)
 			return nil
@@ -134,7 +224,16 @@ func (r *ReadOp) Err() error { return r.po.err }
 // waits forever). On timeout the pending entry is abandoned: a late reply
 // is discarded by the kernel. Each successful wake charges one user-level
 // poll of the completion word.
+//
+// On a reliable import, Wait is also the retransmission engine: each
+// unanswered per-attempt timeout resends the stored request frame (same
+// request id and reliability identity, so the remote kernel deduplicates
+// and the reply matches) until the reply lands, the retry budget is
+// exhausted, or the caller's overall timeout expires.
 func (r *ReadOp) Wait(p *des.Proc, timeout des.Duration) error {
+	if r.po.relFrame != nil {
+		return r.waitReliable(p, timeout)
+	}
 	env := r.m.Node.Env
 	deadline := env.Now().Add(timeout)
 	var timedOut bool
@@ -159,6 +258,45 @@ func (r *ReadOp) Wait(p *des.Proc, timeout des.Duration) error {
 	return r.po.err
 }
 
+func (r *ReadOp) waitReliable(p *des.Proc, timeout des.Duration) error {
+	m := r.m
+	env := m.Node.Env
+	var expired bool
+	var cancelAll func()
+	if timeout > 0 {
+		cancelAll = env.After(timeout, func() {
+			expired = true
+			r.po.q.WakeAll()
+		})
+		defer cancelAll()
+	}
+	for attempt := 0; ; attempt++ {
+		timedOut := false
+		cancel := env.After(m.relCfg.AttemptTimeout(r.po.relBase, attempt), func() {
+			timedOut = true
+			r.po.q.WakeAll()
+		})
+		for !r.po.done && !timedOut && !expired {
+			r.po.q.Wait(p)
+		}
+		cancel()
+		m.Node.UseCPU(p, cluster.CatClient, m.Node.P.SpinPoll)
+		if r.po.done {
+			if attempt > 0 {
+				m.relRecovered(r.po.start)
+			}
+			return r.po.err
+		}
+		if expired || attempt >= m.relCfg.MaxRetries {
+			delete(m.pending, r.req) // abandon; a late reply is dropped
+			m.relCount("reliable.giveup")
+			return ErrTimeout
+		}
+		m.relCount("reliable.retries")
+		m.Node.SendFrame(p, r.po.relDst, Proto, r.po.relCat, r.po.relFrame)
+	}
+}
+
 // ReadAsync issues the READ meta-instruction: ask the remote kernel for
 // count bytes at soff of the imported segment, to be deposited into the
 // local segment dst at doff. Returns immediately with the outstanding
@@ -181,19 +319,47 @@ func (i *Import) ReadAsync(p *des.Proc, soff, count int, dst *Segment, doff int,
 	m.pending[req] = po
 	msg := &wireMsg{kind: kindRead, notify: notify, seg: i.segID, gen: i.gen,
 		off: uint32(soff), count: uint32(count), req: req}
-	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	if i.rel {
+		msg.rel = true
+		msg.rgen, msg.rseq = m.relSend.Next()
+		po.relFrame = msg.encode()
+		po.relDst = i.node
+		po.relCat = i.cat
+		po.relBase = m.attemptBase(1 + n.P.CellsFor(count))
+		n.SendFrame(p, i.node, Proto, i.cat, po.relFrame)
+	} else {
+		n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	}
 	m.opIssued(OpRead, po.start)
 	return &ReadOp{m: m, req: req, po: po}, nil
 }
 
 // Read is the blocking convenience around ReadAsync: issue, then spin-wait
-// for the deposit. timeout <= 0 waits forever.
+// for the deposit. timeout <= 0 waits forever. On a reliable import, large
+// reads move in ReliableChunk pieces (each retried independently) so a
+// single lost cell never forces a full-block retransmission.
 func (i *Import) Read(p *des.Proc, soff, count int, dst *Segment, doff int, timeout des.Duration) error {
-	op, err := i.ReadAsync(p, soff, count, dst, doff, false)
-	if err != nil {
-		return err
+	chunk := count
+	if i.rel && chunk > i.m.Node.P.ReliableChunk {
+		chunk = i.m.Node.P.ReliableChunk
 	}
-	return op.Wait(p, timeout)
+	for done := 0; ; {
+		end := done + chunk
+		if end > count {
+			end = count
+		}
+		op, err := i.ReadAsync(p, soff+done, end-done, dst, doff+done, false)
+		if err != nil {
+			return err
+		}
+		if err := op.Wait(p, timeout); err != nil {
+			return err
+		}
+		if end == count {
+			return nil
+		}
+		done = end
+	}
 }
 
 // CAS issues the compare-and-swap meta-instruction on the 4-byte word at
@@ -218,7 +384,17 @@ func (i *Import) CAS(p *des.Proc, off int, old, new uint32, result *Segment, rof
 	po := &pendingOp{op: OpCAS, dst: result, doff: roff, start: n.Env.Now(), q: des.NewWaitQueue(n.Env)}
 	m.pending[req] = po
 	msg := &wireMsg{kind: kindCAS, seg: i.segID, gen: i.gen, off: uint32(off), oldW: old, newW: new, req: req}
-	n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	if i.rel {
+		msg.rel = true
+		msg.rgen, msg.rseq = m.relSend.Next()
+		po.relFrame = msg.encode()
+		po.relDst = i.node
+		po.relCat = i.cat
+		po.relBase = m.attemptBase(2)
+		n.SendFrame(p, i.node, Proto, i.cat, po.relFrame)
+	} else {
+		n.SendFrame(p, i.node, Proto, i.cat, msg.encode())
+	}
 	m.opIssued(OpCAS, po.start)
 	ro := &ReadOp{m: m, req: req, po: po}
 	if err := ro.Wait(p, timeout); err != nil {
@@ -239,6 +415,14 @@ func (m *Manager) handle(p *des.Proc, src int, frame []byte) {
 		n.Faults = append(n.Faults, fmt.Errorf("rmem: node %d: %w", n.ID, err))
 		return
 	}
+	if msg.rel {
+		switch msg.kind {
+		case kindWrite, kindRead, kindCAS:
+			if !m.admitReliable(p, src, msg) {
+				return
+			}
+		}
+	}
 	switch msg.kind {
 	case kindWrite:
 		m.handleWrite(p, src, msg)
@@ -250,9 +434,81 @@ func (m *Manager) handle(p *des.Proc, src int, frame []byte) {
 		m.handleReadReply(p, msg)
 	case kindCASReply:
 		m.handleCASReply(p, msg)
+	case kindWriteAck:
+		m.handleWriteAck(msg)
 	case kindNack:
+		if msg.rel {
+			// A reliable WRITE's NACK: deliver the error to the waiting
+			// writer instead of the fault log.
+			if aw, ok := m.pendingAcks[msg.rseq]; ok {
+				delete(m.pendingAcks, msg.rseq)
+				aw.err = nackErr(msg.code)
+				aw.done = true
+				aw.q.WakeAll()
+			}
+			return
+		}
 		m.WriteFaults = append(m.WriteFaults, fmt.Errorf("rmem: write to node %d seg %d+%d: %w", src, msg.seg, msg.off, nackErr(msg.code)))
 	}
+}
+
+// admitReliable runs the at-most-once gate on an arriving reliable
+// request. Fresh requests pass through to their handler; duplicates are
+// re-acked (WRITE) or answered from the reply cache (READ/CAS) without
+// re-execution; stale-generation frames are dropped.
+func (m *Manager) admitReliable(p *des.Proc, src int, msg *wireMsg) bool {
+	switch m.relDedup.Accept(src, msg.rgen, msg.rseq) {
+	case reliable.Fresh:
+		return true
+	case reliable.Stale:
+		m.relCount("reliable.stale.dropped")
+		return false
+	}
+	m.relCount("reliable.dup.dropped")
+	switch msg.kind {
+	case kindWrite:
+		// The data was already applied (or the original frame is about to
+		// arrive and this is a reorder ghost — then the ack matches anyway
+		// because the identity is the same). Ack again: the first ack may
+		// have been the casualty.
+		m.sendWriteAck(p, src, msg)
+	case kindRead, kindCAS:
+		if rep, ok := m.relDedup.Reply(src, msg.rseq); ok {
+			m.relCount("reliable.replay.replies")
+			m.Node.SendFrame(p, src, Proto, cluster.CatReply, rep)
+		} else if msg.kind == kindRead {
+			// READ is idempotent: a reply evicted from the cache can be
+			// recomputed safely.
+			return true
+		} else {
+			// A CAS whose reply fell out of the cache must not re-execute;
+			// dropping it leaves the requester to time out, preserving
+			// at-most-once.
+			m.relCount("reliable.replay.miss")
+		}
+	}
+	return false
+}
+
+// sendWriteAck acknowledges a reliable WRITE by echoing its identity.
+func (m *Manager) sendWriteAck(p *des.Proc, dst int, msg *wireMsg) {
+	rep := &wireMsg{kind: kindWriteAck, rel: true, rgen: msg.rgen, rseq: msg.rseq}
+	m.Node.SendFrame(p, dst, Proto, cluster.CatReply, rep.encode())
+}
+
+// handleWriteAck completes a pending reliable WRITE. Acks from a previous
+// sender incarnation (stale generation) are ignored.
+func (m *Manager) handleWriteAck(msg *wireMsg) {
+	if msg.rgen != m.relSend.Generation() {
+		return
+	}
+	aw, ok := m.pendingAcks[msg.rseq]
+	if !ok {
+		return // duplicate ack, or the writer already gave up
+	}
+	delete(m.pendingAcks, msg.rseq)
+	aw.done = true
+	aw.q.WakeAll()
 }
 
 // validate checks an incoming request against the descriptor tables.
@@ -277,7 +533,8 @@ func (m *Manager) validate(src int, msg *wireMsg, need Rights, count int) (*Segm
 }
 
 func (m *Manager) nack(p *des.Proc, dst int, msg *wireMsg, err error) {
-	rep := &wireMsg{kind: kindNack, seg: msg.seg, gen: msg.gen, off: msg.off, code: errNack(err)}
+	rep := &wireMsg{kind: kindNack, seg: msg.seg, gen: msg.gen, off: msg.off, code: errNack(err),
+		rel: msg.rel, rgen: msg.rgen, rseq: msg.rseq}
 	m.Node.SendFrame(p, dst, Proto, cluster.CatReply, rep.encode())
 }
 
@@ -299,6 +556,9 @@ func (m *Manager) handleWrite(p *des.Proc, src int, msg *wireMsg) {
 	}
 	s.RemoteWrites++
 	m.maybeNotify(p, s, src, OpWrite, int(msg.off), len(msg.data), msg.notify)
+	if msg.rel {
+		m.sendWriteAck(p, src, msg)
+	}
 }
 
 func (m *Manager) handleRead(p *des.Proc, src int, msg *wireMsg) {
@@ -306,7 +566,11 @@ func (m *Manager) handleRead(p *des.Proc, src int, msg *wireMsg) {
 	s, err := m.validate(src, msg, RightRead, int(msg.count))
 	if err != nil {
 		rep := &wireMsg{kind: kindReadReply, req: msg.req, status: errNack(err)}
-		n.SendFrame(p, src, Proto, cluster.CatReply, rep.encode())
+		enc := rep.encode()
+		if msg.rel {
+			m.relDedup.SaveReply(src, msg.rseq, enc)
+		}
+		n.SendFrame(p, src, Proto, cluster.CatReply, enc)
 		return
 	}
 	// Fetch through the translation tables and format the reply. The
@@ -317,7 +581,11 @@ func (m *Manager) handleRead(p *des.Proc, src int, msg *wireMsg) {
 	data := s.buf[msg.off : int(msg.off)+int(msg.count)]
 	s.RemoteReads++
 	rep := &wireMsg{kind: kindReadReply, req: msg.req, data: data}
-	n.SendFrameEx(p, src, Proto, cluster.CatReply, rep.encode(), n.P.ReadFetchPerCell)
+	enc := rep.encode()
+	if msg.rel {
+		m.relDedup.SaveReply(src, msg.rseq, enc)
+	}
+	n.SendFrameEx(p, src, Proto, cluster.CatReply, enc, n.P.ReadFetchPerCell)
 	m.maybeNotify(p, s, src, OpRead, int(msg.off), int(msg.count), msg.notify)
 }
 
@@ -326,7 +594,11 @@ func (m *Manager) handleCAS(p *des.Proc, src int, msg *wireMsg) {
 	s, err := m.validate(src, msg, RightCAS, 4)
 	if err != nil {
 		rep := &wireMsg{kind: kindCASReply, req: msg.req, status: errNack(err)}
-		n.SendFrame(p, src, Proto, cluster.CatReply, rep.encode())
+		enc := rep.encode()
+		if msg.rel {
+			m.relDedup.SaveReply(src, msg.rseq, enc)
+		}
+		n.SendFrame(p, src, Proto, cluster.CatReply, enc)
 		return
 	}
 	n.UseCPU(p, cluster.CatReply, n.P.CASExec)
@@ -337,7 +609,13 @@ func (m *Manager) handleCAS(p *des.Proc, src int, msg *wireMsg) {
 	}
 	s.RemoteCAS++
 	rep := &wireMsg{kind: kindCASReply, req: msg.req, success: success}
-	n.SendFrame(p, src, Proto, cluster.CatReply, rep.encode())
+	enc := rep.encode()
+	if msg.rel {
+		// At-most-once hinges on this cache: a retransmitted CAS replays
+		// the recorded outcome instead of swapping twice.
+		m.relDedup.SaveReply(src, msg.rseq, enc)
+	}
+	n.SendFrame(p, src, Proto, cluster.CatReply, enc)
 	m.maybeNotify(p, s, src, OpCAS, int(msg.off), 4, msg.notify)
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"netmem/internal/cluster"
 	"netmem/internal/des"
+	"netmem/internal/reliable"
 )
 
 // Proto is the cluster protocol id for remote-memory traffic.
@@ -243,6 +244,23 @@ type Manager struct {
 
 	// track is this node's trace track for meta-instruction spans.
 	track string
+
+	// Reliability layer (§3.7, opt-in per import). relSend allocates
+	// outgoing (generation, sequence) identities; relDedup enforces
+	// at-most-once on arriving reliable requests; pendingAcks tracks
+	// reliable WRITEs awaiting their WRACK.
+	relCfg      reliable.Config
+	relSend     *reliable.Sender
+	relDedup    *reliable.Dedup
+	pendingAcks map[uint32]*ackWait
+	relDefault  bool
+}
+
+// ackWait is an outstanding reliable WRITE awaiting acknowledgement.
+type ackWait struct {
+	done bool
+	err  error
+	q    *des.WaitQueue
 }
 
 // NewManager creates the kernel component on a node and registers its
@@ -254,6 +272,14 @@ func NewManager(node *cluster.Node) *Manager {
 		nextSeg: 1,
 		pending: make(map[uint32]*pendingOp),
 		track:   fmt.Sprintf("node%d.rmem", node.ID),
+		relCfg: reliable.Config{
+			Timeout:    node.P.RetryTimeout,
+			MaxBackoff: node.P.RetryBackoffMax,
+			MaxRetries: node.P.RetryLimit,
+		},
+		relSend:     reliable.NewSender(),
+		relDedup:    reliable.NewDedup(),
+		pendingAcks: make(map[uint32]*ackWait),
 	}
 	node.RegisterProtoEx(Proto, m.handle, func(first []byte) des.Duration {
 		if len(first) == 0 {
@@ -335,12 +361,36 @@ func (m *Manager) Lookup(id uint16) (*Segment, bool) {
 	return s, ok
 }
 
+// SetReliableDefault makes imports installed after this call reliable (or
+// not) by default; individual imports can still override with
+// Import.SetReliable. Services opt whole managers in through their own
+// options (dfs.WithReliable, nameserver.Config.Reliable, …).
+func (m *Manager) SetReliableDefault(v bool) { m.relDefault = v }
+
+// SetRetryPolicy overrides the manager's retry policy (defaults come from
+// the model's RetryTimeout/RetryBackoffMax/RetryLimit).
+func (m *Manager) SetRetryPolicy(cfg reliable.Config) { m.relCfg = cfg }
+
+// BumpGeneration starts a new sender incarnation, as after a crash and
+// restart: receivers discard any of the previous incarnation's frames
+// still in flight, and outstanding ack waits are abandoned. netmem binds
+// this to a fault campaign's node-recovery events.
+func (m *Manager) BumpGeneration() {
+	m.relSend.Bump()
+	for seq, aw := range m.pendingAcks {
+		delete(m.pendingAcks, seq)
+		aw.err = ErrTimeout
+		aw.done = true
+		aw.q.WakeAll()
+	}
+}
+
 // Import installs a descriptor for a remote segment into the local kernel
 // tables and returns the handle used to issue meta-instructions. The
 // (node, id, gen, size) tuple normally comes from the name service.
 func (m *Manager) Import(p *des.Proc, node int, id, gen uint16, size int) *Import {
 	m.Node.UseCPU(p, cluster.CatClient, m.Node.P.ImportInstall)
-	return &Import{m: m, node: node, segID: id, gen: gen, size: size, cat: cluster.CatClient}
+	return &Import{m: m, node: node, segID: id, gen: gen, size: size, cat: cluster.CatClient, rel: m.relDefault}
 }
 
 // Import is an installed descriptor for a remote segment: the "descriptor
@@ -354,7 +404,20 @@ type Import struct {
 	stale bool
 	swap  bool   // byte-order conversion on transfers (§3.6)
 	cat   string // CPU accounting category for operations on this import
+	rel   bool   // route operations through the reliability layer
 }
+
+// SetReliable routes this descriptor's operations through the reliability
+// layer (§3.7): WRITEs block until acknowledged and retransmit on timeout,
+// READ/CAS retransmit their requests, and the remote kernel applies each
+// request at most once. Reliable small WRITEs grow from one cell to two
+// (the 6-byte identity displaces payload past the 32-byte register cap's
+// cell budget) — the price of an ack'd write. Unreliable imports are
+// byte-for-byte identical to the calibrated model.
+func (i *Import) SetReliable(v bool) { i.rel = v }
+
+// Reliable reports whether operations use the reliability layer.
+func (i *Import) Reliable() bool { return i.rel }
 
 // SetByteOrderSwap marks this descriptor as crossing a byte-order
 // boundary: writes are swapped word-wise as they deposit remotely, and
@@ -401,8 +464,15 @@ type pendingOp struct {
 	swap    bool
 	done    bool
 	err     error
-	success bool // CAS result
+	success bool     // CAS result
 	start   des.Time // issue time at the requester (latency metrics)
 	at      des.Time
 	q       *des.WaitQueue
+
+	// Reliability: the encoded request frame and routing info kept for
+	// retransmission (nil frame = unreliable, no retries).
+	relFrame []byte
+	relDst   int
+	relCat   string
+	relBase  des.Duration // size-scaled per-attempt timeout base
 }

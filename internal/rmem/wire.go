@@ -11,12 +11,20 @@ import (
 // pending-op table remembers where results go — this keeps a small READ's
 // reply inside a single cell, as on the paper's hardware.
 //
-//	WRITE   k|f  seg(2) gen(2) off(4) notifyCount? data…
-//	READ    k|f  sseg(2) sgen(2) soff(4) count(4) req(4)
+// Requests sent through the reliability layer additionally carry a 6-byte
+// (generation, sequence) identity right after the kind byte, marked by the
+// flagRel bit; the identity travels back on NACKs and on the WRACK message
+// so the sender can match them to its pending table. Unreliable traffic
+// carries no extra bytes, keeping the calibrated single-cell formats
+// intact.
+//
+//	WRITE   k|f  [rgen(2) rseq(4)]  seg(2) gen(2) off(4) data…
+//	READ    k|f  [rgen(2) rseq(4)]  sseg(2) sgen(2) soff(4) count(4) req(4)
 //	RDREPLY k    req(4) status(1) data…
-//	CAS     k|f  seg(2) gen(2) off(4) old(4) new(4) req(4)
+//	CAS     k|f  [rgen(2) rseq(4)]  seg(2) gen(2) off(4) old(4) new(4) req(4)
 //	CASREP  k    req(4) status(1) success(1)
-//	NACK    k    seg(2) gen(2) off(4) code(1)        (for WRITEs)
+//	NACK    k|f  [rgen(2) rseq(4)]  seg(2) gen(2) off(4) code(1)   (for WRITEs)
+//	WRACK   k    rgen(2) rseq(4)                   (ack of a reliable WRITE)
 const (
 	kindWrite byte = iota + 1
 	kindRead
@@ -24,6 +32,7 @@ const (
 	kindCAS
 	kindCASReply
 	kindNack
+	kindWriteAck
 )
 
 const flagNotify byte = 0x80
@@ -33,12 +42,22 @@ const flagNotify byte = 0x80
 // each incoming request to decide whether to swap or not").
 const flagSwap byte = 0x40
 
+// flagRel marks a request carrying the reliability layer's (generation,
+// sequence) identity.
+const flagRel byte = 0x20
+
 const kindMask byte = 0x0f
 
 type wireMsg struct {
 	kind   byte
 	notify bool
 	swap   bool
+
+	// Reliability identity (flagRel): present on reliable requests and
+	// echoed on their NACKs; WRACK always carries it.
+	rel  bool
+	rgen uint16
+	rseq uint32
 
 	seg, gen uint16
 	off      uint32
@@ -63,7 +82,14 @@ func (m *wireMsg) encode() []byte {
 	if m.swap {
 		k |= flagSwap
 	}
+	if m.rel {
+		k |= flagRel
+	}
 	b := []byte{k}
+	if m.rel {
+		b = put16(b, m.rgen)
+		b = put32(b, m.rseq)
+	}
 	switch m.kind {
 	case kindWrite:
 		b = put16(b, m.seg)
@@ -100,6 +126,8 @@ func (m *wireMsg) encode() []byte {
 		b = put16(b, m.gen)
 		b = put32(b, m.off)
 		b = append(b, m.code)
+	case kindWriteAck:
+		// Identity already emitted by the rel prefix (acks set rel).
 	default:
 		panic("rmem: encode of unknown message kind")
 	}
@@ -145,8 +173,11 @@ func decode(frame []byte) (*wireMsg, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("rmem: empty message")
 	}
-	m := &wireMsg{kind: frame[0] & kindMask, notify: frame[0]&flagNotify != 0, swap: frame[0]&flagSwap != 0}
+	m := &wireMsg{kind: frame[0] & kindMask, notify: frame[0]&flagNotify != 0, swap: frame[0]&flagSwap != 0, rel: frame[0]&flagRel != 0}
 	r := &wireReader{b: frame[1:]}
+	if m.rel {
+		m.rgen, m.rseq = r.u16(), r.u32()
+	}
 	switch m.kind {
 	case kindWrite:
 		m.seg, m.gen, m.off = r.u16(), r.u16(), r.u32()
@@ -166,6 +197,10 @@ func decode(frame []byte) (*wireMsg, error) {
 	case kindNack:
 		m.seg, m.gen, m.off = r.u16(), r.u16(), r.u32()
 		m.code = r.u8()
+	case kindWriteAck:
+		if !m.rel {
+			return nil, fmt.Errorf("rmem: WRACK without reliability identity")
+		}
 	default:
 		return nil, fmt.Errorf("rmem: unknown message kind %d", m.kind)
 	}

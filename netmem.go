@@ -42,6 +42,7 @@ import (
 	"netmem/internal/cluster"
 	"netmem/internal/des"
 	"netmem/internal/dfs"
+	"netmem/internal/faults"
 	"netmem/internal/hybrid"
 	"netmem/internal/lrpc"
 	"netmem/internal/model"
@@ -73,7 +74,35 @@ type (
 	// Params is the calibrated hardware/software cost model.
 	Params = model.Params
 	// Fault configures cell-loss injection.
+	//
+	// Deprecated: use FaultCampaign with WithFaults, which is seeded and
+	// reproducible.
 	Fault = atm.Fault
+)
+
+// Fault injection and reliability (§3.7).
+type (
+	// FaultCampaign is a deterministic, seeded fault schedule: per-link
+	// cell loss/corruption/duplication/reordering rates, link-outage
+	// windows, FIFO-overflow drops, and node crash/restart events, all
+	// keyed to virtual time so identical seeds replay identically.
+	FaultCampaign = faults.Campaign
+	// LinkFault is one link's misbehaviour within a campaign.
+	LinkFault = faults.LinkFault
+	// LinkFlap is a scheduled link-outage window.
+	LinkFlap = faults.Flap
+	// NodeCrash schedules a node failure and optional restart.
+	NodeCrash = faults.Crash
+	// FaultEngine executes a campaign; read it back via System.Faults.
+	FaultEngine = faults.Engine
+)
+
+var (
+	// NamedCampaign looks up a predefined chaos campaign ("loss1",
+	// "mixed", "flap", …) by name.
+	NamedCampaign = faults.Named
+	// CampaignNames lists the predefined chaos campaigns.
+	CampaignNames = faults.CampaignNames
 )
 
 // Remote memory model (the paper's contribution).
@@ -225,6 +254,9 @@ type System struct {
 	Mem []*Manager
 	// Names holds the name-service clerks when WithNameService is given.
 	Names []*NameClerk
+	// Faults is the campaign engine when WithFaults is given (nil
+	// otherwise; all its methods are nil-safe).
+	Faults *FaultEngine
 }
 
 // Option configures New.
@@ -235,6 +267,8 @@ type sysOptions struct {
 	clusterOpts []cluster.Option
 	nameCfg     *NameConfig
 	trace       *TraceConfig
+	campaign    *FaultCampaign
+	reliable    bool
 }
 
 // WithParams overrides the cost model.
@@ -248,8 +282,28 @@ func WithSwitch() Option {
 }
 
 // WithFault injects cell loss on direct links.
+//
+// Deprecated: use WithFaults, whose campaigns are seeded, cover every
+// fault class, and replay identically run to run.
 func WithFault(f *Fault) Option {
 	return func(o *sysOptions) { o.clusterOpts = append(o.clusterOpts, cluster.WithFault(f)) }
+}
+
+// WithFaults runs the system under a fault campaign: every link consults
+// the campaign engine per cell, and scheduled crashes/restarts fire
+// against the nodes. The engine is exposed as System.Faults; a restarted
+// node's reliability generation is bumped automatically so its frames are
+// never mistaken for its predecessor's.
+func WithFaults(camp FaultCampaign) Option {
+	return func(o *sysOptions) { o.campaign = &camp }
+}
+
+// WithReliability makes every import created through the system's
+// managers reliable by default: sequence-numbered at-most-once delivery
+// with retransmission on timeout (§3.7). Individual imports can still opt
+// out with SetReliable(false).
+func WithReliability() Option {
+	return func(o *sysOptions) { o.reliable = true }
 }
 
 // WithNameService boots a name clerk on every node.
@@ -280,10 +334,22 @@ func New(n int, opts ...Option) *System {
 	if o.trace != nil {
 		env.SetTracer(obs.New(*o.trace))
 	}
+	var eng *faults.Engine
+	if o.campaign != nil {
+		eng = faults.NewEngine(env, *o.campaign)
+		o.clusterOpts = append(o.clusterOpts, cluster.WithFaultEngine(eng))
+	}
 	cl := cluster.New(env, params, n, o.clusterOpts...)
-	sys := &System{Env: env, Cluster: cl}
+	sys := &System{Env: env, Cluster: cl, Faults: eng}
 	for _, node := range cl.Nodes {
-		sys.Mem = append(sys.Mem, rmem.NewManager(node))
+		m := rmem.NewManager(node)
+		if o.reliable {
+			m.SetReliableDefault(true)
+		}
+		// A node restarted by the campaign is a new incarnation: its
+		// reliable frames must not look like its predecessor's.
+		eng.OnRecover(node.ID, m.BumpGeneration)
+		sys.Mem = append(sys.Mem, m)
 	}
 	if o.nameCfg != nil {
 		peers := make([]int, n)
@@ -329,6 +395,11 @@ var (
 	WithEagerAttrs = dfs.WithEagerAttrs
 	// WithCallTimeout bounds one clerk request-channel exchange.
 	WithCallTimeout = dfs.WithCallTimeout
+	// WithReliable routes all clerk→server transfers through the
+	// reliability layer (§3.7).
+	WithReliable = dfs.WithReliable
+	// WithReliableReplies does the same for the server's outbound writes.
+	WithReliableReplies = dfs.WithReliableReplies
 )
 
 // NewFileServer builds the file service on node; call from a Proc.
