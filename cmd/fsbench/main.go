@@ -283,6 +283,10 @@ func printChaos(res *dfs.ChaosResult, metrics bool) {
 	fmt.Println(t)
 	fmt.Printf("goodput %d/%d ops byte-correct (%.0f%%); retries %d, giveups %d\n",
 		res.Completed, len(res.Ops), res.Goodput()*100, res.Retries, res.Giveups)
+	if res.FailedOver {
+		fmt.Printf("failover: MTTR %s, availability %.2f%% of %s window; %d rebind step(s), %d op(s) replayed\n",
+			stats.Ms(res.MTTR), res.Availability()*100, stats.Ms(res.Window), res.Rebinds, res.Replays)
+	}
 	if len(res.Injected) > 0 {
 		fmt.Print("injected:")
 		for _, kv := range res.Injected {

@@ -11,6 +11,7 @@ import (
 	"netmem/internal/fstore"
 	"netmem/internal/model"
 	"netmem/internal/obs"
+	"netmem/internal/recovery"
 	"netmem/internal/rmem"
 )
 
@@ -62,6 +63,17 @@ type ChaosResult struct {
 	// Metrics is the deterministic metric snapshot of the chaos run —
 	// identical seeds produce byte-identical snapshots.
 	Metrics obs.Snapshot
+
+	// Failover measurements (campaigns with a crash schedule; zero
+	// otherwise). MTTR runs from the last heartbeat that proved the
+	// primary alive to the moment the clerk was rebound to the promoted
+	// standby; Window is the mix's wall-clock, so 1−MTTR/Window is the
+	// measured availability.
+	FailedOver bool
+	MTTR       time.Duration
+	Window     time.Duration
+	Rebinds    int64 // failover steps executed (takeover + rebind)
+	Replays    int64 // ops replayed against the new incarnation
 }
 
 // Goodput is the fraction of the mix that completed byte-correct.
@@ -72,30 +84,53 @@ func (r *ChaosResult) Goodput() float64 {
 	return float64(r.Completed) / float64(len(r.Ops))
 }
 
+// Availability is the fraction of the measured window the service was
+// reachable: 1 − MTTR/Window. 1.0 when no failover occurred.
+func (r *ChaosResult) Availability() float64 {
+	if r.Window <= 0 || r.MTTR <= 0 {
+		return 1
+	}
+	a := 1 - float64(r.MTTR)/float64(r.Window)
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
 // RunChaos measures the Figure 2 mix twice — once fault-free for the
 // baseline, once under the campaign — both with the reliability layer on,
 // and returns the per-op latencies, verification results, and fault/retry
-// tallies.
+// tallies. A campaign with a crash schedule runs on the recovery rig
+// (three nodes: primary, clerk, hot standby) in BOTH legs, so the
+// baseline's topology and background traffic match the measured leg's.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
-	base, _, _, err := runChaosMix(nil, cfg.Seed, cfg.Mode)
+	failover := len(cfg.Campaign.Crashes) > 0
+	base, err := runChaosMix(nil, cfg.Seed, cfg.Mode, failover)
 	if err != nil {
 		return nil, fmt.Errorf("dfs: chaos baseline: %w", err)
 	}
-	ops, tr, eng, err := runChaosMix(&cfg.Campaign, cfg.Seed, cfg.Mode)
+	leg, err := runChaosMix(&cfg.Campaign, cfg.Seed, cfg.Mode, failover)
 	if err != nil {
 		return nil, fmt.Errorf("dfs: chaos run: %w", err)
 	}
 	res := &ChaosResult{
 		Campaign: cfg.Campaign.Name,
-		Seed:     eng.Seed(),
+		Seed:     leg.eng.Seed(),
 		Mode:     cfg.Mode,
-		Injected: eng.Counts(),
-		Metrics:  tr.Snapshot(),
+		Injected: leg.eng.Counts(),
+		Metrics:  leg.tr.Snapshot(),
+		Window:   leg.window,
+		Replays:  leg.rig.replays,
 	}
 	res.Retries = res.Metrics.Counter("reliable.retries")
 	res.Giveups = res.Metrics.Counter("reliable.giveup")
-	for i, op := range ops {
-		op.Baseline = base[i].Chaos
+	if rec := leg.rig.rec; rec != nil && rec.Restored() {
+		res.FailedOver = true
+		res.MTTR = time.Duration(rec.MTTR())
+		res.Rebinds = rec.Rebinds
+	}
+	for i, op := range leg.ops {
+		op.Baseline = base.ops[i].Chaos
 		res.Ops = append(res.Ops, op)
 		if op.OK {
 			res.Completed++
@@ -104,10 +139,20 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	return res, nil
 }
 
+// chaosLeg is one measured leg of a chaos run.
+type chaosLeg struct {
+	ops    []ChaosOpResult
+	tr     *obs.Tracer
+	eng    *faults.Engine
+	rig    *experimentRig
+	window time.Duration
+}
+
 // runChaosMix runs the twelve operations sequentially on one rig. camp ==
 // nil means fault-free (the baseline leg). Latencies land in the Chaos
-// field; RunChaos rewires the baseline leg's into Baseline.
-func runChaosMix(camp *faults.Campaign, seed int64, mode Mode) ([]ChaosOpResult, *obs.Tracer, *faults.Engine, error) {
+// field; RunChaos rewires the baseline leg's into Baseline. failover
+// selects the three-node recovery rig (standby, heartbeat, coordinator).
+func runChaosMix(camp *faults.Campaign, seed int64, mode Mode, failover bool) (*chaosLeg, error) {
 	env := des.NewEnv()
 	if seed != 0 {
 		env.Seed(seed)
@@ -120,24 +165,50 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode Mode) ([]ChaosOpResult,
 		eng = faults.NewEngine(env, *camp)
 		clusterOpts = append(clusterOpts, cluster.WithFaultEngine(eng))
 	}
-	cl := cluster.New(env, &model.Default, 2, clusterOpts...)
+	nodes := 2
+	if failover {
+		nodes = 3
+	}
+	cl := cluster.New(env, &model.Default, nodes, clusterOpts...)
 	ms := rmem.NewManager(cl.Nodes[0])
 	mc := rmem.NewManager(cl.Nodes[1])
+	var msb *rmem.Manager
+	if failover {
+		msb = rmem.NewManager(cl.Nodes[2])
+	}
+	// A recovered node reboots cold: its restarted manager fences every
+	// descriptor issued by the dead incarnation (nil-safe without engine).
+	eng.OnRecover(0, ms.Restart)
 
 	rig := &experimentRig{env: env, cl: cl}
 	var setupErr error
 	env.Spawn("chaos.setup", func(p *des.Proc) {
-		rig.srv = NewServer(p, ms, 2, Geometry{}, WithReliableReplies())
-		rig.clerk = NewClerk(p, mc, rig.srv, mode, WithReliable())
-		setupErr = warmRig(rig)
+		rig.srv = NewServer(p, ms, nodes, Geometry{}, WithReliableReplies())
+		copts := []ClerkOption{WithReliable()}
+		if failover {
+			// Fencing turns a post-restart stall into a typed fast
+			// failure; the call timeout stays at the model-derived default
+			// (the full retry ladder) — a switched rig pays the campaign's
+			// per-link rates on two hops, and an 8K exchange needs the
+			// whole capped-backoff schedule to clear sustained loss.
+			copts = append(copts, WithFencing())
+		}
+		rig.clerk = NewClerk(p, mc, rig.srv, mode, copts...)
+		if setupErr = warmRig(rig); setupErr != nil {
+			return
+		}
+		if failover {
+			wireFailover(p, rig, ms, mc, msb, nodes)
+		}
 	})
 	if err := env.RunUntil(des.Time(200 * time.Millisecond)); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if setupErr != nil {
-		return nil, nil, nil, setupErr
+		return nil, setupErr
 	}
 
+	leg := &chaosLeg{tr: tr, eng: eng, rig: rig}
 	ops := make([]ChaosOpResult, len(Figure2Ops))
 	env.Spawn("chaos.mix", func(p *des.Proc) {
 		// Campaign flap and crash schedules are keyed to virtual time;
@@ -146,14 +217,67 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode Mode) ([]ChaosOpResult,
 		if at := des.Time(200 * time.Millisecond); p.Now() < at {
 			p.Sleep(time.Duration(at.Sub(p.Now())))
 		}
+		start := p.Now()
 		for i, spec := range Figure2Ops {
 			ops[i] = rig.runVerifiedOp(p, spec)
+			// A failed op either died in the outage window or exhausted its
+			// retransmission budget against ongoing link faults (a switched
+			// rig pays the campaign's per-link rates on two hops). Park
+			// until the coordinator finishes any failover in progress, then
+			// replay a bounded number of times — the reliability layer's
+			// dedup window makes replays idempotent even if an earlier
+			// attempt half-landed.
+			for tries := 0; !ops[i].OK && rig.rec != nil && tries < 3; tries++ {
+				if err := rig.rec.AwaitRestored(p, time.Second); err != nil {
+					break
+				}
+				rig.replays++
+				ops[i] = rig.runVerifiedOp(p, spec)
+			}
 		}
+		leg.window = time.Duration(p.Now().Sub(start))
 	})
-	if err := env.RunUntil(des.Time(120 * time.Second)); err != nil {
-		return nil, nil, nil, err
+	// The recovery rig's daemons (heartbeat, watchdog, mirror) never idle,
+	// so its horizon must be finite; the plain rig keeps the long horizon
+	// and returns as soon as its event queue drains.
+	horizon := des.Time(120 * time.Second)
+	if failover {
+		horizon = des.Time(3 * time.Second)
 	}
-	return ops, tr, eng, nil
+	if err := env.RunUntil(horizon); err != nil {
+		return nil, err
+	}
+	leg.ops = ops
+	return leg, nil
+}
+
+// wireFailover arms the recovery rig: a hot standby mirroring the
+// primary's write-behind state, a heartbeat on the primary for the clerk's
+// coordinator to watch, and the two failover steps — standby takeover,
+// then clerk rebind.
+func wireFailover(p *des.Proc, rig *experimentRig, ms, mc, msb *rmem.Manager, nodes int) {
+	rig.standby = NewStandby(p, msb, rig.srv.Geo)
+	rig.srv.AttachStandby(p, rig.standby, 100*time.Microsecond)
+
+	hb := ms.Export(p, 8)
+	hb.SetDefaultRights(rmem.RightRead)
+	rmem.StartHeartbeat(ms, hb, 0, 100*time.Microsecond)
+	hbImp := mc.Import(p, 0, hb.ID(), hb.Gen(), 8)
+
+	rig.rec = recovery.New(mc, 0, recovery.Config{})
+	rig.rec.OnFailover("standby.takeover", func(p *des.Proc) error {
+		srv, err := rig.standby.TakeOver(p, rig.srv.Store, nodes, WithReliableReplies())
+		if err != nil {
+			return err
+		}
+		rig.srv = srv
+		return nil
+	})
+	rig.rec.OnFailover("clerk.rebind", func(p *des.Proc) error {
+		rig.clerk.Rebind(p, rig.srv)
+		return nil
+	})
+	rig.rec.Watch(hbImp, 0)
 }
 
 // warmRig populates the store and warms the server cache exactly as the
@@ -286,7 +410,14 @@ func (r *experimentRig) runVerifiedOp(p *des.Proc, spec OpSpec) ChaosOpResult {
 			return fail(err)
 		}
 		if c.Mode == DX {
+			// Bounded: a crash between the deposit and this observation
+			// swaps r.srv for the promoted standby, whose counter may
+			// never match — fail the op and let the replay path settle it.
+			deadline := p.Now().Add(c.callTimeout())
 			for r.srv.data.RemoteWrites == before {
+				if p.Now() > deadline {
+					return fail(fmt.Errorf("write deposit not observed"))
+				}
 				p.Sleep(2 * time.Microsecond)
 			}
 		}

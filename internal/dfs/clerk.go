@@ -62,8 +62,15 @@ type Clerk struct {
 	// making subsequent writes a single remote write.
 	owned map[blockKey]bool
 
-	// CallTimeout bounds one request-channel exchange (default 10s).
+	// CallTimeout bounds one request-channel exchange. Zero (the default)
+	// does not mean wait-forever: callTimeout derives a bound from the
+	// model's retry policy, so a crashed server can never hang a clerk.
 	CallTimeout time.Duration
+
+	// rel/fenced record the wiring options so a Rebind after failover
+	// re-imports the new server incarnation's areas identically.
+	rel    bool
+	fenced bool
 
 	// Observability: trace track and metric-name prefix, fixed at
 	// construction ("node1.clerk", "dfs.dx.").
@@ -83,6 +90,7 @@ type Clerk struct {
 	Misses       int64 // control transfers to the server procedure
 	PushHits     int64 // attributes found on the eager-update board
 	PrefetchHits int64 // blocks served from a completed read-ahead
+	Rebinds      int64 // re-wirings to a new server incarnation
 }
 
 type lookupHit struct {
@@ -108,31 +116,16 @@ func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode, opts ...Cler
 		opt(&o)
 	}
 	c := &Clerk{
-		m:           m,
-		Mode:        mode,
-		server:      srv.Node().ID,
-		geo:         srv.Geo,
-		CallTimeout: 10 * time.Second,
-		obsTrack:    fmt.Sprintf("node%d.clerk", m.Node.ID),
-		obsPrefix:   "dfs." + strings.ToLower(mode.String()) + ".",
+		m:         m,
+		Mode:      mode,
+		server:    srv.Node().ID,
+		geo:       srv.Geo,
+		obsTrack:  fmt.Sprintf("node%d.clerk", m.Node.ID),
+		obsPrefix: "dfs." + strings.ToLower(mode.String()) + ".",
 	}
-	areas := srv.Areas()
-	imp := func(a [3]int) *rmem.Import {
-		return m.Import(p, c.server, uint16(a[0]), uint16(a[1]), a[2])
-	}
-	c.attr, c.name, c.link = imp(areas[0]), imp(areas[1]), imp(areas[2])
-	c.data, c.dir, c.token = imp(areas[3]), imp(areas[4]), imp(areas[5])
-	c.scratch = m.Export(p, dataStride+recHdr)
-	id, gen, size := srv.ReqChannel()
-	c.hcli = hybrid.NewClient(p, m, c.server, id, gen, size, reqSlotCap, fstore.BlockSize+256)
-	if o.reliable {
-		for _, area := range []*rmem.Import{c.attr, c.name, c.link, c.data, c.dir, c.token} {
-			area.SetReliable(true)
-		}
-		c.hcli.SetReliable(true)
-	}
-	cid, cgen, csize := c.hcli.RepSeg()
-	srv.AttachClerk(p, m.Node.ID, cid, cgen, csize)
+	c.rel = o.reliable
+	c.fenced = o.fenced
+	c.wireAreas(p, srv)
 	c.FlushLocal()
 	if o.callTimeout > 0 {
 		c.CallTimeout = o.callTimeout
@@ -144,6 +137,76 @@ func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode, opts ...Cler
 		c.EnableEagerAttrs(p, srv)
 	}
 	return c
+}
+
+// wireAreas installs the clerk's descriptors against srv: the six cache
+// areas, the Hybrid-1 request channel, and the reply-segment handshake.
+// Called at construction and again by Rebind after a failover.
+func (c *Clerk) wireAreas(p *des.Proc, srv *Server) {
+	m := c.m
+	areas := srv.Areas()
+	epoch := srv.Epoch()
+	imp := func(a [3]int) *rmem.Import {
+		i := m.Import(p, c.server, uint16(a[0]), uint16(a[1]), a[2])
+		if c.rel {
+			i.SetReliable(true)
+		}
+		if c.fenced {
+			i.SetFence(true)
+			i.SetEpoch(epoch)
+		}
+		return i
+	}
+	c.attr, c.name, c.link = imp(areas[0]), imp(areas[1]), imp(areas[2])
+	c.data, c.dir, c.token = imp(areas[3]), imp(areas[4]), imp(areas[5])
+	if c.scratch == nil {
+		c.scratch = m.Export(p, dataStride+recHdr)
+	}
+	id, gen, size := srv.ReqChannel()
+	c.hcli = hybrid.NewClient(p, m, c.server, id, gen, size, reqSlotCap, fstore.BlockSize+256)
+	if c.rel {
+		c.hcli.SetReliable(true)
+	}
+	if c.fenced {
+		c.hcli.SetFence(true, epoch)
+	}
+	cid, cgen, csize := c.hcli.RepSeg()
+	srv.AttachClerk(p, m.Node.ID, cid, cgen, csize)
+}
+
+// Rebind re-wires the clerk to a new server incarnation after a failover:
+// fresh imports of the standby's re-exported cache areas (new descriptor
+// ids, generations, and epoch), a fresh Hybrid-1 channel, and reset block
+// ownership — the new incarnation's data cache holds only the mirrored
+// dirty blocks, so ownership must be re-established per bucket. Local
+// caches survive: their contents were read coherently and remain valid.
+// Eager-attribute subscriptions and an in-flight prefetch do not carry
+// over; re-enable them against the new server if wanted.
+func (c *Clerk) Rebind(p *des.Proc, srv *Server) {
+	c.server = srv.Node().ID
+	c.geo = srv.Geo
+	c.pf = nil
+	c.push = nil
+	c.wireAreas(p, srv)
+	c.owned = make(map[blockKey]bool)
+	c.Rebinds++
+	if tr := c.m.Node.Env.Tracer(); tr != nil {
+		tr.Count("dfs.clerk.rebinds", 1)
+	}
+}
+
+// callTimeout bounds one remote exchange. A zero CallTimeout used to mean
+// wait-forever — a crashed server would wedge the clerk permanently in the
+// Hybrid-1 spin wait — so zero now derives a bound from the model's retry
+// policy: enough for a reliable sender to run its whole schedule (base
+// model.RetryTimeout doubling up to RetryBackoffMax, RetryLimit times)
+// before the clerk gives up.
+func (c *Clerk) callTimeout() time.Duration {
+	if c.CallTimeout > 0 {
+		return c.CallTimeout
+	}
+	pp := c.m.Node.P
+	return time.Duration(pp.RetryLimit+1) * pp.RetryBackoffMax
 }
 
 // FlushLocal drops the clerk's client-side caches (between experiment
@@ -162,7 +225,7 @@ func (c *Clerk) FlushLocal() {
 // DX misses and mutations).
 func (c *Clerk) call(p *des.Proc, req *request) ([]byte, error) {
 	c.Misses++
-	rep, err := c.hcli.Call(p, req.encode(), c.CallTimeout)
+	rep, err := c.hcli.Call(p, req.encode(), c.callTimeout())
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +236,7 @@ func (c *Clerk) call(p *des.Proc, req *request) ([]byte, error) {
 // into the clerk's scratch segment, and returns the bytes.
 func (c *Clerk) probe(p *des.Proc, area *rmem.Import, off, n int) ([]byte, error) {
 	c.RemoteReads++
-	if err := area.Read(p, off, n, c.scratch, 0, c.CallTimeout); err != nil {
+	if err := area.Read(p, off, n, c.scratch, 0, c.callTimeout()); err != nil {
 		return nil, err
 	}
 	return c.scratch.Bytes()[:n], nil
@@ -684,7 +747,7 @@ func (c *Clerk) AcquireToken(p *des.Proc, h fstore.Handle, block int64) error {
 	off := c.geo.dataBucket(h, block) * tokenStride
 	me := uint32(c.m.Node.ID + 1)
 	for {
-		ok, err := c.token.CAS(p, off, 0, me, c.scratch, 0, 10*time.Second)
+		ok, err := c.token.CAS(p, off, 0, me, c.scratch, 0, c.callTimeout())
 		if err != nil {
 			return err
 		}
@@ -699,7 +762,7 @@ func (c *Clerk) AcquireToken(p *des.Proc, h fstore.Handle, block int64) error {
 func (c *Clerk) ReleaseToken(p *des.Proc, h fstore.Handle, block int64) error {
 	off := c.geo.dataBucket(h, block) * tokenStride
 	me := uint32(c.m.Node.ID + 1)
-	ok, err := c.token.CAS(p, off, me, 0, c.scratch, 0, 10*time.Second)
+	ok, err := c.token.CAS(p, off, me, 0, c.scratch, 0, c.callTimeout())
 	if err != nil {
 		return err
 	}

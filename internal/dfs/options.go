@@ -36,6 +36,7 @@ type clerkOptions struct {
 	readAhead   bool
 	eagerAttrs  bool
 	reliable    bool
+	fenced      bool
 	callTimeout des.Duration
 }
 
@@ -59,7 +60,18 @@ func WithReliable() ClerkOption {
 	return func(o *clerkOptions) { o.reliable = true }
 }
 
-// WithCallTimeout bounds one request-channel exchange (default 10s).
+// WithCallTimeout bounds one request-channel exchange. Unset, the bound
+// derives from the model's retry policy (see Clerk.CallTimeout).
 func WithCallTimeout(d des.Duration) ClerkOption {
 	return func(o *clerkOptions) { o.callTimeout = d }
+}
+
+// WithFencing makes every clerk→server descriptor carry the server's
+// incarnation epoch (the lease). After a server crash and restart, the
+// clerk's operations fail fast with rmem.ErrStaleGeneration — a typed
+// signal to rebind — instead of timing out against recycled descriptors.
+// Costs two bytes on fenced requests, so the calibrated fault-free
+// experiments leave it off.
+func WithFencing() ClerkOption {
+	return func(o *clerkOptions) { o.fenced = true }
 }

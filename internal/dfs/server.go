@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -25,11 +26,15 @@ type Server struct {
 	eager    []*rmem.Import // subscribed eager-update boards (§3.2)
 	reliable bool           // WithReliableReplies: retransmitting outbound writes
 
+	standby *rmem.Import // hot-standby mirror segment (AttachStandby)
+	shadow  []byte       // data-area image as of the last mirror pass
+
 	// Stats.
 	MissCalls   int64        // requests that reached the server procedure
 	OpCounts    map[Op]int64 // per-op server procedure executions
 	Synced      int64        // dirty blocks applied by Sync
 	EagerPushes int64        // attribute records pushed to subscribers
+	Mirrored    int64        // data buckets pushed to the hot standby
 }
 
 // segRights grants clerks direct read/write/CAS access to a cache area.
@@ -111,6 +116,86 @@ func (s *Server) AttachClerk(p *des.Proc, node int, segID, gen uint16, size int)
 
 // Node returns the server's node (for CPU accounting in experiments).
 func (s *Server) Node() *cluster.Node { return s.m.Node }
+
+// Epoch returns the server's incarnation epoch — the lease value fenced
+// clerks (WithFencing) stamp on every descriptor. A restarted server has a
+// higher epoch, so operations against the dead incarnation fail fast with
+// rmem.ErrStaleGeneration.
+func (s *Server) Epoch() uint16 { return s.m.Incarnation() }
+
+// ---------------------------------------------------------------------------
+// Hot-standby mirroring. The only server state that cannot be rebuilt from
+// the file store is write-behind data: dirty blocks that clerks deposited
+// in the data area but Sync has not yet applied. AttachStandby mirrors
+// exactly those buckets to a standby node with plain remote WRITEs — pure
+// data transfer (§3.1): the standby's CPU is never interrupted, it just
+// holds memory. On a primary crash, Standby.TakeOver grafts the mirrored
+// dirty buckets into a fresh incarnation of the service.
+
+// AttachStandby imports the standby's mirror segment, stamps its header,
+// and spawns the mirror daemon pushing changed dirty buckets every
+// interval. Call once, after warm-up, on the primary.
+func (s *Server) AttachStandby(p *des.Proc, sb *Standby, interval des.Duration) {
+	id, gen, size := sb.MirrorSeg()
+	s.standby = s.m.Import(p, sb.Node().ID, id, gen, size)
+	if s.reliable {
+		s.standby.SetReliable(true)
+	}
+	hdr := make([]byte, mirrorHdr)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(s.Geo.AttrBuckets))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(s.Geo.NameBuckets))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(s.Geo.LinkBuckets))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(s.Geo.DataBuckets))
+	binary.BigEndian.PutUint32(hdr[16:], uint32(s.Geo.DirBuckets))
+	binary.BigEndian.PutUint32(hdr[20:], uint32(s.Epoch()))
+	if err := s.standby.WriteBlock(p, 0, hdr, false); err != nil {
+		s.m.WriteFaults = append(s.m.WriteFaults, fmt.Errorf("dfs: mirror header: %w", err))
+	}
+	s.shadow = append([]byte(nil), s.data.Bytes()...)
+	s.m.Node.Env.SpawnDaemon(fmt.Sprintf("dfs.mirror.%d", s.m.Node.ID), func(p *des.Proc) {
+		for {
+			p.Sleep(interval)
+			if s.m.Node.Failed() {
+				return
+			}
+			s.mirrorPass(p)
+		}
+	})
+}
+
+// mirrorPass pushes every data bucket that changed since the last pass and
+// involves dirty state — either it became dirty, or it was dirty and has
+// since been applied (so the standby must not replay a stale block). Clean
+// installs (warm-up, read misses) are reconstructible from the file store
+// and are deliberately not mirrored: the steady-state mirror traffic is
+// proportional to the write-behind window, not the cache size.
+func (s *Server) mirrorPass(p *des.Proc) {
+	buf := s.data.Bytes()
+	for b := 0; b < s.Geo.DataBuckets; b++ {
+		lo := b * dataStride
+		cur := buf[lo : lo+dataStride]
+		old := s.shadow[lo : lo+dataStride]
+		// Flags first: a pass over an all-clean cache touches two words per
+		// bucket and compares no block bytes.
+		curFlag := binary.BigEndian.Uint32(cur)
+		oldFlag := binary.BigEndian.Uint32(old)
+		if curFlag != flagDirty && oldFlag != flagDirty {
+			continue
+		}
+		if bytes.Equal(cur, old) {
+			continue
+		}
+		if err := s.standby.WriteBlock(p, mirrorHdr+lo, cur, false); err != nil {
+			s.m.WriteFaults = append(s.m.WriteFaults, fmt.Errorf("dfs: mirror bucket %d: %w", b, err))
+			return
+		}
+		copy(old, cur)
+		s.Mirrored++
+		if tr := s.m.Node.Env.Tracer(); tr != nil {
+			tr.Count("dfs.mirror.buckets", 1)
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Cache installation. The server fills its exported areas; clerks read

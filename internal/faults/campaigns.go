@@ -25,11 +25,23 @@ var named = map[string]func() Campaign{
 		return Campaign{Name: "reorder2", Default: LinkFault{Reorder: 0.02}}
 	},
 	"mixed": func() Campaign {
+		// Everything at once: a lossy, corrupting, duplicating, reordering
+		// fabric AND the primary dying mid-mix (rebooting cold 28ms later)
+		// — the full §3.7 story in one schedule.
 		return Campaign{Name: "mixed", Default: LinkFault{
 			Loss:      0.005,
 			Corrupt:   0.003,
 			Duplicate: 0.003,
 			Reorder:   0.005,
+		}, Crashes: []Crash{
+			{Node: 0, At: 202 * time.Millisecond, RecoverAt: 230 * time.Millisecond},
+		}}
+	},
+	"crash": func() Campaign {
+		// The primary dies mid-mix and reboots cold 28ms later; links stay
+		// clean, isolating the failover path from link-fault noise.
+		return Campaign{Name: "crash", Crashes: []Crash{
+			{Node: 0, At: 202 * time.Millisecond, RecoverAt: 230 * time.Millisecond},
 		}}
 	},
 	"flap": func() Campaign {

@@ -180,6 +180,15 @@ func (c *Client) RepSeg() (id, gen uint16, size int) {
 // spin wait until the call timeout.
 func (c *Client) SetReliable(v bool) { c.req.SetReliable(v) }
 
+// SetFence makes the client's request writes carry the server's
+// incarnation epoch (the descriptor lease), so a call into a restarted
+// server fails fast with rmem.ErrStaleGeneration instead of spinning to
+// the call timeout against memory that no longer exists.
+func (c *Client) SetFence(v bool, epoch uint16) {
+	c.req.SetFence(v)
+	c.req.SetEpoch(epoch)
+}
+
 // Call performs one Hybrid-1 exchange: write-with-notify the request into
 // our slot on the server, spin wait for the reply write to land, return
 // the reply body.

@@ -49,9 +49,25 @@ func (c *Clerk) Import(p *des.Proc, name string, hint int, force bool) (*rmem.Im
 	}
 	rec := v.(Record)
 	imp := c.m.Import(p, rec.Node, rec.Seg, rec.Gen, rec.Size)
+	// The record's epoch is the lease: fenced descriptors present it on
+	// every request, so a restart on the exporting machine is detected as
+	// ErrStaleGeneration instead of a silent timeout.
+	imp.SetEpoch(rec.Epoch)
 	c.kernelImports[name] = append(c.kernelImports[name], imp)
 	return imp, nil
 }
+
+// FencePeer marks a peer as declared dead (typically by a watchdog
+// verdict): refresh probes against it are suppressed and lookups routed at
+// it fail fast with ErrPeerFenced. UnfencePeer lifts the fence after the
+// peer's new incarnation has been re-imported.
+func (c *Clerk) FencePeer(node int) { c.fenced[node] = true }
+
+// UnfencePeer lifts a peer's fence.
+func (c *Clerk) UnfencePeer(node int) { delete(c.fenced, node) }
+
+// PeerFenced reports whether a peer is currently fenced.
+func (c *Clerk) PeerFenced(node int) bool { return c.fenced[node] }
 
 // Lookup resolves a name to its record without installing a descriptor.
 func (c *Clerk) Lookup(p *des.Proc, name string, hint int, force bool) (Record, error) {
@@ -98,7 +114,8 @@ func (c *Clerk) addName(p *des.Proc, args any) (any, error) {
 	a := args.(addArgs)
 	n := c.m.Node
 	n.UseCPU(p, cluster.CatClient, n.P.HashInsert)
-	rec := Record{Name: a.name, Node: n.ID, Seg: a.seg.ID(), Gen: a.seg.Gen(), Size: a.seg.Size()}
+	rec := Record{Name: a.name, Node: n.ID, Seg: a.seg.ID(), Gen: a.seg.Gen(),
+		Epoch: c.m.Incarnation(), Size: a.seg.Size()}
 	reg := c.registry.Bytes()
 	b := c.hash(a.name)
 	for probe := 0; probe < c.cfg.Buckets; probe++ {
@@ -206,6 +223,9 @@ func (c *Clerk) localLookup(name string) (Record, bool) {
 func (c *Clerk) scratch(peer int) int { return peer * repSlotSize }
 
 func (c *Clerk) remoteLookup(p *des.Proc, name string, hint int) (Record, error) {
+	if c.fenced[hint] {
+		return Record{}, ErrPeerFenced
+	}
 	reg, ok := c.peerReg[hint]
 	if !ok {
 		return Record{}, fmt.Errorf("nameserver: no clerk known on node %d", hint)
@@ -322,7 +342,27 @@ func (c *Clerk) serveControlLookup(p *des.Proc, note rmem.Notification) {
 // RefreshNow re-reads the source record for every cached import and purges
 // entries that are gone or re-exported under a new generation.
 func (c *Clerk) RefreshNow(p *des.Proc) {
+	fencedSeen := make(map[int]bool)
 	for name, rec := range c.cache {
+		if c.fenced[rec.Node] {
+			// A watchdog already ruled the peer dead: probing it again
+			// would only add a timeout (times the retry budget) per cached
+			// name, every refresh period, until the rebind — a storm. Note
+			// the suppression once per peer per pass and move on.
+			c.FencedSkips++
+			if !fencedSeen[rec.Node] {
+				fencedSeen[rec.Node] = true
+				if tr := c.m.Node.Env.Tracer(); tr != nil {
+					tr.Count("ns.peer.fenced", 1)
+					if tr.EventsEnabled() {
+						tr.Instant(fmt.Sprintf("node%d.ns", c.m.Node.ID), "ns",
+							fmt.Sprintf("refresh skipping fenced peer %d", rec.Node),
+						time.Duration(p.Now()))
+					}
+				}
+			}
+			continue
+		}
 		reg, ok := c.peerReg[rec.Node]
 		if !ok {
 			continue

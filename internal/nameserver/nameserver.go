@@ -59,10 +59,13 @@ const MaxName = 20
 // record layout inside the registry (all big-endian):
 //
 //	word 0: flag       (0 = empty, 1 = valid, 2 = tombstone)
-//	word 1: generation (segment generation number)
+//	word 1: epoch(16) | generation(16)  (exporter incarnation | segment generation)
 //	word 2: segID(16) | owner node(16)
 //	word 3: segment size
 //	bytes 16..35: name, NUL-padded
+//
+// The epoch rides in word 1's previously-zero high half, so the record
+// size — and with it Table 3's one-cell lookup calibration — is unchanged.
 //
 // 36 bytes are read remotely per probe; buckets are padded to a 40-byte
 // stride for alignment.
@@ -91,6 +94,10 @@ var (
 	ErrTableFull = errors.New("nameserver: registry full")
 	ErrBadName   = errors.New("nameserver: invalid name")
 	ErrNoHint    = errors.New("nameserver: name not cached and no hint node supplied")
+	// ErrPeerFenced reports a lookup routed at a peer the recovery layer
+	// has declared dead; the caller should wait for a rebind instead of
+	// burning a timeout against a machine known to be down.
+	ErrPeerFenced = errors.New("nameserver: peer is fenced (declared dead)")
 )
 
 // LookupPolicy selects how a clerk resolves a remote probe miss (§4.2's
@@ -134,11 +141,12 @@ func (c *Config) fill() {
 
 // Record is the parsed form of a registry entry.
 type Record struct {
-	Name string
-	Node int
-	Seg  uint16
-	Gen  uint16
-	Size int
+	Name  string
+	Node  int
+	Seg   uint16
+	Gen   uint16
+	Epoch uint16 // exporter incarnation the segment was exported under
+	Size  int
 }
 
 // Clerk is the per-machine name-service agent. It is trusted and
@@ -164,12 +172,18 @@ type Clerk struct {
 	// "from the name cache and from the kernel's tables").
 	kernelImports map[string][]*rmem.Import
 
+	// fenced marks peers the recovery layer has declared dead: the refresh
+	// daemon skips their records and lookups routed at them fail fast with
+	// ErrPeerFenced instead of a timeout storm.
+	fenced map[int]bool
+
 	// Stats.
 	RemoteProbes     int64 // remote reads issued for lookups
 	ControlTransfers int64 // lookups resolved via control transfer
 	CacheHits        int64
 	CacheMisses      int64
 	Purged           int64 // cache entries dropped by refresh
+	FencedSkips      int64 // refresh probes suppressed against fenced peers
 }
 
 // New creates the clerk on m's node, exports its well-known segments, and
@@ -188,6 +202,7 @@ func New(m *rmem.Manager, peers []int, cfg Config) *Clerk {
 		peerRep:       make(map[int]*rmem.Import),
 		cache:         make(map[string]Record),
 		kernelImports: make(map[string][]*rmem.Import),
+		fenced:        make(map[int]bool),
 	}
 	c.srv.Register("ADDNAME", c.addName)
 	c.srv.Register("LOOKUPNAME", c.lookupName)
@@ -258,7 +273,7 @@ func validName(name string) error {
 
 func packRecord(buf []byte, r Record, flag uint32) {
 	binary.BigEndian.PutUint32(buf[0:], flag)
-	binary.BigEndian.PutUint32(buf[4:], uint32(r.Gen))
+	binary.BigEndian.PutUint32(buf[4:], uint32(r.Epoch)<<16|uint32(r.Gen))
 	binary.BigEndian.PutUint32(buf[8:], uint32(r.Seg)<<16|uint32(r.Node)&0xffff)
 	binary.BigEndian.PutUint32(buf[12:], uint32(r.Size))
 	for i := 0; i < MaxName; i++ {
@@ -272,7 +287,9 @@ func packRecord(buf []byte, r Record, flag uint32) {
 
 func parseRecord(buf []byte) (flag uint32, r Record) {
 	flag = binary.BigEndian.Uint32(buf[0:])
-	r.Gen = uint16(binary.BigEndian.Uint32(buf[4:]))
+	gw := binary.BigEndian.Uint32(buf[4:])
+	r.Gen = uint16(gw)
+	r.Epoch = uint16(gw >> 16)
 	loc := binary.BigEndian.Uint32(buf[8:])
 	r.Seg = uint16(loc >> 16)
 	r.Node = int(loc & 0xffff)

@@ -10,6 +10,7 @@ import (
 	"netmem/internal/cluster"
 	"netmem/internal/des"
 	"netmem/internal/model"
+	"netmem/internal/obs"
 	"netmem/internal/rmem"
 )
 
@@ -455,4 +456,55 @@ func TestManyNamesAcrossCluster(t *testing.T) {
 			t.Fatalf("write faults: %v", m.WriteFaults)
 		}
 	}
+}
+
+// A watchdog-fenced peer is skipped by refresh: no probes hit the dead
+// machine (so the refresh daemon does not burn a retry-budget timeout per
+// cached name per period), the cache survives for the eventual rebind, and
+// the suppression is observable as one ns.peer.fenced event per peer per
+// pass. Lifting the fence resumes normal probing.
+func TestRefreshSkipsFencedPeer(t *testing.T) {
+	env, _, clerks := testCluster(t, 2, Config{})
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	runAfterBoot(t, env, func(p *des.Proc) {
+		for _, name := range []string{"svc/a", "svc/b"} {
+			if _, err := clerks[1].Export(p, name, 64, rmem.RightsAll); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := clerks[0].Import(p, name, 1, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		clerks[1].Node().Fail()
+		clerks[0].FencePeer(1)
+		probes := clerks[0].RemoteProbes
+		clerks[0].RefreshNow(p)
+		if clerks[0].RemoteProbes != probes {
+			t.Fatalf("refresh probed a fenced peer: %d probes issued",
+				clerks[0].RemoteProbes-probes)
+		}
+		if clerks[0].FencedSkips != 2 {
+			t.Fatalf("FencedSkips = %d, want 2 (one per cached name)", clerks[0].FencedSkips)
+		}
+		if clerks[0].CachedNames() != 2 || clerks[0].Purged != 0 {
+			t.Fatalf("fenced refresh disturbed the cache: cached=%d purged=%d",
+				clerks[0].CachedNames(), clerks[0].Purged)
+		}
+		if n := tr.Snapshot().Counter("ns.peer.fenced"); n != 1 {
+			t.Fatalf("ns.peer.fenced = %d, want 1 (noted once per peer per pass)", n)
+		}
+
+		clerks[1].Node().Recover()
+		clerks[0].UnfencePeer(1)
+		clerks[0].RefreshNow(p)
+		if clerks[0].RemoteProbes == probes {
+			t.Fatal("unfenced refresh issued no probes")
+		}
+		if clerks[0].CachedNames() != 2 || clerks[0].Purged != 0 {
+			t.Fatalf("post-unfence refresh purged live entries: cached=%d purged=%d",
+				clerks[0].CachedNames(), clerks[0].Purged)
+		}
+	})
 }

@@ -1,0 +1,121 @@
+package rmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+)
+
+// The lease/epoch layer (§3.7 recovery): a restarted exporter fences every
+// descriptor its previous incarnation handed out, even when the cold-boot
+// counter reset recycles (id, gen) coordinates.
+
+func TestRestartFencesStaleDescriptors(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 256)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		imp.SetReliable(true)
+		imp.SetFence(true)
+		imp.SetEpoch(m1.Incarnation())
+		if err := imp.Write(p, 0, []byte("pre-crash"), false); err != nil {
+			t.Fatalf("fenced write to live exporter: %v", err)
+		}
+		p.Sleep(time.Millisecond)
+
+		m1.Restart()
+		// The cold boot resets the export counters, so the new incarnation
+		// hands out the same coordinates the dead one used — the exact
+		// aliasing the epoch check must catch.
+		seg2 := m1.Export(p, 256)
+		seg2.SetDefaultRights(RightsAll)
+		if seg2.ID() != seg.ID() || seg2.Gen() != seg.Gen() {
+			t.Fatalf("expected recycled coordinates, got (%d,%d) vs (%d,%d)",
+				seg2.ID(), seg2.Gen(), seg.ID(), seg.Gen())
+		}
+		before := append([]byte(nil), seg2.Bytes()...)
+
+		err := imp.Write(p, 0, []byte("stale write"), false)
+		if !errors.Is(err, ErrStaleGeneration) {
+			t.Fatalf("stale write: got %v, want ErrStaleGeneration", err)
+		}
+		p.Sleep(time.Millisecond)
+		if !bytes.Equal(seg2.Bytes(), before) {
+			t.Fatal("stale write mutated the new incarnation's memory")
+		}
+
+		// A fresh import under the new epoch goes straight through.
+		imp2 := m0.Import(p, 1, seg2.ID(), seg2.Gen(), seg2.Size())
+		imp2.SetReliable(true)
+		imp2.SetFence(true)
+		imp2.SetEpoch(m1.Incarnation())
+		if err := imp2.Write(p, 0, []byte("new life"), false); err != nil {
+			t.Fatalf("fenced write to new incarnation: %v", err)
+		}
+		p.Sleep(time.Millisecond)
+		if !bytes.Equal(seg2.Bytes()[:8], []byte("new life")) {
+			t.Fatal("fresh import's write not deposited")
+		}
+	})
+}
+
+// A fenced read against the restarted exporter also fails typed, and boot
+// imports (epoch 0 against a never-restarted exporter) need no handshake.
+func TestFencedReadAfterRestart(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		seg := m1.Export(p, 64)
+		seg.SetDefaultRights(RightsAll)
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		imp.SetFence(true) // epoch defaults to 0 == boot incarnation
+		scratch := m0.Export(p, 64)
+		if err := imp.Read(p, 0, 8, scratch, 0, time.Second); err != nil {
+			t.Fatalf("boot-epoch read: %v", err)
+		}
+		m1.Restart()
+		m1.Export(p, 64).SetDefaultRights(RightsAll)
+		err := imp.Read(p, 0, 8, scratch, 0, time.Second)
+		if !errors.Is(err, ErrStaleGeneration) {
+			t.Fatalf("stale read: got %v, want ErrStaleGeneration", err)
+		}
+	})
+}
+
+// The epoch costs exactly two bytes on fenced requests and nothing — bit
+// for bit — on unfenced ones, preserving the calibrated wire formats.
+func TestFenceWireOverhead(t *testing.T) {
+	base := wireMsg{kind: kindWrite, seg: 3, gen: 7, off: 128, data: []byte("abcd")}
+	fenced := base
+	fenced.fence, fenced.epoch = true, 42
+
+	pb, fb := base.encode(), fenced.encode()
+	if len(fb) != len(pb)+2 {
+		t.Fatalf("fenced frame = %d bytes, want %d+2", len(fb), len(pb))
+	}
+	if pb[0]&flagEpoch != 0 {
+		t.Fatal("unfenced frame carries the epoch flag")
+	}
+	got, err := decode(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.fence || got.epoch != 42 || got.seg != 3 || got.off != 128 {
+		t.Fatalf("fenced round-trip mismatch: %+v", got)
+	}
+	// Restart bumps the incarnation every time.
+	env, _, _, m1 := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		if m1.Incarnation() != 0 {
+			t.Fatalf("boot incarnation = %d, want 0", m1.Incarnation())
+		}
+		m1.Restart()
+		m1.Restart()
+		if m1.Incarnation() != 2 {
+			t.Fatalf("incarnation after two restarts = %d, want 2", m1.Incarnation())
+		}
+	})
+}

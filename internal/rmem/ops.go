@@ -143,7 +143,8 @@ func (i *Import) Write(p *des.Proc, off int, data []byte, notify bool) error {
 		return err
 	}
 	n.UseCPU(p, i.cat, n.P.RegisterFormat)
-	msg := &wireMsg{kind: kindWrite, notify: notify, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off), data: data}
+	msg := &wireMsg{kind: kindWrite, notify: notify, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off), data: data,
+		fence: i.fence, epoch: i.epoch}
 	if i.rel {
 		msg.rel = true
 		msg.rgen, msg.rseq = i.m.relSend.Next()
@@ -185,7 +186,8 @@ func (i *Import) WriteBlock(p *des.Proc, off int, data []byte, notify bool) erro
 		// Only the final chunk carries the notify flag: one control
 		// transfer per logical operation.
 		last := end == len(data)
-		msg := &wireMsg{kind: kindWrite, notify: notify && last, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off + done), data: data[done:end]}
+		msg := &wireMsg{kind: kindWrite, notify: notify && last, swap: i.swap, seg: i.segID, gen: i.gen, off: uint32(off + done), data: data[done:end],
+			fence: i.fence, epoch: i.epoch}
 		if i.rel {
 			msg.rel = true
 			msg.rgen, msg.rseq = i.m.relSend.Next()
@@ -318,7 +320,7 @@ func (i *Import) ReadAsync(p *des.Proc, soff, count int, dst *Segment, doff int,
 	po := &pendingOp{op: OpRead, dst: dst, doff: doff, swap: i.swap, start: n.Env.Now(), q: des.NewWaitQueue(n.Env)}
 	m.pending[req] = po
 	msg := &wireMsg{kind: kindRead, notify: notify, seg: i.segID, gen: i.gen,
-		off: uint32(soff), count: uint32(count), req: req}
+		off: uint32(soff), count: uint32(count), req: req, fence: i.fence, epoch: i.epoch}
 	if i.rel {
 		msg.rel = true
 		msg.rgen, msg.rseq = m.relSend.Next()
@@ -383,7 +385,8 @@ func (i *Import) CAS(p *des.Proc, off int, old, new uint32, result *Segment, rof
 	req := m.nextReq
 	po := &pendingOp{op: OpCAS, dst: result, doff: roff, start: n.Env.Now(), q: des.NewWaitQueue(n.Env)}
 	m.pending[req] = po
-	msg := &wireMsg{kind: kindCAS, seg: i.segID, gen: i.gen, off: uint32(off), oldW: old, newW: new, req: req}
+	msg := &wireMsg{kind: kindCAS, seg: i.segID, gen: i.gen, off: uint32(off), oldW: old, newW: new, req: req,
+		fence: i.fence, epoch: i.epoch}
 	if i.rel {
 		msg.rel = true
 		msg.rgen, msg.rseq = m.relSend.Next()
@@ -511,8 +514,16 @@ func (m *Manager) handleWriteAck(msg *wireMsg) {
 	aw.q.WakeAll()
 }
 
-// validate checks an incoming request against the descriptor tables.
+// validate checks an incoming request against the descriptor tables. The
+// lease-epoch check comes first: a fenced request from a previous
+// incarnation must be refused before the segment lookup, because after a
+// cold boot the new incarnation may have recycled the very same (id, gen)
+// for different memory.
 func (m *Manager) validate(src int, msg *wireMsg, need Rights, count int) (*Segment, error) {
+	if msg.fence && msg.epoch != m.incarnation {
+		m.relCount("rmem.fenced")
+		return nil, ErrStaleGeneration
+	}
 	s, ok := m.exports[msg.seg]
 	if !ok {
 		return nil, ErrRevoked
@@ -534,7 +545,7 @@ func (m *Manager) validate(src int, msg *wireMsg, need Rights, count int) (*Segm
 
 func (m *Manager) nack(p *des.Proc, dst int, msg *wireMsg, err error) {
 	rep := &wireMsg{kind: kindNack, seg: msg.seg, gen: msg.gen, off: msg.off, code: errNack(err),
-		rel: msg.rel, rgen: msg.rgen, rseq: msg.rseq}
+		rel: msg.rel, rgen: msg.rgen, rseq: msg.rseq, fence: msg.fence, epoch: msg.epoch}
 	m.Node.SendFrame(p, dst, Proto, cluster.CatReply, rep.encode())
 }
 

@@ -103,6 +103,13 @@ var (
 	ErrTimeout   = errors.New("rmem: operation timed out")
 	ErrTooBig    = errors.New("rmem: transfer exceeds maximum size")
 	ErrUnaligned = errors.New("rmem: word operation requires 4-byte alignment")
+
+	// ErrStaleGeneration reports a fenced request that reached an exporter
+	// which has restarted since the descriptor was leased: the epoch the
+	// import carries no longer matches the exporter's incarnation. Unlike a
+	// silent timeout, the typed NACK tells the requester its whole view of
+	// the peer is stale and a re-import through the name service is needed.
+	ErrStaleGeneration = errors.New("rmem: exporter restarted; descriptor lease fenced")
 )
 
 // nack codes on the wire.
@@ -112,6 +119,7 @@ const (
 	nackStale
 	nackRevoked
 	nackInhibited
+	nackStaleGen
 )
 
 func nackErr(code byte) error {
@@ -126,6 +134,8 @@ func nackErr(code byte) error {
 		return ErrRevoked
 	case nackInhibited:
 		return ErrInhibited
+	case nackStaleGen:
+		return ErrStaleGeneration
 	}
 	return fmt.Errorf("rmem: unknown NACK code %d", code)
 }
@@ -142,6 +152,8 @@ func errNack(err error) byte {
 		return nackRevoked
 	case errors.Is(err, ErrInhibited):
 		return nackInhibited
+	case errors.Is(err, ErrStaleGeneration):
+		return nackStaleGen
 	}
 	return 0xff
 }
@@ -254,6 +266,13 @@ type Manager struct {
 	relDedup    *reliable.Dedup
 	pendingAcks map[uint32]*ackWait
 	relDefault  bool
+
+	// Lease epoch (§3.7 recovery). incarnation counts kernel restarts;
+	// fenced requests carrying a different epoch are refused with
+	// ErrStaleGeneration before they can touch the new incarnation's
+	// memory. fenceDefault opts new imports into carrying the epoch.
+	incarnation  uint16
+	fenceDefault bool
 }
 
 // ackWait is an outstanding reliable WRITE awaiting acknowledgement.
@@ -385,12 +404,54 @@ func (m *Manager) BumpGeneration() {
 	}
 }
 
+// Incarnation returns the node's current lease epoch: the number of kernel
+// restarts this Manager has been through. Fenced imports carry the epoch
+// they were leased under; a mismatch is refused with ErrStaleGeneration.
+func (m *Manager) Incarnation() uint16 { return m.incarnation }
+
+// SetFenceDefault makes imports installed after this call carry the lease
+// epoch (or not) by default; individual imports can override with
+// Import.SetFence. Fenced small WRITEs may grow by two bytes on the wire —
+// the price of restart fencing — so the calibrated experiments leave it
+// off.
+func (m *Manager) SetFenceDefault(v bool) { m.fenceDefault = v }
+
+// Restart models a cold reboot of the node's kernel: every export is torn
+// down (volatile descriptor tables do not survive), the id and generation
+// counters reset — exactly the collision hazard that makes generation
+// numbers alone insufficient across a reboot — and the incarnation number
+// advances, fencing every descriptor leased by the previous life with
+// ErrStaleGeneration. Outstanding local operations are abandoned with
+// ErrTimeout and the reliability sender starts a new generation. No CPU is
+// charged: the work happens while the machine is down. netmem.WithRecovery
+// binds this to a fault campaign's node-recovery events.
+func (m *Manager) Restart() {
+	m.incarnation++
+	for id, s := range m.exports {
+		s.revoked = true
+		delete(m.exports, id)
+	}
+	m.nextSeg = 1
+	m.nextGen = 0
+	for req, po := range m.pending {
+		delete(m.pending, req)
+		po.err = ErrTimeout
+		po.done = true
+		po.q.WakeAll()
+	}
+	m.BumpGeneration()
+	if tr := m.Node.Env.Tracer(); tr != nil {
+		tr.Count("rmem.restarts", 1)
+	}
+}
+
 // Import installs a descriptor for a remote segment into the local kernel
 // tables and returns the handle used to issue meta-instructions. The
 // (node, id, gen, size) tuple normally comes from the name service.
 func (m *Manager) Import(p *des.Proc, node int, id, gen uint16, size int) *Import {
 	m.Node.UseCPU(p, cluster.CatClient, m.Node.P.ImportInstall)
-	return &Import{m: m, node: node, segID: id, gen: gen, size: size, cat: cluster.CatClient, rel: m.relDefault}
+	return &Import{m: m, node: node, segID: id, gen: gen, size: size, cat: cluster.CatClient,
+		rel: m.relDefault, fence: m.fenceDefault}
 }
 
 // Import is an installed descriptor for a remote segment: the "descriptor
@@ -405,7 +466,28 @@ type Import struct {
 	swap  bool   // byte-order conversion on transfers (§3.6)
 	cat   string // CPU accounting category for operations on this import
 	rel   bool   // route operations through the reliability layer
+	fence bool   // carry the exporter-incarnation epoch on requests
+	epoch uint16 // exporter incarnation this descriptor was leased under
 }
+
+// SetFence makes this descriptor's requests carry the exporter-incarnation
+// epoch (the lease); SetEpoch records which incarnation the lease was
+// taken from — the name service stamps it from the registry record, and
+// direct wirings use the exporter's Manager.Incarnation(). A restarted
+// exporter refuses mismatched epochs with ErrStaleGeneration instead of
+// letting a stale descriptor silently time out — or worse, silently land
+// in whatever the new incarnation exported under the recycled (id, gen).
+func (i *Import) SetFence(v bool) { i.fence = v }
+
+// SetEpoch records the exporter incarnation this descriptor was leased
+// under (only consulted when the descriptor is fenced).
+func (i *Import) SetEpoch(e uint16) { i.epoch = e }
+
+// Fenced reports whether requests carry the lease epoch.
+func (i *Import) Fenced() bool { return i.fence }
+
+// Epoch returns the recorded exporter incarnation.
+func (i *Import) Epoch() uint16 { return i.epoch }
 
 // SetReliable routes this descriptor's operations through the reliability
 // layer (§3.7): WRITEs block until acknowledged and retransmit on timeout,

@@ -56,6 +56,26 @@ type Watchdog struct {
 	Fired bool
 	// Checks counts completed probe reads.
 	Checks int64
+	// Misses counts failed probes (timeouts, errors, stuck counter).
+	Misses int64
+	// LastOK is the virtual time of the last probe that proved the peer
+	// alive — the base of an MTTR measurement (downtime starts when the
+	// peer was last known good, not when the verdict lands).
+	LastOK des.Time
+}
+
+// WatchdogConfig tunes failure detection.
+type WatchdogConfig struct {
+	// Interval is the probe cadence.
+	Interval des.Duration
+	// Timeout bounds each probe read.
+	Timeout des.Duration
+	// Grace is the lease the peer holds on its liveness: the number of
+	// consecutive failed probes required before the verdict. 0 or 1 fires
+	// on the first failed probe — but then a link flap a little longer
+	// than one probe is reported as a node death, so recovery coordinators
+	// use 3-5.
+	Grace int
 }
 
 // NewWatchdog starts monitoring the heartbeat word at off within imp.
@@ -65,25 +85,45 @@ type Watchdog struct {
 // and the watchdog stops.
 func NewWatchdog(m *Manager, imp *Import, off int, interval, timeout des.Duration,
 	onFail func(p *des.Proc, err error)) *Watchdog {
+	return NewWatchdogCfg(m, imp, off, WatchdogConfig{Interval: interval, Timeout: timeout, Grace: 1}, onFail)
+}
+
+// NewWatchdogCfg is NewWatchdog with an explicit lease grace: only cfg.Grace
+// consecutive failed probes add up to a failure verdict, and any successful
+// probe renews the lease.
+func NewWatchdogCfg(m *Manager, imp *Import, off int, cfg WatchdogConfig,
+	onFail func(p *des.Proc, err error)) *Watchdog {
+	if cfg.Grace < 1 {
+		cfg.Grace = 1
+	}
 	w := &Watchdog{m: m, imp: imp, off: off}
 	env := m.Node.Env
+	w.LastOK = env.Now()
 	env.SpawnDaemon(fmt.Sprintf("watchdog%d", m.Node.ID), func(p *des.Proc) {
 		w.scratch = m.Export(p, 8)
 		var last uint32
 		haveLast := false
+		misses := 0
 		for {
-			p.Sleep(interval)
-			err := imp.Read(p, off, 4, w.scratch, 0, timeout)
+			p.Sleep(cfg.Interval)
+			err := imp.Read(p, w.off, 4, w.scratch, 0, cfg.Timeout)
 			if err == nil {
 				w.Checks++
 				cur := w.scratch.ReadWord(p, 0)
 				if !haveLast || cur != last {
 					last, haveLast = cur, true
+					misses = 0
+					w.LastOK = p.Now()
 					continue
 				}
 				err = fmt.Errorf("%w: counter stuck at %d", ErrPeerFailed, cur)
 			} else {
 				err = fmt.Errorf("%w: %v", ErrPeerFailed, err)
+			}
+			w.Misses++
+			misses++
+			if misses < cfg.Grace {
+				continue
 			}
 			w.Fired = true
 			onFail(p, err)

@@ -18,12 +18,15 @@ import (
 // carries no extra bytes, keeping the calibrated single-cell formats
 // intact.
 //
-//	WRITE   k|f  [rgen(2) rseq(4)]  seg(2) gen(2) off(4) data…
-//	READ    k|f  [rgen(2) rseq(4)]  sseg(2) sgen(2) soff(4) count(4) req(4)
+// Fenced requests (flagEpoch) carry the exporter-incarnation epoch in two
+// further bytes after the reliability identity; NACKs echo both prefixes.
+//
+//	WRITE   k|f  [rgen(2) rseq(4)] [epoch(2)]  seg(2) gen(2) off(4) data…
+//	READ    k|f  [rgen(2) rseq(4)] [epoch(2)]  sseg(2) sgen(2) soff(4) count(4) req(4)
 //	RDREPLY k    req(4) status(1) data…
-//	CAS     k|f  [rgen(2) rseq(4)]  seg(2) gen(2) off(4) old(4) new(4) req(4)
+//	CAS     k|f  [rgen(2) rseq(4)] [epoch(2)]  seg(2) gen(2) off(4) old(4) new(4) req(4)
 //	CASREP  k    req(4) status(1) success(1)
-//	NACK    k|f  [rgen(2) rseq(4)]  seg(2) gen(2) off(4) code(1)   (for WRITEs)
+//	NACK    k|f  [rgen(2) rseq(4)] [epoch(2)]  seg(2) gen(2) off(4) code(1)   (for WRITEs)
 //	WRACK   k    rgen(2) rseq(4)                   (ack of a reliable WRITE)
 const (
 	kindWrite byte = iota + 1
@@ -46,6 +49,15 @@ const flagSwap byte = 0x40
 // sequence) identity.
 const flagRel byte = 0x20
 
+// flagEpoch marks a request carrying the exporter-incarnation epoch the
+// sender's descriptor was leased under (§3.7 recovery). The destination
+// kernel refuses the request with nackStaleGen when the epoch does not
+// match its current incarnation — a restarted exporter fences every
+// descriptor handed out by its previous life, even if (id, gen) collide
+// after the cold boot reset the counters. Unfenced traffic carries no
+// extra bytes, keeping the calibrated wire formats intact.
+const flagEpoch byte = 0x10
+
 const kindMask byte = 0x0f
 
 type wireMsg struct {
@@ -58,6 +70,11 @@ type wireMsg struct {
 	rel  bool
 	rgen uint16
 	rseq uint32
+
+	// Lease epoch (flagEpoch): the exporter incarnation the request's
+	// descriptor was imported under.
+	fence bool
+	epoch uint16
 
 	seg, gen uint16
 	off      uint32
@@ -85,10 +102,16 @@ func (m *wireMsg) encode() []byte {
 	if m.rel {
 		k |= flagRel
 	}
+	if m.fence {
+		k |= flagEpoch
+	}
 	b := []byte{k}
 	if m.rel {
 		b = put16(b, m.rgen)
 		b = put32(b, m.rseq)
+	}
+	if m.fence {
+		b = put16(b, m.epoch)
 	}
 	switch m.kind {
 	case kindWrite:
@@ -173,10 +196,14 @@ func decode(frame []byte) (*wireMsg, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("rmem: empty message")
 	}
-	m := &wireMsg{kind: frame[0] & kindMask, notify: frame[0]&flagNotify != 0, swap: frame[0]&flagSwap != 0, rel: frame[0]&flagRel != 0}
+	m := &wireMsg{kind: frame[0] & kindMask, notify: frame[0]&flagNotify != 0, swap: frame[0]&flagSwap != 0,
+		rel: frame[0]&flagRel != 0, fence: frame[0]&flagEpoch != 0}
 	r := &wireReader{b: frame[1:]}
 	if m.rel {
 		m.rgen, m.rseq = r.u16(), r.u32()
+	}
+	if m.fence {
+		m.epoch = r.u16()
 	}
 	switch m.kind {
 	case kindWrite:

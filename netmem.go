@@ -48,6 +48,7 @@ import (
 	"netmem/internal/model"
 	"netmem/internal/nameserver"
 	"netmem/internal/obs"
+	"netmem/internal/recovery"
 	"netmem/internal/rmem"
 	"netmem/internal/rpc"
 	"netmem/internal/secure"
@@ -176,6 +177,27 @@ type (
 // ErrPeerFailed is delivered by a Watchdog when its peer stops responding.
 var ErrPeerFailed = rmem.ErrPeerFailed
 
+// ErrStaleGeneration is returned by fenced operations whose exporter has
+// restarted: the descriptor's lease epoch no longer matches the exporter's
+// incarnation, so the caller must re-import rather than retry.
+var ErrStaleGeneration = rmem.ErrStaleGeneration
+
+// Crash recovery (the §3.7 composition carried to its conclusion).
+type (
+	// RecoveryCoordinator watches one peer and turns the failure verdict
+	// into fencing, registered failover steps, and a measured MTTR.
+	RecoveryCoordinator = recovery.Coordinator
+	// RecoveryConfig tunes detection and repair.
+	RecoveryConfig = recovery.Config
+	// RecoveryStep is one registered repair action.
+	RecoveryStep = recovery.Step
+	// WatchdogConfig tunes a watchdog's probe cadence and liveness grace.
+	WatchdogConfig = rmem.WatchdogConfig
+	// FileStandby is the file service's hot-standby end: it holds a mirror
+	// of the primary's write-behind state and promotes itself on takeover.
+	FileStandby = dfs.Standby
+)
+
 // Observability (the obs subsystem, reached through WithTrace / System.Obs).
 type (
 	// Tracer collects trace events and metrics for one simulation.
@@ -269,6 +291,7 @@ type sysOptions struct {
 	trace       *TraceConfig
 	campaign    *FaultCampaign
 	reliable    bool
+	recovery    bool
 }
 
 // WithParams overrides the cost model.
@@ -304,6 +327,17 @@ func WithFaults(camp FaultCampaign) Option {
 // out with SetReliable(false).
 func WithReliability() Option {
 	return func(o *sysOptions) { o.reliable = true }
+}
+
+// WithRecovery arms the system for end-to-end crash recovery: every import
+// is reliable AND fenced by default (descriptors carry the exporter's
+// incarnation epoch), and a node restarted by the fault campaign comes
+// back as a cold incarnation — exports wiped, epoch bumped — so operations
+// against its dead predecessor fail fast with ErrStaleGeneration instead
+// of timing out. Pair with a RecoveryCoordinator to repair what the fences
+// report.
+func WithRecovery() Option {
+	return func(o *sysOptions) { o.reliable, o.recovery = true, true }
 }
 
 // WithNameService boots a name clerk on every node.
@@ -346,9 +380,16 @@ func New(n int, opts ...Option) *System {
 		if o.reliable {
 			m.SetReliableDefault(true)
 		}
-		// A node restarted by the campaign is a new incarnation: its
-		// reliable frames must not look like its predecessor's.
-		eng.OnRecover(node.ID, m.BumpGeneration)
+		if o.recovery {
+			m.SetFenceDefault(true)
+			// A campaign restart is a full cold boot: exports wiped,
+			// incarnation bumped, stale descriptors fenced.
+			eng.OnRecover(node.ID, m.Restart)
+		} else {
+			// A node restarted by the campaign is a new incarnation: its
+			// reliable frames must not look like its predecessor's.
+			eng.OnRecover(node.ID, m.BumpGeneration)
+		}
 		sys.Mem = append(sys.Mem, m)
 	}
 	if o.nameCfg != nil {
@@ -400,6 +441,9 @@ var (
 	WithReliable = dfs.WithReliable
 	// WithReliableReplies does the same for the server's outbound writes.
 	WithReliableReplies = dfs.WithReliableReplies
+	// WithFencing stamps every clerk descriptor with the server's
+	// incarnation epoch, for fast typed failure after a server restart.
+	WithFencing = dfs.WithFencing
 )
 
 // NewFileServer builds the file service on node; call from a Proc.
@@ -410,6 +454,23 @@ func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry, opts ...File
 // NewFileClerk wires a clerk on node to srv; call from a Proc.
 func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode, opts ...FileClerkOption) *FileClerk {
 	return dfs.NewClerk(p, s.Mem[node], srv, mode, opts...)
+}
+
+// NewFileStandby exports a hot-standby mirror for a file service with geo
+// on node; wire it to the primary with FileServer.AttachStandby, and on
+// the primary's death promote it with FileStandby.TakeOver. Call from a
+// Proc.
+func (s *System) NewFileStandby(p *Proc, node int, geo FileGeometry) *FileStandby {
+	return dfs.NewStandby(p, s.Mem[node], geo)
+}
+
+// NewRecovery creates a recovery coordinator on node watching peer: arm it
+// with OnFailover steps and FenceNames, then start detection with Watch
+// over an imported heartbeat word. MTTR and rebind counts are measured on
+// the coordinator and mirrored to the tracer ("recovery.mttr",
+// "recovery.rebinds").
+func (s *System) NewRecovery(node, peer int, cfg RecoveryConfig) *RecoveryCoordinator {
+	return recovery.New(s.Mem[node], peer, cfg)
 }
 
 // ---------------------------------------------------------------------------
