@@ -21,6 +21,7 @@ import (
 	"netmem/internal/cluster"
 	"netmem/internal/des"
 	"netmem/internal/dfs"
+	"netmem/internal/faults"
 	"netmem/internal/hybrid"
 	"netmem/internal/model"
 	"netmem/internal/nameserver"
@@ -225,6 +226,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 func us(d time.Duration) float64 { return d.Seconds() * 1e6 }
+
+// BenchmarkMixedChaosCampaign runs the full mixed chaos campaign (loss,
+// corruption, duplication, reordering, and a primary crash with failover)
+// and reports simulator throughput as events/sec — the headline wall-clock
+// metric for the scheduler and cell-pipeline fast path. cmd/simbench wraps
+// this same workload for the committed BENCH_PR4.json baseline.
+func BenchmarkMixedChaosCampaign(b *testing.B) {
+	camp, _ := faults.Named("mixed")
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := dfs.RunChaos(dfs.ChaosConfig{Campaign: camp, Seed: 1, Mode: dfs.DX})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != len(res.Ops) {
+			b.Fatalf("goodput %d/%d", res.Completed, len(res.Ops))
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkScaleSix runs the heaviest fault-free workload — six closed-loop
+// clients replaying the Table 1a mix under DX — and reports events/sec.
+func BenchmarkScaleSix(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		pt, err := workload.RunScale(workload.ScaleConfig{
+			Clients: 6, Mode: dfs.DX, Window: time.Second, ThinkTime: 2 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += pt.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
 
 // BenchmarkNullCallComparison pits the three transports against each
 // other on the §2 question: what does a do-nothing round trip cost?

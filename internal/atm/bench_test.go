@@ -1,0 +1,53 @@
+package atm
+
+import "testing"
+
+// BenchmarkSegmentInto measures the sender-side cell pipeline: an 8 KiB
+// frame laid directly into a reused cell slice. Steady state must be
+// allocation free (-benchmem).
+func BenchmarkSegmentInto(b *testing.B) {
+	frame := make([]byte, 8192)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	vci := MakeVCI(1, 0)
+	var cells []Cell
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells = SegmentInto(cells, vci, frame)
+	}
+	if len(cells) != CellsForFrame(len(frame)) {
+		b.Fatalf("cell count %d", len(cells))
+	}
+}
+
+// BenchmarkSegmentReassemble measures the full framing round trip with
+// buffer recycling: segment an 8 KiB frame, feed every cell to the
+// reassembler, recycle the completed frame.
+func BenchmarkSegmentReassemble(b *testing.B) {
+	frame := make([]byte, 8192)
+	for i := range frame {
+		frame[i] = byte(i * 13)
+	}
+	vci := MakeVCI(1, 0)
+	var cells []Cell
+	r := NewReassembler()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells = SegmentInto(cells, vci, frame)
+		for _, c := range cells {
+			body, done, err := r.Add(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				if len(body) != len(frame) {
+					b.Fatalf("body %d bytes", len(body))
+				}
+				r.Recycle(body)
+			}
+		}
+	}
+}

@@ -70,22 +70,40 @@ type Cell struct {
 // trailer (length + CRC-32 of the frame body) in the final cell, padding
 // with zeros as needed. A frame always produces at least one cell.
 func Segment(vci VCI, frame []byte) []Cell {
+	return SegmentInto(nil, vci, frame)
+}
+
+// SegmentInto is Segment reusing the backing array of cells when it is
+// large enough, so a sender that keeps a scratch slice segments without
+// allocating. The frame is laid into the cell payloads directly — no
+// intermediate padded buffer — and the pad region is zeroed explicitly
+// because recycled cells carry stale bytes.
+func SegmentInto(cells []Cell, vci VCI, frame []byte) []Cell {
 	if len(frame) > MaxFrame {
 		panic("atm: frame exceeds 64 KiB framing limit")
 	}
 	total := len(frame) + trailerSize
 	ncells := (total + PayloadSize - 1) / PayloadSize
-	cells := make([]Cell, ncells)
-	// Lay the frame into a contiguous padded buffer, then slice.
-	buf := make([]byte, ncells*PayloadSize)
-	copy(buf, frame)
-	binary.BigEndian.PutUint16(buf[len(buf)-4:], uint16(len(frame)))
-	binary.BigEndian.PutUint16(buf[len(buf)-2:], uint16(crc32.ChecksumIEEE(frame)))
-	for i := range cells {
-		cells[i].VCI = vci
-		copy(cells[i].Payload[:], buf[i*PayloadSize:])
+	if cap(cells) >= ncells {
+		cells = cells[:ncells]
+	} else {
+		cells = make([]Cell, ncells)
 	}
-	cells[ncells-1].Last = true
+	off := 0
+	for i := range cells {
+		c := &cells[i]
+		c.VCI = vci
+		c.Last = false
+		n := copy(c.Payload[:], frame[off:])
+		off += n
+		if n < PayloadSize {
+			clear(c.Payload[n:])
+		}
+	}
+	last := &cells[ncells-1]
+	last.Last = true
+	binary.BigEndian.PutUint16(last.Payload[PayloadSize-4:], uint16(len(frame)))
+	binary.BigEndian.PutUint16(last.Payload[PayloadSize-2:], uint16(crc32.ChecksumIEEE(frame)))
 	return cells
 }
 
@@ -96,8 +114,11 @@ func CellsForFrame(n int) int {
 }
 
 // Reassembler rebuilds frames from interleaved per-VC cell streams.
+// Completed frame buffers can be handed back with Recycle once the consumer
+// is done with them, so steady-state reassembly does not allocate.
 type Reassembler struct {
 	partial map[VCI][]byte
+	spare   [][]byte
 }
 
 // NewReassembler returns an empty reassembler.
@@ -105,27 +126,54 @@ func NewReassembler() *Reassembler {
 	return &Reassembler{partial: make(map[VCI][]byte)}
 }
 
+// buffer takes a recycled frame buffer, or starts an empty one.
+func (r *Reassembler) buffer() []byte {
+	if n := len(r.spare); n > 0 {
+		b := r.spare[n-1]
+		r.spare[n-1] = nil
+		r.spare = r.spare[:n-1]
+		return b
+	}
+	return nil
+}
+
+// Recycle returns a frame obtained from Add to the reassembler's buffer
+// pool. The caller must be done with the frame — and with anything aliasing
+// it — before recycling; the buffer is reused for a future frame.
+func (r *Reassembler) Recycle(frame []byte) {
+	if cap(frame) > 0 {
+		r.spare = append(r.spare, frame[:0])
+	}
+}
+
 // Add accepts one cell. When the cell completes a frame, Add returns the
 // frame body (trailer stripped and verified) and done=true. A CRC or
 // length violation returns an error and discards the partial frame —
 // upper layers treat this as the catastrophic event the paper says it is.
 func (r *Reassembler) Add(c Cell) (frame []byte, done bool, err error) {
-	buf := append(r.partial[c.VCI], c.Payload[:]...)
+	buf, started := r.partial[c.VCI]
+	if !started {
+		buf = r.buffer()
+	}
+	buf = append(buf, c.Payload[:]...)
 	if !c.Last {
 		r.partial[c.VCI] = buf
 		return nil, false, nil
 	}
 	delete(r.partial, c.VCI)
 	if len(buf) < trailerSize {
+		r.Recycle(buf)
 		return nil, true, fmt.Errorf("atm: runt frame on VCI %d", c.VCI)
 	}
 	n := binary.BigEndian.Uint16(buf[len(buf)-4:])
 	sum := binary.BigEndian.Uint16(buf[len(buf)-2:])
 	if int(n) > len(buf)-trailerSize {
+		r.Recycle(buf)
 		return nil, true, fmt.Errorf("atm: frame length %d exceeds %d received bytes on VCI %d", n, len(buf)-trailerSize, c.VCI)
 	}
 	body := buf[:n]
 	if uint16(crc32.ChecksumIEEE(body)) != sum {
+		r.Recycle(buf)
 		return nil, true, fmt.Errorf("atm: CRC mismatch on VCI %d", c.VCI)
 	}
 	return body, true, nil

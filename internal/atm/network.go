@@ -98,7 +98,7 @@ type Link struct {
 	p     *model.Params
 	fault *Fault
 	eng   *faults.Engine // nil = no campaign on this link
-	held  *Cell          // reorder state: one cell held back by the engine
+	pump  *cellPump
 
 	// CellsCarried counts cells delivered, for utilisation accounting.
 	CellsCarried int64
@@ -110,46 +110,145 @@ type Link struct {
 	keyCells, keyDropped string
 }
 
-// pump moves cells from src to deliver() forever: each cell holds the wire
-// for its serialization time (bandwidth limit), then arrives after the
-// propagation delay. Delivery blocks if the destination FIFO is full,
-// modelling link-level flow control ("newer LAN technologies include
-// hardware flow-control … that can guarantee that data packets are
-// delivered reliably").
-func (l *Link) pump(name string, src *des.FIFO[Cell], dst *des.FIFO[Cell], extra des.Duration) {
+// cellPump drives one link hop — source FIFO, wire delay, fault verdicts,
+// deposit into a routed destination FIFO — entirely from scheduler context.
+// A multi-cell backlog rides one pooled event record as a train: each
+// delivery pops the next cell and re-schedules itself, with no process
+// wake-ups anywhere on the hop.
+//
+// Timing is identical to the daemon-process pump it replaces. Every state
+// transition consumes exactly the events its process equivalent did: a
+// wake when the source refills (one event), the wire time per cell (one
+// event), and a wake per stall on a full destination (one event). Cells
+// are still delivered one per event at their exact per-cell times — a
+// train never lumps deliveries, because receiver-side CPU contention is
+// sensitive to arrival instants.
+type cellPump struct {
+	env   *des.Env
+	name  string
+	src   *des.FIFO[Cell]
+	delay des.Duration
+	eng   *faults.Engine
+	fault *Fault // deprecated uniform-loss knob (direct links only)
+	held  *Cell  // reorder state: one cell held back by the engine
+
+	route     func(Cell) *des.FIFO[Cell] // destination for a cell; nil = discard (already counted)
+	carried   func()                     // account one delivered cell
+	droppedFn func()                     // account one fault-injected loss
+	overflow  func()                     // account one overflow shed (DropOnOverflow)
+
+	cur     Cell    // the cell on the wire while a delivery event is in flight
+	pending [3]Cell // verdict-approved copies awaiting deposit (cell, duplicate, released hold)
+	npend   int
+	flushed int // copies of pending already deposited
+
+	// Pre-bound event functions, allocated once per pump.
+	wakeFn, deliverFn, spaceFn func()
+	stageFn                    func(Cell)
+}
+
+func newCellPump(env *des.Env, name string, src *des.FIFO[Cell], delay des.Duration, eng *faults.Engine, fault *Fault, route func(Cell) *des.FIFO[Cell]) *cellPump {
+	cp := &cellPump{env: env, name: name, src: src, delay: delay, eng: eng, fault: fault, route: route}
+	cp.wakeFn = cp.next
+	cp.deliverFn = cp.deliver
+	cp.spaceFn = cp.flush
+	cp.stageFn = cp.stage
+	return cp
+}
+
+// next begins the next cell's wire cycle: take a queued cell and hold the
+// wire for its serialization time, or park until the source refills. This
+// mirrors the daemon's `c := src.Get(pr); pr.Sleep(delay)`.
+func (cp *cellPump) next() {
+	c, ok := cp.src.TryGet()
+	if !ok {
+		cp.src.OnItem(cp.wakeFn)
+		return
+	}
+	cp.cur = c
+	cp.env.ScheduleFunc(cp.env.Now().Add(cp.delay), cp.deliverFn)
+}
+
+// deliver fires when the cell has finished its wire time: judge it, stage
+// the surviving copies, and flush them into the destination.
+func (cp *cellPump) deliver() {
+	if cp.fault.drop(cp.env) {
+		cp.droppedFn()
+		cp.next()
+		return
+	}
+	var dropped bool
+	cp.held, dropped = applyVerdict(cp.eng, cp.name, cp.held, cp.cur, cp.stageFn)
+	if dropped {
+		cp.droppedFn()
+	}
+	cp.flush()
+}
+
+// stage queues one verdict-approved copy for deposit. applyVerdict emits at
+// most three: the cell, a duplicate, and a released held-back cell.
+func (cp *cellPump) stage(c Cell) {
+	cp.pending[cp.npend] = c
+	cp.npend++
+}
+
+// flush deposits staged copies in order. A full destination (backpressure
+// mode) parks the pump on the destination's putter queue — the train stalls
+// exactly where a daemon blocked in Put would — and resumes here.
+func (cp *cellPump) flush() {
+	for cp.flushed < cp.npend {
+		c := cp.pending[cp.flushed]
+		dst := cp.route(c)
+		if dst == nil {
+			cp.flushed++ // unroutable; route already accounted for it
+			continue
+		}
+		if cp.eng.DropOnOverflow() {
+			if !dst.TryPut(c) {
+				cp.overflow()
+			} else {
+				cp.carried()
+			}
+			cp.flushed++
+			continue
+		}
+		if dst.Full() {
+			dst.OnSpace(cp.spaceFn)
+			return
+		}
+		dst.TryPut(c) // known non-full; wakes the destination's getter
+		cp.carried()
+		cp.flushed++
+	}
+	cp.npend, cp.flushed = 0, 0
+	cp.next()
+}
+
+// start arms the pump: park on the (empty) source like a freshly spawned
+// daemon blocked in its first Get.
+func (cp *cellPump) start() { cp.next() }
+
+// newPump wires this link's hop from src to dst with the given
+// post-serialization delay added to the wire time.
+func (l *Link) newPump(name string, src *des.FIFO[Cell], dst *des.FIFO[Cell], extra des.Duration) {
 	l.keyCells = "atm." + name + ".cells"
 	l.keyDropped = "atm." + name + ".dropped"
-	l.env.SpawnDaemon(name, func(pr *des.Proc) {
-		deliver := func(c Cell) {
-			if l.eng.DropOnOverflow() {
-				if !dst.TryPut(c) {
-					l.eng.Count(faults.KindOverflow)
-					l.dropped()
-					return
-				}
-			} else {
-				dst.Put(pr, c)
-			}
-			l.CellsCarried++
-			if tr := l.env.Tracer(); tr != nil {
-				tr.Count(l.keyCells, 1)
-				tr.Counter(l.keyCells, time.Duration(l.env.Now()), float64(l.CellsCarried))
-			}
+	cp := newCellPump(l.env, name, src, l.p.CellWireTime()+extra, l.eng, l.fault,
+		func(Cell) *des.FIFO[Cell] { return dst })
+	cp.carried = func() {
+		l.CellsCarried++
+		if tr := l.env.Tracer(); tr != nil {
+			tr.Count(l.keyCells, 1)
+			tr.Counter(l.keyCells, time.Duration(l.env.Now()), float64(l.CellsCarried))
 		}
-		for {
-			c := src.Get(pr)
-			pr.Sleep(l.p.CellWireTime() + extra)
-			if l.fault.drop(l.env) {
-				l.dropped()
-				continue
-			}
-			var dropped bool
-			l.held, dropped = applyVerdict(l.eng, name, l.held, c, deliver)
-			if dropped {
-				l.dropped()
-			}
-		}
-	})
+	}
+	cp.droppedFn = l.dropped
+	cp.overflow = func() {
+		l.eng.Count(faults.KindOverflow)
+		l.dropped()
+	}
+	l.pump = cp
+	cp.start()
 }
 
 // dropped accounts one lost cell on this link.
@@ -174,8 +273,8 @@ func DirectLink(env *des.Env, p *model.Params, a, b *Interface, fault *Fault) (a
 func DirectLinkEngine(env *des.Env, p *model.Params, a, b *Interface, fault *Fault, eng *faults.Engine) (ab, ba *Link) {
 	ab = &Link{env: env, p: p, fault: fault, eng: eng}
 	ba = &Link{env: env, p: p, fault: fault, eng: eng}
-	ab.pump(fmt.Sprintf("link%d->%d", a.Node, b.Node), a.TX, b.RX, p.PropagationDelay)
-	ba.pump(fmt.Sprintf("link%d->%d", b.Node, a.Node), b.TX, a.RX, p.PropagationDelay)
+	ab.newPump(fmt.Sprintf("link%d->%d", a.Node, b.Node), a.TX, b.RX, p.PropagationDelay)
+	ba.newPump(fmt.Sprintf("link%d->%d", b.Node, a.Node), b.TX, a.RX, p.PropagationDelay)
 	return ab, ba
 }
 
@@ -223,48 +322,30 @@ func (s *Switch) Attach(nic *Interface) {
 
 	// Input side: host→switch link (serialization) plus VCI routing.
 	inName := fmt.Sprintf("sw.in%d", nic.Node)
-	var inHeld *Cell
-	s.env.SpawnDaemon(inName, func(pr *des.Proc) {
-		route := func(c Cell) {
+	in := newCellPump(s.env, inName, nic.TX,
+		s.p.CellWireTime()+s.p.PropagationDelay+s.p.SwitchLatency, s.eng, nil,
+		func(c Cell) *des.FIFO[Cell] {
 			dst, ok := s.ports[c.VCI.Dst()]
 			if !ok {
 				s.CellsUnroutable++
 				if tr := s.env.Tracer(); tr != nil {
 					tr.Count("atm.sw.unroutable", 1)
 				}
-				return
+				return nil
 			}
-			if s.eng.DropOnOverflow() {
-				if !dst.out.TryPut(c) {
-					s.eng.Count(faults.KindOverflow)
-				}
-				return
-			}
-			dst.out.Put(pr, c)
-		}
-		for {
-			c := nic.TX.Get(pr)
-			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay + s.p.SwitchLatency)
-			inHeld, _ = applyVerdict(s.eng, inName, inHeld, c, route)
-		}
-	})
+			return dst.out
+		})
+	in.carried = func() {}
+	in.droppedFn = func() {}
+	in.overflow = func() { s.eng.Count(faults.KindOverflow) }
+	in.start()
 	// Output side: switch→host link.
 	txName := fmt.Sprintf("sw.tx%d", nic.Node)
-	var txHeld *Cell
-	s.env.SpawnDaemon(txName, func(pr *des.Proc) {
-		deliver := func(c Cell) {
-			if s.eng.DropOnOverflow() {
-				if !nic.RX.TryPut(c) {
-					s.eng.Count(faults.KindOverflow)
-				}
-				return
-			}
-			nic.RX.Put(pr, c)
-		}
-		for {
-			c := port.out.Get(pr)
-			pr.Sleep(s.p.CellWireTime() + s.p.PropagationDelay)
-			txHeld, _ = applyVerdict(s.eng, txName, txHeld, c, deliver)
-		}
-	})
+	tx := newCellPump(s.env, txName, port.out,
+		s.p.CellWireTime()+s.p.PropagationDelay, s.eng, nil,
+		func(Cell) *des.FIFO[Cell] { return nic.RX })
+	tx.carried = func() {}
+	tx.droppedFn = func() {}
+	tx.overflow = func() { s.eng.Count(faults.KindOverflow) }
+	tx.start()
 }

@@ -52,6 +52,8 @@ type Node struct {
 	reasm    *atm.Reassembler
 	surch    map[atm.VCI]des.Duration
 	txLock   *des.Resource // serializes frame transmission (one PIO at a time)
+	txBuf    []byte        // scratch for proto byte + frame (guarded by txLock)
+	txCells  []atm.Cell    // scratch cell array for segmentation (guarded by txLock)
 
 	// Accounting.
 	BytesSent      int64 // frame payload bytes handed to SendFrame
@@ -169,13 +171,13 @@ func (n *Node) SendFrameEx(p *des.Proc, dst int, proto byte, cat string, frame [
 	// controller for the duration of the PIO, exactly as Ultrix would.
 	n.txLock.Acquire(p)
 	defer n.txLock.Release()
-	buf := make([]byte, 0, len(frame)+1)
-	buf = append(buf, proto)
-	buf = append(buf, frame...)
-	cells := atm.Segment(atm.MakeVCI(dst, n.ID), buf)
-	for _, c := range cells {
+	n.txBuf = append(n.txBuf[:0], proto)
+	n.txBuf = append(n.txBuf, frame...)
+	n.txCells = atm.SegmentInto(n.txCells, atm.MakeVCI(dst, n.ID), n.txBuf)
+	cells := n.txCells
+	for i := range cells {
 		n.UseCPU(p, cat, n.P.CellPushTx+perCell)
-		n.NIC.TX.Put(p, c)
+		n.NIC.TX.Put(p, cells[i])
 		n.NIC.CellsSent++
 	}
 	n.BytesSent += int64(len(frame))
@@ -221,14 +223,20 @@ func (n *Node) drain(p *des.Proc) {
 		}
 		n.FramesReceived++
 		if len(frame) == 0 {
+			n.reasm.Recycle(frame)
 			continue
 		}
 		h, ok := n.handlers[frame[0]]
 		if !ok {
 			n.Faults = append(n.Faults, fmt.Errorf("node %d: no handler for protocol %d", n.ID, frame[0]))
+			n.reasm.Recycle(frame)
 			continue
 		}
 		h(p, c.VCI.Src(), frame[1:])
+		// Handlers copy anything they keep (the reliable reply cache and
+		// RPC results are built frames, not views of this one), so the
+		// reassembly buffer can be reused for the next frame.
+		n.reasm.Recycle(frame)
 	}
 }
 

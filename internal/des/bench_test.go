@@ -1,0 +1,116 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// Fast-path microbenchmarks. Run with -benchmem: the headline numbers are
+// allocs/op and B/op, which must stay at zero for the pooled scheduler
+// paths, and events/sec for raw event-loop throughput.
+
+// BenchmarkSleepSelfWake measures the hottest path in the simulator: a
+// process sleeping and resuming itself. With direct hand-off this is one
+// heap push + pop and zero channel operations or allocations.
+func BenchmarkSleepSelfWake(b *testing.B) {
+	env := NewEnv()
+	env.Spawn("sleeper", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(env.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkScheduleFunc measures the callback path with a pre-bound
+// function value (the cell-pump idiom): pooled event records, no closures.
+func BenchmarkScheduleFunc(b *testing.B) {
+	env := NewEnv()
+	n := 0
+	var fn func()
+	fn = func() {
+		if n < b.N {
+			n++
+			env.ScheduleFunc(env.Now().Add(time.Microsecond), fn)
+		}
+	}
+	b.ResetTimer()
+	env.ScheduleFunc(0, fn)
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(env.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkScheduleCancel measures the timer-arm/disarm cycle (the
+// reliability layer's retransmission timers): Schedule returns a cancel
+// handle whose closure is the only allocation on this path.
+func BenchmarkScheduleCancel(b *testing.B) {
+	env := NewEnv()
+	nop := func() {}
+	env.Spawn("arm", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cancel := env.Schedule(env.Now().Add(time.Second), nop)
+			cancel()
+			p.Sleep(time.Microsecond) // drains the cancelled record
+		}
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWakeOneHandoff measures the two-process rendezvous: a waiter
+// parked on a WaitQueue, woken by a peer, over and over. Each round is one
+// wake event plus one sleep event and exactly one goroutine hand-off.
+func BenchmarkWakeOneHandoff(b *testing.B) {
+	env := NewEnv()
+	wq := NewWaitQueue(env)
+	done := false
+	env.SpawnDaemon("waiter", func(p *Proc) {
+		for !done {
+			wq.Wait(p)
+		}
+	})
+	env.Spawn("waker", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wq.WakeOne()
+			p.Sleep(time.Microsecond)
+		}
+		done = true
+		wq.WakeOne()
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(env.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkHeapChurn measures the 4-ary event heap directly: a steady-state
+// queue of 4096 pending events with one pop + one push per iteration, the
+// access pattern of a busy simulation.
+func BenchmarkHeapChurn(b *testing.B) {
+	env := NewEnv()
+	const depth = 4096
+	nop := func() {}
+	// Seed the queue with events spread over future time.
+	for i := 0; i < depth; i++ {
+		env.ScheduleFunc(Time(i*37%1024)*Time(time.Microsecond), nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := env.queue.pop()
+		at := ev.at + Time(997*time.Nanosecond)
+		env.recycle(ev)
+		if at < env.now {
+			at = env.now
+		}
+		env.ScheduleFunc(at, nop)
+	}
+}

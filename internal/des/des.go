@@ -2,8 +2,8 @@
 //
 // The kernel provides virtual time, an event queue, goroutine-backed
 // simulated processes, and FIFO resources (used to model CPUs and other
-// serially shared hardware). Exactly one goroutine — either the scheduler
-// or a single simulated process — runs at any instant, so simulated code
+// serially shared hardware). Exactly one goroutine — the Run caller or a
+// single simulated process — runs at any instant, so simulated code
 // needs no locking and every run is reproducible: events that share a
 // timestamp fire in the order they were scheduled.
 //
@@ -13,10 +13,21 @@
 // calls is instantaneous in virtual time. This lets functional behaviour
 // (moving real bytes, probing real hash tables) be written as straight-line
 // Go while the timing model stays explicit.
+//
+// # Scheduling fast path
+//
+// There is no dedicated scheduler goroutine. The event loop runs on
+// whichever goroutine last blocked: a process that calls Sleep pops and
+// executes events itself until one of them resumes it (zero context
+// switches for a self-wake) or resumes another process (one channel
+// hand-off, not two). Event records are pooled and carry either a bare
+// callback or a process pointer, so the hot Sleep/WakeOne paths allocate
+// nothing. None of this changes virtual-time results: events still fire
+// in (time, schedule-order) order, only the OS goroutine executing the
+// loop differs.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -40,57 +51,106 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration from u to t.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled callback. Cancelled events stay in the heap but are
-// skipped when popped; this makes timer cancellation O(1).
+// event is a scheduled occurrence: either a callback (fn) run in scheduler
+// context or the resumption of a blocked process (proc). Records are pooled
+// on the Env; gen disarms stale cancel handles after a record is recycled.
+// Cancelled events stay in the heap and are skipped when popped; this makes
+// timer cancellation O(1).
 type event struct {
 	at        Time
 	seq       uint64 // tie-breaker: schedule order
+	gen       uint64 // bumped on recycle; cancel handles check it
 	fn        func()
+	proc      *Proc
 	cancelled bool
-	index     int // heap index, -1 once popped
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether ev fires ahead of o: earlier time first, schedule
+// order breaking ties.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventQueue is a 4-ary min-heap of pooled event records. Events are never
+// removed from the middle (cancellation is lazy), so no per-element index
+// bookkeeping is needed, and the shallow 4-ary layout roughly halves the
+// levels touched per sift compared to a binary heap.
+type eventQueue struct {
+	a []*event
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+func (q *eventQueue) push(ev *event) {
+	a := append(q.a, ev)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.before(a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ev
+	q.a = a
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+func (q *eventQueue) pop() *event {
+	a := q.a
+	n := len(a) - 1
+	top := a[0]
+	last := a[n]
+	a[n] = nil
+	a = a[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			min := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if a[j].before(a[min]) {
+					min = j
+				}
+			}
+			if !a[min].before(last) {
+				break
+			}
+			a[i] = a[min]
+			i = min
+		}
+		a[i] = last
+	}
+	q.a = a
+	return top
 }
 
 // Env is a simulation environment: the event queue, the clock, and the
-// bookkeeping that hands control between the scheduler and at most one
+// bookkeeping that hands control between the event loop and at most one
 // simulated process at a time. Create one with NewEnv; an Env must not be
 // shared across real OS threads while Run is in progress.
 type Env struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	yield  chan struct{} // a proc (or its completion) hands control back here
-	inProc bool          // true while a simulated process is executing
-	nprocs int           // live (spawned, not finished) processes
-	halted bool
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	pool     []*event      // free list of recycled event records
+	mainWake chan struct{} // wakes the Run goroutine at termination
+	stop     func() bool   // RunUntil predicate for the current run
+	runErr   error         // outcome of the current run
+	inProc   bool          // true while a simulated process is executing
+	nprocs   int           // live (spawned, not finished) processes
+	halted   bool
+	executed uint64 // events fired over the environment's lifetime
 
 	obs *obs.Tracer // nil = observability disabled
 
@@ -142,24 +202,78 @@ func (e *Env) Tracer() *obs.Tracer { return e.obs }
 
 // NewEnv returns an empty simulation environment at time zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{})}
+	return &Env{mainWake: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// Schedule arranges for fn to run in scheduler context at time at (clamped
-// to now if in the past). It returns a cancel function; cancelling after
-// the event has fired is a no-op. fn must not block — it runs on the
-// scheduler goroutine. To start blocking work, Spawn a process instead.
-func (e *Env) Schedule(at Time, fn func()) (cancel func()) {
+// Events returns the number of events fired (popped and executed, cancelled
+// ones excluded) over the environment's lifetime. Benchmarks divide this by
+// wall-clock time for an events/sec figure.
+func (e *Env) Events() uint64 { return e.executed }
+
+// alloc takes an event record from the pool, or makes one.
+func (e *Env) alloc() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped record to the pool, disarming outstanding
+// cancel handles via the generation bump.
+func (e *Env) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.cancelled = false
+	e.pool = append(e.pool, ev)
+}
+
+// schedule enqueues a pooled record at the given time (clamped to now),
+// stamped with the next sequence number. The caller fills in fn or proc.
+func (e *Env) schedule(at Time) *event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return func() { ev.cancelled = true }
+	e.queue.push(ev)
+	return ev
+}
+
+// scheduleProc enqueues the resumption of p at the given time. This is the
+// allocation-free path behind Sleep and the wait-queue wakes.
+func (e *Env) scheduleProc(at Time, p *Proc) {
+	e.schedule(at).proc = p
+}
+
+// ScheduleFunc is Schedule without a cancel handle: callers that never
+// cancel (the ATM cell pumps) avoid the closure the handle costs. fn should
+// be a long-lived function value (a pre-bound method), not a fresh closure,
+// or the allocation simply moves to the caller.
+func (e *Env) ScheduleFunc(at Time, fn func()) {
+	e.schedule(at).fn = fn
+}
+
+// Schedule arranges for fn to run in scheduler context at time at (clamped
+// to now if in the past). It returns a cancel function; cancelling after
+// the event has fired is a no-op. fn must not block — it runs on the
+// event-loop goroutine. To start blocking work, Spawn a process instead.
+func (e *Env) Schedule(at Time, fn func()) (cancel func()) {
+	ev := e.schedule(at)
+	ev.fn = fn
+	gen := ev.gen
+	return func() {
+		if ev.gen == gen {
+			ev.cancelled = true
+		}
+	}
 }
 
 // After schedules fn to run d from now. See Schedule.
@@ -212,9 +326,10 @@ func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 		e.obs.Instant("sched", "des", "spawn "+name, time.Duration(e.now))
 	}
 	go func() {
-		// The deferred hand-back runs even if fn exits via runtime.Goexit
+		// The deferred hand-off runs even if fn exits via runtime.Goexit
 		// (e.g. t.Fatal inside simulated test code), so one dying process
-		// cannot wedge the scheduler.
+		// cannot wedge the event loop: the dying goroutine drives the loop
+		// just long enough to pass control onward, then exits.
 		defer func() {
 			p.finished = true
 			if !daemon {
@@ -223,37 +338,20 @@ func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 			if e.obs != nil {
 				e.obs.Instant("sched", "des", "exit "+name, time.Duration(e.now))
 			}
-			e.yield <- struct{}{} // final hand-back; goroutine exits
+			e.loop(nil, true)
 		}()
 		<-p.resume // first activation
 		fn(p)
 	}()
-	e.Schedule(e.now, func() { e.activate(p) })
+	e.scheduleProc(e.now, p)
 	return p
 }
 
-// activate transfers control to p and waits until p blocks or finishes.
-// Runs in scheduler context.
-func (e *Env) activate(p *Proc) {
-	if e.inProc {
-		panic("des: activate from process context")
-	}
-	if p.finished {
-		// Stray wakeup for a process that exited abnormally (Goexit while
-		// it still had a pending event); nothing to run.
-		return
-	}
-	e.inProc = true
-	p.resume <- struct{}{}
-	<-e.yield
-	e.inProc = false
-}
-
-// yieldAndWait is the process side of a block: hand control to the
-// scheduler and sleep until someone activates us again.
-func (p *Proc) yieldAndWait() {
-	p.env.yield <- struct{}{}
-	<-p.resume
+// block parks the calling process: its goroutine takes over the event loop
+// until some event resumes this process (directly, with zero channel
+// hand-offs, if the resuming event is the next one popped).
+func (p *Proc) block() {
+	p.env.loop(p, false)
 }
 
 // Sleep advances the process's virtual time by d (d <= 0 yields to other
@@ -262,16 +360,18 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.Schedule(p.env.now.Add(d), func() { p.env.activate(p) })
-	p.yieldAndWait()
+	p.env.scheduleProc(p.env.now.Add(d), p)
+	p.block()
 }
 
 // Run executes events until the queue is empty or Halt is called. Processes
 // blocked on never-signalled conditions are reported as a deadlock error if
 // any remain when the queue drains.
 func (e *Env) Run() error {
-	return e.run(func() bool { return false })
+	return e.run(neverStop)
 }
+
+var neverStop = func() bool { return false }
 
 // RunUntil executes events with timestamps <= deadline, leaving the rest of
 // the simulation intact so it can be resumed with another Run call. The
@@ -279,7 +379,7 @@ func (e *Env) Run() error {
 // jump to the deadline if the queue drains first.
 func (e *Env) RunUntil(deadline Time) error {
 	return e.run(func() bool {
-		return len(e.queue) > 0 && e.queue[0].at > deadline
+		return e.queue.len() > 0 && e.queue.a[0].at > deadline
 	})
 }
 
@@ -292,25 +392,96 @@ func (e *Env) run(stop func() bool) error {
 		panic("des: Run from process context")
 	}
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
-		if stop() {
-			return nil
+	e.stop = stop
+	e.runErr = nil
+	e.loop(nil, false)
+	e.stop = nil
+	return e.runErr
+}
+
+// loop is the event loop. It migrates between goroutines instead of living
+// on a dedicated one:
+//
+//   - self != nil: a blocked process is driving the loop. The loop returns
+//     when an event resumes self — either popped directly (no hand-off) or,
+//     after control passed elsewhere, via self's resume channel.
+//   - self == nil, dying == false: the Run goroutine is driving. On
+//     hand-off it parks until termination is signalled on mainWake.
+//   - self == nil, dying == true: a finished process's goroutine is
+//     unwinding; it hands control onward and exits without parking.
+//
+// Termination (halt, stop predicate, or a drained queue) records the run's
+// outcome in runErr; whichever goroutine detects it wakes the Run
+// goroutine. Exactly one goroutine executes loop at any instant, so Env
+// state needs no locking; every transfer is an unbuffered channel
+// rendezvous, which orders memory on both sides.
+func (e *Env) loop(self *Proc, dying bool) {
+	e.inProc = false // whoever enters the loop left process context
+	for {
+		if e.halted {
+			e.terminate(self, dying, nil)
+			return
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		if e.queue.len() == 0 {
+			var err error
+			if e.nprocs > 0 {
+				err = fmt.Errorf("des: deadlock: %d process(es) blocked with no pending events", e.nprocs)
+			}
+			e.terminate(self, dying, err)
+			return
+		}
+		if e.stop() {
+			e.terminate(self, dying, nil)
+			return
+		}
+		ev := e.queue.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
 			panic("des: time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		e.executed++
+		if p := ev.proc; p != nil {
+			e.recycle(ev)
+			if p.finished {
+				// Stray wakeup for a process that exited abnormally
+				// (Goexit while it still had a pending event).
+				continue
+			}
+			e.inProc = true
+			if p == self {
+				return // self-wake: resume our own code, no hand-off
+			}
+			p.resume <- struct{}{}
+			switch {
+			case dying:
+				return // goroutine exits
+			case self == nil:
+				<-e.mainWake // park the Run goroutine until termination
+				return
+			default:
+				<-self.resume // park until an event resumes self
+				return
+			}
+		}
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
-	if e.halted {
-		return nil
+}
+
+// terminate records the run's outcome and returns control to the Run
+// goroutine. A parked process stays parked until a later Run resumes it.
+func (e *Env) terminate(self *Proc, dying bool, err error) {
+	e.runErr = err
+	if self == nil && !dying {
+		return // we are the Run goroutine
 	}
-	if e.nprocs > 0 {
-		return fmt.Errorf("des: deadlock: %d process(es) blocked with no pending events", e.nprocs)
+	e.mainWake <- struct{}{}
+	if self != nil {
+		<-self.resume // a later Run popped our resumption event
 	}
-	return nil
 }

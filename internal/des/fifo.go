@@ -38,6 +38,21 @@ func (f *FIFO[T]) Cap() int { return f.capacity }
 
 func (f *FIFO[T]) full() bool { return f.capacity > 0 && len(f.items) >= f.capacity }
 
+// Full reports whether a Put would block (or a TryPut would drop).
+func (f *FIFO[T]) Full() bool { return f.full() }
+
+// OnItem parks fn as a one-shot getter: it is scheduled (at the instant of
+// the wake) when an item becomes available for it, with the same queue
+// position and event ordering a process blocked in Get would have. The
+// callback must TryGet itself and re-register if it wants more.
+func (f *FIFO[T]) OnItem(fn func()) { f.getters.WaitFunc(fn) }
+
+// OnSpace parks fn as a one-shot putter: it is scheduled when queue space
+// frees up for it, ordered exactly like a process blocked in Put. The
+// callback must re-check Full (another putter may race it at the same
+// instant) and re-register if still full.
+func (f *FIFO[T]) OnSpace(fn func()) { f.putters.WaitFunc(fn) }
+
 // Put appends item, blocking while the queue is full.
 func (f *FIFO[T]) Put(p *Proc, item T) {
 	for f.full() {

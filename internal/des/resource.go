@@ -11,7 +11,10 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	// Waiter queue: a slice consumed from whead, reset when it empties, so
+	// the backing array is reused instead of reallocated on every hand-off.
+	waiters []*Proc
+	whead   int
 
 	busy       Duration // accumulated slot-busy time (capacity slots ⇒ up to capacity× wall time)
 	lastChange Time
@@ -40,14 +43,14 @@ func (r *Resource) sample() {
 	if tr := r.env.obs; tr.EventsEnabled() {
 		at := time.Duration(r.env.now)
 		tr.Counter(r.name+".busy", at, float64(r.inUse))
-		tr.Counter(r.name+".queue", at, float64(len(r.waiters)))
+		tr.Counter(r.name+".queue", at, float64(len(r.waiters)-r.whead))
 	}
 }
 
 // Acquire blocks until a slot is free and claims it. Waiters are served in
 // FIFO order.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && len(r.waiters) == r.whead {
 		r.account()
 		r.inUse++
 		r.sample()
@@ -61,7 +64,7 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	p.woken = false
 	for !p.woken {
-		p.yieldAndWait()
+		p.block()
 	}
 	if tr := r.env.obs; tr != nil {
 		tr.Instant(r.name, "des", "grant "+p.name, time.Duration(r.env.now))
@@ -75,12 +78,17 @@ func (r *Resource) Release() {
 	if r.inUse < 0 {
 		panic("des: release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
-		next := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if len(r.waiters) > r.whead {
+		next := r.waiters[r.whead]
+		r.waiters[r.whead] = nil
+		r.whead++
+		if r.whead == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.whead = 0
+		}
 		r.inUse++ // slot passes directly to next
 		next.woken = true
-		r.env.Schedule(r.env.now, func() { r.env.activate(next) })
+		r.env.scheduleProc(r.env.now, next)
 	}
 	r.sample()
 }
@@ -120,42 +128,71 @@ func (r *Resource) Utilization(since Time) float64 {
 // and other code (process or scheduler context) Wakes them in FIFO order.
 // A wake with no waiter is NOT remembered (unlike a semaphore); use FIFO
 // for buffered hand-off.
+//
+// Besides blocked processes, a waiter may be a one-shot callback (WaitFunc)
+// run in scheduler context. A woken callback is scheduled at the current
+// instant exactly like a woken process's resumption, so replacing a daemon
+// process with a callback consumer does not perturb event ordering.
 type WaitQueue struct {
-	env     *Env
-	waiters []*Proc
+	env *Env
+	// Consumed from head, reset when drained; see Resource.waiters.
+	waiters []waiter
+	head    int
+}
+
+// waiter is one parked consumer: a blocked process or a one-shot callback.
+type waiter struct {
+	p  *Proc
+	fn func()
 }
 
 // NewWaitQueue creates an empty wait queue.
 func NewWaitQueue(env *Env) *WaitQueue { return &WaitQueue{env: env} }
 
-// Len reports the number of blocked waiters.
-func (q *WaitQueue) Len() int { return len(q.waiters) }
+// Len reports the number of parked waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) - q.head }
 
 // Wait blocks the calling process until a Wake is directed at it.
 func (q *WaitQueue) Wait(p *Proc) {
-	q.waiters = append(q.waiters, p)
+	q.waiters = append(q.waiters, waiter{p: p})
 	if tr := q.env.obs; tr.EventsEnabled() {
 		tr.Instant("proc:"+p.name, "des", "block", time.Duration(q.env.now))
 	}
 	p.woken = false
 	for !p.woken {
-		p.yieldAndWait()
+		p.block()
 	}
 	if tr := q.env.obs; tr.EventsEnabled() {
 		tr.Instant("proc:"+p.name, "des", "wake", time.Duration(q.env.now))
 	}
 }
 
-// WakeOne unblocks the longest-waiting process, if any, reporting whether
+// WaitFunc parks fn as a one-shot waiter: the next Wake that reaches it
+// schedules fn at the current instant and forgets it. Re-register to keep
+// listening. fn should be a long-lived function value; see ScheduleFunc.
+func (q *WaitQueue) WaitFunc(fn func()) {
+	q.waiters = append(q.waiters, waiter{fn: fn})
+}
+
+// WakeOne unblocks the longest-waiting consumer, if any, reporting whether
 // one was woken.
 func (q *WaitQueue) WakeOne() bool {
-	if len(q.waiters) == 0 {
+	if len(q.waiters) == q.head {
 		return false
 	}
-	next := q.waiters[0]
-	q.waiters = q.waiters[1:]
-	next.woken = true
-	q.env.Schedule(q.env.now, func() { q.env.activate(next) })
+	next := q.waiters[q.head]
+	q.waiters[q.head] = waiter{}
+	q.head++
+	if q.head == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.head = 0
+	}
+	if next.p != nil {
+		next.p.woken = true
+		q.env.scheduleProc(q.env.now, next.p)
+	} else {
+		q.env.ScheduleFunc(q.env.now, next.fn)
+	}
 	return true
 }
 

@@ -60,6 +60,7 @@ type ChaosResult struct {
 	Retries   int64    // reliable-layer retransmissions
 	Giveups   int64    // operations that exhausted their retry budget
 	Injected  []string // the engine's per-kind fault tally ("loss=412", …)
+	Events    uint64   // simulator events executed in the measured leg
 	// Metrics is the deterministic metric snapshot of the chaos run —
 	// identical seeds produce byte-identical snapshots.
 	Metrics obs.Snapshot
@@ -121,6 +122,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Metrics:  leg.tr.Snapshot(),
 		Window:   leg.window,
 		Replays:  leg.rig.replays,
+		Events:   leg.events,
 	}
 	res.Retries = res.Metrics.Counter("reliable.retries")
 	res.Giveups = res.Metrics.Counter("reliable.giveup")
@@ -146,6 +148,7 @@ type chaosLeg struct {
 	eng    *faults.Engine
 	rig    *experimentRig
 	window time.Duration
+	events uint64
 }
 
 // runChaosMix runs the twelve operations sequentially on one rig. camp ==
@@ -248,6 +251,7 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode Mode, failover bool) (*
 		return nil, err
 	}
 	leg.ops = ops
+	leg.events = env.Events()
 	return leg, nil
 }
 

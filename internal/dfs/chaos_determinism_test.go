@@ -1,0 +1,75 @@
+package dfs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netmem/internal/faults"
+)
+
+// TestChaosMixedDeterministic is the determinism golden test: the mixed
+// campaign (loss + corruption + duplication + reordering + a primary crash
+// with failover) run twice at seed 1 in the same process must produce
+// byte-identical results — every per-op latency, every metric counter and
+// histogram in the obs snapshot, the fault tally, and the failover MTTR.
+// This promotes the CI shell-diff smoke (fsbench -chaos mixed twice, diff)
+// into a real Go test that also runs under -race: any scheduler-order or
+// map-iteration nondeterminism in the hot path shows up here as a diff.
+func TestChaosMixedDeterministic(t *testing.T) {
+	camp, ok := faults.Named("mixed")
+	if !ok {
+		t.Fatal("mixed campaign not registered")
+	}
+	runOnce := func() ([]byte, *ChaosResult) {
+		res, err := RunChaos(ChaosConfig{Campaign: camp, Seed: 1, Mode: DX})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		// Serialize everything: the JSON covers the structured result
+		// (including the metric snapshot), the String() rendering covers the
+		// snapshot's formatted table output used by reports.
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return append(js, res.Metrics.String()...), res
+	}
+	b1, r1 := runOnce()
+	b2, _ := runOnce()
+	if !bytes.Equal(b1, b2) {
+		d1, d2 := diffLine(b1, b2)
+		t.Fatalf("mixed campaign not deterministic at seed 1:\n run1: …%s…\n run2: …%s…", d1, d2)
+	}
+	// The smoke's goodput gate rides along: all twelve ops must complete
+	// byte-correct, and the crash schedule must actually have failed over.
+	if r1.Completed != len(r1.Ops) || len(r1.Ops) != 12 {
+		t.Errorf("goodput %d/%d, want 12/12", r1.Completed, len(r1.Ops))
+	}
+	if !r1.FailedOver || r1.MTTR <= 0 {
+		t.Errorf("expected a measured failover (FailedOver=%v MTTR=%v)", r1.FailedOver, r1.MTTR)
+	}
+}
+
+// diffLine returns a context window around the first differing byte.
+func diffLine(a, b []byte) (string, string) {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s []byte) string {
+		hi := i + 40
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return ""
+		}
+		return string(s[lo:hi])
+	}
+	return win(a), win(b)
+}

@@ -1,0 +1,42 @@
+package rmem
+
+// BufPool recycles the byte buffers that timed read paths hand to their
+// callers (seqlock record snapshots, local segment reads). A simulation is
+// single-threaded by construction — exactly one goroutine runs at any
+// instant — so the pool needs no locking.
+//
+// Buffers come out of Get sized exactly to the request; Put returns one for
+// reuse. A buffer that is never Put back is simply garbage, so callers that
+// retain results indefinitely keep working — they just don't benefit.
+type BufPool struct {
+	bufs [][]byte
+}
+
+// Get returns a buffer of length n, reusing a pooled one when its capacity
+// suffices.
+func (bp *BufPool) Get(n int) []byte {
+	for i := len(bp.bufs) - 1; i >= 0; i-- {
+		if b := bp.bufs[i]; cap(b) >= n {
+			last := len(bp.bufs) - 1
+			bp.bufs[i] = bp.bufs[last]
+			bp.bufs[last] = nil
+			bp.bufs = bp.bufs[:last]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// Put returns a buffer to the pool. The caller must not use it afterwards.
+func (bp *BufPool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp.bufs = append(bp.bufs, b[:0])
+}
+
+// Buffers exposes the manager's read-buffer pool. Callers of the read
+// helpers that return fresh slices (Segment.ReadLocal, ReadRecord) can Put
+// the result back here once done with it, making those paths allocation
+// free in steady state.
+func (m *Manager) Buffers() *BufPool { return &m.bufs }

@@ -1,0 +1,90 @@
+package rmem
+
+import (
+	"testing"
+
+	"netmem/internal/des"
+)
+
+func TestBufPoolReuse(t *testing.T) {
+	var bp BufPool
+	a := bp.Get(64)
+	if len(a) != 64 {
+		t.Fatalf("len = %d, want 64", len(a))
+	}
+	bp.Put(a)
+	b := bp.Get(32)
+	if &a[:1][0] != &b[:1][0] {
+		t.Fatal("Get did not reuse the pooled buffer")
+	}
+	if len(b) != 32 {
+		t.Fatalf("len = %d, want 32", len(b))
+	}
+	bp.Put(nil) // cap-0 buffers are ignored
+	if n := len(bp.bufs); n != 0 {
+		t.Fatalf("pool holds %d buffers after Put(nil), want 0", n)
+	}
+}
+
+func TestBufPoolGrowsOnDemand(t *testing.T) {
+	var bp BufPool
+	bp.Put(make([]byte, 8))
+	big := bp.Get(1024)
+	if len(big) != 1024 {
+		t.Fatalf("len = %d, want 1024", len(big))
+	}
+	if n := len(bp.bufs); n != 1 {
+		t.Fatalf("small buffer should remain pooled, have %d", n)
+	}
+}
+
+// TestReadLocalAllocFree is the regression test for the fresh-buffer-per-read
+// allocations that ReadLocal (and ReadRecord) used to make: with the buffer
+// pool in place, a steady-state read/Put loop must be allocation free. The
+// measurement runs inside the simulation so it also covers the event-record
+// pooling in the scheduler hot path (each ReadLocal charges CPU time, which
+// schedules and pops a pooled timer event).
+func TestReadLocalAllocFree(t *testing.T) {
+	env, _, m0, _ := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		seg := m0.Export(p, 4096)
+		pool := m0.Buffers()
+		// Warm the pool and the event free list.
+		for i := 0; i < 4; i++ {
+			pool.Put(seg.ReadLocal(p, 0, 128))
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			pool.Put(seg.ReadLocal(p, 0, 128))
+		})
+		if avg > 0 {
+			t.Errorf("ReadLocal allocates %.2f objects/op in steady state, want 0", avg)
+		}
+	})
+}
+
+// TestReadRecordUsesPool checks that seqlock snapshots come from (and return
+// to) the manager's buffer pool rather than being freshly allocated per read.
+func TestReadRecordUsesPool(t *testing.T) {
+	env, _, m0, m1 := testPair(t)
+	run(t, env, func(p *des.Proc) {
+		const n = 24
+		seg := m1.Export(p, RecordSize(n))
+		seg.SetDefaultRights(RightRead)
+		PublishRecord(p, seg, 0, []byte("poolable-body-24-bytes!!"))
+
+		imp := m0.Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		dst := m0.Export(p, RecordSize(n))
+		first, err := ReadRecord(p, imp, 0, n, dst, 0, 3, 10*des.Duration(1e9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m0.Buffers().Put(first)
+		second, err := ReadRecord(p, imp, 0, n, dst, 0, 3, 10*des.Duration(1e9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &first[:1][0] != &second[:1][0] {
+			t.Error("second ReadRecord did not reuse the pooled snapshot buffer")
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package rmem
+
+import (
+	"sort"
+	"testing"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/faults"
+	"netmem/internal/model"
+	"netmem/internal/obs"
+)
+
+// TestCASLinearizableUnderFaults is a property test of the at-most-once CAS
+// path: N clerks on distinct nodes hammer one shared word through the
+// reliability layer while the link fabric duplicates (dup1) or reorders
+// (reorder2) cells. Each clerk reads the word and tries CAS(v, v+1); a
+// success claims slot v. The winner sequence admits a sequential history iff
+//
+//   - every slot 0..total-1 is claimed exactly once (a slot claimed twice
+//     means a retransmitted CAS was re-executed; a gap means a phantom
+//     increment), and
+//   - each clerk's own claims are strictly increasing (the word only grows,
+//     so program order must agree with the claimed positions).
+func TestCASLinearizableUnderFaults(t *testing.T) {
+	const (
+		clerks   = 4
+		winsEach = 12
+		total    = clerks * winsEach
+	)
+	for _, name := range []string{"dup1", "reorder2"} {
+		for _, seed := range []int64{1, 13} {
+			camp, ok := faults.Named(name)
+			if !ok {
+				t.Fatalf("campaign %q not registered", name)
+			}
+			t.Run(camp.Name, func(t *testing.T) {
+				env := des.NewEnv()
+				env.Seed(seed)
+				tr := obs.New(obs.Config{})
+				env.SetTracer(tr)
+				eng := faults.NewEngine(env, camp)
+				c := cluster.New(env, &model.Default, clerks+1, cluster.WithFaultEngine(eng))
+				mgrs := make([]*Manager, clerks+1)
+				for i := range mgrs {
+					mgrs[i] = NewManager(c.Nodes[i])
+				}
+
+				claims := make([][]uint32, clerks)
+				var seg *Segment
+				env.Spawn("setup", func(p *des.Proc) {
+					seg = mgrs[0].Export(p, 64)
+					seg.SetDefaultRights(RightsAll)
+					for i := 0; i < clerks; i++ {
+						i := i
+						env.Spawn("clerk", func(cp *des.Proc) {
+							imp := mgrs[i+1].Import(cp, 0, seg.ID(), seg.Gen(), seg.Size())
+							imp.SetReliable(true)
+							local := mgrs[i+1].Export(cp, 64)
+							for len(claims[i]) < winsEach {
+								if err := imp.Read(cp, 0, 4, local, 0, 0); err != nil {
+									t.Errorf("clerk %d read: %v", i, err)
+									return
+								}
+								v := be32(local.Bytes())
+								ok, err := imp.CAS(cp, 0, v, v+1, local, 8, 0)
+								if err != nil {
+									t.Errorf("clerk %d CAS: %v", i, err)
+									return
+								}
+								if ok {
+									claims[i] = append(claims[i], v)
+								}
+							}
+						})
+					}
+				})
+				if err := env.Run(); err != nil {
+					t.Fatalf("sim: %v", err)
+				}
+
+				// Per-clerk program order must agree with claimed positions.
+				var all []uint32
+				for i, cs := range claims {
+					for k := 1; k < len(cs); k++ {
+						if cs[k] <= cs[k-1] {
+							t.Errorf("clerk %d claims not increasing: %v", i, cs)
+							break
+						}
+					}
+					all = append(all, cs...)
+				}
+				// Global: slots 0..total-1 exactly once.
+				if len(all) != total {
+					t.Fatalf("%d wins recorded, want %d", len(all), total)
+				}
+				sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+				for k, v := range all {
+					if v != uint32(k) {
+						t.Fatalf("winner sequence not a permutation of 0..%d: slot %d claimed as %d (duplicate or gap ⇒ no sequential history)", total-1, k, v)
+					}
+				}
+				if got := be32(seg.Bytes()); got != total {
+					t.Errorf("final word = %d, want %d", got, total)
+				}
+				// The run must actually have exercised the campaign's fault.
+				kind := faults.KindDup
+				if camp.Name == "reorder2" {
+					kind = faults.KindReorder
+				}
+				if eng.Injected(kind) == 0 {
+					t.Errorf("campaign %s injected no %s faults — property unexercised at seed %d", camp.Name, kind, seed)
+				}
+			})
+		}
+	}
+}

@@ -108,10 +108,12 @@ func (s *Segment) localAccessCost(p *des.Proc, n int) {
 }
 
 // ReadLocal copies n bytes at off out of the segment with local-access
-// timing.
+// timing. The returned buffer comes from the manager's pool
+// (Manager.Buffers); callers may Put it back when done to make repeated
+// reads allocation-free.
 func (s *Segment) ReadLocal(p *des.Proc, off, n int) []byte {
 	s.localAccessCost(p, n)
-	out := make([]byte, n)
+	out := s.m.bufs.Get(n)
 	copy(out, s.buf[off:off+n])
 	return out
 }

@@ -273,6 +273,10 @@ type Manager struct {
 	// memory. fenceDefault opts new imports into carrying the epoch.
 	incarnation  uint16
 	fenceDefault bool
+
+	// bufs recycles read-result buffers (seqlock snapshots, local reads);
+	// see Buffers.
+	bufs BufPool
 }
 
 // ackWait is an outstanding reliable WRITE awaiting acknowledgement.

@@ -61,7 +61,9 @@ func ReadRecord(p *des.Proc, imp *Import, off, n int, dst *Segment, doff int, re
 		}
 		buf := dst.Bytes()[doff : doff+total]
 		if recordConsistent(buf, n) {
-			out := make([]byte, n)
+			// The snapshot comes from the importer's buffer pool; callers
+			// done with it can return it via Manager.Buffers().Put.
+			out := imp.m.bufs.Get(n)
 			copy(out, buf[4:4+n])
 			return out, nil
 		}

@@ -1,0 +1,109 @@
+package rmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sameWire compares two decoded messages field by field (data compared by
+// content, so nil and empty are equivalent).
+func sameWire(a, b *wireMsg) bool {
+	return a.kind == b.kind && a.notify == b.notify && a.swap == b.swap &&
+		a.rel == b.rel && a.rgen == b.rgen && a.rseq == b.rseq &&
+		a.fence == b.fence && a.epoch == b.epoch &&
+		a.seg == b.seg && a.gen == b.gen && a.off == b.off &&
+		a.count == b.count && a.req == b.req && a.status == b.status &&
+		a.success == b.success && a.oldW == b.oldW && a.newW == b.newW &&
+		a.code == b.code && bytes.Equal(a.data, b.data)
+}
+
+// FuzzWireRoundTrip builds a message from fuzzed fields — every kind, every
+// combination of the flagNotify/flagSwap/flagRel/flagEpoch bits — encodes it,
+// and requires the decoder to reproduce it exactly.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(byte(kindWrite), false, false, false, false, uint16(0), uint32(0), uint16(0), uint16(1), uint16(1), uint32(64), uint32(0), uint32(0), uint32(0), uint32(0), byte(0), false, byte(0), []byte("payload"))
+	f.Add(byte(kindRead), true, false, true, false, uint16(3), uint32(9), uint16(0), uint16(2), uint16(1), uint32(128), uint32(48), uint32(7), uint32(0), uint32(0), byte(0), false, byte(0), []byte(nil))
+	f.Add(byte(kindCAS), false, true, true, true, uint16(5), uint32(77), uint16(2), uint16(4), uint16(3), uint32(8), uint32(0), uint32(11), uint32(1), uint32(2), byte(0), false, byte(0), []byte(nil))
+	f.Add(byte(kindNack), false, false, true, true, uint16(1), uint32(2), uint16(9), uint16(1), uint16(1), uint32(0), uint32(0), uint32(0), uint32(0), uint32(0), byte(0), false, byte(3), []byte(nil))
+	f.Add(byte(kindWriteAck), false, false, true, false, uint16(6), uint32(41), uint16(0), uint16(0), uint16(0), uint32(0), uint32(0), uint32(0), uint32(0), uint32(0), byte(0), false, byte(0), []byte(nil))
+	f.Add(byte(kindReadReply), false, false, false, false, uint16(0), uint32(0), uint16(0), uint16(0), uint16(0), uint32(0), uint32(0), uint32(5), uint32(0), uint32(0), byte(1), false, byte(0), []byte{1, 2, 3})
+	f.Add(byte(kindCASReply), false, false, false, false, uint16(0), uint32(0), uint16(0), uint16(0), uint16(0), uint32(0), uint32(0), uint32(5), uint32(0), uint32(0), byte(0), true, byte(0), []byte(nil))
+	f.Fuzz(func(t *testing.T, kind byte, notify, swap, rel, fence bool,
+		rgen uint16, rseq uint32, epoch uint16, seg, gen uint16, off, count, req uint32,
+		oldW, newW uint32, status byte, success bool, code byte, data []byte) {
+		kind = kind%kindWriteAck + 1 // clamp to the valid kind range
+		if kind == kindWriteAck {
+			rel = true // WRACK always carries the reliability identity
+		}
+		in := &wireMsg{kind: kind, notify: notify, swap: swap,
+			rel: rel, rgen: rgen, rseq: rseq, fence: fence, epoch: epoch,
+			seg: seg, gen: gen, off: off, count: count, req: req,
+			oldW: oldW, newW: newW, status: status, success: success,
+			code: code, data: data}
+		// Fields the wire format doesn't carry for this kind won't survive;
+		// zero them so the comparison checks exactly what travels.
+		switch kind {
+		case kindWrite:
+			in.count, in.req, in.oldW, in.newW = 0, 0, 0, 0
+			in.status, in.success, in.code = 0, false, 0
+		case kindRead:
+			in.oldW, in.newW, in.status, in.success, in.code, in.data = 0, 0, 0, false, 0, nil
+		case kindReadReply:
+			in.seg, in.gen, in.off, in.count, in.oldW, in.newW = 0, 0, 0, 0, 0, 0
+			in.success, in.code = false, 0
+		case kindCAS:
+			in.count, in.status, in.success, in.code, in.data = 0, 0, false, 0, nil
+		case kindCASReply:
+			in.seg, in.gen, in.off, in.count, in.oldW, in.newW = 0, 0, 0, 0, 0, 0
+			in.req, in.code, in.data = req, 0, nil
+		case kindNack:
+			in.count, in.req, in.oldW, in.newW, in.status, in.success, in.data = 0, 0, 0, 0, 0, false, nil
+		case kindWriteAck:
+			in.seg, in.gen, in.off, in.count, in.req = 0, 0, 0, 0, 0
+			in.oldW, in.newW, in.status, in.success, in.code, in.data = 0, 0, 0, false, 0, nil
+		}
+		if !rel {
+			in.rgen, in.rseq = 0, 0
+		}
+		if !fence {
+			in.epoch = 0
+		}
+		frame := in.encode()
+		out, err := decode(frame)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)) failed: %v", in, err)
+		}
+		if !sameWire(in, out) {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+		}
+	})
+}
+
+// FuzzWireDecode throws arbitrary bytes at the decoder: it must never panic,
+// and any frame it accepts must re-encode to a decoding fixpoint (the wire
+// format is self-describing; a second round trip cannot drift).
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{kindWrite, 0, 1, 0, 1, 0, 0, 0, 64, 'h', 'i'})
+	f.Add([]byte{kindWriteAck | flagRel, 0, 1, 0, 0, 0, 9})
+	f.Add([]byte{kindCAS | flagRel | flagEpoch})
+	f.Add([]byte{kindNack | flagEpoch, 0, 2, 0, 1, 0, 1, 0, 0, 0, 0, 3})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	for k := byte(1); k <= kindWriteAck; k++ {
+		f.Add([]byte{k | flagRel | flagEpoch | flagNotify | flagSwap,
+			1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26})
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		m, err := decode(frame)
+		if err != nil {
+			return // rejected cleanly; all we require is "no panic"
+		}
+		again, err := decode(m.encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !sameWire(m, again) {
+			t.Fatalf("decode/encode fixpoint drift:\n first  %+v\n second %+v", m, again)
+		}
+	})
+}

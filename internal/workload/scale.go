@@ -29,6 +29,7 @@ type ScalePoint struct {
 	OpsPerSec  float64
 	ServerUtil float64 // server CPU utilization during the window
 	MeanLatMs  float64 // mean per-operation latency, milliseconds
+	Events     uint64  // simulator events executed (see des.Env.Events)
 }
 
 // ScaleConfig parameterizes the experiment.
@@ -126,6 +127,7 @@ func RunScale(cfg ScaleConfig) (ScalePoint, error) {
 		OpsDone:    opsDone,
 		OpsPerSec:  float64(opsDone) / elapsed.Seconds(),
 		ServerUtil: srv.Node().CPU.Utilization(start),
+		Events:     env.Events(),
 	}
 	if opsDone > 0 {
 		pt.MeanLatMs = (totalLat / time.Duration(opsDone)).Seconds() * 1000
