@@ -7,6 +7,10 @@
 //	           Table 1a operation mix
 //	-scale N   the scalability extension: 1..N clients replaying the mix,
 //	           server utilization and throughput under both structures
+//	-shards N  the sharded-tier sweep: 1..N file servers partitioning the
+//	           namespace by consistent hashing, load scaled proportionally
+//	           (4 clients per shard), reporting per-shard CPU occupancy,
+//	           aggregate goodput, and the token-cached re-read probe
 //
 // With no flags it runs figures 2 and 3 plus the headline.
 //
@@ -21,18 +25,22 @@
 // latency degradation against a fault-free baseline. -chaos list shows
 // the campaigns, -chaos all runs every one; -seed fixes the campaign's
 // random streams (identical seeds replay identically), and -metrics adds
-// the run's deterministic metric snapshot.
+// the run's deterministic metric snapshot. Combining -chaos with
+// -shards S (S > 1) runs the campaign against the sharded tier with a
+// fenced standby per shard.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"netmem/internal/dfs"
 	"netmem/internal/faults"
 	"netmem/internal/obs"
+	"netmem/internal/shard"
 	"netmem/internal/stats"
 	"netmem/internal/workload"
 )
@@ -47,15 +55,21 @@ func main() {
 	modeName := flag.String("mode", "DX", "file service structure to trace, HY or DX (with -trace/-metrics)")
 	chaos := flag.String("chaos", "", `run the Figure 2 mix under a fault campaign ("list", "all", or a name)`)
 	seed := flag.Int64("seed", 0, "campaign seed for -chaos (0 = default)")
+	shards := flag.Int("shards", 0, "sharded-tier sweep up to this many shards (with -chaos: shard count for the campaign)")
 	flag.Parse()
 
 	if *chaos != "" {
-		runChaos(*chaos, *seed, *metrics)
+		runChaos(*chaos, *seed, *metrics, *shards)
 		return
 	}
 
 	if *metrics || *traceFile != "" {
 		runTraced(*opLabel, *modeName, *metrics, *traceFile)
+		return
+	}
+
+	if *shards > 0 {
+		runShardSweep(*shards)
 		return
 	}
 
@@ -223,8 +237,10 @@ func runTraced(opLabel, modeName string, metrics bool, traceFile string) {
 }
 
 // runChaos runs the Figure 2 mix under one or every named fault campaign
-// and prints goodput and latency degradation per operation.
-func runChaos(name string, seed int64, metrics bool) {
+// and prints goodput and latency degradation per operation. With
+// shards > 1 the campaign targets the sharded tier instead of the single
+// server.
+func runChaos(name string, seed int64, metrics bool, shards int) {
 	if name == "list" {
 		fmt.Println("chaos campaigns:")
 		for _, n := range faults.CampaignNames() {
@@ -242,6 +258,16 @@ func runChaos(name string, seed int64, metrics bool) {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "fsbench: unknown campaign %q (try -chaos list)\n", n)
 			os.Exit(1)
+		}
+		if shards > 1 {
+			res, err := shard.RunChaos(shard.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX, Shards: shards})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fsbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("Sharded tier: %d shards, consistent-hash routing, fenced standby per shard\n", res.Shards)
+			printChaos(&res.ChaosResult, metrics)
+			continue
 		}
 		res, err := dfs.RunChaos(dfs.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX})
 		if err != nil {
@@ -299,6 +325,49 @@ func printChaos(res *dfs.ChaosResult, metrics bool) {
 		fmt.Print(res.Metrics.String())
 		fmt.Println()
 	}
+}
+
+// runShardSweep measures the sharded tier at 1..maxShards shards with
+// load scaled proportionally (4 closed-loop clients per shard), then runs
+// the token-cache probe: a re-read under a held read token must cost the
+// servers nothing.
+func runShardSweep(maxShards int) {
+	fmt.Println("Sharded scaling: consistent-hash namespace partitioning, 4 clients per shard")
+	fmt.Println()
+	t := stats.NewTable("Shards", "Clients", "Ops/s", "Per-shard util", "Mean util", "vs 1-shard", "Mean latency")
+	var base float64
+	for s := 1; s <= maxShards; s++ {
+		pt, err := workload.RunShardScale(workload.ShardScaleConfig{
+			Shards: s, Mode: dfs.DX,
+			Window: time.Second, ThinkTime: 2 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsbench:", err)
+			os.Exit(1)
+		}
+		if s == 1 {
+			base = pt.MeanUtil
+		}
+		utils := make([]string, len(pt.ShardUtil))
+		for i, u := range pt.ShardUtil {
+			utils[i] = fmt.Sprintf("%.2f", u)
+		}
+		t.Add(s, pt.Clients, fmt.Sprintf("%.0f", pt.OpsPerSec),
+			strings.Join(utils, " "),
+			fmt.Sprintf("%.2f", pt.MeanUtil),
+			fmt.Sprintf("%+.0f%%", (pt.MeanUtil/base-1)*100),
+			fmt.Sprintf("%.2fms", pt.MeanLatMs))
+	}
+	fmt.Println(t)
+	fmt.Println("(load scales with shards: per-shard occupancy should stay near the 1-shard baseline)")
+	fmt.Println()
+	probe, err := shard.TokenRereadProbe(maxShards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench: token probe:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Token-coherent cache probe (%d shards): re-read of %d bytes served from client cache — %d token hits, 0 server CPU, 0 remote reads\n",
+		probe.Shards, probe.Bytes, probe.TokenHits)
 }
 
 func runScale(maxClients int) {

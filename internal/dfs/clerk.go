@@ -209,6 +209,10 @@ func (c *Clerk) callTimeout() time.Duration {
 	return time.Duration(pp.RetryLimit+1) * pp.RetryBackoffMax
 }
 
+// EffectiveCallTimeout is the bound callTimeout derives (external harnesses
+// poll deposit counters against the same deadline the clerk itself uses).
+func (c *Clerk) EffectiveCallTimeout() time.Duration { return c.callTimeout() }
+
 // FlushLocal drops the clerk's client-side caches (between experiment
 // iterations, so each measured operation exercises the clerk↔server path).
 func (c *Clerk) FlushLocal() {
@@ -774,3 +778,76 @@ func (c *Clerk) ReleaseToken(p *des.Proc, h fstore.Handle, block int64) error {
 
 // Node returns the clerk's node, for accounting.
 func (c *Clerk) Node() *cluster.Node { return c.m.Node }
+
+// ---------------------------------------------------------------------------
+// Coherence repairs. A sharded deployment (internal/shard) executes a
+// namespace mutation on the shard owning the source directory; cache areas
+// on *other* shards can then hold stale records for the objects the
+// mutation touched. These helpers force the server procedure to reload (or
+// drop, via the error-path dropAttr/dropName in execute) the affected
+// records, bypassing both the local cache and the DX probe fast path.
+
+// Refresh reloads h's attribute record through the server procedure. An
+// error (e.g. the handle was removed) still repairs the server cache: the
+// server drops the stale record before failing.
+func (c *Clerk) Refresh(p *des.Proc, h fstore.Handle) error {
+	delete(c.lAttr, h)
+	rep, err := c.call(p, &request{Op: OpGetAttr, Handle: h})
+	if err != nil {
+		return err
+	}
+	if len(rep) >= attrLen {
+		c.lAttr[h] = unpackAttr(rep)
+	}
+	return nil
+}
+
+// RefreshDir re-serializes dir through the server procedure, replacing
+// every cached directory chunk on the server and dropping ours.
+func (c *Clerk) RefreshDir(p *des.Proc, dir fstore.Handle) error {
+	c.invalidateDir(dir)
+	_, err := c.call(p, &request{Op: OpReadDir, Handle: dir, Offset: 0, Count: int32(fstore.BlockSize)})
+	return err
+}
+
+// RefreshLookup reloads the (dir, name) record through the server
+// procedure; a failed lookup drops the stale record server-side.
+func (c *Clerk) RefreshLookup(p *des.Proc, dir fstore.Handle, name string) error {
+	delete(c.lName, dirNameKey(dir, name))
+	rep, err := c.call(p, &request{Op: OpLookup, Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	if len(rep) >= 8+attrLen {
+		child := fstore.HandleFromU64(binary.BigEndian.Uint64(rep))
+		a := unpackAttr(rep[8:])
+		c.lName[dirNameKey(dir, name)] = lookupHit{child, a}
+		c.lAttr[child] = a
+	}
+	return nil
+}
+
+// Forget drops every local cache entry for h (a handle another clerk — or
+// another shard's mutation — made stale).
+func (c *Clerk) Forget(h fstore.Handle) {
+	delete(c.lAttr, h)
+	delete(c.lLink, h)
+	for bk := range c.lData {
+		if bk.h == h {
+			delete(c.lData, bk)
+			delete(c.owned, bk)
+		}
+	}
+}
+
+// ForgetDir drops the local directory stream and every cached (dir, name)
+// lookup under it.
+func (c *Clerk) ForgetDir(dir fstore.Handle) {
+	c.invalidateDir(dir)
+	prefix := fmt.Sprintf("%d.%d/", dir.Ino, dir.Gen)
+	for k := range c.lName {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.lName, k)
+		}
+	}
+}

@@ -80,10 +80,6 @@ type experimentRig struct {
 	replays int64 // ops replayed against the new incarnation
 }
 
-func newExperimentRig(mode Mode) (*experimentRig, error) {
-	return newExperimentRigP(mode, &model.Default)
-}
-
 func newExperimentRigP(mode Mode, params *model.Params) (*experimentRig, error) {
 	return newExperimentRigObs(mode, params, nil)
 }

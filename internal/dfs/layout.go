@@ -26,6 +26,14 @@ func (g *Geometry) dataBucket(h fstore.Handle, block int64) int {
 	return int(fnv1a(h.U64(), uint64(block)) % uint64(g.DataBuckets))
 }
 
+// DataBucket exposes the data-area bucket index of (h, block). The token
+// area has one word per data bucket, so this is also the token id a sharing
+// clerk acquires before touching the bucket (internal/shard keys its RW
+// tokens this way).
+func (g *Geometry) DataBucket(h fstore.Handle, block int64) int {
+	return g.dataBucket(h, block)
+}
+
 func (g *Geometry) dataOff(h fstore.Handle, block int64) int {
 	return g.dataBucket(h, block) * dataStride
 }
@@ -66,6 +74,10 @@ func serializeDir(ents []fstore.DirEntry) []byte {
 	}
 	return out
 }
+
+// SerializeDir is the exported form of serializeDir, for harnesses that
+// compute the expected ReadDir byte stream from store ground truth.
+func SerializeDir(ents []fstore.DirEntry) []byte { return serializeDir(ents) }
 
 // ParseDir reverses serializeDir; exported for examples and tests that
 // inspect ReadDir payloads. Truncated trailing entries (from a bounded

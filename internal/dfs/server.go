@@ -117,6 +117,11 @@ func (s *Server) AttachClerk(p *des.Proc, node int, segID, gen uint16, size int)
 // Node returns the server's node (for CPU accounting in experiments).
 func (s *Server) Node() *cluster.Node { return s.m.Node }
 
+// DataDeposits counts remote writes landed in the data cache area — how a
+// harness observes that a clerk's DX write deposit arrived without asking
+// the server process anything.
+func (s *Server) DataDeposits() int64 { return s.data.RemoteWrites }
+
 // Epoch returns the server's incarnation epoch — the lease value fenced
 // clerks (WithFencing) stamp on every descriptor. A restarted server has a
 // higher epoch, so operations against the dead incarnation fail fast with
@@ -458,6 +463,10 @@ func (s *Server) execute(req *request) ([]byte, error) {
 	case OpGetAttr:
 		a, err := st.GetAttr(req.Handle)
 		if err != nil {
+			// The handle no longer resolves (removed, perhaps by a request
+			// another shard served): a stale cached record must not keep
+			// satisfying DX probes.
+			s.dropAttr(req.Handle)
 			return nil, err
 		}
 		s.installAttr(req.Handle, a)
@@ -490,6 +499,9 @@ func (s *Server) execute(req *request) ([]byte, error) {
 	case OpLookup:
 		child, a, err := st.Lookup(req.Dir, req.Name)
 		if err != nil {
+			// Same reasoning as OpGetAttr: the name is gone, so drop any
+			// stale cached record for it.
+			s.dropName(req.Dir, req.Name)
 			return nil, err
 		}
 		s.installName(req.Dir, req.Name, child, a)

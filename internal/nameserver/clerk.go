@@ -32,6 +32,18 @@ func (c *Clerk) Export(p *des.Proc, name string, size int, rights rmem.Rights) (
 	return seg, nil
 }
 
+// Register records an already-exported local segment under name — the path
+// a subsystem that manages its own segments (a shard server's request
+// channel, say) uses to publish them without exporting anew.
+func (c *Clerk) Register(p *des.Proc, name string, seg *rmem.Segment) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	c.m.Node.KernelCall(p)
+	_, err := c.srv.Call(p, "ADDNAME", addArgs{name: name, seg: seg})
+	return err
+}
+
 // Import resolves name to a remote segment and installs a kernel
 // descriptor for it. If the clerk's cache cannot satisfy the lookup, the
 // user-supplied hint names the machine whose clerk should be probed
@@ -357,7 +369,7 @@ func (c *Clerk) RefreshNow(p *des.Proc) {
 					if tr.EventsEnabled() {
 						tr.Instant(fmt.Sprintf("node%d.ns", c.m.Node.ID), "ns",
 							fmt.Sprintf("refresh skipping fenced peer %d", rec.Node),
-						time.Duration(p.Now()))
+							time.Duration(p.Now()))
 					}
 				}
 			}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+)
+
+// TestShardedChaosMixedDeterministic is the sharded determinism golden
+// test: the mixed campaign (loss + corruption + duplication + reordering +
+// a crash of shard 0's node with fenced standby takeover) run twice at
+// seed 1 against a 3-shard tier must produce byte-identical results —
+// every per-op latency, every metric counter and histogram, the fault
+// tally, and the failover MTTR.
+func TestShardedChaosMixedDeterministic(t *testing.T) {
+	camp, ok := faults.Named("mixed")
+	if !ok {
+		t.Fatal("mixed campaign not registered")
+	}
+	runOnce := func() ([]byte, *ChaosResult) {
+		res, err := RunChaos(ChaosConfig{Campaign: camp, Seed: 1, Mode: dfs.DX, Shards: 3})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return append(js, res.Metrics.String()...), res
+	}
+	b1, r1 := runOnce()
+	b2, _ := runOnce()
+	if !bytes.Equal(b1, b2) {
+		i := 0
+		for i < len(b1) && i < len(b2) && b1[i] == b2[i] {
+			i++
+		}
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		win := func(b []byte) []byte {
+			h := hi
+			if h > len(b) {
+				h = len(b)
+			}
+			if lo >= h {
+				return nil
+			}
+			return b[lo:h]
+		}
+		t.Fatalf("sharded mixed campaign not deterministic at seed 1:\n run1: …%s…\n run2: …%s…", win(b1), win(b2))
+	}
+	if r1.Completed != len(r1.Ops) || len(r1.Ops) != 12 {
+		t.Errorf("goodput %d/%d, want 12/12", r1.Completed, len(r1.Ops))
+	}
+	if !r1.FailedOver || r1.MTTR <= 0 {
+		t.Errorf("expected a measured failover (FailedOver=%v MTTR=%v)", r1.FailedOver, r1.MTTR)
+	}
+	if r1.Shards != 3 {
+		t.Errorf("result records %d shards, want 3", r1.Shards)
+	}
+}

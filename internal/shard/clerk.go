@@ -1,0 +1,424 @@
+package shard
+
+import (
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/fstore"
+	"netmem/internal/rmem"
+	"netmem/internal/tokens"
+)
+
+// tokenTimeout bounds one token acquisition (the acquire loop already
+// retries revocation appeals internally).
+const tokenTimeout = time.Second
+
+// ClerkOption configures a sharded clerk.
+type ClerkOption func(*clerkOptions)
+
+type clerkOptions struct {
+	tokenCache bool
+	dfsOpts    []dfs.ClerkOption
+}
+
+// WithTokenCache layers the token-coherent client block cache: read tokens
+// (internal/tokens RWClient, one table per shard over its token area) grant
+// cached reads served entirely from client memory — zero network traffic,
+// zero server CPU; a writer recalls the readers' tokens, invalidating their
+// copies before the bytes can change.
+func WithTokenCache() ClerkOption {
+	return func(o *clerkOptions) { o.tokenCache = true }
+}
+
+// WithSubOptions passes dfs.ClerkOptions (reliability, fencing, timeouts)
+// through to every per-shard sub-clerk.
+func WithSubOptions(opts ...dfs.ClerkOption) ClerkOption {
+	return func(o *clerkOptions) { o.dfsOpts = append(o.dfsOpts, opts...) }
+}
+
+// Clerk is the sharding-aware clerk: one dfs.Clerk per shard, with every
+// operation routed to the shard owning its key — handle-keyed operations by
+// the file handle, namespace operations by the directory handle, so a
+// directory's entries, stream, and mutations always meet at one shard's
+// cache. Operations whose effects span shards (Remove and Rename across the
+// ring) issue coherence repairs at the other shard (see Remove/Rename).
+type Clerk struct {
+	m    *rmem.Manager
+	svc  *Service
+	Mode dfs.Mode
+	sub  []*dfs.Clerk
+
+	// Token-coherent block cache (WithTokenCache): rw[s] manages tokens in
+	// shard s's per-bucket token area; cache[s][tok] holds block copies
+	// valid while the token is held.
+	rw    []*tokens.RWClient
+	cache []map[int]map[blockKey][]byte
+
+	nullSeq int
+
+	// Stats.
+	TokenHits int64 // reads served from the token-coherent cache
+	Repairs   int64 // cross-shard coherence repairs issued
+}
+
+type blockKey struct {
+	h     fstore.Handle
+	block int64
+}
+
+// NewClerk wires a sharded clerk on m's node: one sub-clerk per shard and,
+// with WithTokenCache, one RW token client per shard token area.
+func NewClerk(p *des.Proc, m *rmem.Manager, svc *Service, mode dfs.Mode, opts ...ClerkOption) *Clerk {
+	var o clerkOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Clerk{m: m, svc: svc, Mode: mode}
+	for _, srv := range svc.Shards {
+		c.sub = append(c.sub, dfs.NewClerk(p, m, srv, mode, o.dfsOpts...))
+	}
+	if o.tokenCache {
+		c.rw = make([]*tokens.RWClient, svc.Size())
+		c.cache = make([]map[int]map[blockKey][]byte, svc.Size())
+		for i, srv := range svc.Shards {
+			a := srv.Areas()[5] // the per-data-bucket token area
+			c.rw[i] = tokens.NewRWClient(p, m, svc.NodeOf(i), uint16(a[0]), uint16(a[1]), a[2], svc.slotNodes)
+			c.cache[i] = make(map[int]map[blockKey][]byte)
+			i := i
+			c.rw[i].OnInvalidate(func(p *des.Proc, tok int) {
+				delete(c.cache[i], tok)
+			})
+		}
+	}
+	return c
+}
+
+// ConnectTokenPeers wires the full revocation mesh between token-caching
+// clerks, per shard (a deployment would publish the channels through the
+// name service instead).
+func ConnectTokenPeers(p *des.Proc, clerks ...*Clerk) {
+	for _, a := range clerks {
+		for _, b := range clerks {
+			if a == b || a.rw == nil || b.rw == nil {
+				continue
+			}
+			for s := range a.rw {
+				rid, rgen, rsize := b.rw[s].RevocationChannel()
+				a.rw[s].Connect(p, b.m.Node.ID, rid, rgen, rsize)
+			}
+		}
+	}
+	for _, a := range clerks {
+		for _, b := range clerks {
+			if a == b || a.rw == nil || b.rw == nil {
+				continue
+			}
+			for s := range a.rw {
+				pid, pgen, psize := a.rw[s].PeerReply(b.m.Node.ID)
+				b.rw[s].AttachPeer(p, a.m.Node.ID, pid, pgen, psize)
+			}
+		}
+	}
+}
+
+// owner maps any handle to its shard.
+func (c *Clerk) owner(h fstore.Handle) int { return c.svc.Ring.Owner(h.U64()) }
+
+// Sub exposes the per-shard sub-clerk (tests and stats aggregation).
+func (c *Clerk) Sub(i int) *dfs.Clerk { return c.sub[i] }
+
+// Node returns the clerk's node.
+func (c *Clerk) Node() *cluster.Node { return c.m.Node }
+
+// FlushLocal drops every sub-clerk's client-side cache. The token-coherent
+// block cache survives: its validity is guaranteed by held tokens, not by
+// freshness assumptions, so there is nothing to flush for correctness —
+// exactly the property that lets re-reads skip the server entirely.
+func (c *Clerk) FlushLocal() {
+	for _, sc := range c.sub {
+		sc.FlushLocal()
+	}
+}
+
+// DropTokenCache releases nothing but forgets every cached block copy (for
+// experiments that want a cold token cache).
+func (c *Clerk) DropTokenCache() {
+	for i := range c.cache {
+		c.cache[i] = make(map[int]map[blockKey][]byte)
+	}
+}
+
+// Rebind re-wires shard i's sub-clerk to the (post-failover) current server
+// incarnation, and forfeits that shard's tokens and cached blocks — the
+// dead incarnation's token table died with it.
+func (c *Clerk) Rebind(p *des.Proc, i int) {
+	c.sub[i].Rebind(p, c.svc.Shards[i])
+	if c.rw != nil {
+		a := c.svc.Shards[i].Areas()[5]
+		c.rw[i].RebindTable(p, c.svc.NodeOf(i), uint16(a[0]), uint16(a[1]), a[2])
+		c.cache[i] = make(map[int]map[blockKey][]byte)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Routed operations.
+
+// GetAttr routes to the shard owning h.
+func (c *Clerk) GetAttr(p *des.Proc, h fstore.Handle) (fstore.Attr, error) {
+	return c.sub[c.owner(h)].GetAttr(p, h)
+}
+
+// SetAttr routes to the shard owning h; a resize invalidates our cached
+// block copies of the file.
+func (c *Clerk) SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (fstore.Attr, error) {
+	s := c.owner(h)
+	a, err := c.sub[s].SetAttr(p, h, mode, size)
+	if err == nil && c.cache != nil {
+		for tok, m := range c.cache[s] {
+			for bk := range m {
+				if bk.h == h {
+					delete(m, bk)
+				}
+			}
+			if len(m) == 0 {
+				delete(c.cache[s], tok)
+			}
+		}
+	}
+	return a, err
+}
+
+// Lookup routes to the shard owning the directory, where Create/Rename/
+// Remove on that directory also execute — namespace reads and mutations
+// meet at one cache.
+func (c *Clerk) Lookup(p *des.Proc, dir fstore.Handle, name string) (fstore.Handle, fstore.Attr, error) {
+	return c.sub[c.owner(dir)].Lookup(p, dir, name)
+}
+
+// ReadLink routes to the shard owning h.
+func (c *Clerk) ReadLink(p *des.Proc, h fstore.Handle) (string, error) {
+	return c.sub[c.owner(h)].ReadLink(p, h)
+}
+
+// ReadDir routes to the shard owning the directory.
+func (c *Clerk) ReadDir(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
+	return c.sub[c.owner(h)].ReadDir(p, h, offset, count)
+}
+
+// Create routes to the shard owning the directory.
+func (c *Clerk) Create(p *des.Proc, dir fstore.Handle, name string, mode uint16) (fstore.Handle, fstore.Attr, error) {
+	return c.sub[c.owner(dir)].Create(p, dir, name, mode)
+}
+
+// Mkdir routes to the shard owning the directory.
+func (c *Clerk) Mkdir(p *des.Proc, dir fstore.Handle, name string, mode uint16) (fstore.Handle, fstore.Attr, error) {
+	return c.sub[c.owner(dir)].Mkdir(p, dir, name, mode)
+}
+
+// Symlink routes to the shard owning the directory.
+func (c *Clerk) Symlink(p *des.Proc, dir fstore.Handle, name, target string) (fstore.Handle, fstore.Attr, error) {
+	return c.sub[c.owner(dir)].Symlink(p, dir, name, target)
+}
+
+// Remove executes at the shard owning the directory. When the removed
+// child's attribute record lives on a *different* shard's cache, that
+// record is now stale — a repair forces the other shard's server procedure
+// to re-resolve the handle, which fails and drops the record (the
+// error-path dropAttr in dfs.Server.execute).
+func (c *Clerk) Remove(p *des.Proc, dir fstore.Handle, name string) error {
+	s := c.owner(dir)
+	child, _, lerr := c.sub[s].Lookup(p, dir, name)
+	if err := c.sub[s].Remove(p, dir, name); err != nil {
+		return err
+	}
+	if lerr == nil {
+		if cs := c.owner(child); cs != s {
+			c.Repairs++
+			_ = c.sub[cs].Refresh(p, child) // expected to fail: the refresh IS the repair
+			c.sub[cs].Forget(child)
+			c.dropCachedFile(cs, child)
+		}
+	}
+	return nil
+}
+
+// dropCachedFile forgets token-cached blocks of one (now stale) handle.
+func (c *Clerk) dropCachedFile(s int, h fstore.Handle) {
+	if c.cache == nil {
+		return
+	}
+	for tok, m := range c.cache[s] {
+		for bk := range m {
+			if bk.h == h {
+				delete(m, bk)
+			}
+		}
+		if len(m) == 0 {
+			delete(c.cache[s], tok)
+		}
+	}
+}
+
+// Rename executes at the shard owning the source directory. A cross-shard
+// destination directory then holds a stale stream and possibly a stale
+// (toDir, toName) record; repairs reload both through the destination
+// shard's server procedure.
+func (c *Clerk) Rename(p *des.Proc, fromDir fstore.Handle, fromName string, toDir fstore.Handle, toName string) error {
+	s := c.owner(fromDir)
+	if err := c.sub[s].Rename(p, fromDir, fromName, toDir, toName); err != nil {
+		return err
+	}
+	if ts := c.owner(toDir); ts != s {
+		c.Repairs++
+		c.sub[ts].ForgetDir(toDir)
+		_ = c.sub[ts].RefreshDir(p, toDir)
+		_ = c.sub[ts].RefreshLookup(p, toDir, toName)
+	}
+	return nil
+}
+
+// StatFS is a whole-store query; the shared store makes any shard
+// authoritative, so it routes to shard 0 deterministically.
+func (c *Clerk) StatFS(p *des.Proc) (fstore.FSStat, error) {
+	return c.sub[0].StatFS(p)
+}
+
+// Null round-robins across shards (it carries no key).
+func (c *Clerk) Null(p *des.Proc) error {
+	s := c.nullSeq % len(c.sub)
+	c.nullSeq++
+	return c.sub[s].Null(p)
+}
+
+// ---------------------------------------------------------------------------
+// Data path. Without the token cache, Read/Write delegate to the owning
+// sub-clerk. With it, every block access goes through the RW token for the
+// block's server bucket: a held read token proves no writer has touched the
+// bucket since we cached the block, so the re-read is a map lookup — no
+// cells on the wire, no CPU on any server.
+
+// Read returns up to count bytes at offset.
+func (c *Clerk) Read(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
+	s := c.owner(h)
+	if c.rw == nil {
+		return c.sub[s].Read(p, h, offset, count)
+	}
+	if offset < 0 || count < 0 {
+		return nil, fstore.ErrBadOffset
+	}
+	var out []byte
+	for count > 0 {
+		block := offset / fstore.BlockSize
+		in := int(offset % fstore.BlockSize)
+		want := count
+		if in+want > fstore.BlockSize {
+			want = fstore.BlockSize - in
+		}
+		blk, err := c.coherentBlock(p, s, h, block)
+		if err != nil {
+			return out, err
+		}
+		if in >= len(blk) {
+			break // EOF
+		}
+		hi := in + want
+		if hi > len(blk) {
+			hi = len(blk)
+		}
+		out = append(out, blk[in:hi]...)
+		if hi < in+want {
+			break
+		}
+		offset += int64(want)
+		count -= want
+	}
+	return out, nil
+}
+
+// coherentBlock serves one block under the token protocol.
+func (c *Clerk) coherentBlock(p *des.Proc, s int, h fstore.Handle, block int64) ([]byte, error) {
+	tok := c.svc.Geo.DataBucket(h, block)
+	key := blockKey{h, block}
+	if c.rw[s].HoldsRead(tok) || c.rw[s].HoldsWrite(tok) {
+		if b, ok := c.cache[s][tok][key]; ok {
+			c.TokenHits++
+			return b, nil
+		}
+	}
+	if err := c.rw[s].AcquireRead(p, tok, tokenTimeout); err != nil {
+		return nil, err
+	}
+	blk, err := c.sub[s].Read(p, h, block*fstore.BlockSize, fstore.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if c.cache[s][tok] == nil {
+		c.cache[s][tok] = make(map[blockKey][]byte)
+	}
+	c.cache[s][tok][key] = blk
+	return blk, nil
+}
+
+// Write stores data at offset. With the token cache, each touched bucket's
+// write token is acquired first — recalling every reader's token and
+// invalidating their cached copies — then released back to a read token
+// once the deposit is done (Downgrade: we keep cache validity ourselves).
+func (c *Clerk) Write(p *des.Proc, h fstore.Handle, offset int64, data []byte) error {
+	s := c.owner(h)
+	if c.rw == nil {
+		return c.sub[s].Write(p, h, offset, data)
+	}
+	for len(data) > 0 {
+		block := offset / fstore.BlockSize
+		in := int(offset % fstore.BlockSize)
+		n := len(data)
+		if in+n > fstore.BlockSize {
+			n = fstore.BlockSize - in
+		}
+		tok := c.svc.Geo.DataBucket(h, block)
+		if err := c.rw[s].AcquireWrite(p, tok, tokenTimeout); err != nil {
+			return err
+		}
+		err := c.sub[s].Write(p, h, offset, data[:n])
+		if err == nil {
+			// Our own stale copy of the block (if any) must not outlive the
+			// write; the next read refetches under the read token.
+			if m := c.cache[s][tok]; m != nil {
+				delete(m, blockKey{h, block})
+			}
+			err = c.rw[s].Downgrade(p, tok)
+		}
+		if err != nil {
+			return err
+		}
+		offset += int64(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// Stats aggregates the sub-clerks' counters (plus this clerk's own).
+type Stats struct {
+	LocalHits    int64
+	RemoteReads  int64
+	RemoteWrites int64
+	Misses       int64
+	Rebinds      int64
+	TokenHits    int64
+	Repairs      int64
+}
+
+// Stats sums counters across sub-clerks.
+func (c *Clerk) Stats() Stats {
+	st := Stats{TokenHits: c.TokenHits, Repairs: c.Repairs}
+	for _, sc := range c.sub {
+		st.LocalHits += sc.LocalHits
+		st.RemoteReads += sc.RemoteReads
+		st.RemoteWrites += sc.RemoteWrites
+		st.Misses += sc.Misses
+		st.Rebinds += sc.Rebinds
+	}
+	return st
+}

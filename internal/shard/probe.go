@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// TokenProbeResult reports what a token-cached re-read cost.
+type TokenProbeResult struct {
+	Shards      int
+	Bytes       int           // bytes re-read
+	TokenHits   int64         // blocks served from the client's cache
+	ServerCPU   time.Duration // CPU charged on any shard node during the re-read
+	RemoteReads int64         // remote reads issued during the re-read
+}
+
+// TokenRereadProbe measures the token-coherent cache's core claim on a
+// fresh sharded rig: after a first read acquires read tokens and caches the
+// blocks, a re-read of the same bytes must complete byte-correct with zero
+// server CPU and zero remote reads. Returns an error if the bytes are
+// wrong or the claim does not hold.
+func TokenRereadProbe(shards int) (TokenProbeResult, error) {
+	const size = 12 * 1024
+	res := TokenProbeResult{Shards: shards, Bytes: size}
+	env := des.NewEnv()
+	cl := cluster.New(env, &model.Default, shards+1)
+	mgrs := make([]*rmem.Manager, shards+1)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+	var probeErr error
+	env.Spawn("probe", func(p *des.Proc) {
+		svc := NewService(p, mgrs[:shards], shards+1, dfs.Geometry{})
+		c := NewClerk(p, mgrs[shards], svc, dfs.DX, WithTokenCache())
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = byte(i*11 + 3)
+		}
+		h, err := svc.Store.WriteFile("/export/probe.bin", want)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		if err := svc.WarmFile(h); err != nil {
+			probeErr = err
+			return
+		}
+		if _, err := c.Read(p, h, 0, size); err != nil {
+			probeErr = fmt.Errorf("first read: %w", err)
+			return
+		}
+		c.FlushLocal()
+		for i := 0; i < shards; i++ {
+			cl.Nodes[i].ResetCPUAcct()
+		}
+		var beforeReads int64
+		for i := 0; i < shards; i++ {
+			beforeReads += c.Sub(i).RemoteReads
+		}
+		got, err := c.Read(p, h, 0, size)
+		if err != nil {
+			probeErr = fmt.Errorf("re-read: %w", err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			probeErr = fmt.Errorf("token-cached re-read returned wrong bytes")
+			return
+		}
+		res.TokenHits = c.TokenHits
+		for i := 0; i < shards; i++ {
+			for _, d := range cl.Nodes[i].CPUAcct {
+				res.ServerCPU += time.Duration(d)
+			}
+			res.RemoteReads += c.Sub(i).RemoteReads
+		}
+		res.RemoteReads -= beforeReads
+	})
+	if err := env.RunUntil(des.Time(10 * time.Second)); err != nil {
+		return res, err
+	}
+	if probeErr != nil {
+		return res, probeErr
+	}
+	if res.ServerCPU != 0 || res.RemoteReads != 0 {
+		return res, fmt.Errorf("token-cached re-read was not free: server CPU %v, %d remote reads",
+			res.ServerCPU, res.RemoteReads)
+	}
+	if res.TokenHits == 0 {
+		return res, fmt.Errorf("re-read did not hit the token cache")
+	}
+	return res, nil
+}

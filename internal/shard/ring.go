@@ -1,0 +1,142 @@
+// Package shard partitions the DFS namespace across several file servers.
+//
+// The paper removes the server CPU from the data path; this package removes
+// the *single server* from the architecture. A consistent-hash ring maps
+// every file handle (and, for namespace operations, every directory handle)
+// to one of N dfs.Server instances, each exporting its own cache areas and
+// request channel over its own node. Brock et al. (PAPERS.md) observe that
+// one-sided-access designs pay off precisely when data is partitioned across
+// many servers and clients cache aggressively — the ShardClerk in this
+// package does both: it routes each operation to the owning shard and layers
+// a token-coherent client block cache on top (see clerk.go).
+package shard
+
+import (
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per shard. 128 points per member
+// keeps the per-shard key share within a few percent of 1/N and bounds the
+// keys moved by a membership change close to the ideal K/N.
+const defaultVnodes = 128
+
+// Ring is a consistent-hash ring mapping 64-bit keys to shard ids. The
+// point set is a pure function of the membership, so every clerk and every
+// run derives the identical assignment — determinism the chaos golden tests
+// and the nameserver registration both rely on.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by (hash, shard)
+	members []int       // sorted shard ids
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over shards 0..n-1. vnodes <= 0 selects the
+// default virtual-node count.
+func NewRing(n, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{vnodes: vnodes}
+	for s := 0; s < n; s++ {
+		r.Add(s)
+	}
+	return r
+}
+
+// pointHash derives the ring position of one (shard, replica) virtual node
+// with FNV-1a over the two values — stable across processes and runs.
+func pointHash(shard, replica int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [2]uint64{uint64(shard) + 1, uint64(replica) + 1} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// keyHash spreads a key (sequential inode-derived handles, typically) over
+// the ring with the same FNV-1a mix, so adjacent handles land on
+// uncorrelated points.
+func keyHash(key uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (key >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// Add inserts a shard's virtual nodes. Adding an existing member is a no-op.
+func (r *Ring) Add(shard int) {
+	for _, m := range r.members {
+		if m == shard {
+			return
+		}
+	}
+	r.members = append(r.members, shard)
+	sort.Ints(r.members)
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{pointHash(shard, v), shard})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a shard's virtual nodes. Removing a non-member is a no-op.
+func (r *Ring) Remove(shard int) {
+	out := r.points[:0]
+	for _, pt := range r.points {
+		if pt.shard != shard {
+			out = append(out, pt)
+		}
+	}
+	r.points = out
+	for i, m := range r.members {
+		if m == shard {
+			r.members = append(r.members[:i], r.members[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Owner maps a key to its shard: the first virtual node at or clockwise
+// from the key's hash. Panics on an empty ring (no members).
+func (r *Ring) Owner(key uint64) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Members returns the shard ids on the ring, ascending.
+func (r *Ring) Members() []int {
+	return append([]int(nil), r.members...)
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }

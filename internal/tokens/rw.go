@@ -1,0 +1,360 @@
+package tokens
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/hybrid"
+	"netmem/internal/rmem"
+)
+
+// Shared-read / exclusive-write tokens. The exclusive Client above is the
+// paper's minimal scheme; a caching clerk wants the Calypso shape: many
+// nodes may hold a READ token on the same object simultaneously (each then
+// serves the object from local memory with zero server involvement), while
+// a WRITE token excludes everyone. The same 4-byte table word carries both:
+//
+//	0                                  — free
+//	writerBit | (nodeID+1)             — exclusive writer
+//	otherwise: bitmask, bit i set      — node i holds a read token
+//
+// Acquire and release stay pure CAS data transfers; only revocation — a
+// writer recalling readers, or anyone recalling a writer — pays a Hybrid-1
+// control transfer to the holder(s), exactly §5.1's trade.
+
+// writerBit marks the word as writer-held; the low bits then carry
+// nodeID+1 instead of a reader bitmask.
+const writerBit = 1 << 31
+
+// MaxRWNodes bounds node ids representable in the reader bitmask.
+const MaxRWNodes = 31
+
+// ErrNodeRange reports a node id too large for the reader bitmask.
+var ErrNodeRange = errors.New("tokens: node id exceeds reader bitmask range")
+
+// rw revocation request wire: token(4) + wantWrite(1).
+const rwRevMsgLen = 5
+
+// RWClient is one node's shared-read/exclusive-write token agent over a
+// table exported by a home node (for the sharded DFS: the shard server's
+// per-bucket token area).
+type RWClient struct {
+	m       *rmem.Manager
+	table   *rmem.Import
+	scratch *rmem.Segment
+
+	rsrv  *hybrid.Server
+	peers map[int]*hybrid.Client
+
+	read  map[int]bool
+	write map[int]bool
+	retry des.Duration
+
+	// onInvalidate runs when a read token is revoked out from under us —
+	// the coherence hook: a caching clerk drops the covered blocks.
+	onInvalidate func(p *des.Proc, tok int)
+
+	// Stats.
+	ReadAcquires  int64 // read tokens granted (first acquisition)
+	WriteAcquires int64 // write tokens granted
+	Downgrades    int64 // write→read transitions
+	Invalidations int64 // read tokens revoked under us (cache drops)
+	RevokesSent   int64 // revocation appeals issued to holders
+	RevokesServed int64 // revocation requests answered
+}
+
+// NewRWClient wires the agent: table import, CAS scratch, and its own
+// Hybrid-1 revocation service. slotNodes bounds the cluster size.
+func NewRWClient(p *des.Proc, m *rmem.Manager, home int, tabID, tabGen uint16, tabSize, slotNodes int) *RWClient {
+	c := &RWClient{
+		m:     m,
+		table: m.Import(p, home, tabID, tabGen, tabSize),
+		peers: make(map[int]*hybrid.Client),
+		read:  make(map[int]bool),
+		write: make(map[int]bool),
+		retry: 200 * time.Microsecond,
+	}
+	c.scratch = m.Export(p, 64)
+	c.rsrv = hybrid.NewServer(p, m, slotNodes, rwRevMsgLen, c.serveRevoke)
+	return c
+}
+
+// OnInvalidate installs the coherence callback run (on the revocation
+// server's process) whenever a held read token is recalled.
+func (c *RWClient) OnInvalidate(fn func(p *des.Proc, tok int)) { c.onInvalidate = fn }
+
+// RevocationChannel exposes this client's revocation-server coordinates.
+func (c *RWClient) RevocationChannel() (id, gen uint16, size int) { return c.rsrv.ReqSeg() }
+
+// Connect wires this client to a peer's revocation service.
+func (c *RWClient) Connect(p *des.Proc, peer int, reqID, reqGen uint16, reqSize int) {
+	c.peers[peer] = hybrid.NewClient(p, c.m, peer, reqID, reqGen, reqSize, rwRevMsgLen, 8)
+}
+
+// AttachPeer registers a peer's reply segment on our revocation server.
+func (c *RWClient) AttachPeer(p *des.Proc, peer int, repID, repGen uint16, repSize int) {
+	c.rsrv.AttachClient(p, peer, repID, repGen, repSize)
+}
+
+// PeerReply exposes the reply-segment coordinates of our channel TO peer.
+func (c *RWClient) PeerReply(peer int) (id, gen uint16, size int) {
+	return c.peers[peer].RepSeg()
+}
+
+// HoldsRead and HoldsWrite report current local token state. A caching
+// clerk checks these before serving from its cache: holding either grants
+// read validity.
+func (c *RWClient) HoldsRead(tok int) bool  { return c.read[tok] }
+func (c *RWClient) HoldsWrite(tok int) bool { return c.write[tok] }
+
+func (c *RWClient) word(tok int) int { return tok * wordStride }
+
+func (c *RWClient) nodeBit() (uint32, error) {
+	if c.m.Node.ID >= MaxRWNodes {
+		return 0, ErrNodeRange
+	}
+	return 1 << uint(c.m.Node.ID), nil
+}
+
+// readWord fetches the current token word.
+func (c *RWClient) readWord(p *des.Proc, tok int) (uint32, error) {
+	if err := c.table.Read(p, c.word(tok), 4, c.scratch, 8, time.Second); err != nil {
+		return 0, err
+	}
+	return c.scratch.ReadWord(p, 8), nil
+}
+
+// appeal asks holder (a node id) to give up tok; wantWrite selects whether
+// the requester needs exclusivity (readers only yield then).
+func (c *RWClient) appeal(p *des.Proc, holder, tok int, wantWrite bool) {
+	peer, ok := c.peers[holder]
+	if !ok || holder == c.m.Node.ID {
+		return
+	}
+	c.RevokesSent++
+	var req [rwRevMsgLen]byte
+	binary.BigEndian.PutUint32(req[:], uint32(tok))
+	if wantWrite {
+		req[4] = 1
+	}
+	// A failed appeal (lossy link, dead peer) is retried by the acquire
+	// loop; the error is not fatal here.
+	_, _ = peer.Call(p, req[:], time.Second)
+}
+
+// AcquireRead obtains a shared read token: one remote CAS setting our
+// reader bit when no writer holds the word. A writer in the way is asked
+// (control transfer) to downgrade.
+func (c *RWClient) AcquireRead(p *des.Proc, tok int, timeout des.Duration) error {
+	if c.read[tok] || c.write[tok] {
+		return nil
+	}
+	bit, err := c.nodeBit()
+	if err != nil {
+		return err
+	}
+	deadline := p.Now().Add(timeout)
+	for {
+		w, err := c.readWord(p, tok)
+		if err != nil {
+			return err
+		}
+		if w&writerBit == 0 {
+			ok, err := c.table.CAS(p, c.word(tok), w, w|bit, c.scratch, 0, time.Second)
+			if err != nil {
+				return err
+			}
+			if ok {
+				c.read[tok] = true
+				c.ReadAcquires++
+				return nil
+			}
+		} else {
+			c.appeal(p, int(w&^writerBit)-1, tok, false)
+		}
+		if timeout > 0 && p.Now() > deadline {
+			return ErrTimeout
+		}
+		p.Sleep(c.retry)
+	}
+}
+
+// AcquireWrite obtains the exclusive write token, recalling every other
+// reader (their caches invalidate) and any current writer.
+func (c *RWClient) AcquireWrite(p *des.Proc, tok int, timeout des.Duration) error {
+	if c.write[tok] {
+		return nil
+	}
+	bit, err := c.nodeBit()
+	if err != nil {
+		return err
+	}
+	me := writerBit | uint32(c.m.Node.ID+1)
+	deadline := p.Now().Add(timeout)
+	for {
+		w, err := c.readWord(p, tok)
+		if err != nil {
+			return err
+		}
+		switch {
+		case w == 0 || w == bit:
+			// Free, or only our own read bit: one CAS upgrades in place.
+			ok, err := c.table.CAS(p, c.word(tok), w, me, c.scratch, 0, time.Second)
+			if err != nil {
+				return err
+			}
+			if ok {
+				delete(c.read, tok)
+				c.write[tok] = true
+				c.WriteAcquires++
+				return nil
+			}
+		case w&writerBit != 0:
+			c.appeal(p, int(w&^writerBit)-1, tok, true)
+		default:
+			for n := 0; n < MaxRWNodes; n++ {
+				if w&(1<<uint(n)) != 0 && n != c.m.Node.ID {
+					c.appeal(p, n, tok, true)
+				}
+			}
+		}
+		if timeout > 0 && p.Now() > deadline {
+			return ErrTimeout
+		}
+		p.Sleep(c.retry)
+	}
+}
+
+// Downgrade converts a held write token to a read token (one CAS): the
+// writer keeps cache validity while letting readers back in.
+func (c *RWClient) Downgrade(p *des.Proc, tok int) error {
+	if !c.write[tok] {
+		return fmt.Errorf("tokens: downgrading token %d we do not hold for write", tok)
+	}
+	bit, err := c.nodeBit()
+	if err != nil {
+		return err
+	}
+	me := writerBit | uint32(c.m.Node.ID+1)
+	ok, err := c.table.CAS(p, c.word(tok), me, bit, c.scratch, 0, time.Second)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("tokens: downgrade of %d found a foreign word", tok)
+	}
+	delete(c.write, tok)
+	c.read[tok] = true
+	c.Downgrades++
+	return nil
+}
+
+// ReleaseRead clears our reader bit (CAS loop: other readers' bits churn
+// the word concurrently).
+func (c *RWClient) ReleaseRead(p *des.Proc, tok int) error {
+	if !c.read[tok] {
+		return fmt.Errorf("tokens: releasing read token %d we do not hold", tok)
+	}
+	bit, err := c.nodeBit()
+	if err != nil {
+		return err
+	}
+	delete(c.read, tok)
+	for {
+		w, err := c.readWord(p, tok)
+		if err != nil {
+			return err
+		}
+		if w&bit == 0 {
+			return nil // already cleared (revoked concurrently)
+		}
+		ok, err := c.table.CAS(p, c.word(tok), w, w&^bit, c.scratch, 0, time.Second)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// ReleaseWrite frees the exclusive token (one CAS).
+func (c *RWClient) ReleaseWrite(p *des.Proc, tok int) error {
+	if !c.write[tok] {
+		return fmt.Errorf("tokens: releasing write token %d we do not hold", tok)
+	}
+	me := writerBit | uint32(c.m.Node.ID+1)
+	delete(c.write, tok)
+	ok, err := c.table.CAS(p, c.word(tok), me, 0, c.scratch, 0, time.Second)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("tokens: write release of %d found a foreign word", tok)
+	}
+	return nil
+}
+
+// serveRevoke answers a peer's recall. A read token yields immediately
+// (invalidating the local cache through the callback). A write token is
+// never force-released — the application is mid-write-behind; the requester
+// keeps retrying until the holder downgrades or releases, the §5.1 "delay
+// revocation during certain conditions".
+func (c *RWClient) serveRevoke(p *des.Proc, src int, req []byte) []byte {
+	if len(req) < rwRevMsgLen {
+		return []byte{0}
+	}
+	tok := int(binary.BigEndian.Uint32(req))
+	wantWrite := req[4] != 0
+	c.RevokesServed++
+	if c.write[tok] {
+		return []byte{2} // deferred until Downgrade/ReleaseWrite
+	}
+	if !c.read[tok] || !wantWrite {
+		return []byte{1} // nothing to yield (readers coexist with readers)
+	}
+	if c.onInvalidate != nil {
+		c.onInvalidate(p, tok)
+	}
+	c.Invalidations++
+	bit, err := c.nodeBit()
+	if err != nil {
+		return []byte{0}
+	}
+	delete(c.read, tok)
+	for {
+		w, werr := c.readWord(p, tok)
+		if werr != nil {
+			return []byte{0}
+		}
+		if w&bit == 0 {
+			return []byte{1}
+		}
+		ok, cerr := c.table.CAS(p, c.word(tok), w, w&^bit, c.scratch, 0, time.Second)
+		if cerr != nil {
+			return []byte{0}
+		}
+		if ok {
+			return []byte{1}
+		}
+	}
+}
+
+// RebindTable re-imports the token table after the home node failed over
+// to a new incarnation. The dead incarnation's word state is gone, so every
+// locally held token is forfeited; the onInvalidate callback fires for each
+// held read token so cached state is dropped rather than served stale.
+func (c *RWClient) RebindTable(p *des.Proc, home int, tabID, tabGen uint16, tabSize int) {
+	c.table = c.m.Import(p, home, tabID, tabGen, tabSize)
+	for tok := range c.read {
+		if c.onInvalidate != nil {
+			c.onInvalidate(p, tok)
+		}
+		c.Invalidations++
+	}
+	c.read = make(map[int]bool)
+	c.write = make(map[int]bool)
+}

@@ -19,11 +19,24 @@ type Tree struct {
 	Names [][]string      // per-directory entry names (for lookups)
 }
 
+// Warmer pre-loads store records into server cache areas: a single
+// dfs.Server, or a shard.Service that warms each record into the shard the
+// ring assigns it.
+type Warmer interface {
+	WarmFile(h fstore.Handle) error
+	WarmDir(h fstore.Handle) error
+}
+
 // BuildTree populates the store with nDirs directories of nPerDir files
 // each (8–16 KB), one symlink per directory, and warms every server cache
 // area.
 func BuildTree(srv *dfs.Server, nDirs, nPerDir int) (*Tree, error) {
-	st := srv.Store
+	return BuildTreeOn(srv.Store, srv, nDirs, nPerDir)
+}
+
+// BuildTreeOn is BuildTree against an explicit store and warmer (the
+// sharded tier's shared store warms through the service, not one server).
+func BuildTreeOn(st *fstore.Store, srv Warmer, nDirs, nPerDir int) (*Tree, error) {
 	t := &Tree{}
 	for d := 0; d < nDirs; d++ {
 		dirPath := fmt.Sprintf("/export/vol%d", d)
@@ -65,9 +78,25 @@ func BuildTree(srv *dfs.Server, nDirs, nPerDir int) (*Tree, error) {
 	return t, nil
 }
 
+// FileAPI is the slice of the clerk surface the trace replays against —
+// satisfied by both dfs.Clerk and the sharding-aware shard.Clerk, so one
+// Replayer drives either tier.
+type FileAPI interface {
+	FlushLocal()
+	GetAttr(p *des.Proc, h fstore.Handle) (fstore.Attr, error)
+	SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (fstore.Attr, error)
+	Lookup(p *des.Proc, dir fstore.Handle, name string) (fstore.Handle, fstore.Attr, error)
+	ReadLink(p *des.Proc, h fstore.Handle) (string, error)
+	Read(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error)
+	Write(p *des.Proc, h fstore.Handle, offset int64, data []byte) error
+	ReadDir(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error)
+	Null(p *des.Proc) error
+	StatFS(p *des.Proc) (fstore.FSStat, error)
+}
+
 // Replayer applies trace operations to a clerk.
 type Replayer struct {
-	Clerk *dfs.Clerk
+	Clerk FileAPI
 	Tree  *Tree
 
 	// LocalCaching keeps the clerk's client-side cache between operations.

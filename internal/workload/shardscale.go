@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+	"netmem/internal/shard"
+)
+
+// The sharded scaling experiment: partitioning the namespace across N
+// servers by consistent hashing should let aggregate throughput grow with
+// N while each shard's CPU occupancy stays near the single-server
+// baseline — the load is divided, not replicated. Clients scale
+// proportionally with shards (ClientsPerShard each), so every point
+// presents each shard with roughly the single-shard workload.
+
+// ShardScalePoint is one (mode, shard-count) measurement.
+type ShardScalePoint struct {
+	Mode      dfs.Mode
+	Shards    int
+	Clients   int
+	OpsDone   int64
+	OpsPerSec float64
+	ShardUtil []float64 // per-shard-node CPU utilization during the window
+	MeanUtil  float64   // mean of ShardUtil
+	MeanLatMs float64
+	TokenHits int64 // reads served from the token-coherent cache
+	Events    uint64
+}
+
+// ShardScaleConfig parameterizes the experiment.
+type ShardScaleConfig struct {
+	Shards          int
+	ClientsPerShard int
+	Mode            dfs.Mode
+	TokenCache      bool // layer the token-coherent client block cache
+	Window          time.Duration
+	ThinkTime       time.Duration
+	Seed            int64
+	Dirs            int
+	PerDir          int
+}
+
+func (c *ShardScaleConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.ClientsPerShard <= 0 {
+		c.ClientsPerShard = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * time.Second
+	}
+	if c.ThinkTime < 0 {
+		c.ThinkTime = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Dirs <= 0 {
+		c.Dirs = 4
+	}
+	if c.PerDir <= 0 {
+		c.PerDir = 8
+	}
+}
+
+// RunShardScale executes one sharded scalability measurement: shard nodes
+// 0..S-1, client nodes S..S+C-1, C = S * ClientsPerShard.
+func RunShardScale(cfg ShardScaleConfig) (ShardScalePoint, error) {
+	cfg.fill()
+	clients := cfg.Shards * cfg.ClientsPerShard
+	env := des.NewEnv()
+	nodes := cfg.Shards + clients
+	cl := cluster.New(env, &model.Default, nodes)
+	mgrs := make([]*rmem.Manager, nodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+
+	var svc *shard.Service
+	var tree *Tree
+	var setupErr error
+	clerks := make([]*shard.Clerk, clients)
+	env.Spawn("setup", func(p *des.Proc) {
+		svc = shard.NewService(p, mgrs[:cfg.Shards], nodes, dfs.Geometry{})
+		tree, setupErr = BuildTreeOn(svc.Store, svc, cfg.Dirs, cfg.PerDir)
+		if setupErr != nil {
+			return
+		}
+		var copts []shard.ClerkOption
+		if cfg.TokenCache {
+			copts = append(copts, shard.WithTokenCache())
+		}
+		for i := 0; i < clients; i++ {
+			clerks[i] = shard.NewClerk(p, mgrs[cfg.Shards+i], svc, cfg.Mode, copts...)
+		}
+		if cfg.TokenCache {
+			shard.ConnectTokenPeers(p, clerks...)
+		}
+	})
+	if err := env.RunUntil(des.Time(500 * time.Millisecond)); err != nil {
+		return ShardScalePoint{}, err
+	}
+	if setupErr != nil {
+		return ShardScalePoint{}, setupErr
+	}
+
+	var opsDone int64
+	var totalLat time.Duration
+	start := env.Now()
+	for i := 0; i < cfg.Shards; i++ {
+		cl.Nodes[i].ResetCPUAcct()
+	}
+	for i := 0; i < clients; i++ {
+		i := i
+		env.SpawnDaemon(fmt.Sprintf("client%d", i), func(p *des.Proc) {
+			gen := NewGenerator(cfg.Seed+int64(i), len(tree.Files), len(tree.Dirs))
+			// LocalCaching stays off for parity with RunScale: every op
+			// flushes the sub-clerk caches. The token-coherent block cache
+			// survives FlushLocal by design, so TokenCache still shows up —
+			// as reads the servers never see.
+			rep := &Replayer{Clerk: clerks[i], Tree: tree}
+			for {
+				op := gen.Next()
+				t0 := p.Now()
+				if err := rep.Apply(p, op); err != nil {
+					setupErr = fmt.Errorf("client %d: %v: %w", i, op.Activity, err)
+					return
+				}
+				opsDone++
+				totalLat += time.Duration(p.Now().Sub(t0))
+				p.Sleep(cfg.ThinkTime)
+			}
+		})
+	}
+	if err := env.RunUntil(start.Add(cfg.Window)); err != nil {
+		return ShardScalePoint{}, err
+	}
+	if setupErr != nil {
+		return ShardScalePoint{}, setupErr
+	}
+
+	elapsed := time.Duration(env.Now().Sub(start))
+	pt := ShardScalePoint{
+		Mode:    cfg.Mode,
+		Shards:  cfg.Shards,
+		Clients: clients,
+		OpsDone: opsDone,
+		Events:  env.Events(),
+	}
+	pt.OpsPerSec = float64(opsDone) / elapsed.Seconds()
+	for i := 0; i < cfg.Shards; i++ {
+		u := cl.Nodes[i].CPU.Utilization(start)
+		pt.ShardUtil = append(pt.ShardUtil, u)
+		pt.MeanUtil += u
+	}
+	pt.MeanUtil /= float64(cfg.Shards)
+	for _, c := range clerks {
+		pt.TokenHits += c.TokenHits
+	}
+	if opsDone > 0 {
+		pt.MeanLatMs = (totalLat / time.Duration(opsDone)).Seconds() * 1000
+	}
+	return pt, nil
+}

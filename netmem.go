@@ -52,6 +52,7 @@ import (
 	"netmem/internal/rmem"
 	"netmem/internal/rpc"
 	"netmem/internal/secure"
+	"netmem/internal/shard"
 	"netmem/internal/svm"
 	"netmem/internal/tokens"
 	"netmem/internal/workload"
@@ -151,6 +152,35 @@ type (
 	FileMode = dfs.Mode
 	// FileGeometry sizes the server cache areas.
 	FileGeometry = dfs.Geometry
+)
+
+// Sharded file service: the namespace partitioned across N servers by
+// consistent hashing, with token-coherent client block caching.
+type (
+	// ShardService is the sharded tier — N FileServers over one shared
+	// store, a consistent-hash ring assigning every handle an owner.
+	ShardService = shard.Service
+	// ShardFileClerk routes each operation to the owning shard and keeps
+	// an optional token-coherent client block cache.
+	ShardFileClerk = shard.Clerk
+	// ShardRing is the consistent-hash placement ring.
+	ShardRing = shard.Ring
+	// ShardClerkOption configures NewShardFileClerk.
+	ShardClerkOption = shard.ClerkOption
+)
+
+var (
+	// WithShardTokenCache layers the token-coherent client block cache on
+	// a shard clerk: read tokens let re-reads complete with zero server
+	// CPU; writes recall tokens and invalidate peer caches.
+	WithShardTokenCache = shard.WithTokenCache
+	// WithShardSubOptions passes options to each per-shard sub-clerk.
+	WithShardSubOptions = shard.WithSubOptions
+	// ConnectShardTokenPeers wires clerks' token revocation mesh.
+	ConnectShardTokenPeers = shard.ConnectTokenPeers
+	// NewShardRing builds a standalone placement ring (n shards, vnodes
+	// virtual points per shard).
+	NewShardRing = shard.NewRing
 )
 
 // Security (§3.5), fault tolerance (§3.7), and the SVM comparison (§6).
@@ -279,6 +309,9 @@ type System struct {
 	// Faults is the campaign engine when WithFaults is given (nil
 	// otherwise; all its methods are nil-safe).
 	Faults *FaultEngine
+
+	// shards is the WithShards count consumed by NewShardedFileService.
+	shards int
 }
 
 // Option configures New.
@@ -292,6 +325,7 @@ type sysOptions struct {
 	campaign    *FaultCampaign
 	reliable    bool
 	recovery    bool
+	shards      int
 }
 
 // WithParams overrides the cost model.
@@ -340,6 +374,13 @@ func WithRecovery() Option {
 	return func(o *sysOptions) { o.reliable, o.recovery = true, true }
 }
 
+// WithShards sets the shard count NewShardedFileService builds: the file
+// namespace is partitioned across nodes 0..n-1 by consistent hashing.
+// The system must have at least n nodes.
+func WithShards(n int) Option {
+	return func(o *sysOptions) { o.shards = n }
+}
+
 // WithNameService boots a name clerk on every node.
 func WithNameService(cfg NameConfig) Option {
 	return func(o *sysOptions) { o.nameCfg = &cfg }
@@ -374,7 +415,7 @@ func New(n int, opts ...Option) *System {
 		o.clusterOpts = append(o.clusterOpts, cluster.WithFaultEngine(eng))
 	}
 	cl := cluster.New(env, params, n, o.clusterOpts...)
-	sys := &System{Env: env, Cluster: cl, Faults: eng}
+	sys := &System{Env: env, Cluster: cl, Faults: eng, shards: o.shards}
 	for _, node := range cl.Nodes {
 		m := rmem.NewManager(node)
 		if o.reliable {
@@ -454,6 +495,26 @@ func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry, opts ...File
 // NewFileClerk wires a clerk on node to srv; call from a Proc.
 func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode, opts ...FileClerkOption) *FileClerk {
 	return dfs.NewClerk(p, s.Mem[node], srv, mode, opts...)
+}
+
+// NewShardedFileService builds the sharded file tier on nodes 0..S-1 (S
+// from WithShards, default 1): N FileServers over one shared store, a
+// consistent-hash ring assigning every handle an owner shard. Call from a
+// Proc; reach it with clerks from NewShardFileClerk.
+func (s *System) NewShardedFileService(p *Proc, geo FileGeometry, opts ...FileServerOption) *ShardService {
+	n := s.shards
+	if n <= 0 {
+		n = 1
+	}
+	return shard.NewService(p, s.Mem[:n], len(s.Cluster.Nodes), geo, opts...)
+}
+
+// NewShardFileClerk wires a sharding-aware clerk on node to svc: every
+// operation routes to the shard owning its handle. Layer the
+// token-coherent block cache with WithShardTokenCache (and connect
+// multiple clerks with ConnectShardTokenPeers). Call from a Proc.
+func (s *System) NewShardFileClerk(p *Proc, node int, svc *ShardService, mode FileMode, opts ...ShardClerkOption) *ShardFileClerk {
+	return shard.NewClerk(p, s.Mem[node], svc, mode, opts...)
 }
 
 // NewFileStandby exports a hot-standby mirror for a file service with geo

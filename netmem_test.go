@@ -104,3 +104,40 @@ func TestFacadeParamsOverride(t *testing.T) {
 		t.Fatalf("read with 10µs propagation = %v, want ≈67µs", elapsed)
 	}
 }
+
+func TestFacadeShardedFileService(t *testing.T) {
+	// Three shard nodes plus a client node; the clerk routes by the ring
+	// and serves the re-read from its token-coherent cache.
+	sys := New(4, WithShards(3))
+	sys.Spawn("demo", func(p *Proc) {
+		svc := sys.NewShardedFileService(p, FileGeometry{})
+		clerk := sys.NewShardFileClerk(p, 3, svc, DX, WithShardTokenCache())
+		h, err := svc.Store.WriteFile("/export/facade.txt", []byte("sharded via the facade"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := svc.WarmFile(h); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := clerk.Read(p, h, 0, 22)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if string(got) != "sharded via the facade" {
+			t.Errorf("read %q", got)
+		}
+		clerk.FlushLocal()
+		if got, err = clerk.Read(p, h, 0, 22); err != nil || string(got) != "sharded via the facade" {
+			t.Errorf("re-read %q, %v", got, err)
+		}
+		if clerk.TokenHits == 0 {
+			t.Error("re-read did not hit the token cache")
+		}
+	})
+	if err := sys.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
