@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+)
+
+// Review check: same as TestTokenWriteInvalidatesPeerCache but WITHOUT the
+// b.FlushLocal() before the peer's re-read. If token recall truly keeps
+// peer caches coherent, b must see the new bytes.
+func TestReviewTokenCoherenceWithoutFlush(t *testing.T) {
+	r := newSvcRig(t, 2, 2, dfs.DX, WithTokenCache())
+	r.run(t, func(p *des.Proc) {
+		_, hs := r.seedTree(t, 4)
+		a, b := r.clerks[0], r.clerks[1]
+		h := hs[0]
+		if _, err := a.Read(p, h, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Read(p, h, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		payload := patterned(4096, 0x55)
+		ws := r.svc.Owner(h)
+		before := r.svc.Shards[ws].DataDeposits()
+		if err := a.Write(p, h, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		r.awaitDeposits(t, p, ws, before, 1)
+		if _, err := r.svc.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Read(p, h, 0, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("peer served stale bytes after a write without manual FlushLocal")
+		}
+	})
+}
