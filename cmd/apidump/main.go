@@ -1,0 +1,140 @@
+// Command apidump prints the exported API surface of a Go package as a
+// sorted, one-line-per-symbol inventory: every exported type, function,
+// method, var, and const, with its declaration collapsed to one line.
+//
+// The committed snapshot in ci/api.txt is the facade's contract; the CI
+// gate regenerates the dump and diffs it, so any change to the public
+// surface — a new builder, a dropped method, a changed signature — must
+// land together with a deliberate update of the snapshot.
+//
+// Usage:
+//
+//	go run ./cmd/apidump [-dir .] > ci/api.txt
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to dump")
+	flag.Parse()
+	lines, err := dump(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// dump parses the package in dir (tests excluded) and returns the sorted
+// exported-symbol inventory.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders one top-level declaration's exported symbols.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var lines []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		cp := *d
+		cp.Body = nil
+		cp.Doc = nil
+		lines = append(lines, render(fset, &cp))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				lines = append(lines, "type "+render(fset, &cp))
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for i, name := range sp.Names {
+					if !name.IsExported() {
+						continue
+					}
+					line := kw + " " + name.Name
+					if sp.Type != nil {
+						line += " " + render(fset, sp.Type)
+					}
+					if i < len(sp.Values) {
+						line += " = " + render(fset, sp.Values[i])
+					}
+					lines = append(lines, line)
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions have a nil receiver and always pass).
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// render prints an AST node and collapses it to a single line.
+func render(fset *token.FileSet, n any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The dump of the repository's root package must be non-empty, sorted,
+// one-line-per-symbol, and contain the facade's builder entry points.
+func TestDumpRootPackage(t *testing.T) {
+	lines, err := dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty dump")
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Error("dump is not sorted")
+	}
+	want := []string{
+		"func (s *System) Files() FilesAPI",
+		"func (s *System) Shards() ShardsAPI",
+		"func (s *System) Health() HealthAPI",
+		"type ShardManager = shard.Manager",
+	}
+	for _, w := range want {
+		found := false
+		for _, l := range lines {
+			if l == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("dump is missing %q", w)
+		}
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "\n") {
+			t.Errorf("multi-line entry: %q", l)
+		}
+		if !strings.HasPrefix(l, "func ") && !strings.HasPrefix(l, "type ") &&
+			!strings.HasPrefix(l, "var ") && !strings.HasPrefix(l, "const ") {
+			t.Errorf("unexpected entry shape: %q", l)
+		}
+	}
+}
+
+// Unexported symbols and test files never appear in the dump.
+func TestDumpExportedOnly(t *testing.T) {
+	lines, err := dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "sysOptions") && strings.HasPrefix(l, "type sysOptions") {
+			t.Errorf("unexported type leaked: %q", l)
+		}
+		if strings.Contains(l, "TestFacade") {
+			t.Errorf("test symbol leaked: %q", l)
+		}
+	}
+}

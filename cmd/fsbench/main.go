@@ -11,6 +11,11 @@
 //	           namespace by consistent hashing, load scaled proportionally
 //	           (4 clients per shard), reporting per-shard CPU occupancy,
 //	           aggregate goodput, and the token-cached re-read probe
+//	-elastic   the elastic fleet sweep: a fixed client population runs the
+//	           Table 1a mix while the shard fleet grows 2→8 and contracts
+//	           back to 2, one membership change at a time, with background
+//	           rmem-WRITE state migration; reports per-step goodput, tail
+//	           latency, donor CPU during migration, and key movement
 //
 // With no flags it runs figures 2 and 3 plus the headline.
 //
@@ -56,7 +61,13 @@ func main() {
 	chaos := flag.String("chaos", "", `run the Figure 2 mix under a fault campaign ("list", "all", or a name)`)
 	seed := flag.Int64("seed", 0, "campaign seed for -chaos (0 = default)")
 	shards := flag.Int("shards", 0, "sharded-tier sweep up to this many shards (with -chaos: shard count for the campaign)")
+	elastic := flag.Bool("elastic", false, "elastic fleet sweep: 2→8→2 shards under sustained Table 1a load")
 	flag.Parse()
+
+	if *elastic {
+		runElastic(*seed)
+		return
+	}
 
 	if *chaos != "" {
 		runChaos(*chaos, *seed, *metrics, *shards)
@@ -267,6 +278,8 @@ func runChaos(name string, seed int64, metrics bool, shards int) {
 			}
 			fmt.Printf("Sharded tier: %d shards, consistent-hash routing, fenced standby per shard\n", res.Shards)
 			printChaos(&res.ChaosResult, metrics)
+			fmt.Printf("divergence: %d stray bucket(s) after campaign, %d repaired (want 0 strays)\n\n",
+				res.Strays, res.Repaired)
 			continue
 		}
 		res, err := dfs.RunChaos(dfs.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX})
@@ -368,6 +381,57 @@ func runShardSweep(maxShards int) {
 	}
 	fmt.Printf("Token-coherent cache probe (%d shards): re-read of %d bytes served from client cache — %d token hits, 0 server CPU, 0 remote reads\n",
 		probe.Shards, probe.Bytes, probe.TokenHits)
+}
+
+// runElastic runs the elastic fleet sweep and prints the per-step table
+// plus the machine-checkable verdict lines CI greps for.
+func runElastic(seed int64) {
+	res, err := workload.RunElastic(workload.ElasticConfig{
+		Mode: dfs.DX, TokenCache: true, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Elastic fleet sweep: 8 clients, Table 1a mix, token cache on, seed %d\n",
+		seedShown(seed))
+	fmt.Println("(each row: one membership plateau; transitions migrate dirty state donor→owner via rmem WRITEs)")
+	fmt.Println()
+	t := stats.NewTable("Shards", "Cutover", "Migrated", "Moved keys", "Ideal K/N", "Donor util", "Donor base", "Ops", "Failed", "p99", "Mean util")
+	for _, s := range res.Steps {
+		cut, mig, moved, ideal, du, db := "-", "-", "-", "-", "-", "-"
+		if s.CutoverMs > 0 {
+			cut = fmt.Sprintf("%.2fms", s.CutoverMs)
+			mig = fmt.Sprintf("%d", s.MigratedBuckets)
+			moved = fmt.Sprintf("%d", s.MovedKeys)
+			ideal = fmt.Sprintf("%.1f", s.IdealMoved)
+			du = fmt.Sprintf("%.3f", s.DonorUtil)
+			db = fmt.Sprintf("%.3f", s.DonorBase)
+		}
+		t.Add(s.Target, cut, mig, moved, ideal, du, db,
+			s.Ops, s.Failed, fmt.Sprintf("%.2fms", s.P99Ms), fmt.Sprintf("%.2f", s.MeanUtil))
+	}
+	fmt.Println(t)
+	fmt.Printf("elastic: %d failed ops of %d across %d cutovers (want 0 failed)\n",
+		res.TotalFailed, res.TotalOps, res.Cutovers)
+	fmt.Printf("elastic: worst p99 %.2fms across all plateaus\n", res.MaxP99Ms)
+	fmt.Printf("elastic: donor CPU delta during migration %+.3f (one-sided bound 0.100)\n", res.WorstDonorDelta)
+	fmt.Printf("elastic: worst key movement %.2fx the K/N ideal over %d keys\n", res.MovedWorstRatio, res.Keys)
+	fmt.Printf("elastic: divergence strays after sweep %d (repaired %d)\n", res.Strays, res.Repaired)
+	ok := res.TotalFailed == 0 && res.WorstDonorDelta <= 0.10 && res.Strays == 0
+	if ok {
+		fmt.Println("elastic: PASS")
+	} else {
+		fmt.Println("elastic: FAIL")
+		os.Exit(1)
+	}
+}
+
+func seedShown(seed int64) int64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
 }
 
 func runScale(maxClients int) {

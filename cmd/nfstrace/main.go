@@ -99,13 +99,13 @@ func runReplay(n int, seed int64, modeName string, metrics bool, traceFile strin
 	opsDone := 0
 	var replayErr error
 	sys.Spawn("replay", func(p *netmem.Proc) {
-		srv := sys.NewFileServer(p, 0, netmem.FileGeometry{})
+		srv := sys.Files().Server(p, 0, netmem.FileGeometry{})
 		tree, err := workload.BuildTree(srv, 4, 8)
 		if err != nil {
 			replayErr = err
 			return
 		}
-		clerk := sys.NewFileClerk(p, 1, srv, mode)
+		clerk := sys.Files().Clerk(p, 1, srv, mode)
 		gen := workload.NewGenerator(seed, len(tree.Files), len(tree.Dirs))
 		rep := &workload.Replayer{Clerk: clerk, Tree: tree}
 		for i := 0; i < n; i++ {

@@ -30,19 +30,19 @@ func main() {
 		// --- Service side (node 1): heartbeat + encrypted state --------
 		hb := sys.Mem[1].Export(p, 64)
 		hb.SetDefaultRights(netmem.RightRead)
-		sys.StartHeartbeat(1, hb, 0, 5*time.Millisecond)
+		sys.Health().Heartbeat(1, hb, 0, 5*time.Millisecond)
 
 		state := sys.Mem[1].Export(p, 1024)
 		state.SetDefaultRights(netmem.RightsAll)
-		vault := sys.NewSecureVault(1, state, key, netmem.HardwareCrypto)
+		vault := sys.Secure().Vault(1, state, key, netmem.HardwareCrypto)
 		vault.WritePlain(p, 0, []byte("service state v1"))
 
 		// --- Monitor side (node 0) -------------------------------------
 		hbImp := sys.Mem[0].Import(p, 1, hb.ID(), hb.Gen(), hb.Size())
 		stImp := sys.Mem[0].Import(p, 1, state.ID(), state.Gen(), state.Size())
-		ch := sys.NewSecureChannel(stImp, key, netmem.HardwareCrypto)
+		ch := sys.Secure().Channel(stImp, key, netmem.HardwareCrypto)
 
-		sys.NewWatchdog(0, hbImp, 0, 20*time.Millisecond, 10*time.Millisecond,
+		sys.Health().Watchdog(0, hbImp, 0, 20*time.Millisecond, 10*time.Millisecond,
 			func(fp *netmem.Proc, err error) {
 				fmt.Printf("[%8v] WATCHDOG: %v\n", fp.Now(), err)
 				fmt.Println("          (detection is a data-only protocol: periodic 4-byte reads)")

@@ -32,8 +32,8 @@ func main() {
 func run(mode netmem.FileMode) {
 	sys := netmem.New(2)
 	sys.Spawn("demo", func(p *netmem.Proc) {
-		srv := sys.NewFileServer(p, 0, netmem.FileGeometry{})
-		clerk := sys.NewFileClerk(p, 1, srv, mode)
+		srv := sys.Files().Server(p, 0, netmem.FileGeometry{})
+		clerk := sys.Files().Clerk(p, 1, srv, mode)
 
 		// Populate and warm the server.
 		h, err := srv.Store.WriteFile("/vol/report.dat", make([]byte, 16384))

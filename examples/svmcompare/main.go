@@ -36,7 +36,7 @@ func runSVM() time.Duration {
 	sys := netmem.New(3)
 	agents := make([]*netmem.SVMAgent, 3)
 	for i := range sys.Cluster.Nodes {
-		agents[i] = sys.NewSVMAgent(i, 0, 1)
+		agents[i] = sys.SVM().Agent(i, 0, 1)
 	}
 	var per time.Duration
 	sys.Spawn("svm", func(p *netmem.Proc) {

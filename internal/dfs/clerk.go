@@ -48,6 +48,7 @@ type Clerk struct {
 
 	attr, name, link, data, dir, token *rmem.Import
 	scratch                            *rmem.Segment // deposit target for probes
+	barrier                            *rmem.Segment // deposit target for DepositBarrier, lazily created
 	push                               *rmem.Segment // eager-update board (§3.2), nil unless enabled
 	hcli                               *hybrid.Client
 
@@ -234,6 +235,25 @@ func (c *Clerk) call(p *des.Proc, req *request) ([]byte, error) {
 		return nil, err
 	}
 	return parseReply(rep)
+}
+
+// DepositBarrier proves every data-area frame this clerk sent to the
+// server before the call has been deposited. A minimal remote read of the
+// data area travels the same node-to-node path as the clerk's deposit
+// frames; cells are FIFO per path and the receiver drains them in arrival
+// order, so the reply returns only after every earlier frame has landed.
+// Unlike Null it shares no call state with the Hybrid-1 channel and uses
+// its own scratch segment — a membership cutover runs it from the
+// coordinator's proc while the clerk's owner may have an operation (and a
+// probe into the shared scratch) in flight.
+func (c *Clerk) DepositBarrier(p *des.Proc) error {
+	if c.Mode != DX || c.data == nil {
+		return nil // all writes were synchronous procedures; nothing in flight
+	}
+	if c.barrier == nil {
+		c.barrier = c.m.Export(p, 4)
+	}
+	return c.data.Read(p, 0, 4, c.barrier, 0, c.callTimeout())
 }
 
 // probe performs one remote read of n bytes at off within area, deposited
@@ -838,6 +858,54 @@ func (c *Clerk) Forget(h fstore.Handle) {
 			delete(c.owned, bk)
 		}
 	}
+}
+
+// ForgetMoved drops every local cache entry whose handle the predicate
+// flags — the bulk cousin of Forget for shard cutovers, where every key
+// whose ring owner changed goes stale on this shard's sub-clerk at once.
+// Returns the number of entries dropped.
+func (c *Clerk) ForgetMoved(moved func(fstore.Handle) bool) int {
+	dropped := 0
+	for h := range c.lAttr {
+		if moved(h) {
+			delete(c.lAttr, h)
+			dropped++
+		}
+	}
+	for h := range c.lLink {
+		if moved(h) {
+			delete(c.lLink, h)
+			dropped++
+		}
+	}
+	for bk := range c.lData {
+		if moved(bk.h) {
+			delete(c.lData, bk)
+			delete(c.owned, bk)
+			dropped++
+		}
+	}
+	for bk := range c.lDir {
+		if moved(bk.h) {
+			delete(c.lDir, bk)
+			dropped++
+		}
+	}
+	for k := range c.lName {
+		var ino, gen uint32
+		if _, err := fmt.Sscanf(k, "%d.%d/", &ino, &gen); err == nil {
+			if moved(fstore.Handle{Ino: ino, Gen: gen}) {
+				delete(c.lName, k)
+				dropped++
+			}
+		}
+	}
+	for bk := range c.owned {
+		if moved(bk.h) {
+			delete(c.owned, bk)
+		}
+	}
+	return dropped
 }
 
 // ForgetDir drops the local directory stream and every cached (dir, name)

@@ -202,6 +202,56 @@ func (s *Server) mirrorPass(p *des.Proc) {
 	}
 }
 
+// MigrateBuckets implements shard rebalancing's data-transfer step with
+// the paper's one-sided primitive. dst maps a resident bucket's key to the
+// receiving server's imported data area (nil import, true = evict only;
+// false = key did not move, leave the bucket alone). A moved dirty bucket
+// is pushed whole to the receiver at the *same* bucket offset — both
+// servers share one Geometry, so the offset is a pure function of the key —
+// as a plain rmem WRITE: the receiver's CPU is never scheduled, cells land
+// in its kernel drain loop. Clean residents carry no unreconstructible
+// state (the shared store is authoritative) and are evicted to re-warm at
+// the new owner. When clear is set, moved buckets are emptied locally: the
+// donor must neither serve nor Sync a block it no longer owns.
+func (s *Server) MigrateBuckets(p *des.Proc, dst func(fstore.Handle) (*rmem.Import, bool), clear bool) (pushed, cleared int, err error) {
+	buf := s.data.Bytes()
+	var snap []byte
+	for b := 0; b < s.Geo.DataBuckets; b++ {
+		lo := b * dataStride
+		rec := buf[lo : lo+dataStride]
+		flag, key, _, _ := getHdr(rec)
+		if flag == flagEmpty {
+			continue
+		}
+		imp, moved := dst(key)
+		if !moved {
+			continue
+		}
+		if flag == flagDirty && imp != nil {
+			// Push a snapshot, not the live bucket: a reliable block write
+			// sleeps awaiting per-chunk acks, and a frame depositing into
+			// this bucket mid-push would tear the pushed record at a chunk
+			// boundary.
+			snap = append(snap[:0], rec...)
+			if werr := imp.WriteBlock(p, lo, snap, false); werr != nil {
+				return pushed, cleared, fmt.Errorf("dfs: migrate bucket %d: %w", b, werr)
+			}
+			pushed++
+			if tr := s.m.Node.Env.Tracer(); tr != nil {
+				tr.Count("dfs.migrate.buckets", 1)
+			}
+		}
+		if clear {
+			// The shadow copy is left alone: the next mirror pass sees the
+			// dirty→empty transition and pushes the cleared bucket, so a
+			// standby cannot replay a block the donor no longer owns.
+			binary.BigEndian.PutUint32(rec, flagEmpty)
+			cleared++
+		}
+	}
+	return pushed, cleared, nil
+}
+
 // ---------------------------------------------------------------------------
 // Cache installation. The server fills its exported areas; clerks read
 // them remotely. Install happens at warm-up and on every server procedure

@@ -135,6 +135,24 @@ func (c *Clerk) addName(p *des.Proc, args any) (any, error) {
 		flag, old := parseRecord(reg[off:])
 		switch {
 		case flag == flagValid && old.Name == a.name:
+			// Late/re-registration supersede: a record for the same name
+			// replaces the old one in place when it is newer — a later
+			// incarnation epoch, or a later segment generation within the
+			// same epoch (the shard tier re-publishing "dfs.ring" after a
+			// membership change). The single-writer invalidate/fill/validate
+			// protocol makes the swap atomic with respect to remote reads;
+			// remote holders of the old record fail safely on the stale
+			// generation and re-resolve. Registering a stale or identical
+			// generation for a different segment still reports ErrExists.
+			if rec.Epoch > old.Epoch || (rec.Epoch == old.Epoch && rec.Gen > old.Gen) {
+				binary.BigEndian.PutUint32(reg[off:], flagEmpty)
+				packRecord(reg[off:], rec, flagEmpty)
+				binary.BigEndian.PutUint32(reg[off:], flagValid)
+				return nil, nil
+			}
+			if rec == old {
+				return nil, nil // idempotent re-registration of the same export
+			}
 			return nil, ErrExists
 		case flag == flagValid:
 			continue // collision: linear probe

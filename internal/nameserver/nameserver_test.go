@@ -121,14 +121,34 @@ func TestImportUnknownName(t *testing.T) {
 	})
 }
 
-func TestDuplicateExport(t *testing.T) {
+func TestReexportSupersedes(t *testing.T) {
+	// Late/re-registration: a newer export of the same name replaces the
+	// record in place (the shard tier republishing "dfs.ring" after a
+	// membership change); registering a *stale* segment still reports
+	// ErrExists, and re-registering the current one is idempotent.
 	env, _, clerks := testCluster(t, 2, Config{})
 	runAfterBoot(t, env, func(p *des.Proc) {
-		if _, err := clerks[0].Export(p, "dup", 64, rmem.RightsAll); err != nil {
+		old, err := clerks[0].Export(p, "dup", 64, rmem.RightsAll)
+		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := clerks[0].Export(p, "dup", 64, rmem.RightsAll); err != ErrExists {
-			t.Fatalf("err = %v, want ErrExists", err)
+		cur, err := clerks[0].Export(p, "dup", 64, rmem.RightsAll)
+		if err != nil {
+			t.Fatalf("re-export err = %v, want supersede", err)
+		}
+		rec, err := clerks[1].Lookup(p, "dup", 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seg != cur.ID() || rec.Gen != cur.Gen() {
+			t.Fatalf("lookup resolved seg %d gen %d, want the superseding export seg %d gen %d",
+				rec.Seg, rec.Gen, cur.ID(), cur.Gen())
+		}
+		if err := clerks[0].Register(p, "dup", old); err != ErrExists {
+			t.Fatalf("stale re-register err = %v, want ErrExists", err)
+		}
+		if err := clerks[0].Register(p, "dup", cur); err != nil {
+			t.Fatalf("idempotent re-register err = %v, want nil", err)
 		}
 	})
 }

@@ -43,6 +43,10 @@ type ChaosConfig struct {
 type ChaosResult struct {
 	dfs.ChaosResult
 	Shards int
+	// Strays / Repaired report the post-campaign divergence audit: resident
+	// data buckets found on a shard that no longer owns their key (want 0),
+	// and how many of those the audit evicted.
+	Strays, Repaired int
 }
 
 // RunChaos measures the Figure 2 mix on a sharded rig twice — fault-free
@@ -62,7 +66,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: chaos run: %w", err)
 	}
-	res := &ChaosResult{Shards: cfg.Shards}
+	if leg.divErr != nil {
+		return nil, fmt.Errorf("shard: chaos divergence audit: %w", leg.divErr)
+	}
+	res := &ChaosResult{Shards: cfg.Shards, Strays: leg.strays, Repaired: leg.repaired}
 	res.Campaign = cfg.Campaign.Name
 	res.Seed = leg.eng.Seed()
 	res.Mode = cfg.Mode
@@ -95,12 +102,15 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 
 // chaosLeg is one measured leg.
 type chaosLeg struct {
-	ops    []dfs.ChaosOpResult
-	tr     *obs.Tracer
-	eng    *faults.Engine
-	rig    *chaosRig
-	window time.Duration
-	events uint64
+	ops      []dfs.ChaosOpResult
+	tr       *obs.Tracer
+	eng      *faults.Engine
+	rig      *chaosRig
+	window   time.Duration
+	events   uint64
+	strays   int
+	repaired int
+	divErr   error
 }
 
 // chaosRig is the sharded counterpart of the dfs experiment rig: shard i
@@ -159,10 +169,10 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode dfs.Mode, shards int, f
 			return
 		}
 		if failover {
+			// The clerk rebinds itself through its Membership subscription
+			// when the coordinator publishes the slot move.
 			for i := 0; i < shards; i++ {
-				i := i
-				rig.svc.ArmFailover(p, i, mgrs[shards+1+i], mc, 100*time.Microsecond,
-					func(p *des.Proc, _ *dfs.Server) error { rig.clerk.Rebind(p, i); return nil })
+				rig.svc.ArmFailover(p, i, mgrs[shards+1+i], mc, 100*time.Microsecond)
 			}
 		}
 	})
@@ -198,6 +208,10 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode dfs.Mode, shards int, f
 			}
 		}
 		leg.window = time.Duration(p.Now().Sub(start))
+		// Post-campaign divergence audit (untimed): after crashes, failovers,
+		// and replays, every resident data bucket must still live on the
+		// shard that owns its key.
+		leg.strays, leg.repaired, leg.divErr = rig.svc.CheckDivergence(p)
 	})
 	// Heartbeat/watchdog/mirror daemons never idle, so the failover rig
 	// needs a finite horizon.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sort"
 	"time"
 
 	"netmem/internal/cluster"
@@ -38,29 +39,39 @@ func WithSubOptions(opts ...dfs.ClerkOption) ClerkOption {
 	return func(o *clerkOptions) { o.dfsOpts = append(o.dfsOpts, opts...) }
 }
 
-// Clerk is the sharding-aware clerk: one dfs.Clerk per shard, with every
-// operation routed to the shard owning its key — handle-keyed operations by
-// the file handle, namespace operations by the directory handle, so a
-// directory's entries, stream, and mutations always meet at one shard's
-// cache. Operations whose effects span shards (Remove and Rename across the
-// ring) issue coherence repairs at the other shard (see Remove/Rename).
+// Clerk is the sharding-aware clerk: one dfs.Clerk per live slot, with
+// every operation routed through the epoch-versioned Membership — the
+// owner is resolved per operation, never at construction, so an elastic
+// cutover mid-stream parks the affected operation and resumes it against
+// the new owner (and an operation that raced a commit retries once).
+// Handle-keyed operations route by the file handle, namespace operations
+// by the directory handle, so a directory's entries, stream, and mutations
+// always meet at one shard's cache. Operations whose effects span shards
+// (Remove and Rename across the ring) issue coherence repairs at the other
+// shard (see Remove/Rename).
 type Clerk struct {
 	m    *rmem.Manager
 	svc  *Service
 	Mode dfs.Mode
-	sub  []*dfs.Clerk
+	sub  []*dfs.Clerk // slot-indexed; nil = not wired / vacant
 
 	// Token-coherent block cache (WithTokenCache): rw[s] manages tokens in
-	// shard s's per-bucket token area; cache[s][tok] holds block copies
+	// slot s's per-bucket token area; cache[s][tok] holds block copies
 	// valid while the token is held.
-	rw    []*tokens.RWClient
-	cache []map[int]map[blockKey][]byte
+	tokenCache bool
+	dfsOpts    []dfs.ClerkOption
+	rw         []*tokens.RWClient
+	cache      []map[int]map[blockKey][]byte
+	peers      []*Clerk // revocation-mesh group (ConnectTokenPeers)
 
 	nullSeq int
 
 	// Stats.
-	TokenHits int64 // reads served from the token-coherent cache
-	Repairs   int64 // cross-shard coherence repairs issued
+	TokenHits      int64 // reads served from the token-coherent cache
+	Repairs        int64 // cross-shard coherence repairs issued
+	RouteRetries   int64 // ops rerouted after a mid-operation ring change
+	TokensRecalled int64 // tokens forfeited because their keys moved
+	MovedDrops     int64 // cached blocks dropped because their keys moved
 }
 
 type blockKey struct {
@@ -68,65 +79,208 @@ type blockKey struct {
 	block int64
 }
 
-// NewClerk wires a sharded clerk on m's node: one sub-clerk per shard and,
-// with WithTokenCache, one RW token client per shard token area.
+// NewClerk wires a sharded clerk on m's node: one sub-clerk per live slot
+// and, with WithTokenCache, one RW token client per slot token area. The
+// clerk registers with the service and subscribes to its Membership, so
+// later joins, drains, and failover slot moves are wired automatically.
 func NewClerk(p *des.Proc, m *rmem.Manager, svc *Service, mode dfs.Mode, opts ...ClerkOption) *Clerk {
 	var o clerkOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c := &Clerk{m: m, svc: svc, Mode: mode}
-	for _, srv := range svc.Shards {
-		c.sub = append(c.sub, dfs.NewClerk(p, m, srv, mode, o.dfsOpts...))
+	c := &Clerk{m: m, svc: svc, Mode: mode, tokenCache: o.tokenCache, dfsOpts: o.dfsOpts}
+	for s := range svc.Shards {
+		c.wireSlot(p, s)
 	}
-	if o.tokenCache {
-		c.rw = make([]*tokens.RWClient, svc.Size())
-		c.cache = make([]map[int]map[blockKey][]byte, svc.Size())
-		for i, srv := range svc.Shards {
-			a := srv.Areas()[5] // the per-data-bucket token area
-			c.rw[i] = tokens.NewRWClient(p, m, svc.NodeOf(i), uint16(a[0]), uint16(a[1]), a[2], svc.slotNodes)
-			c.cache[i] = make(map[int]map[blockKey][]byte)
-			i := i
-			c.rw[i].OnInvalidate(func(p *des.Proc, tok int) {
-				delete(c.cache[i], tok)
-			})
+	svc.clerks = append(svc.clerks, c)
+	svc.mb.watchProc(func(p *des.Proc, ev Event) {
+		if ev.Slot >= 0 && ev.Slot < len(c.sub) && c.sub[ev.Slot] != nil {
+			c.Rebind(p, ev.Slot)
 		}
-	}
+	})
 	return c
 }
 
-// ConnectTokenPeers wires the full revocation mesh between token-caching
-// clerks, per shard (a deployment would publish the channels through the
-// name service instead).
-func ConnectTokenPeers(p *des.Proc, clerks ...*Clerk) {
-	for _, a := range clerks {
-		for _, b := range clerks {
-			if a == b || a.rw == nil || b.rw == nil {
-				continue
-			}
-			for s := range a.rw {
-				rid, rgen, rsize := b.rw[s].RevocationChannel()
-				a.rw[s].Connect(p, b.m.Node.ID, rid, rgen, rsize)
-			}
+// wireSlot builds the sub-clerk (and token client) for one slot; a no-op
+// when the slot is already wired or vacant.
+func (c *Clerk) wireSlot(p *des.Proc, s int) {
+	for len(c.sub) <= s {
+		c.sub = append(c.sub, nil)
+	}
+	if c.sub[s] == nil && s < len(c.svc.Shards) && c.svc.Shards[s] != nil {
+		c.sub[s] = dfs.NewClerk(p, c.m, c.svc.Shards[s], c.Mode, c.dfsOpts...)
+	}
+	if !c.tokenCache {
+		return
+	}
+	for len(c.rw) <= s {
+		c.rw = append(c.rw, nil)
+		c.cache = append(c.cache, nil)
+	}
+	if c.rw[s] == nil && s < len(c.svc.Shards) && c.svc.Shards[s] != nil {
+		a := c.svc.Shards[s].Areas()[5] // the per-data-bucket token area
+		c.rw[s] = tokens.NewRWClient(p, c.m, c.svc.NodeOf(s), uint16(a[0]), uint16(a[1]), a[2], c.svc.slotNodes)
+		c.cache[s] = make(map[int]map[blockKey][]byte)
+		s := s
+		c.rw[s].OnInvalidate(func(p *des.Proc, tok int) { c.invalidateToken(s, tok) })
+	}
+}
+
+// invalidateToken drops a revoked token's cached blocks AND the sub-clerk's
+// local copies of the covered handles: the sub-clerk's block cache was
+// populated under the token's protection and must not outlive it — a
+// peer's write is about to change the bytes (the stale-read hole the token
+// protocol exists to close).
+func (c *Clerk) invalidateToken(s, tok int) {
+	for bk := range c.cache[s][tok] {
+		if c.sub[s] != nil {
+			c.sub[s].Forget(bk.h)
 		}
 	}
-	for _, a := range clerks {
-		for _, b := range clerks {
-			if a == b || a.rw == nil || b.rw == nil {
-				continue
+	delete(c.cache[s], tok)
+}
+
+// dropSlot tears down a slot's wiring after a drain or a failed join: any
+// remaining tokens are forfeited locally (the table is going away) and the
+// sub-clerk is discarded.
+func (c *Clerk) dropSlot(p *des.Proc, s int) {
+	if s < len(c.rw) && c.rw[s] != nil {
+		c.rw[s].ForfeitAll(p)
+		c.rw[s] = nil
+		c.cache[s] = nil
+	}
+	if s < len(c.sub) {
+		c.sub[s] = nil
+	}
+}
+
+// settle is the cutover's deposit barrier: one minimal remote read against
+// each donor flushes this clerk's in-flight one-sided deposits ahead of
+// the migration scan. Cells are FIFO per virtual circuit, so the read's
+// reply proves every frame the clerk previously sent to that node has been
+// deposited. It must not ride the Hybrid-1 request channel (a Null would):
+// the cutover runs on the coordinator's proc while this clerk may have an
+// unmoved-key operation mid-call, and the channel's reply state is not
+// shared safely between two procs.
+func (c *Clerk) settle(p *des.Proc, slots []int) {
+	for _, s := range slots {
+		if s < len(c.sub) && c.sub[s] != nil {
+			_ = c.sub[s].DepositBarrier(p)
+		}
+	}
+}
+
+// recallMoved recalls cached state for exactly the keys that move under a
+// pending cutover: moved block copies are dropped, every sub-clerk forgets
+// the moved handles, and tokens left with no cached entries are forfeited
+// back to the (still live) donor table. Unmoved keys keep their tokens and
+// their cache hits.
+func (c *Clerk) recallMoved(p *des.Proc, old *Ring, moved func(fstore.Handle) bool) {
+	for _, sc := range c.sub {
+		if sc != nil {
+			sc.ForgetMoved(moved)
+		}
+	}
+	if !c.tokenCache {
+		return
+	}
+	for s := range c.rw {
+		if c.rw[s] == nil {
+			continue
+		}
+		var forfeits []int
+		for tok, m := range c.cache[s] {
+			touched := false
+			for bk := range m {
+				if moved(bk.h) {
+					delete(m, bk)
+					c.MovedDrops++
+					touched = true
+				}
 			}
-			for s := range a.rw {
-				pid, pgen, psize := a.rw[s].PeerReply(b.m.Node.ID)
-				b.rw[s].AttachPeer(p, a.m.Node.ID, pid, pgen, psize)
+			if touched && len(m) == 0 {
+				delete(c.cache[s], tok)
+				forfeits = append(forfeits, tok)
+			}
+		}
+		// Remote forfeits in sorted order: map iteration must not leak
+		// nondeterminism into the event stream.
+		sort.Ints(forfeits)
+		for _, tok := range forfeits {
+			if held, err := c.rw[s].ForfeitToken(p, tok); err == nil && held {
+				c.TokensRecalled++
 			}
 		}
 	}
 }
 
-// owner maps any handle to its shard.
+// ConnectTokenPeers wires the full revocation mesh between token-caching
+// clerks, per slot, and records the group so the service can extend the
+// mesh when a shard joins (a deployment would publish the channels through
+// the name service instead).
+func ConnectTokenPeers(p *des.Proc, clerks ...*Clerk) {
+	for _, c := range clerks {
+		c.peers = clerks
+	}
+	slots := 0
+	for _, c := range clerks {
+		if len(c.rw) > slots {
+			slots = len(c.rw)
+		}
+	}
+	for s := 0; s < slots; s++ {
+		connectSlotPeers(p, s, clerks)
+	}
+}
+
+// connectSlotPeers wires one slot's revocation mesh across a clerk group.
+func connectSlotPeers(p *des.Proc, s int, clerks []*Clerk) {
+	live := func(c *Clerk) bool { return s < len(c.rw) && c.rw[s] != nil }
+	for _, a := range clerks {
+		for _, b := range clerks {
+			if a == b || !live(a) || !live(b) {
+				continue
+			}
+			rid, rgen, rsize := b.rw[s].RevocationChannel()
+			a.rw[s].Connect(p, b.m.Node.ID, rid, rgen, rsize)
+		}
+	}
+	for _, a := range clerks {
+		for _, b := range clerks {
+			if a == b || !live(a) || !live(b) {
+				continue
+			}
+			pid, pgen, psize := a.rw[s].PeerReply(b.m.Node.ID)
+			b.rw[s].AttachPeer(p, a.m.Node.ID, pid, pgen, psize)
+		}
+	}
+}
+
+// owner maps any handle to its slot under the committed ring.
 func (c *Clerk) owner(h fstore.Handle) int { return c.svc.Ring.Owner(h.U64()) }
 
-// Sub exposes the per-shard sub-clerk (tests and stats aggregation).
+// routed runs one keyed operation against the key's owner, resolved
+// through the Membership: a key mid-migration parks until the cutover
+// commits, and an operation that raced a commit (the epoch changed AND the
+// key's owner with it) retries once against the new owner.
+func (c *Clerk) routed(p *des.Proc, key uint64, fn func(s int) error) error {
+	for attempt := 0; ; attempt++ {
+		s, e := c.svc.mb.ownerAwait(p, key)
+		c.wireSlot(p, s)
+		c.svc.mb.opEnter(key)
+		err := fn(s)
+		c.svc.mb.opExit(key)
+		if err == nil || attempt > 0 {
+			return err
+		}
+		if ring, e2 := c.svc.mb.Current(); e2 == e || ring.Owner(key) == s {
+			return err
+		}
+		c.RouteRetries++
+	}
+}
+
+// Sub exposes the per-slot sub-clerk (tests and stats aggregation).
 func (c *Clerk) Sub(i int) *dfs.Clerk { return c.sub[i] }
 
 // Node returns the clerk's node.
@@ -138,7 +292,9 @@ func (c *Clerk) Node() *cluster.Node { return c.m.Node }
 // exactly the property that lets re-reads skip the server entirely.
 func (c *Clerk) FlushLocal() {
 	for _, sc := range c.sub {
-		sc.FlushLocal()
+		if sc != nil {
+			sc.FlushLocal()
+		}
 	}
 }
 
@@ -146,16 +302,22 @@ func (c *Clerk) FlushLocal() {
 // experiments that want a cold token cache).
 func (c *Clerk) DropTokenCache() {
 	for i := range c.cache {
-		c.cache[i] = make(map[int]map[blockKey][]byte)
+		if c.cache[i] != nil {
+			c.cache[i] = make(map[int]map[blockKey][]byte)
+		}
 	}
 }
 
-// Rebind re-wires shard i's sub-clerk to the (post-failover) current server
-// incarnation, and forfeits that shard's tokens and cached blocks — the
-// dead incarnation's token table died with it.
+// Rebind re-wires slot i's sub-clerk to the (post-failover) current server
+// incarnation, and forfeits that slot's tokens and cached blocks — the
+// dead incarnation's token table died with it. Normally driven by the
+// Membership subscription when a failover publishes a slot move.
 func (c *Clerk) Rebind(p *des.Proc, i int) {
+	if i >= len(c.sub) || c.sub[i] == nil || c.svc.Shards[i] == nil {
+		return
+	}
 	c.sub[i].Rebind(p, c.svc.Shards[i])
-	if c.rw != nil {
+	if i < len(c.rw) && c.rw[i] != nil {
 		a := c.svc.Shards[i].Areas()[5]
 		c.rw[i].RebindTable(p, c.svc.NodeOf(i), uint16(a[0]), uint16(a[1]), a[2])
 		c.cache[i] = make(map[int]map[blockKey][]byte)
@@ -167,26 +329,25 @@ func (c *Clerk) Rebind(p *des.Proc, i int) {
 
 // GetAttr routes to the shard owning h.
 func (c *Clerk) GetAttr(p *des.Proc, h fstore.Handle) (fstore.Attr, error) {
-	return c.sub[c.owner(h)].GetAttr(p, h)
+	var a fstore.Attr
+	err := c.routed(p, h.U64(), func(s int) (e error) {
+		a, e = c.sub[s].GetAttr(p, h)
+		return
+	})
+	return a, err
 }
 
 // SetAttr routes to the shard owning h; a resize invalidates our cached
 // block copies of the file.
 func (c *Clerk) SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (fstore.Attr, error) {
-	s := c.owner(h)
-	a, err := c.sub[s].SetAttr(p, h, mode, size)
-	if err == nil && c.cache != nil {
-		for tok, m := range c.cache[s] {
-			for bk := range m {
-				if bk.h == h {
-					delete(m, bk)
-				}
-			}
-			if len(m) == 0 {
-				delete(c.cache[s], tok)
-			}
+	var a fstore.Attr
+	err := c.routed(p, h.U64(), func(s int) (e error) {
+		a, e = c.sub[s].SetAttr(p, h, mode, size)
+		if e == nil {
+			c.dropCachedFile(s, h)
 		}
-	}
+		return
+	})
 	return a, err
 }
 
@@ -194,32 +355,66 @@ func (c *Clerk) SetAttr(p *des.Proc, h fstore.Handle, mode uint16, size int64) (
 // Remove on that directory also execute — namespace reads and mutations
 // meet at one cache.
 func (c *Clerk) Lookup(p *des.Proc, dir fstore.Handle, name string) (fstore.Handle, fstore.Attr, error) {
-	return c.sub[c.owner(dir)].Lookup(p, dir, name)
+	var h fstore.Handle
+	var a fstore.Attr
+	err := c.routed(p, dir.U64(), func(s int) (e error) {
+		h, a, e = c.sub[s].Lookup(p, dir, name)
+		return
+	})
+	return h, a, err
 }
 
 // ReadLink routes to the shard owning h.
 func (c *Clerk) ReadLink(p *des.Proc, h fstore.Handle) (string, error) {
-	return c.sub[c.owner(h)].ReadLink(p, h)
+	var t string
+	err := c.routed(p, h.U64(), func(s int) (e error) {
+		t, e = c.sub[s].ReadLink(p, h)
+		return
+	})
+	return t, err
 }
 
 // ReadDir routes to the shard owning the directory.
 func (c *Clerk) ReadDir(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
-	return c.sub[c.owner(h)].ReadDir(p, h, offset, count)
+	var out []byte
+	err := c.routed(p, h.U64(), func(s int) (e error) {
+		out, e = c.sub[s].ReadDir(p, h, offset, count)
+		return
+	})
+	return out, err
 }
 
 // Create routes to the shard owning the directory.
 func (c *Clerk) Create(p *des.Proc, dir fstore.Handle, name string, mode uint16) (fstore.Handle, fstore.Attr, error) {
-	return c.sub[c.owner(dir)].Create(p, dir, name, mode)
+	var h fstore.Handle
+	var a fstore.Attr
+	err := c.routed(p, dir.U64(), func(s int) (e error) {
+		h, a, e = c.sub[s].Create(p, dir, name, mode)
+		return
+	})
+	return h, a, err
 }
 
 // Mkdir routes to the shard owning the directory.
 func (c *Clerk) Mkdir(p *des.Proc, dir fstore.Handle, name string, mode uint16) (fstore.Handle, fstore.Attr, error) {
-	return c.sub[c.owner(dir)].Mkdir(p, dir, name, mode)
+	var h fstore.Handle
+	var a fstore.Attr
+	err := c.routed(p, dir.U64(), func(s int) (e error) {
+		h, a, e = c.sub[s].Mkdir(p, dir, name, mode)
+		return
+	})
+	return h, a, err
 }
 
 // Symlink routes to the shard owning the directory.
 func (c *Clerk) Symlink(p *des.Proc, dir fstore.Handle, name, target string) (fstore.Handle, fstore.Attr, error) {
-	return c.sub[c.owner(dir)].Symlink(p, dir, name, target)
+	var h fstore.Handle
+	var a fstore.Attr
+	err := c.routed(p, dir.U64(), func(s int) (e error) {
+		h, a, e = c.sub[s].Symlink(p, dir, name, target)
+		return
+	})
+	return h, a, err
 }
 
 // Remove executes at the shard owning the directory. When the removed
@@ -228,25 +423,27 @@ func (c *Clerk) Symlink(p *des.Proc, dir fstore.Handle, name, target string) (fs
 // to re-resolve the handle, which fails and drops the record (the
 // error-path dropAttr in dfs.Server.execute).
 func (c *Clerk) Remove(p *des.Proc, dir fstore.Handle, name string) error {
-	s := c.owner(dir)
-	child, _, lerr := c.sub[s].Lookup(p, dir, name)
-	if err := c.sub[s].Remove(p, dir, name); err != nil {
-		return err
-	}
-	if lerr == nil {
-		if cs := c.owner(child); cs != s {
-			c.Repairs++
-			_ = c.sub[cs].Refresh(p, child) // expected to fail: the refresh IS the repair
-			c.sub[cs].Forget(child)
-			c.dropCachedFile(cs, child)
+	return c.routed(p, dir.U64(), func(s int) error {
+		child, _, lerr := c.sub[s].Lookup(p, dir, name)
+		if err := c.sub[s].Remove(p, dir, name); err != nil {
+			return err
 		}
-	}
-	return nil
+		if lerr == nil {
+			if cs := c.owner(child); cs != s {
+				c.Repairs++
+				c.wireSlot(p, cs)
+				_ = c.sub[cs].Refresh(p, child) // expected to fail: the refresh IS the repair
+				c.sub[cs].Forget(child)
+				c.dropCachedFile(cs, child)
+			}
+		}
+		return nil
+	})
 }
 
 // dropCachedFile forgets token-cached blocks of one (now stale) handle.
 func (c *Clerk) dropCachedFile(s int, h fstore.Handle) {
-	if c.cache == nil {
+	if c.cache == nil || s >= len(c.cache) || c.cache[s] == nil {
 		return
 	}
 	for tok, m := range c.cache[s] {
@@ -266,29 +463,37 @@ func (c *Clerk) dropCachedFile(s int, h fstore.Handle) {
 // (toDir, toName) record; repairs reload both through the destination
 // shard's server procedure.
 func (c *Clerk) Rename(p *des.Proc, fromDir fstore.Handle, fromName string, toDir fstore.Handle, toName string) error {
-	s := c.owner(fromDir)
-	if err := c.sub[s].Rename(p, fromDir, fromName, toDir, toName); err != nil {
-		return err
-	}
-	if ts := c.owner(toDir); ts != s {
-		c.Repairs++
-		c.sub[ts].ForgetDir(toDir)
-		_ = c.sub[ts].RefreshDir(p, toDir)
-		_ = c.sub[ts].RefreshLookup(p, toDir, toName)
-	}
-	return nil
+	return c.routed(p, fromDir.U64(), func(s int) error {
+		if err := c.sub[s].Rename(p, fromDir, fromName, toDir, toName); err != nil {
+			return err
+		}
+		if ts := c.owner(toDir); ts != s {
+			c.Repairs++
+			c.wireSlot(p, ts)
+			c.sub[ts].ForgetDir(toDir)
+			_ = c.sub[ts].RefreshDir(p, toDir)
+			_ = c.sub[ts].RefreshLookup(p, toDir, toName)
+		}
+		return nil
+	})
 }
 
 // StatFS is a whole-store query; the shared store makes any shard
-// authoritative, so it routes to shard 0 deterministically.
+// authoritative, so it routes to the lowest live slot deterministically.
 func (c *Clerk) StatFS(p *des.Proc) (fstore.FSStat, error) {
-	return c.sub[0].StatFS(p)
+	ring, _ := c.svc.mb.Current()
+	s := ring.Members()[0]
+	c.wireSlot(p, s)
+	return c.sub[s].StatFS(p)
 }
 
-// Null round-robins across shards (it carries no key).
+// Null round-robins across live slots (it carries no key).
 func (c *Clerk) Null(p *des.Proc) error {
-	s := c.nullSeq % len(c.sub)
+	ring, _ := c.svc.mb.Current()
+	members := ring.Members()
+	s := members[c.nullSeq%len(members)]
 	c.nullSeq++
+	c.wireSlot(p, s)
 	return c.sub[s].Null(p)
 }
 
@@ -301,47 +506,54 @@ func (c *Clerk) Null(p *des.Proc) error {
 
 // Read returns up to count bytes at offset.
 func (c *Clerk) Read(p *des.Proc, h fstore.Handle, offset int64, count int) ([]byte, error) {
-	s := c.owner(h)
-	if c.rw == nil {
-		return c.sub[s].Read(p, h, offset, count)
-	}
-	if offset < 0 || count < 0 {
-		return nil, fstore.ErrBadOffset
-	}
 	var out []byte
-	for count > 0 {
-		block := offset / fstore.BlockSize
-		in := int(offset % fstore.BlockSize)
-		want := count
-		if in+want > fstore.BlockSize {
-			want = fstore.BlockSize - in
+	err := c.routed(p, h.U64(), func(s int) error {
+		out = nil
+		if !c.tokenCache {
+			var e error
+			out, e = c.sub[s].Read(p, h, offset, count)
+			return e
 		}
-		blk, err := c.coherentBlock(p, s, h, block)
-		if err != nil {
-			return out, err
+		if offset < 0 || count < 0 {
+			return fstore.ErrBadOffset
 		}
-		if in >= len(blk) {
-			break // EOF
+		off, cnt := offset, count
+		for cnt > 0 {
+			block := off / fstore.BlockSize
+			in := int(off % fstore.BlockSize)
+			want := cnt
+			if in+want > fstore.BlockSize {
+				want = fstore.BlockSize - in
+			}
+			blk, err := c.coherentBlock(p, s, h, block)
+			if err != nil {
+				return err
+			}
+			if in >= len(blk) {
+				break // EOF
+			}
+			hi := in + want
+			if hi > len(blk) {
+				hi = len(blk)
+			}
+			out = append(out, blk[in:hi]...)
+			if hi < in+want {
+				break
+			}
+			off += int64(want)
+			cnt -= want
 		}
-		hi := in + want
-		if hi > len(blk) {
-			hi = len(blk)
-		}
-		out = append(out, blk[in:hi]...)
-		if hi < in+want {
-			break
-		}
-		offset += int64(want)
-		count -= want
-	}
-	return out, nil
+		return nil
+	})
+	return out, err
 }
 
 // coherentBlock serves one block under the token protocol.
 func (c *Clerk) coherentBlock(p *des.Proc, s int, h fstore.Handle, block int64) ([]byte, error) {
 	tok := c.svc.Geo.DataBucket(h, block)
 	key := blockKey{h, block}
-	if c.rw[s].HoldsRead(tok) || c.rw[s].HoldsWrite(tok) {
+	held := c.rw[s].HoldsRead(tok) || c.rw[s].HoldsWrite(tok)
+	if held {
 		if b, ok := c.cache[s][tok][key]; ok {
 			c.TokenHits++
 			return b, nil
@@ -349,6 +561,12 @@ func (c *Clerk) coherentBlock(p *des.Proc, s int, h fstore.Handle, block int64) 
 	}
 	if err := c.rw[s].AcquireRead(p, tok, tokenTimeout); err != nil {
 		return nil, err
+	}
+	if !held {
+		// The token lapsed since we last read under it (revoked, forfeited,
+		// or never held): any sub-clerk copy of the file predates this
+		// acquisition and a writer may have changed the bytes — refetch.
+		c.sub[s].Forget(h)
 	}
 	blk, err := c.sub[s].Read(p, h, block*fstore.BlockSize, fstore.BlockSize)
 	if err != nil {
@@ -366,54 +584,62 @@ func (c *Clerk) coherentBlock(p *des.Proc, s int, h fstore.Handle, block int64) 
 // invalidating their cached copies — then released back to a read token
 // once the deposit is done (Downgrade: we keep cache validity ourselves).
 func (c *Clerk) Write(p *des.Proc, h fstore.Handle, offset int64, data []byte) error {
-	s := c.owner(h)
-	if c.rw == nil {
-		return c.sub[s].Write(p, h, offset, data)
-	}
-	for len(data) > 0 {
-		block := offset / fstore.BlockSize
-		in := int(offset % fstore.BlockSize)
-		n := len(data)
-		if in+n > fstore.BlockSize {
-			n = fstore.BlockSize - in
+	return c.routed(p, h.U64(), func(s int) error {
+		if !c.tokenCache {
+			return c.sub[s].Write(p, h, offset, data)
 		}
-		tok := c.svc.Geo.DataBucket(h, block)
-		if err := c.rw[s].AcquireWrite(p, tok, tokenTimeout); err != nil {
-			return err
-		}
-		err := c.sub[s].Write(p, h, offset, data[:n])
-		if err == nil {
-			// Our own stale copy of the block (if any) must not outlive the
-			// write; the next read refetches under the read token.
-			if m := c.cache[s][tok]; m != nil {
-				delete(m, blockKey{h, block})
+		off, buf := offset, data
+		for len(buf) > 0 {
+			block := off / fstore.BlockSize
+			in := int(off % fstore.BlockSize)
+			n := len(buf)
+			if in+n > fstore.BlockSize {
+				n = fstore.BlockSize - in
 			}
-			err = c.rw[s].Downgrade(p, tok)
+			tok := c.svc.Geo.DataBucket(h, block)
+			if err := c.rw[s].AcquireWrite(p, tok, tokenTimeout); err != nil {
+				return err
+			}
+			err := c.sub[s].Write(p, h, off, buf[:n])
+			if err == nil {
+				// Our own stale copy of the block (if any) must not outlive
+				// the write; the next read refetches under the read token.
+				if m := c.cache[s][tok]; m != nil {
+					delete(m, blockKey{h, block})
+				}
+				err = c.rw[s].Downgrade(p, tok)
+			}
+			if err != nil {
+				return err
+			}
+			off += int64(n)
+			buf = buf[n:]
 		}
-		if err != nil {
-			return err
-		}
-		offset += int64(n)
-		data = data[n:]
-	}
-	return nil
+		return nil
+	})
 }
 
 // Stats aggregates the sub-clerks' counters (plus this clerk's own).
 type Stats struct {
-	LocalHits    int64
-	RemoteReads  int64
-	RemoteWrites int64
-	Misses       int64
-	Rebinds      int64
-	TokenHits    int64
-	Repairs      int64
+	LocalHits      int64
+	RemoteReads    int64
+	RemoteWrites   int64
+	Misses         int64
+	Rebinds        int64
+	TokenHits      int64
+	Repairs        int64
+	RouteRetries   int64
+	TokensRecalled int64
 }
 
 // Stats sums counters across sub-clerks.
 func (c *Clerk) Stats() Stats {
-	st := Stats{TokenHits: c.TokenHits, Repairs: c.Repairs}
+	st := Stats{TokenHits: c.TokenHits, Repairs: c.Repairs,
+		RouteRetries: c.RouteRetries, TokensRecalled: c.TokensRecalled}
 	for _, sc := range c.sub {
+		if sc == nil {
+			continue
+		}
 		st.LocalHits += sc.LocalHits
 		st.RemoteReads += sc.RemoteReads
 		st.RemoteWrites += sc.RemoteWrites

@@ -1,0 +1,510 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/fstore"
+	"netmem/internal/model"
+	"netmem/internal/nameserver"
+	"netmem/internal/rmem"
+)
+
+// elasticRig: shard slots on the low nodes (only `shards` of them live at
+// boot, the rest spare capacity for AddShard), clerks on the high nodes.
+type elasticRig struct {
+	env    *des.Env
+	cl     *cluster.Cluster
+	svc    *Service
+	clerks []*Clerk
+	mgrs   []*rmem.Manager
+}
+
+func newElasticRig(t *testing.T, shards, spares, clerks int, seed int64, copts ...ClerkOption) *elasticRig {
+	t.Helper()
+	env := des.NewEnv()
+	if seed != 0 {
+		env.Seed(seed)
+	}
+	n := shards + spares + clerks
+	cl := cluster.New(env, &model.Default, n)
+	r := &elasticRig{env: env, cl: cl}
+	for i := 0; i < n; i++ {
+		r.mgrs = append(r.mgrs, rmem.NewManager(cl.Nodes[i]))
+	}
+	env.Spawn("setup", func(p *des.Proc) {
+		r.svc = NewService(p, r.mgrs[:shards], n, dfs.Geometry{})
+		for i := 0; i < clerks; i++ {
+			r.clerks = append(r.clerks, NewClerk(p, r.mgrs[shards+spares+i], r.svc, dfs.DX, copts...))
+		}
+		ConnectTokenPeers(p, r.clerks...)
+	})
+	if err := env.RunUntil(des.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *elasticRig) run(t *testing.T, fn func(p *des.Proc)) {
+	t.Helper()
+	r.env.Spawn("test", fn)
+	if err := r.env.RunUntil(des.Time(10 * 60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMembershipGateAndWatch exercises the Membership contract directly: a
+// prepared cutover parks operations on moved keys (and only those), drain
+// waits for in-flight moved operations, and commit bumps the epoch, fires
+// the watchers, and releases the gate.
+func TestMembershipGateAndWatch(t *testing.T) {
+	r := newElasticRig(t, 2, 1, 1, 0)
+	mb := r.svc.Membership()
+
+	var watched []Epoch
+	mb.Watch(func(_ *Ring, e Epoch) { watched = append(watched, e) })
+
+	old, e0 := mb.Current()
+	next := old.Clone()
+	next.Add(2)
+
+	// Find one key that moves under next and one that stays.
+	var movedKey, stayKey uint64
+	foundMoved, foundStay := false, false
+	for k := uint64(1); k < 10000 && !(foundMoved && foundStay); k++ {
+		if old.Owner(k) != next.Owner(k) {
+			if !foundMoved {
+				movedKey, foundMoved = k, true
+			}
+		} else if !foundStay {
+			stayKey, foundStay = k, true
+		}
+	}
+	if !foundMoved || !foundStay {
+		t.Fatal("could not find a moved and an unmoved key")
+	}
+
+	var movedRan, stayRan, committed bool
+	r.env.Spawn("driver", func(p *des.Proc) {
+		// An in-flight operation on the moved key, entered before prepare:
+		// drain must wait for it.
+		mb.opEnter(movedKey)
+		mb.prepare(next)
+
+		// Operations arriving after prepare: the moved key parks until
+		// commit, the unmoved key flows through untouched.
+		r.env.Spawn("movedOp", func(p *des.Proc) {
+			s, e := mb.ownerAwait(p, movedKey)
+			if !committed {
+				t.Error("moved-key op proceeded before commit")
+			}
+			if e != e0+1 {
+				t.Errorf("moved-key op saw epoch %d, want %d", e, e0+1)
+			}
+			if want := next.Owner(movedKey); s != want {
+				t.Errorf("moved-key op routed to %d, want %d", s, want)
+			}
+			movedRan = true
+		})
+		r.env.Spawn("stayOp", func(p *des.Proc) {
+			s, _ := mb.ownerAwait(p, stayKey)
+			if committed {
+				t.Error("unmoved-key op was parked across the cutover")
+			}
+			if want := old.Owner(stayKey); s != want {
+				t.Errorf("unmoved-key op routed to %d, want %d", s, want)
+			}
+			stayRan = true
+		})
+		r.env.Spawn("drainer", func(p *des.Proc) {
+			mb.drain(p)
+			committed = true
+			mb.commit(p)
+		})
+
+		p.Sleep(time.Millisecond) // ops reach the gate; drain blocks on us
+		if committed {
+			t.Error("drain completed with a moved-key op still in flight")
+		}
+		mb.opExit(movedKey) // the in-flight op finishes; drain may proceed
+	})
+	if err := r.env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !movedRan || !stayRan || !committed {
+		t.Fatalf("movedRan=%v stayRan=%v committed=%v", movedRan, stayRan, committed)
+	}
+	_, e1 := mb.Current()
+	if e1 != e0+1 {
+		t.Fatalf("epoch = %d, want %d", e1, e0+1)
+	}
+	if len(watched) != 1 || watched[0] != e1 {
+		t.Fatalf("watcher fired with %v, want [%d]", watched, e1)
+	}
+}
+
+// stampBlock builds a version-stamped block: the version in the first 8
+// bytes and a version-derived pattern in the rest, so a torn or stale block
+// is detectable from any byte.
+func stampBlock(version uint64, size int) []byte {
+	b := make([]byte, size)
+	binary.BigEndian.PutUint64(b, version)
+	for i := 8; i < size; i++ {
+		b[i] = byte(uint64(i)*31 + version*131)
+	}
+	return b
+}
+
+func checkStamp(b []byte) (uint64, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("short block: %d bytes", len(b))
+	}
+	v := binary.BigEndian.Uint64(b)
+	for i := 8; i < len(b); i++ {
+		if b[i] != byte(uint64(i)*31+v*131) {
+			return v, fmt.Errorf("torn block: version %d, byte %d inconsistent", v, i)
+		}
+	}
+	return v, nil
+}
+
+// TestAddDrainMigratesDirtyState is the core migration property: dirty
+// write-behind state deposited at the donor before a cutover must be
+// readable (and eventually durable) after the keys move — first onto a
+// joiner, then back off it when it drains.
+func TestAddDrainMigratesDirtyState(t *testing.T) {
+	r := newElasticRig(t, 2, 1, 1, 0)
+	r.run(t, func(p *des.Proc) {
+		st := r.svc.Store
+		c := r.clerks[0]
+		const files = 24
+		var hs []fstore.Handle
+		for i := 0; i < files; i++ {
+			h, err := st.WriteFile(fmt.Sprintf("/export/f%03d", i), stampBlock(0, fstore.BlockSize))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.svc.WarmFile(h); err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, h)
+		}
+		// Deposit dirty version-1 blocks through the clerk (DX write-behind:
+		// the store still holds version 0 until a Sync).
+		for i, h := range hs {
+			if _, err := c.Read(p, h, 0, fstore.BlockSize); err != nil { // DX ownership read
+				t.Fatal(err)
+			}
+			if err := c.Write(p, h, 0, stampBlock(1, fstore.BlockSize)); err != nil {
+				t.Fatalf("write f%03d: %v", i, err)
+			}
+		}
+		p.Sleep(5 * time.Millisecond) // let the async deposits drain
+
+		oldRing := r.svc.Ring.Clone()
+		slot, err := r.svc.AddShard(p, r.mgrs[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.svc.Size() != 3 {
+			t.Fatalf("ring size = %d, want 3", r.svc.Size())
+		}
+		if r.svc.MigratedBuckets == 0 {
+			t.Fatal("no dirty buckets migrated; the test should have moved some")
+		}
+		// Movement bound: with K=files keys and N=3 members, the cutover
+		// must move roughly K/N keys — certainly no more than half.
+		movedKeys := 0
+		for _, h := range hs {
+			if oldRing.Owner(h.U64()) != r.svc.Ring.Owner(h.U64()) {
+				movedKeys++
+			}
+		}
+		if movedKeys == 0 || movedKeys > files/2 {
+			t.Fatalf("cutover moved %d/%d keys, want within (0, %d]", movedKeys, files, files/2)
+		}
+
+		// Every file must read back at version 1 — moved dirty blocks
+		// through the migrated copy, unmoved ones straight from the donor.
+		for i, h := range hs {
+			got, err := c.Read(p, h, 0, fstore.BlockSize)
+			if err != nil {
+				t.Fatalf("read f%03d after join: %v", i, err)
+			}
+			if v, verr := checkStamp(got); verr != nil || v != 1 {
+				t.Fatalf("f%03d after join: version %d err %v, want version 1", i, v, verr)
+			}
+		}
+		if strays, _, err := r.svc.CheckDivergence(p); err != nil || strays != 0 {
+			t.Fatalf("divergence after join: strays=%d err=%v", strays, err)
+		}
+
+		// Write version 2 everywhere (dirtying the joiner too), then drain
+		// the joiner: its dirty state must flow back out.
+		for i, h := range hs {
+			if _, err := c.Read(p, h, 0, fstore.BlockSize); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Write(p, h, 0, stampBlock(2, fstore.BlockSize)); err != nil {
+				t.Fatalf("write v2 f%03d: %v", i, err)
+			}
+		}
+		p.Sleep(5 * time.Millisecond)
+		if err := r.svc.DrainShard(p, slot); err != nil {
+			t.Fatal(err)
+		}
+		if r.svc.Size() != 2 || r.svc.Shards[slot] != nil {
+			t.Fatalf("slot %d still live after drain", slot)
+		}
+		for i, h := range hs {
+			got, err := c.Read(p, h, 0, fstore.BlockSize)
+			if err != nil {
+				t.Fatalf("read f%03d after drain: %v", i, err)
+			}
+			if v, verr := checkStamp(got); verr != nil || v != 2 {
+				t.Fatalf("f%03d after drain: version %d err %v, want version 2", i, v, verr)
+			}
+		}
+		// Durability: a full sync must land version 2 in the shared store.
+		if _, err := r.svc.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hs {
+			got, err := st.Read(h, 0, fstore.BlockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, verr := checkStamp(got); verr != nil || v != 2 {
+				t.Fatalf("store f%03d: version %d err %v, want 2", i, v, verr)
+			}
+		}
+		if strays, _, err := r.svc.CheckDivergence(p); err != nil || strays != 0 {
+			t.Fatalf("divergence after drain: strays=%d err=%v", strays, err)
+		}
+	})
+}
+
+// TestElasticLinearizableUnderChurn is the PR's property test: clerk
+// operations racing AddShard/DrainShard never lose a write, never serve a
+// torn block, and never go backwards on a key — checked across several
+// seeds. One writer per key writes monotonically stamped blocks from one
+// clerk while a second clerk reads the same keys; a driver joins and
+// drains a shard throughout.
+func TestElasticLinearizableUnderChurn(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			testElasticChurn(t, seed, false)
+		})
+		t.Run(fmt.Sprintf("seed%d_tokens", seed), func(t *testing.T) {
+			testElasticChurn(t, seed, true)
+		})
+	}
+}
+
+func testElasticChurn(t *testing.T, seed int64, tokenCache bool) {
+	var copts []ClerkOption
+	if tokenCache {
+		copts = append(copts, WithTokenCache())
+	}
+	r := newElasticRig(t, 2, 2, 2, seed, copts...)
+	const files = 12
+	var hs []fstore.Handle
+	lastWritten := make([]uint64, files) // version durably deposited per key
+	lastRead := make([]uint64, files)    // reader-side monotonicity floor
+
+	r.env.Spawn("seedfiles", func(p *des.Proc) {
+		for i := 0; i < files; i++ {
+			h, err := r.svc.Store.WriteFile(fmt.Sprintf("/export/k%02d", i), stampBlock(0, fstore.BlockSize))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.svc.WarmFile(h); err != nil {
+				t.Fatal(err)
+			}
+			hs = append(hs, h)
+		}
+	})
+	if err := r.env.RunUntil(des.Time(250 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := false
+	writer, reader := r.clerks[0], r.clerks[1]
+	r.env.Spawn("writer", func(p *des.Proc) {
+		for v := uint64(1); !stop; v++ {
+			for i, h := range hs {
+				if _, err := writer.Read(p, h, 0, fstore.BlockSize); err != nil {
+					t.Errorf("writer ownership read k%02d v%d: %v", i, v, err)
+					return
+				}
+				if err := writer.Write(p, h, 0, stampBlock(v, fstore.BlockSize)); err != nil {
+					t.Errorf("writer k%02d v%d: %v", i, v, err)
+					return
+				}
+				lastWritten[i] = v
+				if stop {
+					return
+				}
+			}
+		}
+	})
+	r.env.Spawn("reader", func(p *des.Proc) {
+		for !stop {
+			for i, h := range hs {
+				got, err := reader.Read(p, h, 0, fstore.BlockSize)
+				if err != nil {
+					t.Errorf("reader k%02d: %v", i, err)
+					return
+				}
+				v, verr := checkStamp(got)
+				if verr != nil {
+					t.Errorf("reader k%02d: %v", i, verr)
+					return
+				}
+				if v < lastRead[i] {
+					t.Errorf("reader k%02d went backwards: %d after %d", i, v, lastRead[i])
+					return
+				}
+				lastRead[i] = v
+				if stop {
+					return
+				}
+			}
+			p.Sleep(50 * time.Microsecond)
+		}
+	})
+	var churnErr error
+	r.env.Spawn("churn", func(p *des.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		for round := 0; round < 2 && churnErr == nil; round++ {
+			slotA, err := r.svc.AddShard(p, r.mgrs[2])
+			if err != nil {
+				churnErr = fmt.Errorf("add A: %w", err)
+				return
+			}
+			p.Sleep(3 * time.Millisecond)
+			slotB, err := r.svc.AddShard(p, r.mgrs[3])
+			if err != nil {
+				churnErr = fmt.Errorf("add B: %w", err)
+				return
+			}
+			p.Sleep(3 * time.Millisecond)
+			if err := r.svc.DrainShard(p, slotA); err != nil {
+				churnErr = fmt.Errorf("drain A: %w", err)
+				return
+			}
+			p.Sleep(3 * time.Millisecond)
+			if err := r.svc.DrainShard(p, slotB); err != nil {
+				churnErr = fmt.Errorf("drain B: %w", err)
+				return
+			}
+			p.Sleep(3 * time.Millisecond)
+		}
+		stop = true
+		p.Sleep(2 * time.Millisecond) // writer/reader wind down
+
+		// No write lost: sync everything and check the store holds each
+		// key's last deposited version exactly.
+		if _, err := r.svc.Sync(p); err != nil {
+			churnErr = fmt.Errorf("final sync: %w", err)
+			return
+		}
+		for i, h := range hs {
+			got, err := r.svc.Store.Read(h, 0, fstore.BlockSize)
+			if err != nil {
+				churnErr = fmt.Errorf("store read k%02d: %w", i, err)
+				return
+			}
+			v, verr := checkStamp(got)
+			if verr != nil {
+				churnErr = fmt.Errorf("store k%02d: %w", i, verr)
+				return
+			}
+			if v != lastWritten[i] {
+				churnErr = fmt.Errorf("store k%02d holds version %d, want last written %d (lost write)", i, v, lastWritten[i])
+				return
+			}
+		}
+		if strays, _, err := r.svc.CheckDivergence(p); err != nil || strays != 0 {
+			churnErr = fmt.Errorf("divergence after churn: strays=%d err=%v", strays, err)
+		}
+	})
+	if err := r.env.RunUntil(des.Time(5 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if churnErr != nil {
+		t.Fatal(churnErr)
+	}
+	if !stop {
+		t.Fatal("churn never completed")
+	}
+	if r.svc.Cutovers < 8 {
+		t.Fatalf("only %d cutovers committed, want 8", r.svc.Cutovers)
+	}
+}
+
+// TestRingRepublishOnCutover: once RegisterNames has run, every cutover
+// must republish the membership blob under the same name (epoch
+// supersede), so a client resolving afterwards reconstructs the NEW ring.
+func TestRingRepublishOnCutover(t *testing.T) {
+	env := des.NewEnv()
+	cl := cluster.New(env, &model.Default, 5)
+	var mgrs []*rmem.Manager
+	for i := 0; i < 5; i++ {
+		mgrs = append(mgrs, rmem.NewManager(cl.Nodes[i]))
+	}
+	var fail error
+	env.Spawn("setup", func(p *des.Proc) {
+		peers := []int{0, 1, 2, 3, 4}
+		var names []*nameserver.Clerk
+		for i := 0; i < 5; i++ {
+			names = append(names, nameserver.New(mgrs[i], peers, nameserver.Config{}))
+		}
+		p.Sleep(time.Millisecond)
+		svc := NewService(p, mgrs[:2], 5, dfs.Geometry{})
+		if err := svc.RegisterNames(p, names); err != nil {
+			fail = err
+			return
+		}
+		_, e0, _, err := ResolveRing(p, mgrs[4], names[4], 0)
+		if err != nil {
+			fail = fmt.Errorf("resolve before join: %w", err)
+			return
+		}
+		if _, err := svc.AddShard(p, mgrs[2]); err != nil {
+			fail = fmt.Errorf("add: %w", err)
+			return
+		}
+		ring, e1, nodes, err := ResolveRing(p, mgrs[4], names[4], 0)
+		if err != nil {
+			fail = fmt.Errorf("resolve after join: %w", err)
+			return
+		}
+		if e1 <= e0 {
+			fail = fmt.Errorf("epoch did not advance: %d then %d", e0, e1)
+			return
+		}
+		if ring.Size() != 3 || len(nodes) != 3 {
+			fail = fmt.Errorf("resolved %d members after join, want 3", ring.Size())
+			return
+		}
+		for k := uint64(0); k < 500; k++ {
+			if ring.Owner(k) != svc.Ring.Owner(k) {
+				fail = fmt.Errorf("resolved ring diverges from service ring at key %d", k)
+				return
+			}
+		}
+	})
+	if err := env.RunUntil(des.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatal(fail)
+	}
+}

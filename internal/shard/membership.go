@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+)
+
+// Epoch versions the shard membership. Every change — a shard joining or
+// leaving the ring, or a failover moving a slot onto its standby's node —
+// bumps the epoch, and every consumer observes the same sequence.
+type Epoch uint32
+
+// Event describes one membership change delivered to watchers. Ring
+// changes carry both rings so a subscriber can compute exactly which keys
+// moved; failover slot moves carry the slot and its new node.
+type Event struct {
+	Old, Cur *Ring
+	Epoch    Epoch
+	// Slot >= 0 marks a failover slot move (ring membership unchanged,
+	// slot now served from Node). Slot == -1 marks a ring change.
+	Slot int
+	Node int
+}
+
+// Membership is the epoch-versioned view of the shard ring that clerks,
+// recovery coordinators, and harnesses subscribe to instead of resolving
+// the ring once at construction. It also carries the cutover machinery: a
+// two-phase prepare/commit that parks operations on moved keys while the
+// donor's write-behind state is pushed to the new owner, so an operation
+// issued mid-cutover simply resumes against the new owner instead of
+// observing a stale shard.
+type Membership struct {
+	env   *des.Env
+	ring  *Ring
+	epoch Epoch
+	nodes map[int]int // slot -> serving node id
+
+	// Cutover window: between prepare and commit, pending holds the next
+	// ring. ownerAwait parks operations on keys whose owner changes; drain
+	// waits until the moved-key operations already in flight finish.
+	pending       *Ring
+	inflight      map[uint64]int
+	movedInflight int
+	gate          *des.WaitQueue
+	drainq        *des.WaitQueue
+
+	watchers     []func(*Ring, Epoch)
+	procWatchers []func(*des.Proc, Event)
+}
+
+func newMembership(env *des.Env, ring *Ring) *Membership {
+	return &Membership{
+		env:      env,
+		ring:     ring,
+		epoch:    1,
+		nodes:    make(map[int]int),
+		inflight: make(map[uint64]int),
+		gate:     des.NewWaitQueue(env),
+		drainq:   des.NewWaitQueue(env),
+	}
+}
+
+// Current returns the committed ring and its epoch.
+func (mb *Membership) Current() (*Ring, Epoch) { return mb.ring, mb.epoch }
+
+// NodeOf returns the node id currently serving a slot (-1 if unknown).
+func (mb *Membership) NodeOf(slot int) int {
+	if n, ok := mb.nodes[slot]; ok {
+		return n
+	}
+	return -1
+}
+
+// Watch subscribes to membership changes; fn runs synchronously at every
+// epoch bump with the newly committed ring.
+func (mb *Membership) Watch(fn func(*Ring, Epoch)) {
+	mb.watchers = append(mb.watchers, fn)
+}
+
+// watchProc subscribes an in-simulation consumer that needs the running
+// proc (clerks rebinding imports on a failover slot move).
+func (mb *Membership) watchProc(fn func(*des.Proc, Event)) {
+	mb.procWatchers = append(mb.procWatchers, fn)
+}
+
+func (mb *Membership) setNode(slot, node int) { mb.nodes[slot] = node }
+
+// keyMoves reports whether a cutover is pending and key's owner changes
+// under it.
+func (mb *Membership) keyMoves(key uint64) bool {
+	return mb.pending != nil && mb.pending.Owner(key) != mb.ring.Owner(key)
+}
+
+// handleMoves is keyMoves over a file handle.
+func (mb *Membership) handleMoves(h fstore.Handle) bool { return mb.keyMoves(h.U64()) }
+
+// ownerAwait resolves a key to its owning slot, parking the caller while
+// the key is mid-migration: the op resumes after commit and routes to the
+// new owner. Returns the owner and the epoch it was resolved under.
+func (mb *Membership) ownerAwait(p *des.Proc, key uint64) (int, Epoch) {
+	for mb.keyMoves(key) {
+		mb.gate.Wait(p)
+	}
+	return mb.ring.Owner(key), mb.epoch
+}
+
+// opEnter registers an in-flight operation on key. Callers resolve the
+// owner with ownerAwait first (same event, no preemption), so an entering
+// op is never on a moved key while a cutover is pending — the moved
+// in-flight population only shrinks after prepare.
+func (mb *Membership) opEnter(key uint64) { mb.inflight[key]++ }
+
+// opExit retires an in-flight operation, releasing a pending drain once
+// the last moved-key op finishes.
+func (mb *Membership) opExit(key uint64) {
+	if mb.inflight[key]--; mb.inflight[key] <= 0 {
+		delete(mb.inflight, key)
+	}
+	if mb.pending != nil && mb.keyMoves(key) {
+		if mb.movedInflight--; mb.movedInflight <= 0 {
+			mb.drainq.WakeAll()
+		}
+	}
+}
+
+// prepare opens the cutover window: new operations on moved keys park at
+// the gate, and the moved in-flight population is snapshotted for drain.
+func (mb *Membership) prepare(next *Ring) {
+	if mb.pending != nil {
+		panic("shard: overlapping membership cutovers")
+	}
+	mb.pending = next
+	mb.movedInflight = 0
+	for key, n := range mb.inflight {
+		if mb.keyMoves(key) {
+			mb.movedInflight += n
+		}
+	}
+}
+
+// drain blocks until every moved-key operation that was in flight at
+// prepare time has finished. Unmoved traffic keeps flowing throughout.
+func (mb *Membership) drain(p *des.Proc) {
+	for mb.movedInflight > 0 {
+		mb.drainq.Wait(p)
+	}
+}
+
+// commit flips the ring, bumps the epoch, notifies watchers, and wakes
+// the parked operations — which now route to the new owners.
+func (mb *Membership) commit(p *des.Proc) {
+	old := mb.ring
+	mb.ring = mb.pending
+	mb.pending = nil
+	mb.movedInflight = 0
+	mb.epoch++
+	mb.notify(p, Event{Old: old, Cur: mb.ring, Epoch: mb.epoch, Slot: -1})
+	mb.gate.WakeAll()
+}
+
+// abort cancels a prepared cutover (migration failed); parked operations
+// resume against the unchanged ring.
+func (mb *Membership) abort() {
+	mb.pending = nil
+	mb.movedInflight = 0
+	mb.gate.WakeAll()
+	mb.drainq.WakeAll()
+}
+
+// publishSlotMove announces that slot is now served from node (failover to
+// a standby): membership is unchanged but the epoch bumps so subscribers
+// rebind their imports.
+func (mb *Membership) publishSlotMove(p *des.Proc, slot, node int) {
+	mb.nodes[slot] = node
+	mb.epoch++
+	mb.notify(p, Event{Old: mb.ring, Cur: mb.ring, Epoch: mb.epoch, Slot: slot, Node: node})
+}
+
+func (mb *Membership) notify(p *des.Proc, ev Event) {
+	for _, fn := range mb.procWatchers {
+		fn(p, ev)
+	}
+	for _, fn := range mb.watchers {
+		fn(ev.Cur, ev.Epoch)
+	}
+}

@@ -48,8 +48,45 @@ func NewRing(n, vnodes int) *Ring {
 	return r
 }
 
+// NewRingFrom builds a ring over an explicit member set — elastic slot ids
+// need not be contiguous once shards have joined and left.
+func NewRingFrom(members []int, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{vnodes: vnodes}
+	for _, s := range members {
+		r.Add(s)
+	}
+	return r
+}
+
+// Clone returns an independent copy — the basis for a pending membership
+// during an elastic cutover.
+func (r *Ring) Clone() *Ring {
+	return &Ring{
+		vnodes:  r.vnodes,
+		points:  append([]ringPoint(nil), r.points...),
+		members: append([]int(nil), r.members...),
+	}
+}
+
+// fmix64 is the murmur3 finalizer: full avalanche over a 64-bit word.
+// FNV-1a alone leaves the ring points clumpy for small structured inputs
+// (sequential shard/replica ids), which skews arc ownership far from 1/N;
+// the finalizer restores per-shard shares to within a few percent.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // pointHash derives the ring position of one (shard, replica) virtual node
-// with FNV-1a over the two values — stable across processes and runs.
+// with FNV-1a over the two values plus a finalizer — stable across
+// processes and runs.
 func pointHash(shard, replica int) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -62,12 +99,12 @@ func pointHash(shard, replica int) uint64 {
 			h *= prime64
 		}
 	}
-	return h
+	return fmix64(h)
 }
 
 // keyHash spreads a key (sequential inode-derived handles, typically) over
-// the ring with the same FNV-1a mix, so adjacent handles land on
-// uncorrelated points.
+// the ring with the same FNV-1a mix and finalizer, so adjacent handles land
+// on uncorrelated points.
 func keyHash(key uint64) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -78,7 +115,7 @@ func keyHash(key uint64) uint64 {
 		h ^= (key >> (8 * i)) & 0xff
 		h *= prime64
 	}
-	return h
+	return fmix64(h)
 }
 
 // Add inserts a shard's virtual nodes. Adding an existing member is a no-op.

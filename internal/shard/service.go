@@ -13,25 +13,40 @@ import (
 	"netmem/internal/rmem"
 )
 
-// Service is the sharded file tier: N dfs.Server instances, one per
-// manager, all over one shared file store (the Calypso shared-disk shape
-// §5.1 sketches — any server can execute any operation correctly; the ring
+// Service is the sharded file tier: dfs.Server instances, one per live
+// slot, all over one shared file store (the Calypso shared-disk shape §5.1
+// sketches — any server can execute any operation correctly; the ring
 // decides which one *does*, partitioning cache residency and CPU load).
 // Each shard exports its own cache areas, token area, and request channel
 // on its own node.
+//
+// The tier is elastic: AddShard and DrainShard change the ring under live
+// traffic through an epoch-versioned Membership that every clerk
+// subscribes to, with the donor's write-behind state migrated to the new
+// owner by plain one-sided rmem WRITEs (see cutover).
 type Service struct {
-	Ring   *Ring
+	Ring   *Ring // committed ring, kept in sync with Membership
 	Store  *fstore.Store
 	Geo    dfs.Geometry
-	Shards []*dfs.Server
+	Shards []*dfs.Server // slot-indexed; nil marks a vacant (drained) slot
 
+	mb        *Membership
 	mgrs      []*rmem.Manager
 	slotNodes int
 	opts      []dfs.ServerOption
 
+	clerks   []*Clerk
 	standbys []*dfs.Standby
 	coords   []*recovery.Coordinator
+
+	names    []*nameserver.Clerk
+	ringHost *rmem.Manager
 	ringSeg  *rmem.Segment
+
+	// Elasticity stats.
+	Cutovers        int64 // committed membership changes
+	MigratedBuckets int64 // dirty buckets pushed donor→owner (one-sided)
+	EvictedBuckets  int64 // clean moved residents evicted (re-warm from store)
 }
 
 // NewService builds one shard server per manager (each on its own node)
@@ -46,29 +61,48 @@ func NewService(p *des.Proc, mgrs []*rmem.Manager, slotNodes int, geo dfs.Geomet
 	s := &Service{
 		Ring:      NewRing(len(mgrs), 0),
 		Store:     store,
-		mgrs:      mgrs,
+		mgrs:      append([]*rmem.Manager(nil), mgrs...),
 		slotNodes: slotNodes,
 		opts:      opts,
 		standbys:  make([]*dfs.Standby, len(mgrs)),
 		coords:    make([]*recovery.Coordinator, len(mgrs)),
+		ringHost:  mgrs[0],
 	}
 	for _, m := range mgrs {
 		srv := dfs.NewServer(p, m, slotNodes, geo, append([]dfs.ServerOption{dfs.WithStore(store)}, opts...)...)
 		s.Shards = append(s.Shards, srv)
 	}
 	s.Geo = s.Shards[0].Geo
+	s.mb = newMembership(env, s.Ring)
+	for i := range s.Shards {
+		s.mb.setNode(i, s.Shards[i].Node().ID)
+	}
 	return s
 }
 
-// Owner maps a handle to its owning shard index.
+// Membership exposes the epoch-versioned membership view: clerks, recovery
+// coordinators, and harnesses subscribe here instead of resolving the ring
+// once at construction.
+func (s *Service) Membership() *Membership { return s.mb }
+
+// Owner maps a handle to its owning shard slot under the committed ring.
 func (s *Service) Owner(h fstore.Handle) int { return s.Ring.Owner(h.U64()) }
 
-// NodeOf returns the node id currently serving shard i (the standby's node
-// after a failover).
-func (s *Service) NodeOf(i int) int { return s.Shards[i].Node().ID }
+// NodeOf returns the node id currently serving slot i (the standby's node
+// after a failover), or -1 for a vacant slot.
+func (s *Service) NodeOf(i int) int {
+	if i < 0 || i >= len(s.Shards) || s.Shards[i] == nil {
+		return -1
+	}
+	return s.Shards[i].Node().ID
+}
 
-// Size returns the shard count.
-func (s *Service) Size() int { return len(s.Shards) }
+// Size returns the live shard count.
+func (s *Service) Size() int { return s.Ring.Size() }
+
+// Slots returns the slot-table length (vacant slots included); clerks size
+// their per-slot state with it.
+func (s *Service) Slots() int { return len(s.Shards) }
 
 // WarmFile warms h's records into the owning shard's cache areas only —
 // each shard's cache holds the subset of the namespace the ring assigns it.
@@ -81,10 +115,13 @@ func (s *Service) WarmDir(h fstore.Handle) error {
 	return s.Shards[s.Owner(h)].WarmDir(h)
 }
 
-// Sync applies write-behind state on every shard; returns total blocks.
+// Sync applies write-behind state on every live shard; returns total blocks.
 func (s *Service) Sync(p *des.Proc) (int, error) {
 	total := 0
 	for _, srv := range s.Shards {
+		if srv == nil {
+			continue
+		}
 		n, err := srv.Sync(p)
 		total += n
 		if err != nil {
@@ -94,38 +131,260 @@ func (s *Service) Sync(p *des.Proc) (int, error) {
 	return total, nil
 }
 
+// ---------------------------------------------------------------------------
+// Elasticity: live join/leave with one-sided background migration.
+
+// AddShard brings a new shard up on m's node and cuts the ring over to
+// include it: clerks are wired to the joiner first, then the two-phase
+// cutover migrates the moved keys' write-behind state into it. Returns the
+// slot the joiner occupies (vacant slots are reused).
+func (s *Service) AddShard(p *des.Proc, m *rmem.Manager) (int, error) {
+	slot := -1
+	for i, sh := range s.Shards {
+		if sh == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(s.Shards)
+		s.Shards = append(s.Shards, nil)
+		s.mgrs = append(s.mgrs, nil)
+		s.standbys = append(s.standbys, nil)
+		s.coords = append(s.coords, nil)
+	}
+	srv := dfs.NewServer(p, m, s.slotNodes, s.Geo, append([]dfs.ServerOption{dfs.WithStore(s.Store)}, s.opts...)...)
+	s.Shards[slot] = srv
+	s.mgrs[slot] = m
+	s.mb.setNode(slot, m.Node.ID)
+	for _, c := range s.clerks {
+		c.wireSlot(p, slot)
+	}
+	s.meshSlot(p, slot)
+
+	next := s.Ring.Clone()
+	next.Add(slot)
+	if err := s.cutover(p, next); err != nil {
+		for _, c := range s.clerks {
+			c.dropSlot(p, slot)
+		}
+		s.Shards[slot] = nil
+		s.mgrs[slot] = nil
+		return -1, err
+	}
+	return slot, nil
+}
+
+// DrainShard evacuates a live slot and removes it from the ring: every key
+// it owns is migrated to its new owner during the cutover, clerks drop the
+// slot, and its request-channel name is revoked. The emptied server is
+// decommissioned (the node itself keeps running).
+func (s *Service) DrainShard(p *des.Proc, slot int) error {
+	if slot < 0 || slot >= len(s.Shards) || s.Shards[slot] == nil {
+		return fmt.Errorf("shard: drain of vacant slot %d", slot)
+	}
+	if s.Ring.Size() <= 1 {
+		return fmt.Errorf("shard: cannot drain the last shard")
+	}
+	donorNode := s.Shards[slot].Node().ID
+	next := s.Ring.Clone()
+	next.Remove(slot)
+	if err := s.cutover(p, next); err != nil {
+		return err
+	}
+	for _, c := range s.clerks {
+		c.dropSlot(p, slot)
+	}
+	s.Shards[slot] = nil
+	s.mgrs[slot] = nil
+	if s.names != nil {
+		_ = s.names[donorNode].Revoke(p, shardName(slot))
+	}
+	return nil
+}
+
+// cutover is the two-phase membership change:
+//
+//  1. prepare — new operations on keys whose owner changes park at the
+//     membership gate; operations on unmoved keys flow untouched.
+//  2. drain — the moved-key operations already in flight finish, then each
+//     clerk runs a deposit barrier (one Null RPC per donor): a completed
+//     write-behind op's one-sided deposit frames may still be on the wire,
+//     and cells are FIFO per path, so the barrier reply proves every frame
+//     the clerk sent to the donor has been deposited. Together: every
+//     pre-cutover write to a moved key has serialized at the donor.
+//  3. migrate — each donor pushes its moved *dirty* buckets to the new
+//     owner's data area at the identical bucket offset with reliable
+//     one-sided rmem WRITEs (the receiver's CPU is never scheduled), and
+//     evicts moved clean residents (the shared store re-warms them).
+//  4. recall — every attached clerk forfeits tokens and drops cached state
+//     for exactly the keys that moved; unmoved tokens stay hot.
+//  5. commit — the ring flips, the epoch bumps, watchers fire, parked
+//     operations resume against the new owner, and the membership blob is
+//     re-published through the name service (epoch supersede).
+//
+// Linearizability per key follows from the phases: every write to a moved
+// key ordered before the cutover serialized at the donor and rode the
+// migration; every one after it serializes at the new owner.
+func (s *Service) cutover(p *des.Proc, next *Ring) error {
+	old, _ := s.mb.Current()
+	s.mb.prepare(next)
+	s.mb.drain(p)
+	for _, c := range s.clerks {
+		c.settle(p, old.Members())
+	}
+
+	for _, slot := range old.Members() {
+		donor := s.Shards[slot]
+		if donor == nil {
+			continue
+		}
+		pushed, cleared, err := donor.MigrateBuckets(p, s.receiverFor(p, slot, next), true)
+		s.MigratedBuckets += int64(pushed)
+		s.EvictedBuckets += int64(cleared - pushed)
+		if err != nil {
+			s.mb.abort()
+			return err
+		}
+	}
+
+	movedKey := func(h fstore.Handle) bool { return old.Owner(h.U64()) != next.Owner(h.U64()) }
+	for _, c := range s.clerks {
+		c.recallMoved(p, old, movedKey)
+	}
+
+	s.mb.commit(p)
+	s.Ring, _ = s.mb.Current()
+	s.Cutovers++
+	if tr := s.mgrs[firstLive(s.Shards)].Node.Env.Tracer(); tr != nil {
+		tr.Count("shard.cutovers", 1)
+	}
+	if s.names != nil {
+		if err := s.RegisterNames(p, s.names); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func firstLive(shards []*dfs.Server) int {
+	for i, sh := range shards {
+		if sh != nil {
+			return i
+		}
+	}
+	return 0
+}
+
+// receiverFor builds the per-donor destination map for MigrateBuckets:
+// a resident key whose owner under next is not the donor moves, and dirty
+// state is pushed through a reliable import of the new owner's data area.
+func (s *Service) receiverFor(p *des.Proc, donorSlot int, next *Ring) func(fstore.Handle) (*rmem.Import, bool) {
+	imports := make(map[int]*rmem.Import)
+	return func(h fstore.Handle) (*rmem.Import, bool) {
+		owner := next.Owner(h.U64())
+		if owner == donorSlot {
+			return nil, false
+		}
+		recv := s.Shards[owner]
+		if recv == nil {
+			return nil, true // no receiver: evict, the store is authoritative
+		}
+		imp, ok := imports[owner]
+		if !ok {
+			a := recv.Areas()[3]
+			imp = s.mgrs[donorSlot].Import(p, recv.Node().ID, uint16(a[0]), uint16(a[1]), a[2])
+			imp.SetReliable(true)
+			imports[owner] = imp
+		}
+		return imp, true
+	}
+}
+
+// CheckDivergence verifies post-chaos residency: every resident data
+// bucket on every live shard must belong to that shard under the current
+// ring. Strays can appear when a failover restores mirrored state from
+// before a cutover; repair pushes dirty strays to their owner (one-sided,
+// exactly like the migration) and evicts the rest. Returns the stray
+// count and how many carried dirty state that was pushed.
+func (s *Service) CheckDivergence(p *des.Proc) (strays, repaired int, err error) {
+	ring, _ := s.mb.Current()
+	for _, slot := range ring.Members() {
+		srv := s.Shards[slot]
+		if srv == nil {
+			continue
+		}
+		pushed, cleared, merr := srv.MigrateBuckets(p, s.receiverFor(p, slot, ring), true)
+		strays += cleared
+		repaired += pushed
+		if merr != nil {
+			return strays, repaired, merr
+		}
+	}
+	return strays, repaired, nil
+}
+
+// meshSlot wires the revocation mesh for one slot across every peer group
+// registered by ConnectTokenPeers — the elastic continuation of the mesh
+// the harness built at boot.
+func (s *Service) meshSlot(p *des.Proc, slot int) {
+	seen := make(map[*Clerk]bool)
+	for _, c := range s.clerks {
+		if len(c.peers) == 0 || seen[c.peers[0]] {
+			continue
+		}
+		seen[c.peers[0]] = true
+		connectSlotPeers(p, slot, c.peers)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Name-service publication.
+
 // ringName is the registered name of the membership blob; shardName(i)
-// names shard i's request channel.
+// names slot i's request channel.
 const ringName = "dfs.ring"
 
 func shardName(i int) string { return fmt.Sprintf("dfs.shard%d.req", i) }
 
 // RegisterNames publishes the sharded tier in the name service: one record
-// per shard request channel ("dfs.shard<i>.req") plus a membership blob
-// ("dfs.ring") on shard 0's node carrying the vnode count and the node id
-// of every shard, so any client can reconstruct the identical ring and
-// import the channels by name alone. names is indexed by node id.
+// per live request channel ("dfs.shard<i>.req") plus a membership blob
+// ("dfs.ring") carrying the vnode count, the membership epoch, and every
+// (slot, node) pair, so any client can reconstruct the identical ring and
+// import the channels by name alone. The blob lives on the founding
+// shard's node and is re-published (a fresh export superseding the old
+// record by generation) at every epoch bump; names is indexed by node id
+// and is retained so cutovers re-publish automatically.
 func (s *Service) RegisterNames(p *des.Proc, names []*nameserver.Clerk) error {
-	blob := make([]byte, 8+4*len(s.Shards))
-	binary.BigEndian.PutUint32(blob[0:], uint32(s.Ring.vnodes))
-	binary.BigEndian.PutUint32(blob[4:], uint32(len(s.Shards)))
-	for i := range s.Shards {
-		binary.BigEndian.PutUint32(blob[8+4*i:], uint32(s.NodeOf(i)))
+	s.names = names
+	ring, epoch := s.mb.Current()
+	members := ring.Members()
+	blob := make([]byte, 12+8*len(members))
+	binary.BigEndian.PutUint32(blob[0:], uint32(ring.vnodes))
+	binary.BigEndian.PutUint32(blob[4:], uint32(len(members)))
+	binary.BigEndian.PutUint32(blob[8:], uint32(epoch))
+	for i, slot := range members {
+		binary.BigEndian.PutUint32(blob[12+8*i:], uint32(slot))
+		binary.BigEndian.PutUint32(blob[16+8*i:], uint32(s.NodeOf(slot)))
 	}
-	m0 := s.mgrs[0]
-	s.ringSeg = m0.Export(p, len(blob))
+	oldSeg := s.ringSeg
+	s.ringSeg = s.ringHost.Export(p, len(blob))
 	s.ringSeg.SetDefaultRights(rmem.RightRead)
 	copy(s.ringSeg.Bytes(), blob)
-	if err := names[m0.Node.ID].Register(p, ringName, s.ringSeg); err != nil {
+	if err := names[s.ringHost.Node.ID].Register(p, ringName, s.ringSeg); err != nil {
 		return err
 	}
-	for i, m := range s.mgrs {
-		id, _, _ := s.Shards[i].ReqChannel()
+	if oldSeg != nil {
+		s.ringHost.Revoke(p, oldSeg)
+	}
+	for _, slot := range members {
+		m := s.mgrs[slot]
+		id, _, _ := s.Shards[slot].ReqChannel()
 		seg, ok := m.Lookup(id)
 		if !ok {
-			return fmt.Errorf("shard: shard %d request segment %d not found", i, id)
+			return fmt.Errorf("shard: shard %d request segment %d not found", slot, id)
 		}
-		if err := names[m.Node.ID].Register(p, shardName(i), seg); err != nil {
+		if err := names[m.Node.ID].Register(p, shardName(slot), seg); err != nil {
 			return err
 		}
 	}
@@ -134,37 +393,45 @@ func (s *Service) RegisterNames(p *des.Proc, names []*nameserver.Clerk) error {
 
 // ResolveRing reads the registered membership blob through ns (with a
 // scratch segment on m's node for the remote read) and returns the
-// reconstructed ring plus the per-shard node ids — what a clerk that was
-// handed only the name service needs to find the tier. hint names the
+// reconstructed ring, its epoch, and the slot→node map — what a clerk that
+// was handed only the name service needs to find the tier. hint names the
 // machine whose registry to probe when the name is not cached locally
-// (§4.2's user-supplied hint; shard 0's node registers the blob).
-func ResolveRing(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hint int) (*Ring, []int, error) {
-	imp, err := ns.Import(p, ringName, hint, false)
+// (§4.2's user-supplied hint; the founding shard's node registers the
+// blob). Resolution forces a fresh lookup so an epoch bump's superseding
+// record is observed rather than a stale cached generation.
+func ResolveRing(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hint int) (*Ring, Epoch, map[int]int, error) {
+	imp, err := ns.Import(p, ringName, hint, true)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	scratch := m.Export(p, imp.Size())
 	if err := imp.Read(p, 0, imp.Size(), scratch, 0, time.Second); err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	buf := scratch.Bytes()
 	vnodes := int(binary.BigEndian.Uint32(buf[0:]))
 	n := int(binary.BigEndian.Uint32(buf[4:]))
-	nodes := make([]int, n)
+	epoch := Epoch(binary.BigEndian.Uint32(buf[8:]))
+	members := make([]int, n)
+	nodes := make(map[int]int, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = int(binary.BigEndian.Uint32(buf[8+4*i:]))
+		slot := int(binary.BigEndian.Uint32(buf[12+8*i:]))
+		members[i] = slot
+		nodes[slot] = int(binary.BigEndian.Uint32(buf[16+8*i:]))
 	}
-	return NewRing(n, vnodes), nodes, nil
+	return NewRingFrom(members, vnodes), epoch, nodes, nil
 }
 
-// ArmFailover wires shard i's recovery path, reusing the PR 3 machinery
-// verbatim: a hot standby on sbm's node mirroring the shard's write-behind
-// state, a heartbeat exported by the shard for the watcher's coordinator,
-// and two failover steps — fenced standby takeover, then the caller's
-// rebind hook (typically Clerk.Rebind). Returns the armed coordinator.
-func (s *Service) ArmFailover(p *des.Proc, i int, sbm, watcher *rmem.Manager,
-	hbInterval des.Duration, onRebind func(p *des.Proc, srv *dfs.Server) error) *recovery.Coordinator {
+// ---------------------------------------------------------------------------
+// Failover (PR 3 machinery, now published through the membership).
 
+// ArmFailover wires shard i's recovery path: a hot standby on sbm's node
+// mirroring the shard's write-behind state, a heartbeat exported by the
+// shard for the watcher's coordinator, and two failover steps — fenced
+// standby takeover, then a membership slot-move publication that every
+// subscribed clerk answers by rebinding to the new incarnation. Returns
+// the armed coordinator.
+func (s *Service) ArmFailover(p *des.Proc, i int, sbm, watcher *rmem.Manager, hbInterval des.Duration) *recovery.Coordinator {
 	primary := s.Shards[i]
 	s.standbys[i] = dfs.NewStandby(p, sbm, primary.Geo)
 	primary.AttachStandby(p, s.standbys[i], hbInterval)
@@ -183,11 +450,9 @@ func (s *Service) ArmFailover(p *des.Proc, i int, sbm, watcher *rmem.Manager,
 		s.Shards[i] = srv
 		return nil
 	})
-	rec.OnFailover("clerk.rebind", func(p *des.Proc) error {
-		if onRebind == nil {
-			return nil
-		}
-		return onRebind(p, s.Shards[i])
+	rec.OnFailover("membership.rebind", func(p *des.Proc) error {
+		s.mb.publishSlotMove(p, i, s.Shards[i].Node().ID)
+		return nil
 	})
 	rec.Watch(hbImp, 0)
 	s.coords[i] = rec

@@ -420,8 +420,9 @@ func TestShardFailoverRebind(t *testing.T) {
 		if err := svc.WarmFile(h); err != nil {
 			panic(err)
 		}
-		svc.ArmFailover(p, 0, mgrs[3], mgrs[2], 100*time.Microsecond,
-			func(p *des.Proc, srv *dfs.Server) error { clerk.Rebind(p, 0); return nil })
+		// The clerk rebinds itself via its Membership subscription when the
+		// coordinator publishes the slot move.
+		svc.ArmFailover(p, 0, mgrs[3], mgrs[2], 100*time.Microsecond)
 	})
 	if err := env.RunUntil(des.Time(50 * time.Millisecond)); err != nil {
 		t.Fatal(err)
@@ -483,7 +484,11 @@ func TestRegisterAndResolveRing(t *testing.T) {
 			return
 		}
 		// A client node reconstructs the ring purely from the name service.
-		ring, nodes, err := ResolveRing(p, mgrs[3], names[3], 0)
+		ring, epoch, nodes, err := ResolveRing(p, mgrs[3], names[3], 0)
+		if err == nil && epoch == 0 {
+			resolveErr = fmt.Errorf("resolved epoch is zero")
+			return
+		}
 		if err != nil {
 			resolveErr = fmt.Errorf("resolve ring: %w", err)
 			return

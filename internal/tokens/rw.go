@@ -349,6 +349,13 @@ func (c *RWClient) serveRevoke(p *des.Proc, src int, req []byte) []byte {
 // held read token so cached state is dropped rather than served stale.
 func (c *RWClient) RebindTable(p *des.Proc, home int, tabID, tabGen uint16, tabSize int) {
 	c.table = c.m.Import(p, home, tabID, tabGen, tabSize)
+	c.ForfeitAll(p)
+}
+
+// ForfeitAll drops every locally held token without touching the table —
+// for a home that no longer exists (failover rebind, shard decommission).
+// onInvalidate fires per held read token so cached state is dropped.
+func (c *RWClient) ForfeitAll(p *des.Proc) {
 	for tok := range c.read {
 		if c.onInvalidate != nil {
 			c.onInvalidate(p, tok)
@@ -357,4 +364,28 @@ func (c *RWClient) RebindTable(p *des.Proc, home int, tabID, tabGen uint16, tabS
 	}
 	c.read = make(map[int]bool)
 	c.write = make(map[int]bool)
+}
+
+// ForfeitToken gives up one held token at a still-live home — the
+// selective cousin of RebindTable's forfeit-everything, used by the shard
+// cutover to recall tokens only for keys that actually moved. The word is
+// properly released (the home keeps serving unmoved keys in the same
+// bucket) and onInvalidate fires so cached state is dropped. Reports
+// whether anything was held.
+func (c *RWClient) ForfeitToken(p *des.Proc, tok int) (bool, error) {
+	switch {
+	case c.write[tok]:
+		if c.onInvalidate != nil {
+			c.onInvalidate(p, tok)
+		}
+		c.Invalidations++
+		return true, c.ReleaseWrite(p, tok)
+	case c.read[tok]:
+		if c.onInvalidate != nil {
+			c.onInvalidate(p, tok)
+		}
+		c.Invalidations++
+		return true, c.ReleaseRead(p, tok)
+	}
+	return false, nil
 }

@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/fstore"
+	"netmem/internal/model"
+	"netmem/internal/obs"
+	"netmem/internal/rmem"
+	"netmem/internal/shard"
+	"netmem/internal/stats"
+)
+
+// The elastic scaling experiment: a fixed client population runs the
+// Table 1a mix non-stop while the shard fleet sweeps StartShards →
+// PeakShards → StartShards one join or drain at a time. The claims under
+// test are the elastic tier's: no operation fails across any cutover, tail
+// latency stays bounded while keys migrate, the donor's CPU during a
+// migration stays within a whisker of its serving-only baseline (the
+// migration is plain one-sided rmem WRITEs — cheap sender PIO, no server
+// procedure on either end), and key movement per transition stays near the
+// consistent-hash ideal K/N.
+
+// ElasticStep is one plateau of the sweep: the transition into it (zero
+// values for the first step) plus the hold-window measurements at the
+// target size.
+type ElasticStep struct {
+	Target int // live shards during this step's hold window
+
+	// Transition measurements.
+	CutoverMs       float64 // wall-clock of the ScaleTo call
+	MigratedBuckets int64   // dirty buckets pushed donor→owner
+	EvictedBuckets  int64   // clean moved residents evicted
+	MovedKeys       int     // tree handles whose owner changed
+	IdealMoved      float64 // consistent-hash ideal: K/max(old,new)
+	DonorUtil       float64 // mean donor-node CPU during the cutover
+	DonorBase       float64 // same nodes' mean util in the preceding hold window
+
+	// Hold-window measurements.
+	Ops      int64
+	Failed   int64
+	P99Ms    float64
+	MeanUtil float64 // mean live-shard CPU during the hold
+}
+
+// ElasticResult is the whole sweep.
+type ElasticResult struct {
+	Mode       dfs.Mode
+	TokenCache bool
+	Keys       int // tree handles tracked for movement accounting
+	Steps      []ElasticStep
+
+	TotalOps    int64
+	TotalFailed int64
+	MaxP99Ms    float64
+	// WorstDonorDelta is the one-sided worst case of (DonorUtil -
+	// DonorBase) across transitions: how much busier migration made the
+	// busiest donor than plain serving.
+	WorstDonorDelta float64
+	// MovedWorstRatio is the worst MovedKeys/IdealMoved across transitions.
+	MovedWorstRatio float64
+	Cutovers        int64
+	MigratedTotal   int64
+	Strays          int // divergence strays after the sweep (want 0)
+	Repaired        int
+	Events          uint64
+}
+
+// ElasticConfig parameterizes the sweep.
+type ElasticConfig struct {
+	StartShards int // sweep start and end (default 2)
+	PeakShards  int // sweep apex (default 8)
+	Clients     int // fixed client population (default 8)
+	Mode        dfs.Mode
+	TokenCache  bool
+	Hold        time.Duration // plateau hold window (default 150ms)
+	ThinkTime   time.Duration
+	Seed        int64
+	Dirs        int
+	PerDir      int
+}
+
+func (c *ElasticConfig) fill() {
+	if c.StartShards <= 0 {
+		c.StartShards = 2
+	}
+	if c.PeakShards <= c.StartShards {
+		c.PeakShards = c.StartShards + 6
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Hold <= 0 {
+		c.Hold = 150 * time.Millisecond
+	}
+	if c.ThinkTime < 0 {
+		c.ThinkTime = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Dirs <= 0 {
+		c.Dirs = 4
+	}
+	if c.PerDir <= 0 {
+		c.PerDir = 8
+	}
+}
+
+// stepBox collects one plateau's client-side samples; the driver swaps in
+// a fresh box at each phase boundary (single-threaded DES: no races).
+type stepBox struct {
+	ops    int64
+	failed int64
+	hist   stats.Histogram
+}
+
+// RunElastic executes the sweep: shard slots on nodes 0..Peak-1 (only
+// StartShards live at boot), clients on the nodes after.
+func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
+	cfg.fill()
+	env := des.NewEnv()
+	env.Seed(cfg.Seed)
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	nodes := cfg.PeakShards + cfg.Clients
+	cl := cluster.New(env, &model.Default, nodes)
+	mgrs := make([]*rmem.Manager, nodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+
+	var svc *shard.Service
+	var mgr *shard.Manager
+	var tree *Tree
+	var setupErr error
+	clerks := make([]*shard.Clerk, cfg.Clients)
+	env.Spawn("setup", func(p *des.Proc) {
+		svc = shard.NewService(p, mgrs[:cfg.StartShards], nodes, dfs.Geometry{})
+		mgr = shard.NewManager(svc, mgrs[cfg.StartShards:cfg.PeakShards], shard.ManagerConfig{})
+		tree, setupErr = BuildTreeOn(svc.Store, svc, cfg.Dirs, cfg.PerDir)
+		if setupErr != nil {
+			return
+		}
+		var copts []shard.ClerkOption
+		if cfg.TokenCache {
+			copts = append(copts, shard.WithTokenCache())
+		}
+		for i := 0; i < cfg.Clients; i++ {
+			clerks[i] = shard.NewClerk(p, mgrs[cfg.PeakShards+i], svc, cfg.Mode, copts...)
+		}
+		if cfg.TokenCache {
+			shard.ConnectTokenPeers(p, clerks...)
+		}
+	})
+	if err := env.RunUntil(des.Time(500 * time.Millisecond)); err != nil {
+		return nil, err
+	}
+	if setupErr != nil {
+		return nil, setupErr
+	}
+
+	var keys []fstore.Handle
+	keys = append(keys, tree.Files...)
+	keys = append(keys, tree.Dirs...)
+	keys = append(keys, tree.Links...)
+
+	res := &ElasticResult{Mode: cfg.Mode, TokenCache: cfg.TokenCache, Keys: len(keys)}
+	box := &stepBox{}
+	stop := false
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		env.SpawnDaemon(fmt.Sprintf("client%d", i), func(p *des.Proc) {
+			gen := NewGenerator(cfg.Seed+int64(i), len(tree.Files), len(tree.Dirs))
+			rep := &Replayer{Clerk: clerks[i], Tree: tree}
+			for !stop {
+				op := gen.Next()
+				t0 := p.Now()
+				if err := rep.Apply(p, op); err != nil {
+					box.failed++
+				} else {
+					box.ops++
+					box.hist.ObserveDuration(time.Duration(p.Now().Sub(t0)))
+				}
+				p.Sleep(cfg.ThinkTime)
+			}
+		})
+	}
+
+	// The sweep: StartShards → PeakShards → StartShards, one at a time.
+	var sweep []int
+	for s := cfg.StartShards; s <= cfg.PeakShards; s++ {
+		sweep = append(sweep, s)
+	}
+	for s := cfg.PeakShards - 1; s >= cfg.StartShards; s-- {
+		sweep = append(sweep, s)
+	}
+
+	var sweepErr error
+	holdUtil := make(map[int]float64) // node → util in its last hold window
+	env.Spawn("sweep", func(p *des.Proc) {
+		defer func() { stop = true }()
+		for _, target := range sweep {
+			var step ElasticStep
+			step.Target = target
+			if target != svc.Size() {
+				pre := svc.Ring.Clone()
+				// Donors: on a join every pre-member pushes; on a drain only
+				// the leaver does.
+				var donors []int
+				if target > svc.Size() {
+					donors = pre.Members()
+				}
+				mig0, ev0 := svc.MigratedBuckets, svc.EvictedBuckets
+				preNodes := make(map[int]int)
+				for _, s := range pre.Members() {
+					preNodes[s] = svc.NodeOf(s)
+					cl.Nodes[svc.NodeOf(s)].ResetCPUAcct()
+				}
+				t0 := p.Now()
+				if err := mgr.ScaleTo(p, target); err != nil {
+					sweepErr = fmt.Errorf("scale to %d: %w", target, err)
+					return
+				}
+				t1 := p.Now()
+				if target < pre.Size() {
+					for _, s := range pre.Members() {
+						if svc.Shards[s] == nil {
+							donors = append(donors, s)
+						}
+					}
+				}
+				step.CutoverMs = time.Duration(t1.Sub(t0)).Seconds() * 1000
+				step.MigratedBuckets = svc.MigratedBuckets - mig0
+				step.EvictedBuckets = svc.EvictedBuckets - ev0
+				for _, s := range donors {
+					node := preNodes[s]
+					step.DonorUtil += cl.Nodes[node].CPU.Utilization(t0)
+					step.DonorBase += holdUtil[node]
+				}
+				if len(donors) > 0 {
+					step.DonorUtil /= float64(len(donors))
+					step.DonorBase /= float64(len(donors))
+				}
+				for _, h := range keys {
+					if pre.Owner(h.U64()) != svc.Ring.Owner(h.U64()) {
+						step.MovedKeys++
+					}
+				}
+				den := pre.Size()
+				if svc.Size() > den {
+					den = svc.Size()
+				}
+				step.IdealMoved = float64(len(keys)) / float64(den)
+				if d := step.DonorUtil - step.DonorBase; d > res.WorstDonorDelta {
+					res.WorstDonorDelta = d
+				}
+				if step.IdealMoved > 0 {
+					if r := float64(step.MovedKeys) / step.IdealMoved; r > res.MovedWorstRatio {
+						res.MovedWorstRatio = r
+					}
+				}
+			}
+
+			// Hold window at the target size.
+			ring, _ := svc.Membership().Current()
+			for _, s := range ring.Members() {
+				cl.Nodes[svc.NodeOf(s)].ResetCPUAcct()
+			}
+			box = &stepBox{}
+			h0 := p.Now()
+			p.Sleep(cfg.Hold)
+			for _, s := range ring.Members() {
+				u := cl.Nodes[svc.NodeOf(s)].CPU.Utilization(h0)
+				holdUtil[svc.NodeOf(s)] = u
+				step.MeanUtil += u
+			}
+			step.MeanUtil /= float64(ring.Size())
+			step.Ops = box.ops
+			step.Failed = box.failed
+			step.P99Ms = box.hist.P99() / 1e6
+			res.TotalOps += step.Ops
+			res.TotalFailed += step.Failed
+			if step.P99Ms > res.MaxP99Ms {
+				res.MaxP99Ms = step.P99Ms
+			}
+			res.Steps = append(res.Steps, step)
+		}
+		strays, repaired, err := svc.CheckDivergence(p)
+		if err != nil {
+			sweepErr = fmt.Errorf("divergence check: %w", err)
+			return
+		}
+		res.Strays, res.Repaired = strays, repaired
+	})
+
+	horizon := des.Time(time.Duration(len(sweep)+2) * (cfg.Hold + time.Second))
+	if err := env.RunUntil(horizon); err != nil {
+		return nil, err
+	}
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
+	if setupErr != nil {
+		return nil, setupErr
+	}
+	res.Cutovers = svc.Cutovers
+	res.MigratedTotal = svc.MigratedBuckets
+	res.Events = env.Events()
+	return res, nil
+}

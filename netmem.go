@@ -165,8 +165,25 @@ type (
 	ShardFileClerk = shard.Clerk
 	// ShardRing is the consistent-hash placement ring.
 	ShardRing = shard.Ring
-	// ShardClerkOption configures NewShardFileClerk.
+	// ShardClerkOption configures Shards().Clerk.
 	ShardClerkOption = shard.ClerkOption
+
+	// ShardMembership is the epoch-versioned membership view of a sharded
+	// service: Current() returns the ring and its epoch, Watch subscribes
+	// to cutover commits.
+	ShardMembership = shard.Membership
+	// ShardEpoch is a membership version number; it bumps once per
+	// committed join or drain.
+	ShardEpoch = shard.Epoch
+	// ShardEvent is one committed membership change, as delivered to
+	// ShardMembership.Watch subscribers.
+	ShardEvent = shard.Event
+	// ShardManager is the elastic autoscaler: it watches per-shard CPU
+	// occupancy and grows or shrinks the fleet between watermarks.
+	ShardManager = shard.Manager
+	// ShardManagerConfig tunes the autoscaler's sampling interval,
+	// watermarks, size bounds, and cooldown.
+	ShardManagerConfig = shard.ManagerConfig
 )
 
 var (
@@ -487,98 +504,253 @@ var (
 	WithFencing = dfs.WithFencing
 )
 
-// NewFileServer builds the file service on node; call from a Proc.
-func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry, opts ...FileServerOption) *FileServer {
-	return dfs.NewServer(p, s.Mem[node], len(s.Cluster.Nodes), geo, opts...)
+// ---------------------------------------------------------------------------
+// Builder facade. Each System method below returns a small API value scoped
+// to one subsystem; its methods resolve nodes and managers from the system,
+// so callers name nodes by index instead of threading managers around. The
+// older flat System.New* constructors remain at the bottom of the file as
+// thin deprecated wrappers over these builders.
+
+// FilesAPI builds the single-server file service of §5: servers, clerks,
+// and hot standbys. Obtain one with System.Files.
+type FilesAPI struct{ sys *System }
+
+// Files returns the file-service builder.
+func (s *System) Files() FilesAPI { return FilesAPI{s} }
+
+// Server builds the file service on node; call from a Proc.
+func (f FilesAPI) Server(p *Proc, node int, geo FileGeometry, opts ...FileServerOption) *FileServer {
+	return dfs.NewServer(p, f.sys.Mem[node], len(f.sys.Cluster.Nodes), geo, opts...)
 }
 
-// NewFileClerk wires a clerk on node to srv; call from a Proc.
-func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode, opts ...FileClerkOption) *FileClerk {
-	return dfs.NewClerk(p, s.Mem[node], srv, mode, opts...)
+// Clerk wires a clerk on node to srv; call from a Proc.
+func (f FilesAPI) Clerk(p *Proc, node int, srv *FileServer, mode FileMode, opts ...FileClerkOption) *FileClerk {
+	return dfs.NewClerk(p, f.sys.Mem[node], srv, mode, opts...)
 }
 
-// NewShardedFileService builds the sharded file tier on nodes 0..S-1 (S
-// from WithShards, default 1): N FileServers over one shared store, a
-// consistent-hash ring assigning every handle an owner shard. Call from a
-// Proc; reach it with clerks from NewShardFileClerk.
-func (s *System) NewShardedFileService(p *Proc, geo FileGeometry, opts ...FileServerOption) *ShardService {
-	n := s.shards
+// Standby exports a hot-standby mirror for a file service with geo on
+// node; wire it to the primary with FileServer.AttachStandby, and on the
+// primary's death promote it with FileStandby.TakeOver. Call from a Proc.
+func (f FilesAPI) Standby(p *Proc, node int, geo FileGeometry) *FileStandby {
+	return dfs.NewStandby(p, f.sys.Mem[node], geo)
+}
+
+// ShardsAPI builds the sharded, elastic file tier: the namespace
+// partitioned across N servers by consistent hashing, clerks that route
+// per handle, and an autoscaler that grows and shrinks the fleet under
+// load. Obtain one with System.Shards.
+type ShardsAPI struct{ sys *System }
+
+// Shards returns the sharded-file-tier builder.
+func (s *System) Shards() ShardsAPI { return ShardsAPI{s} }
+
+// Service builds the sharded file tier on nodes 0..S-1 (S from WithShards,
+// default 1): S FileServers over one shared store, a consistent-hash ring
+// assigning every handle an owner shard. Call from a Proc; reach it with
+// clerks from Clerk, and inspect or subscribe to the fleet's composition
+// through ShardService.Membership.
+func (sh ShardsAPI) Service(p *Proc, geo FileGeometry, opts ...FileServerOption) *ShardService {
+	n := sh.sys.shards
 	if n <= 0 {
 		n = 1
 	}
-	return shard.NewService(p, s.Mem[:n], len(s.Cluster.Nodes), geo, opts...)
+	return shard.NewService(p, sh.sys.Mem[:n], len(sh.sys.Cluster.Nodes), geo, opts...)
 }
 
-// NewShardFileClerk wires a sharding-aware clerk on node to svc: every
-// operation routes to the shard owning its handle. Layer the
-// token-coherent block cache with WithShardTokenCache (and connect
-// multiple clerks with ConnectShardTokenPeers). Call from a Proc.
-func (s *System) NewShardFileClerk(p *Proc, node int, svc *ShardService, mode FileMode, opts ...ShardClerkOption) *ShardFileClerk {
-	return shard.NewClerk(p, s.Mem[node], svc, mode, opts...)
-}
-
-// NewFileStandby exports a hot-standby mirror for a file service with geo
-// on node; wire it to the primary with FileServer.AttachStandby, and on
-// the primary's death promote it with FileStandby.TakeOver. Call from a
+// Clerk wires a sharding-aware clerk on node to svc: every operation
+// routes to the shard owning its handle, re-resolving on each membership
+// epoch. Layer the token-coherent block cache with WithShardTokenCache
+// (and connect multiple clerks with ConnectShardTokenPeers). Call from a
 // Proc.
-func (s *System) NewFileStandby(p *Proc, node int, geo FileGeometry) *FileStandby {
-	return dfs.NewStandby(p, s.Mem[node], geo)
+func (sh ShardsAPI) Clerk(p *Proc, node int, svc *ShardService, mode FileMode, opts ...ShardClerkOption) *ShardFileClerk {
+	return shard.NewClerk(p, sh.sys.Mem[node], svc, mode, opts...)
 }
 
-// NewRecovery creates a recovery coordinator on node watching peer: arm it
+// Elastic arms svc with an autoscaler over spare shard slots hosted on the
+// pool nodes (by index): when per-shard CPU occupancy crosses the config's
+// watermarks the manager joins a spare or drains the newest member,
+// migrating blocks donor→owner with plain one-sided rmem WRITEs. Start it
+// with ShardManager.Start, or drive it directly with ScaleTo.
+func (sh ShardsAPI) Elastic(svc *ShardService, pool []int, cfg ShardManagerConfig) *ShardManager {
+	mgrs := make([]*Manager, len(pool))
+	for i, n := range pool {
+		mgrs[i] = sh.sys.Mem[n]
+	}
+	return shard.NewManager(svc, mgrs, cfg)
+}
+
+// HealthAPI builds the §3.7 failure-detection and recovery stack:
+// heartbeats, watchdogs, and recovery coordinators. Obtain one with
+// System.Health.
+type HealthAPI struct{ sys *System }
+
+// Health returns the failure-detection builder.
+func (s *System) Health() HealthAPI { return HealthAPI{s} }
+
+// Heartbeat publishes a liveness counter at (seg, off) from node; the
+// segment must already grant read rights to the watchers (§3.7).
+func (h HealthAPI) Heartbeat(node int, seg *Segment, off int, interval time.Duration) *Heartbeat {
+	return rmem.StartHeartbeat(h.sys.Mem[node], seg, off, interval)
+}
+
+// Watchdog starts monitoring the heartbeat word at off within imp from
+// node; onFail runs once if the peer stops advancing it (§3.7).
+func (h HealthAPI) Watchdog(node int, imp *Import, off int, interval, timeout time.Duration,
+	onFail func(p *Proc, err error)) *Watchdog {
+	return rmem.NewWatchdog(h.sys.Mem[node], imp, off, interval, timeout, onFail)
+}
+
+// Recovery creates a recovery coordinator on node watching peer: arm it
 // with OnFailover steps and FenceNames, then start detection with Watch
 // over an imported heartbeat word. MTTR and rebind counts are measured on
 // the coordinator and mirrored to the tracer ("recovery.mttr",
 // "recovery.rebinds").
-func (s *System) NewRecovery(node, peer int, cfg RecoveryConfig) *RecoveryCoordinator {
-	return recovery.New(s.Mem[node], peer, cfg)
+func (h HealthAPI) Recovery(node, peer int, cfg RecoveryConfig) *RecoveryCoordinator {
+	return recovery.New(h.sys.Mem[node], peer, cfg)
+}
+
+// TokensAPI builds the §5.1 distributed token manager. Obtain one with
+// System.Tokens.
+type TokensAPI struct{ sys *System }
+
+// Tokens returns the token-manager builder.
+func (s *System) Tokens() TokensAPI { return TokensAPI{s} }
+
+// Table creates the write-token table on node, sized for n tokens; call
+// from a Proc.
+func (t TokensAPI) Table(p *Proc, node, n int) *TokenTable {
+	return tokens.NewTable(p, t.sys.Mem[node], n)
+}
+
+// Client wires a token client on node to the table at home (coordinates
+// from TokenTable.Coordinates or the name service); call from a Proc.
+func (t TokensAPI) Client(p *Proc, node, home int, tabID, tabGen uint16, tabSize, slotNodes int) *TokenClient {
+	return tokens.NewClient(p, t.sys.Mem[node], home, tabID, tabGen, tabSize, slotNodes)
+}
+
+// SecureAPI builds the §3.5 encrypted-segment layer. Obtain one with
+// System.Secure.
+type SecureAPI struct{ sys *System }
+
+// Secure returns the encrypted-segment builder.
+func (s *System) Secure() SecureAPI { return SecureAPI{s} }
+
+// Vault wraps seg (exported from node) as an encrypted segment under key.
+func (se SecureAPI) Vault(node int, seg *Segment, key SecureKey, cost CryptoCost) *SecureVault {
+	return secure.NewVault(se.sys.Cluster.Nodes[node], seg, key, cost)
+}
+
+// Channel is the importer's end of an encrypted segment. The import
+// already names its node, so no index is needed.
+func (se SecureAPI) Channel(imp *Import, key SecureKey, cost CryptoCost) *SecureChannel {
+	return secure.NewChannel(imp, key, cost)
+}
+
+// SVMAPI builds the Ivy-style shared-virtual-memory comparison system of
+// §6. Obtain one with System.SVM.
+type SVMAPI struct{ sys *System }
+
+// SVM returns the shared-virtual-memory builder.
+func (s *System) SVM() SVMAPI { return SVMAPI{s} }
+
+// Agent creates the SVM agent on node; manager names the owning node,
+// npages the shared address-space size.
+func (v SVMAPI) Agent(node, manager, npages int) *SVMAgent {
+	return svm.New(v.sys.Cluster.Nodes[node], manager, npages)
 }
 
 // ---------------------------------------------------------------------------
-// System-anchored constructors for the satellite subsystems. Each resolves
-// the node's manager from the system, so callers name nodes by index
-// instead of threading managers around.
+// Deprecated flat constructors, kept so existing callers compile. Each is a
+// thin wrapper over the corresponding builder above.
 
-// StartHeartbeat publishes a liveness counter at (seg, off) from node; the
-// segment must already grant read rights to the watchers (§3.7).
-func (s *System) StartHeartbeat(node int, seg *Segment, off int, interval time.Duration) *Heartbeat {
-	return rmem.StartHeartbeat(s.Mem[node], seg, off, interval)
+// NewFileServer builds the file service on node; call from a Proc.
+//
+// Deprecated: use Files().Server.
+func (s *System) NewFileServer(p *Proc, node int, geo FileGeometry, opts ...FileServerOption) *FileServer {
+	return s.Files().Server(p, node, geo, opts...)
 }
 
-// NewWatchdog starts monitoring the heartbeat word at off within imp from
-// node; onFail runs once if the peer stops advancing it (§3.7).
+// NewFileClerk wires a clerk on node to srv; call from a Proc.
+//
+// Deprecated: use Files().Clerk.
+func (s *System) NewFileClerk(p *Proc, node int, srv *FileServer, mode FileMode, opts ...FileClerkOption) *FileClerk {
+	return s.Files().Clerk(p, node, srv, mode, opts...)
+}
+
+// NewFileStandby exports a hot-standby mirror for a file service.
+//
+// Deprecated: use Files().Standby.
+func (s *System) NewFileStandby(p *Proc, node int, geo FileGeometry) *FileStandby {
+	return s.Files().Standby(p, node, geo)
+}
+
+// NewShardedFileService builds the sharded file tier.
+//
+// Deprecated: use Shards().Service.
+func (s *System) NewShardedFileService(p *Proc, geo FileGeometry, opts ...FileServerOption) *ShardService {
+	return s.Shards().Service(p, geo, opts...)
+}
+
+// NewShardFileClerk wires a sharding-aware clerk on node to svc.
+//
+// Deprecated: use Shards().Clerk.
+func (s *System) NewShardFileClerk(p *Proc, node int, svc *ShardService, mode FileMode, opts ...ShardClerkOption) *ShardFileClerk {
+	return s.Shards().Clerk(p, node, svc, mode, opts...)
+}
+
+// NewRecovery creates a recovery coordinator on node watching peer.
+//
+// Deprecated: use Health().Recovery.
+func (s *System) NewRecovery(node, peer int, cfg RecoveryConfig) *RecoveryCoordinator {
+	return s.Health().Recovery(node, peer, cfg)
+}
+
+// StartHeartbeat publishes a liveness counter at (seg, off) from node.
+//
+// Deprecated: use Health().Heartbeat.
+func (s *System) StartHeartbeat(node int, seg *Segment, off int, interval time.Duration) *Heartbeat {
+	return s.Health().Heartbeat(node, seg, off, interval)
+}
+
+// NewWatchdog starts monitoring the heartbeat word at off within imp.
+//
+// Deprecated: use Health().Watchdog.
 func (s *System) NewWatchdog(node int, imp *Import, off int, interval, timeout time.Duration,
 	onFail func(p *Proc, err error)) *Watchdog {
-	return rmem.NewWatchdog(s.Mem[node], imp, off, interval, timeout, onFail)
+	return s.Health().Watchdog(node, imp, off, interval, timeout, onFail)
 }
 
-// NewSVMAgent creates the Ivy-style shared-virtual-memory agent on node;
-// manager names the owning node, npages the shared address-space size (§6).
+// NewSVMAgent creates the Ivy-style shared-virtual-memory agent on node.
+//
+// Deprecated: use SVM().Agent.
 func (s *System) NewSVMAgent(node, manager, npages int) *SVMAgent {
-	return svm.New(s.Cluster.Nodes[node], manager, npages)
+	return s.SVM().Agent(node, manager, npages)
 }
 
-// NewTokenTable creates the §5.1 write-token table on node, sized for n
-// tokens; call from a Proc.
+// NewTokenTable creates the §5.1 write-token table on node.
+//
+// Deprecated: use Tokens().Table.
 func (s *System) NewTokenTable(p *Proc, node, n int) *TokenTable {
-	return tokens.NewTable(p, s.Mem[node], n)
+	return s.Tokens().Table(p, node, n)
 }
 
-// NewTokenClient wires a token client on node to the table at home
-// (coordinates from TokenTable.Coordinates or the name service); call from
-// a Proc.
+// NewTokenClient wires a token client on node to the table at home.
+//
+// Deprecated: use Tokens().Client.
 func (s *System) NewTokenClient(p *Proc, node, home int, tabID, tabGen uint16, tabSize, slotNodes int) *TokenClient {
-	return tokens.NewClient(p, s.Mem[node], home, tabID, tabGen, tabSize, slotNodes)
+	return s.Tokens().Client(p, node, home, tabID, tabGen, tabSize, slotNodes)
 }
 
-// NewSecureVault wraps seg (exported from node) as an encrypted segment
-// under key (§3.5).
+// NewSecureVault wraps seg (exported from node) as an encrypted segment.
+//
+// Deprecated: use Secure().Vault.
 func (s *System) NewSecureVault(node int, seg *Segment, key SecureKey, cost CryptoCost) *SecureVault {
 	return secure.NewVault(s.Cluster.Nodes[node], seg, key, cost)
 }
 
-// NewSecureChannel is the importer's end of an encrypted segment (§3.5).
-// The import already names its node, so no index is needed.
+// NewSecureChannel is the importer's end of an encrypted segment.
+//
+// Deprecated: use Secure().Channel.
 func (s *System) NewSecureChannel(imp *Import, key SecureKey, cost CryptoCost) *SecureChannel {
 	return secure.NewChannel(imp, key, cost)
 }

@@ -53,8 +53,8 @@ func TestFacadeFileService(t *testing.T) {
 	sys := New(2)
 	var content string
 	sys.Spawn("demo", func(p *Proc) {
-		srv := sys.NewFileServer(p, 0, FileGeometry{})
-		clerk := sys.NewFileClerk(p, 1, srv, DX)
+		srv := sys.Files().Server(p, 0, FileGeometry{})
+		clerk := sys.Files().Clerk(p, 1, srv, DX)
 		h, err := srv.Store.WriteFile("/greeting", []byte("via the facade"))
 		if err != nil {
 			t.Error(err)
@@ -110,8 +110,8 @@ func TestFacadeShardedFileService(t *testing.T) {
 	// and serves the re-read from its token-coherent cache.
 	sys := New(4, WithShards(3))
 	sys.Spawn("demo", func(p *Proc) {
-		svc := sys.NewShardedFileService(p, FileGeometry{})
-		clerk := sys.NewShardFileClerk(p, 3, svc, DX, WithShardTokenCache())
+		svc := sys.Shards().Service(p, FileGeometry{})
+		clerk := sys.Shards().Clerk(p, 3, svc, DX, WithShardTokenCache())
 		h, err := svc.Store.WriteFile("/export/facade.txt", []byte("sharded via the facade"))
 		if err != nil {
 			t.Error(err)
@@ -138,6 +138,114 @@ func TestFacadeShardedFileService(t *testing.T) {
 		}
 	})
 	if err := sys.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeElasticShards(t *testing.T) {
+	// Two founding shards on nodes 0-1, two spare slots on nodes 2-3, a
+	// client on node 4. The Elastic builder scales the fleet 2→4→2 while
+	// the membership reports each committed epoch, and a file written
+	// before the sweep stays readable after it.
+	sys := New(5, WithShards(2))
+	var epochs []ShardEpoch
+	sys.Spawn("demo", func(p *Proc) {
+		svc := sys.Shards().Service(p, FileGeometry{})
+		mgr := sys.Shards().Elastic(svc, []int{2, 3}, ShardManagerConfig{})
+		clerk := sys.Shards().Clerk(p, 4, svc, DX)
+		svc.Membership().Watch(func(_ *ShardRing, e ShardEpoch) {
+			epochs = append(epochs, e)
+		})
+		h, err := svc.Store.WriteFile("/export/elastic.txt", []byte("survives the sweep"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := svc.WarmFile(h); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, target := range []int{4, 2} {
+			if err := mgr.ScaleTo(p, target); err != nil {
+				t.Errorf("scale to %d: %v", target, err)
+				return
+			}
+			if got := svc.Size(); got != target {
+				t.Errorf("size after scale = %d, want %d", got, target)
+			}
+		}
+		got, err := clerk.Read(p, h, 0, 18)
+		if err != nil || string(got) != "survives the sweep" {
+			t.Errorf("read after sweep: %q, %v", got, err)
+		}
+	})
+	if err := sys.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 2→3→4→3→2: four commits, epochs strictly ascending.
+	if len(epochs) != 4 {
+		t.Fatalf("watcher saw %d epoch bumps, want 4 (%v)", len(epochs), epochs)
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatalf("epochs not ascending: %v", epochs)
+		}
+	}
+}
+
+// TestDeprecatedConstructorsDelegate drives every deprecated flat
+// constructor once: each must still compile and hand back the same object
+// its builder produces, so pre-facade callers keep working verbatim.
+func TestDeprecatedConstructorsDelegate(t *testing.T) {
+	sys := New(4, WithShards(2))
+	key := SecureKey{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	sys.Spawn("demo", func(p *Proc) {
+		srv := sys.NewFileServer(p, 0, FileGeometry{})
+		if sys.NewFileClerk(p, 1, srv, DX) == nil {
+			t.Error("NewFileClerk returned nil")
+		}
+		if sys.NewFileStandby(p, 2, FileGeometry{}) == nil {
+			t.Error("NewFileStandby returned nil")
+		}
+		svc := sys.NewShardedFileService(p, FileGeometry{})
+		if sys.NewShardFileClerk(p, 3, svc, DX) == nil {
+			t.Error("NewShardFileClerk returned nil")
+		}
+		if sys.NewRecovery(0, 1, RecoveryConfig{}) == nil {
+			t.Error("NewRecovery returned nil")
+		}
+
+		seg := sys.Mem[1].Export(p, 64)
+		seg.SetDefaultRights(RightsAll)
+		if sys.StartHeartbeat(1, seg, 0, time.Millisecond) == nil {
+			t.Error("StartHeartbeat returned nil")
+		}
+		imp := sys.Mem[0].Import(p, 1, seg.ID(), seg.Gen(), seg.Size())
+		wd := sys.NewWatchdog(0, imp, 0, time.Millisecond, 10*time.Millisecond, nil)
+		if wd == nil {
+			t.Error("NewWatchdog returned nil")
+		}
+
+		if sys.NewSVMAgent(0, 0, 1) == nil {
+			t.Error("NewSVMAgent returned nil")
+		}
+		tab := sys.NewTokenTable(p, 0, 4)
+		id, gen, size := tab.Coordinates()
+		if sys.NewTokenClient(p, 1, 0, id, gen, size, len(sys.Cluster.Nodes)) == nil {
+			t.Error("NewTokenClient returned nil")
+		}
+
+		state := sys.Mem[1].Export(p, 256)
+		state.SetDefaultRights(RightsAll)
+		if sys.NewSecureVault(1, state, key, HardwareCrypto) == nil {
+			t.Error("NewSecureVault returned nil")
+		}
+		stImp := sys.Mem[0].Import(p, 1, state.ID(), state.Gen(), state.Size())
+		if sys.NewSecureChannel(stImp, key, HardwareCrypto) == nil {
+			t.Error("NewSecureChannel returned nil")
+		}
+	})
+	if err := sys.RunFor(100 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 }
