@@ -42,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"netmem/internal/consensus"
 	"netmem/internal/dfs"
 	"netmem/internal/faults"
 	"netmem/internal/obs"
@@ -62,7 +63,13 @@ func main() {
 	seed := flag.Int64("seed", 0, "campaign seed for -chaos (0 = default)")
 	shards := flag.Int("shards", 0, "sharded-tier sweep up to this many shards (with -chaos: shard count for the campaign)")
 	elastic := flag.Bool("elastic", false, "elastic fleet sweep: 2→8→2 shards under sustained Table 1a load")
+	consensusLeg := flag.Bool("consensus", false, "control-plane chaos leg: the mix runs while a campaign kills a consensus replica (default campaign: leadercrash; override with -chaos NAME)")
 	flag.Parse()
+
+	if *consensusLeg {
+		runConsensusChaos(*chaos, *seed, *metrics)
+		return
+	}
 
 	if *elastic {
 		runElastic(*seed)
@@ -288,6 +295,73 @@ func runChaos(name string, seed int64, metrics bool, shards int) {
 			os.Exit(1)
 		}
 		printChaos(res, metrics)
+	}
+}
+
+// runConsensusChaos runs the control-plane chaos leg: the Figure 2 mix on
+// the data plane while a campaign kills a consensus control-plane machine
+// (the leaseholder, under the stock "leadercrash" campaign) mid-run.
+func runConsensusChaos(name string, seed int64, metrics bool) {
+	if name == "" {
+		name = "leadercrash"
+	}
+	camp, ok := faults.Named(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsbench: unknown campaign %q (try -chaos list)\n", name)
+		os.Exit(1)
+	}
+	res, err := consensus.RunChaos(consensus.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Consensus control plane: %d replicas (Paxos acceptors on rmem CAS), registry replicated through the log\n", res.Replicas)
+	fmt.Printf("Chaos campaign %q (seed %d, %s, reliability on)\n\n", res.Campaign, res.Seed, res.Mode)
+	t := stats.NewTable("Operation", "Fault-free", "Under campaign", "Slowdown", "Result")
+	for _, op := range res.Ops {
+		status := "ok"
+		if !op.OK {
+			status = "FAILED: " + op.Err
+		}
+		chaosLat := stats.Ms(op.Chaos)
+		slow := fmt.Sprintf("%.2fx", op.Degradation())
+		if !op.OK {
+			chaosLat, slow = "-", "-"
+		}
+		t.Add(op.Label, stats.Ms(op.Baseline), chaosLat, slow, status)
+	}
+	fmt.Println(t)
+	fmt.Printf("goodput %d/%d ops byte-correct (%.0f%%); retries %d, giveups %d\n",
+		res.Completed, len(res.Ops), res.Goodput()*100, res.Retries, res.Giveups)
+	fmt.Printf("control plane: leader %d → %d, %d re-election(s), election latency %s\n",
+		res.LeaderBefore, res.LeaderAfter, res.Elections, stats.Ms(res.ElectionLatency))
+	fmt.Printf("decrees: %d applied by every survivor; driver committed %d (%.0f decrees/sec under the campaign, %.0f fault-free, %d error(s))\n",
+		res.Decrees, res.DriverCommits, res.DecreesPerSec, res.SteadyPerSec, res.DriverErrors)
+	agree := "logs agree"
+	if !res.LogsAgree {
+		agree = "LOGS DIVERGED"
+	}
+	reg := "registry converged on survivors"
+	if !res.RegistryOK {
+		reg = "REGISTRY DID NOT CONVERGE"
+	}
+	fmt.Printf("survivors: %s; %s\n", agree, reg)
+	fmt.Print("surviving control-plane CPU during window:")
+	for _, cat := range []string{"client", "rx", "reply", "control", "proc"} {
+		fmt.Printf(" %s %s", cat, stats.Ms(res.AcceptorCPU[cat]))
+	}
+	fmt.Println(" (agreement itself is one-sided; client/control/proc time is replica apply + lease work)")
+	if len(res.Injected) > 0 {
+		fmt.Print("injected:")
+		for _, kv := range res.Injected {
+			fmt.Print(" ", kv)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if metrics {
+		fmt.Print(res.Metrics.String())
+		fmt.Println()
 	}
 }
 

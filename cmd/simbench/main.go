@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"netmem/internal/consensus"
 	"netmem/internal/dfs"
 	"netmem/internal/faults"
 	"netmem/internal/workload"
@@ -62,6 +63,7 @@ func main() {
 		{mixedChaosName, runMixedChaos},
 		{"scale6-dx", func() (uint64, error) { return runScale6(dfs.DX) }},
 		{"scale6-hy", func() (uint64, error) { return runScale6(dfs.HY) }},
+		{"cas-contend", runCASContend},
 	}
 
 	rep := Report{
@@ -144,6 +146,19 @@ func runScale6(mode dfs.Mode) (uint64, error) {
 		return 0, fmt.Errorf("no operations completed")
 	}
 	return pt.Events, nil
+}
+
+// runCASContend runs the consensus CAS-contention scramble — eight clerks
+// hammering one acceptor word with one-sided CAS — once. RunCASBench
+// self-validates (exact final count, zero acceptor agreement CPU), so a
+// wrong result fails the bench instead of being timed.
+func runCASContend() (uint64, error) {
+	res, err := consensus.RunCASBench(consensus.CASBenchConfig{
+		Clerks: 8, WinsPerClerk: 200, Seed: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, nil
 }
 
 // checkGate fails when the mixed-campaign events/sec fell more than pct

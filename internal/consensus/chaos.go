@@ -1,0 +1,545 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+	"netmem/internal/fstore"
+	"netmem/internal/model"
+	"netmem/internal/nameserver"
+	"netmem/internal/obs"
+	"netmem/internal/rmem"
+)
+
+// Control-plane chaos harness: the Figure 2 operation mix runs on a data
+// plane (one file server, one clerk) while a replicated control plane —
+// three acceptor/replica machines carrying the name registry — commits a
+// steady decree stream, and the campaign kills a control-plane machine
+// mid-run. The single-server and sharded harnesses measure what a DATA
+// outage costs; this one measures the opposite guarantee: the data plane
+// never stalls when the CONTROL plane degrades, the survivors re-elect a
+// leaseholder deterministically, and the log keeps committing on a
+// majority of the original acceptor set.
+
+// ChaosConfig selects one control-plane chaos run.
+type ChaosConfig struct {
+	// Campaign is the fault schedule. Control replicas run on nodes 0..2
+	// and replica 0 holds the initial lease, so the stock "leadercrash"
+	// campaign (crash node 0 at 202ms, no restart) kills the leader.
+	Campaign faults.Campaign
+	// Seed seeds the simulation environment; 0 means des.DefaultSeed.
+	Seed int64
+	// Mode is the file-service structure (DX for the paper's proposal).
+	Mode dfs.Mode
+}
+
+// ChaosResult is one full control-plane chaos run.
+type ChaosResult struct {
+	Campaign string
+	Seed     int64
+	Mode     dfs.Mode
+
+	// Data plane: the Figure 2 mix, byte-verified.
+	Ops       []dfs.ChaosOpResult
+	Completed int
+	Replays   int64
+	Retries   int64
+	Giveups   int64
+
+	// Control plane.
+	Replicas        int
+	LeaderBefore    int           // lease holder entering the mix
+	LeaderAfter     int           // lease holder after the campaign
+	Elections       int64         // completed re-elections
+	ElectionLatency time.Duration // watchdog verdict → lease applied
+	Decrees         int           // decrees applied by every surviving replica
+	DriverCommits   int           // registry decrees the driver committed
+	DriverErrors    int           // driver proposals that failed
+	DecreesPerSec   float64       // driver commit rate under the campaign
+	SteadyPerSec    float64       // driver commit rate in the fault-free leg
+	LogsAgree       bool          // surviving replica logs byte-identical
+	RegistryOK      bool          // replicated registry converged on survivors
+
+	// AcceptorCPU is the per-category CPU burned on the surviving
+	// control-plane machines during the measured window. The agreement
+	// path itself is one-sided — proc/control/client time here comes from
+	// the replicas applying decrees and heartbeating leases, not from
+	// prepare/accept handling (see BenchmarkCASContention for the
+	// pure-agreement measurement).
+	AcceptorCPU map[string]time.Duration
+
+	Injected []string
+	Events   uint64
+	Window   time.Duration
+	Metrics  obs.Snapshot
+}
+
+// Goodput is the fraction of the mix that completed byte-correct.
+func (r *ChaosResult) Goodput() float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(len(r.Ops))
+}
+
+// Rig geometry: control replicas on nodes 0..2, the file server on node
+// 3, the clerk (and the control-plane driver) on node 4.
+const (
+	chaosReplicas   = 3
+	chaosServerNode = 3
+	chaosClerkNode  = 4
+	chaosNodes      = 5
+)
+
+// driverPeriod is the decree cadence of the control-plane driver.
+const driverPeriod = 250 * time.Microsecond
+
+// RunChaos measures the mix twice — fault-free baseline, then under the
+// campaign — on identical topologies (control plane up and committing in
+// both legs, so the background traffic matches).
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	base, err := runChaosMix(nil, cfg.Seed, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: chaos baseline: %w", err)
+	}
+	leg, err := runChaosMix(&cfg.Campaign, cfg.Seed, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: chaos run: %w", err)
+	}
+	res := &ChaosResult{
+		Campaign:        cfg.Campaign.Name,
+		Seed:            leg.eng.Seed(),
+		Mode:            cfg.Mode,
+		Replays:         leg.replays,
+		Replicas:        chaosReplicas,
+		LeaderBefore:    leg.leaderBefore,
+		LeaderAfter:     leg.leaderAfter,
+		Elections:       leg.cp.Elections,
+		ElectionLatency: time.Duration(leg.cp.LastElection),
+		Decrees:         leg.decrees,
+		DriverCommits:   leg.commits,
+		DriverErrors:    leg.driverErrs,
+		LogsAgree:       leg.logsAgree,
+		RegistryOK:      leg.registryOK,
+		AcceptorCPU:     leg.acceptorCPU,
+		Injected:        leg.eng.Counts(),
+		Events:          leg.events,
+		Window:          leg.window,
+		Metrics:         leg.tr.Snapshot(),
+	}
+	res.Retries = res.Metrics.Counter("reliable.retries")
+	res.Giveups = res.Metrics.Counter("reliable.giveup")
+	if leg.driverWindow > 0 {
+		res.DecreesPerSec = float64(leg.commits) / leg.driverWindow.Seconds()
+	}
+	if base.driverWindow > 0 {
+		res.SteadyPerSec = float64(base.commits) / base.driverWindow.Seconds()
+	}
+	for i, op := range leg.ops {
+		op.Baseline = base.ops[i].Chaos
+		res.Ops = append(res.Ops, op)
+		if op.OK {
+			res.Completed++
+		}
+	}
+	return res, nil
+}
+
+// cpChaosLeg is one measured leg.
+type cpChaosLeg struct {
+	ops          []dfs.ChaosOpResult
+	tr           *obs.Tracer
+	eng          *faults.Engine
+	cp           *ControlPlane
+	window       time.Duration
+	events       uint64
+	replays      int64
+	leaderBefore int
+	leaderAfter  int
+	commits      int
+	driverErrs   int
+	driverWindow time.Duration
+	decrees      int
+	logsAgree    bool
+	registryOK   bool
+	acceptorCPU  map[string]time.Duration
+	auditErr     error
+}
+
+// cpChaosRig is the data plane under test plus the warm tree handles.
+type cpChaosRig struct {
+	srv   *dfs.Server
+	clerk *dfs.Clerk
+	file  fstore.Handle
+	dir   fstore.Handle
+	link  fstore.Handle
+}
+
+func runChaosMix(camp *faults.Campaign, seed int64, mode dfs.Mode) (*cpChaosLeg, error) {
+	env := des.NewEnv()
+	if seed != 0 {
+		env.Seed(seed)
+	}
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	var eng *faults.Engine
+	var clusterOpts []cluster.Option
+	if camp != nil {
+		eng = faults.NewEngine(env, *camp)
+		clusterOpts = append(clusterOpts, cluster.WithFaultEngine(eng))
+	}
+	cl := cluster.New(env, &model.Default, chaosNodes, clusterOpts...)
+	mgrs := make([]*rmem.Manager, chaosNodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+
+	leg := &cpChaosLeg{tr: tr, eng: eng}
+	rig := &cpChaosRig{}
+	var cli *Client
+	var setupErr error
+	env.Spawn("cpchaos.setup", func(p *des.Proc) {
+		// The name-service clerks boot first: their well-known registry
+		// segments carry fixed generation numbers that assume they are each
+		// control node's first exports.
+		peers := []int{0, 1, 2}
+		clerks := make([]*nameserver.Clerk, chaosReplicas)
+		for i := range clerks {
+			clerks[i] = nameserver.New(mgrs[i], peers, nameserver.Config{})
+		}
+		p.Sleep(time.Millisecond)
+		// Lanes: 3 replicas + the driver; Slots sized for the decree stream
+		// the driver commits across the mix window.
+		g := NewGroup(p, Config{Acceptors: chaosReplicas, Proposers: chaosReplicas + 1, Slots: 1024}, mgrs[:chaosReplicas]...)
+		leg.cp = NewControlPlane(p, g, clerks)
+		if setupErr = leg.cp.Start(p); setupErr != nil {
+			return
+		}
+		rig.srv = dfs.NewServer(p, mgrs[chaosServerNode], chaosNodes, dfs.Geometry{}, dfs.WithReliableReplies())
+		rig.clerk = dfs.NewClerk(p, mgrs[chaosClerkNode], rig.srv, mode, dfs.WithReliable())
+		if setupErr = warmCPRig(rig); setupErr != nil {
+			return
+		}
+		cli = leg.cp.NewClient(p, mgrs[chaosClerkNode])
+	})
+	if err := env.RunUntil(des.Time(200 * time.Millisecond)); err != nil {
+		return nil, err
+	}
+	if setupErr != nil {
+		return nil, setupErr
+	}
+
+	mixDone := false
+	lastName := ""
+	// Driver: a steady stream of registry decrees through the log, the
+	// control-plane analogue of the mix's data traffic. It keeps proposing
+	// straight through the crash — commits after it prove the log lives on
+	// a majority of the original acceptors.
+	env.Spawn("cpchaos.driver", func(p *des.Proc) {
+		if at := des.Time(200 * time.Millisecond); p.Now() < at {
+			p.Sleep(time.Duration(at.Sub(p.Now())))
+		}
+		start := p.Now()
+		for i := 0; !mixDone; i++ {
+			name := fmt.Sprintf("cp.obj%04d", i)
+			rec := nameserver.Record{
+				Name: name, Node: chaosServerNode,
+				Seg: uint16(0x2000 + i), Gen: uint16(i + 1), Epoch: 1, Size: 64,
+			}
+			if err := cli.RegisterName(p, rec); err != nil {
+				leg.driverErrs++
+			} else {
+				leg.commits++
+				lastName = name
+			}
+			p.Sleep(driverPeriod)
+		}
+		leg.driverWindow = time.Duration(p.Now().Sub(start))
+	})
+
+	ops := make([]dfs.ChaosOpResult, len(dfs.Figure2Ops))
+	env.Spawn("cpchaos.mix", func(p *des.Proc) {
+		// Campaign crash schedules are keyed to virtual time; anchor the mix
+		// at t = 200ms so the crash lands inside the measured run.
+		if at := des.Time(200 * time.Millisecond); p.Now() < at {
+			p.Sleep(time.Duration(at.Sub(p.Now())))
+		}
+		leg.leaderBefore = leg.cp.Leader()
+		for i := 0; i < chaosReplicas; i++ {
+			cl.Nodes[i].ResetCPUAcct()
+		}
+		start := p.Now()
+		for i, spec := range dfs.Figure2Ops {
+			ops[i] = runVerifiedCPOp(p, rig, spec)
+			// No data-plane failover in this rig: a failed op lost its retry
+			// budget to link faults; replay a bounded number of times.
+			for tries := 0; !ops[i].OK && tries < 3; tries++ {
+				leg.replays++
+				ops[i] = runVerifiedCPOp(p, rig, spec)
+			}
+		}
+		// The mix is quick; hold the window open past the crash so the
+		// re-election and the driver's post-crash commits are measured.
+		if camp != nil {
+			for _, c := range camp.Crashes {
+				if until := des.Time(c.At + 20*time.Millisecond); p.Now() < until {
+					p.Sleep(time.Duration(until.Sub(p.Now())))
+				}
+			}
+		}
+		leg.window = time.Duration(p.Now().Sub(start))
+		mixDone = true
+		// Settle, then audit the control plane (untimed): surviving replicas
+		// must agree byte-for-byte on the log prefix they have all applied,
+		// and the replicated registry must answer on every survivor.
+		p.Sleep(5 * time.Millisecond)
+		leg.acceptorCPU = make(map[string]time.Duration)
+		for i := 0; i < chaosReplicas; i++ {
+			if cl.Nodes[i].Failed() {
+				continue
+			}
+			for cat, d := range cl.Nodes[i].CPUAcct {
+				leg.acceptorCPU[cat] += time.Duration(d)
+			}
+		}
+		leg.leaderAfter = leg.cp.Leader()
+		leg.auditControlPlane(p, lastName)
+	})
+
+	// Heartbeat and watchdog daemons never idle; the horizon is finite.
+	if err := env.RunUntil(des.Time(3 * time.Second)); err != nil {
+		return nil, err
+	}
+	if leg.auditErr != nil {
+		return nil, leg.auditErr
+	}
+	leg.ops = ops
+	leg.events = env.Events()
+	return leg, nil
+}
+
+// auditControlPlane verifies survivor agreement after the campaign.
+func (leg *cpChaosLeg) auditControlPlane(p *des.Proc, lastName string) {
+	var live []*Replica
+	for _, r := range leg.cp.Replicas() {
+		if !r.acc.M.Node.Failed() {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		leg.auditErr = fmt.Errorf("consensus: no surviving replicas to audit")
+		return
+	}
+	// Common applied horizon, then byte-compare the prefix.
+	h := live[0].AppliedCount()
+	for _, r := range live[1:] {
+		if n := r.AppliedCount(); n < h {
+			h = n
+		}
+	}
+	leg.decrees = h
+	leg.logsAgree = true
+	for _, r := range live[1:] {
+		a, b := live[0].Log(), r.Log()
+		for s := 0; s < h; s++ {
+			if !bytes.Equal(a[s].Encode(), b[s].Encode()) {
+				leg.logsAgree = false
+				leg.auditErr = fmt.Errorf("consensus: replica %d diverges from %d at slot %d", r.Idx(), live[0].Idx(), s)
+				return
+			}
+		}
+	}
+	// Every survivor's clerk answers the last committed registry decree
+	// locally — no remote lookup, no dependence on the dead machine.
+	leg.registryOK = lastName != ""
+	for _, r := range live {
+		if r.Clerk() == nil {
+			continue
+		}
+		rec, err := r.Clerk().Lookup(p, lastName, -1, false)
+		if err != nil || rec.Node != chaosServerNode {
+			leg.registryOK = false
+		}
+	}
+}
+
+// warmCPRig populates the store and warms the server cache exactly as the
+// single-server chaos rig does.
+func warmCPRig(r *cpChaosRig) error {
+	st := r.srv.Store
+	h, err := st.WriteFile("/export/data.bin", cpSeedPattern(16384))
+	if err != nil {
+		return err
+	}
+	r.file = h
+	for i := 0; i < 260; i++ {
+		if _, err := st.WriteFile(fmt.Sprintf("/export/pub/entry%03d", i), nil); err != nil {
+			return err
+		}
+	}
+	dir, _, err := st.ResolvePath("/export/pub")
+	if err != nil {
+		return err
+	}
+	r.dir = dir
+	exp, _, err := st.ResolvePath("/export")
+	if err != nil {
+		return err
+	}
+	lh, _, err := st.Symlink(exp, "current", "/export/data.bin")
+	if err != nil {
+		return err
+	}
+	r.link = lh
+	for _, wh := range []fstore.Handle{r.file, r.link} {
+		if err := r.srv.WarmFile(wh); err != nil {
+			return err
+		}
+	}
+	if err := r.srv.WarmDir(exp); err != nil {
+		return err
+	}
+	return r.srv.WarmDir(dir)
+}
+
+// runVerifiedCPOp executes one mix operation on the data plane and
+// verifies the result bytes against the store's ground truth.
+func runVerifiedCPOp(p *des.Proc, r *cpChaosRig, spec dfs.OpSpec) dfs.ChaosOpResult {
+	res := dfs.ChaosOpResult{Label: spec.Label}
+	c := r.clerk
+	st := r.srv.Store
+
+	fail := func(err error) dfs.ChaosOpResult {
+		res.Err = err.Error()
+		res.Chaos = 0
+		return res
+	}
+
+	// Writes establish DX block ownership with an untimed read; reads
+	// measure the network path, so flush first.
+	if spec.Op == dfs.OpWrite && c.Mode == dfs.DX {
+		blocks := (spec.Size + fstore.BlockSize - 1) / fstore.BlockSize
+		if _, err := c.Read(p, r.file, 0, blocks*fstore.BlockSize); err != nil {
+			return fail(fmt.Errorf("ownership read: %w", err))
+		}
+	} else {
+		c.FlushLocal()
+	}
+
+	start := p.Now()
+	switch spec.Op {
+	case dfs.OpGetAttr:
+		a, err := c.GetAttr(p, r.file)
+		if err != nil {
+			return fail(err)
+		}
+		want, err := st.GetAttr(r.file)
+		if err != nil {
+			return fail(err)
+		}
+		if a.Size != want.Size || a.Type != want.Type {
+			return fail(fmt.Errorf("attr mismatch: got size %d, want %d", a.Size, want.Size))
+		}
+	case dfs.OpLookup:
+		h, _, err := c.Lookup(p, r.dir, "entry007")
+		if err != nil {
+			return fail(err)
+		}
+		want, _, err := st.Lookup(r.dir, "entry007")
+		if err != nil {
+			return fail(err)
+		}
+		if h != want {
+			return fail(fmt.Errorf("lookup handle mismatch"))
+		}
+	case dfs.OpReadLink:
+		target, err := c.ReadLink(p, r.link)
+		if err != nil {
+			return fail(err)
+		}
+		if target != "/export/data.bin" {
+			return fail(fmt.Errorf("readlink returned %q", target))
+		}
+	case dfs.OpRead:
+		data, err := c.Read(p, r.file, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		want, err := st.Read(r.file, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		if !bytes.Equal(data, want) {
+			return fail(fmt.Errorf("read returned wrong bytes"))
+		}
+	case dfs.OpReadDir:
+		data, err := c.ReadDir(p, r.dir, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		ents, err := st.ReadDir(r.dir)
+		if err != nil {
+			return fail(err)
+		}
+		want := dfs.SerializeDir(ents)[:spec.Size]
+		if !bytes.Equal(data, want) {
+			return fail(fmt.Errorf("readdir returned wrong bytes"))
+		}
+	case dfs.OpWrite:
+		payload := cpWritePattern(spec.Size)
+		before := r.srv.DataDeposits()
+		if err := c.Write(p, r.file, 0, payload); err != nil {
+			return fail(err)
+		}
+		if c.Mode == dfs.DX {
+			deadline := p.Now().Add(c.EffectiveCallTimeout())
+			for r.srv.DataDeposits() == before {
+				if p.Now() > deadline {
+					return fail(fmt.Errorf("write deposit not observed"))
+				}
+				p.Sleep(2 * time.Microsecond)
+			}
+		}
+		res.Chaos = time.Duration(p.Now().Sub(start))
+		// Verification (untimed): apply write-behind state and read the
+		// store back.
+		if _, err := r.srv.Sync(p); err != nil {
+			return fail(err)
+		}
+		got, err := st.Read(r.file, 0, spec.Size)
+		if err != nil {
+			return fail(err)
+		}
+		if !bytes.Equal(got, payload) {
+			return fail(fmt.Errorf("written bytes did not reach the store intact"))
+		}
+		res.OK = true
+		return res
+	}
+	res.Chaos = time.Duration(p.Now().Sub(start))
+	res.OK = true
+	return res
+}
+
+// cpSeedPattern fills the warm file; cpWritePattern is the write payload,
+// distinguishable from the seed so a lost write cannot be masked.
+func cpSeedPattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i % 251)
+	}
+	return b
+}
+
+func cpWritePattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 129)
+	}
+	return b
+}

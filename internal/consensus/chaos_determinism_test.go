@@ -1,0 +1,81 @@
+package consensus
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+)
+
+// TestLeaderCrashChaosDeterministic is the control-plane determinism
+// golden test: the leadercrash campaign (light dup/reorder links plus the
+// lease holder's machine dying mid-mix, never to return) run twice at
+// seed 1 must produce byte-identical results — every per-op latency,
+// every metric counter, the fault tally, the election latency, and the
+// decree counts. And the run itself must demonstrate the tentpole claims:
+// the data plane finishes 12/12 byte-correct, exactly one deterministic
+// re-election happens, the survivors' logs agree, and the replicated
+// registry keeps answering without the dead machine.
+func TestLeaderCrashChaosDeterministic(t *testing.T) {
+	camp, ok := faults.Named("leadercrash")
+	if !ok {
+		t.Fatal("leadercrash campaign not registered")
+	}
+	runOnce := func() ([]byte, *ChaosResult) {
+		res, err := RunChaos(ChaosConfig{Campaign: camp, Seed: 1, Mode: dfs.DX})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return append(js, res.Metrics.String()...), res
+	}
+	b1, r1 := runOnce()
+	b2, _ := runOnce()
+	if !bytes.Equal(b1, b2) {
+		i := 0
+		for i < len(b1) && i < len(b2) && b1[i] == b2[i] {
+			i++
+		}
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		win := func(b []byte) []byte {
+			h := hi
+			if h > len(b) {
+				h = len(b)
+			}
+			if lo >= h {
+				return nil
+			}
+			return b[lo:h]
+		}
+		t.Fatalf("leadercrash campaign not deterministic at seed 1:\n run1: …%s…\n run2: …%s…", win(b1), win(b2))
+	}
+	if r1.Completed != len(r1.Ops) || len(r1.Ops) != 12 {
+		t.Errorf("goodput %d/%d, want 12/12", r1.Completed, len(r1.Ops))
+	}
+	if r1.Elections != 1 || r1.ElectionLatency <= 0 {
+		t.Errorf("elections=%d latency=%v, want exactly one measured re-election", r1.Elections, r1.ElectionLatency)
+	}
+	if r1.LeaderBefore != 0 || r1.LeaderAfter == 0 || r1.LeaderAfter < 0 {
+		t.Errorf("leadership did not move off the crashed machine: before=%d after=%d", r1.LeaderBefore, r1.LeaderAfter)
+	}
+	if !r1.LogsAgree {
+		t.Error("surviving replica logs diverged")
+	}
+	if !r1.RegistryOK {
+		t.Error("replicated registry did not converge on the survivors")
+	}
+	if r1.DriverCommits == 0 || r1.Decrees <= r1.DriverCommits {
+		t.Errorf("decree stream thin: applied=%d driver commits=%d", r1.Decrees, r1.DriverCommits)
+	}
+	if r1.DecreesPerSec <= 0 || r1.SteadyPerSec <= 0 {
+		t.Errorf("no decree rates measured: campaign %v, fault-free %v", r1.DecreesPerSec, r1.SteadyPerSec)
+	}
+}

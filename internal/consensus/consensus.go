@@ -1,0 +1,160 @@
+// Package consensus builds a Paxos-style replicated log out of the
+// paper's remote-memory meta-instructions. The observation (ROADMAP item
+// 1, after Brock et al.'s one-sided data structures): a Paxos acceptor is
+// nothing but a few words of compare-and-swap-able state, and rmem CAS is
+// exactly that primitive. Acceptor state — a packed promised/accepted
+// ballot word plus stamped value cells per log slot — lives in an
+// exported rmem segment, and proposers drive the whole agreement protocol
+// with one-sided READ/CAS/WRITE against it. The acceptor machine runs no
+// agreement code at all: prepare, accept, and learn are data transfers
+// into its memory, so the agreement path costs it only the kernel receive
+// path (CatRx/CatReply interface work — the Figure 3 argument applied to
+// the control plane). Control transfer appears exactly once, where the
+// paper says it belongs: the learn write carries the notify bit, waking
+// the co-located state-machine replica to apply the decree.
+//
+// Layout of an acceptor segment, per log slot:
+//
+//	word 0:              promised(16) | accepted(16)   (the CAS word)
+//	cell 0 (learned):    chosen ballot(32) + payload   (written after quorum accept)
+//	cells 1..K:          ballot stamp(32) + payload    (one per proposer lane)
+//
+// The single packed control word makes promise and accept one atomic CAS:
+// a phase-1 CAS bumps the promised half while preserving the accepted
+// half, a phase-2 CAS sets both to the proposing ballot. Values travel
+// out-of-band in per-proposer cells — each cell has exactly one writer,
+// whose stamps increase monotonically, so a reader that observes
+// accepted=b in the control word and then reads proposer(b)'s cell sees a
+// stamp ≥ b whose value is safe at that stamp (the standard Paxos phase-1
+// invariant carries the rest). This is the Disk Paxos construction
+// transplanted from network-attached disks onto remote memory.
+//
+// Above the single-decree core, ControlPlane runs a multi-decree log with
+// leader leases and migrates the reproduction's control plane onto it:
+// name-registry mutations, fencing verdicts, and shard-membership epoch
+// bumps become agreed log entries applied by every replica, so any
+// replica can serve reads and the nameserver itself can crash mid-run.
+package consensus
+
+import (
+	"errors"
+	"time"
+
+	"netmem/internal/des"
+)
+
+// Errors.
+var (
+	// ErrNoQuorum reports that a proposal could not reach a majority of
+	// acceptors within the retry budget.
+	ErrNoQuorum = errors.New("consensus: no quorum of acceptors reachable")
+	// ErrValueTooLarge reports a proposed value exceeding Config.Payload.
+	ErrValueTooLarge = errors.New("consensus: value exceeds slot payload")
+	// ErrLogFull reports that every configured log slot is already chosen.
+	ErrLogFull = errors.New("consensus: log slots exhausted")
+	// ErrBadCommand reports an undecodable log entry.
+	ErrBadCommand = errors.New("consensus: malformed command")
+)
+
+// Config sizes a consensus group. The zero value is filled with defaults.
+type Config struct {
+	// Acceptors is the replication degree R; a majority (R/2+1) of the
+	// original set must survive for the log to make progress. Default 3.
+	Acceptors int
+	// Proposers is the number of ballot lanes K. Every client of the group
+	// (replica or external proposer) owns one lane; ballots from different
+	// lanes never collide. Default Acceptors+2.
+	Proposers int
+	// Slots is the log capacity. Default 256.
+	Slots int
+	// Payload is the value size carried per cell, a multiple of 4.
+	// Default 128 — large enough for a packed name-registry record or an
+	// 8-member ring blob.
+	Payload int
+	// LeaseInterval is the leader heartbeat cadence (default 250 µs);
+	// watchdog grace is LeaseGrace consecutive misses (default 4).
+	LeaseInterval des.Duration
+	LeaseGrace    int
+	// NoLease disables the acceptor heartbeat word. Pure-agreement
+	// benches use it to measure acceptor-side CPU with no failure
+	// detector running; groups under a ControlPlane leave it off.
+	NoLease bool
+}
+
+func (c *Config) fill() {
+	if c.Acceptors <= 0 {
+		c.Acceptors = 3
+	}
+	if c.Proposers <= 0 {
+		c.Proposers = c.Acceptors + 2
+	}
+	if c.Slots <= 0 {
+		c.Slots = 256
+	}
+	if c.Payload <= 0 {
+		c.Payload = 128
+	}
+	c.Payload = (c.Payload + 3) &^ 3
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = 250 * time.Microsecond
+	}
+	if c.LeaseGrace <= 0 {
+		c.LeaseGrace = 4
+	}
+}
+
+// Quorum is the majority size over the original acceptor set. Crashed
+// acceptors stay counted: an acceptor that restarts has forgotten its
+// promises (rmem is volatile and Manager.Restart wipes exports), so
+// letting it rejoin would allow double votes. It is fenced out instead —
+// progress requires a majority of the machines that booted the group.
+func (c Config) Quorum() int { return c.Acceptors/2 + 1 }
+
+// Geometry.
+
+func (c Config) cellSize() int        { return 4 + c.Payload }
+func (c Config) slotSize() int        { return 4 + (c.Proposers+1)*c.cellSize() }
+func (c Config) ctlOff(s int) int     { return s * c.slotSize() }
+func (c Config) learnedOff(s int) int { return s*c.slotSize() + 4 }
+func (c Config) cellOff(s, lane int) int {
+	return s*c.slotSize() + 4 + (lane+1)*c.cellSize()
+}
+
+// hbOff is the acceptor's heartbeat word, placed after the last slot.
+func (c Config) hbOff() int { return c.Slots * c.slotSize() }
+
+// SegSize is the acceptor segment footprint: all slots plus the
+// heartbeat word watchdogs probe.
+func (c Config) SegSize() int { return c.hbOff() + 4 }
+
+// Ballots. A ballot is a 16-bit value packed two per control word.
+// Lane k proposes ballots k+1, k+1+K, k+1+2K, ... so lanes never collide
+// and ballot 0 means "none".
+
+// Ballot identifies one proposal attempt.
+type Ballot uint16
+
+// LaneOf recovers the proposer lane that owns a ballot.
+func (c Config) LaneOf(b Ballot) int { return (int(b) - 1) % c.Proposers }
+
+// firstBallot is lane's lowest ballot.
+func (c Config) firstBallot(lane int) Ballot { return Ballot(lane + 1) }
+
+// nextBallot is lane's smallest ballot strictly greater than after.
+func (c Config) nextBallot(lane int, after Ballot) Ballot {
+	b := int(lane) + 1
+	for b <= int(after) {
+		b += c.Proposers
+	}
+	return Ballot(b)
+}
+
+// packCtl/unpackCtl pack the promised and accepted ballots into the
+// single CAS word.
+func packCtl(promised, accepted Ballot) uint32 {
+	return uint32(promised)<<16 | uint32(accepted)
+}
+
+func unpackCtl(w uint32) (promised, accepted Ballot) {
+	return Ballot(w >> 16), Ballot(w & 0xffff)
+}

@@ -1,0 +1,396 @@
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/nameserver"
+	"netmem/internal/rmem"
+)
+
+// ControlPlane runs the reproduction's control plane over the replicated
+// log: one Replica per acceptor (co-located — the learn write's notify
+// bit is the only control transfer between agreement and apply), each
+// holding a name-service clerk that the log keeps in sync. Registry
+// mutations, fencing verdicts, membership epoch bumps, and leader leases
+// are decrees; every replica applies the same total order, so any replica
+// answers lookups and any replica — including the current leader — can
+// crash without losing the control plane.
+type ControlPlane struct {
+	g    *Group
+	reps []*Replica
+
+	nextLane int
+
+	// LastElection is the most recent leader re-election latency:
+	// watchdog verdict to lease decree applied at the winner.
+	LastElection des.Duration
+	// Elections counts completed re-elections.
+	Elections int64
+}
+
+// Replica is one control-plane state machine, co-located with its
+// acceptor. It applies learned slots in log order.
+type Replica struct {
+	cp   *ControlPlane
+	idx  int
+	acc  *Acceptor
+	prop *Proposer
+	ns   *nameserver.Clerk // optional: registry decrees apply here
+
+	applied  int       // next slot to apply
+	maxSeen  int       // highest slot with a known learn (hole detection)
+	filling  bool      // hole-fill probe in flight
+	log      []Command // applied decrees, in order
+	appliedQ *des.WaitQueue
+
+	leader     int // replica index holding the lease
+	leaseEpoch uint32
+	seq        uint32 // per-origin proposal sequence
+	wd         *rmem.Watchdog
+
+	onApply []func(p *des.Proc, slot int, cmd Command)
+
+	// Applied counts decrees applied; Holes counts noop hole-fills this
+	// replica initiated.
+	Applied int64
+	Holes   int64
+}
+
+const holeGrace = 1 * time.Millisecond
+
+// NewControlPlane builds replicas over g's acceptors. clerks[i], when
+// non-nil, is the name-service clerk on acceptor i's machine; registry
+// and fence decrees are applied to it. Lanes 0..len(accs)-1 belong to the
+// replicas; NewClient hands out the rest.
+func NewControlPlane(p *des.Proc, g *Group, clerks []*nameserver.Clerk) *ControlPlane {
+	cp := &ControlPlane{g: g, nextLane: len(g.Accs)}
+	for i, acc := range g.Accs {
+		r := &Replica{
+			cp: cp, idx: i, acc: acc,
+			prop:     NewProposer(p, acc.M, i, g),
+			appliedQ: des.NewWaitQueue(acc.M.Node.Env),
+			leader:   -1,
+		}
+		if clerks != nil && clerks[i] != nil {
+			r.ns = clerks[i]
+		}
+		acc.OnLearn(func(lp *des.Proc, slot int) { r.noteLearn(lp, slot) })
+		acc.Seg.OnNotify(func(np *des.Proc, note rmem.Notification) {
+			cfg := g.Cfg
+			if off := note.Offset; off%cfg.slotSize() == 4 {
+				r.noteLearn(np, off/cfg.slotSize())
+			}
+		})
+		cp.reps = append(cp.reps, r)
+	}
+	return cp
+}
+
+// Start proposes the initial lease (epoch 1, replica 0) and waits for the
+// proposing replica to apply it.
+func (cp *ControlPlane) Start(p *des.Proc) error {
+	r := cp.reps[0]
+	if err := r.proposeCmd(p, Command{Kind: KindLease, Node: 0, Epoch: 1}); err != nil {
+		return err
+	}
+	return r.AwaitApplied(p, 1, time.Second)
+}
+
+// Replicas exposes the replica set (read-mostly: tests and harnesses).
+func (cp *ControlPlane) Replicas() []*Replica { return cp.reps }
+
+// Leader returns the lease holder as seen by the lowest live replica
+// (-1 before the first lease).
+func (cp *ControlPlane) Leader() int {
+	for _, r := range cp.reps {
+		if !r.acc.M.Node.Failed() {
+			return r.leader
+		}
+	}
+	return -1
+}
+
+// Group returns the underlying consensus group.
+func (cp *ControlPlane) Group() *Group { return cp.g }
+
+// ---------------------------------------------------------------------------
+// Replica: apply path.
+
+// noteLearn records a learn signal for slot and drains every contiguously
+// learned slot. Runs in the notify handler (remote learns) or the
+// learner's process (local fast path).
+func (r *Replica) noteLearn(p *des.Proc, slot int) {
+	if slot > r.maxSeen {
+		r.maxSeen = slot
+	}
+	r.pump(p)
+}
+
+func (r *Replica) pump(p *des.Proc) {
+	cfg := r.cp.g.Cfg
+	for r.applied < cfg.Slots {
+		b, val := r.acc.Learned(p, r.applied)
+		if b == 0 {
+			break
+		}
+		cmd, err := Decode(val)
+		if err != nil {
+			// An undecodable decree would desynchronize the replicas;
+			// surface it loudly instead of skipping.
+			r.acc.M.Node.Faults = append(r.acc.M.Node.Faults,
+				fmt.Errorf("consensus: replica %d slot %d: %w", r.idx, r.applied, err))
+			break
+		}
+		slot := r.applied
+		r.applied++
+		r.Applied++
+		r.apply(p, slot, cmd)
+	}
+	r.appliedQ.WakeAll()
+	// A learned slot beyond the apply horizon with a hole below it means
+	// some proposer died mid-decree. Give the race a grace period, then
+	// drive a noop through the open slot — phase 1 adopts whatever was
+	// accepted there, so the noop completes the interrupted proposal
+	// rather than overwriting it.
+	if r.maxSeen >= r.applied && !r.filling {
+		r.filling = true
+		stuckAt := r.applied
+		env := r.acc.M.Node.Env
+		env.After(holeGrace, func() {
+			env.Spawn(fmt.Sprintf("consensus.r%d.fill", r.idx), func(fp *des.Proc) {
+				defer func() { r.filling = false }()
+				if r.applied != stuckAt || r.maxSeen < r.applied {
+					r.pump(fp)
+					return
+				}
+				r.Holes++
+				if _, err := r.prop.Propose(fp, stuckAt, Command{Kind: KindNoop, Origin: uint8(r.idx)}.Encode()); err == nil {
+					r.noteLearn(fp, stuckAt)
+				}
+			})
+		})
+	}
+}
+
+func (r *Replica) apply(p *des.Proc, slot int, cmd Command) {
+	env := r.acc.M.Node.Env
+	r.log = append(r.log, cmd)
+	switch cmd.Kind {
+	case KindLease:
+		if cmd.Epoch > r.leaseEpoch {
+			r.leaseEpoch = cmd.Epoch
+			r.leader = cmd.Node
+			r.watchLeader()
+		}
+	case KindRegister:
+		if r.ns != nil {
+			if err := r.ns.ApplyRecord(p, cmd.Rec); err != nil &&
+				err != nameserver.ErrExists && err != nameserver.ErrNotReady {
+				r.acc.M.Node.Faults = append(r.acc.M.Node.Faults,
+					fmt.Errorf("consensus: replica %d apply register %q: %w", r.idx, cmd.Rec.Name, err))
+			}
+		}
+	case KindFence:
+		if r.ns != nil {
+			r.ns.FencePeer(cmd.Node)
+		}
+	case KindUnfence:
+		if r.ns != nil {
+			r.ns.UnfencePeer(cmd.Node)
+		}
+	case KindNoop, KindMembership:
+		// Membership is consumed by subscribers (the shard tier re-reads
+		// its ring from the blob); nothing to do here.
+	}
+	if tr := env.Tracer(); tr != nil {
+		tr.Count("consensus.applied", 1)
+		tr.Count("consensus.applied."+cmd.Kind.String(), 1)
+	}
+	for _, fn := range r.onApply {
+		fn(p, slot, cmd)
+	}
+}
+
+// OnApply subscribes fn to every decree this replica applies, in order.
+func (r *Replica) OnApply(fn func(p *des.Proc, slot int, cmd Command)) {
+	r.onApply = append(r.onApply, fn)
+}
+
+// AwaitApplied blocks until the replica has applied at least n decrees.
+func (r *Replica) AwaitApplied(p *des.Proc, n int, timeout des.Duration) error {
+	env := r.acc.M.Node.Env
+	timedOut := false
+	if timeout > 0 {
+		cancel := env.After(timeout, func() {
+			timedOut = true
+			r.appliedQ.WakeAll()
+		})
+		defer cancel()
+	}
+	for r.applied < n && !timedOut {
+		r.appliedQ.Wait(p)
+	}
+	if r.applied < n {
+		return rmem.ErrTimeout
+	}
+	return nil
+}
+
+// Log returns the applied decrees so far (shared backing array;
+// callers treat it as read-only).
+func (r *Replica) Log() []Command { return r.log }
+
+// AppliedCount returns the replica's apply horizon.
+func (r *Replica) AppliedCount() int { return r.applied }
+
+// Idx returns the replica index (also its ballot lane).
+func (r *Replica) Idx() int { return r.idx }
+
+// Clerk returns the replica's name-service clerk (may be nil).
+func (r *Replica) Clerk() *nameserver.Clerk { return r.ns }
+
+// proposeCmd stamps origin/sequence and drives cmd into the first open
+// slot.
+func (r *Replica) proposeCmd(p *des.Proc, cmd Command) error {
+	cmd.Origin = uint8(r.idx)
+	r.seq++
+	cmd.Seq = r.seq
+	slot, err := r.prop.Commit(p, cmd.Encode())
+	if err != nil {
+		return err
+	}
+	r.noteLearn(p, slot)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Leases and re-election.
+
+// watchLeader (re)arms the lease watchdog after a lease decree: every
+// replica that is not the leader watches the leader's acceptor heartbeat.
+// The watchdog captures the lease epoch it was armed under, so a stale
+// verdict against a superseded leader is ignored.
+func (r *Replica) watchLeader() {
+	if r.leader == r.idx || r.leader < 0 || r.leader >= len(r.cp.reps) {
+		return
+	}
+	cfg := r.cp.g.Cfg
+	ep := r.prop.eps[r.leader]
+	if ep.imp == nil {
+		return // co-located with the leader's acceptor: it dies with us
+	}
+	epoch := r.leaseEpoch
+	m := r.acc.M
+	r.wd = rmem.NewWatchdogCfg(m, ep.imp, cfg.hbOff(), rmem.WatchdogConfig{
+		Interval: cfg.LeaseInterval,
+		Timeout:  m.Node.P.RetryTimeout,
+		Grace:    cfg.LeaseGrace,
+	}, func(p *des.Proc, err error) { r.leaderDown(p, epoch) })
+}
+
+// leaderDown runs on a lease-watchdog verdict: after a rank-staggered
+// delay (lower-indexed live replicas go first, so re-election is
+// deterministic under a fixed seed), propose the next lease unless
+// someone already did. Paxos makes duelling candidacies safe — the log
+// picks one.
+func (r *Replica) leaderDown(p *des.Proc, epoch uint32) {
+	if r.leaseEpoch != epoch {
+		return // stale verdict against a superseded lease
+	}
+	verdictAt := p.Now()
+	dead := r.leader
+	// The verdict condemned the leader's machine; skip its acceptor for a
+	// while so the lease proposal does not stall probing it. If the verdict
+	// was wrong the acceptor rejoins quorums when the mute expires.
+	if dead >= 0 {
+		r.prop.Suspect(dead, des.Duration(100*time.Millisecond))
+	}
+	rank := 0
+	for i := 0; i < r.idx; i++ {
+		if i != dead && !r.prop.eps[i].dead {
+			rank++
+		}
+	}
+	if rank > 0 {
+		p.Sleep(des.Duration(rank) * 1 * time.Millisecond)
+	}
+	if r.leaseEpoch != epoch {
+		r.watchLeader() // a rival already won; just re-arm
+		return
+	}
+	if err := r.proposeCmd(p, Command{Kind: KindLease, Node: r.idx, Epoch: epoch + 1}); err != nil {
+		return
+	}
+	if r.leader == r.idx && r.leaseEpoch == epoch+1 {
+		d := p.Now().Sub(verdictAt)
+		r.cp.LastElection = d
+		r.cp.Elections++
+		if tr := r.acc.M.Node.Env.Tracer(); tr != nil {
+			tr.Observe("consensus.election", time.Duration(d))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clients: external proposers (data-plane machines) with their own lane.
+
+// Client proposes control-plane decrees from a machine that is not a
+// replica. It satisfies recovery.VerdictLog and the shard tier's
+// control-log hook.
+type Client struct {
+	cp   *ControlPlane
+	prop *Proposer
+	seq  uint32
+}
+
+// NewClient allocates the next free ballot lane for a proposer on m.
+func (cp *ControlPlane) NewClient(p *des.Proc, m *rmem.Manager) *Client {
+	if cp.nextLane >= cp.g.Cfg.Proposers {
+		panic("consensus: out of proposer lanes (raise Config.Proposers)")
+	}
+	// Claim the lane before NewProposer blocks (it exports scratch and
+	// imports the acceptors): concurrent NewClient callers interleave at
+	// those points, and two proposers sharing a lane share ballots and a
+	// value cell — adoption then reads whichever of them wrote last.
+	lane := cp.nextLane
+	cp.nextLane++
+	return &Client{cp: cp, prop: NewProposer(p, m, lane, cp.g)}
+}
+
+func (cl *Client) propose(p *des.Proc, cmd Command) error {
+	cmd.Origin = uint8(cl.prop.Lane())
+	cl.seq++
+	cmd.Seq = cl.seq
+	_, err := cl.prop.Commit(p, cmd.Encode())
+	return err
+}
+
+// RegisterName replicates a registry record through the log.
+func (cl *Client) RegisterName(p *des.Proc, rec nameserver.Record) error {
+	return cl.propose(p, Command{Kind: KindRegister, Rec: rec})
+}
+
+// ProposeFence replicates a fencing verdict for peer.
+func (cl *Client) ProposeFence(p *des.Proc, peer int) error {
+	return cl.propose(p, Command{Kind: KindFence, Node: peer})
+}
+
+// ProposeUnfence replicates the end of peer's outage.
+func (cl *Client) ProposeUnfence(p *des.Proc, peer int) error {
+	return cl.propose(p, Command{Kind: KindUnfence, Node: peer})
+}
+
+// ProposeMembership commits a shard-ring epoch bump with its packed ring.
+func (cl *Client) ProposeMembership(p *des.Proc, epoch uint32, blob []byte) error {
+	return cl.propose(p, Command{Kind: KindMembership, Epoch: epoch, Blob: blob})
+}
+
+// Noop drives an empty decree through the log (liveness probes, benches).
+func (cl *Client) Noop(p *des.Proc) error {
+	return cl.propose(p, Command{Kind: KindNoop})
+}
+
+// Proposer exposes the client's underlying proposer (stats, tests).
+func (cl *Client) Proposer() *Proposer { return cl.prop }

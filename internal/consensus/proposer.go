@@ -1,0 +1,481 @@
+package consensus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// Proposer drives the agreement protocol for one ballot lane against a
+// group's acceptors, using only one-sided operations: READ to observe a
+// slot's control word, CAS to promise and accept, WRITE to deposit value
+// cells and learn results. An acceptor co-located with the proposer is
+// reached through the timed local-access path instead of the network —
+// §3.1.2's local/remote atomicity makes the two interchangeable.
+//
+// A Proposer serves one simulated process at a time (its scratch segment
+// and ballot bookkeeping are per-client state); ControlPlane hands every
+// client its own lane.
+type Proposer struct {
+	m       *rmem.Manager
+	g       *Group
+	lane    int
+	eps     []*endpoint
+	scratch *rmem.Segment
+	opTO    des.Duration
+
+	lastB map[int]Ballot // per-slot ballot floor: stamps per cell stay monotone
+	next  int            // first slot not known chosen (allocation hint)
+
+	// Notify controls whether learn writes carry the notify bit (the
+	// commit-time control transfer that wakes co-located replicas).
+	// Pure-agreement rigs with no replicas attached turn it off to
+	// measure the acceptor-side cost of agreement alone.
+	Notify bool
+
+	busy bool
+	q    *des.WaitQueue
+
+	// Stats.
+	Prepares    int64 // phase-1 rounds issued
+	Accepts     int64 // phase-2 rounds issued
+	CASRetries  int64 // control-word CAS races retried
+	Conflicts   int64 // proposals that adopted another proposer's value
+	ChosenSlots int64 // slots this proposer drove to a learn
+}
+
+// endpoint is one acceptor as seen from this proposer: either a fenced,
+// reliable import or the local segment fast path.
+type endpoint struct {
+	acc   *Acceptor
+	imp   *rmem.Import  // nil when local
+	seg   *rmem.Segment // non-nil when co-located
+	dead  bool          // restarted (amnesiac) — out for the rest of the run
+	mute  des.Time      // suspected until (timeout backoff)
+	fails int           // consecutive op failures (drives the mute backoff)
+}
+
+const (
+	casRetry    = 8  // control-word CAS races retried before treating as rejection
+	maxRounds   = 64 // ballot rounds before ErrNoQuorum
+	backoffBase = 20 * time.Microsecond
+	backoffMax  = 2 * time.Millisecond
+	laneStagger = 7 * time.Microsecond
+	suspendFor  = 1 * time.Millisecond  // first mute after a timeout; doubles per failure
+	suspendMax  = 64 * time.Millisecond // mute backoff ceiling
+	opAttempts  = 16                    // per-op timeout, in units of RetryTimeout
+)
+
+// NewProposer wires lane's proposer on m's machine to every acceptor in
+// g. Remote acceptors are imported reliable (the at-most-once layer's
+// acked writes give per-cell stamp monotonicity) and fenced with the
+// acceptor's incarnation, so a restarted acceptor answers
+// ErrStaleGeneration instead of voting from wiped state.
+func NewProposer(p *des.Proc, m *rmem.Manager, lane int, g *Group) *Proposer {
+	if lane < 0 || lane >= g.Cfg.Proposers {
+		panic(fmt.Sprintf("consensus: lane %d out of range", lane))
+	}
+	pr := &Proposer{
+		m: m, g: g, lane: lane,
+		// Per-op deadline: a handful of retransmission rounds, NOT the full
+		// reliable-layer ladder (~100ms against a dead machine). One-sided
+		// reads and CASes are safe to abandon — the proposer re-reads state
+		// every round — so a short deadline plus the mute backoff below is
+		// what keeps a crashed acceptor from serializing every proposal.
+		opTO:   opAttempts * des.Duration(m.Node.P.RetryTimeout),
+		lastB:  make(map[int]Ballot),
+		q:      des.NewWaitQueue(m.Node.Env),
+		Notify: true,
+	}
+	pr.scratch = m.Export(p, 8+g.Cfg.cellSize())
+	for _, a := range g.Accs {
+		ep := &endpoint{acc: a}
+		if a.M == m {
+			ep.seg = a.Seg
+		} else {
+			ep.imp = m.Import(p, a.Node(), a.Seg.ID(), a.Seg.Gen(), a.Seg.Size())
+			ep.imp.SetReliable(true)
+			ep.imp.SetFence(true)
+			ep.imp.SetEpoch(a.Epoch)
+		}
+		pr.eps = append(pr.eps, ep)
+	}
+	return pr
+}
+
+// Lane returns the proposer's ballot lane.
+func (pr *Proposer) Lane() int { return pr.lane }
+
+// lock/unlock serialize interleaved simulated processes over the scratch
+// segment.
+func (pr *Proposer) lock(p *des.Proc) {
+	for pr.busy {
+		pr.q.Wait(p)
+	}
+	pr.busy = true
+}
+
+func (pr *Proposer) unlock() {
+	pr.busy = false
+	pr.q.WakeAll()
+}
+
+// noteErr classifies an acceptor error: a stale-generation NAK means the
+// machine restarted and its promises are gone — it is dead to the group
+// for the rest of the run (Config.Quorum documents why). Anything else is
+// a timeout-ish fault; mute the endpoint with exponential backoff so a
+// crashed (but not restarted) acceptor costs each proposer one short
+// stall, not one per round.
+func (pr *Proposer) noteErr(ep *endpoint, err error) {
+	if errors.Is(err, rmem.ErrStaleGeneration) {
+		ep.dead = true
+		return
+	}
+	ep.fails++
+	d := suspendFor << uint(min(ep.fails-1, 10))
+	if d > suspendMax {
+		d = suspendMax
+	}
+	ep.mute = pr.m.Node.Env.Now().Add(des.Duration(d))
+}
+
+// noteOK clears the endpoint's failure streak after any successful op.
+func (ep *endpoint) noteOK() { ep.fails = 0 }
+
+// Suspect mutes acceptor index i for d without waiting for an op to time
+// out. Lease watchdog verdicts feed it so an election proposal never
+// stalls probing the very machine the verdict just condemned.
+func (pr *Proposer) Suspect(i int, d des.Duration) {
+	if i < 0 || i >= len(pr.eps) {
+		return
+	}
+	until := pr.m.Node.Env.Now().Add(d)
+	if until > pr.eps[i].mute {
+		pr.eps[i].mute = until
+	}
+}
+
+func (ep *endpoint) usable(now des.Time) bool { return !ep.dead && now >= ep.mute }
+
+// One-sided primitive wrappers. Offsets into scratch: word 0 = read
+// deposit, word 1 = CAS result flag, bytes 8.. = cell deposit.
+
+func (pr *Proposer) readCtl(p *des.Proc, ep *endpoint, slot int) (uint32, error) {
+	off := pr.g.Cfg.ctlOff(slot)
+	if ep.seg != nil {
+		return ep.seg.ReadWord(p, off), nil
+	}
+	if err := ep.imp.Read(p, off, 4, pr.scratch, 0, pr.opTO); err != nil {
+		return 0, err
+	}
+	ep.noteOK()
+	return pr.scratch.ReadWord(p, 0), nil
+}
+
+func (pr *Proposer) casCtl(p *des.Proc, ep *endpoint, slot int, old, new uint32) (bool, error) {
+	off := pr.g.Cfg.ctlOff(slot)
+	if ep.seg != nil {
+		return ep.seg.CASLocal(p, off, old, new), nil
+	}
+	ok, err := ep.imp.CAS(p, off, old, new, pr.scratch, 4, pr.opTO)
+	if err == nil {
+		ep.noteOK()
+	}
+	return ok, err
+}
+
+func (pr *Proposer) readCell(p *des.Proc, ep *endpoint, off int) (Ballot, []byte, error) {
+	n := pr.g.Cfg.cellSize()
+	if ep.seg != nil {
+		buf := ep.seg.ReadLocal(p, off, n)
+		defer pr.m.Buffers().Put(buf)
+		out := make([]byte, pr.g.Cfg.Payload)
+		copy(out, buf[4:])
+		return Ballot(be32(buf)), out, nil
+	}
+	if err := ep.imp.Read(p, off, n, pr.scratch, 8, pr.opTO); err != nil {
+		return 0, nil, err
+	}
+	ep.noteOK()
+	buf := pr.scratch.Bytes()[8 : 8+n]
+	out := make([]byte, pr.g.Cfg.Payload)
+	copy(out, buf[4:])
+	return Ballot(be32(buf)), out, nil
+}
+
+// writeCell deposits a stamped value. The write is frame-atomic (stamp
+// and payload land together) and, on reliable imports, acknowledged —
+// the proposer never issues a higher stamp for a cell before the lower
+// one is applied or given up on, which keeps stamps monotone per cell.
+func (pr *Proposer) writeCell(p *des.Proc, ep *endpoint, off int, b Ballot, val []byte, notify bool) error {
+	buf := make([]byte, pr.g.Cfg.cellSize())
+	putbe32(buf, uint32(b))
+	copy(buf[4:], val)
+	if ep.seg != nil {
+		ep.seg.WriteLocal(p, off, buf)
+		return nil
+	}
+	if err := ep.imp.WriteBlock(p, off, buf, notify); err != nil {
+		return err
+	}
+	ep.noteOK()
+	return nil
+}
+
+// Propose runs the full protocol for slot with val as the candidate and
+// returns the value actually chosen there (padded to Config.Payload) —
+// which is val's padding unless some other proposal got there first. It
+// is safe to call concurrently from many proposers on many machines; at
+// most one value is ever chosen per slot.
+func (pr *Proposer) Propose(p *des.Proc, slot int, val []byte) ([]byte, error) {
+	cfg := pr.g.Cfg
+	if len(val) > cfg.Payload {
+		return nil, ErrValueTooLarge
+	}
+	if slot < 0 || slot >= cfg.Slots {
+		return nil, ErrLogFull
+	}
+	mine := make([]byte, cfg.Payload)
+	copy(mine, val)
+
+	pr.lock(p)
+	defer pr.unlock()
+
+	b := cfg.nextBallot(pr.lane, pr.lastB[slot])
+	for round := 0; round < maxRounds; round++ {
+		if v, ok := pr.readChosen(p, slot); ok {
+			pr.observeChosen(slot)
+			return v, nil
+		}
+		pr.lastB[slot] = b
+		now := pr.m.Node.Env.Now()
+
+		// Phase 1: promise on a quorum, learning the highest accepted
+		// value along the way.
+		pr.Prepares++
+		var (
+			promised  []*endpoint
+			maxSeen   = b
+			bestStamp Ballot
+			bestVal   = mine
+		)
+		for _, ep := range pr.eps {
+			if !ep.usable(now) {
+				continue
+			}
+			prom, acc, ok := pr.promiseOne(p, ep, slot, b)
+			if !ok {
+				if prom > maxSeen {
+					maxSeen = prom
+				}
+				continue
+			}
+			if acc != 0 {
+				// Someone's value may already be accepted here: read its
+				// owner's cell on this acceptor. The cell's single writer
+				// stamps monotonically and wrote before the accept-CAS, so
+				// stamp >= acc and the value is safe at that stamp. If the
+				// read fails or the invariant is broken, drop this promise
+				// rather than risk ignoring a chosen value.
+				stamp, v, err := pr.readCell(p, ep, cfg.cellOff(slot, cfg.LaneOf(acc)))
+				if err != nil || stamp < acc {
+					if err != nil {
+						pr.noteErr(ep, err)
+					}
+					continue
+				}
+				if stamp > bestStamp {
+					bestStamp, bestVal = stamp, v
+				}
+			}
+			promised = append(promised, ep)
+		}
+		if len(promised) < cfg.Quorum() {
+			b = pr.backoff(p, slot, round, maxSeen)
+			continue
+		}
+		if bestStamp > 0 && !bytes.Equal(bestVal, mine) {
+			pr.Conflicts++
+		}
+
+		// Phase 2: deposit our stamped cell, then flip the control word to
+		// accepted — on every acceptor that promised b.
+		pr.Accepts++
+		accepts := 0
+		for _, ep := range promised {
+			if pr.acceptOne(p, ep, slot, b, bestVal) {
+				accepts++
+			}
+		}
+		if accepts >= cfg.Quorum() {
+			pr.learn(p, slot, b, bestVal)
+			pr.ChosenSlots++
+			pr.observeChosen(slot)
+			return bestVal, nil
+		}
+		b = pr.backoff(p, slot, round, maxSeen)
+	}
+	return nil, ErrNoQuorum
+}
+
+// promiseOne runs the phase-1 CAS loop on one acceptor: bump the promised
+// half of the control word to b, preserving the accepted half, retrying
+// lost races against concurrent CASes. Returns the highest promise
+// observed, the accepted ballot under our promise, and whether the
+// promise took.
+func (pr *Proposer) promiseOne(p *des.Proc, ep *endpoint, slot int, b Ballot) (Ballot, Ballot, bool) {
+	for try := 0; try < casRetry; try++ {
+		ctl, err := pr.readCtl(p, ep, slot)
+		if err != nil {
+			pr.noteErr(ep, err)
+			return 0, 0, false
+		}
+		prom, acc := unpackCtl(ctl)
+		if prom >= b {
+			return prom, acc, false
+		}
+		ok, err := pr.casCtl(p, ep, slot, ctl, packCtl(b, acc))
+		if err != nil {
+			pr.noteErr(ep, err)
+			return prom, acc, false
+		}
+		if ok {
+			return b, acc, true
+		}
+		pr.CASRetries++
+	}
+	return 0, 0, false
+}
+
+// acceptOne deposits (b, val) in our cell on ep, then CASes the control
+// word to promised=accepted=b. Paxos accepts any ballot >= the current
+// promise, so races that moved the promise below b are retried; a promise
+// above b is a rejection.
+func (pr *Proposer) acceptOne(p *des.Proc, ep *endpoint, slot int, b Ballot, val []byte) bool {
+	cfg := pr.g.Cfg
+	if err := pr.writeCell(p, ep, cfg.cellOff(slot, pr.lane), b, val, false); err != nil {
+		pr.noteErr(ep, err)
+		return false
+	}
+	for try := 0; try < casRetry; try++ {
+		ctl, err := pr.readCtl(p, ep, slot)
+		if err != nil {
+			pr.noteErr(ep, err)
+			return false
+		}
+		prom, _ := unpackCtl(ctl)
+		if prom > b {
+			return false
+		}
+		ok, err := pr.casCtl(p, ep, slot, ctl, packCtl(b, b))
+		if err != nil {
+			pr.noteErr(ep, err)
+			return false
+		}
+		if ok {
+			return true
+		}
+		pr.CASRetries++
+	}
+	return false
+}
+
+// learn broadcasts the chosen value into every reachable acceptor's
+// learned cell. This is the one place control transfer appears: the learn
+// write carries the notify bit, waking the co-located replica to apply
+// the decree — the agreement path itself woke nobody. Racing learners
+// write byte-identical cells, so last-writer-wins is harmless.
+func (pr *Proposer) learn(p *des.Proc, slot int, b Ballot, val []byte) {
+	cfg := pr.g.Cfg
+	now := pr.m.Node.Env.Now()
+	for _, ep := range pr.eps {
+		if !ep.usable(now) {
+			continue
+		}
+		if ep.seg != nil {
+			if err := pr.writeCell(p, ep, cfg.learnedOff(slot), b, val, false); err == nil {
+				if fn := ep.acc.onLearn; fn != nil {
+					fn(p, slot)
+				}
+			}
+			continue
+		}
+		if err := pr.writeCell(p, ep, cfg.learnedOff(slot), b, val, pr.Notify); err != nil {
+			pr.noteErr(ep, err)
+		}
+	}
+}
+
+// readChosen checks slot's learned cell on the nearest usable acceptor.
+func (pr *Proposer) readChosen(p *des.Proc, slot int) ([]byte, bool) {
+	now := pr.m.Node.Env.Now()
+	var pick *endpoint
+	for _, ep := range pr.eps {
+		if !ep.usable(now) {
+			continue
+		}
+		if ep.seg != nil {
+			pick = ep
+			break
+		}
+		if pick == nil {
+			pick = ep
+		}
+	}
+	if pick == nil {
+		return nil, false
+	}
+	stamp, v, err := pr.readCell(p, pick, pr.g.Cfg.learnedOff(slot))
+	if err != nil {
+		pr.noteErr(pick, err)
+		return nil, false
+	}
+	if stamp == 0 {
+		return nil, false
+	}
+	return v, true
+}
+
+func (pr *Proposer) observeChosen(slot int) {
+	if slot >= pr.next {
+		pr.next = slot + 1
+	}
+}
+
+// backoff sleeps a deterministic, lane-staggered, capped-exponential
+// delay before the next ballot round — enough asymmetry to break
+// duelling-proposer livelock without a random source.
+func (pr *Proposer) backoff(p *des.Proc, slot, round int, maxSeen Ballot) Ballot {
+	d := backoffBase << uint(min(round, 6))
+	if d > backoffMax {
+		d = backoffMax
+	}
+	p.Sleep(d + des.Duration(pr.lane)*laneStagger)
+	b := pr.g.Cfg.nextBallot(pr.lane, maxSeen)
+	if floor := pr.lastB[slot]; b <= floor {
+		b = pr.g.Cfg.nextBallot(pr.lane, floor)
+	}
+	return b
+}
+
+// Commit finds the first open slot at or after the proposer's hint and
+// drives val into it, skipping slots other commands won. Returns the slot
+// chosen for val.
+func (pr *Proposer) Commit(p *des.Proc, val []byte) (int, error) {
+	mine := make([]byte, pr.g.Cfg.Payload)
+	copy(mine, val)
+	for slot := pr.next; slot < pr.g.Cfg.Slots; slot++ {
+		chosen, err := pr.Propose(p, slot, val)
+		if err != nil {
+			return -1, err
+		}
+		if bytes.Equal(chosen, mine) {
+			return slot, nil
+		}
+	}
+	return -1, ErrLogFull
+}

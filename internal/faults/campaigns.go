@@ -44,6 +44,20 @@ var named = map[string]func() Campaign{
 			{Node: 0, At: 202 * time.Millisecond, RecoverAt: 230 * time.Millisecond},
 		}}
 	},
+	"leadercrash": func() Campaign {
+		// The consensus control plane's lease holder (node 0 in the
+		// consensus chaos rig) dies mid-mix and never returns — a restarted
+		// acceptor is amnesiac, so it stays fenced and the survivors carry
+		// the log on a majority of the original set. Light duplication and
+		// reordering keep the one-sided agreement traffic honest while the
+		// re-election happens.
+		return Campaign{Name: "leadercrash", Default: LinkFault{
+			Duplicate: 0.003,
+			Reorder:   0.005,
+		}, Crashes: []Crash{
+			{Node: 0, At: 202 * time.Millisecond},
+		}}
+	},
 	"flap": func() Campaign {
 		// Repeated 200µs outages on every link, every 2ms across the
 		// measured window (workloads start after the 200ms warm-up): each

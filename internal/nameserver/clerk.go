@@ -125,16 +125,25 @@ type lookupArgs struct {
 func (c *Clerk) addName(p *des.Proc, args any) (any, error) {
 	a := args.(addArgs)
 	n := c.m.Node
+	if c.registry == nil {
+		return nil, ErrNotReady
+	}
 	n.UseCPU(p, cluster.CatClient, n.P.HashInsert)
 	rec := Record{Name: a.name, Node: n.ID, Seg: a.seg.ID(), Gen: a.seg.Gen(),
 		Epoch: c.m.Incarnation(), Size: a.seg.Size()}
+	return nil, c.insertRecord(rec)
+}
+
+// insertRecord places rec in the clerk's registry table, superseding a
+// stale record for the same name in place.
+func (c *Clerk) insertRecord(rec Record) error {
 	reg := c.registry.Bytes()
-	b := c.hash(a.name)
+	b := c.hash(rec.Name)
 	for probe := 0; probe < c.cfg.Buckets; probe++ {
 		off := ((b + probe) % c.cfg.Buckets) * recStride
 		flag, old := parseRecord(reg[off:])
 		switch {
-		case flag == flagValid && old.Name == a.name:
+		case flag == flagValid && old.Name == rec.Name:
 			// Late/re-registration supersede: a record for the same name
 			// replaces the old one in place when it is newer — a later
 			// incarnation epoch, or a later segment generation within the
@@ -148,12 +157,12 @@ func (c *Clerk) addName(p *des.Proc, args any) (any, error) {
 				binary.BigEndian.PutUint32(reg[off:], flagEmpty)
 				packRecord(reg[off:], rec, flagEmpty)
 				binary.BigEndian.PutUint32(reg[off:], flagValid)
-				return nil, nil
+				return nil
 			}
 			if rec == old {
-				return nil, nil // idempotent re-registration of the same export
+				return nil // idempotent re-registration of the same export
 			}
-			return nil, ErrExists
+			return ErrExists
 		case flag == flagValid:
 			continue // collision: linear probe
 		default:
@@ -163,15 +172,40 @@ func (c *Clerk) addName(p *des.Proc, args any) (any, error) {
 			binary.BigEndian.PutUint32(reg[off:], flagEmpty)
 			packRecord(reg[off:], rec, flagEmpty)
 			binary.BigEndian.PutUint32(reg[off:], flagValid)
-			return nil, nil
+			return nil
 		}
 	}
-	return nil, ErrTableFull
+	return ErrTableFull
 }
+
+// ApplyRecord installs an arbitrary record — typically one agreed through
+// a replicated control-plane log, pointing at a segment on some other
+// machine — into this clerk's registry, with the same supersede rules as
+// a local registration. Replicated registries make any clerk able to
+// answer lookups for control-plane names, so the exporting machine's
+// clerk is no longer a single point of truth.
+func (c *Clerk) ApplyRecord(p *des.Proc, rec Record) error {
+	if err := validName(rec.Name); err != nil {
+		return err
+	}
+	if c.registry == nil {
+		return ErrNotReady
+	}
+	c.m.Node.UseCPU(p, cluster.CatProc, c.m.Node.P.HashInsert)
+	return c.insertRecord(rec)
+}
+
+// Ready reports whether the clerk's boot process has exported its
+// well-known segments; until then registrations and lookups return
+// ErrNotReady.
+func (c *Clerk) Ready() bool { return c.registry != nil }
 
 func (c *Clerk) deleteName(p *des.Proc, args any) (any, error) {
 	name := args.(string)
 	n := c.m.Node
+	if c.registry == nil {
+		return nil, ErrNotReady
+	}
 	n.UseCPU(p, cluster.CatClient, n.P.HashDelete)
 	reg := c.registry.Bytes()
 	b := c.hash(name)
@@ -197,6 +231,9 @@ func (c *Clerk) deleteName(p *des.Proc, args any) (any, error) {
 func (c *Clerk) lookupName(p *des.Proc, args any) (any, error) {
 	a := args.(lookupArgs)
 	n := c.m.Node
+	if c.registry == nil {
+		return nil, ErrNotReady
+	}
 	n.UseCPU(p, cluster.CatClient, n.P.HashLookup)
 
 	if !a.force {
@@ -256,9 +293,15 @@ func (c *Clerk) remoteLookup(p *des.Proc, name string, hint int) (Record, error)
 	if c.fenced[hint] {
 		return Record{}, ErrPeerFenced
 	}
+	if c.reply == nil {
+		return Record{}, ErrNotReady // boot proc still exporting well-knowns
+	}
 	reg, ok := c.peerReg[hint]
 	if !ok {
-		return Record{}, fmt.Errorf("nameserver: no clerk known on node %d", hint)
+		// Peer imports are installed by the async boot process; a missing
+		// entry is a boot-order race unless the hint is simply wrong.
+		// Either way the caller can meaningfully retry, so wrap ErrNotReady.
+		return Record{}, fmt.Errorf("nameserver: no clerk known on node %d: %w", hint, ErrNotReady)
 	}
 	probeBudget := c.cfg.Buckets
 	switch c.cfg.Policy {

@@ -98,6 +98,12 @@ var (
 	// has declared dead; the caller should wait for a rebind instead of
 	// burning a timeout against a machine known to be down.
 	ErrPeerFenced = errors.New("nameserver: peer is fenced (declared dead)")
+	// ErrNotReady reports an operation issued before the clerk's boot
+	// process has exported its well-known segments. Boot is asynchronous
+	// (clerks spawn at machine start), so early callers see this instead
+	// of a crash and should retry with capped backoff rather than assume
+	// the name service always boots first.
+	ErrNotReady = errors.New("nameserver: clerk still booting")
 )
 
 // LookupPolicy selects how a clerk resolves a remote probe miss (§4.2's

@@ -1,0 +1,112 @@
+package nameserver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// TestGenerationSupersedeUnderConcurrentRegister: two registrant
+// processes race re-registrations of the same name with interleaved
+// epochs and generations (the shard tier re-publishing "dfs.ring", and a
+// replicated control-plane log applying records out of arrival order).
+// Whatever the interleaving, the registry must converge on the newest
+// record — highest epoch, then highest generation — and never let a
+// stale record overwrite a newer one.
+func TestGenerationSupersedeUnderConcurrentRegister(t *testing.T) {
+	env, ms, clerks := testCluster(t, 2, Config{})
+	const name = "dfs.ring"
+	runAfterBoot(t, env, func(p *des.Proc) {
+		// Seed: a local registration at the clerk's current incarnation.
+		seg1, err := clerks[0].Export(p, name, 128, rmem.RightsAll)
+		if err != nil {
+			t.Fatalf("seed export: %v", err)
+		}
+		baseEpoch := ms[0].Incarnation()
+
+		// Registrant A: re-publishes the name under fresh exports (same
+		// epoch, rising generations) — the cutover re-publication path. A
+		// round that lands after B's future-epoch record is stale and gets
+		// ErrExists; any other failure is a bug. At least one round runs
+		// before B (exports cost ~hundreds of µs, B waits 3 ms).
+		done := 0
+		supersedes, staleLosses := 0, 0
+		env.Spawn("registrantA", func(pa *des.Proc) {
+			defer func() { done++ }()
+			for k := 0; k < 3; k++ {
+				segA := ms[0].Export(pa, 128)
+				segA.SetDefaultRights(rmem.RightRead)
+				switch err := clerks[0].Register(pa, name, segA); {
+				case err == nil:
+					supersedes++
+				case errors.Is(err, ErrExists):
+					staleLosses++
+				default:
+					t.Errorf("registrant A round %d: %v", k, err)
+					return
+				}
+				pa.Sleep(30 * time.Microsecond)
+			}
+		})
+		// Registrant B: applies replicated records with interleaved epochs
+		// — one from the future (baseEpoch+1) and then a straggler from the
+		// past that must be rejected, not installed.
+		newer := Record{Name: name, Node: 1, Seg: 0x0777, Gen: 1, Epoch: baseEpoch + 1, Size: 64}
+		env.Spawn("registrantB", func(pb *des.Proc) {
+			defer func() { done++ }()
+			pb.Sleep(3 * time.Millisecond)
+			if err := clerks[0].ApplyRecord(pb, newer); err != nil {
+				t.Errorf("apply newer-epoch record: %v", err)
+				return
+			}
+			stale := Record{Name: name, Node: 0, Seg: seg1.ID(), Gen: seg1.Gen(), Epoch: baseEpoch, Size: 128}
+			if err := clerks[0].ApplyRecord(pb, stale); !errors.Is(err, ErrExists) {
+				t.Errorf("stale-epoch record: err=%v, want ErrExists", err)
+			}
+		})
+		for done < 2 {
+			p.Sleep(100 * time.Microsecond)
+		}
+		if supersedes == 0 {
+			t.Fatalf("no generation supersede exercised (A lost every round: %d stale)", staleLosses)
+		}
+
+		// The newest epoch won, regardless of interleaving.
+		rec, ok := clerks[0].localLookup(name)
+		if !ok {
+			t.Fatalf("name vanished from registry")
+		}
+		if rec.Epoch != baseEpoch+1 || rec.Seg != 0x0777 {
+			t.Fatalf("registry holds %+v, want the epoch-%d record", rec, baseEpoch+1)
+		}
+
+		// With B's future-epoch record in place, A's same-epoch
+		// re-registration is stale and must be refused.
+		seg := ms[0].Export(p, 128)
+		if err := clerks[0].Register(p, name, seg); !errors.Is(err, ErrExists) {
+			t.Fatalf("same-epoch re-register after supersede: err=%v, want ErrExists", err)
+		}
+
+		// Within one epoch, generation decides: re-applying the winning
+		// record is idempotent, and a doctored lower generation loses.
+		if err := clerks[0].ApplyRecord(p, newer); err != nil {
+			t.Fatalf("idempotent re-apply: %v", err)
+		}
+		bumped := newer
+		bumped.Gen++
+		if err := clerks[0].ApplyRecord(p, bumped); err != nil {
+			t.Fatalf("gen-bumped record: %v", err)
+		}
+		lower := newer
+		lower.Seg = 0x0778
+		if err := clerks[0].ApplyRecord(p, lower); !errors.Is(err, ErrExists) {
+			t.Fatalf("lower-gen record: err=%v, want ErrExists", err)
+		}
+		if rec, _ := clerks[0].localLookup(name); rec.Gen != bumped.Gen {
+			t.Fatalf("registry holds gen %d, want %d", rec.Gen, bumped.Gen)
+		}
+	})
+}

@@ -74,6 +74,16 @@ type Step struct {
 	Run  func(p *des.Proc) error
 }
 
+// VerdictLog replicates fencing decisions through an agreed log (the
+// consensus control plane implements it). When a coordinator carries one,
+// a watchdog verdict is proposed as a fence decree — every replica
+// applies it, so failover no longer depends on a single watchdog's
+// opinion — and the matching unfence decree closes the repair.
+type VerdictLog interface {
+	ProposeFence(p *des.Proc, peer int) error
+	ProposeUnfence(p *des.Proc, peer int) error
+}
+
 // Coordinator watches one peer and repairs its failure.
 type Coordinator struct {
 	m    *rmem.Manager
@@ -83,6 +93,7 @@ type Coordinator struct {
 	names []*nameserver.Clerk
 	steps []Step
 	watch *rmem.Watchdog
+	vlog  VerdictLog
 
 	restored bool
 	failed   bool
@@ -108,6 +119,13 @@ func New(m *rmem.Manager, peer int, cfg Config) *Coordinator {
 func (c *Coordinator) FenceNames(clerks ...*nameserver.Clerk) {
 	c.names = append(c.names, clerks...)
 }
+
+// ReplicateVerdicts routes this coordinator's fence/unfence decisions
+// through vl in addition to the locally registered clerks. Proposal
+// failures (log majority down) degrade to local-only fencing rather than
+// stalling the repair: availability of the data plane must not hinge on
+// the control plane mid-outage.
+func (c *Coordinator) ReplicateVerdicts(vl VerdictLog) { c.vlog = vl }
 
 // OnFailover appends a repair step. Steps run in registration order — a
 // dfs deployment registers standby takeover before clerk rebind.
@@ -141,6 +159,13 @@ func (c *Coordinator) failover(p *des.Proc, verdict error) {
 	for _, ns := range c.names {
 		ns.FencePeer(c.peer)
 	}
+	if c.vlog != nil {
+		if err := c.vlog.ProposeFence(p, c.peer); err != nil {
+			c.m.Node.Faults = append(c.m.Node.Faults,
+				fmt.Errorf("recovery: node %d: fence decree for peer %d not replicated: %w",
+					c.m.Node.ID, c.peer, err))
+		}
+	}
 	for _, step := range c.steps {
 		if err := c.runStep(p, step); err != nil {
 			// The outage persists; leave the peer fenced and report the
@@ -153,6 +178,13 @@ func (c *Coordinator) failover(p *des.Proc, verdict error) {
 	}
 	for _, ns := range c.names {
 		ns.UnfencePeer(c.peer)
+	}
+	if c.vlog != nil {
+		if err := c.vlog.ProposeUnfence(p, c.peer); err != nil {
+			c.m.Node.Faults = append(c.m.Node.Faults,
+				fmt.Errorf("recovery: node %d: unfence decree for peer %d not replicated: %w",
+					c.m.Node.ID, c.peer, err))
+		}
 	}
 	c.RestoredAt = env.Now()
 	c.restored = true

@@ -143,3 +143,25 @@ func (s *Segment) WriteWord(p *des.Proc, off int, v uint32) {
 	s.localAccessCost(p, 4)
 	putbe32(s.buf[off:], v)
 }
+
+// CASLocal atomically compares-and-swaps the big-endian word at off against
+// the segment owner's own memory, returning whether the swap took. It is
+// the local half of the CAS meta-instruction: §3.1.2's atomicity of
+// single-word local accesses with respect to remote accesses extends to a
+// local read-modify-write, provided the access cost is charged up front —
+// the simulation kernel serializes memory operations, and after the CPU
+// charge returns there is no blocking point between the compare and the
+// swap. A co-located client (a consensus proposer sharing a machine with
+// an acceptor, say) uses this instead of routing a CAS through its own
+// network interface.
+func (s *Segment) CASLocal(p *des.Proc, off int, old, new uint32) bool {
+	if off%4 != 0 {
+		panic(ErrUnaligned)
+	}
+	s.localAccessCost(p, 4)
+	if be32(s.buf[off:]) != old {
+		return false
+	}
+	putbe32(s.buf[off:], new)
+	return true
+}

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/model"
+	"netmem/internal/nameserver"
+	"netmem/internal/rmem"
+)
+
+// TestResolveRingBeforeClerkBoot: a client machine whose name-service
+// clerk was constructed but whose async boot process has not yet exported
+// its well-known segments can still call ResolveRing — the capped-backoff
+// retry absorbs ErrNotReady instead of surfacing it. This replaces the
+// old boot-order assumption (every clerk fully booted before the tier is
+// used) with an explicit retry window.
+func TestResolveRingBeforeClerkBoot(t *testing.T) {
+	env := des.NewEnv()
+	cl := cluster.New(env, &model.Default, 4)
+	var mgrs []*rmem.Manager
+	for i := 0; i < 4; i++ {
+		mgrs = append(mgrs, rmem.NewManager(cl.Nodes[i]))
+	}
+	var bootErr error
+	env.Spawn("setup", func(p *des.Proc) {
+		peers := []int{0, 1, 2, 3}
+		var names []*nameserver.Clerk
+		for i := 0; i < 3; i++ {
+			names = append(names, nameserver.New(mgrs[i], peers, nameserver.Config{}))
+		}
+		// Well-known registry segments must be each service node's first
+		// exports; give those boot processes their head start.
+		p.Sleep(time.Millisecond)
+		svc := NewService(p, mgrs[:3], 4, dfs.Geometry{})
+		if err := svc.RegisterNames(p, names[:3]); err != nil {
+			bootErr = fmt.Errorf("register: %w", err)
+			return
+		}
+		// Node 3's clerk is created only now: its boot process has not run
+		// yet, so a non-retrying resolve would see ErrNotReady here.
+		names = append(names, nameserver.New(mgrs[3], peers, nameserver.Config{}))
+		if names[3].Ready() {
+			bootErr = errors.New("test rig stale: clerk 3 already booted, race not exercised")
+			return
+		}
+		ring, epoch, nodes, err := ResolveRing(p, mgrs[3], names[3], 0)
+		if err != nil {
+			bootErr = fmt.Errorf("resolve through booting clerk: %w", err)
+			return
+		}
+		if epoch == 0 || ring.Size() != 3 || len(nodes) != 3 {
+			bootErr = fmt.Errorf("resolved ring wrong: size=%d epoch=%d nodes=%v", ring.Size(), epoch, nodes)
+		}
+	})
+	if err := env.RunUntil(des.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if bootErr != nil {
+		t.Fatal(bootErr)
+	}
+}
+
+// TestAwaitNSBackoff pins the retry classifier: sentinels retry until the
+// deadline, anything else returns immediately.
+func TestAwaitNSBackoff(t *testing.T) {
+	env := des.NewEnv()
+	boom := errors.New("boom")
+	env.Spawn("run", func(p *des.Proc) {
+		// Transient ErrNotReady clears after a few attempts.
+		calls := 0
+		err := awaitNS(p, 10*time.Millisecond, func() error {
+			if calls++; calls < 4 {
+				return nameserver.ErrNotReady
+			}
+			return nil
+		})
+		if err != nil || calls != 4 {
+			t.Errorf("transient not-ready: err=%v calls=%d", err, calls)
+		}
+		// ErrNotFound (name not yet published) is also retried.
+		calls = 0
+		err = awaitNS(p, 10*time.Millisecond, func() error {
+			if calls++; calls < 3 {
+				return fmt.Errorf("lookup: %w", nameserver.ErrNotFound)
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Errorf("transient not-found: err=%v calls=%d", err, calls)
+		}
+		// A sentinel still standing at the deadline surfaces.
+		start := p.Now()
+		err = awaitNS(p, 3*time.Millisecond, func() error { return nameserver.ErrNotReady })
+		if !errors.Is(err, nameserver.ErrNotReady) {
+			t.Errorf("deadline: err=%v, want ErrNotReady", err)
+		}
+		if waited := p.Now().Sub(start); waited > 4*time.Millisecond {
+			t.Errorf("deadline overshot: waited %v", waited)
+		}
+		// Non-sentinel errors pass straight through.
+		calls = 0
+		err = awaitNS(p, 10*time.Millisecond, func() error { calls++; return boom })
+		if !errors.Is(err, boom) || calls != 1 {
+			t.Errorf("hard error: err=%v calls=%d", err, calls)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/consensus"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/model"
+	"netmem/internal/nameserver"
+	"netmem/internal/rmem"
+)
+
+// TestCutoverCommitsMembershipThroughLog wires the shard tier's control
+// mutations through a real consensus control plane (ReplicateControl with
+// a consensus.Client) and drives a live AddShard cutover: the ring
+// publication must land as replicated registry records and each epoch
+// bump as a membership decree that every control-plane replica applies in
+// the same order. Any replica can then resolve the ring after the
+// publishing machine is gone — the single-point-of-truth gap the log
+// exists to close.
+func TestCutoverCommitsMembershipThroughLog(t *testing.T) {
+	// Nodes 0,1 founding shards; 2 the joiner; 3 the shard clerk (and the
+	// consensus client's machine); 4,5,6 acceptors + replicas.
+	const (
+		nodes     = 7
+		joiner    = 2
+		clerkNode = 3
+		firstRep  = 4
+		replicas  = 3
+	)
+	env := des.NewEnv()
+	env.Seed(1)
+	cl := cluster.New(env, &model.Default, nodes)
+	mgrs := make([]*rmem.Manager, nodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+
+	var (
+		svc  *Service
+		cp   *consensus.ControlPlane
+		errs []error
+	)
+	ns := make([]*nameserver.Clerk, nodes)
+	env.Spawn("setup", func(p *des.Proc) {
+		// Name clerks boot first on every node that exports after them:
+		// their well-known registry segments must be each node's first
+		// exports.
+		peers := []int{0, 1, joiner, firstRep, firstRep + 1, firstRep + 2}
+		for _, n := range peers {
+			ns[n] = nameserver.New(mgrs[n], peers, nameserver.Config{})
+		}
+		p.Sleep(time.Millisecond)
+
+		g := consensus.NewGroup(p,
+			consensus.Config{Acceptors: replicas, Proposers: replicas + 1, Slots: 256},
+			mgrs[firstRep:firstRep+replicas]...)
+		cp = consensus.NewControlPlane(p, g, ns[firstRep:firstRep+replicas])
+		if err := cp.Start(p); err != nil {
+			errs = append(errs, err)
+			return
+		}
+
+		svc = NewService(p, mgrs[:2], nodes, dfs.Geometry{})
+		NewClerk(p, mgrs[clerkNode], svc, dfs.DX)
+		svc.ReplicateControl(cp.NewClient(p, mgrs[clerkNode]))
+		if err := svc.RegisterNames(p, ns); err != nil {
+			errs = append(errs, err)
+		}
+	})
+	if err := env.RunUntil(des.Time(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range errs {
+		t.Fatal(err)
+	}
+
+	memberships := func(r *consensus.Replica) []consensus.Command {
+		var out []consensus.Command
+		for _, cmd := range r.Log() {
+			if cmd.Kind == consensus.KindMembership {
+				out = append(out, cmd)
+			}
+		}
+		return out
+	}
+
+	env.Spawn("test", func(p *des.Proc) {
+		if _, err := svc.AddShard(p, mgrs[joiner]); err != nil {
+			t.Errorf("AddShard: %v", err)
+			return
+		}
+		_, epoch := svc.Membership().Current()
+		wantBlob := svc.ringBlob()
+
+		// Two membership decrees are in flight per replica: the boot
+		// publication and the cutover's epoch bump. The lease stream keeps
+		// appending behind them, so poll by kind, not by log length.
+		deadline := p.Now().Add(des.Duration(500 * time.Millisecond))
+		for _, r := range cp.Replicas() {
+			for len(memberships(r)) < 2 {
+				if p.Now() > deadline {
+					t.Errorf("replica %d applied %d membership decree(s), want 2",
+						r.Idx(), len(memberships(r)))
+					return
+				}
+				p.Sleep(200 * time.Microsecond)
+			}
+		}
+
+		var ref []consensus.Command
+		for i, r := range cp.Replicas() {
+			ms := memberships(r)
+			if len(ms) != 2 {
+				t.Errorf("replica %d: %d membership decrees, want 2", i, len(ms))
+				continue
+			}
+			if ms[0].Epoch >= ms[1].Epoch {
+				t.Errorf("replica %d: epochs not increasing: %d then %d", i, ms[0].Epoch, ms[1].Epoch)
+			}
+			if ms[1].Epoch != uint32(epoch) {
+				t.Errorf("replica %d: last decree epoch %d, want committed epoch %d", i, ms[1].Epoch, epoch)
+			}
+			if !bytes.Equal(ms[1].Blob, wantBlob) {
+				t.Errorf("replica %d: decree ring blob differs from the committed ring", i)
+			}
+			if i == 0 {
+				ref = ms
+			} else {
+				for j := range ms {
+					if ms[j].Epoch != ref[j].Epoch || !bytes.Equal(ms[j].Blob, ref[j].Blob) {
+						t.Errorf("replica %d membership decree %d diverges from replica 0", i, j)
+					}
+				}
+			}
+			// The registry records rode the same log: this replica's own
+			// clerk resolves the ring record without asking anyone.
+			rec, err := r.Clerk().Lookup(p, ringName, -1, false)
+			if err != nil {
+				t.Errorf("replica %d: resolve %q: %v", i, ringName, err)
+			} else if int(rec.Node) != mgrs[0].Node.ID {
+				t.Errorf("replica %d: ring record on node %d, want %d", i, rec.Node, mgrs[0].Node.ID)
+			}
+		}
+		if svc.ControlLogErrors != 0 {
+			t.Errorf("control-log errors: %d, want 0", svc.ControlLogErrors)
+		}
+	})
+	if err := env.RunUntil(des.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,6 +13,16 @@ import (
 	"netmem/internal/recovery"
 	"netmem/internal/rmem"
 )
+
+// ControlLog replicates control-plane mutations through an agreed log
+// (consensus.Client satisfies it): ring publications become replicated
+// registry records and membership epoch bumps become decrees every
+// control-plane replica applies. The interface lives here so the shard
+// tier does not import the consensus package directly.
+type ControlLog interface {
+	RegisterName(p *des.Proc, rec nameserver.Record) error
+	ProposeMembership(p *des.Proc, epoch uint32, blob []byte) error
+}
 
 // Service is the sharded file tier: dfs.Server instances, one per live
 // slot, all over one shared file store (the Calypso shared-disk shape §5.1
@@ -42,11 +53,17 @@ type Service struct {
 	names    []*nameserver.Clerk
 	ringHost *rmem.Manager
 	ringSeg  *rmem.Segment
+	clog     ControlLog
 
 	// Elasticity stats.
 	Cutovers        int64 // committed membership changes
 	MigratedBuckets int64 // dirty buckets pushed donor→owner (one-sided)
 	EvictedBuckets  int64 // clean moved residents evicted (re-warm from store)
+
+	// ControlLogErrors counts control-plane proposals that failed; the
+	// data plane keeps running on the locally published state (the control
+	// plane must never be able to take the file tier down with it).
+	ControlLogErrors int64
 }
 
 // NewService builds one shard server per manager (each on its own node)
@@ -263,6 +280,13 @@ func (s *Service) cutover(p *des.Proc, next *Ring) error {
 		if err := s.RegisterNames(p, s.names); err != nil {
 			return err
 		}
+	} else if s.clog != nil {
+		// No name service attached, but the epoch bump is still an agreed
+		// decree: replicas track the membership sequence either way.
+		_, epoch := s.mb.Current()
+		if err := s.clog.ProposeMembership(p, uint32(epoch), s.ringBlob()); err != nil {
+			s.ControlLogErrors++
+		}
 	}
 	return nil
 }
@@ -359,19 +383,12 @@ func (s *Service) RegisterNames(p *des.Proc, names []*nameserver.Clerk) error {
 	s.names = names
 	ring, epoch := s.mb.Current()
 	members := ring.Members()
-	blob := make([]byte, 12+8*len(members))
-	binary.BigEndian.PutUint32(blob[0:], uint32(ring.vnodes))
-	binary.BigEndian.PutUint32(blob[4:], uint32(len(members)))
-	binary.BigEndian.PutUint32(blob[8:], uint32(epoch))
-	for i, slot := range members {
-		binary.BigEndian.PutUint32(blob[12+8*i:], uint32(slot))
-		binary.BigEndian.PutUint32(blob[16+8*i:], uint32(s.NodeOf(slot)))
-	}
+	blob := s.ringBlob()
 	oldSeg := s.ringSeg
 	s.ringSeg = s.ringHost.Export(p, len(blob))
 	s.ringSeg.SetDefaultRights(rmem.RightRead)
 	copy(s.ringSeg.Bytes(), blob)
-	if err := names[s.ringHost.Node.ID].Register(p, ringName, s.ringSeg); err != nil {
+	if err := s.registerRetry(p, names[s.ringHost.Node.ID], ringName, s.ringSeg); err != nil {
 		return err
 	}
 	if oldSeg != nil {
@@ -384,11 +401,108 @@ func (s *Service) RegisterNames(p *des.Proc, names []*nameserver.Clerk) error {
 		if !ok {
 			return fmt.Errorf("shard: shard %d request segment %d not found", slot, id)
 		}
-		if err := names[m.Node.ID].Register(p, shardName(slot), seg); err != nil {
+		if err := s.registerRetry(p, names[m.Node.ID], shardName(slot), seg); err != nil {
 			return err
 		}
 	}
+	if s.clog != nil {
+		s.replicateNames(p, uint32(epoch), blob, members)
+	}
 	return nil
+}
+
+// ringBlob packs the current membership for publication: vnode count,
+// member count, epoch, then every (slot, node) pair.
+func (s *Service) ringBlob() []byte {
+	ring, epoch := s.mb.Current()
+	members := ring.Members()
+	blob := make([]byte, 12+8*len(members))
+	binary.BigEndian.PutUint32(blob[0:], uint32(ring.vnodes))
+	binary.BigEndian.PutUint32(blob[4:], uint32(len(members)))
+	binary.BigEndian.PutUint32(blob[8:], uint32(epoch))
+	for i, slot := range members {
+		binary.BigEndian.PutUint32(blob[12+8*i:], uint32(slot))
+		binary.BigEndian.PutUint32(blob[16+8*i:], uint32(s.NodeOf(slot)))
+	}
+	return blob
+}
+
+// ReplicateControl routes ring publications and membership commits
+// through cl (an agreed log) in addition to the local name service:
+// every control-plane replica then carries the ring record and the
+// membership epoch sequence, so any of them can answer a resolve after
+// the publishing machine crashes.
+func (s *Service) ReplicateControl(cl ControlLog) { s.clog = cl }
+
+// replicateNames commits the tier's registry records and the membership
+// blob through the control log. Failures degrade to local-only
+// publication — the data plane must not hinge on control-plane liveness.
+func (s *Service) replicateNames(p *des.Proc, epoch uint32, blob []byte, members []int) {
+	recs := []nameserver.Record{{
+		Name: ringName, Node: s.ringHost.Node.ID, Seg: s.ringSeg.ID(),
+		Gen: s.ringSeg.Gen(), Epoch: s.ringHost.Incarnation(), Size: s.ringSeg.Size(),
+	}}
+	for _, slot := range members {
+		m := s.mgrs[slot]
+		id, _, _ := s.Shards[slot].ReqChannel()
+		if seg, ok := m.Lookup(id); ok {
+			recs = append(recs, nameserver.Record{
+				Name: shardName(slot), Node: m.Node.ID, Seg: seg.ID(),
+				Gen: seg.Gen(), Epoch: m.Incarnation(), Size: seg.Size(),
+			})
+		}
+	}
+	for _, rec := range recs {
+		if err := s.clog.RegisterName(p, rec); err != nil {
+			s.ControlLogErrors++
+		}
+	}
+	if err := s.clog.ProposeMembership(p, epoch, blob); err != nil {
+		s.ControlLogErrors++
+	}
+	if s.ControlLogErrors > 0 {
+		if tr := s.ringHost.Node.Env.Tracer(); tr != nil {
+			tr.Count("shard.clog.errors", 1)
+		}
+	}
+}
+
+// registerRetry registers seg under name, absorbing the boot-order race:
+// clerks export their well-known segments from an async boot process, so
+// a registration issued right after construction can observe ErrNotReady.
+// Capped backoff up to nsBootDeadline replaces the old assumption that
+// the name service always exports first.
+func (s *Service) registerRetry(p *des.Proc, c *nameserver.Clerk, name string, seg *rmem.Segment) error {
+	return awaitNS(p, nsBootDeadline, func() error { return c.Register(p, name, seg) })
+}
+
+// nsBootDeadline bounds how long boot-order retries wait for the name
+// service; a clerk that has not exported its registry by then is broken,
+// not slow.
+const nsBootDeadline = 250 * time.Millisecond
+
+// awaitNS retries fn while it reports the name service as still booting
+// (ErrNotReady) or the target name as not yet published (ErrNotFound),
+// with capped exponential backoff, until deadline has elapsed. Any other
+// error — and either sentinel still standing at the deadline — is
+// returned to the caller.
+func awaitNS(p *des.Proc, deadline des.Duration, fn func() error) error {
+	limit := p.Now().Add(deadline)
+	back := des.Duration(50 * time.Microsecond)
+	for {
+		err := fn()
+		if err == nil ||
+			(!errors.Is(err, nameserver.ErrNotReady) && !errors.Is(err, nameserver.ErrNotFound)) {
+			return err
+		}
+		if p.Now().Add(back) > limit {
+			return err
+		}
+		p.Sleep(back)
+		if back *= 2; back > des.Duration(2*time.Millisecond) {
+			back = des.Duration(2 * time.Millisecond)
+		}
+	}
 }
 
 // ResolveRing reads the registered membership blob through ns (with a
@@ -400,7 +514,15 @@ func (s *Service) RegisterNames(p *des.Proc, names []*nameserver.Clerk) error {
 // blob). Resolution forces a fresh lookup so an epoch bump's superseding
 // record is observed rather than a stale cached generation.
 func ResolveRing(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hint int) (*Ring, Epoch, map[int]int, error) {
-	imp, err := ns.Import(p, ringName, hint, true)
+	var imp *rmem.Import
+	// Absorb the boot-order race symmetrically with registerRetry: the
+	// clerk's own boot process may still be exporting its well-knowns, and
+	// the tier may not have published the blob yet.
+	err := awaitNS(p, nsBootDeadline, func() error {
+		var ierr error
+		imp, ierr = ns.Import(p, ringName, hint, true)
+		return ierr
+	})
 	if err != nil {
 		return nil, 0, nil, err
 	}

@@ -40,6 +40,7 @@ import (
 
 	"netmem/internal/atm"
 	"netmem/internal/cluster"
+	"netmem/internal/consensus"
 	"netmem/internal/des"
 	"netmem/internal/dfs"
 	"netmem/internal/faults"
@@ -198,6 +199,34 @@ var (
 	// NewShardRing builds a standalone placement ring (n shards, vnodes
 	// virtual points per shard).
 	NewShardRing = shard.NewRing
+)
+
+// Consensus-replicated control plane: a Paxos-style log whose acceptor
+// state lives in rmem segments, driven entirely by one-sided READ/CAS/
+// WRITE — the agreement path costs the acceptor machines no CPU beyond
+// the kernel receive path.
+type (
+	// ConsensusConfig sizes a consensus group (acceptors, proposer lanes,
+	// log slots, payload, lease cadence).
+	ConsensusConfig = consensus.Config
+	// ConsensusGroup is one consensus cell: the config plus its acceptors.
+	ConsensusGroup = consensus.Group
+	// ConsensusAcceptor is one exported acceptor segment (it runs no
+	// protocol code).
+	ConsensusAcceptor = consensus.Acceptor
+	// ConsensusProposer drives the agreement protocol for one ballot lane.
+	ConsensusProposer = consensus.Proposer
+	// ControlPlane is the replicated control plane over the log: one
+	// state-machine replica per acceptor, applying registry, fencing,
+	// lease, and membership decrees in log order.
+	ControlPlane = consensus.ControlPlane
+	// ControlReplica is one control-plane state machine.
+	ControlReplica = consensus.Replica
+	// ControlClient proposes control-plane decrees from a non-replica
+	// machine; it satisfies the shard tier's ControlLog hook.
+	ControlClient = consensus.Client
+	// ControlCommand is one decoded control-plane decree.
+	ControlCommand = consensus.Command
 )
 
 // Security (§3.5), fault tolerance (§3.7), and the SVM comparison (§6).
@@ -577,6 +606,64 @@ func (sh ShardsAPI) Elastic(svc *ShardService, pool []int, cfg ShardManagerConfi
 		mgrs[i] = sh.sys.Mem[n]
 	}
 	return shard.NewManager(svc, mgrs, cfg)
+}
+
+// ConsensusAPI builds the Paxos-on-CAS replicated log and the control
+// plane over it. Obtain one with System.Consensus.
+type ConsensusAPI struct{ sys *System }
+
+// Consensus returns the replicated-control-plane builder.
+func (s *System) Consensus() ConsensusAPI { return ConsensusAPI{s} }
+
+// Group exports one acceptor per listed node and returns the wired cell;
+// call from a Proc. With no nodes given, nodes 0..cfg.Acceptors-1 host
+// the acceptors.
+func (c ConsensusAPI) Group(p *Proc, cfg ConsensusConfig, nodes ...int) *ConsensusGroup {
+	if len(nodes) == 0 {
+		n := cfg.Acceptors
+		if n <= 0 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, i)
+		}
+	}
+	mgrs := make([]*Manager, len(nodes))
+	for i, n := range nodes {
+		mgrs[i] = c.sys.Mem[n]
+	}
+	return consensus.NewGroup(p, cfg, mgrs...)
+}
+
+// Proposer wires ballot lane's proposer on node to g; call from a Proc.
+// Use this for raw log access; ControlPlane and Client cover the common
+// cases.
+func (c ConsensusAPI) Proposer(p *Proc, node, lane int, g *ConsensusGroup) *ConsensusProposer {
+	return consensus.NewProposer(p, c.sys.Mem[node], lane, g)
+}
+
+// ControlPlane builds one state-machine replica per acceptor of g. When
+// the system was built WithNameService, each replica applies registry and
+// fencing decrees to the name clerk on its acceptor's node — so any
+// surviving replica can answer lookups after another's machine dies. Call
+// from a Proc, then Start the plane to seat the first lease.
+func (c ConsensusAPI) ControlPlane(p *Proc, g *ConsensusGroup) *ControlPlane {
+	var clerks []*NameClerk
+	if c.sys.Names != nil {
+		clerks = make([]*NameClerk, len(g.Accs))
+		for i, a := range g.Accs {
+			clerks[i] = c.sys.Names[a.Node()]
+		}
+	}
+	return consensus.NewControlPlane(p, g, clerks)
+}
+
+// Client allocates the next free proposer lane for a machine that is not
+// a replica; call from a Proc. The client satisfies the shard tier's
+// ControlLog hook (ShardService.ReplicateControl) and the recovery
+// coordinator's VerdictLog.
+func (c ConsensusAPI) Client(p *Proc, node int, cp *ControlPlane) *ControlClient {
+	return cp.NewClient(p, c.sys.Mem[node])
 }
 
 // HealthAPI builds the §3.7 failure-detection and recovery stack:

@@ -249,3 +249,40 @@ func TestDeprecatedConstructorsDelegate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeConsensus(t *testing.T) {
+	sys := New(4, WithNameService(NameConfig{}))
+	sys.Spawn("demo", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond) // clerks boot
+		g := sys.Consensus().Group(p, ConsensusConfig{Acceptors: 3})
+		cp := sys.Consensus().ControlPlane(p, g)
+		if err := cp.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		cli := sys.Consensus().Client(p, 3, cp)
+		rec := NameRecord{Name: "svc.replicated", Node: 3, Seg: 7, Gen: 1, Epoch: 1, Size: 256}
+		if err := cli.RegisterName(p, rec); err != nil {
+			t.Error(err)
+			return
+		}
+		// The decree reaches every replica; each replica's name clerk can
+		// answer the lookup locally.
+		for _, r := range cp.Replicas() {
+			if err := r.AwaitApplied(p, 2, time.Second); err != nil {
+				t.Errorf("replica %d: %v", r.Idx(), err)
+				return
+			}
+			got, err := r.Clerk().Lookup(p, "svc.replicated", -1, false)
+			if err != nil || got.Seg != 7 || got.Node != 3 {
+				t.Errorf("replica %d lookup: rec=%+v err=%v", r.Idx(), got, err)
+			}
+		}
+		if cp.Leader() != 0 {
+			t.Errorf("leader = %d, want 0", cp.Leader())
+		}
+	})
+	if err := sys.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
