@@ -64,7 +64,13 @@ func main() {
 	shards := flag.Int("shards", 0, "sharded-tier sweep up to this many shards (with -chaos: shard count for the campaign)")
 	elastic := flag.Bool("elastic", false, "elastic fleet sweep: 2→8→2 shards under sustained Table 1a load")
 	consensusLeg := flag.Bool("consensus", false, "control-plane chaos leg: the mix runs while a campaign kills a consensus replica (default campaign: leadercrash; override with -chaos NAME)")
+	compaction := flag.Int("compaction", 0, "compaction soak: commit this many decrees through a compacting 64-slot control plane and audit the snapshot replay")
 	flag.Parse()
+
+	if *compaction > 0 {
+		runCompaction(*compaction, *seed, *metrics)
+		return
+	}
 
 	if *consensusLeg {
 		runConsensusChaos(*chaos, *seed, *metrics)
@@ -289,6 +295,12 @@ func runChaos(name string, seed int64, metrics bool, shards int) {
 				res.Strays, res.Repaired)
 			continue
 		}
+		if len(camp.Partitions) > 0 {
+			// Partition campaigns need the split-brain rig: a quorum of
+			// control replicas to fence through, plus a standby to promote.
+			runSplitBrain(camp, seed, metrics)
+			continue
+		}
 		res, err := dfs.RunChaos(dfs.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fsbench:", err)
@@ -296,6 +308,86 @@ func runChaos(name string, seed int64, metrics bool, shards int) {
 		}
 		printChaos(res, metrics)
 	}
+}
+
+// runSplitBrain runs a partition campaign on the quorum-fenced failover
+// rig: the watchdog verdict is only a proposal, takeover waits for the
+// fence decree to commit, and the audit proves exactly one writer
+// survived the split.
+func runSplitBrain(camp faults.Campaign, seed int64, metrics bool) {
+	res, err := consensus.RunSplitBrain(consensus.SplitBrainConfig{Campaign: camp, Seed: seed, Mode: dfs.DX})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Split-brain rig: 3 control replicas, primary + fenced standby, quorum-gated takeover")
+	fmt.Printf("Chaos campaign %q (seed %d, %s, reliability on)\n\n", res.Campaign, res.Seed, res.Mode)
+	t := stats.NewTable("Operation", "Fault-free", "Under campaign", "Slowdown", "Result")
+	for _, op := range res.Ops {
+		status := "ok"
+		if !op.OK {
+			status = "FAILED: " + op.Err
+		}
+		chaosLat := stats.Ms(op.Chaos)
+		slow := fmt.Sprintf("%.2fx", op.Degradation())
+		if !op.OK {
+			chaosLat, slow = "-", "-"
+		}
+		t.Add(op.Label, stats.Ms(op.Baseline), chaosLat, slow, status)
+	}
+	fmt.Println(t)
+	fmt.Printf("goodput %d/%d ops byte-correct (%.0f%%); retries %d, giveups %d\n",
+		res.Completed, len(res.Ops), res.Goodput()*100, res.Retries, res.Giveups)
+	fmt.Printf("fencing: decree committed %s after the verdict; takeover MTTR %s (gated on the quorum)\n",
+		stats.Ms(res.FenceLatency), stats.Ms(res.MTTR))
+	writer := "EXACTLY ONE WRITER"
+	if !res.OneWriter() {
+		writer = "SPLIT BRAIN (audit failed)"
+	}
+	deposed := "old lease deposed for good after the heal"
+	if !res.OldDeposed {
+		deposed = "OLD LEASE RECOVERED (audit failed)"
+	}
+	fmt.Printf("audit: %s — old primary frozen with %d refused write(s); %s\n",
+		writer, res.Denials, deposed)
+	if len(res.Injected) > 0 {
+		fmt.Print("injected:")
+		for _, kv := range res.Injected {
+			fmt.Print(" ", kv)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if metrics {
+		fmt.Print(res.Metrics.String())
+		fmt.Println()
+	}
+}
+
+// runCompaction is the log-compaction soak: many windows' worth of
+// decrees through a small slot window, then the snapshot-replay audit.
+func runCompaction(commits int, seed int64, metrics bool) {
+	const slots = 64
+	res, err := consensus.RunCompaction(slots, commits, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Compaction soak: %d decrees through a %d-slot window (seed %d)\n\n", res.Commits, res.Slots, seed)
+	fmt.Printf("applied %d decrees (%.1f windows), %d snapshot decree(s) retained, watermark at slot %d\n",
+		res.Applied, res.Windows(), res.Snapshots, res.SnapBase)
+	fmt.Printf("window %s (%.0f decrees/sec); %d simulator events\n",
+		stats.Ms(res.Window), float64(res.Commits)/res.Window.Seconds(), res.Events)
+	agree := "replicas agree byte-for-byte (logs, watermark, checkpoint)"
+	if !res.LogsAgree {
+		agree = "REPLICAS DIVERGED"
+	}
+	replay := fmt.Sprintf("checkpoint + suffix replays to the live digest %016x", res.Digest)
+	if !res.ReplayOK {
+		replay = "REPLAY DIGEST MISMATCH"
+	}
+	fmt.Printf("audit: %s; %s\n\n", agree, replay)
+	_ = metrics
 }
 
 // runConsensusChaos runs the control-plane chaos leg: the Figure 2 mix on
@@ -374,6 +466,9 @@ func describeCampaign(c faults.Campaign) string {
 	}
 	if len(c.Crashes) > 0 {
 		s += fmt.Sprintf(", %d crash(es)", len(c.Crashes))
+	}
+	if len(c.Partitions) > 0 {
+		s += fmt.Sprintf(", %d partition(s)", len(c.Partitions))
 	}
 	return s
 }

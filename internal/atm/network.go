@@ -177,6 +177,11 @@ func (cp *cellPump) deliver() {
 		cp.next()
 		return
 	}
+	if cp.eng.PartitionDrop(cp.cur.VCI.Src(), cp.cur.VCI.Dst()) {
+		cp.droppedFn()
+		cp.next()
+		return
+	}
 	var dropped bool
 	cp.held, dropped = applyVerdict(cp.eng, cp.name, cp.held, cp.cur, cp.stageFn)
 	if dropped {

@@ -52,7 +52,9 @@ func (a *Acceptor) OnLearn(fn func(p *des.Proc, slot int)) { a.onLearn = fn }
 
 // Learned reads slot's learned cell from local memory, returning the
 // chosen ballot (0 if the slot is still open) and the payload bytes.
-// Only meaningful on the acceptor's own machine.
+// Only meaningful on the acceptor's own machine. In compact mode the
+// logical-slot prefix is verified and stripped: a learned cell left over
+// from the physical slot's previous occupant reads as open.
 func (a *Acceptor) Learned(p *des.Proc, slot int) (Ballot, []byte) {
 	buf := a.Seg.ReadLocal(p, a.Cfg.learnedOff(slot), a.Cfg.cellSize())
 	defer a.M.Buffers().Put(buf)
@@ -60,8 +62,15 @@ func (a *Acceptor) Learned(p *des.Proc, slot int) (Ballot, []byte) {
 	if b == 0 {
 		return 0, nil
 	}
-	out := make([]byte, a.Cfg.Payload)
-	copy(out, buf[4:])
+	payload := buf[4:]
+	if a.Cfg.Compact {
+		if be32(payload) != uint32(slot) {
+			return 0, nil
+		}
+		payload = payload[4:]
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
 	return b, out
 }
 

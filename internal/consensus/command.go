@@ -28,6 +28,12 @@ const (
 	// KindMembership commits a shard-ring epoch bump: Epoch is the new
 	// membership epoch and Blob the packed ring.
 	KindMembership
+	// KindSnapshot advances the compaction watermark: every replica
+	// checkpoints its applied state into the snapshot segment and
+	// recycles the slots at and below the decree's own slot. The decree
+	// carries no base — each replica computes it from where the decree
+	// landed, so all replicas agree by construction.
+	KindSnapshot
 )
 
 func (k Kind) String() string {
@@ -44,6 +50,8 @@ func (k Kind) String() string {
 		return "unfence"
 	case KindMembership:
 		return "membership"
+	case KindSnapshot:
+		return "snapshot"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -126,7 +134,7 @@ func Decode(buf []byte) (Command, error) {
 			name = name[:i]
 		}
 		c.Rec.Name = name
-	case KindNoop, KindLease, KindFence, KindUnfence, KindMembership:
+	case KindNoop, KindLease, KindFence, KindUnfence, KindMembership, KindSnapshot:
 		if n > 0 {
 			c.Blob = append([]byte(nil), body...)
 		}

@@ -54,6 +54,16 @@ var (
 	ErrLogFull = errors.New("consensus: log slots exhausted")
 	// ErrBadCommand reports an undecodable log entry.
 	ErrBadCommand = errors.New("consensus: malformed command")
+	// ErrNoFreeLane reports that every client ballot lane is held by a
+	// live, renewing owner (TryNewClient).
+	ErrNoFreeLane = errors.New("consensus: no free proposer lane")
+	// ErrLaneLost reports that this client's lane lease was reclaimed by
+	// another client (the owner crashed — or was presumed to; either way
+	// the lane is gone and the client must not propose again).
+	ErrLaneLost = errors.New("consensus: proposer lane lease lost")
+	// ErrCompacted reports a proposal at a slot below the compaction
+	// watermark: the slot's decree is already folded into a snapshot.
+	ErrCompacted = errors.New("consensus: slot below compaction watermark")
 )
 
 // Config sizes a consensus group. The zero value is filled with defaults.
@@ -79,6 +89,16 @@ type Config struct {
 	// benches use it to measure acceptor-side CPU with no failure
 	// detector running; groups under a ControlPlane leave it off.
 	NoLease bool
+	// Compact turns on log compaction: logical slots map onto physical
+	// slots modulo Slots, a KindSnapshot decree checkpoints applied
+	// ControlPlane state into an rmem segment and recycles everything
+	// below the watermark, and Slots becomes a *window* size instead of a
+	// hard horizon. In compact mode each value cell carries a 4-byte
+	// logical-slot prefix (so a straggler's deposit for a recycled slot is
+	// never mistaken for the new occupant's), which shrinks the usable
+	// payload to Payload-4. Off by default: the legacy fixed-horizon
+	// layout stays byte-identical.
+	Compact bool
 }
 
 func (c *Config) fill() {
@@ -112,20 +132,56 @@ func (c Config) Quorum() int { return c.Acceptors/2 + 1 }
 
 // Geometry.
 
+// phys maps a logical slot to its physical slot: identity in the legacy
+// layout, modulo Slots under compaction (recycled slots are zeroed by the
+// replicas when the watermark passes them).
+func (c Config) phys(s int) int {
+	if c.Compact {
+		return s % c.Slots
+	}
+	return s
+}
+
+// MaxValue is the largest value Propose accepts: the full payload, minus
+// the logical-slot prefix in compact mode.
+func (c Config) MaxValue() int {
+	if c.Compact {
+		return c.Payload - 4
+	}
+	return c.Payload
+}
+
 func (c Config) cellSize() int        { return 4 + c.Payload }
 func (c Config) slotSize() int        { return 4 + (c.Proposers+1)*c.cellSize() }
-func (c Config) ctlOff(s int) int     { return s * c.slotSize() }
-func (c Config) learnedOff(s int) int { return s*c.slotSize() + 4 }
+func (c Config) ctlOff(s int) int     { return c.phys(s) * c.slotSize() }
+func (c Config) learnedOff(s int) int { return c.phys(s)*c.slotSize() + 4 }
 func (c Config) cellOff(s, lane int) int {
-	return s*c.slotSize() + 4 + (lane+1)*c.cellSize()
+	return c.phys(s)*c.slotSize() + 4 + (lane+1)*c.cellSize()
 }
 
 // hbOff is the acceptor's heartbeat word, placed after the last slot.
 func (c Config) hbOff() int { return c.Slots * c.slotSize() }
 
-// SegSize is the acceptor segment footprint: all slots plus the
-// heartbeat word watchdogs probe.
-func (c Config) SegSize() int { return c.hbOff() + 4 }
+// Lane-lease table: three words per proposer lane, after the heartbeat
+// word. claim holds the current owner token (CAS-claimed on a quorum),
+// renew is the owner's liveness beacon (token<<16 | counter, rewritten
+// every laneRenewEvery), floor is the ballot-range reservation ceiling —
+// the one word lane *safety* rests on (see lease.go).
+func (c Config) laneOff(lane int) int  { return c.hbOff() + 4 + lane*12 }
+func (c Config) claimOff(lane int) int { return c.laneOff(lane) }
+func (c Config) renewOff(lane int) int { return c.laneOff(lane) + 4 }
+func (c Config) floorOff(lane int) int { return c.laneOff(lane) + 8 }
+
+// baseOff is the compaction watermark word: the lowest live logical slot,
+// written by the co-located replica when it applies a snapshot decree.
+func (c Config) baseOff() int { return c.hbOff() + 4 + c.Proposers*12 }
+
+// SegSize is the acceptor segment footprint: all slots, the heartbeat
+// word watchdogs probe, the lane-lease table, and the compaction base
+// word. The lease table and base word are sized in unconditionally (a
+// few dozen bytes) so every group layout is identical whether or not the
+// features are used.
+func (c Config) SegSize() int { return c.baseOff() + 4 }
 
 // Ballots. A ballot is a 16-bit value packed two per control word.
 // Lane k proposes ballots k+1, k+1+K, k+1+2K, ... so lanes never collide

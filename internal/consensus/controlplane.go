@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -22,6 +23,8 @@ type ControlPlane struct {
 	reps []*Replica
 
 	nextLane int
+	fenceMax int    // fence-table width in nodes (0 = table disabled)
+	mirror   string // membership-mirror base name (MirrorMembership)
 
 	// LastElection is the most recent leader re-election latency:
 	// watchdog verdict to lease decree applied at the winner.
@@ -49,6 +52,23 @@ type Replica struct {
 	leaseEpoch uint32
 	seq        uint32 // per-origin proposal sequence
 	wd         *rmem.Watchdog
+
+	// Compaction state (Config.Compact): the watermark below which slots
+	// are recycled, a running FNV-64a digest of every applied decree, and
+	// the exported checkpoint segment.
+	snapBase    int
+	snapPending bool
+	digest      uint64
+	snapSeg     *rmem.Segment
+
+	// fenceSeg is the replica's exported fence table (EnableFenceTable):
+	// one word per node, bumped even->odd by a fence decree and odd->even
+	// by the unfence. WriteLease reads it one-sided.
+	fenceSeg *rmem.Segment
+
+	// mirrorSeg is the replica's local copy of the latest membership
+	// blob (MirrorMembership), re-exported on every membership decree.
+	mirrorSeg *rmem.Segment
 
 	onApply []func(p *des.Proc, slot int, cmd Command)
 
@@ -79,13 +99,78 @@ func NewControlPlane(p *des.Proc, g *Group, clerks []*nameserver.Clerk) *Control
 		acc.OnLearn(func(lp *des.Proc, slot int) { r.noteLearn(lp, slot) })
 		acc.Seg.OnNotify(func(np *des.Proc, note rmem.Notification) {
 			cfg := g.Cfg
-			if off := note.Offset; off%cfg.slotSize() == 4 {
-				r.noteLearn(np, off/cfg.slotSize())
+			if off := note.Offset; off < cfg.hbOff() && off%cfg.slotSize() == 4 {
+				slot := off / cfg.slotSize()
+				if cfg.Compact {
+					// The physical slot is ambiguous under recycling; the
+					// learned cell's logical-slot prefix says which decree
+					// actually arrived.
+					cell := acc.Seg.Bytes()[off:]
+					if be32(cell) == 0 {
+						return
+					}
+					slot = int(be32(cell[4:]))
+				}
+				r.noteLearn(np, slot)
 			}
 		})
+		if g.Cfg.Compact {
+			r.snapSeg = acc.M.Export(p, 32)
+			r.snapSeg.SetDefaultRights(rmem.RightRead)
+		}
 		cp.reps = append(cp.reps, r)
 	}
 	return cp
+}
+
+// EnableFenceTable exports a one-word-per-node fence table on every
+// replica. Fence/unfence decrees bump the target node's word (even =
+// writable, odd = fenced; each unfence lands on a fresh even epoch), and
+// WriteLease reads the words one-sided to decide whether its holder may
+// still mutate data. Call before Start, with maxNodes covering every
+// machine a lease will ever guard.
+func (cp *ControlPlane) EnableFenceTable(p *des.Proc, maxNodes int) {
+	cp.fenceMax = maxNodes
+	for _, r := range cp.reps {
+		r.fenceSeg = r.acc.M.Export(p, maxNodes*4)
+		r.fenceSeg.SetDefaultRights(rmem.RightRead)
+	}
+}
+
+// MirrorMembership makes every replica keep a resolvable local copy of
+// the latest membership blob: each KindMembership decree is re-exported
+// on the replica's own node and registered in its own registry as
+// "<name>.<node>". A client that loses the publishing machine re-reads
+// the ring from any replica — the record and the bytes both live there,
+// so no surviving path depends on the founder. Requires replicas built
+// with name-service clerks.
+func (cp *ControlPlane) MirrorMembership(name string) { cp.mirror = name }
+
+// mirrorMembership applies one membership decree to the replica's local
+// mirror: export a fresh copy (superseding the previous by generation),
+// register it locally, revoke the old segment.
+func (r *Replica) mirrorMembership(p *des.Proc, cmd Command) {
+	if r.cp.mirror == "" || r.ns == nil || len(cmd.Blob) == 0 {
+		return
+	}
+	m := r.acc.M
+	old := r.mirrorSeg
+	seg := m.Export(p, len(cmd.Blob))
+	seg.SetDefaultRights(rmem.RightRead)
+	copy(seg.Bytes(), cmd.Blob)
+	r.mirrorSeg = seg
+	rec := nameserver.Record{
+		Name: fmt.Sprintf("%s.%d", r.cp.mirror, m.Node.ID), Node: m.Node.ID,
+		Seg: seg.ID(), Gen: seg.Gen(), Epoch: m.Incarnation(), Size: seg.Size(),
+	}
+	if err := r.ns.ApplyRecord(p, rec); err != nil &&
+		err != nameserver.ErrExists && err != nameserver.ErrNotReady {
+		m.Node.Faults = append(m.Node.Faults,
+			fmt.Errorf("consensus: replica %d mirror %q: %w", r.idx, rec.Name, err))
+	}
+	if old != nil {
+		m.Revoke(p, old)
+	}
 }
 
 // Start proposes the initial lease (epoch 1, replica 0) and waits for the
@@ -129,8 +214,7 @@ func (r *Replica) noteLearn(p *des.Proc, slot int) {
 }
 
 func (r *Replica) pump(p *des.Proc) {
-	cfg := r.cp.g.Cfg
-	for r.applied < cfg.Slots {
+	for r.applied < r.horizon() {
 		b, val := r.acc.Learned(p, r.applied)
 		if b == 0 {
 			break
@@ -174,6 +258,17 @@ func (r *Replica) pump(p *des.Proc) {
 	}
 }
 
+// horizon is the apply bound: the fixed log size, or — under compaction
+// — one window past the watermark (a decree beyond that cannot exist:
+// proposers refuse slots outside [base, base+Slots)).
+func (r *Replica) horizon() int {
+	cfg := r.cp.g.Cfg
+	if cfg.Compact {
+		return r.snapBase + cfg.Slots
+	}
+	return cfg.Slots
+}
+
 func (r *Replica) apply(p *des.Proc, slot int, cmd Command) {
 	env := r.acc.M.Node.Env
 	r.log = append(r.log, cmd)
@@ -196,14 +291,24 @@ func (r *Replica) apply(p *des.Proc, slot int, cmd Command) {
 		if r.ns != nil {
 			r.ns.FencePeer(cmd.Node)
 		}
+		r.fenceWord(p, cmd.Node, true)
 	case KindUnfence:
 		if r.ns != nil {
 			r.ns.UnfencePeer(cmd.Node)
 		}
-	case KindNoop, KindMembership:
+		r.fenceWord(p, cmd.Node, false)
+	case KindSnapshot:
+		r.checkpoint(p, slot)
+		r.snapPending = false
+	case KindMembership:
 		// Membership is consumed by subscribers (the shard tier re-reads
-		// its ring from the blob); nothing to do here.
+		// its ring from the blob); with a mirror name configured, the
+		// replica additionally keeps a local copy any client can resolve
+		// after the publishing machine dies.
+		r.mirrorMembership(p, cmd)
+	case KindNoop:
 	}
+	r.digest = foldDigest(r.digest, cmd.Encode())
 	if tr := env.Tracer(); tr != nil {
 		tr.Count("consensus.applied", 1)
 		tr.Count("consensus.applied."+cmd.Kind.String(), 1)
@@ -211,6 +316,109 @@ func (r *Replica) apply(p *des.Proc, slot int, cmd Command) {
 	for _, fn := range r.onApply {
 		fn(p, slot, cmd)
 	}
+	r.maybeSnapshot()
+}
+
+// fenceWord bumps node's fence-table word: even->odd on fence, odd->even
+// on unfence. Every unfence lands on a *new* even value, so a lease
+// holder that was fenced and unfenced while unreachable sees an epoch it
+// never granted writes under — it stays deposed rather than resuming.
+func (r *Replica) fenceWord(p *des.Proc, node int, fence bool) {
+	if r.fenceSeg == nil || node < 0 || node >= r.cp.fenceMax {
+		return
+	}
+	w := r.fenceSeg.ReadWord(p, node*4)
+	if fence == (w%2 == 0) {
+		r.fenceSeg.WriteWord(p, node*4, w+1)
+	}
+}
+
+// maybeSnapshot proposes a snapshot decree when the leader replica sees
+// the live window 3/4 consumed. Any replica could propose one safely —
+// the leader restriction just avoids duelling snapshots.
+func (r *Replica) maybeSnapshot() {
+	cfg := r.cp.g.Cfg
+	if !cfg.Compact || r.snapPending || r.leader != r.idx {
+		return
+	}
+	if r.applied-r.snapBase < cfg.Slots*3/4 {
+		return
+	}
+	r.snapPending = true
+	r.acc.M.Node.Env.Spawn(fmt.Sprintf("consensus.r%d.snap", r.idx), func(fp *des.Proc) {
+		if err := r.proposeCmd(fp, Command{Kind: KindSnapshot}); err != nil {
+			r.snapPending = false
+		}
+	})
+}
+
+// checkpoint persists the replica's applied state into its snapshot
+// segment and advances the recycling watermark past the snapshot
+// decree's own slot: blob layout applied(8) | leaseEpoch(4) | leader(4)
+// | digest(8). The decree carries no watermark — newBase = slot+1 falls
+// out of where it landed, so replicas agree without coordination.
+//
+// Nothing is erased. A recycled physical slot keeps its old control
+// word, value cells, and learned cell; the logical-slot prefix carried
+// in every compact-mode value makes all of them inert to the next
+// occupant (stale learned/accepted cells read as open, stale promises
+// merely start the new occupant's ballots higher). Deliberately so: an
+// eager wipe would destroy promises for proposals still in flight at
+// the head — the decree that advances the watermark commits *at* the
+// head, with its neighbours' phase 2 racing it.
+func (r *Replica) checkpoint(p *des.Proc, slot int) {
+	cfg := r.cp.g.Cfg
+	if r.snapSeg != nil {
+		var blob [24]byte
+		binary.BigEndian.PutUint64(blob[0:], uint64(slot))
+		binary.BigEndian.PutUint32(blob[8:], r.leaseEpoch)
+		binary.BigEndian.PutUint32(blob[12:], uint32(int32(r.leader)))
+		binary.BigEndian.PutUint64(blob[16:], r.digest)
+		r.snapSeg.WriteLocal(p, 0, blob[:])
+	}
+	r.snapBase = slot + 1
+	r.acc.Seg.WriteWord(p, cfg.baseOff(), uint32(r.snapBase))
+}
+
+// foldDigest folds b into an FNV-64a running digest.
+func foldDigest(d uint64, b []byte) uint64 {
+	if d == 0 {
+		d = 14695981039346656037
+	}
+	for _, c := range b {
+		d ^= uint64(c)
+		d *= 1099511628211
+	}
+	return d
+}
+
+// SnapBase returns the replica's compaction watermark.
+func (r *Replica) SnapBase() int { return r.snapBase }
+
+// Digest returns the running digest over applied decrees.
+func (r *Replica) Digest() uint64 { return r.digest }
+
+// Checkpoint decodes the replica's snapshot segment: the slot the last
+// snapshot decree landed in (-1 if none yet), the lease state, and the
+// digest over every decree folded before the snapshot decree itself.
+// A nil proc reads the raw bytes with no simulated access cost
+// (post-run inspection from tests and harness audits).
+func (r *Replica) Checkpoint(p *des.Proc) (slot int, leaseEpoch uint32, leader int, digest uint64) {
+	if r.snapSeg == nil || r.snapBase == 0 {
+		return -1, 0, -1, 0
+	}
+	var buf []byte
+	if p != nil {
+		buf = r.snapSeg.ReadLocal(p, 0, 24)
+		defer r.acc.M.Buffers().Put(buf)
+	} else {
+		buf = r.snapSeg.Bytes()[:24]
+	}
+	slot = int(binary.BigEndian.Uint64(buf[0:]))
+	leaseEpoch = binary.BigEndian.Uint32(buf[8:])
+	leader = int(int32(binary.BigEndian.Uint32(buf[12:])))
+	digest = binary.BigEndian.Uint64(buf[16:])
+	return slot, leaseEpoch, leader, digest
 }
 
 // OnApply subscribes fn to every decree this replica applies, in order.
@@ -338,26 +546,127 @@ func (r *Replica) leaderDown(p *des.Proc, epoch uint32) {
 
 // Client proposes control-plane decrees from a machine that is not a
 // replica. It satisfies recovery.VerdictLog and the shard tier's
-// control-log hook.
+// control-log hook. Client lanes are *leased* (see lease.go): the client
+// renews a beacon while alive, and a crashed client's lane is reclaimed
+// by a later TryNewClient once a quorum has watched the beacon stay
+// still for laneTTL.
 type Client struct {
 	cp   *ControlPlane
 	prop *Proposer
+	rn   *renewer
 	seq  uint32
 }
 
-// NewClient allocates the next free ballot lane for a proposer on m.
-func (cp *ControlPlane) NewClient(p *des.Proc, m *rmem.Manager) *Client {
-	if cp.nextLane >= cp.g.Cfg.Proposers {
-		panic("consensus: out of proposer lanes (raise Config.Proposers)")
+// TryNewClient claims a leased ballot lane for a proposer on m: a
+// never-used lane when one remains, else the first client lane whose
+// owner's beacon a quorum agrees has gone stale. ErrNoFreeLane means
+// every client lane has a live, renewing owner.
+func (cp *ControlPlane) TryNewClient(p *des.Proc, m *rmem.Manager) (*Client, error) {
+	cfg := cp.g.Cfg
+	first := len(cp.reps)
+	if first >= cfg.Proposers {
+		return nil, ErrNoFreeLane
 	}
-	// Claim the lane before NewProposer blocks (it exports scratch and
-	// imports the acceptors): concurrent NewClient callers interleave at
-	// those points, and two proposers sharing a lane share ballots and a
-	// value cell — adoption then reads whichever of them wrote last.
-	lane := cp.nextLane
-	cp.nextLane++
-	return &Client{cp: cp, prop: NewProposer(p, m, lane, cp.g)}
+	// The probe lane is provisional: claim decides the real one below.
+	pr := NewProposer(p, m, first, cp.g)
+	pr.lock(p)
+	claimed, tok := -1, uint32(0)
+	for claimed < 0 && cp.nextLane < cfg.Proposers {
+		lane := cp.nextLane
+		t, ok, err := pr.claimLane(p, lane)
+		if err != nil {
+			pr.unlock()
+			return nil, err
+		}
+		cp.nextLane++
+		if ok {
+			claimed, tok = lane, t
+		}
+	}
+	if claimed < 0 {
+		// Reclaim scan: snapshot every client lane's renew beacon, wait
+		// out one TTL, and steal the first lane a quorum confirms stale.
+		type sample struct {
+			eps  []*endpoint
+			vals []uint32
+		}
+		snaps := make(map[int]sample)
+		for lane := first; lane < cfg.Proposers; lane++ {
+			eps, vals := pr.readLaneWord(p, cfg.renewOff(lane))
+			if len(eps) >= cfg.Quorum() {
+				snaps[lane] = sample{eps, vals}
+			}
+		}
+		p.Sleep(des.Duration(laneTTL))
+		for lane := first; lane < cfg.Proposers && claimed < 0; lane++ {
+			s, ok := snaps[lane]
+			if !ok {
+				continue
+			}
+			unchanged := 0
+			for i, ep := range s.eps {
+				v, err := pr.readWordAt(p, ep, cfg.renewOff(lane))
+				if err == nil && v == s.vals[i] {
+					unchanged++
+				}
+			}
+			if unchanged < cfg.Quorum() {
+				continue // a live owner moved the beacon — never steal
+			}
+			t, won, err := pr.claimLane(p, lane)
+			if err == nil && won {
+				claimed, tok = lane, t
+			}
+		}
+		if claimed < 0 {
+			pr.unlock()
+			return nil, ErrNoFreeLane
+		}
+	}
+	pr.lane = claimed
+	pr.leased = true
+	pr.tok = tok
+	if err := pr.reserveRange(p, 0); err != nil {
+		pr.unlock()
+		return nil, err
+	}
+	pr.unlock()
+	cl := &Client{cp: cp, prop: pr}
+	cl.rn = pr.startRenew(p)
+	return cl, nil
 }
+
+// NewClient is TryNewClient for callers whose topology guarantees a lane
+// exists; it panics where TryNewClient would report the shortage.
+func (cp *ControlPlane) NewClient(p *des.Proc, m *rmem.Manager) *Client {
+	cl, err := cp.TryNewClient(p, m)
+	if err != nil {
+		panic("consensus: out of proposer lanes (raise Config.Proposers): " + err.Error())
+	}
+	return cl
+}
+
+// Close releases the client's lane lease: the beacon stops and the claim
+// word is handed back, so the next TryNewClient reuses the lane without
+// waiting out a TTL. The client must not propose afterwards.
+func (cl *Client) Close(p *des.Proc) {
+	if cl.rn != nil {
+		cl.rn.stop(p, true)
+	}
+	cl.prop.lost = true
+}
+
+// Abandon stops the lease beacon without releasing the claim — exactly
+// what a crash looks like on the wire. Tests use it to exercise lane
+// reclamation.
+func (cl *Client) Abandon() {
+	if cl.rn != nil {
+		cl.rn.stopped = true
+	}
+}
+
+// LaneLost reports whether the client observed its lease stolen.
+func (cl *Client) LaneLost() bool { return cl.prop.lost }
 
 func (cl *Client) propose(p *des.Proc, cmd Command) error {
 	cmd.Origin = uint8(cl.prop.Lane())

@@ -1,0 +1,263 @@
+package consensus
+
+import (
+	"errors"
+	"time"
+
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// Lane leases. Ballot lanes are a finite resource: before this file a
+// crashed client leaked its lane forever, so a long campaign with client
+// churn eventually panicked out of lanes. Each client lane now carries
+// three words on every acceptor (Config.laneOff):
+//
+//	claim: the owner token, CAS-claimed on a quorum
+//	renew: the owner's liveness beacon (token<<16 | counter), rewritten
+//	       every laneRenewEvery while the owner lives
+//	floor: the ballot-range reservation ceiling
+//
+// The split matters. Claim and renew are pure *liveness* policy: a thief
+// samples renew on a quorum twice, laneTTL apart, and steals the lane
+// (claim CAS, quorum of wins) only if no sample moved. A slow-but-alive
+// owner can therefore lose its lane — that is detected (the renew daemon
+// re-reads claim and flips the owner to ErrLaneLost), never silently
+// tolerated. *Safety* — ballot uniqueness across successive owners of
+// the same lane — rests on floor alone: every owner proposes only with
+// ballots from a range it reserved by CASing floor upward on a quorum
+// (reserveRange). Quorum intersection plus the word's CAS monotonicity
+// make successive reservations disjoint, so even a deposed owner that
+// keeps running cannot reuse a ballot its successor might issue. Its
+// stale cell deposits can still cost a successor a dropped promise
+// (readCell adoption drops stamps below the accepted ballot) — a
+// liveness nuisance the learn cell resolves, never an agreement fault.
+const (
+	laneRenewEvery = 500 * time.Microsecond // owner beacon cadence
+	laneTTL        = 5 * time.Millisecond   // thief's stale threshold
+	laneSpan       = 1024                   // ballots per floor reservation
+	maxBallotCeil  = 0xff00                 // 16-bit ballot headroom guard
+	leaseAttempts  = 8                      // claim/reserve retry budget
+)
+
+var errBallotsExhausted = errors.New("consensus: lane ballot space exhausted")
+
+// reserveRange reserves a fresh ballot range for the proposer's lane:
+// [minB, ceilB) with ceilB = start + laneSpan, where start is at least
+// atLeast and at least every floor value read. The reservation holds once
+// a quorum of floor CASes (read value -> ceil) succeed. Called under the
+// proposer lock.
+func (pr *Proposer) reserveRange(p *des.Proc, atLeast int) error {
+	cfg := pr.g.Cfg
+	off := cfg.floorOff(pr.lane)
+	type rd struct {
+		ep *endpoint
+		v  uint32
+	}
+	for attempt := 0; attempt < leaseAttempts; attempt++ {
+		start := atLeast
+		if pr.ceilB > start {
+			start = pr.ceilB
+		}
+		now := pr.m.Node.Env.Now()
+		var reads []rd
+		for _, ep := range pr.eps {
+			if !ep.usable(now) {
+				continue
+			}
+			v, err := pr.readWordAt(p, ep, off)
+			if err != nil {
+				pr.noteErr(ep, err)
+				continue
+			}
+			if int(v) > start {
+				start = int(v)
+			}
+			reads = append(reads, rd{ep, v})
+		}
+		if len(reads) < cfg.Quorum() {
+			return ErrNoQuorum
+		}
+		ceil := start + laneSpan
+		if ceil > maxBallotCeil {
+			return errBallotsExhausted
+		}
+		wins := 0
+		for _, r := range reads {
+			ok, err := pr.casWordAt(p, r.ep, off, r.v, uint32(ceil))
+			if err != nil {
+				pr.noteErr(r.ep, err)
+				continue
+			}
+			if ok {
+				wins++
+			}
+		}
+		if wins >= cfg.Quorum() {
+			pr.minB, pr.ceilB = start, ceil
+			return nil
+		}
+		// Raced by another claimant; its CASes raised the floor we will
+		// re-read. A lost attempt burns at most laneSpan of ballot space
+		// on the acceptors we did win.
+	}
+	return ErrNoQuorum
+}
+
+// readLaneWord reads one lane-table word from every usable acceptor,
+// returning per-endpoint values. Called under the proposer lock.
+func (pr *Proposer) readLaneWord(p *des.Proc, off int) (eps []*endpoint, vals []uint32) {
+	now := pr.m.Node.Env.Now()
+	for _, ep := range pr.eps {
+		if !ep.usable(now) {
+			continue
+		}
+		v, err := pr.readWordAt(p, ep, off)
+		if err != nil {
+			pr.noteErr(ep, err)
+			continue
+		}
+		eps = append(eps, ep)
+		vals = append(vals, v)
+	}
+	return eps, vals
+}
+
+// claimLane tries to take ownership of lane: read the claim word on every
+// usable acceptor, pick token = max+1, and CAS each observed value to the
+// token. Ownership requires a quorum of CAS wins (two racing claimants
+// intersect on some acceptor, where only one CAS from the shared observed
+// value can succeed). Called under the proposer lock.
+func (pr *Proposer) claimLane(p *des.Proc, lane int) (uint32, bool, error) {
+	cfg := pr.g.Cfg
+	off := cfg.claimOff(lane)
+	eps, vals := pr.readLaneWord(p, off)
+	if len(eps) < cfg.Quorum() {
+		return 0, false, ErrNoQuorum
+	}
+	var tok uint32 = 1
+	for _, v := range vals {
+		if v >= tok {
+			tok = v + 1
+		}
+	}
+	wins := 0
+	for i, ep := range eps {
+		ok, err := pr.casWordAt(p, ep, off, vals[i], tok)
+		if err != nil {
+			pr.noteErr(ep, err)
+			continue
+		}
+		if ok {
+			wins++
+		}
+	}
+	return tok, wins >= cfg.Quorum(), nil
+}
+
+// renewer is a leased client's beacon daemon: it rewrites the lane's
+// renew word on every acceptor each laneRenewEvery and re-reads the claim
+// word to detect theft. It owns private imports and scratch so it never
+// contends with the proposer's in-flight operation.
+type renewer struct {
+	pr      *Proposer
+	lane    int
+	imps    []*rmem.Import  // one per remote acceptor (nil when dropped)
+	segs    []*rmem.Segment // co-located fast path
+	scratch *rmem.Segment
+	counter uint32
+	stopped bool
+}
+
+// startRenew wires the beacon daemon for the proposer's claimed lane.
+func (pr *Proposer) startRenew(p *des.Proc) *renewer {
+	rn := &renewer{pr: pr, lane: pr.lane}
+	rn.scratch = pr.m.Export(p, 8)
+	for _, a := range pr.g.Accs {
+		if a.M == pr.m {
+			rn.segs = append(rn.segs, a.Seg)
+			rn.imps = append(rn.imps, nil)
+			continue
+		}
+		imp := pr.m.Import(p, a.Node(), a.Seg.ID(), a.Seg.Gen(), a.Seg.Size())
+		imp.SetReliable(true)
+		imp.SetFence(true)
+		imp.SetEpoch(a.Epoch)
+		rn.segs = append(rn.segs, nil)
+		rn.imps = append(rn.imps, imp)
+	}
+	pr.m.Node.Env.SpawnDaemon("consensus.renew", rn.run)
+	return rn
+}
+
+func (rn *renewer) run(p *des.Proc) {
+	pr := rn.pr
+	cfg := pr.g.Cfg
+	renewOff := cfg.renewOff(rn.lane)
+	claimOff := cfg.claimOff(rn.lane)
+	var buf [4]byte
+	for !rn.stopped && !pr.lost {
+		p.Sleep(des.Duration(laneRenewEvery))
+		if rn.stopped || pr.lost {
+			return
+		}
+		rn.counter++
+		w := pr.tok<<16 | (rn.counter & 0xffff)
+		putbe32(buf[:], w)
+		sawClaim := false
+		for i := range rn.segs {
+			if rn.segs[i] != nil {
+				rn.segs[i].WriteLocal(p, renewOff, buf[:])
+				if !sawClaim {
+					if rn.segs[i].ReadWord(p, claimOff) != pr.tok {
+						pr.lost = true
+					}
+					sawClaim = true
+				}
+				continue
+			}
+			imp := rn.imps[i]
+			if imp == nil {
+				continue
+			}
+			if err := imp.WriteBlock(p, renewOff, buf[:], false); err != nil {
+				if errors.Is(err, rmem.ErrStaleGeneration) {
+					rn.imps[i] = nil // restarted acceptor: out for good
+				}
+				continue
+			}
+			if !sawClaim {
+				if err := imp.Read(p, claimOff, 4, rn.scratch, 0, pr.opTO); err == nil {
+					if rn.scratch.ReadWord(p, 0) != pr.tok {
+						pr.lost = true
+					}
+					sawClaim = true
+				}
+			}
+		}
+	}
+}
+
+// stop ends the beacon. With release, the claim word is handed back
+// (CAS token -> 0 on every acceptor) so the lane is immediately free;
+// without, the lane looks crashed and frees only after laneTTL.
+func (rn *renewer) stop(p *des.Proc, release bool) {
+	if rn.stopped {
+		return
+	}
+	rn.stopped = true
+	if !release {
+		return
+	}
+	pr := rn.pr
+	off := pr.g.Cfg.claimOff(rn.lane)
+	for i := range rn.segs {
+		if rn.segs[i] != nil {
+			rn.segs[i].CASLocal(p, off, pr.tok, 0)
+			continue
+		}
+		if imp := rn.imps[i]; imp != nil {
+			imp.CAS(p, off, pr.tok, 0, rn.scratch, 4, pr.opTO)
+		}
+	}
+}

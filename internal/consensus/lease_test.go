@@ -1,0 +1,150 @@
+package consensus
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// leaseRig boots a 3-replica control plane plus extra client machines.
+func leaseRig(t *testing.T, clients, proposers int, body func(p *des.Proc, cp *ControlPlane, mgrs []*rmem.Manager)) {
+	t.Helper()
+	env := des.NewEnv()
+	env.Seed(1)
+	c := cluster.New(env, &model.Default, 3+clients)
+	mgrs := make([]*rmem.Manager, 3+clients)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(c.Nodes[i])
+	}
+	env.Spawn("boot", func(p *des.Proc) {
+		g := NewGroup(p, Config{Proposers: proposers}, mgrs[:3]...)
+		cp := NewControlPlane(p, g, nil)
+		if err := cp.Start(p); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		body(p, cp, mgrs)
+	})
+	if err := env.RunUntil(des.Time(2 * time.Second)); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// TestLaneLeaseRecycling is the lane-exhaustion property: a group with K
+// client lanes survives K+2 client crash/replace cycles. Each crashed
+// client abandons its lane without releasing it (exactly what a dead
+// machine looks like), so every cycle past the Kth must reclaim a lane
+// by observing a stale beacon on a quorum.
+func TestLaneLeaseRecycling(t *testing.T) {
+	const K = 2 // Proposers 5 - 3 replica lanes
+	leaseRig(t, 1, 3+K, func(p *des.Proc, cp *ControlPlane, mgrs []*rmem.Manager) {
+		seenLanes := map[int]int{}
+		for cycle := 0; cycle < K+2; cycle++ {
+			cl, err := cp.TryNewClient(p, mgrs[3])
+			if err != nil {
+				t.Errorf("cycle %d: TryNewClient: %v", cycle, err)
+				return
+			}
+			seenLanes[cl.Proposer().Lane()]++
+			if err := cl.Noop(p); err != nil {
+				t.Errorf("cycle %d: commit on lane %d: %v", cycle, cl.Proposer().Lane(), err)
+				return
+			}
+			cl.Abandon() // crash: beacon stops, claim stays
+			p.Sleep(des.Duration(2 * time.Millisecond))
+		}
+		for lane := range seenLanes {
+			if lane < 3 || lane >= 3+K {
+				t.Errorf("client granted non-client lane %d", lane)
+			}
+		}
+		// K+2 cycles over K lanes: at least one lane must have recycled.
+		recycled := false
+		for _, n := range seenLanes {
+			if n > 1 {
+				recycled = true
+			}
+		}
+		if !recycled {
+			t.Errorf("no lane recycled across %d cycles over %d lanes: %v", K+2, K, seenLanes)
+		}
+	})
+}
+
+// TestLiveLaneNeverStolen pins the other half of the lease contract: a
+// lane whose owner keeps renewing is never reclaimed. With exactly one
+// client lane, a second TryNewClient must wait out the TTL, watch the
+// beacon move, and report ErrNoFreeLane — while the live owner keeps
+// committing through the contention, loses nothing, and still owns its
+// lane afterwards.
+func TestLiveLaneNeverStolen(t *testing.T) {
+	leaseRig(t, 2, 4, func(p *des.Proc, cp *ControlPlane, mgrs []*rmem.Manager) {
+		owner, err := cp.TryNewClient(p, mgrs[3])
+		if err != nil {
+			t.Errorf("owner claim: %v", err)
+			return
+		}
+		env := mgrs[3].Node.Env
+		stop := false
+		committed := 0
+		env.Spawn("owner", func(op *des.Proc) {
+			for !stop {
+				if err := owner.Noop(op); err != nil {
+					t.Errorf("live owner commit failed: %v", err)
+					return
+				}
+				committed++
+				op.Sleep(des.Duration(500 * time.Microsecond))
+			}
+		})
+		p.Sleep(des.Duration(2 * time.Millisecond))
+		if _, err := cp.TryNewClient(p, mgrs[4]); !errors.Is(err, ErrNoFreeLane) {
+			t.Errorf("thief got %v, want ErrNoFreeLane", err)
+		}
+		p.Sleep(des.Duration(10 * time.Millisecond))
+		stop = true
+		if owner.LaneLost() {
+			t.Errorf("live owner lost its lane")
+		}
+		if committed == 0 {
+			t.Errorf("owner committed nothing during contention")
+		}
+	})
+}
+
+// TestClosedLaneReusedImmediately: Close releases the claim, so the next
+// client gets a lane with no TTL wait even when all lanes were handed
+// out before.
+func TestClosedLaneReusedImmediately(t *testing.T) {
+	leaseRig(t, 2, 4, func(p *des.Proc, cp *ControlPlane, mgrs []*rmem.Manager) {
+		cl, err := cp.TryNewClient(p, mgrs[3])
+		if err != nil {
+			t.Errorf("first claim: %v", err)
+			return
+		}
+		lane := cl.Proposer().Lane()
+		if err := cl.Noop(p); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		cl.Close(p)
+		if err := cl.Noop(p); !errors.Is(err, ErrLaneLost) {
+			t.Errorf("closed client committed (%v), want ErrLaneLost", err)
+		}
+		cl2, err := cp.TryNewClient(p, mgrs[4])
+		if err != nil {
+			t.Errorf("reuse claim: %v", err)
+			return
+		}
+		if cl2.Proposer().Lane() != lane {
+			t.Errorf("reused lane %d, want released lane %d", cl2.Proposer().Lane(), lane)
+		}
+		if err := cl2.Noop(p); err != nil {
+			t.Errorf("commit on reused lane: %v", err)
+		}
+	})
+}

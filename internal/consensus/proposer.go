@@ -30,6 +30,16 @@ type Proposer struct {
 
 	lastB map[int]Ballot // per-slot ballot floor: stamps per cell stay monotone
 	next  int            // first slot not known chosen (allocation hint)
+	base  int            // cached compaction watermark (compact mode only)
+
+	// Lane-lease state (leased client lanes only; see lease.go). minB/
+	// ceilB bound the quorum-reserved ballot range this owner may use;
+	// lost flips when the lease is observed stolen.
+	leased bool
+	tok    uint32
+	lost   bool
+	minB   int
+	ceilB  int
 
 	// Notify controls whether learn writes carry the notify bit (the
 	// commit-time control transfer that wakes co-located replicas).
@@ -164,8 +174,7 @@ func (ep *endpoint) usable(now des.Time) bool { return !ep.dead && now >= ep.mut
 // One-sided primitive wrappers. Offsets into scratch: word 0 = read
 // deposit, word 1 = CAS result flag, bytes 8.. = cell deposit.
 
-func (pr *Proposer) readCtl(p *des.Proc, ep *endpoint, slot int) (uint32, error) {
-	off := pr.g.Cfg.ctlOff(slot)
+func (pr *Proposer) readWordAt(p *des.Proc, ep *endpoint, off int) (uint32, error) {
 	if ep.seg != nil {
 		return ep.seg.ReadWord(p, off), nil
 	}
@@ -176,8 +185,7 @@ func (pr *Proposer) readCtl(p *des.Proc, ep *endpoint, slot int) (uint32, error)
 	return pr.scratch.ReadWord(p, 0), nil
 }
 
-func (pr *Proposer) casCtl(p *des.Proc, ep *endpoint, slot int, old, new uint32) (bool, error) {
-	off := pr.g.Cfg.ctlOff(slot)
+func (pr *Proposer) casWordAt(p *des.Proc, ep *endpoint, off int, old, new uint32) (bool, error) {
 	if ep.seg != nil {
 		return ep.seg.CASLocal(p, off, old, new), nil
 	}
@@ -186,6 +194,14 @@ func (pr *Proposer) casCtl(p *des.Proc, ep *endpoint, slot int, old, new uint32)
 		ep.noteOK()
 	}
 	return ok, err
+}
+
+func (pr *Proposer) readCtl(p *des.Proc, ep *endpoint, slot int) (uint32, error) {
+	return pr.readWordAt(p, ep, pr.g.Cfg.ctlOff(slot))
+}
+
+func (pr *Proposer) casCtl(p *des.Proc, ep *endpoint, slot int, old, new uint32) (bool, error) {
+	return pr.casWordAt(p, ep, pr.g.Cfg.ctlOff(slot), old, new)
 }
 
 func (pr *Proposer) readCell(p *des.Proc, ep *endpoint, off int) (Ballot, []byte, error) {
@@ -233,19 +249,49 @@ func (pr *Proposer) writeCell(p *des.Proc, ep *endpoint, off int, b Ballot, val 
 // most one value is ever chosen per slot.
 func (pr *Proposer) Propose(p *des.Proc, slot int, val []byte) ([]byte, error) {
 	cfg := pr.g.Cfg
-	if len(val) > cfg.Payload {
+	if len(val) > cfg.MaxValue() {
 		return nil, ErrValueTooLarge
 	}
-	if slot < 0 || slot >= cfg.Slots {
+	if slot < 0 || (!cfg.Compact && slot >= cfg.Slots) {
 		return nil, ErrLogFull
 	}
 	mine := make([]byte, cfg.Payload)
-	copy(mine, val)
+	if cfg.Compact {
+		// The logical-slot prefix travels inside the value, so a cell
+		// surviving from this physical slot's previous occupant is never
+		// mistaken for slot's decree after the window wraps.
+		putbe32(mine, uint32(slot))
+		copy(mine[4:], val)
+	} else {
+		copy(mine, val)
+	}
 
 	pr.lock(p)
 	defer pr.unlock()
+	if pr.lost {
+		return nil, ErrLaneLost
+	}
+	if cfg.Compact {
+		if slot < pr.base {
+			return nil, ErrCompacted
+		}
+		if slot >= pr.base+cfg.Slots {
+			if err := pr.refreshBase(p); err != nil {
+				return nil, err
+			}
+			if slot < pr.base {
+				return nil, ErrCompacted
+			}
+			if slot >= pr.base+cfg.Slots {
+				return nil, ErrLogFull
+			}
+		}
+	}
 
-	b := cfg.nextBallot(pr.lane, pr.lastB[slot])
+	b, err := pr.ballotAfter(p, pr.lastB[slot])
+	if err != nil {
+		return nil, err
+	}
 	for round := 0; round < maxRounds; round++ {
 		if v, ok := pr.readChosen(p, slot); ok {
 			pr.observeChosen(slot)
@@ -288,6 +334,14 @@ func (pr *Proposer) Propose(p *des.Proc, slot int, val []byte) ([]byte, error) {
 					}
 					continue
 				}
+				if cfg.Compact && be32(v) != uint32(slot) {
+					// Stale cell from the physical slot's previous
+					// occupant: that decree is below the watermark,
+					// already applied everywhere. Keep the promise, adopt
+					// nothing.
+					promised = append(promised, ep)
+					continue
+				}
 				if stamp > bestStamp {
 					bestStamp, bestVal = stamp, v
 				}
@@ -295,7 +349,9 @@ func (pr *Proposer) Propose(p *des.Proc, slot int, val []byte) ([]byte, error) {
 			promised = append(promised, ep)
 		}
 		if len(promised) < cfg.Quorum() {
-			b = pr.backoff(p, slot, round, maxSeen)
+			if b, err = pr.backoff(p, slot, round, maxSeen); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if bestStamp > 0 && !bytes.Equal(bestVal, mine) {
@@ -315,11 +371,22 @@ func (pr *Proposer) Propose(p *des.Proc, slot int, val []byte) ([]byte, error) {
 			pr.learn(p, slot, b, bestVal)
 			pr.ChosenSlots++
 			pr.observeChosen(slot)
-			return bestVal, nil
+			return pr.userVal(bestVal), nil
 		}
-		b = pr.backoff(p, slot, round, maxSeen)
+		if b, err = pr.backoff(p, slot, round, maxSeen); err != nil {
+			return nil, err
+		}
 	}
 	return nil, ErrNoQuorum
+}
+
+// userVal strips the compact-mode logical-slot prefix from a full-payload
+// cell value, returning what the caller proposed.
+func (pr *Proposer) userVal(v []byte) []byte {
+	if pr.g.Cfg.Compact {
+		return v[4:]
+	}
+	return v
 }
 
 // promiseOne runs the phase-1 CAS loop on one acceptor: bump the promised
@@ -410,8 +477,9 @@ func (pr *Proposer) learn(p *des.Proc, slot int, b Ballot, val []byte) {
 	}
 }
 
-// readChosen checks slot's learned cell on the nearest usable acceptor.
-func (pr *Proposer) readChosen(p *des.Proc, slot int) ([]byte, bool) {
+// nearest picks the closest usable acceptor: the co-located segment when
+// there is one, else the first unmuted import.
+func (pr *Proposer) nearest() *endpoint {
 	now := pr.m.Node.Env.Now()
 	var pick *endpoint
 	for _, ep := range pr.eps {
@@ -419,13 +487,18 @@ func (pr *Proposer) readChosen(p *des.Proc, slot int) ([]byte, bool) {
 			continue
 		}
 		if ep.seg != nil {
-			pick = ep
-			break
+			return ep
 		}
 		if pick == nil {
 			pick = ep
 		}
 	}
+	return pick
+}
+
+// readChosen checks slot's learned cell on the nearest usable acceptor.
+func (pr *Proposer) readChosen(p *des.Proc, slot int) ([]byte, bool) {
+	pick := pr.nearest()
 	if pick == nil {
 		return nil, false
 	}
@@ -437,7 +510,36 @@ func (pr *Proposer) readChosen(p *des.Proc, slot int) ([]byte, bool) {
 	if stamp == 0 {
 		return nil, false
 	}
-	return v, true
+	if pr.g.Cfg.Compact && be32(v) != uint32(slot) {
+		return nil, false
+	}
+	return pr.userVal(v), true
+}
+
+// refreshBase re-reads the compaction watermark from the nearest usable
+// acceptor. The watermark only rises; a stale-low read is safe — phase-1
+// adoption re-chooses the original value for any recycled-but-still-
+// visible slot, and the cell prefix keeps recycled physical slots from
+// lying about their logical identity. The one hazard compaction cannot
+// survive is a proposer lagging a full window (Slots logical slots)
+// behind the head while holding a stale base: its deposits would target
+// physical slots already recycled for new occupants. The snapshot
+// trigger fires at 3/4 of the window, so a live proposer would have to
+// sit out Slots/4 committed decrees mid-operation to get there.
+func (pr *Proposer) refreshBase(p *des.Proc) error {
+	pick := pr.nearest()
+	if pick == nil {
+		return ErrNoQuorum
+	}
+	w, err := pr.readWordAt(p, pick, pr.g.Cfg.baseOff())
+	if err != nil {
+		pr.noteErr(pick, err)
+		return err
+	}
+	if int(w) > pr.base {
+		pr.base = int(w)
+	}
+	return nil
 }
 
 func (pr *Proposer) observeChosen(slot int) {
@@ -446,30 +548,56 @@ func (pr *Proposer) observeChosen(slot int) {
 	}
 }
 
+// ballotAfter picks the lane's next ballot strictly above after,
+// respecting the quorum-reserved range on leased lanes (reserving a
+// fresh range when the current one is spent).
+func (pr *Proposer) ballotAfter(p *des.Proc, after Ballot) (Ballot, error) {
+	a := int(after)
+	if pr.leased && a < pr.minB-1 {
+		a = pr.minB - 1
+	}
+	b := pr.g.Cfg.nextBallot(pr.lane, Ballot(a))
+	if pr.leased && int(b) >= pr.ceilB {
+		if err := pr.reserveRange(p, int(b)); err != nil {
+			return 0, err
+		}
+		b = pr.g.Cfg.nextBallot(pr.lane, Ballot(pr.minB-1))
+	}
+	return b, nil
+}
+
 // backoff sleeps a deterministic, lane-staggered, capped-exponential
 // delay before the next ballot round — enough asymmetry to break
 // duelling-proposer livelock without a random source.
-func (pr *Proposer) backoff(p *des.Proc, slot, round int, maxSeen Ballot) Ballot {
+func (pr *Proposer) backoff(p *des.Proc, slot, round int, maxSeen Ballot) (Ballot, error) {
 	d := backoffBase << uint(min(round, 6))
 	if d > backoffMax {
 		d = backoffMax
 	}
 	p.Sleep(d + des.Duration(pr.lane)*laneStagger)
-	b := pr.g.Cfg.nextBallot(pr.lane, maxSeen)
-	if floor := pr.lastB[slot]; b <= floor {
-		b = pr.g.Cfg.nextBallot(pr.lane, floor)
+	if floor := pr.lastB[slot]; maxSeen < floor {
+		maxSeen = floor
 	}
-	return b
+	return pr.ballotAfter(p, maxSeen)
 }
 
 // Commit finds the first open slot at or after the proposer's hint and
 // drives val into it, skipping slots other commands won. Returns the slot
-// chosen for val.
+// chosen for val. In compact mode the log has no horizon: slots that fell
+// below the watermark mid-scan are skipped, and ErrLogFull means only
+// that the live window is full (the appliers are a full window behind).
 func (pr *Proposer) Commit(p *des.Proc, val []byte) (int, error) {
-	mine := make([]byte, pr.g.Cfg.Payload)
+	cfg := pr.g.Cfg
+	mine := make([]byte, cfg.MaxValue())
 	copy(mine, val)
-	for slot := pr.next; slot < pr.g.Cfg.Slots; slot++ {
+	for slot := pr.next; !cfg.Compact && slot < cfg.Slots || cfg.Compact; slot++ {
+		if cfg.Compact && slot < pr.base {
+			slot = pr.base
+		}
 		chosen, err := pr.Propose(p, slot, val)
+		if cfg.Compact && errors.Is(err, ErrCompacted) {
+			continue
+		}
 		if err != nil {
 			return -1, err
 		}

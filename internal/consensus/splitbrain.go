@@ -1,0 +1,325 @@
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+	"netmem/internal/model"
+	"netmem/internal/obs"
+	"netmem/internal/recovery"
+	"netmem/internal/rmem"
+)
+
+// Split-brain harness: the failure the quorum-fenced failover exists
+// for. A partition isolates the DFS primary from everything — replicas,
+// standby, clerk — while the primary itself stays perfectly healthy.
+// The watchdog's verdict is therefore *wrong* in the way that matters:
+// acting on it directly would promote the standby while the old primary
+// keeps applying write-behind state, two writers diverging silently.
+// Here the verdict is only a proposal; the takeover runs because the
+// fence decree committed on the replica quorum, and the old primary —
+// unable to refresh its write lease against that same quorum — refuses
+// its own Sync before the standby touches a byte. Exactly one writer
+// survives, and the log was the only authority either side consulted.
+
+// SplitBrainConfig selects one split-brain run.
+type SplitBrainConfig struct {
+	// Campaign is the fault schedule; the stock "splitbrain" campaign
+	// partitions node 3 (the primary) from nodes 0-2 (replicas), 4 (the
+	// standby), and 5 (the clerk), healing at 260ms.
+	Campaign faults.Campaign
+	// Seed seeds the simulation environment; 0 means des.DefaultSeed.
+	Seed int64
+	// Mode is the file-service structure (DX for the paper's proposal).
+	Mode dfs.Mode
+}
+
+// SplitBrainResult is one full split-brain run.
+type SplitBrainResult struct {
+	Campaign string
+	Seed     int64
+	Mode     dfs.Mode
+
+	// Data plane: the Figure 2 mix, byte-verified against the store.
+	Ops       []dfs.ChaosOpResult
+	Completed int
+	Replays   int64
+	Retries   int64
+	Giveups   int64
+
+	// The fencing path.
+	FenceLatency time.Duration // watchdog verdict → fence decree committed
+	MTTR         time.Duration // last-known-alive → takeover complete
+	Aborted      bool          // fence decree failed; failover never ran
+
+	// The one-writer audit.
+	Denials       int64 // old primary's refused mutations while fenced
+	OldSyncFrozen bool  // old primary applied nothing after the partition
+	OldDeposed    bool  // old lease permanently lost after the heal
+	NewWriterOK   bool  // promoted standby wrote unimpeded
+
+	Injected []string
+	Events   uint64
+	Window   time.Duration
+	Metrics  obs.Snapshot
+}
+
+// Goodput is the fraction of the mix that completed byte-correct.
+func (r *SplitBrainResult) Goodput() float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(len(r.Ops))
+}
+
+// OneWriter reports the headline property: the old primary stopped
+// writing before the new one started, and never wrote again.
+func (r *SplitBrainResult) OneWriter() bool {
+	return r.OldSyncFrozen && r.NewWriterOK && r.Denials > 0
+}
+
+// Rig geometry: control replicas on nodes 0..2, the primary file server
+// on node 3, its hot standby on node 4, the clerk (who also runs the
+// recovery coordinator and the consensus client) on node 5.
+const (
+	sbReplicas    = 3
+	sbPrimaryNode = 3
+	sbStandbyNode = 4
+	sbClerkNode   = 5
+	sbNodes       = 6
+)
+
+// sbLeaseTTL / sbLeaseRefresh tune the primary's write lease. The TTL is
+// also the coordinator's FenceWait: by the time the standby is promoted,
+// an unreachable primary's lease has provably lapsed.
+const (
+	sbLeaseTTL     = time.Millisecond
+	sbLeaseRefresh = 250 * time.Microsecond
+)
+
+// RunSplitBrain measures the mix twice — fault-free baseline, then under
+// the campaign — on identical topologies (lease daemons and mirror
+// traffic run in both legs).
+func RunSplitBrain(cfg SplitBrainConfig) (*SplitBrainResult, error) {
+	base, err := runSplitBrainMix(nil, cfg.Seed, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: splitbrain baseline: %w", err)
+	}
+	leg, err := runSplitBrainMix(&cfg.Campaign, cfg.Seed, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: splitbrain run: %w", err)
+	}
+	res := &SplitBrainResult{
+		Campaign:      cfg.Campaign.Name,
+		Seed:          leg.eng.Seed(),
+		Mode:          cfg.Mode,
+		Replays:       leg.replays,
+		FenceLatency:  time.Duration(leg.rec.FenceLatency()),
+		MTTR:          time.Duration(leg.rec.MTTR()),
+		Aborted:       leg.rec.Aborted(),
+		Denials:       leg.denials,
+		OldSyncFrozen: leg.oldSyncFrozen,
+		OldDeposed:    leg.oldDeposed,
+		NewWriterOK:   leg.newWriterOK,
+		Injected:      leg.eng.Counts(),
+		Events:        leg.events,
+		Window:        leg.window,
+		Metrics:       leg.tr.Snapshot(),
+	}
+	res.Retries = res.Metrics.Counter("reliable.retries")
+	res.Giveups = res.Metrics.Counter("reliable.giveup")
+	for i, op := range leg.ops {
+		op.Baseline = base.ops[i].Chaos
+		res.Ops = append(res.Ops, op)
+		if op.OK {
+			res.Completed++
+		}
+	}
+	return res, nil
+}
+
+// sbLeg is one measured leg.
+type sbLeg struct {
+	ops     []dfs.ChaosOpResult
+	tr      *obs.Tracer
+	eng     *faults.Engine
+	rec     *recovery.Coordinator
+	window  time.Duration
+	events  uint64
+	replays int64
+
+	denials       int64
+	oldSyncFrozen bool
+	oldDeposed    bool
+	newWriterOK   bool
+}
+
+func runSplitBrainMix(camp *faults.Campaign, seed int64, mode dfs.Mode) (*sbLeg, error) {
+	env := des.NewEnv()
+	if seed != 0 {
+		env.Seed(seed)
+	}
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	var eng *faults.Engine
+	var clusterOpts []cluster.Option
+	if camp != nil {
+		eng = faults.NewEngine(env, *camp)
+		clusterOpts = append(clusterOpts, cluster.WithFaultEngine(eng))
+	}
+	cl := cluster.New(env, &model.Default, sbNodes, clusterOpts...)
+	mgrs := make([]*rmem.Manager, sbNodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+
+	leg := &sbLeg{tr: tr, eng: eng}
+	rig := &cpChaosRig{}
+	var (
+		oldSrv   *dfs.Server
+		oldLease *WriteLease
+		setupErr error
+	)
+	env.Spawn("splitbrain.setup", func(p *des.Proc) {
+		g := NewGroup(p, Config{Acceptors: sbReplicas, Proposers: sbReplicas + 1, Slots: 1024},
+			mgrs[:sbReplicas]...)
+		cp := NewControlPlane(p, g, nil)
+		cp.EnableFenceTable(p, sbNodes)
+		if setupErr = cp.Start(p); setupErr != nil {
+			return
+		}
+
+		rig.srv = dfs.NewServer(p, mgrs[sbPrimaryNode], sbNodes, dfs.Geometry{}, dfs.WithReliableReplies())
+		rig.clerk = dfs.NewClerk(p, mgrs[sbClerkNode], rig.srv, mode, dfs.WithReliable(), dfs.WithFencing())
+		if setupErr = warmCPRig(rig); setupErr != nil {
+			return
+		}
+		oldSrv = rig.srv
+
+		// The primary's write lease: every mutation checks it, and it
+		// only stays valid while a quorum of fence tables keeps agreeing
+		// the primary is unfenced.
+		oldLease, setupErr = NewWriteLease(p, mgrs[sbPrimaryNode], sbPrimaryNode, cp, sbLeaseTTL, sbLeaseRefresh)
+		if setupErr != nil {
+			return
+		}
+		rig.srv.SetWriteGuard(oldLease)
+
+		// The old primary keeps draining write-behind state on its own
+		// cadence — the exact daemon that must go quiet once fenced.
+		env.SpawnDaemon("splitbrain.oldsync", func(sp *des.Proc) {
+			for {
+				sp.Sleep(des.Duration(2 * sbLeaseRefresh))
+				if _, err := oldSrv.Sync(sp); err != nil {
+					return
+				}
+			}
+		})
+
+		// Hot standby + heartbeat + gated coordinator on the clerk's node.
+		standby := dfs.NewStandby(p, mgrs[sbStandbyNode], rig.srv.Geo)
+		rig.srv.AttachStandby(p, standby, 100*time.Microsecond)
+		hb := mgrs[sbPrimaryNode].Export(p, 8)
+		hb.SetDefaultRights(rmem.RightRead)
+		rmem.StartHeartbeat(mgrs[sbPrimaryNode], hb, 0, 100*time.Microsecond)
+		hbImp := mgrs[sbClerkNode].Import(p, sbPrimaryNode, hb.ID(), hb.Gen(), 8)
+
+		leg.rec = recovery.New(mgrs[sbClerkNode], sbPrimaryNode, recovery.Config{FenceWait: sbLeaseTTL})
+		leg.rec.ReplicateVerdicts(cp.NewClient(p, mgrs[sbClerkNode]))
+		leg.rec.OnFailover("standby.takeover", func(fp *des.Proc) error {
+			srv, err := standby.TakeOver(fp, rig.srv.Store, sbNodes, dfs.WithReliableReplies())
+			if err != nil {
+				return err
+			}
+			// The successor is guarded too: it holds its own lease,
+			// granted under the post-fence epoch.
+			lease, err := NewWriteLease(fp, mgrs[sbStandbyNode], sbStandbyNode, cp, sbLeaseTTL, sbLeaseRefresh)
+			if err != nil {
+				return err
+			}
+			srv.SetWriteGuard(lease)
+			rig.srv = srv
+			return nil
+		})
+		leg.rec.OnFailover("clerk.rebind", func(fp *des.Proc) error {
+			rig.clerk.Rebind(fp, rig.srv)
+			return nil
+		})
+		leg.rec.Watch(hbImp, 0)
+	})
+	if err := env.RunUntil(des.Time(200 * time.Millisecond)); err != nil {
+		return nil, err
+	}
+	if setupErr != nil {
+		return nil, setupErr
+	}
+
+	// Freeze the old primary's Sync counter at the moment the partition
+	// opens; everything it applies afterwards is a split-brain write.
+	var syncedAtCut int64 = -1
+	if camp != nil && len(camp.Partitions) > 0 {
+		cut := des.Time(camp.Partitions[0].From)
+		env.Spawn("splitbrain.mark", func(p *des.Proc) {
+			if p.Now() < cut {
+				p.Sleep(time.Duration(cut.Sub(p.Now())))
+			}
+			syncedAtCut = oldSrv.Synced
+		})
+	}
+
+	ops := make([]dfs.ChaosOpResult, len(dfs.Figure2Ops))
+	env.Spawn("splitbrain.mix", func(p *des.Proc) {
+		// Anchor at t = 200ms so the partition window lands inside the
+		// measured run.
+		if at := des.Time(200 * time.Millisecond); p.Now() < at {
+			p.Sleep(time.Duration(at.Sub(p.Now())))
+		}
+		start := p.Now()
+		for i, spec := range dfs.Figure2Ops {
+			// Pace the mix so it straddles the partition window: the front
+			// half lands on the healthy primary, the back half dies against
+			// the partitioned one and must replay on the fenced successor.
+			if at := start.Add(time.Duration(i) * 300 * time.Microsecond); p.Now() < at {
+				p.Sleep(time.Duration(at.Sub(p.Now())))
+			}
+			ops[i] = runVerifiedCPOp(p, rig, spec)
+			// A failed op died against the partitioned primary; park until
+			// the quorum-fenced takeover completes, then replay.
+			for tries := 0; !ops[i].OK && tries < 3; tries++ {
+				if err := leg.rec.AwaitRestored(p, time.Second); err != nil {
+					break
+				}
+				leg.replays++
+				ops[i] = runVerifiedCPOp(p, rig, spec)
+			}
+		}
+		leg.window = time.Duration(p.Now().Sub(start))
+
+		// The audit needs the heal: the old primary must observe that it
+		// was fenced *and* repaired behind its back, and stay deposed.
+		if camp != nil && len(camp.Partitions) > 0 && camp.Partitions[0].HealAt > 0 {
+			heal := des.Time(camp.Partitions[0].HealAt + 5*time.Millisecond)
+			if p.Now() < heal {
+				p.Sleep(time.Duration(heal.Sub(p.Now())))
+			}
+		}
+		if camp != nil {
+			leg.denials = oldSrv.GuardDenials
+			leg.oldSyncFrozen = syncedAtCut >= 0 && oldSrv.Synced == syncedAtCut
+			leg.oldDeposed = oldLease.Deposed()
+			leg.newWriterOK = rig.srv != oldSrv && rig.srv.GuardDenials == 0
+		}
+	})
+
+	// Lease, heartbeat, and watchdog daemons never idle; finite horizon.
+	if err := env.RunUntil(des.Time(3 * time.Second)); err != nil {
+		return nil, err
+	}
+	leg.ops = ops
+	leg.events = env.Events()
+	return leg, nil
+}

@@ -1,0 +1,69 @@
+package consensus
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+)
+
+// TestSplitBrainOneWriter is the quorum-fenced failover golden: the
+// splitbrain campaign partitions a healthy primary away from the
+// replicas, standby, and clerk. The watchdog's (wrong) verdict must not
+// promote the standby by itself — the takeover runs only after the
+// fence decree commits on the replica quorum, by which point the old
+// primary's write lease has lapsed and its Sync daemon is refusing to
+// apply anything. Exactly one writer survives, every op byte-verifies,
+// and two runs at seed 1 are byte-identical.
+func TestSplitBrainOneWriter(t *testing.T) {
+	camp, ok := faults.Named("splitbrain")
+	if !ok {
+		t.Fatal("splitbrain campaign not registered")
+	}
+	runOnce := func() ([]byte, *SplitBrainResult) {
+		res, err := RunSplitBrain(SplitBrainConfig{Campaign: camp, Seed: 1, Mode: dfs.DX})
+		if err != nil {
+			t.Fatalf("RunSplitBrain: %v", err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return append(js, res.Metrics.String()...), res
+	}
+	b1, r1 := runOnce()
+	b2, _ := runOnce()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("splitbrain campaign not deterministic at seed 1")
+	}
+
+	if r1.Aborted {
+		t.Fatalf("fence decree did not commit; failover aborted")
+	}
+	if r1.Completed != len(r1.Ops) || len(r1.Ops) != 12 {
+		t.Errorf("goodput %d/%d, want 12/12 byte-correct", r1.Completed, len(r1.Ops))
+	}
+	if !r1.OneWriter() {
+		t.Errorf("one-writer audit failed: frozen=%v newOK=%v denials=%d",
+			r1.OldSyncFrozen, r1.NewWriterOK, r1.Denials)
+	}
+	if !r1.OldDeposed {
+		t.Errorf("old primary's lease recovered after the heal; want deposed for good")
+	}
+	if r1.FenceLatency <= 0 {
+		t.Errorf("fence latency %v, want > 0 (decree must commit before takeover)", r1.FenceLatency)
+	}
+	if r1.MTTR <= r1.FenceLatency {
+		t.Errorf("MTTR %v not after fence commit %v; takeover ran before the decree",
+			r1.MTTR, r1.FenceLatency)
+	}
+	if r1.Retries == 0 {
+		t.Errorf("no reliable retransmissions; the partition never bit the mix")
+	}
+	if r1.Window <= 100*time.Millisecond {
+		t.Errorf("mix window %v; ops never stalled against the partitioned primary", r1.Window)
+	}
+}

@@ -1,0 +1,150 @@
+package consensus
+
+import (
+	"fmt"
+
+	"netmem/internal/des"
+	"netmem/internal/rmem"
+)
+
+// WriteLease makes the fence table *effective* on the data plane: the
+// machine that exports a DFS store holds one, and refuses mutations the
+// moment it can no longer prove — against a quorum of control-plane
+// replicas — that no committed fence decree names it. The proof is a
+// one-sided read of the holder's own fence-table word on every replica,
+// repeated each interval; a fresh quorum of even words equal to the
+// epoch the lease was granted under extends validity by ttl.
+//
+// Three ways to lose the lease, matching the three ways a partition can
+// play out:
+//
+//   - unreachable: reads time out, validUntil lapses, writes stop — the
+//     exact window in which a quorum may be fencing us;
+//   - fenced: a word reads odd — a fence decree committed; deny;
+//   - deposed: a word reads even but different from the granted epoch —
+//     we were fenced *and* unfenced while unreachable, i.e. someone else
+//     was promoted and repaired in between. Sticky: this incarnation
+//     never writes again, even though the table says the *node* may.
+//
+// The holder therefore needs no failover notification: the decree's
+// effect reaches it through its own next refresh, which is the paper's
+// separation applied to fencing — the control transfer (the decree)
+// happens on the log; the data plane only ever observes memory.
+type WriteLease struct {
+	m        *rmem.Manager
+	node     int
+	quorum   int
+	ttl      des.Duration
+	interval des.Duration
+
+	segs    []*rmem.Segment // co-located fence tables
+	imps    []*rmem.Import  // remote fence tables (nil when co-located)
+	scratch *rmem.Segment
+
+	epoch0     uint32
+	validUntil des.Time
+	deposed    bool
+	stopped    bool
+
+	// Denials counts refused Allow calls.
+	Denials int64
+}
+
+// NewWriteLease grants node's write lease on m against cp's fence table
+// (EnableFenceTable must have run first). The lease starts valid for ttl
+// and the refresh daemon keeps it so while a quorum keeps agreeing.
+func NewWriteLease(p *des.Proc, m *rmem.Manager, node int, cp *ControlPlane, ttl, interval des.Duration) (*WriteLease, error) {
+	if cp.fenceMax == 0 {
+		return nil, fmt.Errorf("consensus: fence table not enabled")
+	}
+	if node < 0 || node >= cp.fenceMax {
+		return nil, fmt.Errorf("consensus: node %d outside fence table", node)
+	}
+	wl := &WriteLease{
+		m: m, node: node, quorum: cp.g.Cfg.Quorum(),
+		ttl: ttl, interval: interval,
+	}
+	wl.scratch = m.Export(p, 8)
+	off := node * 4
+	reads := 0
+	var v0 uint32
+	for _, r := range cp.reps {
+		if r.acc.M == m {
+			wl.segs = append(wl.segs, r.fenceSeg)
+			wl.imps = append(wl.imps, nil)
+			v0 = r.fenceSeg.ReadWord(p, off)
+			reads++
+			continue
+		}
+		imp := m.Import(p, r.acc.M.Node.ID, r.fenceSeg.ID(), r.fenceSeg.Gen(), r.fenceSeg.Size())
+		imp.SetReliable(true)
+		wl.segs = append(wl.segs, nil)
+		wl.imps = append(wl.imps, imp)
+		if err := imp.Read(p, off, 4, wl.scratch, 0, wl.interval*4); err == nil {
+			v0 = wl.scratch.ReadWord(p, 0)
+			reads++
+		}
+	}
+	if reads < wl.quorum {
+		return nil, ErrNoQuorum
+	}
+	if v0%2 == 1 {
+		return nil, fmt.Errorf("consensus: node %d is fenced", node)
+	}
+	wl.epoch0 = v0
+	wl.validUntil = m.Node.Env.Now().Add(ttl)
+	m.Node.Env.SpawnDaemon("consensus.writelease", wl.run)
+	return wl, nil
+}
+
+func (wl *WriteLease) run(p *des.Proc) {
+	off := wl.node * 4
+	for !wl.stopped && !wl.deposed {
+		p.Sleep(wl.interval)
+		if wl.stopped {
+			return
+		}
+		fresh, clean := 0, true
+		for i := range wl.segs {
+			var v uint32
+			if wl.segs[i] != nil {
+				v = wl.segs[i].ReadWord(p, off)
+			} else {
+				if err := wl.imps[i].Read(p, off, 4, wl.scratch, 0, wl.interval); err != nil {
+					continue
+				}
+				v = wl.scratch.ReadWord(p, 0)
+			}
+			fresh++
+			switch {
+			case v%2 == 1:
+				clean = false // a fence decree committed against us
+			case v != wl.epoch0:
+				wl.deposed = true // fenced and repaired behind our back
+			}
+		}
+		if wl.deposed {
+			return
+		}
+		if fresh >= wl.quorum && clean {
+			wl.validUntil = p.Now().Add(wl.ttl)
+		}
+	}
+}
+
+// Allow reports whether the holder may mutate data right now. It
+// satisfies dfs.WriteGuard.
+func (wl *WriteLease) Allow(p *des.Proc) bool {
+	if wl.deposed || p.Now() > wl.validUntil {
+		wl.Denials++
+		return false
+	}
+	return true
+}
+
+// Deposed reports whether the lease was permanently lost to a
+// fence/unfence cycle that happened while the holder was unreachable.
+func (wl *WriteLease) Deposed() bool { return wl.deposed }
+
+// Stop ends the refresh daemon (shutdown paths; the lease lapses).
+func (wl *WriteLease) Stop() { wl.stopped = true }

@@ -1,0 +1,51 @@
+package dfs
+
+import (
+	"errors"
+
+	"netmem/internal/des"
+)
+
+// ErrFenced is what a mutating request gets from a server that cannot
+// currently prove it is the writer. Clerks see it as a string over the
+// reply channel (errReply flattens errors), so the text is the contract.
+var ErrFenced = errors.New("dfs: server fenced: write lease not held")
+
+// WriteGuard is the data plane's view of fencing: before any mutation
+// the server asks whether it still holds the right to write. The
+// consensus package's WriteLease implements it by refreshing against the
+// replicated fence table; tests implement it with a bool. A nil guard
+// (the default) means writes are always allowed — single-writer
+// deployments without a control plane behave exactly as before.
+//
+// The guard is deliberately checked on the server, not the clerk: a
+// partitioned primary must refuse its *own* writes, including Sync of
+// blocks clerks deposited before the partition — the split-brain case
+// where both sides believe they are primary.
+type WriteGuard interface {
+	Allow(p *des.Proc) bool
+}
+
+// SetWriteGuard installs g as the mutation gate. Pass nil to remove it.
+func (s *Server) SetWriteGuard(g WriteGuard) { s.guard = g }
+
+// allowWrite consults the guard and counts denials.
+func (s *Server) allowWrite(p *des.Proc) bool {
+	if s.guard == nil || s.guard.Allow(p) {
+		return true
+	}
+	s.GuardDenials++
+	if tr := s.m.Node.Env.Tracer(); tr != nil {
+		tr.Count("dfs.guard.denials", 1)
+	}
+	return false
+}
+
+// mutates reports whether op changes file-system state.
+func mutates(op Op) bool {
+	switch op {
+	case OpSetAttr, OpWrite, OpCreate, OpMkdir, OpSymlink, OpRemove, OpRename:
+		return true
+	}
+	return false
+}

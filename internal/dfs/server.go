@@ -28,13 +28,15 @@ type Server struct {
 
 	standby *rmem.Import // hot-standby mirror segment (AttachStandby)
 	shadow  []byte       // data-area image as of the last mirror pass
+	guard   WriteGuard   // mutation gate (SetWriteGuard); nil allows all
 
 	// Stats.
-	MissCalls   int64        // requests that reached the server procedure
-	OpCounts    map[Op]int64 // per-op server procedure executions
-	Synced      int64        // dirty blocks applied by Sync
-	EagerPushes int64        // attribute records pushed to subscribers
-	Mirrored    int64        // data buckets pushed to the hot standby
+	MissCalls    int64        // requests that reached the server procedure
+	OpCounts     map[Op]int64 // per-op server procedure executions
+	Synced       int64        // dirty blocks applied by Sync
+	EagerPushes  int64        // attribute records pushed to subscribers
+	Mirrored     int64        // data buckets pushed to the hot standby
+	GuardDenials int64        // mutations refused by the write guard
 }
 
 // segRights grants clerks direct read/write/CAS access to a cache area.
@@ -446,6 +448,12 @@ func (s *Server) refreshCachedBlocks(h fstore.Handle) {
 // behind step that needs no per-write control transfer. Returns the
 // number of blocks applied.
 func (s *Server) Sync(p *des.Proc) (int, error) {
+	if !s.allowWrite(p) {
+		// A fenced primary must not apply clerk deposits — the successor
+		// has (or will have) the mirrored copies. Not an error: the sync
+		// daemon keeps polling and resumes if the lease ever returns.
+		return 0, nil
+	}
 	applied := 0
 	for b := 0; b < s.Geo.DataBuckets; b++ {
 		buf := s.data.Bytes()[b*dataStride:]
@@ -506,6 +514,9 @@ func (s *Server) serve(p *des.Proc, src int, reqBytes []byte) []byte {
 
 func (s *Server) execute(req *request) ([]byte, error) {
 	st := s.Store
+	if mutates(req.Op) && !s.allowWrite(req.proc) {
+		return nil, ErrFenced
+	}
 	switch req.Op {
 	case OpNull:
 		return nil, nil

@@ -58,6 +58,33 @@ var named = map[string]func() Campaign{
 			{Node: 0, At: 202 * time.Millisecond},
 		}}
 	},
+	"splitbrain": func() Campaign {
+		// The DFS primary (node 3 in the consensus split-brain rig) is
+		// partitioned from everyone — replicas, standby, clerk — but stays
+		// alive. The watchdog verdict is therefore *false*: the primary is
+		// healthy, just unreachable. Only a quorum-fenced takeover keeps a
+		// single writer; acting on the raw verdict would leave two.
+		// The window outlasts the reliable layer's full retry budget
+		// (~150ms for an in-flight 8K transfer at the default model), so
+		// operations caught mid-flight genuinely exhaust their retries
+		// against the partitioned primary and complete against the fenced
+		// successor while the partition still holds — not by riding the
+		// retries out until the heal.
+		return Campaign{Name: "splitbrain", Partitions: []Partition{
+			{A: []int{3}, B: []int{0, 1, 2, 4, 5},
+				From: 202 * time.Millisecond, HealAt: 600 * time.Millisecond},
+		}}
+	},
+	"joincrash": func() Campaign {
+		// A *joining* shard dies mid-cutover. The sharded failover rig
+		// places the joiner on node 7 (shards on 0..N-1, clerk on N,
+		// standbys after); the crash lands between the deposit barrier and
+		// commit, exercising AddShard's abort path. In single-server rigs
+		// node 7 never binds, so the campaign degrades to a clean run.
+		return Campaign{Name: "joincrash", Crashes: []Crash{
+			{Node: 7, At: 203 * time.Millisecond},
+		}}
+	},
 	"flap": func() Campaign {
 		// Repeated 200µs outages on every link, every 2ms across the
 		// measured window (workloads start after the 200ms warm-up): each

@@ -71,6 +71,36 @@ type Crash struct {
 	RecoverAt time.Duration // 0 = never restarts
 }
 
+// Partition is a bidirectional mute between two node groups: while
+// virtual time is inside [From, HealAt) every cell whose source is in one
+// group and destination in the other is dropped, in both directions.
+// Unlike a Flap it is keyed to the cell's endpoints, not the link name, so
+// one schedule isolates a node regardless of fabric topology (direct
+// links or switch hops). Purely time-based — a partition draws nothing
+// from the random streams, so adding one to a campaign perturbs no other
+// fault sequence.
+type Partition struct {
+	A, B   []int
+	From   time.Duration // partition start (inclusive)
+	HealAt time.Duration // heal time (exclusive); 0 = never heals
+}
+
+// severs reports whether the partition, when active, cuts traffic
+// between src and dst.
+func (pt Partition) severs(src, dst int) bool {
+	return (contains(pt.A, src) && contains(pt.B, dst)) ||
+		(contains(pt.B, src) && contains(pt.A, dst))
+}
+
+func contains(s []int, n int) bool {
+	for _, v := range s {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
 // Campaign is a complete, seeded fault schedule for one run.
 type Campaign struct {
 	// Name labels the campaign in reports.
@@ -85,6 +115,8 @@ type Campaign struct {
 	Links map[string]LinkFault
 	// Crashes is the node failure schedule.
 	Crashes []Crash
+	// Partitions are bidirectional group mutes with heal times.
+	Partitions []Partition
 	// DropOnOverflow makes full destination FIFOs drop arriving cells
 	// instead of exerting link-level backpressure — the behaviour of
 	// controllers without hardware flow control.
@@ -94,14 +126,15 @@ type Campaign struct {
 // Injection kinds, as reported by Counts and the obs counters
 // ("faults.injected.<kind>").
 const (
-	KindLoss     = "loss"
-	KindCorrupt  = "corrupt"
-	KindDup      = "dup"
-	KindReorder  = "reorder"
-	KindFlap     = "flap"
-	KindOverflow = "overflow"
-	KindCrash    = "crash"
-	KindRecover  = "recover"
+	KindLoss      = "loss"
+	KindCorrupt   = "corrupt"
+	KindDup       = "dup"
+	KindReorder   = "reorder"
+	KindFlap      = "flap"
+	KindOverflow  = "overflow"
+	KindCrash     = "crash"
+	KindRecover   = "recover"
+	KindPartition = "partition"
 )
 
 // Verdict is the engine's ruling on one cell.
@@ -217,6 +250,31 @@ func (e *Engine) Judge(link string) Verdict {
 		v.HoldOne = true
 	}
 	return v
+}
+
+// PartitionDrop rules on one cell by its endpoints: true means an active
+// partition severs src from dst and the cell must be dropped. The network
+// layer consults it once per cell hop, before any link-level verdict.
+// Nil-safe: a nil engine (or a campaign with no partitions) delivers
+// everything.
+func (e *Engine) PartitionDrop(src, dst int) bool {
+	if e == nil || len(e.camp.Partitions) == 0 {
+		return false
+	}
+	now := e.env.Now()
+	for _, pt := range e.camp.Partitions {
+		if now < des.Time(pt.From) {
+			continue
+		}
+		if pt.HealAt > 0 && now >= des.Time(pt.HealAt) {
+			continue
+		}
+		if pt.severs(src, dst) {
+			e.Count(KindPartition)
+			return true
+		}
+	}
+	return false
 }
 
 // Count records one injected fault of the given kind, in the engine's own

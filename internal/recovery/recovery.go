@@ -43,6 +43,13 @@ type Config struct {
 	Backoff    des.Duration
 	BackoffMax des.Duration
 	Attempts   int
+	// FenceWait is how long the coordinator sits between the fence
+	// decree committing and the first failover step, when verdicts are
+	// replicated. Set it to the victim's write-lease TTL: by the time the
+	// new primary touches data, the old one has either refreshed against
+	// the fence table (and stopped writing) or lost its lease to the
+	// lapse. Zero means takeover starts the moment the decree commits.
+	FenceWait des.Duration
 }
 
 func (c *Config) fill(m *rmem.Manager) {
@@ -97,12 +104,15 @@ type Coordinator struct {
 
 	restored bool
 	failed   bool
+	aborted  bool
 	q        *des.WaitQueue
 
-	// DetectedAt is when the watchdog verdict landed; RestoredAt when the
-	// last failover step completed. Rebinds counts step executions
-	// (including retries that eventually succeeded).
+	// DetectedAt is when the watchdog verdict landed; DecreeAt when the
+	// replicated fence decree committed (zero without ReplicateVerdicts);
+	// RestoredAt when the last failover step completed. Rebinds counts
+	// step executions (including retries that eventually succeeded).
 	DetectedAt des.Time
+	DecreeAt   des.Time
 	RestoredAt des.Time
 	Rebinds    int64
 }
@@ -120,11 +130,15 @@ func (c *Coordinator) FenceNames(clerks ...*nameserver.Clerk) {
 	c.names = append(c.names, clerks...)
 }
 
-// ReplicateVerdicts routes this coordinator's fence/unfence decisions
-// through vl in addition to the locally registered clerks. Proposal
-// failures (log majority down) degrade to local-only fencing rather than
-// stalling the repair: availability of the data plane must not hinge on
-// the control plane mid-outage.
+// ReplicateVerdicts makes vl the gate for this coordinator's failover:
+// the watchdog verdict is only a *proposal*, and no repair step runs
+// until the fence decree commits on a quorum of log replicas. If the
+// proposal fails (log majority unreachable — which is exactly what this
+// coordinator observes when it is the one partitioned away), the
+// failover aborts: no promotion, no rebind, Aborted() reports the stall.
+// That asymmetry is the split-brain defence — a minority-side watchdog
+// cannot manufacture a second primary, because the side that can commit
+// the decree is by construction the side with the quorum.
 func (c *Coordinator) ReplicateVerdicts(vl VerdictLog) { c.vlog = vl }
 
 // OnFailover appends a repair step. Steps run in registration order — a
@@ -156,15 +170,27 @@ func (c *Coordinator) failover(p *des.Proc, verdict error) {
 	if tr != nil {
 		tr.Count("recovery.failovers", 1)
 	}
+	if c.vlog != nil {
+		// Gated path: the verdict is a proposal. Nothing — not even the
+		// local name-service fence — happens unless the decree commits.
+		if err := c.vlog.ProposeFence(p, c.peer); err != nil {
+			c.aborted = true
+			c.m.Node.Faults = append(c.m.Node.Faults,
+				fmt.Errorf("recovery: node %d: fence decree for peer %d did not commit, failover aborted: %w",
+					c.m.Node.ID, c.peer, err))
+			if tr != nil {
+				tr.Count("recovery.aborted", 1)
+			}
+			c.q.WakeAll()
+			return
+		}
+		c.DecreeAt = env.Now()
+		if c.cfg.FenceWait > 0 {
+			p.Sleep(c.cfg.FenceWait)
+		}
+	}
 	for _, ns := range c.names {
 		ns.FencePeer(c.peer)
-	}
-	if c.vlog != nil {
-		if err := c.vlog.ProposeFence(p, c.peer); err != nil {
-			c.m.Node.Faults = append(c.m.Node.Faults,
-				fmt.Errorf("recovery: node %d: fence decree for peer %d not replicated: %w",
-					c.m.Node.ID, c.peer, err))
-		}
 	}
 	for _, step := range c.steps {
 		if err := c.runStep(p, step); err != nil {
@@ -242,6 +268,20 @@ func (c *Coordinator) Failed() bool { return c.failed }
 // Restored reports whether the failover sequence has completed.
 func (c *Coordinator) Restored() bool { return c.restored }
 
+// Aborted reports that the verdict landed but the fence decree did not
+// commit, so the failover never ran (minority-side watchdog).
+func (c *Coordinator) Aborted() bool { return c.aborted }
+
+// FenceLatency is verdict-to-committed-decree: how long the quorum took
+// to agree the peer is dead. Zero unless verdicts are replicated and the
+// decree committed.
+func (c *Coordinator) FenceLatency() des.Duration {
+	if c.DecreeAt == 0 {
+		return 0
+	}
+	return c.DecreeAt.Sub(c.DetectedAt)
+}
+
 // MTTR is the measured outage: last-known-alive to repair-complete. Zero
 // until restored.
 func (c *Coordinator) MTTR() des.Duration {
@@ -268,7 +308,7 @@ func (c *Coordinator) AwaitRestored(p *des.Proc, timeout des.Duration) error {
 		})
 		defer cancel()
 	}
-	for !c.restored && !timedOut {
+	for !c.restored && !c.aborted && !timedOut {
 		c.q.Wait(p)
 	}
 	if !c.restored {

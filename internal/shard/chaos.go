@@ -47,6 +47,11 @@ type ChaosResult struct {
 	// data buckets found on a shard that no longer owns their key (want 0),
 	// and how many of those the audit evicted.
 	Strays, Repaired int
+	// JoinAttempted / JoinAborted report the mid-campaign elasticity probe
+	// (campaigns that crash a node beyond the failover rig spawn a joiner
+	// there): whether AddShard ran, and whether it rolled back because the
+	// joiner died mid-cutover.
+	JoinAttempted, JoinAborted bool
 }
 
 // RunChaos measures the Figure 2 mix on a sharded rig twice — fault-free
@@ -69,7 +74,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if leg.divErr != nil {
 		return nil, fmt.Errorf("shard: chaos divergence audit: %w", leg.divErr)
 	}
-	res := &ChaosResult{Shards: cfg.Shards, Strays: leg.strays, Repaired: leg.repaired}
+	res := &ChaosResult{Shards: cfg.Shards, Strays: leg.strays, Repaired: leg.repaired,
+		JoinAttempted: leg.rig.joinDone, JoinAborted: leg.rig.joinErr != nil}
 	res.Campaign = cfg.Campaign.Name
 	res.Seed = leg.eng.Seed()
 	res.Mode = cfg.Mode
@@ -117,14 +123,16 @@ type chaosLeg struct {
 // on node i, the clerk on node S, and (with failover) shard i's standby on
 // node S+1+i.
 type chaosRig struct {
-	env     *des.Env
-	cl      *cluster.Cluster
-	svc     *Service
-	clerk   *Clerk
-	file    fstore.Handle
-	dir     fstore.Handle
-	link    fstore.Handle
-	replays int64
+	env      *des.Env
+	cl       *cluster.Cluster
+	svc      *Service
+	clerk    *Clerk
+	file     fstore.Handle
+	dir      fstore.Handle
+	link     fstore.Handle
+	replays  int64
+	joinDone bool  // the mid-campaign AddShard probe returned
+	joinErr  error // ... and this is what it said (nil = join stuck)
 }
 
 func runChaosMix(camp *faults.Campaign, seed int64, mode dfs.Mode, shards int, failover bool) (*chaosLeg, error) {
@@ -143,6 +151,21 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode dfs.Mode, shards int, f
 	nodes := shards + 1
 	if failover {
 		nodes = 2*shards + 1
+	}
+	// A campaign crash aimed beyond the failover rig is the joiner-death
+	// schedule: allocate that node and plan a mid-campaign AddShard there,
+	// timed so the crash lands inside the cutover.
+	joiner, joinAt := -1, des.Time(0)
+	if camp != nil {
+		for _, cr := range camp.Crashes {
+			if cr.Node >= nodes {
+				joiner = cr.Node
+				joinAt = des.Time(cr.At - time.Millisecond)
+				if cr.Node+1 > nodes {
+					nodes = cr.Node + 1
+				}
+			}
+		}
 	}
 	cl := cluster.New(env, &model.Default, nodes, clusterOpts...)
 	mgrs := make([]*rmem.Manager, nodes)
@@ -181,6 +204,20 @@ func runChaosMix(camp *faults.Campaign, seed int64, mode dfs.Mode, shards int, f
 	}
 	if setupErr != nil {
 		return nil, setupErr
+	}
+
+	if joiner >= 0 {
+		jm := mgrs[joiner]
+		env.Spawn("shardchaos.join", func(p *des.Proc) {
+			if p.Now() < joinAt {
+				p.Sleep(time.Duration(joinAt.Sub(p.Now())))
+			}
+			// The joiner dies 1ms in; AddShard must roll the cutover back
+			// and leave the original ring serving. The error is the
+			// expected outcome, not a harness failure.
+			_, rig.joinErr = rig.svc.AddShard(p, jm)
+			rig.joinDone = true
+		})
 	}
 
 	leg := &chaosLeg{tr: tr, eng: eng, rig: rig}

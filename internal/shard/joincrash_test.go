@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+)
+
+// TestJoincrashDeterministic is the joiner-death golden: the joincrash
+// campaign crashes the joining shard's node mid-cutover, AddShard's
+// pre-commit liveness probe fails, and the cutover aborts — the ring
+// never hands ownership to the corpse, parked operations resume against
+// the old membership, and the Figure 2 mix completes 12/12 with a clean
+// divergence audit. Two runs at seed 1 must be byte-identical.
+func TestJoincrashDeterministic(t *testing.T) {
+	camp, ok := faults.Named("joincrash")
+	if !ok {
+		t.Fatal("joincrash campaign not registered")
+	}
+	runOnce := func() ([]byte, *ChaosResult) {
+		res, err := RunChaos(ChaosConfig{Campaign: camp, Seed: 1, Mode: dfs.DX, Shards: 3})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return append(js, res.Metrics.String()...), res
+	}
+	b1, r1 := runOnce()
+	b2, _ := runOnce()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("joincrash campaign not deterministic at seed 1")
+	}
+	if !r1.JoinAttempted {
+		t.Errorf("mid-campaign AddShard never ran")
+	}
+	if !r1.JoinAborted {
+		t.Errorf("AddShard committed a dead joiner; want the cutover aborted")
+	}
+	if r1.Completed != len(r1.Ops) || len(r1.Ops) != 12 {
+		t.Errorf("goodput %d/%d, want 12/12", r1.Completed, len(r1.Ops))
+	}
+	if r1.Strays != 0 {
+		t.Errorf("divergence audit found %d strays, want 0", r1.Strays)
+	}
+}

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/consensus"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/model"
+	"netmem/internal/nameserver"
+	"netmem/internal/rmem"
+)
+
+// TestResolveRingAnyFounderDead: the founding shard's machine hosts both
+// the "dfs.ring" record and the blob bytes, so its death kills ordinary
+// resolution outright — a surviving registry copy still points at the
+// corpse. With the control plane mirroring membership decrees
+// (MirrorMembership), a clerk that hands the replicas in as extra hints
+// resolves the identical ring from whichever replica answers first.
+func TestResolveRingAnyFounderDead(t *testing.T) {
+	// Nodes 0,1 shards (0 founds and hosts the blob); 2 the shard clerk;
+	// 3,4,5 control-plane replicas.
+	const (
+		clerkNode = 2
+		firstRep  = 3
+		replicas  = 3
+		nodes     = 6
+	)
+	env := des.NewEnv()
+	env.Seed(1)
+	cl := cluster.New(env, &model.Default, nodes)
+	mgrs := make([]*rmem.Manager, nodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+
+	var (
+		svc  *Service
+		errs []error
+	)
+	ns := make([]*nameserver.Clerk, nodes)
+	env.Spawn("setup", func(p *des.Proc) {
+		peers := []int{0, 1, clerkNode, firstRep, firstRep + 1, firstRep + 2}
+		for _, n := range peers {
+			ns[n] = nameserver.New(mgrs[n], peers, nameserver.Config{})
+		}
+		p.Sleep(time.Millisecond)
+
+		g := consensus.NewGroup(p,
+			consensus.Config{Acceptors: replicas, Proposers: replicas + 1, Slots: 256},
+			mgrs[firstRep:firstRep+replicas]...)
+		cp := consensus.NewControlPlane(p, g, ns[firstRep:firstRep+replicas])
+		cp.MirrorMembership(RingName)
+		if err := cp.Start(p); err != nil {
+			errs = append(errs, err)
+			return
+		}
+
+		svc = NewService(p, mgrs[:2], nodes, dfs.Geometry{})
+		svc.ReplicateControl(cp.NewClient(p, mgrs[clerkNode]))
+		if err := svc.RegisterNames(p, ns); err != nil {
+			errs = append(errs, err)
+		}
+	})
+	if err := env.RunUntil(des.Time(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range errs {
+		t.Fatal(err)
+	}
+	wantRing, wantEpoch := svc.Membership().Current()
+
+	env.Spawn("test", func(p *des.Proc) {
+		// Sanity: with the founder alive, the canonical record resolves.
+		if _, _, _, err := ResolveRing(p, mgrs[clerkNode], ns[clerkNode], 0); err != nil {
+			t.Errorf("resolve with founder alive: %v", err)
+			return
+		}
+		cl.Nodes[0].Fail()
+		hints := []int{0, firstRep, firstRep + 1, firstRep + 2}
+		ring, epoch, nodeMap, err := ResolveRingAny(p, mgrs[clerkNode], ns[clerkNode], hints)
+		if err != nil {
+			t.Errorf("ResolveRingAny with founder dead: %v", err)
+			return
+		}
+		if epoch != wantEpoch {
+			t.Errorf("resolved epoch %d, want %d", epoch, wantEpoch)
+		}
+		if ring.Size() != wantRing.Size() {
+			t.Errorf("resolved ring has %d members, want %d", ring.Size(), wantRing.Size())
+		}
+		for k := uint64(0); k < 1000; k++ {
+			if ring.Owner(k) != wantRing.Owner(k) {
+				t.Errorf("resolved ring disagrees with the service ring at key %d", k)
+				return
+			}
+		}
+		for slot, node := range nodeMap {
+			if svc.NodeOf(slot) != node {
+				t.Errorf("slot %d resolved to node %d, want %d", slot, node, svc.NodeOf(slot))
+			}
+		}
+	})
+	if err := env.RunUntil(des.Time(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}

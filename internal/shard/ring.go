@@ -177,3 +177,13 @@ func (r *Ring) Members() []int {
 
 // Size returns the member count.
 func (r *Ring) Size() int { return len(r.members) }
+
+// Contains reports whether shard is a member.
+func (r *Ring) Contains(shard int) bool {
+	for _, m := range r.members {
+		if m == shard {
+			return true
+		}
+	}
+	return false
+}

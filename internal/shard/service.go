@@ -265,6 +265,22 @@ func (s *Service) cutover(p *des.Proc, next *Ring) error {
 		}
 	}
 
+	// Pre-commit liveness: a slot being *added* may have died since
+	// prepare without the migration ever touching it (nothing dirty
+	// moved). Committing would hand ring ownership to a corpse, so probe
+	// every added slot with a bounded one-sided read and abort the
+	// cutover — parked operations resume against the old ring — if any
+	// probe fails.
+	for _, slot := range next.Members() {
+		if old.Contains(slot) {
+			continue
+		}
+		if err := s.probeSlot(p, slot); err != nil {
+			s.mb.abort()
+			return fmt.Errorf("shard: joining slot %d unreachable at commit: %w", slot, err)
+		}
+	}
+
 	movedKey := func(h fstore.Handle) bool { return old.Owner(h.U64()) != next.Owner(h.U64()) }
 	for _, c := range s.clerks {
 		c.recallMoved(p, old, movedKey)
@@ -299,6 +315,28 @@ func firstLive(shards []*dfs.Server) int {
 	}
 	return 0
 }
+
+// probeSlot proves a slot's node can still answer memory reads: a
+// reliable one-sided read of the first word of its data area from the
+// founding shard's node, bounded by joinProbeTO. Retransmission absorbs
+// link faults; only a dead or unreachable node fails the probe.
+func (s *Service) probeSlot(p *des.Proc, slot int) error {
+	srv := s.Shards[slot]
+	if srv == nil {
+		return fmt.Errorf("shard: slot %d vacant", slot)
+	}
+	if srv.Node().ID == s.ringHost.Node.ID {
+		return nil // co-located with the prober: alive by construction
+	}
+	a := srv.Areas()[3]
+	imp := s.ringHost.Import(p, srv.Node().ID, uint16(a[0]), uint16(a[1]), a[2])
+	imp.SetReliable(true)
+	scratch := s.ringHost.Export(p, 8)
+	return imp.Read(p, 0, 4, scratch, 0, joinProbeTO)
+}
+
+// joinProbeTO bounds the pre-commit liveness probe of a joining slot.
+const joinProbeTO = 2 * time.Millisecond
 
 // receiverFor builds the per-donor destination map for MigrateBuckets:
 // a resident key whose owner under next is not the donor moves, and dirty
@@ -514,13 +552,17 @@ func awaitNS(p *des.Proc, deadline des.Duration, fn func() error) error {
 // blob). Resolution forces a fresh lookup so an epoch bump's superseding
 // record is observed rather than a stale cached generation.
 func ResolveRing(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hint int) (*Ring, Epoch, map[int]int, error) {
+	return resolveRingNamed(p, m, ns, ringName, hint)
+}
+
+func resolveRingNamed(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, name string, hint int) (*Ring, Epoch, map[int]int, error) {
 	var imp *rmem.Import
 	// Absorb the boot-order race symmetrically with registerRetry: the
 	// clerk's own boot process may still be exporting its well-knowns, and
 	// the tier may not have published the blob yet.
 	err := awaitNS(p, nsBootDeadline, func() error {
 		var ierr error
-		imp, ierr = ns.Import(p, ringName, hint, true)
+		imp, ierr = ns.Import(p, name, hint, true)
 		return ierr
 	})
 	if err != nil {
@@ -543,6 +585,45 @@ func ResolveRing(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hint int) (
 	}
 	return NewRingFrom(members, vnodes), epoch, nodes, nil
 }
+
+// ResolveRingAny is ResolveRing with a hint list instead of a single
+// machine: for each hint it tries the canonical record, then the hint's
+// membership mirror ("dfs.ring.<hint>", kept by control-plane replicas
+// configured with MirrorMembership). The single-hint form silently
+// assumes the founding shard's machine is alive — exactly the machine a
+// failover campaign kills; that record also *points* at the founder, so
+// a surviving registry copy is not enough. A clerk that hands in the
+// control-plane replicas as extra hints resolves from whichever replica
+// still answers: the mirror's record and bytes both live on the replica
+// itself. Each dead probe costs at most one nsBootDeadline of retries;
+// only the last error is returned.
+func ResolveRingAny(p *des.Proc, m *rmem.Manager, ns *nameserver.Clerk, hints []int) (*Ring, Epoch, map[int]int, error) {
+	var (
+		ring  *Ring
+		epoch Epoch
+		nodes map[int]int
+		err   error
+	)
+	for _, hint := range hints {
+		ring, epoch, nodes, err = resolveRingNamed(p, m, ns, ringName, hint)
+		if err == nil {
+			return ring, epoch, nodes, nil
+		}
+		ring, epoch, nodes, err = resolveRingNamed(p, m, ns, fmt.Sprintf("%s.%d", ringName, hint), hint)
+		if err == nil {
+			return ring, epoch, nodes, nil
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("shard: resolve %q: no hints", ringName)
+	}
+	return nil, 0, nil, err
+}
+
+// RingName is the registered name of the membership blob — what a
+// harness passes to consensus.ControlPlane.MirrorMembership so replicas
+// keep per-node copies under "dfs.ring.<node>".
+const RingName = ringName
 
 // ---------------------------------------------------------------------------
 // Failover (PR 3 machinery, now published through the membership).
