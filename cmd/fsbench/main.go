@@ -16,6 +16,12 @@
 //	           back to 2, one membership change at a time, with background
 //	           rmem-WRITE state migration; reports per-step goodput, tail
 //	           latency, donor CPU during migration, and key movement
+//	-replicas K  the replica read tier sweep: chains of 1..K members serve
+//	           a token-holding reader fleet's hot-block re-reads while a
+//	           paced writer loads the primary; reports goodput scaling vs
+//	           primary CPU occupancy, then the zero-CPU replica re-read
+//	           probe. With -chaos NAME it instead runs the campaign on the
+//	           K-member replica rig (chain-lag failover, promotion audit).
 //
 // With no flags it runs figures 2 and 3 plus the headline.
 //
@@ -62,6 +68,7 @@ func main() {
 	chaos := flag.String("chaos", "", `run the Figure 2 mix under a fault campaign ("list", "all", or a name)`)
 	seed := flag.Int64("seed", 0, "campaign seed for -chaos (0 = default)")
 	shards := flag.Int("shards", 0, "sharded-tier sweep up to this many shards (with -chaos: shard count for the campaign)")
+	replicas := flag.Int("replicas", 0, "replica read tier sweep up to this many chain members (with -chaos: chain length for the campaign)")
 	elastic := flag.Bool("elastic", false, "elastic fleet sweep: 2→8→2 shards under sustained Table 1a load")
 	consensusLeg := flag.Bool("consensus", false, "control-plane chaos leg: the mix runs while a campaign kills a consensus replica (default campaign: leadercrash; override with -chaos NAME)")
 	compaction := flag.Int("compaction", 0, "compaction soak: commit this many decrees through a compacting 64-slot control plane and audit the snapshot replay")
@@ -83,12 +90,17 @@ func main() {
 	}
 
 	if *chaos != "" {
-		runChaos(*chaos, *seed, *metrics, *shards)
+		runChaos(*chaos, *seed, *metrics, *shards, *replicas)
 		return
 	}
 
 	if *metrics || *traceFile != "" {
 		runTraced(*opLabel, *modeName, *metrics, *traceFile)
+		return
+	}
+
+	if *replicas > 0 {
+		runReplicaSweep(*replicas)
 		return
 	}
 
@@ -264,7 +276,7 @@ func runTraced(opLabel, modeName string, metrics bool, traceFile string) {
 // and prints goodput and latency degradation per operation. With
 // shards > 1 the campaign targets the sharded tier instead of the single
 // server.
-func runChaos(name string, seed int64, metrics bool, shards int) {
+func runChaos(name string, seed int64, metrics bool, shards, replicas int) {
 	if name == "list" {
 		fmt.Println("chaos campaigns:")
 		for _, n := range faults.CampaignNames() {
@@ -282,6 +294,17 @@ func runChaos(name string, seed int64, metrics bool, shards int) {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "fsbench: unknown campaign %q (try -chaos list)\n", n)
 			os.Exit(1)
+		}
+		// The replicalag campaign only means something on the replica rig
+		// (its delays target the chain hops, its crash decapitates the chain
+		// head's primary); any campaign runs there when -replicas asks.
+		if shards <= 1 && (replicas > 0 || n == "replicalag") {
+			k := replicas
+			if k == 0 {
+				k = 3
+			}
+			runReplicaChaos(camp, seed, metrics, k)
+			continue
 		}
 		if shards > 1 {
 			res, err := shard.RunChaos(shard.ChaosConfig{Campaign: camp, Seed: seed, Mode: dfs.DX, Shards: shards})
@@ -550,6 +573,84 @@ func runShardSweep(maxShards int) {
 	}
 	fmt.Printf("Token-coherent cache probe (%d shards): re-read of %d bytes served from client cache — %d token hits, 0 server CPU, 0 remote reads\n",
 		probe.Shards, probe.Bytes, probe.TokenHits)
+}
+
+// runReplicaChaos runs a campaign on the replica-chain rig: Figure 2 mix
+// through a token-caching clerk whose reads go via the chain, failover
+// promoting the most-advanced member.
+func runReplicaChaos(camp faults.Campaign, seed int64, metrics bool, replicas int) {
+	res, err := shard.RunReplicaLagChaos(shard.ReplicaChaosConfig{
+		Campaign: camp, Seed: seed, Mode: dfs.DX, Replicas: replicas,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Replica rig: %d-member chain, token-cached clerk reading via the chain, promotion failover\n", res.Replicas)
+	printChaos(&res.ChaosResult, metrics)
+	if res.FailedOver {
+		fmt.Printf("promotion: node %d at applied watermark %d (chain spread at crash: head %d, tail %d)\n",
+			res.PromotedNode, res.PromotedApplied, res.HeadApplied, res.TailApplied)
+	}
+	fmt.Printf("replica reads during mix: %d; mid-chain splices: %d\n\n", res.ReplicaReads, res.Spliced)
+}
+
+// runReplicaSweep prints the replica read tier's Figure-3-style scaling
+// table — hot-block read goodput against primary CPU occupancy as the
+// chain grows — then the zero-CPU replica re-read probe, with the PASS
+// verdict lines CI greps for.
+func runReplicaSweep(maxReplicas int) {
+	const readers = 8
+	fmt.Printf("Replica read tier: 1..%d chain members, %d token-holding readers on one hot file, paced writer\n", maxReplicas, readers)
+	fmt.Println("(replica reads are one-sided READs of member frame segments: the primary moves no bytes)")
+	fmt.Println()
+	pts, err := shard.ReplicaSweep(maxReplicas, readers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench:", err)
+		os.Exit(1)
+	}
+	t := stats.NewTable("Replicas", "Goodput", "vs 1", "Replica reads", "Fallbacks", "Primary CPU", "Occupancy", "Push CPU")
+	base := pts[0]
+	for _, pt := range pts {
+		t.Add(pt.Replicas,
+			fmt.Sprintf("%.2f MB/s", pt.GoodputMBs),
+			fmt.Sprintf("%.2fx", pt.GoodputMBs/base.GoodputMBs),
+			pt.ReplicaReads, pt.ReplicaFallbacks,
+			stats.Ms(pt.PrimaryCPU),
+			fmt.Sprintf("%.4f", pt.Occupancy),
+			stats.Ms(pt.ReplicationCPU))
+	}
+	fmt.Println(t)
+	fmt.Println("(Primary CPU is the request-serving scheduled time; Push CPU the chain-replication client time)")
+	last := pts[len(pts)-1]
+	ratio := last.GoodputMBs / base.GoodputMBs
+	var worstDrift float64
+	for _, pt := range pts[1:] {
+		d := (float64(pt.PrimaryCPU) - float64(base.PrimaryCPU)) / float64(base.PrimaryCPU)
+		if d < 0 {
+			d = -d
+		}
+		if d > worstDrift {
+			worstDrift = d
+		}
+	}
+	fmt.Printf("replicas: goodput %.2fx at %d members (want >= 3x at 4)\n", ratio, last.Replicas)
+	fmt.Printf("replicas: primary serving CPU drift %.1f%% across the sweep (want <= 5%%)\n", worstDrift*100)
+	ok := worstDrift <= 0.05 && (maxReplicas < 4 || ratio >= 3)
+	if ok {
+		fmt.Println("replicas: PASS")
+	} else {
+		fmt.Println("replicas: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println()
+	probe, err := shard.ReplicaRereadProbe(maxReplicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsbench: replica probe:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Replica re-read probe (%d members): %d bytes refetched from chain members — %d replica reads, 0 primary CPU, 0 primary remote ops\n",
+		probe.Replicas, probe.Bytes, probe.ReplicaReads)
 }
 
 // runElastic runs the elastic fleet sweep and prints the per-step table

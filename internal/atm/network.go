@@ -166,7 +166,10 @@ func (cp *cellPump) next() {
 		return
 	}
 	cp.cur = c
-	cp.env.ScheduleFunc(cp.env.Now().Add(cp.delay), cp.deliverFn)
+	// A campaign delay window stretches this cell's wire time; the pump is
+	// serial per link, so delayed cells still arrive in FIFO order.
+	d := cp.delay + des.Duration(cp.eng.ExtraDelay(cp.name))
+	cp.env.ScheduleFunc(cp.env.Now().Add(d), cp.deliverFn)
 }
 
 // deliver fires when the cell has finished its wire time: judge it, stage

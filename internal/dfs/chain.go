@@ -1,0 +1,281 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/fstore"
+	"netmem/internal/rmem"
+)
+
+// Replica chains. PR 3's hot standby is a write-only mirror: pure cost
+// until takeover. A chain replica generalizes it into a read tier — the
+// primary pushes changed data buckets down an ordered chain (primary →
+// R1 → … → Rk) with plain rmem WRITEs, and any clerk holding a read
+// token may READ any member's exported segment directly. Every bucket is
+// framed as a remotely-readable seqlock record [ver | bucket | ver]:
+// cells land FIFO per path, so a reader that races a landing frame sees
+// head ≠ tail and falls back to the primary — no CAS, no server CPU,
+// anywhere, ever, on the replica read path.
+//
+// Freshness is a version watermark: the primary exports a chain-state
+// segment carrying (epoch, version) per bucket; a read token's grant
+// stamps the current pair as the reader's floor (tokens.RWClient.SetChain)
+// and a frame older than the floor is refused. Staleness between a write
+// deposit and the next chain push is closed by the write token's recall
+// fan-out: the writer poisons every member's frame head before its grant
+// returns, so a lagging replica cannot serve the pre-write bytes.
+
+// chainHdr is the chain segment's header: five geometry words (as the
+// mirror header), the replica-set epoch, the member's applied version
+// (maintained by its forwarder; failover READs it to pick the most
+// advanced member), and its position in the chain.
+const chainHdr = 32
+
+// chainHdrEpoch / chainHdrApplied / chainHdrPos locate the header words.
+const (
+	chainHdrEpoch   = 20
+	ChainAppliedOff = 24
+	chainHdrPos     = 28
+)
+
+// chainStride is one seqlock-framed bucket: [ver u32 | record | ver u32].
+const chainStride = dataStride + 8
+
+// ChainFrameLen is the length of one framed bucket — what a clerk READs
+// to serve a block from a replica.
+const ChainFrameLen = chainStride
+
+// ChainFrameOff returns the offset of bucket tok's frame in a chain
+// member's exported segment.
+func ChainFrameOff(tok int) int { return chainHdr + tok*chainStride }
+
+// chainStateHdr is the chain-state header: epoch, member count, bucket
+// count, reserved. Then per-bucket (epoch, version) pairs, then
+// per-member (epoch, applied) ack words.
+const chainStateHdr = 16
+
+// ChainStateVerOff returns the offset of bucket tok's (epoch, version)
+// pair in the primary's chain-state segment — the 8-byte READ a read
+// token's grant performs to stamp its freshness watermark.
+func ChainStateVerOff(tok int) int { return chainStateHdr + 8*tok }
+
+// ChainStateAckOff returns the offset of member i's (epoch, applied) ack
+// words in a chain-state segment laid out for `buckets` data buckets.
+func ChainStateAckOff(buckets, i int) int { return chainStateHdr + 8*buckets + 8*i }
+
+// chainStateSize sizes the chain-state segment.
+func chainStateSize(buckets, members int) int { return chainStateHdr + 8*buckets + 8*members }
+
+// ParseChainFrame validates one framed bucket against a reader's token
+// watermark and returns the block bytes. A frame is served only when the
+// seqlock words agree and are even (no landing write, no poison), the
+// version is at least minVer (at least as fresh as the token grant), and
+// the record inside actually holds (h, block). Anything else returns
+// false: the caller falls back to the primary.
+func ParseChainFrame(frame []byte, h fstore.Handle, block int64, minVer uint32) ([]byte, uint32, bool) {
+	if len(frame) < chainStride {
+		return nil, 0, false
+	}
+	head := binary.BigEndian.Uint32(frame)
+	tail := binary.BigEndian.Uint32(frame[chainStride-4:])
+	if head == 0 || head != tail || head%2 != 0 || head < minVer {
+		return nil, head, false
+	}
+	rec := frame[4 : 4+dataStride]
+	flag, key, sub, n := getHdr(rec)
+	if (flag != flagValid && flag != flagDirty) || key != h || int64(sub) != block {
+		return nil, head, false
+	}
+	if n < 0 || n > fstore.BlockSize {
+		return nil, head, false
+	}
+	return append([]byte(nil), rec[recHdr:recHdr+n]...), head, true
+}
+
+// ChainReplica is one member of a shard's replica chain: a node that
+// exports one chain segment shaped like the primary's data area (framed),
+// runs a forwarder daemon relaying landed frames to the next member, and
+// acks its applied version upstream. Between acks it burns no cycles —
+// propagation into it is pure data transfer (§3.1).
+type ChainReplica struct {
+	m   *rmem.Manager
+	geo Geometry
+	seg *rmem.Segment
+
+	shadowVer []uint32     // per-bucket version as of the last forward pass
+	next      *rmem.Import // downstream member's chain segment; nil = tail
+	ack       *rmem.Import // primary's chain-state segment (ack words)
+	ackOff    int
+	epoch     uint32
+	applied   uint32
+	running   bool
+	stopped   bool
+	onSplice  func(p *des.Proc)
+
+	// Stats.
+	Forwarded int64 // frames relayed downstream
+	Acked     int64 // ack words written upstream
+	Restored  int64 // dirty buckets grafted by TakeOver
+	Spliced   int64 // downstream members dropped after push failures
+}
+
+// NewChainReplica exports the chain segment on m's node. The geometry
+// must match the primary's (AttachChain stamps it; TakeOver verifies).
+func NewChainReplica(p *des.Proc, m *rmem.Manager, geo Geometry) *ChainReplica {
+	geo.fill()
+	cr := &ChainReplica{m: m, geo: geo, shadowVer: make([]uint32, geo.DataBuckets)}
+	cr.seg = m.Export(p, chainHdr+geo.DataBuckets*chainStride)
+	// Upstream WRITEs frames in, clerks READ them out, write-token recall
+	// WRITEs poison words — no CAS ever.
+	cr.seg.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
+	return cr
+}
+
+// ChainSeg exposes the chain segment's coordinates.
+func (cr *ChainReplica) ChainSeg() (id, gen uint16, size int) {
+	return cr.seg.ID(), cr.seg.Gen(), cr.seg.Size()
+}
+
+// Node returns the member's node; Manager its memory manager.
+func (cr *ChainReplica) Node() *cluster.Node    { return cr.m.Node }
+func (cr *ChainReplica) Manager() *rmem.Manager { return cr.m }
+
+// Applied returns the member's applied version watermark; Epoch the
+// replica-set epoch it last saw.
+func (cr *ChainReplica) Applied() uint32 { return cr.applied }
+func (cr *ChainReplica) Epoch() uint32   { return cr.epoch }
+
+// OnSplice installs the callback fired (once) when a downstream push
+// fails — the shard tier re-chains around the dead member and proposes
+// the new chain membership as a decree.
+func (cr *ChainReplica) OnSplice(fn func(p *des.Proc)) { cr.onSplice = fn }
+
+// wire points the member at its downstream neighbour and its upstream
+// ack slot. Called by the primary's AttachChain (and again on a splice
+// or promote re-chain).
+func (cr *ChainReplica) wire(next, ack *rmem.Import, ackOff int, epoch uint32) {
+	cr.next, cr.ack, cr.ackOff, cr.epoch = next, ack, ackOff, epoch
+}
+
+// start spawns the forwarder daemon (idempotent across re-chains).
+func (cr *ChainReplica) start(interval des.Duration) {
+	if cr.running {
+		return
+	}
+	cr.running = true
+	cr.m.Node.Env.SpawnDaemon(fmt.Sprintf("dfs.chain.%d", cr.m.Node.ID), func(p *des.Proc) {
+		for {
+			p.Sleep(interval)
+			if cr.m.Node.Failed() || cr.stopped {
+				return
+			}
+			cr.forwardPass(p)
+		}
+	})
+}
+
+// forwardPass relays every stable new frame downstream, advances the
+// member's applied watermark (header word — one-sided READable by the
+// failover prober), and acks (epoch, applied) into the primary's
+// chain-state segment. A frame is relayed only when its seqlock words
+// agree and are even: a landing upstream write or a recall poison is
+// skipped and picked up on a later pass.
+func (cr *ChainReplica) forwardPass(p *des.Proc) {
+	buf := cr.seg.Bytes()
+	cr.epoch = binary.BigEndian.Uint32(buf[chainHdrEpoch:])
+	maxApplied := cr.applied
+	changed := false
+	for b := 0; b < cr.geo.DataBuckets; b++ {
+		lo := chainHdr + b*chainStride
+		frame := buf[lo : lo+chainStride]
+		head := binary.BigEndian.Uint32(frame)
+		tail := binary.BigEndian.Uint32(frame[chainStride-4:])
+		if head == 0 || head != tail || head%2 != 0 || head == cr.shadowVer[b] {
+			continue
+		}
+		if cr.next != nil {
+			// Snapshot before the (reliable, sleeping) push: an upstream
+			// frame landing mid-push must not tear the relayed copy.
+			snap := append([]byte(nil), frame...)
+			if err := cr.next.WriteBlock(p, lo, snap, false); err != nil {
+				cr.splice(p)
+			} else {
+				cr.Forwarded++
+				if tr := cr.m.Node.Env.Tracer(); tr != nil {
+					tr.Count("dfs.chain.forwarded", 1)
+				}
+			}
+		}
+		cr.shadowVer[b] = head
+		if head > maxApplied {
+			maxApplied = head
+		}
+		changed = true
+	}
+	if changed || maxApplied != cr.applied {
+		cr.applied = maxApplied
+		binary.BigEndian.PutUint32(buf[ChainAppliedOff:], cr.applied)
+		if cr.ack != nil {
+			var w [8]byte
+			binary.BigEndian.PutUint32(w[0:], cr.epoch)
+			binary.BigEndian.PutUint32(w[4:], cr.applied)
+			if err := cr.ack.WriteBlock(p, cr.ackOff, w[:], false); err == nil {
+				cr.Acked++
+			}
+		}
+	}
+}
+
+// splice drops the dead downstream member and fires the re-chain hook.
+func (cr *ChainReplica) splice(p *des.Proc) {
+	cr.next = nil
+	cr.Spliced++
+	if tr := cr.m.Node.Env.Tracer(); tr != nil {
+		tr.Count("dfs.chain.splices", 1)
+	}
+	if fn := cr.onSplice; fn != nil {
+		cr.onSplice = nil
+		fn(p)
+	}
+}
+
+// TakeOver promotes the member to the live file service — the chain
+// analogue of Standby.TakeOver, run on the most-advanced member after
+// the primary dies: a new server incarnation over the surviving store,
+// with every stable mirrored *dirty* frame grafted into the new data
+// area (still dirty, so the next Sync applies the write-behind the dead
+// primary never flushed). The forwarder stops: this node is the chain
+// head now.
+func (cr *ChainReplica) TakeOver(p *des.Proc, store *fstore.Store, nodes int, opts ...ServerOption) (*Server, error) {
+	buf := cr.seg.Bytes()
+	if db := binary.BigEndian.Uint32(buf[12:]); db != 0 && int(db) != cr.geo.DataBuckets {
+		return nil, fmt.Errorf("dfs: chain takeover: geometry mismatch (primary %d data buckets, replica %d)",
+			db, cr.geo.DataBuckets)
+	}
+	cr.stopped = true
+	srv := NewServer(p, cr.m, nodes, cr.geo, append([]ServerOption{WithStore(store)}, opts...)...)
+	dst := srv.data.Bytes()
+	for b := 0; b < cr.geo.DataBuckets; b++ {
+		lo := chainHdr + b*chainStride
+		frame := buf[lo : lo+chainStride]
+		head := binary.BigEndian.Uint32(frame)
+		tail := binary.BigEndian.Uint32(frame[chainStride-4:])
+		if head == 0 || head != tail || head%2 != 0 {
+			continue
+		}
+		rec := frame[4 : 4+dataStride]
+		if flag, _, _, _ := getHdr(rec); flag != flagDirty {
+			continue
+		}
+		copy(dst[b*dataStride:(b+1)*dataStride], rec[:dataStride])
+		cr.Restored++
+	}
+	if tr := cr.m.Node.Env.Tracer(); tr != nil {
+		tr.Count("dfs.chain.takeovers", 1)
+		tr.Count("dfs.chain.restored", cr.Restored)
+	}
+	return srv, nil
+}

@@ -140,6 +140,12 @@ func NewClerk(p *des.Proc, m *rmem.Manager, srv *Server, mode Mode, opts ...Cler
 	return c
 }
 
+// Reliable reports whether the clerk was wired with the retransmitting
+// transport — callers building side-channel imports on the clerk's behalf
+// (replica frame reads) should match it, or a lossy fabric turns every
+// chain fetch into a full client timeout.
+func (c *Clerk) Reliable() bool { return c.rel }
+
 // wireAreas installs the clerk's descriptors against srv: the six cache
 // areas, the Hybrid-1 request channel, and the reply-segment handshake.
 // Called at construction and again by Rebind after a failover.

@@ -30,12 +30,20 @@ type Server struct {
 	shadow  []byte       // data-area image as of the last mirror pass
 	guard   WriteGuard   // mutation gate (SetWriteGuard); nil allows all
 
+	chainHead   *rmem.Import  // first chain member's segment (AttachChain)
+	chainState  *rmem.Segment // exported (epoch, version) watermark table
+	chainShadow []byte        // data-area image as of the last chain pass
+	chainSeq    uint32        // monotone frame version (epoch in high bits)
+	chainEpoch  uint32        // replica-set epoch
+	chainDaemon bool          // chain push daemon spawned
+
 	// Stats.
 	MissCalls    int64        // requests that reached the server procedure
 	OpCounts     map[Op]int64 // per-op server procedure executions
 	Synced       int64        // dirty blocks applied by Sync
 	EagerPushes  int64        // attribute records pushed to subscribers
 	Mirrored     int64        // data buckets pushed to the hot standby
+	ChainPushes  int64        // framed buckets pushed down the replica chain
 	GuardDenials int64        // mutations refused by the write guard
 }
 
@@ -202,6 +210,157 @@ func (s *Server) mirrorPass(p *des.Proc) {
 			tr.Count("dfs.mirror.buckets", 1)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Replica chain. AttachChain extends the standby mirror into an ordered
+// read tier: the primary pushes every changed data bucket — clean warm
+// installs included, because replicas serve reads — to the first chain
+// member as a seqlock-framed record, and the members relay it onward
+// (ChainReplica.forwardPass). The exported chain-state segment publishes a
+// per-bucket (epoch, version) watermark that read-token grants stamp as
+// their freshness floor, plus per-member ack words the failover prober
+// compares to promote the most-advanced member.
+
+// AttachChain wires the replica chain under this primary: exports the
+// chain-state segment, stamps every member's header, points each member at
+// its downstream neighbour and its ack slot, and spawns the push daemon.
+// Call again (with a higher epoch) after a splice or a promotion to
+// re-chain the survivors.
+func (s *Server) AttachChain(p *des.Proc, epoch uint32, members []*ChainReplica, interval des.Duration) error {
+	if len(members) == 0 {
+		return fmt.Errorf("dfs: attach chain: no members")
+	}
+	buckets := s.Geo.DataBuckets
+	st := s.m.Export(p, chainStateSize(buckets, len(members)))
+	// Members WRITE ack words in; token grants READ watermarks out.
+	st.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
+	s.chainState = st
+	s.chainEpoch = epoch
+	// Frame versions carry the epoch in their high bits: monotone across
+	// failover epochs, and always even (the sequence advances by 2) so a
+	// live version never collides with a recall poison word.
+	s.chainSeq = epoch << 16
+	hdr := st.Bytes()
+	binary.BigEndian.PutUint32(hdr[0:], epoch)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(members)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(buckets))
+	for b := 0; b < buckets; b++ {
+		binary.BigEndian.PutUint32(hdr[ChainStateVerOff(b):], epoch)
+	}
+
+	// Stamp each member's header and wire its forwarder. All chain plumbing
+	// is retransmitting: a frame chunk silently lost between members would
+	// otherwise leave head==tail around a stale body.
+	mhdr := make([]byte, chainHdr)
+	binary.BigEndian.PutUint32(mhdr[0:], uint32(s.Geo.AttrBuckets))
+	binary.BigEndian.PutUint32(mhdr[4:], uint32(s.Geo.NameBuckets))
+	binary.BigEndian.PutUint32(mhdr[8:], uint32(s.Geo.LinkBuckets))
+	binary.BigEndian.PutUint32(mhdr[12:], uint32(buckets))
+	binary.BigEndian.PutUint32(mhdr[16:], uint32(s.Geo.DirBuckets))
+	stID, stGen, stSize := st.ID(), st.Gen(), st.Size()
+	for i, cr := range members {
+		id, gen, size := cr.ChainSeg()
+		imp := s.m.Import(p, cr.Node().ID, id, gen, size)
+		imp.SetReliable(true)
+		binary.BigEndian.PutUint32(mhdr[chainHdrEpoch:], epoch)
+		binary.BigEndian.PutUint32(mhdr[chainHdrPos:], uint32(i+1))
+		if err := imp.WriteBlock(p, 0, mhdr, false); err != nil {
+			return fmt.Errorf("dfs: chain header %d: %w", i, err)
+		}
+		if i == 0 {
+			s.chainHead = imp
+		}
+		var next *rmem.Import
+		if i+1 < len(members) {
+			nid, ngen, nsize := members[i+1].ChainSeg()
+			next = cr.Manager().Import(p, members[i+1].Node().ID, nid, ngen, nsize)
+			next.SetReliable(true)
+		}
+		ack := cr.Manager().Import(p, s.m.Node.ID, stID, stGen, stSize)
+		ack.SetReliable(true)
+		cr.wire(next, ack, ChainStateAckOff(buckets, i), epoch)
+		cr.start(interval)
+	}
+
+	// A zero shadow (unlike the mirror's live snapshot): warm clean blocks
+	// must reach the replicas too, since they serve reads, not just takeover.
+	s.chainShadow = make([]byte, len(s.data.Bytes()))
+	if !s.chainDaemon {
+		s.chainDaemon = true
+		s.m.Node.Env.SpawnDaemon(fmt.Sprintf("dfs.chainpush.%d", s.m.Node.ID), func(p *des.Proc) {
+			for {
+				p.Sleep(interval)
+				if s.m.Node.Failed() {
+					return
+				}
+				s.chainPass(p)
+			}
+		})
+	}
+	return nil
+}
+
+// chainPass pushes every changed data bucket to the chain head as one
+// framed record and publishes its new version in the chain-state table.
+// The watermark is published only after the frame has landed at the head:
+// a token granted at version v is always servable by a head that has
+// caught up to v, and a lagging mid-chain member simply fails the floor
+// check and the reader falls back to the primary.
+func (s *Server) chainPass(p *des.Proc) {
+	buf := s.data.Bytes()
+	st := s.chainState.Bytes()
+	frame := make([]byte, chainStride)
+	for b := 0; b < s.Geo.DataBuckets; b++ {
+		lo := b * dataStride
+		cur := buf[lo : lo+dataStride]
+		old := s.chainShadow[lo : lo+dataStride]
+		if bytes.Equal(cur, old) {
+			continue
+		}
+		s.chainSeq += 2
+		v := s.chainSeq
+		// Snapshot into the frame before the (reliable, sleeping) push — a
+		// deposit landing in this bucket mid-push must not tear the frame.
+		binary.BigEndian.PutUint32(frame, v)
+		copy(frame[4:4+dataStride], cur)
+		binary.BigEndian.PutUint32(frame[chainStride-4:], v)
+		if err := s.chainHead.WriteBlock(p, ChainFrameOff(b), frame, false); err != nil {
+			s.m.WriteFaults = append(s.m.WriteFaults, fmt.Errorf("dfs: chain bucket %d: %w", b, err))
+			return
+		}
+		copy(old, frame[4:4+dataStride])
+		binary.BigEndian.PutUint32(st[ChainStateVerOff(b):], s.chainEpoch)
+		binary.BigEndian.PutUint32(st[ChainStateVerOff(b)+4:], v)
+		s.ChainPushes++
+		if tr := s.m.Node.Env.Tracer(); tr != nil {
+			tr.Count("dfs.chain.push", 1)
+		}
+	}
+}
+
+// ChainState exposes the chain-state segment coordinates (watermark table
+// + ack words) for clerks and the failover prober. HasChain reports
+// whether a replica chain is attached.
+func (s *Server) ChainState() (id, gen uint16, size int) {
+	return s.chainState.ID(), s.chainState.Gen(), s.chainState.Size()
+}
+func (s *Server) HasChain() bool { return s.chainState != nil }
+
+// ChainEpoch returns the replica-set epoch of the attached chain.
+func (s *Server) ChainEpoch() uint32 { return s.chainEpoch }
+
+// RemoteOps sums one-sided operations landed on every segment this server
+// exports — the probe's evidence that a replica-served read touched the
+// primary's memory system not at all.
+func (s *Server) RemoteOps() int64 {
+	var n int64
+	for _, seg := range []*rmem.Segment{s.attr, s.name, s.link, s.data, s.dir, s.token, s.chainState} {
+		if seg != nil {
+			n += seg.RemoteReads + seg.RemoteWrites + seg.RemoteCAS
+		}
+	}
+	return n
 }
 
 // MigrateBuckets implements shard rebalancing's data-transfer step with

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"sort"
 	"time"
 )
@@ -83,6 +84,28 @@ var named = map[string]func() Campaign{
 		// node 7 never binds, so the campaign degrades to a clean run.
 		return Campaign{Name: "joincrash", Crashes: []Crash{
 			{Node: 7, At: 203 * time.Millisecond},
+		}}
+	},
+	"replicalag": func() Campaign {
+		// Differential chain lag, then decapitation. The replica chaos rig
+		// places the primary on node 0, the clerk on node 1, the failover
+		// watcher on node 2, and chain members on nodes 3..; sw.tx<n> is the
+		// switch egress into node n. Each chain hop pays a per-cell tax that
+		// grows with depth — the pump is serial per link, so the tax divides
+		// that hop's bandwidth and deeper members run ever staler. The
+		// primary then dies mid-mix and never returns: failover must promote
+		// the most-advanced member (the head, on the lightest-taxed hop),
+		// whose applied watermark the prober reads one-sidedly.
+		links := map[string]LinkFault{}
+		for i, extra := range []time.Duration{
+			10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond,
+		} {
+			links[fmt.Sprintf("sw.tx%d", 3+i)] = LinkFault{Delays: []Delay{
+				{From: 190 * time.Millisecond, Until: 400 * time.Millisecond, Extra: extra},
+			}}
+		}
+		return Campaign{Name: "replicalag", Links: links, Crashes: []Crash{
+			{Node: 0, At: 208 * time.Millisecond},
 		}}
 	},
 	"flap": func() Campaign {

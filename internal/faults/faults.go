@@ -51,6 +51,25 @@ type LinkFault struct {
 	// Flaps are scheduled outage windows: while virtual time is inside
 	// [Down, Up) every cell on the link is dropped.
 	Flaps []Flap
+	// Delays are scheduled slow-down windows: while virtual time is inside
+	// [From, Until) every cell on the link takes Extra longer on the wire.
+	// Like a Partition (and unlike the probabilistic faults) a delay draws
+	// nothing from the random streams, so adding one to a campaign perturbs
+	// no other fault sequence. The replica-lag campaigns use it to make
+	// chain propagation links run behind without losing a single cell.
+	Delays []Delay
+}
+
+// Delay is one link slow-down window in virtual time.
+type Delay struct {
+	From  time.Duration // window start (inclusive)
+	Until time.Duration // window end (exclusive); 0 = forever
+	Extra time.Duration // added to every cell's wire time while active
+}
+
+// active reports whether t falls inside the window.
+func (d Delay) active(t des.Time) bool {
+	return t >= des.Time(d.From) && (d.Until == 0 || t < des.Time(d.Until))
 }
 
 // Flap is one link-outage window in virtual time.
@@ -135,6 +154,7 @@ const (
 	KindCrash     = "crash"
 	KindRecover   = "recover"
 	KindPartition = "partition"
+	KindDelay     = "delay"
 )
 
 // Verdict is the engine's ruling on one cell.
@@ -250,6 +270,33 @@ func (e *Engine) Judge(link string) Verdict {
 		v.HoldOne = true
 	}
 	return v
+}
+
+// ExtraDelay returns the extra wire latency the campaign imposes on one
+// cell traversing the named link right now: the sum of every active delay
+// window. Purely time-based — no random stream is consulted — so a
+// delayed campaign injects byte-identical sequences run for run. The
+// network layer adds the result to the cell's serialization time.
+// Nil-safe: a nil engine delays nothing.
+func (e *Engine) ExtraDelay(link string) time.Duration {
+	if e == nil {
+		return 0
+	}
+	f := e.plan(link)
+	if len(f.Delays) == 0 {
+		return 0
+	}
+	now := e.env.Now()
+	var total time.Duration
+	for _, d := range f.Delays {
+		if d.active(now) {
+			total += d.Extra
+		}
+	}
+	if total > 0 {
+		e.Count(KindDelay)
+	}
+	return total
 }
 
 // PartitionDrop rules on one cell by its endpoints: true means an active

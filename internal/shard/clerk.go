@@ -64,15 +64,42 @@ type Clerk struct {
 	cache      []map[int]map[blockKey][]byte
 	peers      []*Clerk // revocation-mesh group (ConnectTokenPeers)
 
+	// Replica read tier (wireReplicas): per-slot chain-member frame
+	// imports a read-token holder may READ instead of the primary.
+	replicas []*replicaChain
+
 	nullSeq int
 
 	// Stats.
-	TokenHits      int64 // reads served from the token-coherent cache
-	Repairs        int64 // cross-shard coherence repairs issued
-	RouteRetries   int64 // ops rerouted after a mid-operation ring change
-	TokensRecalled int64 // tokens forfeited because their keys moved
-	MovedDrops     int64 // cached blocks dropped because their keys moved
+	TokenHits        int64 // reads served from the token-coherent cache
+	Repairs          int64 // cross-shard coherence repairs issued
+	RouteRetries     int64 // ops rerouted after a mid-operation ring change
+	TokensRecalled   int64 // tokens forfeited because their keys moved
+	MovedDrops       int64 // cached blocks dropped because their keys moved
+	ReplicaReads     int64 // block fetches served by a chain member
+	ReplicaFallbacks int64 // replica attempts that fell back to the primary
 }
+
+// replicaChain is one slot's wired chain: frame imports selected
+// round-robin, plus a scratch segment for the landed frame. On a clean
+// fabric the imports are plain — a lost or torn read just falls back to
+// the primary — but a clerk wired reliable extends that choice here (see
+// wireReplicas), and rel widens the read deadline to the retry schedule.
+type replicaChain struct {
+	epoch   uint32
+	segs    []*rmem.Import
+	scratch *rmem.Segment
+	rr      int
+	rel     bool
+}
+
+// replicaReadTO bounds one replica frame READ; an unreachable replica
+// times out and the read falls back to the primary. The bound must absorb
+// queueing: a reader fleet round-robining one member serializes on that
+// member's switch port, so a frame can legitimately wait many frame-times
+// behind its peers before its turn. A *lagging* replica is caught by the
+// watermark check on the returned frame, not by this timeout.
+const replicaReadTO = 10 * time.Millisecond
 
 type blockKey struct {
 	h     fstore.Handle
@@ -123,7 +150,96 @@ func (c *Clerk) wireSlot(p *des.Proc, s int) {
 		c.cache[s] = make(map[int]map[blockKey][]byte)
 		s := s
 		c.rw[s].OnInvalidate(func(p *des.Proc, tok int) { c.invalidateToken(s, tok) })
+		c.wireReplicas(p, s) // a clerk built after AttachReplicas wires here
 	}
+}
+
+// wireReplicas (re-)wires one slot's replica chain into this clerk: plain
+// frame imports for the read path, plus — through the token client — a
+// chain-state import for watermark stamps and retransmitting member
+// imports for the write-grant recall fan-out. Replica reads only make
+// sense under the token cache (the watermark rides the read grant), so
+// this is a no-op without it.
+func (c *Clerk) wireReplicas(p *des.Proc, s int) {
+	if !c.tokenCache {
+		return
+	}
+	for len(c.replicas) <= s {
+		c.replicas = append(c.replicas, nil)
+	}
+	c.replicas[s] = nil
+	rwLive := s < len(c.rw) && c.rw[s] != nil
+	spec := c.svc.chainOf(s)
+	if spec == nil || len(spec.members) == 0 || c.svc.Shards[s] == nil || !c.svc.Shards[s].HasChain() {
+		if rwLive {
+			c.rw[s].ClearChain()
+		}
+		return
+	}
+	// Stagger the round-robin start per clerk node: with a common origin,
+	// a fleet of clerks marches on the same member in lockstep and the
+	// chain serves reads at single-member bandwidth.
+	rc := &replicaChain{epoch: spec.epoch, rr: c.m.Node.ID}
+	var recall []*rmem.Import
+	for _, cr := range spec.members {
+		id, gen, size := cr.ChainSeg()
+		seg := c.m.Import(p, cr.Node().ID, id, gen, size)
+		if c.sub[s] != nil && c.sub[s].Reliable() {
+			// Match the sub-clerk's transport: on a fabric lossy enough to
+			// need retransmission, a plain frame READ almost never survives
+			// (one clobbered cell out of ~170 kills the reply) and every
+			// replica fetch would burn the full timeout before falling back.
+			seg.SetReliable(true)
+			rc.rel = true
+		}
+		rc.segs = append(rc.segs, seg)
+		rel := c.m.Import(p, cr.Node().ID, id, gen, size)
+		rel.SetReliable(true)
+		recall = append(recall, rel)
+	}
+	rc.scratch = c.m.Export(p, dfs.ChainFrameLen)
+	c.replicas[s] = rc
+	if rwLive {
+		sid, sgen, ssize := c.svc.Shards[s].ChainState()
+		st := c.m.Import(p, c.svc.NodeOf(s), sid, sgen, ssize)
+		st.SetReliable(true)
+		c.rw[s].SetChain(st, dfs.ChainStateVerOff, recall, dfs.ChainFrameOff)
+	}
+}
+
+// replicaBlock tries to serve (h, block) from a chain member: the token
+// watermark gives the freshness floor, a round-robin member's frame is
+// READ one-sidedly, and dfs.ParseChainFrame enforces floor, integrity, and
+// identity. Any failure reports false and the caller reads the primary.
+func (c *Clerk) replicaBlock(p *des.Proc, s, tok int, h fstore.Handle, block int64) ([]byte, bool) {
+	if s >= len(c.replicas) || c.replicas[s] == nil {
+		return nil, false
+	}
+	rc := c.replicas[s]
+	epoch, ver, ok := c.rw[s].StampWatermark(p, tok)
+	if !ok || epoch != rc.epoch {
+		c.ReplicaFallbacks++
+		return nil, false
+	}
+	imp := rc.segs[rc.rr%len(rc.segs)]
+	rc.rr++
+	to := des.Duration(replicaReadTO)
+	if rc.rel {
+		// A retransmitting import needs room to run its whole retry
+		// schedule, or one clobbered chunk converts into a spurious timeout.
+		pp := c.m.Node.P
+		to = des.Duration(pp.RetryLimit+1) * pp.RetryBackoffMax
+	}
+	if err := imp.Read(p, dfs.ChainFrameOff(tok), dfs.ChainFrameLen, rc.scratch, 0, to); err != nil {
+		c.ReplicaFallbacks++
+		return nil, false
+	}
+	blk, _, ok := dfs.ParseChainFrame(rc.scratch.Bytes(), h, block, ver)
+	if !ok {
+		c.ReplicaFallbacks++
+		return nil, false
+	}
+	return blk, true
 }
 
 // invalidateToken drops a revoked token's cached blocks AND the sub-clerk's
@@ -148,6 +264,9 @@ func (c *Clerk) dropSlot(p *des.Proc, s int) {
 		c.rw[s].ForfeitAll(p)
 		c.rw[s] = nil
 		c.cache[s] = nil
+	}
+	if s < len(c.replicas) {
+		c.replicas[s] = nil
 	}
 	if s < len(c.sub) {
 		c.sub[s] = nil
@@ -322,6 +441,9 @@ func (c *Clerk) Rebind(p *des.Proc, i int) {
 		c.rw[i].RebindTable(p, c.svc.NodeOf(i), uint16(a[0]), uint16(a[1]), a[2])
 		c.cache[i] = make(map[int]map[blockKey][]byte)
 	}
+	// A chain promotion re-homes the chain state; re-import it (and drop
+	// the chain entirely if the promotion consumed the last member).
+	c.wireReplicas(p, i)
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +690,16 @@ func (c *Clerk) coherentBlock(p *des.Proc, s int, h fstore.Handle, block int64) 
 		// acquisition and a writer may have changed the bytes — refetch.
 		c.sub[s].Forget(h)
 	}
+	if blk, ok := c.replicaBlock(p, s, tok, h, block); ok {
+		// Served by a chain member: the primary's CPU and memory system
+		// were never touched.
+		c.ReplicaReads++
+		if c.cache[s][tok] == nil {
+			c.cache[s][tok] = make(map[blockKey][]byte)
+		}
+		c.cache[s][tok][key] = blk
+		return blk, nil
+	}
 	blk, err := c.sub[s].Read(p, h, block*fstore.BlockSize, fstore.BlockSize)
 	if err != nil {
 		return nil, err
@@ -621,21 +753,24 @@ func (c *Clerk) Write(p *des.Proc, h fstore.Handle, offset int64, data []byte) e
 
 // Stats aggregates the sub-clerks' counters (plus this clerk's own).
 type Stats struct {
-	LocalHits      int64
-	RemoteReads    int64
-	RemoteWrites   int64
-	Misses         int64
-	Rebinds        int64
-	TokenHits      int64
-	Repairs        int64
-	RouteRetries   int64
-	TokensRecalled int64
+	LocalHits        int64
+	RemoteReads      int64
+	RemoteWrites     int64
+	Misses           int64
+	Rebinds          int64
+	TokenHits        int64
+	Repairs          int64
+	RouteRetries     int64
+	TokensRecalled   int64
+	ReplicaReads     int64
+	ReplicaFallbacks int64
 }
 
 // Stats sums counters across sub-clerks.
 func (c *Clerk) Stats() Stats {
 	st := Stats{TokenHits: c.TokenHits, Repairs: c.Repairs,
-		RouteRetries: c.RouteRetries, TokensRecalled: c.TokensRecalled}
+		RouteRetries: c.RouteRetries, TokensRecalled: c.TokensRecalled,
+		ReplicaReads: c.ReplicaReads, ReplicaFallbacks: c.ReplicaFallbacks}
 	for _, sc := range c.sub {
 		if sc == nil {
 			continue

@@ -97,3 +97,113 @@ func TokenRereadProbe(shards int) (TokenProbeResult, error) {
 	}
 	return res, nil
 }
+
+// ReplicaProbeResult reports what a replica-served re-read cost the primary.
+type ReplicaProbeResult struct {
+	Replicas         int
+	Bytes            int           // bytes re-read
+	ReplicaReads     int64         // block fetches served by chain members
+	PrimaryCPU       time.Duration // proc+control+client CPU on the primary
+	PrimaryRemoteOps int64         // one-sided ops landed on the primary
+}
+
+// ReplicaRereadProbe extends TokenRereadProbe to the replica tier's core
+// claim: a read-token holder whose block copies are dropped refetches the
+// bytes from chain members with zero primary CPU (client, control, and
+// procedure categories — the PR 7 acceptor assertion applied to the
+// primary) and zero one-sided operations landed on any primary segment.
+// The primary's involvement in a replica read is *nothing at all*.
+func ReplicaRereadProbe(replicas int) (ReplicaProbeResult, error) {
+	const size = 12 * 1024
+	res := ReplicaProbeResult{Replicas: replicas, Bytes: size}
+	env := des.NewEnv()
+	nodes := 2 + replicas // primary, clerk, chain members
+	cl := cluster.New(env, &model.Default, nodes)
+	mgrs := make([]*rmem.Manager, nodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+	var probeErr error
+	var probeDone bool
+	env.Spawn("probe", func(p *des.Proc) {
+		defer func() { probeDone = true }()
+		svc := NewService(p, mgrs[:1], nodes, dfs.Geometry{})
+		c := NewClerk(p, mgrs[1], svc, dfs.DX, WithTokenCache())
+		if err := svc.AttachReplicas(p, 0, mgrs[2:], 100*time.Microsecond); err != nil {
+			probeErr = err
+			return
+		}
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = byte(i*7 + 5)
+		}
+		h, err := svc.Store.WriteFile("/export/probe.bin", want)
+		if err != nil {
+			probeErr = err
+			return
+		}
+		if err := svc.WarmFile(h); err != nil {
+			probeErr = err
+			return
+		}
+		// Let the chain pushes land the warm buckets on every member: deep
+		// members catch up one forwarding hop per interval, so poll until
+		// the whole chain agrees on a nonzero applied watermark.
+		for tries := 0; tries < 200; tries++ {
+			p.Sleep(des.Duration(time.Millisecond))
+			lo, hi := ^uint32(0), uint32(0)
+			for _, cr := range svc.Replicas(0) {
+				if a := cr.Applied(); a < lo {
+					lo = a
+				}
+				if a := cr.Applied(); a > hi {
+					hi = a
+				}
+			}
+			if lo == hi && lo > 0 {
+				break
+			}
+		}
+		if _, err := c.Read(p, h, 0, size); err != nil {
+			probeErr = fmt.Errorf("first read: %w", err)
+			return
+		}
+		// Keep the tokens (and their watermarks), drop every cached block
+		// copy: the re-read must move bytes — but only replica bytes.
+		c.FlushLocal()
+		c.DropTokenCache()
+		cl.Nodes[0].ResetCPUAcct()
+		beforeOps := svc.Shards[0].RemoteOps()
+		beforeReplica := c.ReplicaReads
+		got, err := c.Read(p, h, 0, size)
+		if err != nil {
+			probeErr = fmt.Errorf("re-read: %w", err)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			probeErr = fmt.Errorf("replica re-read returned wrong bytes")
+			return
+		}
+		res.ReplicaReads = c.ReplicaReads - beforeReplica
+		res.PrimaryRemoteOps = svc.Shards[0].RemoteOps() - beforeOps
+		acct := cl.Nodes[0].CPUAcct
+		res.PrimaryCPU = time.Duration(acct[cluster.CatProc] + acct[cluster.CatControl] + acct[cluster.CatClient])
+	})
+	// All assertions are read inside the proc; the chain daemons never
+	// idle, so stop as soon as it finishes rather than draining a fixed
+	// horizon of empty wakeups.
+	if err := runSteps(env, 10*time.Millisecond, 10*time.Second, func() bool { return probeDone }); err != nil {
+		return res, err
+	}
+	if probeErr != nil {
+		return res, probeErr
+	}
+	if res.PrimaryCPU != 0 || res.PrimaryRemoteOps != 0 {
+		return res, fmt.Errorf("replica re-read touched the primary: CPU %v, %d remote ops",
+			res.PrimaryCPU, res.PrimaryRemoteOps)
+	}
+	if res.ReplicaReads == 0 {
+		return res, fmt.Errorf("re-read was not served by the replica tier")
+	}
+	return res, nil
+}

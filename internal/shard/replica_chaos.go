@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/dfs"
+	"netmem/internal/faults"
+	"netmem/internal/model"
+	"netmem/internal/obs"
+	"netmem/internal/rmem"
+)
+
+// Replica-chain chaos harness: the Figure 2 mix against one shard backed
+// by a k-member replica chain, with the clerk's read path going through
+// the chain (token cache + replica reads) and failover promoting the
+// most-advanced member instead of a dedicated standby. Built for the
+// `replicalag` campaign — per-link delays starve deep chain members while
+// the head stays current, then the primary dies — but runs any campaign.
+
+// ReplicaChaosConfig selects one replica chaos run.
+type ReplicaChaosConfig struct {
+	// Campaign is the fault schedule. The rig places the primary on node
+	// 0, the clerk on node 1, the failover watcher on node 2, and chain
+	// members on nodes 3..2+Replicas.
+	Campaign faults.Campaign
+	// Seed seeds the simulation environment; 0 means des.DefaultSeed.
+	Seed int64
+	// Mode is the file-service structure (DX for the paper's proposal).
+	Mode dfs.Mode
+	// Replicas is the chain length (>= 1).
+	Replicas int
+}
+
+// ReplicaChaosResult extends the chaos result with the chain's outcome.
+type ReplicaChaosResult struct {
+	dfs.ChaosResult
+	Replicas int
+	// PromotedNode is the chain member the failover promoted (-1: none);
+	// PromotedApplied its applied watermark at promotion — the evidence the
+	// election picked the most-advanced member.
+	PromotedNode    int
+	PromotedApplied uint32
+	// HeadApplied / TailApplied snapshot the extremes of the members'
+	// applied watermarks just before the crash window — nonzero spread
+	// proves the campaign actually starved the deep members.
+	HeadApplied, TailApplied uint32
+	// ReplicaReads counts clerk block fetches served by chain members
+	// across the measured mix.
+	ReplicaReads int64
+	// Spliced counts mid-chain members dropped by splices.
+	Spliced int64
+}
+
+// RunReplicaLagChaos measures the Figure 2 mix on the replica rig twice —
+// fault-free baseline, then under the campaign — both with the token
+// cache, the reliability layer, fencing, and chain failover armed.
+func RunReplicaLagChaos(cfg ReplicaChaosConfig) (*ReplicaChaosResult, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("shard: replica chaos needs at least one replica, got %d", cfg.Replicas)
+	}
+	base, err := runReplicaMix(nil, cfg.Seed, cfg.Mode, cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("shard: replica chaos baseline: %w", err)
+	}
+	leg, err := runReplicaMix(&cfg.Campaign, cfg.Seed, cfg.Mode, cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("shard: replica chaos run: %w", err)
+	}
+	res := &ReplicaChaosResult{Replicas: cfg.Replicas}
+	res.Campaign = cfg.Campaign.Name
+	res.Seed = leg.eng.Seed()
+	res.Mode = cfg.Mode
+	res.Injected = leg.eng.Counts()
+	res.Metrics = leg.tr.Snapshot()
+	res.Window = leg.window
+	res.Replays = leg.rig.replays
+	res.Events = leg.events
+	res.Retries = res.Metrics.Counter("reliable.retries")
+	res.Giveups = res.Metrics.Counter("reliable.giveup")
+	res.PromotedNode = leg.rig.svc.PromotedNode
+	res.PromotedApplied = leg.rig.svc.PromotedApplied
+	res.HeadApplied = leg.headApplied
+	res.TailApplied = leg.tailApplied
+	res.ReplicaReads = leg.rig.clerk.ReplicaReads
+	res.Spliced = leg.rig.svc.ChainSplices
+	for _, rec := range leg.rig.svc.Coordinators() {
+		if rec == nil || !rec.Restored() {
+			continue
+		}
+		res.FailedOver = true
+		if mttr := time.Duration(rec.MTTR()); mttr > res.MTTR {
+			res.MTTR = mttr
+		}
+		res.Rebinds += rec.Rebinds
+	}
+	for i, op := range leg.ops {
+		op.Baseline = base.ops[i].Chaos
+		res.Ops = append(res.Ops, op)
+		if op.OK {
+			res.Completed++
+		}
+	}
+	return res, nil
+}
+
+// runSteps advances env in step-sized slices until stop() reports true or
+// the horizon lands. The chain's push, forwarder, and heartbeat daemons
+// never go idle, so running a replica rig to a generous fixed horizon
+// simulates millions of wakeups past the last useful event; the step
+// quantization keeps the stop point — and with it the executed-event
+// count — deterministic for a given seed.
+func runSteps(env *des.Env, step, horizon time.Duration, stop func() bool) error {
+	end := des.Time(horizon)
+	for !stop() && env.Now() < end {
+		next := env.Now().Add(step)
+		if next > end {
+			next = end
+		}
+		if err := env.RunUntil(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicaLeg is one measured replica-rig leg.
+type replicaLeg struct {
+	ops                      []dfs.ChaosOpResult
+	tr                       *obs.Tracer
+	eng                      *faults.Engine
+	rig                      *chaosRig
+	window                   time.Duration
+	events                   uint64
+	headApplied, tailApplied uint32
+}
+
+func runReplicaMix(camp *faults.Campaign, seed int64, mode dfs.Mode, replicas int) (*replicaLeg, error) {
+	env := des.NewEnv()
+	if seed != 0 {
+		env.Seed(seed)
+	}
+	tr := obs.New(obs.Config{})
+	env.SetTracer(tr)
+	var eng *faults.Engine
+	var clusterOpts []cluster.Option
+	if camp != nil {
+		eng = faults.NewEngine(env, *camp)
+		clusterOpts = append(clusterOpts, cluster.WithFaultEngine(eng))
+	}
+	nodes := 3 + replicas // primary, clerk, watcher, chain members
+	cl := cluster.New(env, &model.Default, nodes, clusterOpts...)
+	mgrs := make([]*rmem.Manager, nodes)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+	eng.OnRecover(0, mgrs[0].Restart)
+
+	rig := &chaosRig{env: env, cl: cl}
+	var setupErr error
+	env.Spawn("replicachaos.setup", func(p *des.Proc) {
+		rig.svc = NewService(p, mgrs[:1], nodes, dfs.Geometry{}, dfs.WithReliableReplies())
+		rig.clerk = NewClerk(p, mgrs[1], rig.svc, mode,
+			WithSubOptions(dfs.WithReliable(), dfs.WithFencing()), WithTokenCache())
+		if setupErr = rig.warm(); setupErr != nil {
+			return
+		}
+		if setupErr = rig.svc.AttachReplicas(p, 0, mgrs[3:], 100*time.Microsecond); setupErr != nil {
+			return
+		}
+		// The watcher gets its own otherwise-idle node: its probe reads
+		// must not queue behind the clerk's bulk transfers, or fabric
+		// congestion during the mix reads as a death verdict.
+		_, setupErr = rig.svc.ArmChainFailover(p, 0, mgrs[2], 100*time.Microsecond)
+	})
+	if err := env.RunUntil(des.Time(190 * time.Millisecond)); err != nil {
+		return nil, err
+	}
+	if setupErr != nil {
+		return nil, setupErr
+	}
+
+	leg := &replicaLeg{tr: tr, eng: eng, rig: rig}
+	ops := make([]dfs.ChaosOpResult, len(dfs.Figure2Ops))
+	var mixDone bool
+	env.Spawn("replicachaos.mix", func(p *des.Proc) {
+		defer func() { mixDone = true }()
+		// A fresh write-behind burst just before the campaign's delay
+		// window: the resulting chain re-pushes are what the per-link
+		// delays starve, so the members' applied watermarks spread and the
+		// crash finds genuinely lagging deep members.
+		if at := des.Time(190*time.Millisecond + 100*time.Microsecond); p.Now() < at {
+			p.Sleep(time.Duration(at.Sub(p.Now())))
+		}
+		lag := make([]byte, 16384)
+		for i := range lag {
+			lag[i] = byte(254 - i%251) // distinct from the warm pattern, so every bucket re-pushes
+		}
+		if err := rig.clerk.Write(p, rig.file, 0, lag); err == nil {
+			_, _ = rig.svc.Sync(p)
+		}
+		for _, cr := range rig.svc.Replicas(0) {
+			a := cr.Applied()
+			if leg.headApplied == 0 || a > leg.headApplied {
+				leg.headApplied = a
+			}
+			if leg.tailApplied == 0 || a < leg.tailApplied {
+				leg.tailApplied = a
+			}
+		}
+		start := p.Now()
+		for i, spec := range dfs.Figure2Ops {
+			ops[i] = rig.runVerifiedOp(p, spec)
+			rec := rig.svc.Coordinators()[0]
+			for tries := 0; !ops[i].OK && rec != nil && tries < 3; tries++ {
+				if err := rec.AwaitRestored(p, time.Second); err != nil {
+					break
+				}
+				rig.replays++
+				ops[i] = rig.runVerifiedOp(p, spec)
+			}
+		}
+		leg.window = time.Duration(p.Now().Sub(start))
+	})
+	// Heartbeat, chain push, and forwarder daemons never idle: the rig
+	// needs a finite horizon, gated on the mix completing plus a settle
+	// slice for in-flight chain acks and the failover coordinator's tail.
+	if err := runSteps(env, 10*time.Millisecond, 3*time.Second, func() bool { return mixDone }); err != nil {
+		return nil, err
+	}
+	if mixDone {
+		if err := env.RunUntil(env.Now().Add(100 * time.Millisecond)); err != nil {
+			return nil, err
+		}
+	}
+	leg.ops = ops
+	leg.events = env.Events()
+	return leg, nil
+}

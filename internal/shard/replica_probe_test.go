@@ -1,0 +1,20 @@
+package shard
+
+import "testing"
+
+// TestReplicaRereadProbe is the replica tier's zero-CPU wall: a re-read
+// served by chain members must cost the primary nothing — no client,
+// control, or procedure CPU, and no one-sided operations on any of its
+// exported segments.
+func TestReplicaRereadProbe(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		res, err := ReplicaRereadProbe(k)
+		if err != nil {
+			t.Fatalf("replicas=%d: %v (reads=%d cpu=%v ops=%d)",
+				k, err, res.ReplicaReads, res.PrimaryCPU, res.PrimaryRemoteOps)
+		}
+		if res.ReplicaReads < 2 {
+			t.Fatalf("replicas=%d: expected >=2 replica block reads, got %d", k, res.ReplicaReads)
+		}
+	}
+}

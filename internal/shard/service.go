@@ -49,6 +49,7 @@ type Service struct {
 	clerks   []*Clerk
 	standbys []*dfs.Standby
 	coords   []*recovery.Coordinator
+	chains   []*chainSpec // slot-indexed replica chains (AttachReplicas)
 
 	names    []*nameserver.Clerk
 	ringHost *rmem.Manager
@@ -64,6 +65,11 @@ type Service struct {
 	// data plane keeps running on the locally published state (the control
 	// plane must never be able to take the file tier down with it).
 	ControlLogErrors int64
+
+	// Replica-chain stats.
+	ChainSplices    int64  // mid-chain crashes spliced around
+	PromotedNode    int    // node promoted by the last chain failover (-1: none)
+	PromotedApplied uint32 // its applied watermark at promotion
 }
 
 // NewService builds one shard server per manager (each on its own node)
@@ -85,6 +91,7 @@ func NewService(p *des.Proc, mgrs []*rmem.Manager, slotNodes int, geo dfs.Geomet
 		coords:    make([]*recovery.Coordinator, len(mgrs)),
 		ringHost:  mgrs[0],
 	}
+	s.PromotedNode = -1
 	for _, m := range mgrs {
 		srv := dfs.NewServer(p, m, slotNodes, geo, append([]dfs.ServerOption{dfs.WithStore(store)}, opts...)...)
 		s.Shards = append(s.Shards, srv)
@@ -462,7 +469,9 @@ func (s *Service) ringBlob() []byte {
 		binary.BigEndian.PutUint32(blob[12+8*i:], uint32(slot))
 		binary.BigEndian.PutUint32(blob[16+8*i:], uint32(s.NodeOf(slot)))
 	}
-	return blob
+	// The chain section trails the position-indexed base layout, so
+	// ResolveRing callers unaware of chains are unaffected.
+	return append(blob, s.chainBlobSection()...)
 }
 
 // ReplicateControl routes ring publications and membership commits

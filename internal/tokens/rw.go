@@ -57,13 +57,23 @@ type RWClient struct {
 	// the coherence hook: a caching clerk drops the covered blocks.
 	onInvalidate func(p *des.Proc, tok int)
 
+	// Replica chain (SetChain). chainState points at the home's watermark
+	// table; chain members' frame segments receive the write-grant recall.
+	chainState  *rmem.Import
+	chainVerOff func(tok int) int
+	chain       []*rmem.Import
+	chainOff    func(tok int) int
+	wm          map[int]uint64 // epoch<<32 | version stamped at read grant
+
 	// Stats.
-	ReadAcquires  int64 // read tokens granted (first acquisition)
-	WriteAcquires int64 // write tokens granted
-	Downgrades    int64 // write→read transitions
-	Invalidations int64 // read tokens revoked under us (cache drops)
-	RevokesSent   int64 // revocation appeals issued to holders
-	RevokesServed int64 // revocation requests answered
+	ReadAcquires      int64 // read tokens granted (first acquisition)
+	WriteAcquires     int64 // write tokens granted
+	Downgrades        int64 // write→read transitions
+	Invalidations     int64 // read tokens revoked under us (cache drops)
+	RevokesSent       int64 // revocation appeals issued to holders
+	RevokesServed     int64 // revocation requests answered
+	ChainRecalls      int64 // write grants fanned out across chain members
+	ChainRecallErrors int64 // chain members a recall could not reach
 }
 
 // NewRWClient wires the agent: table import, CAS scratch, and its own
@@ -85,6 +95,99 @@ func NewRWClient(p *des.Proc, m *rmem.Manager, home int, tabID, tabGen uint16, t
 // OnInvalidate installs the coherence callback run (on the revocation
 // server's process) whenever a held read token is recalled.
 func (c *RWClient) OnInvalidate(fn func(p *des.Proc, tok int)) { c.onInvalidate = fn }
+
+// SetChain teaches the agent about the home's replica chain. state is an
+// import of the home's chain-state segment and verOff locates a token's
+// (epoch, version) watermark pair in it: every read grant stamps the
+// current pair as that token's freshness floor (Watermark). members are
+// retransmitting imports of each chain member's frame segment and frameOff
+// locates a token's frame: a write grant completes only after the recall
+// has fanned out across *all* of them — without this, the grant would
+// recall only the home and a lagging replica could keep serving the
+// pre-write bytes to token-holding readers.
+func (c *RWClient) SetChain(state *rmem.Import, verOff func(tok int) int, members []*rmem.Import, frameOff func(tok int) int) {
+	c.chainState = state
+	c.chainVerOff = verOff
+	c.chain = members
+	c.chainOff = frameOff
+	c.wm = make(map[int]uint64)
+}
+
+// ClearChain detaches the agent from a replica chain (shard rebind, chain
+// teardown); stamped watermarks are dropped with it.
+func (c *RWClient) ClearChain() {
+	c.chainState = nil
+	c.chainVerOff = nil
+	c.chain = nil
+	c.chainOff = nil
+	c.wm = nil
+}
+
+// Watermark returns the (epoch, version) freshness floor stamped when tok
+// was granted for read. ok is false when no chain is attached or the stamp
+// failed — the caller must then read through the home, not a replica.
+func (c *RWClient) Watermark(tok int) (epoch, ver uint32, ok bool) {
+	w, ok := c.wm[tok]
+	if !ok {
+		return 0, 0, false
+	}
+	return uint32(w >> 32), uint32(w), true
+}
+
+// StampWatermark returns tok's freshness floor, stamping it first when a
+// held read token has none — a token acquired before the chain attached,
+// or carried across a chain rewire. While we hold the read token no writer
+// can commit, so the currently published pair is a valid floor (stricter
+// than the acquire-time one, never looser). A token held for write never
+// stamps: our own write-behind may be ahead of the chain frames, and only
+// the recall poison — not the floor — guards that window.
+func (c *RWClient) StampWatermark(p *des.Proc, tok int) (epoch, ver uint32, ok bool) {
+	if c.wm == nil || !c.read[tok] || c.write[tok] {
+		return 0, 0, false
+	}
+	if _, have := c.wm[tok]; !have {
+		c.stampWatermark(p, tok)
+	}
+	return c.Watermark(tok)
+}
+
+// stampWatermark READs the token's current (epoch, version) pair from the
+// home's chain-state segment — one 8-byte one-sided read, the grant's only
+// extra cost. On failure the stamp is simply absent: replica reads are an
+// optimization, and without a floor the clerk falls back to the home.
+func (c *RWClient) stampWatermark(p *des.Proc, tok int) {
+	if c.chainState == nil {
+		return
+	}
+	if err := c.chainState.Read(p, c.chainVerOff(tok), 8, c.scratch, 16, time.Second); err != nil {
+		delete(c.wm, tok)
+		return
+	}
+	epoch := c.scratch.ReadWord(p, 16)
+	ver := c.scratch.ReadWord(p, 20)
+	c.wm[tok] = uint64(epoch)<<32 | uint64(ver)
+}
+
+// recallChain poisons tok's frame head on every chain member — a 4-byte
+// odd word that tears the seqlock, unreadable until the home's next chain
+// push rewrites the whole frame with the post-write bytes. The writes are
+// retransmitting and this blocks until each has been acknowledged, so the
+// write grant returns only once no member can serve the pre-write frame.
+// A member the recall cannot reach is counted and skipped: an unreachable
+// node is not serving reads either.
+func (c *RWClient) recallChain(p *des.Proc, tok int) {
+	if len(c.chain) == 0 {
+		return
+	}
+	poison := []byte{0, 0, 0, 1}
+	for _, imp := range c.chain {
+		if err := imp.WriteBlock(p, c.chainOff(tok), poison, false); err != nil {
+			c.ChainRecallErrors++
+		}
+	}
+	c.ChainRecalls++
+	delete(c.wm, tok)
+}
 
 // RevocationChannel exposes this client's revocation-server coordinates.
 func (c *RWClient) RevocationChannel() (id, gen uint16, size int) { return c.rsrv.ReqSeg() }
@@ -170,6 +273,7 @@ func (c *RWClient) AcquireRead(p *des.Proc, tok int, timeout des.Duration) error
 			if ok {
 				c.read[tok] = true
 				c.ReadAcquires++
+				c.stampWatermark(p, tok)
 				return nil
 			}
 		} else {
@@ -210,6 +314,9 @@ func (c *RWClient) AcquireWrite(p *des.Proc, tok int, timeout des.Duration) erro
 				delete(c.read, tok)
 				c.write[tok] = true
 				c.WriteAcquires++
+				// The CAS excluded readers at the home; the chain members
+				// must be recalled too before the grant is usable.
+				c.recallChain(p, tok)
 				return nil
 			}
 		case w&writerBit != 0:
@@ -249,6 +356,7 @@ func (c *RWClient) Downgrade(p *des.Proc, tok int) error {
 	delete(c.write, tok)
 	c.read[tok] = true
 	c.Downgrades++
+	c.stampWatermark(p, tok)
 	return nil
 }
 
@@ -263,6 +371,7 @@ func (c *RWClient) ReleaseRead(p *des.Proc, tok int) error {
 		return err
 	}
 	delete(c.read, tok)
+	delete(c.wm, tok)
 	for {
 		w, err := c.readWord(p, tok)
 		if err != nil {
@@ -325,6 +434,7 @@ func (c *RWClient) serveRevoke(p *des.Proc, src int, req []byte) []byte {
 		return []byte{0}
 	}
 	delete(c.read, tok)
+	delete(c.wm, tok)
 	for {
 		w, werr := c.readWord(p, tok)
 		if werr != nil {
@@ -364,6 +474,9 @@ func (c *RWClient) ForfeitAll(p *des.Proc) {
 	}
 	c.read = make(map[int]bool)
 	c.write = make(map[int]bool)
+	if c.wm != nil {
+		c.wm = make(map[int]uint64)
+	}
 }
 
 // ForfeitToken gives up one held token at a still-live home — the

@@ -1,0 +1,225 @@
+package tokens
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"netmem/internal/cluster"
+	"netmem/internal/des"
+	"netmem/internal/model"
+	"netmem/internal/rmem"
+)
+
+// Chain-aware RW tokens: the regression battery for the stale-replica-read
+// window. A write grant that recalls only the home's table word leaves
+// every chain member's exported frame readable with the pre-write bytes —
+// a token-holding reader would keep serving them. SetChain closes the
+// window: the grant completes only after the recall poison has landed on
+// *all* members, and read grants stamp the home's published watermark as
+// their freshness floor.
+
+const (
+	chainTok     = 5
+	frameStride  = 64
+	verStride    = 8
+	liveVer      = 0x00010002 // epoch 1, sequence 2: even, nonzero
+	chainTestTok = 3
+)
+
+func frameOffAt(tok int) int { return tok * frameStride }
+func verOffAt(tok int) int   { return tok * verStride }
+
+// chainRig extends the RW rig with two fake chain members and a home
+// watermark table: member segments carry a live (even-versioned) frame
+// head, the state segment publishes (epoch=1, ver=liveVer) for every
+// token.
+type chainRig struct {
+	*rwRig
+	members []*rmem.Segment // exported by the member nodes
+	state   *rmem.Segment   // exported by the home
+}
+
+func newChainRig(t *testing.T, nClients, nTokens int) *chainRig {
+	t.Helper()
+	env := des.NewEnv()
+	// Nodes: home 0, clients 1..nClients, members after.
+	const nMembers = 2
+	cl := cluster.New(env, &model.Default, nClients+1+nMembers)
+	r := &chainRig{rwRig: &rwRig{env: env, cl: cl}}
+	mgrs := make([]*rmem.Manager, nClients+1+nMembers)
+	for i := range mgrs {
+		mgrs[i] = rmem.NewManager(cl.Nodes[i])
+	}
+	env.Spawn("setup", func(p *des.Proc) {
+		r.table = NewTable(p, mgrs[0], nTokens)
+		id, gen, size := r.table.Coordinates()
+		r.state = mgrs[0].Export(p, nTokens*verStride)
+		r.state.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
+		for tok := 0; tok < nTokens; tok++ {
+			binary.BigEndian.PutUint32(r.state.Bytes()[verOffAt(tok):], 1)
+			binary.BigEndian.PutUint32(r.state.Bytes()[verOffAt(tok)+4:], liveVer)
+		}
+		for m := 0; m < nMembers; m++ {
+			seg := mgrs[nClients+1+m].Export(p, nTokens*frameStride)
+			seg.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
+			for tok := 0; tok < nTokens; tok++ {
+				binary.BigEndian.PutUint32(seg.Bytes()[frameOffAt(tok):], liveVer)
+			}
+			r.members = append(r.members, seg)
+		}
+		for i := 1; i <= nClients; i++ {
+			r.clients = append(r.clients, NewRWClient(p, mgrs[i], 0, id, gen, size, len(mgrs)))
+		}
+		for i, ci := range r.clients {
+			for j, cj := range r.clients {
+				if i == j {
+					continue
+				}
+				rid, rgen, rsize := cj.RevocationChannel()
+				ci.Connect(p, j+1, rid, rgen, rsize)
+				pid, pgen, psize := ci.PeerReply(j + 1)
+				cj.AttachPeer(p, i+1, pid, pgen, psize)
+			}
+		}
+	})
+	if err := env.RunUntil(des.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// wireChain teaches one client the rig's chain (retransmitting member
+// imports, per the SetChain contract).
+func (r *chainRig) wireChain(p *des.Proc, c *RWClient) {
+	st := c.m.Import(p, 0, r.state.ID(), r.state.Gen(), r.state.Size())
+	st.SetReliable(true)
+	var members []*rmem.Import
+	for i, seg := range r.members {
+		imp := c.m.Import(p, len(r.clients)+1+i, seg.ID(), seg.Gen(), seg.Size())
+		imp.SetReliable(true)
+		members = append(members, imp)
+	}
+	c.SetChain(st, verOffAt, members, frameOffAt)
+}
+
+func (r *chainRig) headWord(m, tok int) uint32 {
+	return binary.BigEndian.Uint32(r.members[m].Bytes()[frameOffAt(tok):])
+}
+
+// TestRWChainRecallOnWriteGrant is the regression proper: the write grant
+// must poison the frame head on every chain member before returning —
+// otherwise a reader holding a stale token floor could keep pulling the
+// pre-write frame from a member the home's CAS never touched.
+func TestRWChainRecallOnWriteGrant(t *testing.T) {
+	r := newChainRig(t, 2, 8)
+	r.run(t, func(p *des.Proc) {
+		writer := r.clients[0]
+		r.wireChain(p, writer)
+		if err := writer.AcquireWrite(p, chainTok, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for m := range r.members {
+			w := r.headWord(m, chainTok)
+			if w%2 == 0 {
+				t.Errorf("member %d frame head %#x still even after write grant: the pre-write frame is still servable", m, w)
+			}
+		}
+		// Untouched tokens keep their live frames.
+		for m := range r.members {
+			if w := r.headWord(m, chainTestTok); w != liveVer {
+				t.Errorf("member %d token %d frame head %#x, want untouched %#x", m, chainTestTok, w, liveVer)
+			}
+		}
+		if writer.ChainRecalls != 1 {
+			t.Errorf("ChainRecalls = %d, want 1", writer.ChainRecalls)
+		}
+		if writer.ChainRecallErrors != 0 {
+			t.Errorf("ChainRecallErrors = %d, want 0", writer.ChainRecallErrors)
+		}
+	})
+}
+
+// TestRWChainWindowWithoutRecall documents the window the recall closes:
+// a client that never learned the chain leaves every member's frame
+// readable across its write grant. This is the pre-fix behavior — if this
+// test starts failing because the grant path learned to poison without
+// SetChain, the recall plumbing has moved and the regression above should
+// move with it.
+func TestRWChainWindowWithoutRecall(t *testing.T) {
+	r := newChainRig(t, 2, 8)
+	r.run(t, func(p *des.Proc) {
+		writer := r.clients[0] // no wireChain: the home's CAS is all it knows
+		if err := writer.AcquireWrite(p, chainTok, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for m := range r.members {
+			if w := r.headWord(m, chainTok); w != liveVer {
+				t.Errorf("member %d frame head %#x changed without a chain recall", m, w)
+			}
+		}
+		if writer.ChainRecalls != 0 {
+			t.Errorf("ChainRecalls = %d without SetChain, want 0", writer.ChainRecalls)
+		}
+	})
+}
+
+// TestRWChainWatermarkStamp covers the freshness floor: read grants stamp
+// the home's published (epoch, version) pair; a revocation or release
+// drops the stamp; a write-held token never exposes one (its write-behind
+// may be ahead of the chain); and StampWatermark lazily stamps a token
+// that predates SetChain.
+func TestRWChainWatermarkStamp(t *testing.T) {
+	r := newChainRig(t, 2, 8)
+	r.run(t, func(p *des.Proc) {
+		reader, writer := r.clients[0], r.clients[1]
+		r.wireChain(p, reader)
+		r.wireChain(p, writer)
+
+		if err := reader.AcquireRead(p, chainTok, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		epoch, ver, ok := reader.Watermark(chainTok)
+		if !ok || epoch != 1 || ver != liveVer {
+			t.Fatalf("read grant stamped (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, uint32(liveVer))
+		}
+
+		// The writer's grant recalls the reader; the stamp must die with the
+		// token — a revoked floor is nobody's freshness guarantee.
+		if err := writer.AcquireWrite(p, chainTok, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !reader.HoldsRead(chainTok) {
+			if _, _, ok := reader.Watermark(chainTok); ok {
+				t.Error("revoked read token still exposes a watermark")
+			}
+		}
+		// A write-held token must refuse to stamp: the holder's write-behind
+		// is ahead of anything the chain has applied.
+		if _, _, ok := writer.StampWatermark(p, chainTok); ok {
+			t.Error("StampWatermark granted a floor on a write-held token")
+		}
+		if err := writer.ReleaseWrite(p, chainTok); err != nil {
+			t.Fatal(err)
+		}
+
+		// Lazy stamping: a token acquired before SetChain has no floor until
+		// StampWatermark fills it in.
+		late := r.clients[0]
+		if err := late.AcquireRead(p, chainTestTok, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		late.ClearChain()
+		if _, _, ok := late.StampWatermark(p, chainTestTok); ok {
+			t.Error("StampWatermark produced a floor with no chain attached")
+		}
+		r.wireChain(p, late)
+		if _, _, ok := late.Watermark(chainTestTok); ok {
+			t.Error("SetChain resurrected a watermark it never stamped")
+		}
+		epoch, ver, ok = late.StampWatermark(p, chainTestTok)
+		if !ok || epoch != 1 || ver != liveVer {
+			t.Errorf("lazy stamp gave (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, uint32(liveVer))
+		}
+	})
+}

@@ -201,6 +201,25 @@ var (
 	NewShardRing = shard.NewRing
 )
 
+// Replica read tier: each shard's write-behind state propagated down a
+// k-member chain (primary → R1 → … → Rk) with plain one-sided WRITEs, so
+// any clerk holding a read token can READ a chain member's exported
+// segment directly — the primary spends zero CPU on replica reads.
+type (
+	// ChainReplica is one member of a shard's replica chain: it exports a
+	// framed mirror of the primary's data area, relays landed frames
+	// downstream, and acks its applied version upstream.
+	ChainReplica = dfs.ChainReplica
+	// ReplicaScalePoint is one row of the 1→k replica scaling sweep
+	// (goodput, replica reads, primary CPU occupancy, push CPU).
+	ReplicaScalePoint = shard.ReplicaScalePoint
+)
+
+// ReplicaSweep measures hot-block read goodput and primary CPU occupancy
+// for every chain length 1..maxReplicas with a fixed reader fleet — the
+// Figure-3-style scaling table (`fsbench -replicas K` prints it).
+var ReplicaSweep = shard.ReplicaSweep
+
 // Consensus-replicated control plane: a Paxos-style log whose acceptor
 // state lives in rmem segments, driven entirely by one-sided READ/CAS/
 // WRITE — the agreement path costs the acceptor machines no CPU beyond
@@ -358,6 +377,9 @@ type System struct {
 
 	// shards is the WithShards count consumed by NewShardedFileService.
 	shards int
+	// chainLen / chainPace carry WithReplicaChain to Shards().Service.
+	chainLen  int
+	chainPace time.Duration
 }
 
 // Option configures New.
@@ -372,6 +394,8 @@ type sysOptions struct {
 	reliable    bool
 	recovery    bool
 	shards      int
+	chainLen    int
+	chainPace   time.Duration
 }
 
 // WithParams overrides the cost model.
@@ -427,6 +451,18 @@ func WithShards(n int) Option {
 	return func(o *sysOptions) { o.shards = n }
 }
 
+// WithReplicaChain arms the sharded file tier with a k-member replica
+// read chain per shard: Shards().Service attaches one chain to every
+// founding shard, its members hosted on the nodes directly after the
+// shard primaries (shard s's members sit on nodes S+s*k .. S+(s+1)*k-1
+// for S shards). interval paces the primary's push daemon and the
+// members' forwarders; 0 picks a 100µs default. The system must have
+// enough nodes for the primaries, the members, and the clerks. For
+// non-uniform layouts attach chains explicitly with Replicas().Attach.
+func WithReplicaChain(k int, interval time.Duration) Option {
+	return func(o *sysOptions) { o.chainLen, o.chainPace = k, interval }
+}
+
 // WithNameService boots a name clerk on every node.
 func WithNameService(cfg NameConfig) Option {
 	return func(o *sysOptions) { o.nameCfg = &cfg }
@@ -461,7 +497,8 @@ func New(n int, opts ...Option) *System {
 		o.clusterOpts = append(o.clusterOpts, cluster.WithFaultEngine(eng))
 	}
 	cl := cluster.New(env, params, n, o.clusterOpts...)
-	sys := &System{Env: env, Cluster: cl, Faults: eng, shards: o.shards}
+	sys := &System{Env: env, Cluster: cl, Faults: eng, shards: o.shards,
+		chainLen: o.chainLen, chainPace: o.chainPace}
 	for _, node := range cl.Nodes {
 		m := rmem.NewManager(node)
 		if o.reliable {
@@ -578,12 +615,28 @@ func (s *System) Shards() ShardsAPI { return ShardsAPI{s} }
 // assigning every handle an owner shard. Call from a Proc; reach it with
 // clerks from Clerk, and inspect or subscribe to the fleet's composition
 // through ShardService.Membership.
+// With WithReplicaChain, every founding shard also gets its k-member
+// replica read chain attached before the service is returned.
 func (sh ShardsAPI) Service(p *Proc, geo FileGeometry, opts ...FileServerOption) *ShardService {
 	n := sh.sys.shards
 	if n <= 0 {
 		n = 1
 	}
-	return shard.NewService(p, sh.sys.Mem[:n], len(sh.sys.Cluster.Nodes), geo, opts...)
+	svc := shard.NewService(p, sh.sys.Mem[:n], len(sh.sys.Cluster.Nodes), geo, opts...)
+	if k := sh.sys.chainLen; k > 0 {
+		for s := 0; s < n; s++ {
+			members := make([]int, k)
+			for i := range members {
+				members[i] = n + s*k + i
+			}
+			if err := sh.sys.Replicas().Attach(p, svc, s, members, sh.sys.chainPace); err != nil {
+				// A WithReplicaChain layout that doesn't fit the cluster is a
+				// construction error, same class as indexing a missing node.
+				panic("netmem: WithReplicaChain: " + err.Error())
+			}
+		}
+	}
+	return svc
 }
 
 // Clerk wires a sharding-aware clerk on node to svc: every operation
@@ -606,6 +659,31 @@ func (sh ShardsAPI) Elastic(svc *ShardService, pool []int, cfg ShardManagerConfi
 		mgrs[i] = sh.sys.Mem[n]
 	}
 	return shard.NewManager(svc, mgrs, cfg)
+}
+
+// ReplicasAPI builds the replica read tier: per-shard k-member chains
+// that fan hot-block reads out across member nodes while the primary's
+// CPU stays flat. Obtain one with System.Replicas.
+type ReplicasAPI struct{ sys *System }
+
+// Replicas returns the replica-read-tier builder.
+func (s *System) Replicas() ReplicasAPI { return ReplicasAPI{s} }
+
+// Attach builds slot's replica chain on the named member nodes (each
+// hosts one ChainReplica), wires it under the shard's primary, and
+// teaches every token-caching clerk of svc to read from it. interval
+// paces the primary's push daemon and the members' forwarders; 0 picks
+// a 100µs default. Call from a Proc, after the clerks that should use
+// the chain exist (later clerks wire themselves on construction).
+func (r ReplicasAPI) Attach(p *Proc, svc *ShardService, slot int, members []int, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 100 * time.Microsecond
+	}
+	mgrs := make([]*Manager, len(members))
+	for i, n := range members {
+		mgrs[i] = r.sys.Mem[n]
+	}
+	return svc.AttachReplicas(p, slot, mgrs, interval)
 }
 
 // ConsensusAPI builds the Paxos-on-CAS replicated log and the control

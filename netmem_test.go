@@ -142,6 +142,44 @@ func TestFacadeShardedFileService(t *testing.T) {
 	}
 }
 
+func TestFacadeReplicaChain(t *testing.T) {
+	// One shard on node 0, a 2-member chain on nodes 1-2 (attached by
+	// WithReplicaChain), a token-caching clerk on node 3. After the chain
+	// converges, a re-read with dropped block copies must come from the
+	// chain members, not the primary.
+	sys := New(4, WithShards(1), WithReplicaChain(2, 0))
+	var clerk *ShardFileClerk
+	sys.Spawn("demo", func(p *Proc) {
+		svc := sys.Shards().Service(p, FileGeometry{})
+		clerk = sys.Shards().Clerk(p, 3, svc, DX, WithShardTokenCache())
+		h, err := svc.Store.WriteFile("/export/chain.txt", []byte("served by the chain"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := svc.WarmFile(h); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := clerk.Read(p, h, 0, 19); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(5 * time.Millisecond) // let the chain apply the frames
+		clerk.DropTokenCache()
+		got, err := clerk.Read(p, h, 0, 19)
+		if err != nil || string(got) != "served by the chain" {
+			t.Errorf("replica re-read %q, %v", got, err)
+		}
+	})
+	if err := sys.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if clerk.ReplicaReads == 0 {
+		t.Error("re-read did not go through the replica chain")
+	}
+}
+
 func TestFacadeElasticShards(t *testing.T) {
 	// Two founding shards on nodes 0-1, two spare slots on nodes 2-3, a
 	// client on node 4. The Elastic builder scales the fleet 2→4→2 while
