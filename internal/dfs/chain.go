@@ -21,70 +21,117 @@ import (
 // anywhere, ever, on the replica read path.
 //
 // Freshness is a version watermark: the primary exports a chain-state
-// segment carrying (epoch, version) per bucket; a read token's grant
-// stamps the current pair as the reader's floor (tokens.RWClient.SetChain)
-// and a frame older than the floor is refused. Staleness between a write
-// deposit and the next chain push is closed by the write token's recall
-// fan-out: the writer poisons every member's frame head before its grant
-// returns, so a lagging replica cannot serve the pre-write bytes.
+// segment carrying a per-bucket version word (epoch in the high 32 bits);
+// a read token's grant stamps the current value as the reader's floor
+// (tokens.RWClient.SetChain) and a frame older than the floor is refused.
+// Staleness between a write deposit and the next chain push is closed by
+// the write token's recall fan-out: the writer marks the bucket's recall
+// word and poisons a side word next to every member's frame before its
+// grant returns, so a lagging replica cannot serve the pre-write bytes.
+// The poison word lives OUTSIDE the seqlock frame: a recall never
+// destroys the (acknowledged, possibly dirty) record the member holds,
+// so TakeOver still grafts it after a crash.
 
 // chainHdr is the chain segment's header: five geometry words (as the
-// mirror header), the replica-set epoch, the member's applied version
-// (maintained by its forwarder; failover READs it to pick the most
-// advanced member), and its position in the chain.
-const chainHdr = 32
+// mirror header), the replica-set epoch, the member's position in the
+// chain, and its 64-bit applied version (maintained by its forwarder;
+// failover READs it to pick the most advanced member).
+const chainHdr = 40
 
-// chainHdrEpoch / chainHdrApplied / chainHdrPos locate the header words.
+// chainHdrEpoch / chainHdrPos / ChainAppliedOff locate the header words.
 const (
 	chainHdrEpoch   = 20
-	ChainAppliedOff = 24
-	chainHdrPos     = 28
+	chainHdrPos     = 24
+	ChainAppliedOff = 32
 )
 
-// chainStride is one seqlock-framed bucket: [ver u32 | record | ver u32].
-const chainStride = dataStride + 8
+// chainStride is one bucket slot: a 4-byte poison word (recall side
+// channel — not part of the relayed seqlock value) followed by the
+// seqlock frame [ver u64 | record | ver u64]. Frame versions are 64-bit
+// with the replica-set epoch in the high half, so they stay monotone
+// across failover epochs for any realizable push count.
+const chainStride = 4 + 8 + dataStride + 8
+
+// chainPrefixLen covers the poison word plus the frame head — the slice a
+// relayer re-checks (and re-pushes) after its downstream write completes,
+// so an in-flight relay can never silently undo a recall poison landing
+// between its snapshot and its completion.
+const chainPrefixLen = 12
 
 // ChainFrameLen is the length of one framed bucket — what a clerk READs
-// to serve a block from a replica.
+// to serve a block from a replica (poison word included).
 const ChainFrameLen = chainStride
 
-// ChainFrameOff returns the offset of bucket tok's frame in a chain
-// member's exported segment.
+// ChainFrameOff returns the offset of bucket tok's slot (poison word
+// first) in a chain member's exported segment.
 func ChainFrameOff(tok int) int { return chainHdr + tok*chainStride }
 
 // chainStateHdr is the chain-state header: epoch, member count, bucket
-// count, reserved. Then per-bucket (epoch, version) pairs, then
-// per-member (epoch, applied) ack words.
+// count, reserved. Then per-bucket state entries, then per-member
+// applied-version ack words.
 const chainStateHdr = 16
 
-// ChainStateVerOff returns the offset of bucket tok's (epoch, version)
-// pair in the primary's chain-state segment — the 8-byte READ a read
-// token's grant performs to stamp its freshness watermark.
-func ChainStateVerOff(tok int) int { return chainStateHdr + 8*tok }
+// chainStateStride is one bucket's state entry:
+//
+//	+0  ver u64 — published frame version (epoch<<32 | seq), the floor a
+//	    read grant stamps
+//	+8  R u32 — recall marker, written by a writer's grant-time recall
+//	    before it poisons the members
+//	+12 D u32 — deposit marker, written (same value as R) when the writer
+//	    downgrades/releases; R == D means the write-behind deposit is in
+//	    the primary's data area
+//	+16 C u32 — clean marker, written by the primary when a push carrying
+//	    the post-deposit bytes has landed without a newer recall racing it
+//	+20 pad
+//
+// A reader may stamp a floor only when R == D == C: any outstanding or
+// not-yet-repushed recall refuses the stamp, so a version the primary
+// aborted (a push that raced a recall) can never pass a reader's floor.
+const chainStateStride = 24
 
-// ChainStateAckOff returns the offset of member i's (epoch, applied) ack
-// words in a chain-state segment laid out for `buckets` data buckets.
-func ChainStateAckOff(buckets, i int) int { return chainStateHdr + 8*buckets + 8*i }
+// ChainStateVerOff returns the offset of bucket tok's state entry in the
+// primary's chain-state segment — the READ a read token's grant performs
+// to stamp its freshness watermark (version + recall markers, one read).
+func ChainStateVerOff(tok int) int { return chainStateHdr + chainStateStride*tok }
+
+// Offsets of the recall markers within a bucket's state entry.
+const (
+	ChainStateROff = 8  // recall marker (written at write grant)
+	ChainStateDOff = 12 // deposit marker (written at downgrade/release)
+	chainStateCOff = 16 // clean marker (written by the primary's push)
+)
+
+// ChainStateAckOff returns the offset of member i's applied-version ack
+// word in a chain-state segment laid out for `buckets` data buckets.
+func ChainStateAckOff(buckets, i int) int {
+	return chainStateHdr + chainStateStride*buckets + 8*i
+}
 
 // chainStateSize sizes the chain-state segment.
-func chainStateSize(buckets, members int) int { return chainStateHdr + 8*buckets + 8*members }
+func chainStateSize(buckets, members int) int {
+	return chainStateHdr + chainStateStride*buckets + 8*members
+}
 
-// ParseChainFrame validates one framed bucket against a reader's token
+// ParseChainFrame validates one bucket slot against a reader's token
 // watermark and returns the block bytes. A frame is served only when the
-// seqlock words agree and are even (no landing write, no poison), the
-// version is at least minVer (at least as fresh as the token grant), and
-// the record inside actually holds (h, block). Anything else returns
-// false: the caller falls back to the primary.
-func ParseChainFrame(frame []byte, h fstore.Handle, block int64, minVer uint32) ([]byte, uint32, bool) {
+// poison word is clear (no outstanding recall on this member), the
+// seqlock words agree and are even (no landing write), the version is at
+// least minVer (at least as fresh as the token grant), and the record
+// inside actually holds (h, block). Anything else returns false: the
+// caller falls back to the primary.
+func ParseChainFrame(frame []byte, h fstore.Handle, block int64, minVer uint64) ([]byte, uint64, bool) {
 	if len(frame) < chainStride {
 		return nil, 0, false
 	}
-	head := binary.BigEndian.Uint32(frame)
-	tail := binary.BigEndian.Uint32(frame[chainStride-4:])
+	if binary.BigEndian.Uint32(frame) != 0 {
+		return nil, 0, false // recall poison
+	}
+	head := binary.BigEndian.Uint64(frame[4:])
+	tail := binary.BigEndian.Uint64(frame[chainStride-8:])
 	if head == 0 || head != tail || head%2 != 0 || head < minVer {
 		return nil, head, false
 	}
-	rec := frame[4 : 4+dataStride]
+	rec := frame[12 : 12+dataStride]
 	flag, key, sub, n := getHdr(rec)
 	if (flag != flagValid && flag != flagDirty) || key != h || int64(sub) != block {
 		return nil, head, false
@@ -105,12 +152,12 @@ type ChainReplica struct {
 	geo Geometry
 	seg *rmem.Segment
 
-	shadowVer []uint32     // per-bucket version as of the last forward pass
+	shadowVer []uint64     // per-bucket version as of the last forward pass
 	next      *rmem.Import // downstream member's chain segment; nil = tail
 	ack       *rmem.Import // primary's chain-state segment (ack words)
 	ackOff    int
 	epoch     uint32
-	applied   uint32
+	applied   uint64
 	running   bool
 	stopped   bool
 	onSplice  func(p *des.Proc)
@@ -120,13 +167,14 @@ type ChainReplica struct {
 	Acked     int64 // ack words written upstream
 	Restored  int64 // dirty buckets grafted by TakeOver
 	Spliced   int64 // downstream members dropped after push failures
+	Repaired  int64 // post-relay prefix re-pushes (poison races caught)
 }
 
 // NewChainReplica exports the chain segment on m's node. The geometry
 // must match the primary's (AttachChain stamps it; TakeOver verifies).
 func NewChainReplica(p *des.Proc, m *rmem.Manager, geo Geometry) *ChainReplica {
 	geo.fill()
-	cr := &ChainReplica{m: m, geo: geo, shadowVer: make([]uint32, geo.DataBuckets)}
+	cr := &ChainReplica{m: m, geo: geo, shadowVer: make([]uint64, geo.DataBuckets)}
 	cr.seg = m.Export(p, chainHdr+geo.DataBuckets*chainStride)
 	// Upstream WRITEs frames in, clerks READ them out, write-token recall
 	// WRITEs poison words — no CAS ever.
@@ -143,9 +191,9 @@ func (cr *ChainReplica) ChainSeg() (id, gen uint16, size int) {
 func (cr *ChainReplica) Node() *cluster.Node    { return cr.m.Node }
 func (cr *ChainReplica) Manager() *rmem.Manager { return cr.m }
 
-// Applied returns the member's applied version watermark; Epoch the
-// replica-set epoch it last saw.
-func (cr *ChainReplica) Applied() uint32 { return cr.applied }
+// Applied returns the member's applied version watermark (epoch in the
+// high 32 bits); Epoch the replica-set epoch it last saw.
+func (cr *ChainReplica) Applied() uint64 { return cr.applied }
 func (cr *ChainReplica) Epoch() uint32   { return cr.epoch }
 
 // OnSplice installs the callback fired (once) when a downstream push
@@ -179,10 +227,21 @@ func (cr *ChainReplica) start(interval des.Duration) {
 
 // forwardPass relays every stable new frame downstream, advances the
 // member's applied watermark (header word — one-sided READable by the
-// failover prober), and acks (epoch, applied) into the primary's
-// chain-state segment. A frame is relayed only when its seqlock words
-// agree and are even: a landing upstream write or a recall poison is
-// skipped and picked up on a later pass.
+// failover prober), and acks its applied version into the primary's
+// chain-state segment. A frame is relayed only when its poison word is
+// clear and its seqlock words agree and are even: a landing upstream
+// write or a recall poison is skipped and picked up on a later pass.
+//
+// The relay itself can race a recall: the poison campaign writes the
+// members in chain order, so a poison can land HERE before the snapshot
+// but at the DOWNSTREAM member before our (sleeping, retransmitting)
+// relay completes — the relay would then silently clobber the downstream
+// poison with a clean pre-write frame. So after the push returns, the
+// local prefix (poison + head) is re-read: if it no longer matches the
+// snapshot, whatever superseded it — a poison, a newer frame landing —
+// is re-pushed as a prefix, restoring the downstream poison or tearing
+// the downstream frame. The campaign's ordering guarantees the local
+// prefix has changed by the time the racing relay completes.
 func (cr *ChainReplica) forwardPass(p *des.Proc) {
 	buf := cr.seg.Bytes()
 	cr.epoch = binary.BigEndian.Uint32(buf[chainHdrEpoch:])
@@ -191,8 +250,11 @@ func (cr *ChainReplica) forwardPass(p *des.Proc) {
 	for b := 0; b < cr.geo.DataBuckets; b++ {
 		lo := chainHdr + b*chainStride
 		frame := buf[lo : lo+chainStride]
-		head := binary.BigEndian.Uint32(frame)
-		tail := binary.BigEndian.Uint32(frame[chainStride-4:])
+		if binary.BigEndian.Uint32(frame) != 0 {
+			continue // recall poison: not relayable, not servable
+		}
+		head := binary.BigEndian.Uint64(frame[4:])
+		tail := binary.BigEndian.Uint64(frame[chainStride-8:])
 		if head == 0 || head != tail || head%2 != 0 || head == cr.shadowVer[b] {
 			continue
 		}
@@ -207,6 +269,20 @@ func (cr *ChainReplica) forwardPass(p *des.Proc) {
 				if tr := cr.m.Node.Env.Tracer(); tr != nil {
 					tr.Count("dfs.chain.forwarded", 1)
 				}
+				// Post-relay re-check: did a poison (or a newer frame) land
+				// here while the relay was in flight?
+				if binary.BigEndian.Uint32(frame) != 0 ||
+					binary.BigEndian.Uint64(frame[4:]) != head {
+					pre := append([]byte(nil), frame[:chainPrefixLen]...)
+					if err := cr.next.WriteBlock(p, lo, pre, false); err != nil {
+						cr.splice(p)
+					} else {
+						cr.Repaired++
+						if tr := cr.m.Node.Env.Tracer(); tr != nil {
+							tr.Count("dfs.chain.repaired", 1)
+						}
+					}
+				}
 			}
 		}
 		cr.shadowVer[b] = head
@@ -217,11 +293,10 @@ func (cr *ChainReplica) forwardPass(p *des.Proc) {
 	}
 	if changed || maxApplied != cr.applied {
 		cr.applied = maxApplied
-		binary.BigEndian.PutUint32(buf[ChainAppliedOff:], cr.applied)
+		binary.BigEndian.PutUint64(buf[ChainAppliedOff:], cr.applied)
 		if cr.ack != nil {
 			var w [8]byte
-			binary.BigEndian.PutUint32(w[0:], cr.epoch)
-			binary.BigEndian.PutUint32(w[4:], cr.applied)
+			binary.BigEndian.PutUint64(w[:], cr.applied)
 			if err := cr.ack.WriteBlock(p, cr.ackOff, w[:], false); err == nil {
 				cr.Acked++
 			}
@@ -247,8 +322,12 @@ func (cr *ChainReplica) splice(p *des.Proc) {
 // the primary dies: a new server incarnation over the surviving store,
 // with every stable mirrored *dirty* frame grafted into the new data
 // area (still dirty, so the next Sync applies the write-behind the dead
-// primary never flushed). The forwarder stops: this node is the chain
-// head now.
+// primary never flushed). The recall poison word is deliberately
+// ignored: a poison marks the frame unservable to READERS, but the
+// record under it is the last acknowledged write-behind state this
+// member applied — destroying it on promotion would lose durable data
+// the dead primary had already acked. The forwarder stops: this node is
+// the chain head now.
 func (cr *ChainReplica) TakeOver(p *des.Proc, store *fstore.Store, nodes int, opts ...ServerOption) (*Server, error) {
 	buf := cr.seg.Bytes()
 	if db := binary.BigEndian.Uint32(buf[12:]); db != 0 && int(db) != cr.geo.DataBuckets {
@@ -261,12 +340,12 @@ func (cr *ChainReplica) TakeOver(p *des.Proc, store *fstore.Store, nodes int, op
 	for b := 0; b < cr.geo.DataBuckets; b++ {
 		lo := chainHdr + b*chainStride
 		frame := buf[lo : lo+chainStride]
-		head := binary.BigEndian.Uint32(frame)
-		tail := binary.BigEndian.Uint32(frame[chainStride-4:])
+		head := binary.BigEndian.Uint64(frame[4:])
+		tail := binary.BigEndian.Uint64(frame[chainStride-8:])
 		if head == 0 || head != tail || head%2 != 0 {
 			continue
 		}
-		rec := frame[4 : 4+dataStride]
+		rec := frame[12 : 12+dataStride]
 		if flag, _, _, _ := getHdr(rec); flag != flagDirty {
 			continue
 		}

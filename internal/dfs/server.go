@@ -30,12 +30,13 @@ type Server struct {
 	shadow  []byte       // data-area image as of the last mirror pass
 	guard   WriteGuard   // mutation gate (SetWriteGuard); nil allows all
 
-	chainHead   *rmem.Import  // first chain member's segment (AttachChain)
-	chainState  *rmem.Segment // exported (epoch, version) watermark table
-	chainShadow []byte        // data-area image as of the last chain pass
-	chainSeq    uint32        // monotone frame version (epoch in high bits)
-	chainEpoch  uint32        // replica-set epoch
-	chainDaemon bool          // chain push daemon spawned
+	chainHead    *rmem.Import   // first chain member's segment (AttachChain)
+	chainMembers []*rmem.Import // every member's segment, chain order (abort re-poison)
+	chainState   *rmem.Segment  // exported version watermark / recall marker table
+	chainShadow  []byte         // data-area image as of the last chain pass
+	chainSeq     uint64         // monotone frame version (epoch in high 32 bits)
+	chainEpoch   uint32         // replica-set epoch
+	chainDaemon  bool           // chain push daemon spawned
 
 	// Stats.
 	MissCalls    int64        // requests that reached the server procedure
@@ -44,6 +45,7 @@ type Server struct {
 	EagerPushes  int64        // attribute records pushed to subscribers
 	Mirrored     int64        // data buckets pushed to the hot standby
 	ChainPushes  int64        // framed buckets pushed down the replica chain
+	ChainAborts  int64        // pushes aborted by a racing write-grant recall
 	GuardDenials int64        // mutations refused by the write guard
 }
 
@@ -237,16 +239,20 @@ func (s *Server) AttachChain(p *des.Proc, epoch uint32, members []*ChainReplica,
 	st.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
 	s.chainState = st
 	s.chainEpoch = epoch
-	// Frame versions carry the epoch in their high bits: monotone across
-	// failover epochs, and always even (the sequence advances by 2) so a
-	// live version never collides with a recall poison word.
-	s.chainSeq = epoch << 16
+	// Frame versions carry the epoch in their high 32 bits: monotone
+	// across failover epochs for any realizable push count, and always
+	// even (the sequence advances by 2) so a live version is never zero in
+	// the low half either.
+	s.chainSeq = uint64(epoch) << 32
 	hdr := st.Bytes()
 	binary.BigEndian.PutUint32(hdr[0:], epoch)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(len(members)))
 	binary.BigEndian.PutUint32(hdr[8:], uint32(buckets))
+	// Every bucket's floor starts at the epoch base: a surviving member's
+	// old-epoch frame fails the floor of any token granted under this
+	// chain until the new primary has re-pushed the bucket.
 	for b := 0; b < buckets; b++ {
-		binary.BigEndian.PutUint32(hdr[ChainStateVerOff(b):], epoch)
+		binary.BigEndian.PutUint64(hdr[ChainStateVerOff(b):], uint64(epoch)<<32)
 	}
 
 	// Stamp each member's header and wire its forwarder. All chain plumbing
@@ -259,6 +265,7 @@ func (s *Server) AttachChain(p *des.Proc, epoch uint32, members []*ChainReplica,
 	binary.BigEndian.PutUint32(mhdr[12:], uint32(buckets))
 	binary.BigEndian.PutUint32(mhdr[16:], uint32(s.Geo.DirBuckets))
 	stID, stGen, stSize := st.ID(), st.Gen(), st.Size()
+	s.chainMembers = nil
 	for i, cr := range members {
 		id, gen, size := cr.ChainSeg()
 		imp := s.m.Import(p, cr.Node().ID, id, gen, size)
@@ -271,6 +278,10 @@ func (s *Server) AttachChain(p *des.Proc, epoch uint32, members []*ChainReplica,
 		if i == 0 {
 			s.chainHead = imp
 		}
+		// Every member import is kept: an aborted push (one that raced a
+		// write-grant recall) must be able to re-poison the whole chain,
+		// not just the head.
+		s.chainMembers = append(s.chainMembers, imp)
 		var next *rmem.Import
 		if i+1 < len(members) {
 			nid, ngen, nsize := members[i+1].ChainSeg()
@@ -301,41 +312,94 @@ func (s *Server) AttachChain(p *des.Proc, epoch uint32, members []*ChainReplica,
 	return nil
 }
 
-// chainPass pushes every changed data bucket to the chain head as one
-// framed record and publishes its new version in the chain-state table.
-// The watermark is published only after the frame has landed at the head:
-// a token granted at version v is always servable by a head that has
-// caught up to v, and a lagging mid-chain member simply fails the floor
-// check and the reader falls back to the primary.
+// chainPass pushes every data bucket that changed — or that a resolved
+// write-grant recall left poisoned — to the chain head as one framed
+// record (poison word cleared) and publishes its new version in the
+// chain-state table. The watermark is published only after the frame has
+// landed at the head: a token granted at version v is always servable by
+// a head that has caught up to v, and a lagging mid-chain member simply
+// fails the floor check and the reader falls back to the primary.
+//
+// The recall markers gate every push. R != D means a writer recalled the
+// bucket and its deposit has not landed yet: pushing now would clear the
+// members' poison with pre-write bytes, so the bucket is skipped. R == D
+// but C != R means the deposit is in (the D write rides the same
+// writer→home circuit as the deposit, so FIFO ordering proves it landed
+// first) and the bucket is re-pushed even when its bytes happen to be
+// byte-identical — the push is what clears the poison. After the push
+// lands, R is re-read: a recall that raced the push means the frame now
+// sitting on the members may carry pre-recall bytes under a version a
+// future floor would admit, so the push is aborted — the whole chain is
+// re-poisoned in order and neither the version nor C is published. The
+// aborted version number is thereby never admitted by any floor: floors
+// are only stamped when R == D == C (tokens.RWClient.stampWatermark),
+// and by then the published version exceeds every aborted one.
 func (s *Server) chainPass(p *des.Proc) {
 	buf := s.data.Bytes()
-	st := s.chainState.Bytes()
 	frame := make([]byte, chainStride)
 	for b := 0; b < s.Geo.DataBuckets; b++ {
+		st := s.chainState.Bytes() // remote marker writes land between sleeps
+		entry := st[ChainStateVerOff(b):]
+		r := binary.BigEndian.Uint32(entry[ChainStateROff:])
+		d := binary.BigEndian.Uint32(entry[ChainStateDOff:])
+		if r != d {
+			continue // recalled, deposit still in flight: keep the poison
+		}
+		cc := binary.BigEndian.Uint32(entry[chainStateCOff:])
 		lo := b * dataStride
 		cur := buf[lo : lo+dataStride]
 		old := s.chainShadow[lo : lo+dataStride]
-		if bytes.Equal(cur, old) {
+		if cc == r && bytes.Equal(cur, old) {
 			continue
 		}
 		s.chainSeq += 2
 		v := s.chainSeq
 		// Snapshot into the frame before the (reliable, sleeping) push — a
 		// deposit landing in this bucket mid-push must not tear the frame.
-		binary.BigEndian.PutUint32(frame, v)
-		copy(frame[4:4+dataStride], cur)
-		binary.BigEndian.PutUint32(frame[chainStride-4:], v)
+		// The leading zero word clears the members' recall poison.
+		binary.BigEndian.PutUint32(frame, 0)
+		binary.BigEndian.PutUint64(frame[4:], v)
+		copy(frame[12:12+dataStride], cur)
+		binary.BigEndian.PutUint64(frame[chainStride-8:], v)
 		if err := s.chainHead.WriteBlock(p, ChainFrameOff(b), frame, false); err != nil {
 			s.m.WriteFaults = append(s.m.WriteFaults, fmt.Errorf("dfs: chain bucket %d: %w", b, err))
 			return
 		}
-		copy(old, frame[4:4+dataStride])
-		binary.BigEndian.PutUint32(st[ChainStateVerOff(b):], s.chainEpoch)
-		binary.BigEndian.PutUint32(st[ChainStateVerOff(b)+4:], v)
+		st = s.chainState.Bytes()
+		entry = st[ChainStateVerOff(b):]
+		if binary.BigEndian.Uint32(entry[ChainStateROff:]) != r {
+			// A recall landed while the push was in flight: the frame we just
+			// planted may hold pre-recall bytes, and its version must never
+			// become servable. Re-poison the whole chain in order (the same
+			// head→tail discipline as the recall itself, so the forwarders'
+			// post-relay re-checks hold) and publish nothing.
+			s.abortChainPush(p, b)
+			continue
+		}
+		copy(old, frame[12:12+dataStride])
+		binary.BigEndian.PutUint64(entry[:8], v)
+		binary.BigEndian.PutUint32(entry[chainStateCOff:], r)
 		s.ChainPushes++
 		if tr := s.m.Node.Env.Tracer(); tr != nil {
 			tr.Count("dfs.chain.push", 1)
 		}
+	}
+}
+
+// abortChainPush re-poisons bucket b on every chain member after a push
+// raced a write-grant recall. Ordered, acknowledged writes head→tail:
+// any in-flight relay that clobbers a downstream poison completes after
+// its local (upstream) poison landed, so the relayer's post-push
+// re-check restores it.
+func (s *Server) abortChainPush(p *des.Proc, b int) {
+	s.ChainAborts++
+	if tr := s.m.Node.Env.Tracer(); tr != nil {
+		tr.Count("dfs.chain.abort", 1)
+	}
+	poison := []byte{0, 0, 0, 1}
+	for _, imp := range s.chainMembers {
+		// An unreachable member is not serving reads; skip and move on.
+		_ = imp.WriteBlock(p, ChainFrameOff(b), poison, false)
 	}
 }
 

@@ -151,7 +151,7 @@ func ReplicaRereadProbe(replicas int) (ReplicaProbeResult, error) {
 		// the whole chain agrees on a nonzero applied watermark.
 		for tries := 0; tries < 200; tries++ {
 			p.Sleep(des.Duration(time.Millisecond))
-			lo, hi := ^uint32(0), uint32(0)
+			lo, hi := ^uint64(0), uint64(0)
 			for _, cr := range svc.Replicas(0) {
 				if a := cr.Applied(); a < lo {
 					lo = a

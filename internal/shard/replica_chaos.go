@@ -42,11 +42,11 @@ type ReplicaChaosResult struct {
 	// PromotedApplied its applied watermark at promotion — the evidence the
 	// election picked the most-advanced member.
 	PromotedNode    int
-	PromotedApplied uint32
+	PromotedApplied uint64
 	// HeadApplied / TailApplied snapshot the extremes of the members'
 	// applied watermarks just before the crash window — nonzero spread
 	// proves the campaign actually starved the deep members.
-	HeadApplied, TailApplied uint32
+	HeadApplied, TailApplied uint64
 	// ReplicaReads counts clerk block fetches served by chain members
 	// across the measured mix.
 	ReplicaReads int64
@@ -134,7 +134,7 @@ type replicaLeg struct {
 	rig                      *chaosRig
 	window                   time.Duration
 	events                   uint64
-	headApplied, tailApplied uint32
+	headApplied, tailApplied uint64
 }
 
 func runReplicaMix(camp *faults.Campaign, seed int64, mode dfs.Mode, replicas int) (*replicaLeg, error) {
@@ -193,6 +193,16 @@ func runReplicaMix(camp *faults.Campaign, seed int64, mode dfs.Mode, replicas in
 		// crash finds genuinely lagging deep members.
 		if at := des.Time(190*time.Millisecond + 100*time.Microsecond); p.Now() < at {
 			p.Sleep(time.Duration(at.Sub(p.Now())))
+		}
+		// Healthy-path evidence first: the chain converged on the warm
+		// frames during setup and no write is in flight, so a re-read with
+		// the block copies dropped (tokens and their stamped watermarks
+		// kept) must move the bytes from a chain member. The campaign then
+		// starves and decapitates exactly the tier this proves was serving.
+		if _, err := rig.clerk.Read(p, rig.file, 0, 16384); err == nil {
+			rig.clerk.FlushLocal()
+			rig.clerk.DropTokenCache()
+			_, _ = rig.clerk.Read(p, rig.file, 0, 16384)
 		}
 		lag := make([]byte, 16384)
 		for i := range lag {

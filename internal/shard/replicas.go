@@ -30,10 +30,6 @@ type chainSpec struct {
 	interval des.Duration
 }
 
-// promoteProbeTO bounds one one-sided applied-watermark read during a
-// chain-head failover.
-const promoteProbeTO = 2 * time.Millisecond
-
 // AttachReplicas builds slot's replica chain, one member per manager (each
 // on its own node), wires it under the shard's primary, and teaches every
 // token-caching clerk to read from it. interval paces both the primary's
@@ -174,8 +170,15 @@ func (s *Service) promoteChain(p *des.Proc, slot int, watcher *rmem.Manager) err
 	if spec == nil || len(spec.members) == 0 {
 		return fmt.Errorf("shard: promote: slot %d has no chain", slot)
 	}
-	best, bestApplied := -1, uint32(0)
+	best, bestApplied := -1, uint64(0)
 	scratch := watcher.Export(p, 8)
+	// A retransmitting probe needs room for its whole retry schedule —
+	// the same deadline argument as Clerk.replicaBlock: a tighter bound
+	// converts one clobbered chunk into a spurious timeout, and a
+	// spuriously skipped member here drops the acknowledged write-behind
+	// it held.
+	pp := watcher.Node.P
+	probeTO := des.Duration(pp.RetryLimit+1) * pp.RetryBackoffMax
 	for idx, cr := range spec.members {
 		if cr.Node().Failed() {
 			continue
@@ -183,10 +186,10 @@ func (s *Service) promoteChain(p *des.Proc, slot int, watcher *rmem.Manager) err
 		id, gen, size := cr.ChainSeg()
 		imp := watcher.Import(p, cr.Node().ID, id, gen, size)
 		imp.SetReliable(true)
-		if err := imp.Read(p, dfs.ChainAppliedOff, 4, scratch, 0, promoteProbeTO); err != nil {
+		if err := imp.Read(p, dfs.ChainAppliedOff, 8, scratch, 0, probeTO); err != nil {
 			continue
 		}
-		applied := scratch.ReadWord(p, 0)
+		applied := uint64(scratch.ReadWord(p, 0))<<32 | uint64(scratch.ReadWord(p, 4))
 		if best < 0 || applied > bestApplied {
 			best, bestApplied = idx, applied
 		}

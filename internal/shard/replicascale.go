@@ -117,7 +117,7 @@ func RunReplicaScale(replicas, readers int) (*ReplicaScalePoint, error) {
 		// measured reads find every member serving.
 		for tries := 0; tries < 200; tries++ {
 			p.Sleep(des.Duration(time.Millisecond))
-			lo, hi := ^uint32(0), uint32(0)
+			lo, hi := ^uint64(0), uint64(0)
 			for _, cr := range svc.Replicas(0) {
 				if a := cr.Applied(); a < lo {
 					lo = a
@@ -142,14 +142,27 @@ func RunReplicaScale(replicas, readers int) (*ReplicaScalePoint, error) {
 	end := start.Add(replicaScaleWindow)
 	var readBytes, writerOps int64
 	var readErr error
+	var cpuBefore, pushBefore time.Duration // CPU accrued on the primary before the window
+	servingCPU := func() time.Duration {
+		acct := cl.Nodes[0].CPUAcct
+		return time.Duration(acct[cluster.CatProc] + acct[cluster.CatControl])
+	}
+	clientCPU := func() time.Duration {
+		return time.Duration(cl.Nodes[0].CPUAcct[cluster.CatClient])
+	}
 
 	// The writer's constant load: dirty a block, then a Sync RPC — the
 	// latter is a server procedure, the primary's only scheduled-CPU
 	// consumer here. Rounds fire on fixed ticks so every sweep point sees
-	// the identical load regardless of how busy the fabric is.
+	// the identical load regardless of how busy the fabric is; a round is
+	// attributed to the window by its tick, and the CPU baseline is taken
+	// right before the first in-window round fires — between rounds, so a
+	// round's latency jitter can never straddle the boundary and void the
+	// point-to-point comparison.
 	env.Spawn("replicascale.writer", func(p *des.Proc) {
 		const tick = 20 * time.Millisecond
 		blk := make([]byte, fstore.BlockSize)
+		metered := false
 		for round := uint32(0); ; round++ {
 			next := des.Time(replicaScaleWarm).Add(time.Duration(round) * tick)
 			if next >= end {
@@ -157,6 +170,11 @@ func RunReplicaScale(replicas, readers int) (*ReplicaScalePoint, error) {
 			}
 			if next > p.Now() {
 				p.Sleep(time.Duration(next.Sub(p.Now())))
+			}
+			if next >= start && !metered {
+				metered = true
+				cpuBefore = servingCPU()
+				pushBefore = clientCPU()
 			}
 			for i := range blk {
 				blk[i] = byte(round + uint32(i))
@@ -167,7 +185,7 @@ func RunReplicaScale(replicas, readers int) (*ReplicaScalePoint, error) {
 			if _, err := svc.Sync(p); err != nil {
 				return
 			}
-			if t := p.Now(); t >= start && t < end {
+			if next >= start {
 				writerOps++
 			}
 		}
@@ -201,19 +219,6 @@ func RunReplicaScale(replicas, readers int) (*ReplicaScalePoint, error) {
 		})
 	}
 
-	servingCPU := func() time.Duration {
-		acct := cl.Nodes[0].CPUAcct
-		return time.Duration(acct[cluster.CatProc] + acct[cluster.CatControl])
-	}
-	clientCPU := func() time.Duration {
-		return time.Duration(cl.Nodes[0].CPUAcct[cluster.CatClient])
-	}
-	var cpuBefore, pushBefore time.Duration // CPU accrued on the primary before the window
-	env.Spawn("replicascale.meter", func(p *des.Proc) {
-		p.Sleep(time.Duration(start.Sub(p.Now())))
-		cpuBefore = servingCPU()
-		pushBefore = clientCPU()
-	})
 	if err := env.RunUntil(end.Add(5 * time.Millisecond)); err != nil {
 		return nil, err
 	}

@@ -69,7 +69,7 @@ type Service struct {
 	// Replica-chain stats.
 	ChainSplices    int64  // mid-chain crashes spliced around
 	PromotedNode    int    // node promoted by the last chain failover (-1: none)
-	PromotedApplied uint32 // its applied watermark at promotion
+	PromotedApplied uint64 // its applied watermark at promotion
 }
 
 // NewService builds one shard server per manager (each on its own node)

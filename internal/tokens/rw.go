@@ -63,7 +63,9 @@ type RWClient struct {
 	chainVerOff func(tok int) int
 	chain       []*rmem.Import
 	chainOff    func(tok int) int
-	wm          map[int]uint64 // epoch<<32 | version stamped at read grant
+	wm          map[int]uint64 // version floor (epoch<<32 | seq) stamped at read grant
+	pending     map[int]uint32 // recall marker awaiting its deposit-done write
+	recallSeq   uint32         // per-client recall marker sequence
 
 	// Stats.
 	ReadAcquires      int64 // read tokens granted (first acquisition)
@@ -98,40 +100,46 @@ func (c *RWClient) OnInvalidate(fn func(p *des.Proc, tok int)) { c.onInvalidate 
 
 // SetChain teaches the agent about the home's replica chain. state is an
 // import of the home's chain-state segment and verOff locates a token's
-// (epoch, version) watermark pair in it: every read grant stamps the
-// current pair as that token's freshness floor (Watermark). members are
-// retransmitting imports of each chain member's frame segment and frameOff
-// locates a token's frame: a write grant completes only after the recall
-// has fanned out across *all* of them — without this, the grant would
-// recall only the home and a lagging replica could keep serving the
-// pre-write bytes to token-holding readers.
+// state entry — a 64-bit version floor (epoch in the high half) followed
+// by the recall/deposit/clean marker words — in it: every read grant
+// stamps the current version as that token's freshness floor (Watermark).
+// members are retransmitting imports of each chain member's frame segment
+// and frameOff locates a token's slot (poison word first): a write grant
+// completes only after the recall has fanned out across *all* of them —
+// without this, the grant would recall only the home and a lagging
+// replica could keep serving the pre-write bytes to token-holding
+// readers.
 func (c *RWClient) SetChain(state *rmem.Import, verOff func(tok int) int, members []*rmem.Import, frameOff func(tok int) int) {
 	c.chainState = state
 	c.chainVerOff = verOff
 	c.chain = members
 	c.chainOff = frameOff
 	c.wm = make(map[int]uint64)
+	c.pending = make(map[int]uint32)
 }
 
 // ClearChain detaches the agent from a replica chain (shard rebind, chain
-// teardown); stamped watermarks are dropped with it.
+// teardown); stamped watermarks and pending recall markers are dropped
+// with it.
 func (c *RWClient) ClearChain() {
 	c.chainState = nil
 	c.chainVerOff = nil
 	c.chain = nil
 	c.chainOff = nil
 	c.wm = nil
+	c.pending = nil
 }
 
-// Watermark returns the (epoch, version) freshness floor stamped when tok
-// was granted for read. ok is false when no chain is attached or the stamp
-// failed — the caller must then read through the home, not a replica.
-func (c *RWClient) Watermark(tok int) (epoch, ver uint32, ok bool) {
+// Watermark returns the version freshness floor (epoch in the high 32
+// bits) stamped when tok was granted for read. ok is false when no chain
+// is attached or the stamp failed — the caller must then read through the
+// home, not a replica.
+func (c *RWClient) Watermark(tok int) (epoch uint32, ver uint64, ok bool) {
 	w, ok := c.wm[tok]
 	if !ok {
 		return 0, 0, false
 	}
-	return uint32(w >> 32), uint32(w), true
+	return uint32(w >> 32), w, true
 }
 
 // StampWatermark returns tok's freshness floor, stamping it first when a
@@ -141,7 +149,7 @@ func (c *RWClient) Watermark(tok int) (epoch, ver uint32, ok bool) {
 // than the acquire-time one, never looser). A token held for write never
 // stamps: our own write-behind may be ahead of the chain frames, and only
 // the recall poison — not the floor — guards that window.
-func (c *RWClient) StampWatermark(p *des.Proc, tok int) (epoch, ver uint32, ok bool) {
+func (c *RWClient) StampWatermark(p *des.Proc, tok int) (epoch uint32, ver uint64, ok bool) {
 	if c.wm == nil || !c.read[tok] || c.write[tok] {
 		return 0, 0, false
 	}
@@ -151,42 +159,89 @@ func (c *RWClient) StampWatermark(p *des.Proc, tok int) (epoch, ver uint32, ok b
 	return c.Watermark(tok)
 }
 
-// stampWatermark READs the token's current (epoch, version) pair from the
-// home's chain-state segment — one 8-byte one-sided read, the grant's only
-// extra cost. On failure the stamp is simply absent: replica reads are an
-// optimization, and without a floor the clerk falls back to the home.
+// stampWatermark READs the token's state entry — version floor plus the
+// recall markers — from the home's chain-state segment: one 20-byte
+// one-sided read, the grant's only extra cost. The floor is stamped only
+// when the recall markers agree (R == D == C): a recalled bucket whose
+// deposit is still in flight (R != D), or whose deposit the primary has
+// not yet re-pushed down the chain (C != R), has no honest floor — the
+// published version predates the completed write, and a version the
+// primary aborted could slip past it. On failure or refusal the stamp is
+// simply absent: replica reads are an optimization, and without a floor
+// the clerk falls back to the home.
 func (c *RWClient) stampWatermark(p *des.Proc, tok int) {
 	if c.chainState == nil {
 		return
 	}
-	if err := c.chainState.Read(p, c.chainVerOff(tok), 8, c.scratch, 16, time.Second); err != nil {
+	if err := c.chainState.Read(p, c.chainVerOff(tok), 20, c.scratch, 16, time.Second); err != nil {
 		delete(c.wm, tok)
 		return
 	}
-	epoch := c.scratch.ReadWord(p, 16)
-	ver := c.scratch.ReadWord(p, 20)
-	c.wm[tok] = uint64(epoch)<<32 | uint64(ver)
+	ver := uint64(c.scratch.ReadWord(p, 16))<<32 | uint64(c.scratch.ReadWord(p, 20))
+	r := c.scratch.ReadWord(p, 24)
+	d := c.scratch.ReadWord(p, 28)
+	cc := c.scratch.ReadWord(p, 32)
+	if r != d || cc != r {
+		delete(c.wm, tok)
+		return
+	}
+	c.wm[tok] = ver
 }
 
-// recallChain poisons tok's frame head on every chain member — a 4-byte
-// odd word that tears the seqlock, unreadable until the home's next chain
-// push rewrites the whole frame with the post-write bytes. The writes are
+// recallChain closes the stale-replica-read window around a write grant.
+// First the bucket's recall marker R in the home's chain-state segment is
+// set (a fresh nonzero value, acknowledged before anything else moves):
+// the home's push daemon stops refreshing the bucket and readers stop
+// stamping floors until the deposit lands and is re-pushed. Then a poison
+// word is planted beside tok's frame on every chain member, head→tail in
+// chain order — the ordering the members' post-relay re-checks rely on to
+// catch an in-flight relay clobbering a downstream poison. The writes are
 // retransmitting and this blocks until each has been acknowledged, so the
 // write grant returns only once no member can serve the pre-write frame.
-// A member the recall cannot reach is counted and skipped: an unreachable
-// node is not serving reads either.
+// The poison lives OUTSIDE the seqlock frame: the member's last applied
+// record survives for takeover. A member the recall cannot reach is
+// counted and skipped: an unreachable node is not serving reads either.
 func (c *RWClient) recallChain(p *des.Proc, tok int) {
 	if len(c.chain) == 0 {
 		return
 	}
-	poison := []byte{0, 0, 0, 1}
+	c.recallSeq++
+	marker := uint32(c.m.Node.ID+1)<<20 | (c.recallSeq & 0xfffff)
+	var w [4]byte
+	binary.BigEndian.PutUint32(w[:], marker)
+	if c.chainState != nil {
+		if err := c.chainState.WriteBlock(p, c.chainVerOff(tok)+8, w[:], false); err != nil {
+			c.ChainRecallErrors++
+		} else if c.pending != nil {
+			c.pending[tok] = marker
+		}
+	}
 	for _, imp := range c.chain {
-		if err := imp.WriteBlock(p, c.chainOff(tok), poison, false); err != nil {
+		if err := imp.WriteBlock(p, c.chainOff(tok), w[:], false); err != nil {
 			c.ChainRecallErrors++
 		}
 	}
 	c.ChainRecalls++
 	delete(c.wm, tok)
+}
+
+// depositDone writes the bucket's deposit marker D — the value recallChain
+// planted in R — into the home's chain-state segment when a write grant
+// ends. It rides the same writer→home circuit as the write-behind deposit
+// and is issued only after the deposit completed, so when the home's push
+// daemon sees R == D the post-write bytes are in its data area and the
+// next push (which clears the members' poison) carries them.
+func (c *RWClient) depositDone(p *des.Proc, tok int) {
+	marker, ok := c.pending[tok]
+	if !ok || c.chainState == nil {
+		return
+	}
+	delete(c.pending, tok)
+	var w [4]byte
+	binary.BigEndian.PutUint32(w[:], marker)
+	if err := c.chainState.WriteBlock(p, c.chainVerOff(tok)+12, w[:], false); err != nil {
+		c.ChainRecallErrors++
+	}
 }
 
 // RevocationChannel exposes this client's revocation-server coordinates.
@@ -346,6 +401,9 @@ func (c *RWClient) Downgrade(p *des.Proc, tok int) error {
 		return err
 	}
 	me := writerBit | uint32(c.m.Node.ID+1)
+	// Deposit marker first: the write-behind deposit is already home, and
+	// readers must not re-acquire (next CAS) before the home knows it.
+	c.depositDone(p, tok)
 	ok, err := c.table.CAS(p, c.word(tok), me, bit, c.scratch, 0, time.Second)
 	if err != nil {
 		return err
@@ -397,6 +455,7 @@ func (c *RWClient) ReleaseWrite(p *des.Proc, tok int) error {
 	}
 	me := writerBit | uint32(c.m.Node.ID+1)
 	delete(c.write, tok)
+	c.depositDone(p, tok)
 	ok, err := c.table.CAS(p, c.word(tok), me, 0, c.scratch, 0, time.Second)
 	if err != nil {
 		return err
@@ -476,6 +535,9 @@ func (c *RWClient) ForfeitAll(p *des.Proc) {
 	c.write = make(map[int]bool)
 	if c.wm != nil {
 		c.wm = make(map[int]uint64)
+	}
+	if c.pending != nil {
+		c.pending = make(map[int]uint32)
 	}
 }
 

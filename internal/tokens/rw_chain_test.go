@@ -15,25 +15,28 @@ import (
 // window. A write grant that recalls only the home's table word leaves
 // every chain member's exported frame readable with the pre-write bytes —
 // a token-holding reader would keep serving them. SetChain closes the
-// window: the grant completes only after the recall poison has landed on
-// *all* members, and read grants stamp the home's published watermark as
-// their freshness floor.
+// window: the grant completes only after the recall marker has landed at
+// the home and the poison word has landed on *all* members, and read
+// grants stamp the home's published watermark as their freshness floor —
+// refusing to stamp at all while a recall is unresolved (R != D != C).
 
 const (
 	chainTok     = 5
-	frameStride  = 64
-	verStride    = 8
-	liveVer      = 0x00010002 // epoch 1, sequence 2: even, nonzero
+	frameStride  = 64 // poison u32 + head u64 (the rig carries no body)
+	verStride    = 24 // ver u64 | R u32 | D u32 | C u32 | pad
 	chainTestTok = 3
 )
+
+// liveVer is epoch 1, sequence 2: even, nonzero low half.
+const liveVer = uint64(1)<<32 | 2
 
 func frameOffAt(tok int) int { return tok * frameStride }
 func verOffAt(tok int) int   { return tok * verStride }
 
 // chainRig extends the RW rig with two fake chain members and a home
-// watermark table: member segments carry a live (even-versioned) frame
-// head, the state segment publishes (epoch=1, ver=liveVer) for every
-// token.
+// watermark table: member slots carry a clean poison word and a live
+// (even-versioned) frame head, the state segment publishes ver=liveVer
+// with quiesced recall markers (R == D == C == 0) for every token.
 type chainRig struct {
 	*rwRig
 	members []*rmem.Segment // exported by the member nodes
@@ -57,14 +60,13 @@ func newChainRig(t *testing.T, nClients, nTokens int) *chainRig {
 		r.state = mgrs[0].Export(p, nTokens*verStride)
 		r.state.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
 		for tok := 0; tok < nTokens; tok++ {
-			binary.BigEndian.PutUint32(r.state.Bytes()[verOffAt(tok):], 1)
-			binary.BigEndian.PutUint32(r.state.Bytes()[verOffAt(tok)+4:], liveVer)
+			binary.BigEndian.PutUint64(r.state.Bytes()[verOffAt(tok):], liveVer)
 		}
 		for m := 0; m < nMembers; m++ {
 			seg := mgrs[nClients+1+m].Export(p, nTokens*frameStride)
 			seg.SetDefaultRights(rmem.RightRead | rmem.RightWrite)
 			for tok := 0; tok < nTokens; tok++ {
-				binary.BigEndian.PutUint32(seg.Bytes()[frameOffAt(tok):], liveVer)
+				binary.BigEndian.PutUint64(seg.Bytes()[frameOffAt(tok)+4:], liveVer)
 			}
 			r.members = append(r.members, seg)
 		}
@@ -103,14 +105,28 @@ func (r *chainRig) wireChain(p *des.Proc, c *RWClient) {
 	c.SetChain(st, verOffAt, members, frameOffAt)
 }
 
-func (r *chainRig) headWord(m, tok int) uint32 {
+func (r *chainRig) poisonWord(m, tok int) uint32 {
 	return binary.BigEndian.Uint32(r.members[m].Bytes()[frameOffAt(tok):])
 }
 
+func (r *chainRig) headWord(m, tok int) uint64 {
+	return binary.BigEndian.Uint64(r.members[m].Bytes()[frameOffAt(tok)+4:])
+}
+
+// marker words in the home's state segment.
+func (r *chainRig) stateWord(tok, off int) uint32 {
+	return binary.BigEndian.Uint32(r.state.Bytes()[verOffAt(tok)+off:])
+}
+
 // TestRWChainRecallOnWriteGrant is the regression proper: the write grant
-// must poison the frame head on every chain member before returning —
+// must set the bucket's recall marker at the home and plant the poison
+// word beside the frame on every chain member before returning —
 // otherwise a reader holding a stale token floor could keep pulling the
-// pre-write frame from a member the home's CAS never touched.
+// pre-write frame from a member the home's CAS never touched. The frame
+// head itself must survive the recall (the member's last applied record
+// is takeover state, not the recall's to destroy), and the release must
+// follow up with the matching deposit marker so the home knows when the
+// poison may be cleared.
 func TestRWChainRecallOnWriteGrant(t *testing.T) {
 	r := newChainRig(t, 2, 8)
 	r.run(t, func(p *des.Proc) {
@@ -119,16 +135,25 @@ func TestRWChainRecallOnWriteGrant(t *testing.T) {
 		if err := writer.AcquireWrite(p, chainTok, time.Second); err != nil {
 			t.Fatal(err)
 		}
+		rMark := r.stateWord(chainTok, 8)
+		if rMark == 0 {
+			t.Error("recall marker R still zero after write grant")
+		}
+		if d := r.stateWord(chainTok, 12); d != 0 {
+			t.Errorf("deposit marker D = %#x before the write completed, want 0", d)
+		}
 		for m := range r.members {
-			w := r.headWord(m, chainTok)
-			if w%2 == 0 {
-				t.Errorf("member %d frame head %#x still even after write grant: the pre-write frame is still servable", m, w)
+			if w := r.poisonWord(m, chainTok); w == 0 {
+				t.Errorf("member %d poison word still clear after write grant: the pre-write frame is still servable", m)
+			}
+			if h := r.headWord(m, chainTok); h != liveVer {
+				t.Errorf("member %d frame head %#x after recall, want intact %#x (poison must not destroy the record)", m, h, liveVer)
 			}
 		}
 		// Untouched tokens keep their live frames.
 		for m := range r.members {
-			if w := r.headWord(m, chainTestTok); w != liveVer {
-				t.Errorf("member %d token %d frame head %#x, want untouched %#x", m, chainTestTok, w, liveVer)
+			if w := r.poisonWord(m, chainTestTok); w != 0 {
+				t.Errorf("member %d token %d poison word %#x, want untouched 0", m, chainTestTok, w)
 			}
 		}
 		if writer.ChainRecalls != 1 {
@@ -136,6 +161,12 @@ func TestRWChainRecallOnWriteGrant(t *testing.T) {
 		}
 		if writer.ChainRecallErrors != 0 {
 			t.Errorf("ChainRecallErrors = %d, want 0", writer.ChainRecallErrors)
+		}
+		if err := writer.ReleaseWrite(p, chainTok); err != nil {
+			t.Fatal(err)
+		}
+		if d := r.stateWord(chainTok, 12); d != rMark {
+			t.Errorf("deposit marker D = %#x after release, want R's value %#x", d, rMark)
 		}
 	})
 }
@@ -154,8 +185,8 @@ func TestRWChainWindowWithoutRecall(t *testing.T) {
 			t.Fatal(err)
 		}
 		for m := range r.members {
-			if w := r.headWord(m, chainTok); w != liveVer {
-				t.Errorf("member %d frame head %#x changed without a chain recall", m, w)
+			if w := r.poisonWord(m, chainTok); w != 0 {
+				t.Errorf("member %d poison word %#x changed without a chain recall", m, w)
 			}
 		}
 		if writer.ChainRecalls != 0 {
@@ -165,10 +196,10 @@ func TestRWChainWindowWithoutRecall(t *testing.T) {
 }
 
 // TestRWChainWatermarkStamp covers the freshness floor: read grants stamp
-// the home's published (epoch, version) pair; a revocation or release
-// drops the stamp; a write-held token never exposes one (its write-behind
-// may be ahead of the chain); and StampWatermark lazily stamps a token
-// that predates SetChain.
+// the home's published version; a revocation or release drops the stamp;
+// a write-held token never exposes one (its write-behind may be ahead of
+// the chain); and StampWatermark lazily stamps a token that predates
+// SetChain.
 func TestRWChainWatermarkStamp(t *testing.T) {
 	r := newChainRig(t, 2, 8)
 	r.run(t, func(p *des.Proc) {
@@ -181,7 +212,7 @@ func TestRWChainWatermarkStamp(t *testing.T) {
 		}
 		epoch, ver, ok := reader.Watermark(chainTok)
 		if !ok || epoch != 1 || ver != liveVer {
-			t.Fatalf("read grant stamped (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, uint32(liveVer))
+			t.Fatalf("read grant stamped (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, liveVer)
 		}
 
 		// The writer's grant recalls the reader; the stamp must die with the
@@ -219,7 +250,54 @@ func TestRWChainWatermarkStamp(t *testing.T) {
 		}
 		epoch, ver, ok = late.StampWatermark(p, chainTestTok)
 		if !ok || epoch != 1 || ver != liveVer {
-			t.Errorf("lazy stamp gave (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, uint32(liveVer))
+			t.Errorf("lazy stamp gave (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, liveVer)
+		}
+	})
+}
+
+// TestRWChainStampRefusesDuringRecall is the regression for the in-flight
+// relay un-poison race: a member's poison word can be transiently
+// clobbered by a relay that was already in flight when the recall landed,
+// so the poison alone cannot carry the linearizability guarantee. The
+// second defense is the floor stamp: while a bucket's recall is
+// unresolved — marker R set but the deposit marker D not matching, or
+// matched but the home's clean marker C not yet caught up (the home has
+// not re-pushed the post-write bytes) — StampWatermark must refuse to
+// grant any floor, because the published version predates the completed
+// write and an aborted push's version could slip past it.
+func TestRWChainStampRefusesDuringRecall(t *testing.T) {
+	r := newChainRig(t, 2, 8)
+	r.run(t, func(p *des.Proc) {
+		reader := r.clients[0]
+		r.wireChain(p, reader)
+		st := r.state.Bytes()
+
+		// Token 1: recall outstanding (R != D).
+		binary.BigEndian.PutUint32(st[verOffAt(1)+8:], 0x77)
+		if err := reader.AcquireRead(p, 1, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := reader.Watermark(1); ok {
+			t.Error("stamped a floor while the recall's deposit was still in flight (R != D)")
+		}
+		if _, _, ok := reader.StampWatermark(p, 1); ok {
+			t.Error("lazy stamp granted a floor with R != D")
+		}
+
+		// Deposit lands (D = R) but the home has not re-pushed (C != R):
+		// still no floor — the published version predates the write.
+		binary.BigEndian.PutUint32(st[verOffAt(1)+12:], 0x77)
+		if _, _, ok := reader.StampWatermark(p, 1); ok {
+			t.Error("stamped a floor before the home re-pushed the deposit (C != R)")
+		}
+
+		// The home's push publishes a fresh version and C = R: floors flow
+		// again, at the post-write version.
+		binary.BigEndian.PutUint64(st[verOffAt(1):], liveVer+2)
+		binary.BigEndian.PutUint32(st[verOffAt(1)+16:], 0x77)
+		epoch, ver, ok := reader.StampWatermark(p, 1)
+		if !ok || epoch != 1 || ver != liveVer+2 {
+			t.Errorf("post-repush stamp gave (%d, %#x, %v), want (1, %#x, true)", epoch, ver, ok, liveVer+2)
 		}
 	})
 }
