@@ -22,6 +22,16 @@
 //	           primary CPU occupancy, then the zero-CPU replica re-read
 //	           probe. With -chaos NAME it instead runs the campaign on the
 //	           K-member replica rig (chain-lag failover, promotion audit).
+//	-slo       the open-loop SLO sweep: arrival shapes (steady, diurnal,
+//	           flash crowd) × Zipf key skew at 100k simulated clients on
+//	           the 4-shard + 3-replica tier, reporting p50/p99/p999,
+//	           per-tenant SLO attainment, fairness, and goodput, writing
+//	           BENCH_SLO.json, and exiting nonzero when a point misses its
+//	           gate
+//	-slo-smoke one seed-pinned open-loop point printed as slo-smoke:
+//	           machine lines (the CI golden); -shape picks the arrival
+//	           shape, -slo-p99-gate MS fails the run on p99 regression,
+//	           and -chaos NAME runs the point under a fault campaign
 //
 // With no flags it runs figures 2 and 3 plus the headline.
 //
@@ -70,6 +80,11 @@ func main() {
 	shards := flag.Int("shards", 0, "sharded-tier sweep up to this many shards (with -chaos: shard count for the campaign)")
 	replicas := flag.Int("replicas", 0, "replica read tier sweep up to this many chain members (with -chaos: chain length for the campaign)")
 	elastic := flag.Bool("elastic", false, "elastic fleet sweep: 2→8→2 shards under sustained Table 1a load")
+	slo := flag.Bool("slo", false, "open-loop SLO sweep: arrival shapes × key skew at 100k simulated clients on the 4-shard + 3-replica tier (with -chaos NAME: every point under the campaign)")
+	sloSmoke := flag.Bool("slo-smoke", false, "one seed-pinned open-loop point, printed as slo-smoke: machine lines for the CI golden (with -chaos NAME: the fault-campaign cross)")
+	shape := flag.String("shape", "steady", "arrival-rate shape for -slo-smoke: steady, diurnal, or flash")
+	sloP99Gate := flag.Float64("slo-p99-gate", 0, "with -slo-smoke: fail (exit 1) when total p99 exceeds this many milliseconds")
+	sloOut := flag.String("slo-out", "BENCH_SLO.json", "with -slo: write the machine-readable sweep document here (empty to skip)")
 	consensusLeg := flag.Bool("consensus", false, "control-plane chaos leg: the mix runs while a campaign kills a consensus replica (default campaign: leadercrash; override with -chaos NAME)")
 	compaction := flag.Int("compaction", 0, "compaction soak: commit this many decrees through a compacting 64-slot control plane and audit the snapshot replay")
 	flag.Parse()
@@ -86,6 +101,18 @@ func main() {
 
 	if *elastic {
 		runElastic(*seed)
+		return
+	}
+
+	// The -slo modes dispatch before the generic -chaos path: -chaos NAME
+	// combined with them selects the campaign the open-loop run injects.
+	if *sloSmoke {
+		runSLOSmoke(*shape, *seed, *chaos, *sloP99Gate)
+		return
+	}
+
+	if *slo {
+		runSLO(*seed, *sloOut, *chaos)
 		return
 	}
 
@@ -539,7 +566,7 @@ func printChaos(res *dfs.ChaosResult, metrics bool) {
 func runShardSweep(maxShards int) {
 	fmt.Println("Sharded scaling: consistent-hash namespace partitioning, 4 clients per shard")
 	fmt.Println()
-	t := stats.NewTable("Shards", "Clients", "Ops/s", "Per-shard util", "Mean util", "vs 1-shard", "Mean latency")
+	t := stats.NewTable("Shards", "Clients", "Ops/s", "Per-shard util", "Mean util", "vs 1-shard", "Mean latency", "p99")
 	var base float64
 	for s := 1; s <= maxShards; s++ {
 		pt, err := workload.RunShardScale(workload.ShardScaleConfig{
@@ -561,7 +588,8 @@ func runShardSweep(maxShards int) {
 			strings.Join(utils, " "),
 			fmt.Sprintf("%.2f", pt.MeanUtil),
 			fmt.Sprintf("%+.0f%%", (pt.MeanUtil/base-1)*100),
-			fmt.Sprintf("%.2fms", pt.MeanLatMs))
+			fmt.Sprintf("%.2fms", pt.MeanLatMs),
+			fmt.Sprintf("%.2fms", pt.P99Ms))
 	}
 	fmt.Println(t)
 	fmt.Println("(load scales with shards: per-shard occupancy should stay near the 1-shard baseline)")
@@ -707,7 +735,7 @@ func seedShown(seed int64) int64 {
 func runScale(maxClients int) {
 	fmt.Println("Scalability: closed-loop clients replaying the Table 1a mix")
 	fmt.Println()
-	t := stats.NewTable("Clients", "Mode", "Ops/s", "Server util", "Mean latency")
+	t := stats.NewTable("Clients", "Mode", "Ops/s", "Server util", "Mean latency", "p99")
 	for n := 1; n <= maxClients; n++ {
 		for _, mode := range []dfs.Mode{dfs.HY, dfs.DX} {
 			pt, err := workload.RunScale(workload.ScaleConfig{
@@ -720,7 +748,8 @@ func runScale(maxClients int) {
 			}
 			t.Add(n, mode, fmt.Sprintf("%.0f", pt.OpsPerSec),
 				fmt.Sprintf("%.2f", pt.ServerUtil),
-				fmt.Sprintf("%.2fms", pt.MeanLatMs))
+				fmt.Sprintf("%.2fms", pt.MeanLatMs),
+				fmt.Sprintf("%.2fms", pt.P99Ms))
 		}
 	}
 	fmt.Println(t)

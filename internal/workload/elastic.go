@@ -12,7 +12,6 @@ import (
 	"netmem/internal/obs"
 	"netmem/internal/rmem"
 	"netmem/internal/shard"
-	"netmem/internal/stats"
 )
 
 // The elastic scaling experiment: a fixed client population runs the
@@ -40,7 +39,8 @@ type ElasticStep struct {
 	DonorUtil       float64 // mean donor-node CPU during the cutover
 	DonorBase       float64 // same nodes' mean util in the preceding hold window
 
-	// Hold-window measurements.
+	// Client-side measurements over the transition plus the hold window
+	// (ops issued while keys migrate count against this plateau's tail).
 	Ops      int64
 	Failed   int64
 	P99Ms    float64
@@ -111,14 +111,6 @@ func (c *ElasticConfig) fill() {
 	}
 }
 
-// stepBox collects one plateau's client-side samples; the driver swaps in
-// a fresh box at each phase boundary (single-threaded DES: no races).
-type stepBox struct {
-	ops    int64
-	failed int64
-	hist   stats.Histogram
-}
-
 // RunElastic executes the sweep: shard slots on nodes 0..Peak-1 (only
 // StartShards live at boot), clients on the nodes after.
 func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
@@ -170,7 +162,11 @@ func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
 	keys = append(keys, tree.Links...)
 
 	res := &ElasticResult{Mode: cfg.Mode, TokenCache: cfg.TokenCache, Keys: len(keys)}
-	box := &stepBox{}
+	// box is the current plateau's recorder; the driver swaps in a fresh one
+	// at each phase boundary (single-threaded DES: no races). Clients rebind
+	// their Replayer to it every iteration, so each op lands in the plateau
+	// that was live when it completed.
+	box := NewRecorder()
 	stop := false
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
@@ -178,14 +174,8 @@ func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
 			gen := NewGenerator(cfg.Seed+int64(i), len(tree.Files), len(tree.Dirs))
 			rep := &Replayer{Clerk: clerks[i], Tree: tree}
 			for !stop {
-				op := gen.Next()
-				t0 := p.Now()
-				if err := rep.Apply(p, op); err != nil {
-					box.failed++
-				} else {
-					box.ops++
-					box.hist.ObserveDuration(time.Duration(p.Now().Sub(t0)))
-				}
+				rep.Rec = box
+				_ = rep.Do(p, gen.Next()) // failures land in box.Failed
 				p.Sleep(cfg.ThinkTime)
 			}
 		})
@@ -207,6 +197,11 @@ func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
 		for _, target := range sweep {
 			var step ElasticStep
 			step.Target = target
+			// Swap the recorder in before the transition: ops issued while
+			// keys migrate land in the plateau they cut over into, so the
+			// plateau's tail includes migration-inflated latencies instead
+			// of silently dropping them.
+			box = NewRecorder()
 			if target != svc.Size() {
 				pre := svc.Ring.Clone()
 				// Donors: on a join every pre-member pushes; on a drain only
@@ -271,7 +266,6 @@ func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
 			for _, s := range ring.Members() {
 				cl.Nodes[svc.NodeOf(s)].ResetCPUAcct()
 			}
-			box = &stepBox{}
 			h0 := p.Now()
 			p.Sleep(cfg.Hold)
 			for _, s := range ring.Members() {
@@ -280,9 +274,10 @@ func RunElastic(cfg ElasticConfig) (*ElasticResult, error) {
 				step.MeanUtil += u
 			}
 			step.MeanUtil /= float64(ring.Size())
-			step.Ops = box.ops
-			step.Failed = box.failed
-			step.P99Ms = box.hist.P99() / 1e6
+			st := &box.Tenants[0]
+			step.Ops = st.Ops
+			step.Failed = st.Failed
+			step.P99Ms = ms(st.Lat.P99())
 			res.TotalOps += step.Ops
 			res.TotalFailed += step.Failed
 			if step.P99Ms > res.MaxP99Ms {

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzArrivalSchedule drives the open-loop arrival generator with
+// arbitrary (bounded) configurations and checks its core invariants: the
+// stream never emits out-of-order virtual times, never leaves the window,
+// and never names a client, tenant, or file outside the configured
+// population — for any seed, shape, skew, or tenant split.
+func FuzzArrivalSchedule(f *testing.F) {
+	f.Add(int64(1), uint16(1000), uint8(0), uint16(90), uint16(50), uint16(25))
+	f.Add(int64(42), uint16(60000), uint8(1), uint16(0), uint16(100), uint16(0))
+	f.Add(int64(-7), uint16(3), uint8(2), uint16(300), uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, clients uint16, shapeRaw uint8,
+		thetaCenti uint16, shareA, shareB uint16) {
+		cfg := OpenLoopConfig{
+			Clients:       int(clients)%100_000 + 1,
+			RatePerClient: 0.5,
+			Window:        200 * time.Millisecond,
+			Shape:         Shape(int(shapeRaw) % 3),
+			ZipfTheta:     float64(thetaCenti%400) / 100,
+			Seed:          seed,
+			Tenants: []TenantSpec{
+				{Name: "a", Share: float64(shareA%1000) + 1, Mix: MixDepartmental},
+				{Name: "b", Share: float64(shareB%1000) + 1, Mix: MixVideo},
+				{Name: "c", Share: 1, Mix: MixMetadata},
+			},
+		}
+		cfg.Fill()
+		const files, dirs = 32, 4
+		sched := NewSchedule(cfg, files, dirs)
+		prev := time.Duration(-1)
+		for n := 0; ; n++ {
+			a, ok := sched.Next()
+			if !ok {
+				break
+			}
+			if n > 500_000 {
+				t.Fatalf("schedule did not terminate within 500k arrivals")
+			}
+			if a.At < prev {
+				t.Fatalf("arrival %d out of order: %v after %v", n, a.At, prev)
+			}
+			prev = a.At
+			if a.At < 0 || a.At >= cfg.Window {
+				t.Fatalf("arrival %d outside window: %v", n, a.At)
+			}
+			if a.Client < 0 || a.Client >= cfg.Clients {
+				t.Fatalf("arrival %d client %d outside population %d", n, a.Client, cfg.Clients)
+			}
+			if a.Tenant < 0 || a.Tenant >= len(cfg.Tenants) {
+				t.Fatalf("arrival %d tenant %d outside %d classes", n, a.Tenant, len(cfg.Tenants))
+			}
+			if a.Op.File < 0 || a.Op.File >= files {
+				t.Fatalf("arrival %d file %d outside population %d", n, a.Op.File, files)
+			}
+			if a.Op.Dir < 0 || a.Op.Dir >= dirs {
+				t.Fatalf("arrival %d dir %d outside population %d", n, a.Op.Dir, dirs)
+			}
+		}
+	})
+}

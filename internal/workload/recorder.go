@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"time"
+
+	"netmem/internal/stats"
+)
+
+// Recorder is the one latency-accounting path every workload run — open- or
+// closed-loop — reports through, so their stat schemas cannot drift. Each
+// tenant (SLO class) gets its own streaming sketch; Report folds them into
+// per-tenant and aggregate quantiles, SLO attainment, and a fairness index.
+
+// SLOClass names one tenant and its per-op latency deadline. A zero
+// Deadline means every completed op counts as in-SLO.
+type SLOClass struct {
+	Name     string
+	Deadline time.Duration
+}
+
+// TenantStat accumulates one tenant's outcomes.
+type TenantStat struct {
+	Class  SLOClass
+	Ops    int64 // completed operations
+	Failed int64 // operations that returned an error
+	Shed   int64 // arrivals dropped before execution (queue overflow)
+	InSLO  int64 // completed within Class.Deadline
+	SumLat time.Duration
+	Lat    stats.Sketch
+}
+
+// Recorder collects per-tenant latency and SLO outcomes.
+type Recorder struct {
+	Tenants []TenantStat
+}
+
+// NewRecorder builds a recorder with one slot per class; with no classes it
+// gets a single deadline-free "all" tenant.
+func NewRecorder(classes ...SLOClass) *Recorder {
+	if len(classes) == 0 {
+		classes = []SLOClass{{Name: "all"}}
+	}
+	r := &Recorder{Tenants: make([]TenantStat, len(classes))}
+	for i, c := range classes {
+		r.Tenants[i].Class = c
+	}
+	return r
+}
+
+// clamp maps an out-of-range tenant index onto slot 0.
+func (r *Recorder) clamp(tenant int) *TenantStat {
+	if tenant < 0 || tenant >= len(r.Tenants) {
+		tenant = 0
+	}
+	return &r.Tenants[tenant]
+}
+
+// Record accounts one operation outcome: a failure when err != nil,
+// otherwise a completion with the given latency.
+func (r *Recorder) Record(tenant int, lat time.Duration, err error) {
+	t := r.clamp(tenant)
+	if err != nil {
+		t.Failed++
+		return
+	}
+	t.Ops++
+	t.SumLat += lat
+	t.Lat.ObserveDuration(lat)
+	if t.Class.Deadline <= 0 || lat <= t.Class.Deadline {
+		t.InSLO++
+	}
+}
+
+// RecordShed accounts one arrival dropped before execution — offered load
+// the system refused, charged against SLO attainment.
+func (r *Recorder) RecordShed(tenant int) { r.clamp(tenant).Shed++ }
+
+// TenantReport is one tenant's summary. All latency fields are
+// milliseconds; Attainment is the fraction of *offered* ops (completed +
+// failed + shed) that finished within the deadline, so shedding and errors
+// hurt it exactly as much as slow completions.
+type TenantReport struct {
+	Tenant     string  `json:"tenant"`
+	DeadlineMs float64 `json:"deadline_ms"`
+	Ops        int64   `json:"ops"`
+	Failed     int64   `json:"failed"`
+	Shed       int64   `json:"shed"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	Attainment float64 `json:"attainment"`
+	GoodputOps float64 `json:"goodput_ops_per_sec"`
+}
+
+// Report is the full run summary: per-tenant rows, the all-tenant
+// aggregate, and Jain's fairness index over per-tenant attainment (1.0 =
+// every tenant gets the same SLO attainment, 1/n = one tenant gets
+// everything).
+type Report struct {
+	WindowMs float64        `json:"window_ms"`
+	Tenants  []TenantReport `json:"tenants"`
+	Total    TenantReport   `json:"total"`
+	Fairness float64        `json:"fairness"`
+}
+
+func ms(d int64) float64 { return float64(d) / 1e6 }
+
+func (t *TenantStat) report(window time.Duration) TenantReport {
+	rep := TenantReport{
+		Tenant:     t.Class.Name,
+		DeadlineMs: float64(t.Class.Deadline) / 1e6,
+		Ops:        t.Ops,
+		Failed:     t.Failed,
+		Shed:       t.Shed,
+		P50Ms:      ms(t.Lat.P50()),
+		P99Ms:      ms(t.Lat.P99()),
+		P999Ms:     ms(t.Lat.P999()),
+	}
+	if t.Ops > 0 {
+		rep.MeanMs = float64(t.SumLat) / float64(t.Ops) / 1e6
+	}
+	if offered := t.Ops + t.Failed + t.Shed; offered > 0 {
+		rep.Attainment = float64(t.InSLO) / float64(offered)
+	}
+	if window > 0 {
+		rep.GoodputOps = float64(t.InSLO) / window.Seconds()
+	}
+	return rep
+}
+
+// Report summarizes everything recorded so far over the given measurement
+// window (the window scales goodput; pass 0 to skip rates).
+func (r *Recorder) Report(window time.Duration) Report {
+	rep := Report{WindowMs: float64(window) / 1e6}
+	total := TenantStat{Class: SLOClass{Name: "total"}}
+	var sumA, sumA2 float64
+	var active int
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		tr := t.report(window)
+		rep.Tenants = append(rep.Tenants, tr)
+		total.Ops += t.Ops
+		total.Failed += t.Failed
+		total.Shed += t.Shed
+		total.InSLO += t.InSLO
+		total.SumLat += t.SumLat
+		total.Lat.Merge(&t.Lat)
+		if t.Ops+t.Failed+t.Shed > 0 {
+			active++
+			sumA += tr.Attainment
+			sumA2 += tr.Attainment * tr.Attainment
+		}
+	}
+	rep.Total = total.report(window)
+	if active > 0 && sumA2 > 0 {
+		rep.Fairness = sumA * sumA / (float64(active) * sumA2)
+	}
+	return rep
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"netmem/internal/des"
 	"netmem/internal/dfs"
@@ -104,8 +105,25 @@ type Replayer struct {
 	// which is what the server-load experiments measure.
 	LocalCaching bool
 
+	// Rec, when set, receives every Do outcome under tenant index Tenant —
+	// the shared reporting path for closed- and open-loop runs.
+	Rec    *Recorder
+	Tenant int
+
 	// Ops counts applied operations per activity.
 	Ops [numActivities]int64
+}
+
+// Do applies one operation and records its service latency (Apply start to
+// completion) into Rec. Open-loop callers that account queueing delay
+// record into Rec themselves and call Apply directly.
+func (r *Replayer) Do(p *des.Proc, op TraceOp) error {
+	t0 := p.Now()
+	err := r.Apply(p, op)
+	if r.Rec != nil {
+		r.Rec.Record(r.Tenant, time.Duration(p.Now().Sub(t0)), err)
+	}
+	return err
 }
 
 // Apply executes one trace operation, mapping the Table 1a activity onto

@@ -29,6 +29,7 @@ type ScalePoint struct {
 	OpsPerSec  float64
 	ServerUtil float64 // server CPU utilization during the window
 	MeanLatMs  float64 // mean per-operation latency, milliseconds
+	P99Ms      float64 // p99 per-operation latency, milliseconds
 	Events     uint64  // simulator events executed (see des.Env.Events)
 }
 
@@ -91,24 +92,23 @@ func RunScale(cfg ScaleConfig) (ScalePoint, error) {
 	}
 
 	// Launch closed-loop clients as daemons; measure over a fixed window.
-	var opsDone int64
-	var totalLat time.Duration
+	// All clients report through one shared Recorder — the same accounting
+	// path the open-loop engine uses — so both loop styles emit the same
+	// stat schema.
+	rec := NewRecorder()
 	start := env.Now()
 	srv.Node().ResetCPUAcct()
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
 		env.SpawnDaemon(fmt.Sprintf("client%d", i), func(p *des.Proc) {
 			gen := NewGenerator(cfg.Seed+int64(i), len(tree.Files), len(tree.Dirs))
-			rep := &Replayer{Clerk: clerks[i], Tree: tree}
+			rep := &Replayer{Clerk: clerks[i], Tree: tree, Rec: rec}
 			for {
 				op := gen.Next()
-				t0 := p.Now()
-				if err := rep.Apply(p, op); err != nil {
+				if err := rep.Do(p, op); err != nil {
 					setupErr = fmt.Errorf("client %d: %v: %w", i, op.Activity, err)
 					return
 				}
-				opsDone++
-				totalLat += time.Duration(p.Now().Sub(t0))
 				p.Sleep(cfg.ThinkTime)
 			}
 		})
@@ -121,16 +121,18 @@ func RunScale(cfg ScaleConfig) (ScalePoint, error) {
 	}
 
 	elapsed := time.Duration(env.Now().Sub(start))
+	st := &rec.Tenants[0]
 	pt := ScalePoint{
 		Mode:       cfg.Mode,
 		Clients:    cfg.Clients,
-		OpsDone:    opsDone,
-		OpsPerSec:  float64(opsDone) / elapsed.Seconds(),
+		OpsDone:    st.Ops,
+		OpsPerSec:  float64(st.Ops) / elapsed.Seconds(),
 		ServerUtil: srv.Node().CPU.Utilization(start),
 		Events:     env.Events(),
 	}
-	if opsDone > 0 {
-		pt.MeanLatMs = (totalLat / time.Duration(opsDone)).Seconds() * 1000
+	if st.Ops > 0 {
+		pt.MeanLatMs = (st.SumLat / time.Duration(st.Ops)).Seconds() * 1000
+		pt.P99Ms = float64(st.Lat.P99()) / 1e6
 	}
 	return pt, nil
 }

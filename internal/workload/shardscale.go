@@ -29,7 +29,8 @@ type ShardScalePoint struct {
 	ShardUtil []float64 // per-shard-node CPU utilization during the window
 	MeanUtil  float64   // mean of ShardUtil
 	MeanLatMs float64
-	TokenHits int64 // reads served from the token-coherent cache
+	P99Ms     float64 // p99 per-operation latency, milliseconds
+	TokenHits int64   // reads served from the token-coherent cache
 	Events    uint64
 }
 
@@ -111,8 +112,7 @@ func RunShardScale(cfg ShardScaleConfig) (ShardScalePoint, error) {
 		return ShardScalePoint{}, setupErr
 	}
 
-	var opsDone int64
-	var totalLat time.Duration
+	rec := NewRecorder()
 	start := env.Now()
 	for i := 0; i < cfg.Shards; i++ {
 		cl.Nodes[i].ResetCPUAcct()
@@ -125,16 +125,13 @@ func RunShardScale(cfg ShardScaleConfig) (ShardScalePoint, error) {
 			// flushes the sub-clerk caches. The token-coherent block cache
 			// survives FlushLocal by design, so TokenCache still shows up —
 			// as reads the servers never see.
-			rep := &Replayer{Clerk: clerks[i], Tree: tree}
+			rep := &Replayer{Clerk: clerks[i], Tree: tree, Rec: rec}
 			for {
 				op := gen.Next()
-				t0 := p.Now()
-				if err := rep.Apply(p, op); err != nil {
+				if err := rep.Do(p, op); err != nil {
 					setupErr = fmt.Errorf("client %d: %v: %w", i, op.Activity, err)
 					return
 				}
-				opsDone++
-				totalLat += time.Duration(p.Now().Sub(t0))
 				p.Sleep(cfg.ThinkTime)
 			}
 		})
@@ -147,14 +144,15 @@ func RunShardScale(cfg ShardScaleConfig) (ShardScalePoint, error) {
 	}
 
 	elapsed := time.Duration(env.Now().Sub(start))
+	st := &rec.Tenants[0]
 	pt := ShardScalePoint{
 		Mode:    cfg.Mode,
 		Shards:  cfg.Shards,
 		Clients: clients,
-		OpsDone: opsDone,
+		OpsDone: st.Ops,
 		Events:  env.Events(),
 	}
-	pt.OpsPerSec = float64(opsDone) / elapsed.Seconds()
+	pt.OpsPerSec = float64(st.Ops) / elapsed.Seconds()
 	for i := 0; i < cfg.Shards; i++ {
 		u := cl.Nodes[i].CPU.Utilization(start)
 		pt.ShardUtil = append(pt.ShardUtil, u)
@@ -164,8 +162,9 @@ func RunShardScale(cfg ShardScaleConfig) (ShardScalePoint, error) {
 	for _, c := range clerks {
 		pt.TokenHits += c.TokenHits
 	}
-	if opsDone > 0 {
-		pt.MeanLatMs = (totalLat / time.Duration(opsDone)).Seconds() * 1000
+	if st.Ops > 0 {
+		pt.MeanLatMs = (st.SumLat / time.Duration(st.Ops)).Seconds() * 1000
+		pt.P99Ms = ms(st.Lat.P99())
 	}
 	return pt, nil
 }

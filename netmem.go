@@ -54,6 +54,7 @@ import (
 	"netmem/internal/rpc"
 	"netmem/internal/secure"
 	"netmem/internal/shard"
+	"netmem/internal/stats"
 	"netmem/internal/svm"
 	"netmem/internal/tokens"
 	"netmem/internal/workload"
@@ -339,6 +340,67 @@ type (
 	TraceReplayer = workload.Replayer
 	// TraceOp is one operation of a synthetic trace.
 	TraceOp = workload.TraceOp
+
+	// WorkloadShape selects an open-loop arrival-rate shape (steady,
+	// diurnal, or flash crowd).
+	WorkloadShape = workload.Shape
+	// TenantSpec is one tenant class of a multi-tenant open-loop run: its
+	// traffic share, operation mix, and per-op latency deadline.
+	TenantSpec = workload.TenantSpec
+	// Arrival is one scheduled operation of an open-loop stream.
+	Arrival = workload.Arrival
+	// ArrivalSchedule generates an open-loop arrival stream: virtual-time
+	// arrivals independent of completions, Zipf key popularity, per-tenant
+	// mixes, seeded and deterministic.
+	ArrivalSchedule = workload.Schedule
+	// OpenLoopConfig parameterizes RunOpenLoop.
+	OpenLoopConfig = workload.OpenLoopConfig
+	// OpenLoopResult is one open-loop run's measurements (JSON-stable).
+	OpenLoopResult = workload.OpenLoopResult
+	// SLOClass names a tenant and its latency deadline.
+	SLOClass = workload.SLOClass
+	// WorkloadRecorder is the one latency-accounting path every workload
+	// run — open- or closed-loop — reports through.
+	WorkloadRecorder = workload.Recorder
+	// WorkloadReport is a recorder's summary: per-tenant quantiles, SLO
+	// attainment, goodput, and Jain's fairness index.
+	WorkloadReport = workload.Report
+	// TenantReport is one tenant's row of a WorkloadReport.
+	TenantReport = workload.TenantReport
+	// QuantileSketch is the streaming base-2 latency sketch behind the
+	// recorder: integer-bucketed (≤1/256 relative error), mergeable, and
+	// byte-deterministic across platforms.
+	QuantileSketch = stats.Sketch
+	// SLOSweepConfig parameterizes RunSLOSweep (shape × skew grid).
+	SLOSweepConfig = workload.SLOSweepConfig
+	// BenchSLO is the machine-readable sweep document (BENCH_SLO.json).
+	BenchSLO = workload.BenchSLO
+	// SLOGate is one PASS/FAIL verdict over a sweep point.
+	SLOGate = workload.SLOGate
+)
+
+// Open-loop arrival shapes.
+const (
+	ShapeSteady  = workload.ShapeSteady
+	ShapeDiurnal = workload.ShapeDiurnal
+	ShapeFlash   = workload.ShapeFlash
+)
+
+var (
+	// RunOpenLoop executes one open-loop run: a simulated client population
+	// issuing arrivals on the virtual clock against a sharded (optionally
+	// replica-chained) file tier, measuring latency from scheduled arrival
+	// to completion — queueing counts, no coordinated omission.
+	RunOpenLoop = workload.RunOpenLoop
+	// RunSLOSweep measures the shape × skew grid and returns BENCH_SLO.
+	RunSLOSweep = workload.RunSLOSweep
+	// GateSLO renders PASS/FAIL verdicts for a sweep document.
+	GateSLO = workload.GateSLO
+	// DefaultTenants is the stock three-tenant mix (departmental, video,
+	// metadata-heavy microservice).
+	DefaultTenants = workload.DefaultTenants
+	// ParseWorkloadShape resolves "steady", "diurnal", or "flash".
+	ParseWorkloadShape = workload.ParseShape
 )
 
 // Re-exported constants.
@@ -822,6 +884,38 @@ func (s *System) SVM() SVMAPI { return SVMAPI{s} }
 // npages the shared address-space size.
 func (v SVMAPI) Agent(node, manager, npages int) *SVMAgent {
 	return svm.New(v.sys.Cluster.Nodes[node], manager, npages)
+}
+
+// WorkloadAPI builds synthetic-workload drivers: Table 1a trace
+// generators, replayers bound to this system's clerks, open-loop arrival
+// schedules, and the shared SLO recorder. The self-contained experiment
+// drivers (RunOpenLoop, RunSLOSweep) build their own systems; this API is
+// for driving load through a system you assembled yourself. Obtain one
+// with System.Workload.
+type WorkloadAPI struct{ sys *System }
+
+// Workload returns the workload builder.
+func (s *System) Workload() WorkloadAPI { return WorkloadAPI{s} }
+
+// Generator draws operations from the paper's Table 1a mix over a
+// files × dirs population; identical seeds yield identical traces.
+func (WorkloadAPI) Generator(seed int64, files, dirs int) *TraceGenerator {
+	return workload.NewGenerator(seed, files, dirs)
+}
+
+// Schedule materializes cfg's open-loop arrival stream over a files × dirs
+// population: virtual-time arrivals independent of completions, shaped
+// rates, Zipf key popularity, per-tenant mixes. Pull arrivals with Next.
+func (WorkloadAPI) Schedule(cfg OpenLoopConfig, files, dirs int) *ArrivalSchedule {
+	cfg.Fill()
+	return workload.NewSchedule(cfg, files, dirs)
+}
+
+// Recorder builds the shared latency/SLO accounting sink: hand it to
+// TraceReplayer.Rec (closed-loop) or feed it directly (open-loop), then
+// summarize with WorkloadRecorder.Report.
+func (WorkloadAPI) Recorder(classes ...SLOClass) *WorkloadRecorder {
+	return workload.NewRecorder(classes...)
 }
 
 // ---------------------------------------------------------------------------
